@@ -1,0 +1,22 @@
+//! Probes the SimCoTest-like baseline's coverage on the deep-state
+//! benchmark models — the calibration loop for its engine-overhead and
+//! signal-scale defaults.
+//!
+//! ```sh
+//! cargo run --release -p cftcg-baselines --example sct_probe
+//! ```
+
+use cftcg_baselines::simcotest;
+use cftcg_codegen::{compile, replay_suite};
+use std::time::Duration;
+fn main() {
+    for name in ["TWC", "UTPC", "SolarPV", "CPUTask"] {
+        let model = cftcg_benchmarks::by_name(name).unwrap();
+        let compiled = compile(&model).unwrap();
+        let g = simcotest::generate(&model, &simcotest::SimCoTestConfig {
+            budget: Duration::from_secs(15), seed: 0, ..Default::default()
+        });
+        let r = replay_suite(&compiled, &g.suite);
+        println!("{name}: {r}  ({})", g.notes);
+    }
+}

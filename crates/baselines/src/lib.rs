@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Comparison test-case generators for the CFTCG evaluation (paper §4).
+//!
+//! The paper compares CFTCG against Simulink Design Verifier (constraint
+//! solving), SimCoTest (simulation-based meta-heuristic search), and a
+//! "Fuzz Only" ablation (vanilla LibFuzzer on Simulink-generated code).
+//! None of those tools can be shipped, so this crate rebuilds each
+//! *approach* with its characteristic strengths and failure modes:
+//!
+//! * [`sldv`] — goal-directed **bounded reachability search**: explicit
+//!   state-space exploration over solver-style candidate inputs mined from
+//!   the model's constraint constants. Excellent on shallow combinational
+//!   logic; collapses on state-rich models (frontier explosion = the paper's
+//!   ">12 GB memory" observation) and cannot see past its unrolling depth.
+//! * [`simcotest`] — **simulation-based search**: random signal templates
+//!   (constant/step/ramp/pulse/noise) scored by output-signal diversity,
+//!   executed on the *interpretive* simulator, so throughput is limited by
+//!   simulation speed exactly as the paper measures (6 iterations/s vs
+//!   CFTCG's 26 000+ on SolarPV).
+//! * [`fuzz_only`] — the ablation of Figure 8: the same fuzzing loop but
+//!   with blind byte-stream mutation and code-level-only coverage feedback
+//!   (boolean blocks compile branchless and are invisible).
+//!
+//! All generators return a [`Generation`]: the emitted suite with per-case
+//! timestamps, so the bench harness can score every tool with the same
+//! replay yardstick and draw the paper's coverage-vs-time curves.
+
+pub mod fuzz_only;
+pub mod hybrid;
+pub mod relevance;
+pub mod simcotest;
+pub mod sldv;
+
+pub use cftcg_fuzz::{coverage_series, Generation};
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use cftcg_model::{BlockKind, ModelBuilder, Value};
+
+    /// An action subsystem emitting a boolean constant, for If/Merge wiring
+    /// in baseline tests.
+    pub fn const_action_bool(value: bool) -> BlockKind {
+        let mut b = ModelBuilder::new(if value { "true_m" } else { "false_m" });
+        let c = b.add("c", BlockKind::Constant { value: Value::Bool(value) });
+        let y = b.outport("y");
+        b.wire(c, y);
+        BlockKind::ActionSubsystem { model: Box::new(b.finish().expect("valid")) }
+    }
+}

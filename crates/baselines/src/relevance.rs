@@ -1,0 +1,372 @@
+//! Cone-of-influence constraint relevance: which branch-condition constants
+//! can each top-level inport actually steer?
+//!
+//! Real solvers restrict each decision variable's domain using only the
+//! constraints in its cone of influence. This module approximates that with
+//! a forward *taint* analysis: every output port carries the bitmask of
+//! top-level inports that (transitively) influence it, propagated to a
+//! fixpoint so feedback through delay blocks is captured. Branch constants
+//! are then credited to the inports tainting the guarded signal — e.g. a
+//! `PanelID == 3` compare credits `3` to the `PanelID` inport only, keeping
+//! the SLDV-like search's input alphabet small *and* relevant.
+
+use cftcg_model::expr::Expr;
+use cftcg_model::{BlockKind, Model, PortRef, SwitchCriterion};
+
+
+/// Per-top-level-inport constant sets: `result[i]` holds the constants from
+/// constraints influenced by inport `i`.
+pub fn relevant_constants(model: &Model) -> Vec<Vec<f64>> {
+    let n = model.num_inports();
+    let mut attr: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let input_taints: Vec<u64> = (0..n.min(64)).map(|i| 1u64 << i).collect();
+    taint_model(model, &input_taints, &mut attr);
+    for consts in &mut attr {
+        consts.sort_by(f64::total_cmp);
+        consts.dedup();
+    }
+    attr
+}
+
+/// Credits `value` to every inport bit set in `mask`.
+fn credit(attr: &mut [Vec<f64>], mask: u64, value: f64) {
+    for (i, consts) in attr.iter_mut().enumerate() {
+        if mask & (1u64 << i) != 0 {
+            consts.push(value);
+        }
+    }
+}
+
+fn credit_expr(attr: &mut [Vec<f64>], mask: u64, expr: &Expr) {
+    match expr {
+        Expr::Literal(v) => credit(attr, mask, v.as_f64()),
+        Expr::Var(_) => {}
+        Expr::Unary(_, inner) => credit_expr(attr, mask, inner),
+        Expr::Binary(_, lhs, rhs) => {
+            credit_expr(attr, mask, lhs);
+            credit_expr(attr, mask, rhs);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                credit_expr(attr, mask, a);
+            }
+        }
+    }
+}
+
+/// Propagates taints through one model level to a fixpoint, attributing
+/// constants, and recursing into subsystems.
+fn taint_model(model: &Model, input_taints: &[u64], attr: &mut [Vec<f64>]) {
+    let n = model.blocks().len();
+    let mut taints: Vec<Vec<u64>> =
+        model.blocks().iter().map(|b| vec![0u64; b.kind().num_outputs()]).collect();
+    let in_taint = |taints: &Vec<Vec<u64>>, b: usize, port: usize| -> u64 {
+        model
+            .source_of(PortRef::new(model.blocks()[b].id(), port))
+            .map_or(0, |src| taints[src.block.index()][src.port])
+    };
+    let all_in = |taints: &Vec<Vec<u64>>, b: usize| -> u64 {
+        (0..model.blocks()[b].kind().num_inputs())
+            .map(|p| in_taint(taints, b, p))
+            .fold(0, |a, t| a | t)
+    };
+    // Fixpoint (delay blocks feed taints backwards through cycles).
+    loop {
+        let mut changed = false;
+        for b in 0..n {
+            let kind = model.blocks()[b].kind();
+            let new: u64 = match kind {
+                BlockKind::Inport { index, .. } => {
+                    input_taints.get(*index).copied().unwrap_or(0)
+                }
+                BlockKind::Constant { .. } | BlockKind::Ground { .. } => 0,
+                _ => all_in(&taints, b),
+            };
+            for port in 0..taints[b].len() {
+                if taints[b][port] != new {
+                    taints[b][port] = new;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Attribute constants.
+    for b in 0..n {
+        let kind = model.blocks()[b].kind().clone();
+        let t0 = in_taint(&taints, b, 0);
+        match &kind {
+            BlockKind::Compare { constant, .. } => credit(attr, t0, *constant),
+            BlockKind::Saturation { lower, upper } => {
+                credit(attr, t0, *lower);
+                credit(attr, t0, *upper);
+            }
+            BlockKind::DeadZone { start, end } => {
+                credit(attr, t0, *start);
+                credit(attr, t0, *end);
+            }
+            BlockKind::Relay { on_threshold, off_threshold, .. } => {
+                credit(attr, t0, *on_threshold);
+                credit(attr, t0, *off_threshold);
+            }
+            BlockKind::Switch { criterion } => {
+                let tc = in_taint(&taints, b, 1);
+                match criterion {
+                    SwitchCriterion::GreaterEqual(t) | SwitchCriterion::Greater(t) => {
+                        credit(attr, tc, *t);
+                    }
+                    SwitchCriterion::NotZero => credit(attr, tc, 0.0),
+                }
+            }
+            BlockKind::MultiportSwitch { cases } => {
+                for k in 1..=*cases {
+                    credit(attr, t0, k as f64);
+                }
+            }
+            BlockKind::SwitchCase { cases, .. } => {
+                for labels in cases {
+                    for &l in labels {
+                        credit(attr, t0, l as f64);
+                    }
+                }
+            }
+            BlockKind::If { num_inputs, conditions, .. } => {
+                for cond in conditions {
+                    // Credit each condition's constants to the inports
+                    // feeding the `u<i>` variables it references.
+                    let mut mask = 0;
+                    for var in cond.free_vars() {
+                        if let Some(i) = var
+                            .strip_prefix('u')
+                            .and_then(|d| d.parse::<usize>().ok())
+                        {
+                            if i >= 1 && i <= *num_inputs {
+                                mask |= in_taint(&taints, b, i - 1);
+                            }
+                        }
+                    }
+                    credit_expr(attr, mask, cond);
+                }
+            }
+            BlockKind::Lookup1D { breakpoints, .. } => {
+                for &x in breakpoints {
+                    credit(attr, t0, x);
+                }
+            }
+            BlockKind::Lookup2D { row_breaks, col_breaks, .. } => {
+                for &x in row_breaks {
+                    credit(attr, t0, x);
+                }
+                let t1 = in_taint(&taints, b, 1);
+                for &x in col_breaks {
+                    credit(attr, t1, x);
+                }
+            }
+            BlockKind::DiscreteIntegrator { lower, upper, .. } => {
+                for limit in lower.iter().chain(upper.iter()) {
+                    credit(attr, t0, *limit);
+                }
+            }
+            BlockKind::CounterLimited { limit } => {
+                // No inputs: counters are driven by time, not data.
+                let _ = limit;
+            }
+            BlockKind::MatlabFunction { function } => {
+                let name_taint = |name: &str| -> u64 {
+                    function
+                        .inputs()
+                        .iter()
+                        .position(|(n, _)| n == name)
+                        .map_or(0, |p| in_taint(&taints, b, p))
+                };
+                credit_function_like(attr, function.body(), &name_taint, all_in(&taints, b));
+            }
+            BlockKind::Chart { chart } => {
+                let name_taint = |name: &str| -> u64 {
+                    chart
+                        .inputs
+                        .iter()
+                        .position(|(n, _)| n == name)
+                        .map_or(0, |p| in_taint(&taints, b, p))
+                };
+                let fallback = all_in(&taints, b);
+                for tr in &chart.transitions {
+                    if let Some(guard) = &tr.guard {
+                        credit_guarded_expr(attr, guard, &name_taint, fallback);
+                    }
+                    credit_function_like(attr, &tr.action, &name_taint, fallback);
+                }
+                for state in &chart.states {
+                    credit_function_like(attr, &state.entry, &name_taint, fallback);
+                    credit_function_like(attr, &state.during, &name_taint, fallback);
+                }
+            }
+            BlockKind::ActionSubsystem { model: inner }
+            | BlockKind::EnabledSubsystem { model: inner }
+            | BlockKind::TriggeredSubsystem { model: inner, .. } => {
+                let inner_taints: Vec<u64> = (0..inner.num_inports())
+                    .map(|i| in_taint(&taints, b, 1 + i))
+                    .collect();
+                taint_model(inner, &inner_taints, attr);
+            }
+            BlockKind::Subsystem { model: inner } => {
+                let inner_taints: Vec<u64> = (0..inner.num_inports())
+                    .map(|i| in_taint(&taints, b, i))
+                    .collect();
+                taint_model(inner, &inner_taints, attr);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Credits statement constants: each `if` condition (and assignment) uses
+/// the taints of the chart/function inputs it mentions, falling back to all
+/// inputs when it only mentions internal variables (their values derive
+/// from inputs over time).
+fn credit_function_like(
+    attr: &mut [Vec<f64>],
+    stmts: &[cftcg_model::expr::Stmt],
+    name_taint: &dyn Fn(&str) -> u64,
+    fallback: u64,
+) {
+    for stmt in stmts {
+        match stmt {
+            cftcg_model::expr::Stmt::Assign(_, value) => {
+                credit_guarded_expr(attr, value, name_taint, 0);
+            }
+            cftcg_model::expr::Stmt::If { cond, then_body, else_body } => {
+                credit_guarded_expr(attr, cond, name_taint, fallback);
+                credit_function_like(attr, then_body, name_taint, fallback);
+                credit_function_like(attr, else_body, name_taint, fallback);
+            }
+        }
+    }
+}
+
+fn credit_guarded_expr(
+    attr: &mut [Vec<f64>],
+    expr: &Expr,
+    name_taint: &dyn Fn(&str) -> u64,
+    fallback: u64,
+) {
+    let mut mask = 0;
+    for var in expr.free_vars() {
+        mask |= name_taint(&var);
+    }
+    if mask == 0 {
+        mask = fallback;
+    }
+    credit_expr(attr, mask, expr);
+}
+
+/// Derives per-inport value ranges from the relevance analysis — the
+/// paper's §5 alternative when "testers find it difficult to determine the
+/// value ranges for inports": "we can use formal methods to determine them
+/// in advance". The range is the hull of the inport's relevant constants,
+/// widened by a margin, intersected with the declared type's range.
+pub fn suggested_input_ranges(model: &Model) -> Vec<cftcg_fuzz::FieldRange> {
+    let attr = relevant_constants(model);
+    model
+        .inports()
+        .into_iter()
+        .map(|(_, index, dtype)| {
+            let consts = attr.get(index).cloned().unwrap_or_default();
+            let (lo, hi) = match (
+                consts.iter().copied().reduce(f64::min),
+                consts.iter().copied().reduce(f64::max),
+            ) {
+                (Some(lo), Some(hi)) => {
+                    let span = (hi - lo).abs().max(2.0);
+                    (lo - span / 2.0, hi + span / 2.0)
+                }
+                _ => (dtype.min_f64(), dtype.max_f64()),
+            };
+            cftcg_fuzz::FieldRange::new(
+                lo.max(dtype.min_f64()),
+                hi.min(dtype.max_f64()),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_model::{DataType, ModelBuilder, RelOp};
+
+    #[test]
+    fn constants_attach_to_the_driving_inport_only() {
+        let mut b = ModelBuilder::new("m");
+        let a = b.inport("a", DataType::I32);
+        let c = b.inport("c", DataType::I32);
+        let cmp_a = b.add("cmp_a", BlockKind::Compare { op: RelOp::Eq, constant: 77.0 });
+        let cmp_c = b.add("cmp_c", BlockKind::Compare { op: RelOp::Gt, constant: 1234.0 });
+        let y0 = b.outport("y0");
+        let y1 = b.outport("y1");
+        b.wire(a, cmp_a);
+        b.wire(c, cmp_c);
+        b.wire(cmp_a, y0);
+        b.wire(cmp_c, y1);
+        let model = b.finish().unwrap();
+        let attr = relevant_constants(&model);
+        assert!(attr[0].contains(&77.0));
+        assert!(!attr[0].contains(&1234.0));
+        assert!(attr[1].contains(&1234.0));
+        assert!(!attr[1].contains(&77.0));
+    }
+
+    #[test]
+    fn taints_flow_through_arithmetic_and_delays() {
+        use cftcg_model::{InputSign, Value};
+        let mut b = ModelBuilder::new("m");
+        let u = b.inport("u", DataType::F64);
+        let sum = b.add("sum", BlockKind::Sum { signs: vec![InputSign::Plus; 2] });
+        let dly = b.add("dly", BlockKind::UnitDelay { initial: Value::F64(0.0) });
+        let cmp = b.add("cmp", BlockKind::Compare { op: RelOp::Ge, constant: 55.0 });
+        let y = b.outport("y");
+        b.connect(u, 0, sum, 0);
+        b.connect(dly, 0, sum, 1);
+        b.connect(sum, 0, dly, 0);
+        b.connect(sum, 0, cmp, 0);
+        b.wire(cmp, y);
+        let model = b.finish().unwrap();
+        let attr = relevant_constants(&model);
+        assert!(attr[0].contains(&55.0), "feedback loop must not hide the taint");
+    }
+
+    #[test]
+    fn suggested_ranges_shrink_oversized_domains() {
+        let model = cftcg_benchmarks::solar_pv::model();
+        let ranges = suggested_input_ranges(&model);
+        // PanelID (inport 2) is an int32, but its constraints only involve
+        // the labels 1..4 — the derived range must be tiny by comparison.
+        let panel_id = ranges[2];
+        assert!(panel_id.min >= -100.0 && panel_id.max <= 100.0, "{panel_id:?}");
+        // Power's constraints span -1000..5000; the hull plus margin stays
+        // within the same order of magnitude.
+        let power = ranges[1];
+        assert!(power.min >= -20_000.0 && power.max <= 20_000.0, "{power:?}");
+        assert!(power.max >= 5_000.0);
+    }
+
+    #[test]
+    fn solar_pv_panel_id_gets_the_case_labels_not_power_thresholds() {
+        let model = cftcg_benchmarks::solar_pv::model();
+        let attr = relevant_constants(&model);
+        // Inports: Enable(0), Power(1), PanelID(2).
+        let panel_id = &attr[2];
+        for label in [1.0, 2.0, 3.0, 4.0] {
+            assert!(panel_id.contains(&label), "PanelID must know label {label}");
+        }
+        let power = &attr[1];
+        assert!(power.contains(&100.0), "Power must know the charging threshold");
+        assert!(power.contains(&4500.0), "Power must know the fault threshold");
+        assert!(
+            !panel_id.contains(&4500.0),
+            "the fault threshold is not in PanelID's cone"
+        );
+    }
+}

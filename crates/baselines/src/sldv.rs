@@ -1,0 +1,549 @@
+//! The SLDV-like baseline: goal-directed **bounded reachability search**.
+//!
+//! Simulink Design Verifier translates the model into a formal description
+//! and solves for inputs reaching each coverage objective, unrolling the
+//! model a bounded number of steps. This reproduction keeps that structure
+//! while staying self-contained:
+//!
+//! 1. **Constraint mining** — every numeric constant that appears in a
+//!    branch condition (compare thresholds, saturation limits, case labels,
+//!    guard literals, lookup breakpoints, ...) is collected, exactly the
+//!    values a solver's decision procedure would pivot on.
+//! 2. **Candidate inputs** — each inport field gets a candidate value set
+//!    built from those constants (and their ±1 neighbours, type extremes,
+//!    0/1), giving a finite solver-style input alphabet.
+//! 3. **Explicit-state bounded search** — breadth-first exploration of the
+//!    reachable state space under that alphabet up to an unrolling depth,
+//!    deduplicating states by their bit patterns. Every newly covered
+//!    branch emits a witness test case (the input prefix reaching it).
+//!
+//! The approach inherits SLDV's profile faithfully: shallow combinational
+//! goals fall in one or two unrollings, while state-rich models blow up the
+//! frontier — the run stops at the state budget ("in the later stages of
+//! SLDV solving, its memory usage exceeded 12 GB") and deep goals beyond
+//! the unrolling depth are simply never reached.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use cftcg_codegen::{CompiledModel, Executor, TestCase};
+use cftcg_coverage::BranchBitmap;
+use cftcg_model::expr::{Expr, Stmt};
+use cftcg_model::{BlockKind, Model, SwitchCriterion, Value};
+
+use crate::Generation;
+
+/// Configuration of the bounded search.
+#[derive(Debug, Clone)]
+pub struct SldvConfig {
+    /// Maximum unrolling depth (model iterations per witness).
+    pub max_depth: usize,
+    /// Maximum distinct states tracked before declaring state-space
+    /// explosion (the memory budget).
+    pub state_budget: usize,
+    /// Maximum candidate tuples per expansion step.
+    pub max_candidates: usize,
+    /// Wall-clock budget.
+    pub budget: Duration,
+}
+
+impl Default for SldvConfig {
+    fn default() -> Self {
+        SldvConfig {
+            max_depth: 8,
+            state_budget: 50_000,
+            max_candidates: 1024,
+            budget: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Runs the bounded-reachability generator against a compiled model.
+///
+/// `model` supplies the structure for constraint mining; `compiled` is the
+/// execution substrate (the search needs snapshot/restore of model state).
+pub fn generate(model: &Model, compiled: &CompiledModel, config: &SldvConfig) -> Generation {
+    let started = Instant::now();
+    let candidates = candidate_tuples(model, compiled, config.max_candidates);
+    let branch_count = compiled.map().branch_count();
+
+    let mut exec = Executor::new(compiled);
+    let mut total = BranchBitmap::new(branch_count);
+    let mut curr = BranchBitmap::new(branch_count);
+
+    // Explored states, deduplicated by bit pattern. Parent links let us
+    // reconstruct the input prefix that reaches any state.
+    let mut states: Vec<Vec<f64>> = vec![compiled_initial_state(&exec)];
+    let mut parents: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX)];
+    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    seen.insert(state_bits(&states[0]));
+
+    let mut generation = Generation::default();
+    let mut frontier: Vec<usize> = vec![0];
+    let mut exploded = false;
+
+    'search: for _depth in 1..=config.max_depth {
+        if frontier.is_empty() || total.count() == branch_count {
+            break;
+        }
+        let mut next_frontier = Vec::new();
+        for &node in &frontier {
+            for (ti, tuple) in candidates.iter().enumerate() {
+                if started.elapsed() >= config.budget {
+                    generation.notes = format!(
+                        "time budget exhausted after {} states",
+                        states.len()
+                    );
+                    break 'search;
+                }
+                exec.set_state(&states[node]);
+                curr.clear();
+                exec.step_tuple(tuple, &mut curr);
+                generation.executions += 1;
+                generation.iterations += 1;
+                let new_branches = curr.merge_into(&mut total);
+                let state = exec.state().to_vec();
+                let bits = state_bits(&state);
+                let state_idx = if seen.contains(&bits) {
+                    None
+                } else if states.len() >= config.state_budget {
+                    exploded = true;
+                    None
+                } else {
+                    seen.insert(bits);
+                    states.push(state.clone());
+                    parents.push((node, ti));
+                    next_frontier.push(states.len() - 1);
+                    Some(states.len() - 1)
+                };
+                if new_branches > 0 {
+                    // Witness: the prefix reaching `node`, plus this tuple.
+                    let mut bytes = prefix_bytes(&parents, &candidates, node);
+                    bytes.extend_from_slice(tuple);
+                    generation.suite.push(TestCase::new(bytes));
+                    generation.case_times.push(started.elapsed());
+                }
+                let _ = state_idx;
+            }
+        }
+        if exploded {
+            generation.notes = format!(
+                "state-space explosion: budget of {} states exhausted \
+                 (≈{} MB solver memory)",
+                config.state_budget,
+                states.len() * states[0].len().max(1) * 8 / (1024 * 1024)
+            );
+            break;
+        }
+        frontier = next_frontier;
+    }
+    if generation.notes.is_empty() {
+        generation.notes = format!(
+            "search complete: {} states, depth ≤ {}",
+            states.len(),
+            config.max_depth
+        );
+    }
+    generation.elapsed = started.elapsed();
+    generation
+}
+
+fn compiled_initial_state(exec: &Executor<'_>) -> Vec<f64> {
+    exec.state().to_vec()
+}
+
+fn state_bits(state: &[f64]) -> Vec<u64> {
+    state.iter().map(|x| x.to_bits()).collect()
+}
+
+fn prefix_bytes(
+    parents: &[(usize, usize)],
+    candidates: &[Vec<u8>],
+    mut node: usize,
+) -> Vec<u8> {
+    let mut tuples_rev = Vec::new();
+    while parents[node].0 != usize::MAX {
+        let (parent, ti) = parents[node];
+        tuples_rev.push(ti);
+        node = parent;
+    }
+    let mut bytes = Vec::new();
+    for &ti in tuples_rev.iter().rev() {
+        bytes.extend_from_slice(&candidates[ti]);
+    }
+    bytes
+}
+
+// ---------------------------------------------------------------------------
+// Constraint mining
+// ---------------------------------------------------------------------------
+
+/// Collects every constant a solver would pivot on from the model's branch
+/// conditions, recursing into subsystems, charts, and function bodies.
+pub fn mine_constants(model: &Model) -> Vec<f64> {
+    let mut out = Vec::new();
+    collect_model(model, &mut out);
+    out.sort_by(f64::total_cmp);
+    out.dedup();
+    out
+}
+
+fn collect_model(model: &Model, out: &mut Vec<f64>) {
+    for block in model.blocks() {
+        match block.kind() {
+            BlockKind::Compare { constant, .. } => out.push(*constant),
+            BlockKind::Saturation { lower, upper } => out.extend([*lower, *upper]),
+            BlockKind::DeadZone { start, end } => out.extend([*start, *end]),
+            BlockKind::Relay { on_threshold, off_threshold, .. } => {
+                out.extend([*on_threshold, *off_threshold]);
+            }
+            BlockKind::Switch { criterion } => match criterion {
+                SwitchCriterion::GreaterEqual(t) | SwitchCriterion::Greater(t) => {
+                    out.push(*t);
+                }
+                SwitchCriterion::NotZero => out.push(0.0),
+            },
+            BlockKind::MultiportSwitch { cases } => {
+                out.extend((1..=*cases).map(|k| k as f64));
+            }
+            BlockKind::SwitchCase { cases, .. } => {
+                for labels in cases {
+                    out.extend(labels.iter().map(|&l| l as f64));
+                }
+            }
+            BlockKind::If { conditions, .. } => {
+                for cond in conditions {
+                    collect_expr(cond, out);
+                }
+            }
+            BlockKind::Lookup1D { breakpoints, .. } => out.extend(breakpoints),
+            BlockKind::Lookup2D { row_breaks, col_breaks, .. } => {
+                out.extend(row_breaks);
+                out.extend(col_breaks);
+            }
+            BlockKind::DiscreteIntegrator { lower, upper, .. } => {
+                out.extend(lower.iter().chain(upper.iter()));
+            }
+            BlockKind::CounterLimited { limit } => out.push(f64::from(*limit)),
+            BlockKind::MatlabFunction { function } => {
+                for stmt in function.body() {
+                    collect_stmt(stmt, out);
+                }
+            }
+            BlockKind::Chart { chart } => {
+                for t in &chart.transitions {
+                    if let Some(guard) = &t.guard {
+                        collect_expr(guard, out);
+                    }
+                    for stmt in &t.action {
+                        collect_stmt(stmt, out);
+                    }
+                }
+                for state in &chart.states {
+                    for stmt in state.entry.iter().chain(&state.during) {
+                        collect_stmt(stmt, out);
+                    }
+                }
+            }
+            other => {
+                if let Some(inner) = other.inner_model() {
+                    collect_model(inner, out);
+                }
+            }
+        }
+    }
+}
+
+fn collect_expr(expr: &Expr, out: &mut Vec<f64>) {
+    match expr {
+        Expr::Literal(v) => out.push(v.as_f64()),
+        Expr::Var(_) => {}
+        Expr::Unary(_, inner) => collect_expr(inner, out),
+        Expr::Binary(_, lhs, rhs) => {
+            collect_expr(lhs, out);
+            collect_expr(rhs, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                collect_expr(a, out);
+            }
+        }
+    }
+}
+
+fn collect_stmt(stmt: &Stmt, out: &mut Vec<f64>) {
+    match stmt {
+        Stmt::Assign(_, value) => collect_expr(value, out),
+        Stmt::If { cond, then_body, else_body } => {
+            collect_expr(cond, out);
+            for s in then_body.iter().chain(else_body) {
+                collect_stmt(s, out);
+            }
+        }
+    }
+}
+
+/// Builds the candidate input alphabet from the cone-of-influence
+/// relevance analysis. Per field, the candidates are the *region
+/// representatives* of its relevant constants — the exact thresholds, the
+/// midpoints between consecutive thresholds, and the just-outside values —
+/// exactly the witnesses an interval-based decision procedure would emit.
+/// Joint assignments come from a cross product over spread-reduced sets;
+/// the remaining cap is used for single-field probes over the full sets.
+fn candidate_tuples(model: &Model, compiled: &CompiledModel, cap: usize) -> Vec<Vec<u8>> {
+    let layout = compiled.layout();
+    if layout.tuple_size() == 0 {
+        return vec![Vec::new()];
+    }
+    let relevant = crate::relevance::relevant_constants(model);
+
+    let mut per_field: Vec<Vec<Value>> = Vec::new();
+    for (fi, field) in layout.fields().iter().enumerate() {
+        let ty = field.dtype;
+        let mut raw: Vec<f64> = vec![0.0, 1.0, -1.0];
+        let mut consts: Vec<f64> = relevant
+            .get(fi)
+            .map(|v| v.iter().copied().filter(|c| c.is_finite()).collect())
+            .unwrap_or_default();
+        consts.sort_by(f64::total_cmp);
+        consts.dedup();
+        // Exact thresholds, just-outside values, and region midpoints.
+        for &c in &consts {
+            raw.extend([c, c + 1.0, c - 1.0]);
+        }
+        for pair in consts.windows(2) {
+            raw.push((pair[0] + pair[1]) / 2.0);
+        }
+        if let (Some(&first), Some(&last)) = (consts.first(), consts.last()) {
+            raw.extend([first - 10.0, last + 10.0]);
+        }
+        // Clamp into the field type, dedupe as typed values, sort. Type
+        // extremes join only at the end so spread-reduction for the joint
+        // cross product keeps the constraint regions, not the far corners.
+        let mut vals: Vec<Value> = Vec::new();
+        raw.sort_by(f64::total_cmp);
+        for x in raw {
+            let v = Value::from_f64(x.clamp(ty.min_f64(), ty.max_f64()), ty);
+            if !vals.contains(&v) {
+                vals.push(v);
+            }
+        }
+        // Cap by even spread so the whole range stays represented.
+        let max_per_field = 32;
+        if vals.len() > max_per_field {
+            vals = (0..max_per_field)
+                .map(|i| vals[i * (vals.len() - 1) / (max_per_field - 1)])
+                .collect();
+        }
+        for x in [ty.min_f64(), ty.max_f64()] {
+            let v = Value::from_f64(x, ty);
+            if !vals.contains(&v) {
+                vals.push(v); // appended: used by single-field probes
+            }
+        }
+        if vals.is_empty() {
+            vals.push(ty.zero());
+        }
+        per_field.push(vals);
+    }
+
+    // Reduced per-field counts for the joint cross product: grow round
+    // robin while the product stays within half the cap.
+    let nf = per_field.len();
+    let mut counts = vec![1usize; nf];
+    loop {
+        let mut grew = false;
+        for f in 0..nf {
+            if counts[f] < per_field[f].len() {
+                let product: usize = counts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| if i == f { c + 1 } else { c })
+                    .product();
+                if product <= (cap / 2).max(1) {
+                    counts[f] += 1;
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Spread-reduce each field to its count.
+    let reduced: Vec<Vec<Value>> = per_field
+        .iter()
+        .zip(&counts)
+        .map(|(vals, &k)| {
+            if vals.len() <= k {
+                vals.clone()
+            } else if k == 1 {
+                vec![vals[0]]
+            } else {
+                (0..k).map(|i| vals[i * (vals.len() - 1) / (k - 1)]).collect()
+            }
+        })
+        .collect();
+    let _ = &counts;
+
+    let mut tuples: Vec<Vec<u8>> = Vec::new();
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut index = vec![0usize; nf];
+    'cross: loop {
+        let tuple: Vec<Value> =
+            index.iter().zip(&reduced).map(|(&i, vals)| vals[i]).collect();
+        let bytes = layout.encode(&tuple);
+        if seen.insert(bytes.clone()) {
+            tuples.push(bytes);
+        }
+        let mut d = 0;
+        loop {
+            index[d] += 1;
+            if index[d] < reduced[d].len() {
+                break;
+            }
+            index[d] = 0;
+            d += 1;
+            if d == nf {
+                break 'cross;
+            }
+        }
+    }
+    // Single-field probes over the full candidate sets.
+    let zero_tuple: Vec<Value> =
+        layout.fields().iter().map(|f| f.dtype.zero()).collect();
+    for (fi, vals) in per_field.iter().enumerate() {
+        for v in vals {
+            let mut tuple = zero_tuple.clone();
+            tuple[fi] = *v;
+            let bytes = layout.encode(&tuple);
+            if seen.insert(bytes.clone()) {
+                tuples.push(bytes);
+            }
+            if tuples.len() >= cap {
+                return tuples;
+            }
+        }
+    }
+    tuples
+}
+
+/// The per-field candidate count and mined-constant count, for diagnostics
+/// and tests.
+pub fn alphabet_size(model: &Model, compiled: &CompiledModel, cap: usize) -> usize {
+    candidate_tuples(model, compiled, cap).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_codegen::{compile, replay_suite};
+    use cftcg_model::expr::parse_expr;
+    use cftcg_model::{DataType, ModelBuilder, RelOp};
+
+    fn compare_model(threshold: f64) -> Model {
+        let mut b = ModelBuilder::new("m");
+        let u = b.inport("u", DataType::I16);
+        let cmp = b.add("cmp", BlockKind::Compare { op: RelOp::Gt, constant: threshold });
+        let y = b.outport("y");
+        b.wire(u, cmp);
+        b.wire(cmp, y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn mines_constants_from_blocks_and_guards() {
+        let mut b = ModelBuilder::new("m");
+        let u = b.inport("u", DataType::F64);
+        let sat = b.add("sat", BlockKind::Saturation { lower: -7.0, upper: 9.0 });
+        let iff = b.add(
+            "if",
+            BlockKind::If {
+                num_inputs: 1,
+                conditions: vec![parse_expr("u1 > 42 && u1 != 13").unwrap()],
+                has_else: false,
+            },
+        );
+        let t = b.add("t", BlockKind::Terminator);
+        let y = b.outport("y");
+        b.wire(u, sat);
+        b.feed(u, iff, 0);
+        b.wire(sat, y);
+        // Action output must go to an action subsystem; simplest: terminator
+        // is invalid, so leave the If's action unconnected instead.
+        let _ = t;
+        let model = b.finish_unchecked();
+        let constants = mine_constants(&model);
+        for expected in [-7.0, 9.0, 42.0, 13.0] {
+            assert!(constants.contains(&expected), "missing {expected}: {constants:?}");
+        }
+    }
+
+    #[test]
+    fn solves_magic_threshold_at_depth_one() {
+        let model = compare_model(12_345.0);
+        let compiled = compile(&model).unwrap();
+        let generation = generate(&model, &compiled, &SldvConfig::default());
+        let report = replay_suite(&compiled, &generation.suite);
+        assert_eq!(
+            report.decision.percent(),
+            100.0,
+            "solver candidates must include the mined threshold: {}",
+            generation.notes
+        );
+    }
+
+    #[test]
+    fn depth_limit_blocks_deep_goals() {
+        // A counter must exceed 20 before the branch flips: deeper than the
+        // unrolling depth of 5.
+        let mut b = ModelBuilder::new("deep");
+        let u = b.inport("u", DataType::U8);
+        let t = b.add("t", BlockKind::Terminator);
+        b.wire(u, t);
+        let cnt = b.add("cnt", BlockKind::CounterLimited { limit: 100 });
+        let cmp = b.add("deep_cmp", BlockKind::Compare { op: RelOp::Ge, constant: 20.0 });
+        let y = b.outport("y");
+        b.wire(cnt, cmp);
+        b.wire(cmp, y);
+        let model = b.finish().unwrap();
+        let compiled = compile(&model).unwrap();
+        let config = SldvConfig { max_depth: 5, ..Default::default() };
+        let generation = generate(&model, &compiled, &config);
+        let report = replay_suite(&compiled, &generation.suite);
+        assert!(
+            report.decision.percent() < 100.0,
+            "goal beyond the unrolling depth must stay uncovered"
+        );
+    }
+
+    #[test]
+    fn state_budget_reports_explosion() {
+        // A model whose state space grows fast: an 8-step delay line over a
+        // wide integer input.
+        let mut b = ModelBuilder::new("wide");
+        let u = b.inport("u", DataType::I32);
+        let d = b.add("d", BlockKind::Delay { steps: 8, initial: Value::I32(0) });
+        let cmp = b.add("cmp", BlockKind::Compare { op: RelOp::Gt, constant: 3.0 });
+        let y = b.outport("y");
+        b.wire(u, d);
+        b.wire(d, cmp);
+        b.wire(cmp, y);
+        let model = b.finish().unwrap();
+        let compiled = compile(&model).unwrap();
+        let config = SldvConfig { state_budget: 100, max_depth: 12, ..Default::default() };
+        let generation = generate(&model, &compiled, &config);
+        assert!(
+            generation.notes.contains("explosion"),
+            "expected state explosion, got: {}",
+            generation.notes
+        );
+    }
+
+    #[test]
+    fn alphabet_is_bounded() {
+        let model = compare_model(5.0);
+        let compiled = compile(&model).unwrap();
+        assert!(alphabet_size(&model, &compiled, 48) <= 48);
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion: fuzzing code generation cost — model validation, schedule
+//! conversion, branch instrumentation, and step-IR synthesis per benchmark
+//! model, plus XML load/save of the largest model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cftcg_codegen::{compile, emit_c};
+use cftcg_model::{load_model, save_model};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codegen");
+    for model in cftcg_benchmarks::all() {
+        group.bench_function(format!("compile/{}", model.name()), |b| {
+            b.iter(|| black_box(compile(black_box(&model)).expect("compiles")));
+        });
+    }
+    group.finish();
+
+    let rac = cftcg_benchmarks::rac::model();
+    let compiled = compile(&rac).expect("compiles");
+    c.bench_function("emit_c/RAC", |b| {
+        b.iter(|| black_box(emit_c(black_box(&compiled))));
+    });
+
+    let xml = save_model(&rac);
+    c.bench_function("xml/save/RAC", |b| b.iter(|| black_box(save_model(black_box(&rac)))));
+    c.bench_function("xml/load/RAC", |b| {
+        b.iter(|| black_box(load_model(black_box(&xml)).expect("loads")));
+    });
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion: throughput of the eight tuple-aware mutation strategies
+//! (paper Table 1) and of the whole generate-one-input path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cftcg_codegen::{compile, TupleLayout};
+use cftcg_fuzz::{FuzzConfig, Fuzzer, MutationKind, Mutator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn solar_layout() -> TupleLayout {
+    compile(&cftcg_benchmarks::solar_pv::model())
+        .expect("solar pv compiles")
+        .layout()
+        .clone()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let layout = solar_layout();
+    let mutator = Mutator::new(layout.clone(), 96);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("mutation");
+    for kind in MutationKind::ALL {
+        let mut data = vec![0u8; layout.tuple_size() * 16];
+        let other = vec![7u8; layout.tuple_size() * 8];
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                mutator.apply(kind, &mut rng, black_box(&mut data), Some(&other));
+                // Keep input size bounded so the benchmark stays stationary.
+                data.truncate(layout.tuple_size() * 32);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fuzz_loop(c: &mut Criterion) {
+    let compiled = compile(&cftcg_benchmarks::solar_pv::model()).expect("compiles");
+    c.bench_function("fuzz_loop/solar_pv_100_execs", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut fuzzer = Fuzzer::new(&compiled, FuzzConfig { seed, ..Default::default() });
+            black_box(fuzzer.run_executions(100))
+        });
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_fuzz_loop);
+criterion_main!(benches);

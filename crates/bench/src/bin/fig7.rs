@@ -1,0 +1,39 @@
+//! Regenerates the paper's **Figure 7**: Decision Coverage (%) versus time
+//! (s) for SLDV, SimCoTest, and CFTCG on each benchmark model, as CSV
+//! series (one stanza per model) plus a coarse ASCII sparkline.
+//!
+//! ```sh
+//! CFTCG_BUDGET_MS=3000 cargo run --release -p cftcg-bench --bin fig7
+//! ```
+
+use cftcg_baselines::coverage_series;
+use cftcg_bench::{run_tool, Tool};
+
+fn main() {
+    let budget = cftcg_bench::budget();
+    let tools = [Tool::Sldv, Tool::SimCoTest, Tool::Cftcg];
+    for (model, compiled) in cftcg_bench::compiled_benchmarks() {
+        let branch_count = compiled.map().branch_count() as f64;
+        println!("# model: {} ({} branches)", model.name(), branch_count);
+        println!("tool,time_s,decision_coverage_pct");
+        let mut finals = Vec::new();
+        for tool in tools {
+            let generation = run_tool(tool, &model, &compiled, budget, 0);
+            let series = coverage_series(&compiled, &generation);
+            for (at, covered) in &series {
+                println!(
+                    "{},{:.3},{:.1}",
+                    tool.name(),
+                    at.as_secs_f64(),
+                    100.0 * *covered as f64 / branch_count
+                );
+            }
+            finals.push((tool, series.last().map_or(0, |&(_, c)| c)));
+        }
+        print!("# finals:");
+        for (tool, covered) in finals {
+            print!(" {}={:.0}%", tool.name(), 100.0 * covered as f64 / branch_count);
+        }
+        println!("\n");
+    }
+}

@@ -1,0 +1,179 @@
+#![warn(missing_docs)]
+
+//! Shared experiment-harness plumbing for the CFTCG evaluation binaries.
+//!
+//! Each binary regenerates one artifact of the paper's Section 4 (see
+//! DESIGN.md's per-experiment index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table2` | Table 2 — benchmark model statistics |
+//! | `table3` | Table 3 — DC/CC/MCDC per tool per model + average improvements |
+//! | `fig7` | Figure 7 — Decision Coverage vs time series per model |
+//! | `fig8` | Figure 8 — CFTCG vs "Fuzz Only" |
+//! | `speed` | §4 text — iterations/s: compiled loop vs simulation; SLDV memory blow-up |
+//! | `ablation` | DESIGN.md A1/A2 — metric-weighted corpus and field-aware mutation |
+//!
+//! Budgets scale with the `CFTCG_BUDGET_MS` environment variable
+//! (wall-clock per tool per model, default 3000) and `CFTCG_REPEATS`
+//! (random-strategy repetitions averaged, default 3, paper: 10).
+
+use std::time::Duration;
+
+use cftcg_baselines::{fuzz_only, simcotest, sldv, Generation};
+use cftcg_codegen::{compile, replay_suite, CompiledModel};
+use cftcg_core::Cftcg;
+use cftcg_coverage::CoverageReport;
+use cftcg_model::Model;
+
+pub mod paper;
+
+/// Wall-clock budget per tool per model, from `CFTCG_BUDGET_MS` (ms).
+pub fn budget() -> Duration {
+    let ms = std::env::var("CFTCG_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000);
+    Duration::from_millis(ms)
+}
+
+/// Number of repetitions for generators with random strategies, from
+/// `CFTCG_REPEATS` (the paper repeats 10×).
+pub fn repeats() -> u64 {
+    std::env::var("CFTCG_REPEATS").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
+}
+
+/// The tools of the Table 3 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    /// The bounded constraint-solving baseline.
+    Sldv,
+    /// The simulation-based meta-heuristic baseline.
+    SimCoTest,
+    /// The paper's tool.
+    Cftcg,
+    /// The Figure 8 ablation.
+    FuzzOnly,
+}
+
+impl Tool {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::Sldv => "SLDV",
+            Tool::SimCoTest => "SimCoTest",
+            Tool::Cftcg => "CFTCG",
+            Tool::FuzzOnly => "Fuzz Only",
+        }
+    }
+}
+
+/// Runs one tool once on one model and returns its generation.
+pub fn run_tool(
+    tool: Tool,
+    model: &Model,
+    compiled: &CompiledModel,
+    budget: Duration,
+    seed: u64,
+) -> Generation {
+    match tool {
+        Tool::Sldv => sldv::generate(
+            model,
+            compiled,
+            &sldv::SldvConfig { budget, ..Default::default() },
+        ),
+        Tool::SimCoTest => simcotest::generate(
+            model,
+            &simcotest::SimCoTestConfig { budget, seed, ..Default::default() },
+        ),
+        Tool::Cftcg => Cftcg::new(model)
+            .expect("benchmark model compiles")
+            .generate(budget, seed),
+        Tool::FuzzOnly => {
+            fuzz_only::generate(compiled, &fuzz_only::FuzzOnlyConfig { budget, seed })
+        }
+    }
+}
+
+/// Average coverage of a tool over `repeats` seeds (deterministic tools run
+/// once). Returns the mean DC/CC/MCDC percentages.
+pub fn averaged_coverage(
+    tool: Tool,
+    model: &Model,
+    compiled: &CompiledModel,
+    budget: Duration,
+    repeats: u64,
+) -> (f64, f64, f64) {
+    let runs = if tool == Tool::Sldv { 1 } else { repeats };
+    let mut acc = (0.0, 0.0, 0.0);
+    for seed in 0..runs {
+        let generation = run_tool(tool, model, compiled, budget, seed);
+        let report = replay_suite(compiled, &generation.suite);
+        acc.0 += report.decision.percent();
+        acc.1 += report.condition.percent();
+        acc.2 += report.mcdc.percent();
+    }
+    let n = runs as f64;
+    (acc.0 / n, acc.1 / n, acc.2 / n)
+}
+
+/// Compiles all benchmark models once, in Table 2 order.
+pub fn compiled_benchmarks() -> Vec<(Model, CompiledModel)> {
+    cftcg_benchmarks::all()
+        .into_iter()
+        .map(|m| {
+            let c = compile(&m).expect("benchmark model compiles");
+            (m, c)
+        })
+        .collect()
+}
+
+/// Scores a suite against a compiled model (the common yardstick).
+pub fn score(compiled: &CompiledModel, generation: &Generation) -> CoverageReport {
+    replay_suite(compiled, &generation.suite)
+}
+
+/// Percentage-point-free relative improvement used by the paper's "Average
+/// Improvement" rows: mean over models of `(ours - theirs) / theirs`,
+/// skipping models where the baseline scored zero.
+pub fn average_improvement(ours: &[f64], theirs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let mut n = 0;
+    for (&a, &b) in ours.iter().zip(theirs) {
+        if b > 0.0 {
+            acc += (a - b) / b;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * acc / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        // ours = 2x theirs -> +100%.
+        assert_eq!(average_improvement(&[80.0], &[40.0]), 100.0);
+        // zero baselines are skipped.
+        assert_eq!(average_improvement(&[80.0, 50.0], &[0.0, 50.0]), 0.0);
+        assert_eq!(average_improvement(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn tool_names() {
+        assert_eq!(Tool::Sldv.name(), "SLDV");
+        assert_eq!(Tool::FuzzOnly.name(), "Fuzz Only");
+    }
+
+    #[test]
+    fn env_defaults() {
+        assert!(budget() >= Duration::from_millis(1));
+        assert!(repeats() >= 1);
+    }
+}

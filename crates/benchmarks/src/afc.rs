@@ -1,0 +1,240 @@
+//! **AFC** — an engine air-fuel control system.
+//!
+//! The smallest Table 2 model (35 branches, 125 blocks): mostly numeric —
+//! a 2-D base fuel map over RPM × throttle, transient enrichment from the
+//! throttle derivative, and a closed-loop O2 trim integrator — with a
+//! handful of mode branches (cold-start open loop, over-speed fuel cut,
+//! lean/rich classification).
+
+use cftcg_model::{
+    BlockKind, DataType, InputSign, LogicOp, Model, ModelBuilder, ProductOp, RelOp, Value,
+};
+
+/// Builds the AFC benchmark model.
+///
+/// Inports: `RPM` (`uint16`), `Throttle` (`uint8`, percent), `O2`
+/// (`int16`, millivolt error around stoichiometric), `CoolantTemp`
+/// (`int8`, °C).
+pub fn model() -> Model {
+    let mut b = ModelBuilder::new("AFC");
+    let rpm = b.inport("RPM", DataType::U16);
+    let throttle = b.inport("Throttle", DataType::U8);
+    let o2 = b.inport("O2", DataType::I16);
+    let temp = b.inport("CoolantTemp", DataType::I8);
+
+    let rpm_f = b.add("rpm_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    let thr_f = b.add("thr_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    let o2_f = b.add("o2_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    let temp_f = b.add("temp_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.feed(rpm, rpm_f, 0);
+    b.feed(throttle, thr_f, 0);
+    b.feed(o2, o2_f, 0);
+    b.feed(temp, temp_f, 0);
+
+    // Base fuel map (injector ms ×100) over RPM × throttle.
+    let base_map = b.add("base_map", BlockKind::Lookup2D {
+        row_breaks: vec![500.0, 1500.0, 3000.0, 5000.0, 7000.0],
+        col_breaks: vec![0.0, 25.0, 50.0, 75.0, 100.0],
+        values: vec![
+            vec![120.0, 180.0, 260.0, 340.0, 400.0],
+            vec![140.0, 220.0, 320.0, 420.0, 500.0],
+            vec![160.0, 260.0, 380.0, 520.0, 640.0],
+            vec![180.0, 300.0, 460.0, 640.0, 800.0],
+            vec![200.0, 340.0, 540.0, 760.0, 960.0],
+        ],
+    });
+    b.feed(rpm_f, base_map, 0);
+    b.feed(thr_f, base_map, 1);
+
+    // Transient enrichment: positive throttle derivative adds fuel.
+    let thr_prev = b.add("thr_prev", BlockKind::UnitDelay { initial: Value::F64(0.0) });
+    b.wire(thr_f, thr_prev);
+    let thr_rate = b.add("thr_rate", BlockKind::Sum {
+        signs: vec![InputSign::Plus, InputSign::Minus],
+    });
+    b.feed(thr_f, thr_rate, 0);
+    b.feed(thr_prev, thr_rate, 1);
+    let pump_zone = b.add("pump_zone", BlockKind::DeadZone { start: -100.0, end: 2.0 });
+    b.wire(thr_rate, pump_zone);
+    let pump_gain = b.add("pump_gain", BlockKind::Gain { gain: 3.0 });
+    b.wire(pump_zone, pump_gain);
+
+    // Closed-loop O2 trim: integrate the error, limited authority.
+    let o2_gain = b.add("o2_gain", BlockKind::Gain { gain: 0.002 });
+    b.wire(o2_f, o2_gain);
+    let trim = b.add(
+        "trim",
+        BlockKind::DiscreteIntegrator {
+            gain: 1.0,
+            initial: 0.0,
+            lower: Some(-40.0),
+            upper: Some(40.0),
+        },
+    );
+    b.wire(o2_gain, trim);
+
+    // Mode logic: closed loop only when warm and not at wide-open throttle.
+    let warm = b.add("warm", BlockKind::Compare { op: RelOp::Ge, constant: 60.0 });
+    b.feed(temp_f, warm, 0);
+    let not_wot = b.add("not_wot", BlockKind::Compare { op: RelOp::Lt, constant: 90.0 });
+    b.feed(thr_f, not_wot, 0);
+    let closed_loop = b.add("closed_loop", BlockKind::Logic { op: LogicOp::And, inputs: 2 });
+    b.feed(warm, closed_loop, 0);
+    b.feed(not_wot, closed_loop, 1);
+    let zero = b.constant("zero", Value::F64(0.0));
+    let trim_sel = b.add("trim_sel", BlockKind::Switch {
+        criterion: cftcg_model::SwitchCriterion::NotZero,
+    });
+    b.feed(trim, trim_sel, 0);
+    b.feed(closed_loop, trim_sel, 1);
+    b.feed(zero, trim_sel, 2);
+
+    // Cold-start enrichment: scales base fuel up below 20 °C.
+    let cold_curve = b.add("cold_curve", BlockKind::Lookup1D {
+        breakpoints: vec![-40.0, 0.0, 20.0, 60.0],
+        values: vec![1.4, 1.25, 1.1, 1.0],
+    });
+    b.feed(temp_f, cold_curve, 0);
+
+    // Total pulse = base × cold + pump + trim, fuel-cut on over-rev.
+    let enriched = b.add("enriched", BlockKind::Product {
+        ops: vec![ProductOp::Mul; 3],
+    });
+    let one = b.constant("one", Value::F64(1.0));
+    b.feed(base_map, enriched, 0);
+    b.feed(cold_curve, enriched, 1);
+    b.feed(one, enriched, 2);
+    let pulse_sum = b.add("pulse_sum", BlockKind::Sum {
+        signs: vec![InputSign::Plus; 3],
+    });
+    b.feed(enriched, pulse_sum, 0);
+    b.feed(pump_gain, pulse_sum, 1);
+    b.feed(trim_sel, pulse_sum, 2);
+    let over_rev = b.add("over_rev", BlockKind::Compare { op: RelOp::Gt, constant: 6500.0 });
+    b.feed(rpm_f, over_rev, 0);
+    let fuel_cut = b.add("fuel_cut", BlockKind::Switch {
+        criterion: cftcg_model::SwitchCriterion::NotZero,
+    });
+    b.feed(zero, fuel_cut, 0);
+    b.feed(over_rev, fuel_cut, 1);
+    b.feed(pulse_sum, fuel_cut, 2);
+    let pulse_sat = b.add("pulse_sat", BlockKind::Saturation { lower: 0.0, upper: 1200.0 });
+    b.wire(fuel_cut, pulse_sat);
+
+    // Mixture classification for diagnostics.
+    let rich = b.add("rich", BlockKind::Compare { op: RelOp::Gt, constant: 100.0 });
+    let lean = b.add("lean", BlockKind::Compare { op: RelOp::Lt, constant: -100.0 });
+    b.feed(o2_f, rich, 0);
+    b.feed(o2_f, lean, 0);
+    let rich_i = b.add("rich_i", BlockKind::DataTypeConversion { to: DataType::I32 });
+    let lean_i = b.add("lean_i", BlockKind::DataTypeConversion { to: DataType::I32 });
+    b.wire(rich, rich_i);
+    b.wire(lean, lean_i);
+    let mix = b.add("mix", BlockKind::Sum {
+        signs: vec![InputSign::Plus, InputSign::Minus],
+    });
+    b.feed(rich_i, mix, 0);
+    b.feed(lean_i, mix, 1);
+
+    // Outputs.
+    let pulse_u16 = b.add("pulse_u16", BlockKind::DataTypeConversion { to: DataType::U16 });
+    b.wire(pulse_sat, pulse_u16);
+    let pulse = b.outport("InjectorPulse");
+    b.wire(pulse_u16, pulse);
+    let cl = b.outport("ClosedLoop");
+    b.wire(closed_loop, cl);
+    let mix_out = b.outport("Mixture");
+    b.feed(mix, mix_out, 0);
+
+    b.finish().expect("AFC validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_codegen::compile;
+    use cftcg_sim::Simulator;
+
+    fn inputs(rpm: u16, thr: u8, o2: i16, temp: i8) -> Vec<Value> {
+        vec![Value::U16(rpm), Value::U8(thr), Value::I16(o2), Value::I8(temp)]
+    }
+
+    #[test]
+    fn more_throttle_means_more_fuel() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        let low = sim.step(&inputs(2000, 10, 0, 80)).unwrap()[0].as_f64();
+        sim.reset();
+        let high = sim.step(&inputs(2000, 80, 0, 80)).unwrap()[0].as_f64();
+        assert!(high > low, "throttle must increase fuel: {high} vs {low}");
+    }
+
+    #[test]
+    fn cold_engine_runs_open_loop_and_rich() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        let out = sim.step(&inputs(2000, 30, 0, -10)).unwrap();
+        assert_eq!(out[1], Value::Bool(false), "cold engine is open loop");
+        let cold_pulse = out[0].as_f64();
+        sim.reset();
+        let warm_pulse = sim.step(&inputs(2000, 30, 0, 80)).unwrap()[0].as_f64();
+        assert!(cold_pulse > warm_pulse, "cold start must enrich");
+    }
+
+    #[test]
+    fn over_rev_cuts_fuel() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        let out = sim.step(&inputs(7000, 50, 0, 80)).unwrap();
+        assert_eq!(out[0], Value::U16(0), "fuel cut above 6500 rpm");
+    }
+
+    #[test]
+    fn o2_trim_integrates_when_closed_loop() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        // Skip the tip-in transient (the accelerator pump fires on the very
+        // first sample because the throttle delay starts at zero).
+        sim.step(&inputs(2000, 30, 500, 80)).unwrap();
+        // Lean error: trim climbs step by step.
+        let first = sim.step(&inputs(2000, 30, 500, 80)).unwrap()[0].as_f64();
+        for _ in 0..20 {
+            sim.step(&inputs(2000, 30, 500, 80)).unwrap();
+        }
+        let later = sim.step(&inputs(2000, 30, 500, 80)).unwrap()[0].as_f64();
+        assert!(later > first, "trim must add fuel under lean error");
+    }
+
+    #[test]
+    fn transient_enrichment_on_tip_in() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        for _ in 0..3 {
+            sim.step(&inputs(2000, 20, 0, 80)).unwrap();
+        }
+        let steady = sim.step(&inputs(2000, 20, 0, 80)).unwrap()[0].as_f64();
+        let tip_in = sim.step(&inputs(2000, 60, 0, 80)).unwrap()[0].as_f64();
+        // Tip-in: base fuel rises AND the accelerator-pump term adds more
+        // than the steady map difference alone.
+        sim.reset();
+        for _ in 0..4 {
+            sim.step(&inputs(2000, 60, 0, 80)).unwrap();
+        }
+        let steady_60 = sim.step(&inputs(2000, 60, 0, 80)).unwrap()[0].as_f64();
+        assert!(tip_in > steady_60, "pump shot: {tip_in} vs steady {steady_60}");
+        assert!(steady_60 > steady);
+    }
+
+    #[test]
+    fn mixture_classification() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        assert_eq!(sim.step(&inputs(2000, 30, 500, 80)).unwrap()[2], Value::I32(1));
+        assert_eq!(sim.step(&inputs(2000, 30, -500, 80)).unwrap()[2], Value::I32(-1));
+        assert_eq!(sim.step(&inputs(2000, 30, 0, 80)).unwrap()[2], Value::I32(0));
+    }
+
+    #[test]
+    fn compiles_as_the_smallest_model() {
+        let compiled = compile(&model()).unwrap();
+        let branches = compiled.map().branch_count();
+        assert!(
+            (20..90).contains(&branches),
+            "branch count {branches} out of expected range"
+        );
+    }
+}

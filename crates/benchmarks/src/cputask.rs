@@ -1,0 +1,295 @@
+//! **CPUTask** — an AutoSAR-style CPU task dispatch system.
+//!
+//! The paper singles this model out: "it has an internal task queue. Some
+//! branches are only triggered when the task queue is fullfilled. This
+//! triggering condition is very stringent" — SLDV drowns in the state
+//! space and SimCoTest cannot simulate enough iterations, while CFTCG fills
+//! the queue in seconds via repeated-tuple mutation.
+//!
+//! Inports: `Cmd` (`uint8`: 1 = submit, 2 = complete, 3 = flush, other =
+//! idle), `TaskID` (`uint8`), `Priority` (`uint8`). The ready queue is a
+//! bounded counter with per-level occupancy branches; the *queue full*
+//! branch (and the overflow drop counter behind it) fires only after eight
+//! uncompleted submissions. A dispatcher chart tracks `Idle / Running /
+//! Preempted` with priority-based preemption.
+
+use cftcg_model::expr::{parse_expr, parse_stmts};
+use cftcg_model::{
+    BlockKind, Chart, DataType, Model, ModelBuilder, RelOp, State, Transition, Value,
+};
+
+use crate::helpers::const_action;
+
+/// Queue capacity; the deep branch needs all eight slots occupied.
+pub const QUEUE_DEPTH: usize = 8;
+
+/// Builds the queue-manager chart: tracks queue length, drops on overflow.
+fn queue_chart() -> Chart {
+    let mut chart = Chart::new();
+    chart.inputs.push(("submit".into(), DataType::Bool));
+    chart.inputs.push(("complete".into(), DataType::Bool));
+    chart.inputs.push(("flush".into(), DataType::Bool));
+    chart.outputs.push(("len".into(), DataType::I32));
+    chart.outputs.push(("dropped".into(), DataType::I32));
+    chart.outputs.push(("overflowed".into(), DataType::Bool));
+    let depth = QUEUE_DEPTH;
+    let normal = chart.add_state(
+        State::new("Normal")
+            .with_entry(parse_stmts("overflowed = false;").unwrap())
+            .with_during(
+                parse_stmts(&format!(
+                    "if (flush) {{ len = 0; }} else {{ \
+                       if (submit && len < {depth}) {{ len = len + 1; }} \
+                       if (complete && len > 0) {{ len = len - 1; }} }}"
+                ))
+                .unwrap(),
+            ),
+    );
+    let full = chart.add_state(
+        State::new("Full")
+            .with_entry(parse_stmts("overflowed = true;").unwrap())
+            .with_during(
+                parse_stmts(
+                    "if (submit) { dropped = dropped + 1; } \
+                     if (complete && len > 0) { len = len - 1; } \
+                     if (flush) { len = 0; }",
+                )
+                .unwrap(),
+            ),
+    );
+    chart.initial = normal;
+    chart.add_transition(Transition::new(
+        normal,
+        full,
+        parse_expr(&format!("len >= {depth} && submit")).unwrap(),
+    ));
+    chart.add_transition(Transition::new(
+        full,
+        normal,
+        parse_expr(&format!("len < {depth}")).unwrap(),
+    ));
+    chart
+}
+
+/// Builds the dispatcher chart: which task runs, with preemption.
+fn dispatcher_chart() -> Chart {
+    let mut chart = Chart::new();
+    chart.inputs.push(("submit".into(), DataType::Bool));
+    chart.inputs.push(("complete".into(), DataType::Bool));
+    chart.inputs.push(("prio".into(), DataType::F64));
+    chart.inputs.push(("task".into(), DataType::F64));
+    chart.inputs.push(("qlen".into(), DataType::I32));
+    chart.outputs.push(("running".into(), DataType::I32));
+    chart.outputs.push(("run_prio".into(), DataType::I32));
+    chart.outputs.push(("preemptions".into(), DataType::I32));
+    let idle = chart.add_state(
+        State::new("Idle").with_entry(parse_stmts("running = 0; run_prio = -1;").unwrap()),
+    );
+    let running = chart.add_state(
+        State::new("Running").with_during(parse_stmts("running = running;").unwrap()),
+    );
+    let preempted = chart.add_state(
+        State::new("Preempted")
+            .with_entry(parse_stmts("preemptions = preemptions + 1;").unwrap()),
+    );
+    chart.initial = idle;
+    chart.add_transition(
+        Transition::new(idle, running, parse_expr("submit || qlen > 0").unwrap())
+            .with_action(parse_stmts("running = task; run_prio = prio;").unwrap()),
+    );
+    chart.add_transition(
+        Transition::new(running, preempted, parse_expr("submit && prio > run_prio").unwrap())
+            .with_action(parse_stmts("running = task; run_prio = prio;").unwrap()),
+    );
+    chart.add_transition(
+        Transition::new(running, idle, parse_expr("complete && qlen <= 1").unwrap()),
+    );
+    chart.add_transition(Transition::new(preempted, running, parse_expr("true").unwrap()));
+    chart
+}
+
+/// Builds the CPUTask benchmark model.
+pub fn model() -> Model {
+    let mut b = ModelBuilder::new("CPUTask");
+    let cmd = b.inport("Cmd", DataType::U8);
+    let task_id = b.inport("TaskID", DataType::U8);
+    let priority = b.inport("Priority", DataType::U8);
+
+    // Command decode (Figure 4(c): SwitchCase + action subsystems).
+    let decode = b.add(
+        "cmd_decode",
+        BlockKind::SwitchCase { cases: vec![vec![1], vec![2], vec![3]], has_default: true },
+    );
+    b.feed(cmd, decode, 0);
+    let names = ["submit_cmd", "complete_cmd", "flush_cmd", "idle_cmd"];
+    let mut pulses = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let v = Value::Bool(i < 3);
+        let act = b.add(*name, const_action(&format!("{name}_m"), v));
+        b.connect(decode, i, act, 0);
+        pulses.push(act);
+    }
+    // One merged "command seen" strobe per class: submit/complete/flush are
+    // separate booleans gated by which action fired this step.
+    let is_submit = b.add("is_submit", BlockKind::Compare { op: RelOp::Eq, constant: 1.0 });
+    let is_complete = b.add("is_complete", BlockKind::Compare { op: RelOp::Eq, constant: 2.0 });
+    let is_flush = b.add("is_flush", BlockKind::Compare { op: RelOp::Eq, constant: 3.0 });
+    for probe in [is_submit, is_complete, is_flush] {
+        b.feed(cmd, probe, 0);
+    }
+    // Keep the decoded strobes observable so the action subsystems are live.
+    let strobe_merge = b.add("strobe_merge", BlockKind::Merge { inputs: 4 });
+    for (i, &p) in pulses.iter().enumerate() {
+        b.connect(p, 0, strobe_merge, i);
+    }
+    let strobe_sink = b.add("strobe_sink", BlockKind::Terminator);
+    b.wire(strobe_merge, strobe_sink);
+
+    // Queue manager.
+    let queue = b.add("queue", BlockKind::Chart { chart: queue_chart() });
+    b.feed(is_submit, queue, 0);
+    b.feed(is_complete, queue, 1);
+    b.feed(is_flush, queue, 2);
+
+    // Per-level occupancy monitors: one decision per queue level, each
+    // deeper level reachable only with more outstanding submissions.
+    let mut level_flags = Vec::new();
+    for level in 1..=QUEUE_DEPTH {
+        let cmp = b.add(
+            format!("level_ge_{level}"),
+            BlockKind::Compare { op: RelOp::Ge, constant: level as f64 },
+        );
+        b.connect(queue, 0, cmp, 0);
+        level_flags.push(cmp);
+    }
+    // Load classification from the level flags.
+    let mut load = b.add("load0", BlockKind::DataTypeConversion { to: DataType::I32 });
+    b.feed(level_flags[0], load, 0);
+    for (i, &flag) in level_flags.iter().enumerate().skip(1) {
+        let as_i = b.add(format!("lvl_i{i}"), BlockKind::DataTypeConversion { to: DataType::I32 });
+        b.feed(flag, as_i, 0);
+        let sum = b.add(
+            format!("load_sum{i}"),
+            BlockKind::Sum { signs: vec![cftcg_model::InputSign::Plus; 2] },
+        );
+        b.feed(load, sum, 0);
+        b.feed(as_i, sum, 1);
+        load = sum;
+    }
+
+    // Dispatcher.
+    let prio_f = b.add("prio_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    let task_f = b.add("task_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.feed(priority, prio_f, 0);
+    b.feed(task_id, task_f, 0);
+    let dispatcher = b.add("dispatcher", BlockKind::Chart { chart: dispatcher_chart() });
+    b.feed(is_submit, dispatcher, 0);
+    b.feed(is_complete, dispatcher, 1);
+    b.feed(prio_f, dispatcher, 2);
+    b.feed(task_f, dispatcher, 3);
+    b.connect(queue, 0, dispatcher, 4);
+
+    // Watchdog: consecutive steps at full load trip a starvation alarm.
+    let full_flag = *level_flags.last().expect("levels exist");
+    let starve_timer = b.add(
+        "starve_timer",
+        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(100.0) },
+    );
+    let full_signed = b.add("full_signed", BlockKind::Switch {
+        criterion: cftcg_model::SwitchCriterion::NotZero,
+    });
+    let one = b.constant("one_c", Value::F64(1.0));
+    let neg = b.constant("neg_c", Value::F64(-4.0));
+    b.feed(one, full_signed, 0);
+    b.feed(full_flag, full_signed, 1);
+    b.feed(neg, full_signed, 2);
+    b.wire(full_signed, starve_timer);
+    let starved = b.add("starved", BlockKind::Compare { op: RelOp::Ge, constant: 6.0 });
+    b.wire(starve_timer, starved);
+
+    // Outputs.
+    let running = b.outport("Running");
+    let qlen = b.outport("QueueLen");
+    let dropped = b.outport("Dropped");
+    let loadc = b.outport("LoadClass");
+    let starve = b.outport("Starved");
+    b.connect(dispatcher, 0, running, 0);
+    b.connect(queue, 0, qlen, 0);
+    b.connect(queue, 1, dropped, 0);
+    b.feed(load, loadc, 0);
+    b.feed(starved, starve, 0);
+
+    b.finish().expect("CPUTask validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_codegen::compile;
+    use cftcg_sim::Simulator;
+
+    fn inputs(cmd: u8, task: u8, prio: u8) -> Vec<Value> {
+        vec![Value::U8(cmd), Value::U8(task), Value::U8(prio)]
+    }
+
+    #[test]
+    fn queue_fills_drops_and_drains() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        // Fill the queue with 8 submissions.
+        for i in 0..8 {
+            let out = sim.step(&inputs(1, i, 5)).unwrap();
+            assert_eq!(out[1], Value::I32(i64::from(i) as i32 + 1), "len after submit {i}");
+        }
+        // Ninth submission: queue full -> enters Full, drop counted next.
+        sim.step(&inputs(1, 9, 5)).unwrap();
+        let out = sim.step(&inputs(1, 10, 5)).unwrap();
+        assert_eq!(out[2], Value::I32(1), "overflow submission must be dropped");
+        // Complete drains.
+        let out = sim.step(&inputs(2, 0, 0)).unwrap();
+        assert_eq!(out[1], Value::I32(7));
+    }
+
+    #[test]
+    fn flush_empties_queue() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        for i in 0..5 {
+            sim.step(&inputs(1, i, 1)).unwrap();
+        }
+        let out = sim.step(&inputs(3, 0, 0)).unwrap();
+        assert_eq!(out[1], Value::I32(0));
+    }
+
+    #[test]
+    fn preemption_by_higher_priority() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(1, 10, 3)).unwrap(); // Idle -> Running(task 10)
+        let out = sim.step(&inputs(1, 20, 9)).unwrap(); // higher prio preempts
+        assert_eq!(out[0], Value::I32(20));
+        // Equal priority does not preempt.
+        let out = sim.step(&inputs(1, 30, 9)).unwrap();
+        assert_eq!(out[0], Value::I32(20));
+    }
+
+    #[test]
+    fn starvation_alarm_needs_sustained_full_queue() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        for i in 0..20 {
+            let out = sim.step(&inputs(1, i, 1)).unwrap();
+            if i < 13 {
+                assert_eq!(out[4], Value::Bool(false), "alarm too early at step {i}");
+            }
+        }
+        let out = sim.step(&inputs(1, 99, 1)).unwrap();
+        assert_eq!(out[4], Value::Bool(true), "sustained full queue must alarm");
+    }
+
+    #[test]
+    fn compiles_with_queue_depth_branches() {
+        let compiled = compile(&model()).unwrap();
+        let branches = compiled.map().branch_count();
+        assert!(
+            (60..250).contains(&branches),
+            "branch count {branches} out of expected range"
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! **EVCS** — an electric vehicle charging system.
+//!
+//! A charge-session chart (`Idle / Authenticate / Precharge / FastCharge /
+//! TrickleCharge / Complete / Error`) gated by plug detection and an
+//! authentication code, with a SoC-dependent current limit (1-D lookup), a
+//! grid-power cap, and a thermal model whose over-temperature interlock
+//! aborts the session.
+
+use cftcg_model::expr::{parse_expr, parse_stmts};
+use cftcg_model::{
+    BlockKind, Chart, DataType, LogicOp, Model, ModelBuilder, MinMaxOp, RelOp, State,
+    Transition, Value,
+};
+
+/// The charge-session chart.
+fn session_chart() -> Chart {
+    let mut chart = Chart::new();
+    chart.inputs.push(("plugged".into(), DataType::Bool));
+    chart.inputs.push(("auth_ok".into(), DataType::Bool));
+    chart.inputs.push(("soc".into(), DataType::F64));
+    chart.inputs.push(("overtemp".into(), DataType::Bool));
+    chart.inputs.push(("grid_ok".into(), DataType::Bool));
+    chart.outputs.push(("mode".into(), DataType::I32));
+    chart.outputs.push(("demand".into(), DataType::F64));
+    chart.outputs.push(("faults".into(), DataType::I32));
+    chart.variables.push(("auth_timer".into(), DataType::I32, Value::I32(0)));
+
+    let idle = chart.add_state(
+        State::new("Idle").with_entry(parse_stmts("mode = 0; demand = 0;").unwrap()),
+    );
+    let auth = chart.add_state(
+        State::new("Authenticate")
+            .with_entry(parse_stmts("mode = 1; auth_timer = 0;").unwrap())
+            .with_during(parse_stmts("auth_timer = auth_timer + 1;").unwrap()),
+    );
+    let precharge = chart.add_state(
+        State::new("Precharge").with_entry(parse_stmts("mode = 2; demand = 10;").unwrap()),
+    );
+    let fast = chart.add_state(
+        State::new("FastCharge")
+            .with_entry(parse_stmts("mode = 3;").unwrap())
+            .with_during(parse_stmts("demand = 100;").unwrap()),
+    );
+    let trickle = chart.add_state(
+        State::new("TrickleCharge")
+            .with_entry(parse_stmts("mode = 4;").unwrap())
+            .with_during(parse_stmts("demand = 15;").unwrap()),
+    );
+    let complete = chart.add_state(
+        State::new("Complete").with_entry(parse_stmts("mode = 5; demand = 0;").unwrap()),
+    );
+    let error = chart.add_state(
+        State::new("Error")
+            .with_entry(parse_stmts("mode = 6; demand = 0; faults = faults + 1;").unwrap()),
+    );
+    chart.initial = idle;
+
+    // Safety escapes are added first: unplugging or overheating beats any
+    // progress transition.
+    for s in [auth, precharge, fast, trickle, complete] {
+        chart.add_transition(Transition::new(s, idle, parse_expr("!plugged").unwrap()));
+    }
+    for s in [precharge, fast, trickle] {
+        chart.add_transition(Transition::new(s, error, parse_expr("overtemp").unwrap()));
+    }
+    chart.add_transition(Transition::new(idle, auth, parse_expr("plugged").unwrap()));
+    chart.add_transition(Transition::new(auth, precharge, parse_expr("auth_ok").unwrap()));
+    chart.add_transition(Transition::new(
+        auth,
+        error,
+        parse_expr("auth_timer > 5 && !auth_ok").unwrap(),
+    ));
+    chart.add_transition(Transition::new(
+        precharge,
+        fast,
+        parse_expr("soc < 80 && grid_ok").unwrap(),
+    ));
+    chart.add_transition(Transition::new(precharge, trickle, parse_expr("soc >= 80").unwrap()));
+    chart.add_transition(Transition::new(fast, trickle, parse_expr("soc >= 80").unwrap()));
+    chart.add_transition(Transition::new(
+        fast,
+        precharge,
+        parse_expr("!grid_ok").unwrap(),
+    ));
+    chart.add_transition(Transition::new(trickle, complete, parse_expr("soc >= 99").unwrap()));
+    chart.add_transition(Transition::new(
+        error,
+        idle,
+        parse_expr("!plugged && !overtemp").unwrap(),
+    ));
+    chart
+}
+
+/// Builds the EVCS benchmark model.
+///
+/// Inports: `PlugIn` (`boolean`), `AuthCode` (`uint16`, codes 4000–4999
+/// authorize), `BatterySoC` (`uint8`, percent), `GridPower` (`int32`,
+/// available kW×10).
+pub fn model() -> Model {
+    let mut b = ModelBuilder::new("EVCS");
+    let plug = b.inport("PlugIn", DataType::Bool);
+    let auth_code = b.inport("AuthCode", DataType::U16);
+    let soc = b.inport("BatterySoC", DataType::U8);
+    let grid = b.inport("GridPower", DataType::I32);
+
+    let code_ge = b.add("code_ge", BlockKind::Compare { op: RelOp::Ge, constant: 4000.0 });
+    let code_lt = b.add("code_lt", BlockKind::Compare { op: RelOp::Lt, constant: 5000.0 });
+    b.feed(auth_code, code_ge, 0);
+    b.feed(auth_code, code_lt, 0);
+    let auth_ok = b.add("auth_ok", BlockKind::Logic { op: LogicOp::And, inputs: 2 });
+    b.feed(code_ge, auth_ok, 0);
+    b.feed(code_lt, auth_ok, 1);
+    let soc_f = b.add("soc_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.feed(soc, soc_f, 0);
+    let grid_ok = b.add("grid_ok", BlockKind::Compare { op: RelOp::Ge, constant: 200.0 });
+    b.feed(grid, grid_ok, 0);
+
+    // Thermal model: temperature integrates (current - cooling), with the
+    // interlock relay giving hysteresis around the trip point.
+    let temp = b.add(
+        "temp",
+        BlockKind::DiscreteIntegrator {
+            gain: 0.02,
+            initial: 0.0,
+            lower: Some(0.0),
+            upper: Some(150.0),
+        },
+    );
+    let overtemp_relay = b.add("overtemp", BlockKind::Relay {
+        on_threshold: 90.0,
+        off_threshold: 60.0,
+        on_output: 1.0,
+        off_output: 0.0,
+    });
+    b.wire(temp, overtemp_relay);
+    let overtemp_bool = b.add("overtemp_bool", BlockKind::DataTypeConversion {
+        to: DataType::Bool,
+    });
+    b.wire(overtemp_relay, overtemp_bool);
+
+    let session = b.add("session", BlockKind::Chart { chart: session_chart() });
+    b.feed(plug, session, 0);
+    b.feed(auth_ok, session, 1);
+    b.feed(soc_f, session, 2);
+    b.feed(overtemp_bool, session, 3);
+    b.feed(grid_ok, session, 4);
+
+    // Current limiting: min(demand, SoC-derate curve, grid cap / 4).
+    let soc_limit = b.add("soc_limit", BlockKind::Lookup1D {
+        breakpoints: vec![0.0, 20.0, 50.0, 80.0, 95.0, 100.0],
+        values: vec![40.0, 100.0, 100.0, 60.0, 20.0, 5.0],
+    });
+    b.feed(soc_f, soc_limit, 0);
+    let grid_f = b.add("grid_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.feed(grid, grid_f, 0);
+    let grid_cap = b.add("grid_cap", BlockKind::Gain { gain: 0.25 });
+    b.wire(grid_f, grid_cap);
+    let grid_cap_sat = b.add("grid_cap_sat", BlockKind::Saturation { lower: 0.0, upper: 120.0 });
+    b.wire(grid_cap, grid_cap_sat);
+    let current = b.add("current", BlockKind::MinMax { op: MinMaxOp::Min, inputs: 3 });
+    b.connect(session, 1, current, 0);
+    b.feed(soc_limit, current, 1);
+    b.feed(grid_cap_sat, current, 2);
+
+    // Thermal feedback: heating proportional to current minus fixed cooling.
+    let heat = b.add("heat", BlockKind::Sum {
+        signs: vec![cftcg_model::InputSign::Plus, cftcg_model::InputSign::Minus],
+    });
+    let cooling = b.constant("cooling", Value::F64(8.0));
+    b.feed(current, heat, 0);
+    b.feed(cooling, heat, 1);
+    b.wire(heat, temp);
+
+    // Energy meter.
+    let meter = b.add(
+        "meter",
+        BlockKind::DiscreteIntegrator { gain: 0.1, initial: 0.0, lower: Some(0.0), upper: Some(1e9) },
+    );
+    b.feed(current, meter, 0);
+
+    // Ready lamp: plugged and not in error and authenticated path healthy.
+    let in_error = b.add("in_error", BlockKind::Compare { op: RelOp::Eq, constant: 6.0 });
+    b.connect(session, 0, in_error, 0);
+    let not_error = b.add("not_error", BlockKind::Logic { op: LogicOp::Not, inputs: 1 });
+    b.feed(in_error, not_error, 0);
+    let ready = b.add("ready", BlockKind::Logic { op: LogicOp::And, inputs: 2 });
+    b.feed(plug, ready, 0);
+    b.feed(not_error, ready, 1);
+
+    // Outputs.
+    let mode = b.outport("Mode");
+    b.connect(session, 0, mode, 0);
+    let amps = b.add("amps_i", BlockKind::DataTypeConversion { to: DataType::I32 });
+    b.feed(current, amps, 0);
+    let current_out = b.outport("CurrentLimit");
+    b.wire(amps, current_out);
+    let energy = b.add("energy_i", BlockKind::DataTypeConversion { to: DataType::I32 });
+    b.wire(meter, energy);
+    let energy_out = b.outport("Energy");
+    b.wire(energy, energy_out);
+    let faults = b.outport("Faults");
+    b.connect(session, 2, faults, 0);
+    let ready_out = b.outport("Ready");
+    b.wire(ready, ready_out);
+
+    b.finish().expect("EVCS validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_codegen::compile;
+    use cftcg_sim::Simulator;
+
+    fn inputs(plug: bool, code: u16, soc: u8, grid: i32) -> Vec<Value> {
+        vec![Value::Bool(plug), Value::U16(code), Value::U8(soc), Value::I32(grid)]
+    }
+
+    fn mode_of(out: &[Value]) -> i32 {
+        match out[0] {
+            Value::I32(m) => m,
+            other => panic!("mode output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_session_reaches_fast_charge() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        assert_eq!(mode_of(&sim.step(&inputs(true, 0, 40, 1000)).unwrap()), 1);
+        assert_eq!(mode_of(&sim.step(&inputs(true, 4242, 40, 1000)).unwrap()), 2);
+        let out = sim.step(&inputs(true, 4242, 40, 1000)).unwrap();
+        assert_eq!(mode_of(&out), 3, "low SoC with grid power must fast-charge");
+        assert!(out[4].is_truthy(), "ready lamp on");
+    }
+
+    #[test]
+    fn bad_auth_times_out_to_error() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(true, 1, 40, 1000)).unwrap(); // -> Authenticate
+        for _ in 0..6 {
+            sim.step(&inputs(true, 1, 40, 1000)).unwrap();
+        }
+        let out = sim.step(&inputs(true, 1, 40, 1000)).unwrap();
+        assert_eq!(mode_of(&out), 6, "failed auth must error out");
+        assert_eq!(out[3], Value::I32(1));
+    }
+
+    #[test]
+    fn high_soc_goes_to_trickle_then_complete() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(true, 4242, 85, 1000)).unwrap();
+        sim.step(&inputs(true, 4242, 85, 1000)).unwrap();
+        let out = sim.step(&inputs(true, 4242, 85, 1000)).unwrap();
+        assert_eq!(mode_of(&out), 4, "high SoC must trickle");
+        let out = sim.step(&inputs(true, 4242, 99, 1000)).unwrap();
+        assert_eq!(mode_of(&out), 5, "full battery completes");
+    }
+
+    #[test]
+    fn sustained_fast_charge_trips_overtemp() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        let mut tripped = false;
+        for _ in 0..300 {
+            let out = sim.step(&inputs(true, 4242, 30, 2000)).unwrap();
+            if mode_of(&out) == 6 {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "sustained 100A charge must overheat eventually");
+    }
+
+    #[test]
+    fn current_respects_grid_cap() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(true, 4242, 30, 250)).unwrap();
+        sim.step(&inputs(true, 4242, 30, 250)).unwrap();
+        let out = sim.step(&inputs(true, 4242, 30, 250)).unwrap();
+        let amps = out[1].as_f64();
+        assert!(amps <= 62.5 + 1.0, "grid cap 250*0.25 must bind, got {amps}");
+    }
+
+    #[test]
+    fn unplug_returns_to_idle() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(true, 4242, 30, 1000)).unwrap();
+        sim.step(&inputs(true, 4242, 30, 1000)).unwrap();
+        let out = sim.step(&inputs(false, 0, 30, 1000)).unwrap();
+        assert_eq!(mode_of(&out), 0);
+    }
+
+    #[test]
+    fn compiles_at_expected_scale() {
+        let compiled = compile(&model()).unwrap();
+        let branches = compiled.map().branch_count();
+        assert!(
+            (50..220).contains(&branches),
+            "branch count {branches} out of expected range"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Shared construction snippets for the benchmark models.
+
+use cftcg_model::{BlockKind, ModelBuilder, Value};
+
+/// An action subsystem that outputs a single constant when its action
+/// fires — the standard body for `SwitchCase`/`If` routing.
+pub fn const_action(name: &str, value: Value) -> BlockKind {
+    let mut b = ModelBuilder::new(name);
+    let c = b.add("value", BlockKind::Constant { value });
+    let y = b.outport("out");
+    b.wire(c, y);
+    BlockKind::ActionSubsystem {
+        model: Box::new(b.finish().expect("const action body validates")),
+    }
+}
+
+/// An action subsystem that forwards its single data input unchanged.
+pub fn passthrough_action(name: &str, dtype: cftcg_model::DataType) -> BlockKind {
+    let mut b = ModelBuilder::new(name);
+    let u = b.inport("u", dtype);
+    let y = b.outport("out");
+    b.wire(u, y);
+    BlockKind::ActionSubsystem {
+        model: Box::new(b.finish().expect("passthrough action body validates")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_model::DataType;
+
+    #[test]
+    fn helper_bodies_validate() {
+        assert!(matches!(
+            const_action("a", Value::F64(1.0)),
+            BlockKind::ActionSubsystem { .. }
+        ));
+        assert!(matches!(
+            passthrough_action("p", DataType::I32),
+            BlockKind::ActionSubsystem { .. }
+        ));
+    }
+}

@@ -1,0 +1,419 @@
+//! **RAC** — a three-joint robotic arm controller, the largest Table 2
+//! model (667 blocks, 179 branches in the paper).
+//!
+//! Three identical joint servo subsystems (dead-zone error shaping,
+//! proportional command with saturation and slew limiting, a position
+//! integrator with travel limits, limit-switch monitors, and a servo-lag
+//! fault relay) are sequenced by a motion coordinator chart
+//! (`Init / Home / Pick / Lift / Move / Place / Retreat / EStop`). The
+//! controller only advances when *all* joints report "at target", so deep
+//! phases require long, coordinated input sequences.
+
+use cftcg_model::expr::{parse_expr, parse_stmts};
+use cftcg_model::{
+    BlockKind, Chart, DataType, InputSign, LogicOp, Model, ModelBuilder, RelOp, State,
+    Transition, Value,
+};
+
+/// Travel limits per joint (degrees).
+const TRAVEL: [(f64, f64); 3] = [(-170.0, 170.0), (-120.0, 120.0), (-90.0, 90.0)];
+
+/// Builds one joint servo subsystem.
+fn joint_model(k: usize) -> Model {
+    let (lo, hi) = TRAVEL[k];
+    let mut b = ModelBuilder::new(format!("Joint{k}"));
+    let target = b.inport("target", DataType::F64);
+    let enable = b.inport("enable", DataType::Bool);
+    let speed = b.inport("speed", DataType::F64);
+
+    // Servo error with a small dead zone.
+    let err = b.add("err", BlockKind::Sum {
+        signs: vec![InputSign::Plus, InputSign::Minus],
+    });
+    let dz = b.add("err_dz", BlockKind::DeadZone { start: -0.5, end: 0.5 });
+    let p_gain = b.add("p_gain", BlockKind::Gain { gain: 0.4 });
+    // Speed-scaled command saturation.
+    let cmd_sat = b.add("cmd_sat", BlockKind::Saturation { lower: -10.0, upper: 10.0 });
+    let speed_scale = b.add("speed_scale", BlockKind::Product {
+        ops: vec![cftcg_model::ProductOp::Mul; 3],
+    });
+    let norm = b.constant("speed_norm", Value::F64(1.0 / 255.0));
+    // Enable gate.
+    let gate = b.add("enable_gate", BlockKind::Switch {
+        criterion: cftcg_model::SwitchCriterion::NotZero,
+    });
+    let zero = b.constant("zero", Value::F64(0.0));
+    // Slew limit and plant.
+    let slew = b.add("slew", BlockKind::RateLimiter { rising: 2.0, falling: 2.0 });
+    let plant = b.add(
+        "position",
+        BlockKind::DiscreteIntegrator { gain: 0.5, initial: 0.0, lower: Some(lo), upper: Some(hi) },
+    );
+
+    b.feed(target, err, 0);
+    b.feed(plant, err, 1);
+    b.wire(err, dz);
+    b.wire(dz, p_gain);
+    b.feed(p_gain, speed_scale, 0);
+    b.feed(speed, speed_scale, 1);
+    b.feed(norm, speed_scale, 2);
+    b.wire(speed_scale, cmd_sat);
+    b.feed(cmd_sat, gate, 0);
+    b.feed(enable, gate, 1);
+    b.feed(zero, gate, 2);
+    b.wire(gate, slew);
+    b.wire(slew, plant);
+
+    // Monitors: at-target, near-limit, servo-lag fault.
+    let abs_err = b.add("abs_err", BlockKind::Abs);
+    b.wire(err, abs_err);
+    let at_target = b.add("at_target_cmp", BlockKind::Compare { op: RelOp::Lt, constant: 1.5 });
+    b.wire(abs_err, at_target);
+    let near_hi = b.add("near_hi", BlockKind::Compare { op: RelOp::Ge, constant: hi - 5.0 });
+    let near_lo = b.add("near_lo", BlockKind::Compare { op: RelOp::Le, constant: lo + 5.0 });
+    b.feed(plant, near_hi, 0);
+    b.feed(plant, near_lo, 0);
+    let near_limit = b.add("near_limit_or", BlockKind::Logic { op: LogicOp::Or, inputs: 2 });
+    b.feed(near_hi, near_limit, 0);
+    b.feed(near_lo, near_limit, 1);
+    // Stall fault: the servo is commanding motion but the position is not
+    // changing (e.g. the joint is jammed against its travel limit) for a
+    // sustained run of steps.
+    let pos_prev = b.add("pos_prev", BlockKind::UnitDelay { initial: Value::F64(0.0) });
+    b.wire(plant, pos_prev);
+    let vel = b.add("vel", BlockKind::Sum {
+        signs: vec![InputSign::Plus, InputSign::Minus],
+    });
+    b.feed(plant, vel, 0);
+    b.feed(pos_prev, vel, 1);
+    let abs_vel = b.add("abs_vel", BlockKind::Abs);
+    b.wire(vel, abs_vel);
+    let frozen = b.add("frozen", BlockKind::Compare { op: RelOp::Lt, constant: 0.05 });
+    b.wire(abs_vel, frozen);
+    let abs_cmd = b.add("abs_cmd", BlockKind::Abs);
+    b.wire(gate, abs_cmd);
+    let pushing = b.add("pushing", BlockKind::Compare { op: RelOp::Gt, constant: 3.0 });
+    b.wire(abs_cmd, pushing);
+    let stalled = b.add("stalled", BlockKind::Logic { op: LogicOp::And, inputs: 2 });
+    b.feed(pushing, stalled, 0);
+    b.feed(frozen, stalled, 1);
+    let stall_sig = b.add("stall_sig", BlockKind::Switch {
+        criterion: cftcg_model::SwitchCriterion::NotZero,
+    });
+    let plus_one = b.constant("plus_one", Value::F64(1.0));
+    let minus_two = b.constant("minus_two", Value::F64(-2.0));
+    b.feed(plus_one, stall_sig, 0);
+    b.feed(stalled, stall_sig, 1);
+    b.feed(minus_two, stall_sig, 2);
+    let stall_timer = b.add(
+        "stall_timer",
+        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(50.0) },
+    );
+    b.wire(stall_sig, stall_timer);
+    let fault_bool = b.add("fault_bool", BlockKind::Compare { op: RelOp::Ge, constant: 25.0 });
+    b.wire(stall_timer, fault_bool);
+
+    let pos = b.outport("pos");
+    let at = b.outport("at_target");
+    let fault = b.outport("fault");
+    let near = b.outport("near_limit");
+    b.wire(plant, pos);
+    b.wire(at_target, at);
+    b.wire(fault_bool, fault);
+    b.wire(near_limit, near);
+    b.finish().expect("joint model validates")
+}
+
+/// Per-phase joint targets: (t1, t2, t3, gripper closed).
+const POSES: [(&str, f64, f64, f64, bool); 6] = [
+    ("Home", 0.0, 0.0, 0.0, false),
+    ("Pick", 90.0, 45.0, -30.0, false),
+    ("Lift", 90.0, 10.0, -30.0, true),
+    ("Move", -90.0, 10.0, 30.0, true),
+    ("Place", -90.0, 45.0, 30.0, true),
+    ("Retreat", -90.0, 10.0, 0.0, false),
+];
+
+/// Builds the motion coordinator chart.
+fn coordinator_chart() -> Chart {
+    let mut chart = Chart::new();
+    chart.inputs.push(("start".into(), DataType::Bool));
+    chart.inputs.push(("all_at".into(), DataType::Bool));
+    chart.inputs.push(("estop".into(), DataType::Bool));
+    chart.inputs.push(("any_fault".into(), DataType::Bool));
+    chart.inputs.push(("reset".into(), DataType::Bool));
+    chart.outputs.push(("t1".into(), DataType::F64));
+    chart.outputs.push(("t2".into(), DataType::F64));
+    chart.outputs.push(("t3".into(), DataType::F64));
+    chart.outputs.push(("grip".into(), DataType::Bool));
+    chart.outputs.push(("phase".into(), DataType::I32));
+    chart.outputs.push(("cycles".into(), DataType::I32));
+    chart.variables.push(("settle".into(), DataType::I32, Value::I32(0)));
+
+    let init = chart.add_state(
+        State::new("Init").with_entry(parse_stmts("phase = 0; grip = false;").unwrap()),
+    );
+    let mut pose_states = Vec::new();
+    for (i, (name, t1, t2, t3, grip)) in POSES.iter().enumerate() {
+        let s = chart.add_state(
+            State::new(*name)
+                .with_entry(
+                    parse_stmts(&format!(
+                        "phase = {}; t1 = {t1}; t2 = {t2}; t3 = {t3}; grip = {grip}; settle = 0;",
+                        i + 1
+                    ))
+                    .unwrap(),
+                )
+                .with_during(
+                    parse_stmts("if (all_at) { settle = settle + 1; } else { settle = 0; }")
+                        .unwrap(),
+                ),
+        );
+        pose_states.push(s);
+    }
+    let estop = chart.add_state(
+        State::new("EStop").with_entry(parse_stmts("phase = 9; grip = false;").unwrap()),
+    );
+    chart.initial = init;
+
+    chart.add_transition(Transition::new(init, pose_states[0], parse_expr("start").unwrap()));
+    // Phase advance needs the arm settled for two consecutive steps.
+    for w in pose_states.windows(2) {
+        chart.add_transition(Transition::new(
+            w[0],
+            w[1],
+            parse_expr("all_at && settle >= 2").unwrap(),
+        ));
+    }
+    // Cycle completion: Retreat back to Pick.
+    chart.add_transition(
+        Transition::new(
+            pose_states[5],
+            pose_states[1],
+            parse_expr("all_at && settle >= 2").unwrap(),
+        )
+        .with_action(parse_stmts("cycles = cycles + 1;").unwrap()),
+    );
+    // Safety: fault or E-stop from any operating state.
+    for &s in std::iter::once(&init).chain(&pose_states) {
+        chart.add_transition(Transition::new(
+            s,
+            estop,
+            parse_expr("estop || any_fault").unwrap(),
+        ));
+    }
+    chart.add_transition(Transition::new(
+        estop,
+        init,
+        parse_expr("reset && !estop && !any_fault").unwrap(),
+    ));
+    chart
+}
+
+/// Builds the RAC benchmark model.
+///
+/// Inports: `Cmd` (`uint8`: 1 = start, 2 = reset), `Speed` (`uint8`),
+/// `EStop` (`boolean`), `ManualNudge` (`int16`, added to joint 1's target
+/// for jog testing).
+pub fn model() -> Model {
+    let mut b = ModelBuilder::new("RAC");
+    let cmd = b.inport("Cmd", DataType::U8);
+    let speed = b.inport("Speed", DataType::U8);
+    let estop = b.inport("EStop", DataType::Bool);
+    let nudge = b.inport("ManualNudge", DataType::I16);
+
+    let start = b.add("start", BlockKind::Compare { op: RelOp::Eq, constant: 1.0 });
+    let reset = b.add("reset", BlockKind::Compare { op: RelOp::Eq, constant: 2.0 });
+    b.feed(cmd, start, 0);
+    b.feed(cmd, reset, 0);
+
+    let coord = b.add("coordinator", BlockKind::Chart { chart: coordinator_chart() });
+    let speed_f = b.add("speed_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.feed(speed, speed_f, 0);
+
+    // Joint 1 target = coordinator target + manual nudge (saturated).
+    let nudge_f = b.add("nudge_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.feed(nudge, nudge_f, 0);
+    let nudge_sat = b.add("nudge_sat", BlockKind::Saturation { lower: -20.0, upper: 20.0 });
+    b.wire(nudge_f, nudge_sat);
+    let t1_sum = b.add("t1_sum", BlockKind::Sum { signs: vec![InputSign::Plus; 2] });
+    b.connect(coord, 0, t1_sum, 0);
+    b.feed(nudge_sat, t1_sum, 1);
+
+    // Enable = not in EStop phase.
+    let in_estop = b.add("in_estop", BlockKind::Compare { op: RelOp::Eq, constant: 9.0 });
+    b.connect(coord, 4, in_estop, 0);
+    let enabled = b.add("enabled", BlockKind::Logic { op: LogicOp::Not, inputs: 1 });
+    b.feed(in_estop, enabled, 0);
+
+    // The three joints.
+    let mut joints = Vec::new();
+    for k in 0..3 {
+        let joint = b.add(
+            format!("joint{}", k + 1),
+            BlockKind::Subsystem { model: Box::new(joint_model(k)) },
+        );
+        match k {
+            0 => b.feed(t1_sum, joint, 0),
+            1 => b.connect(coord, 1, joint, 0),
+            _ => b.connect(coord, 2, joint, 0),
+        }
+        b.feed(enabled, joint, 1);
+        b.feed(speed_f, joint, 2);
+        joints.push(joint);
+    }
+
+    // Aggregated monitors.
+    let all_at = b.add("all_at", BlockKind::Logic { op: LogicOp::And, inputs: 3 });
+    let any_fault = b.add("any_fault", BlockKind::Logic { op: LogicOp::Or, inputs: 3 });
+    let any_limit = b.add("any_limit", BlockKind::Logic { op: LogicOp::Or, inputs: 3 });
+    for (i, &j) in joints.iter().enumerate() {
+        b.connect(j, 1, all_at, i);
+        b.connect(j, 2, any_fault, i);
+        b.connect(j, 3, any_limit, i);
+    }
+    // Break the coordinator <-> joints algebraic loop with unit delays on
+    // the monitor signals, as the real model would.
+    let all_at_d = b.add("all_at_d", BlockKind::UnitDelay { initial: Value::Bool(false) });
+    let any_fault_d = b.add("any_fault_d", BlockKind::UnitDelay { initial: Value::Bool(false) });
+    b.wire(all_at, all_at_d);
+    b.wire(any_fault, any_fault_d);
+    b.feed(start, coord, 0);
+    b.feed(all_at_d, coord, 1);
+    b.feed(estop, coord, 2);
+    b.feed(any_fault_d, coord, 3);
+    b.feed(reset, coord, 4);
+
+    // Gripper cycle counter via edge detection.
+    let grip_edge = b.add("grip_edge", BlockKind::EdgeDetect {
+        kind: cftcg_model::EdgeKind::Rising,
+    });
+    b.connect(coord, 3, grip_edge, 0);
+    let grip_f = b.add("grip_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.wire(grip_edge, grip_f);
+    let grips = b.add(
+        "grips",
+        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(1e6) },
+    );
+    b.wire(grip_f, grips);
+
+    // Outputs.
+    for (k, &j) in joints.iter().enumerate() {
+        let cast = b.add(
+            format!("pos{}_i16", k + 1),
+            BlockKind::DataTypeConversion { to: DataType::I16 },
+        );
+        b.connect(j, 0, cast, 0);
+        let out = b.outport(format!("Pos{}", k + 1));
+        b.wire(cast, out);
+    }
+    let phase = b.outport("Phase");
+    b.connect(coord, 4, phase, 0);
+    let cycles = b.outport("Cycles");
+    b.connect(coord, 5, cycles, 0);
+    let grips_i = b.add("grips_i", BlockKind::DataTypeConversion { to: DataType::I32 });
+    b.wire(grips, grips_i);
+    let grips_out = b.outport("Grips");
+    b.wire(grips_i, grips_out);
+    let limit_out = b.outport("NearLimit");
+    b.wire(any_limit, limit_out);
+
+    b.finish().expect("RAC validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_codegen::compile;
+    use cftcg_sim::Simulator;
+
+    fn inputs(cmd: u8, speed: u8, estop: bool, nudge: i16) -> Vec<Value> {
+        vec![Value::U8(cmd), Value::U8(speed), Value::Bool(estop), Value::I16(nudge)]
+    }
+
+    fn phase_of(out: &[Value]) -> i32 {
+        match out[3] {
+            Value::I32(p) => p,
+            other => panic!("phase output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arm_sequences_through_pick_cycle() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        let mut out = sim.step(&inputs(1, 255, false, 0)).unwrap();
+        assert_eq!(phase_of(&out), 1, "start must enter Home");
+        let mut seen = vec![1];
+        for _ in 0..600 {
+            out = sim.step(&inputs(0, 255, false, 0)).unwrap();
+            let p = phase_of(&out);
+            if seen.last() != Some(&p) {
+                seen.push(p);
+            }
+        }
+        assert!(
+            seen.starts_with(&[1, 2, 3, 4, 5, 6]),
+            "phases must advance in order, saw {seen:?}"
+        );
+    }
+
+    #[test]
+    fn estop_freezes_and_reset_recovers() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(1, 255, false, 0)).unwrap();
+        let out = sim.step(&inputs(0, 255, true, 0)).unwrap();
+        assert_eq!(phase_of(&out), 9, "estop must trip");
+        let p1 = out[0].as_f64();
+        // Position must not move while estopped.
+        let out = sim.step(&inputs(0, 255, true, 0)).unwrap();
+        assert_eq!(out[0].as_f64(), p1);
+        let out = sim.step(&inputs(2, 255, false, 0)).unwrap();
+        assert_eq!(phase_of(&out), 0, "reset must return to Init");
+    }
+
+    #[test]
+    fn zero_speed_never_reaches_target() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(1, 0, false, 0)).unwrap();
+        for _ in 0..100 {
+            let out = sim.step(&inputs(0, 0, false, 0)).unwrap();
+            // Home pose targets 0 and positions start at 0, so Home
+            // completes even at zero speed; Pick (phase 2) can never settle.
+            assert!(phase_of(&out) <= 2);
+        }
+        let mut sim2 = Simulator::new(&model()).unwrap();
+        sim2.step(&inputs(1, 255, false, 0)).unwrap();
+        let mut best = 0;
+        for _ in 0..200 {
+            let out = sim2.step(&inputs(0, 255, false, 0)).unwrap();
+            best = best.max(phase_of(&out));
+        }
+        assert!(best >= 3, "full speed should pass Pick, reached {best}");
+    }
+
+    #[test]
+    fn nudge_is_saturated_into_position() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        // No start command: the coordinator stays in Init (targets 0), so
+        // joint 1 tracks only the saturated nudge.
+        for _ in 0..80 {
+            sim.step(&inputs(0, 255, false, 30_000)).unwrap();
+        }
+        let out = sim.step(&inputs(0, 255, false, 30_000)).unwrap();
+        let p1 = out[0].as_f64();
+        assert!(p1 <= 25.0, "nudge must be clamped to +20, got {p1}");
+        assert!(p1 >= 15.0, "nudge should pull joint 1 up, got {p1}");
+    }
+
+    #[test]
+    fn compiles_at_expected_scale() {
+        let m = model();
+        let compiled = compile(&m).unwrap();
+        let branches = compiled.map().branch_count();
+        assert!(
+            (90..350).contains(&branches),
+            "branch count {branches} out of expected range"
+        );
+        assert!(m.total_block_count() > 100, "RAC should be the largest model");
+    }
+}

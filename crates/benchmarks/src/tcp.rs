@@ -1,0 +1,388 @@
+//! **TCP** — the TCP three-way handshake protocol engine.
+//!
+//! A connection-state chart covering the full RFC 793 lifecycle (`Closed`,
+//! `Listen`, `SynSent`, `SynRcvd`, `Established`, `FinWait1`, `FinWait2`,
+//! `CloseWait`, `Closing`, `LastAck`, `TimeWait`), with sequence-number
+//! matching in the guards (`ack_in == snd_seq + 1`), an RST escape from
+//! every connected state, a retransmission counter, and a TIME-WAIT timer.
+//! The multi-condition guards make this the benchmark with the richest
+//! Condition/MCDC goal set, matching its Table 2 row (146 branches).
+
+use cftcg_model::expr::{parse_expr, parse_stmts};
+use cftcg_model::{
+    BlockKind, Chart, DataType, LogicOp, Model, ModelBuilder, RelOp, State, Transition, Value,
+};
+
+/// Builds the connection chart.
+fn connection_chart() -> Chart {
+    let mut chart = Chart::new();
+    for name in ["syn", "ack", "fin", "rst"] {
+        chart.inputs.push((name.into(), DataType::Bool));
+    }
+    chart.inputs.push(("seq_in".into(), DataType::F64));
+    chart.inputs.push(("ack_in".into(), DataType::F64));
+    chart.inputs.push(("open_cmd".into(), DataType::Bool));
+    chart.inputs.push(("listen_cmd".into(), DataType::Bool));
+    chart.inputs.push(("close_cmd".into(), DataType::Bool));
+    chart.outputs.push(("state_id".into(), DataType::I32));
+    chart.outputs.push(("snd_syn".into(), DataType::Bool));
+    chart.outputs.push(("snd_ack".into(), DataType::Bool));
+    chart.outputs.push(("snd_fin".into(), DataType::Bool));
+    chart.outputs.push(("resets".into(), DataType::I32));
+    chart.variables.push(("snd_seq".into(), DataType::F64, Value::F64(0.0)));
+    chart.variables.push(("rcv_seq".into(), DataType::F64, Value::F64(0.0)));
+    chart.variables.push(("retries".into(), DataType::I32, Value::I32(0)));
+    chart.variables.push(("wait_timer".into(), DataType::I32, Value::I32(0)));
+
+    let mut add_state = |name: &str, id: i32, during: &str| {
+        chart.add_state(
+            State::new(name)
+                .with_entry(
+                    parse_stmts(&format!(
+                        "state_id = {id}; snd_syn = false; snd_ack = false; snd_fin = false;"
+                    ))
+                    .unwrap(),
+                )
+                .with_during(if during.is_empty() {
+                    Vec::new()
+                } else {
+                    parse_stmts(during).unwrap()
+                }),
+        )
+    };
+    let closed = add_state("Closed", 0, "");
+    let listen = add_state("Listen", 1, "");
+    let syn_sent =
+        add_state("SynSent", 2, "snd_syn = true; retries = retries + 1;");
+    let syn_rcvd = add_state("SynRcvd", 3, "snd_syn = true; snd_ack = true;");
+    let established = add_state("Established", 4, "snd_ack = true;");
+    let fin_wait1 = add_state("FinWait1", 5, "snd_fin = true;");
+    let fin_wait2 = add_state("FinWait2", 6, "");
+    let close_wait = add_state("CloseWait", 7, "snd_ack = true;");
+    let closing = add_state("Closing", 8, "");
+    let last_ack = add_state("LastAck", 9, "snd_fin = true;");
+    let time_wait =
+        add_state("TimeWait", 10, "wait_timer = wait_timer + 1;");
+    chart.initial = closed;
+
+    let t = |from, to, guard: &str, action: &str| {
+        let mut tr = Transition::new(from, to, parse_expr(guard).unwrap());
+        if !action.is_empty() {
+            tr = tr.with_action(parse_stmts(action).unwrap());
+        }
+        tr
+    };
+    // Active/passive open.
+    chart.add_transition(t(
+        closed,
+        syn_sent,
+        "open_cmd",
+        "snd_seq = 100; retries = 0;",
+    ));
+    chart.add_transition(t(closed, listen, "listen_cmd && !open_cmd", ""));
+    // Passive handshake.
+    chart.add_transition(t(
+        listen,
+        syn_rcvd,
+        "syn && !rst",
+        "rcv_seq = seq_in; snd_seq = 100;",
+    ));
+    chart.add_transition(t(listen, closed, "close_cmd || rst", ""));
+    chart.add_transition(t(
+        syn_rcvd,
+        established,
+        "ack && !syn && ack_in == snd_seq + 1",
+        "",
+    ));
+    chart.add_transition(t(syn_rcvd, listen, "rst", "resets = resets + 1;"));
+    // Active handshake (simultaneous-open included).
+    chart.add_transition(t(
+        syn_sent,
+        established,
+        "syn && ack && ack_in == snd_seq + 1",
+        "rcv_seq = seq_in;",
+    ));
+    chart.add_transition(t(
+        syn_sent,
+        syn_rcvd,
+        "syn && !ack",
+        "rcv_seq = seq_in;",
+    ));
+    chart.add_transition(t(
+        syn_sent,
+        closed,
+        "rst || close_cmd || retries > 5",
+        "resets = resets + 1;",
+    ));
+    // Teardown, both directions.
+    chart.add_transition(t(established, fin_wait1, "close_cmd", ""));
+    chart.add_transition(t(
+        established,
+        close_wait,
+        "fin && !rst",
+        "rcv_seq = seq_in;",
+    ));
+    chart.add_transition(t(established, closed, "rst", "resets = resets + 1;"));
+    chart.add_transition(t(
+        fin_wait1,
+        closing,
+        "fin && !ack",
+        "",
+    ));
+    chart.add_transition(t(
+        fin_wait1,
+        time_wait,
+        "fin && ack && ack_in == snd_seq + 1",
+        "wait_timer = 0;",
+    ));
+    chart.add_transition(t(
+        fin_wait1,
+        fin_wait2,
+        "ack && ack_in == snd_seq + 1",
+        "",
+    ));
+    chart.add_transition(t(fin_wait1, closed, "rst", "resets = resets + 1;"));
+    chart.add_transition(t(fin_wait2, time_wait, "fin", "wait_timer = 0;"));
+    chart.add_transition(t(fin_wait2, closed, "rst", "resets = resets + 1;"));
+    chart.add_transition(t(close_wait, last_ack, "close_cmd", ""));
+    chart.add_transition(t(close_wait, closed, "rst", "resets = resets + 1;"));
+    chart.add_transition(t(
+        closing,
+        time_wait,
+        "ack && ack_in == snd_seq + 1",
+        "wait_timer = 0;",
+    ));
+    chart.add_transition(t(closing, closed, "rst", "resets = resets + 1;"));
+    chart.add_transition(t(
+        last_ack,
+        closed,
+        "ack && ack_in == snd_seq + 1",
+        "",
+    ));
+    chart.add_transition(t(last_ack, closed, "rst", "resets = resets + 1;"));
+    // 2MSL timer.
+    chart.add_transition(t(time_wait, closed, "wait_timer >= 3", ""));
+    chart
+}
+
+/// Builds the TCP benchmark model.
+///
+/// Inports: `Flags` (`uint8` bitfield: 1 = SYN, 2 = ACK, 4 = FIN, 8 = RST),
+/// `SeqIn` (`uint32`), `AckIn` (`uint32`), `AppCmd` (`uint8`: 1 = open,
+/// 2 = listen, 3 = close).
+pub fn model() -> Model {
+    let mut b = ModelBuilder::new("TCP");
+    let flags = b.inport("Flags", DataType::U8);
+    let seq_in = b.inport("SeqIn", DataType::U32);
+    let ack_in = b.inport("AckIn", DataType::U32);
+    let app_cmd = b.inport("AppCmd", DataType::U8);
+
+    // Flag extraction: bit tests via mod/compare chains (no bit ops in the
+    // block set, like real Simulink models decode bitfields). Work in
+    // double precision so the divide-by-bit keeps its fraction.
+    let flags_f = b.add("flags_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.feed(flags, flags_f, 0);
+    let mut bit = |name: &str, bit_value: f64| {
+        let half = b.add(
+            format!("{name}_scale"),
+            BlockKind::Gain { gain: 1.0 / (2.0 * bit_value) },
+        );
+        let frac = b.add(format!("{name}_frac"), BlockKind::Math {
+            func: cftcg_model::MathFunc::Floor,
+        });
+        let odd = b.add(format!("{name}_odd"), BlockKind::Math {
+            func: cftcg_model::MathFunc::Rem,
+        });
+        let two = b.constant(format!("{name}_two"), Value::F64(2.0));
+        let set = b.add(format!("{name}_set"), BlockKind::Compare {
+            op: RelOp::Ge,
+            constant: 1.0,
+        });
+        // floor(flags / bit) % 2 >= 1
+        let descale = b.add(format!("{name}_descale"), BlockKind::Gain { gain: 2.0 });
+        b.feed(flags_f, half, 0);
+        b.wire(half, descale);
+        b.wire(descale, frac);
+        b.feed(frac, odd, 0);
+        b.feed(two, odd, 1);
+        b.wire(odd, set);
+        set
+    };
+    let syn = bit("syn", 1.0);
+    let ack = bit("ack", 2.0);
+    let fin = bit("fin", 4.0);
+    let rst = bit("rst", 8.0);
+
+    // App command decode.
+    let open_cmd = b.add("open_cmd", BlockKind::Compare { op: RelOp::Eq, constant: 1.0 });
+    let listen_cmd = b.add("listen_cmd", BlockKind::Compare { op: RelOp::Eq, constant: 2.0 });
+    let close_cmd = b.add("close_cmd", BlockKind::Compare { op: RelOp::Eq, constant: 3.0 });
+    for probe in [open_cmd, listen_cmd, close_cmd] {
+        b.feed(app_cmd, probe, 0);
+    }
+
+    let seq_f = b.add("seq_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    let ack_f = b.add("ack_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.feed(seq_in, seq_f, 0);
+    b.feed(ack_in, ack_f, 0);
+
+    let conn = b.add("connection", BlockKind::Chart { chart: connection_chart() });
+    for (port, src) in [
+        syn, ack, fin, rst, seq_f, ack_f, open_cmd, listen_cmd, close_cmd,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        b.connect(src, 0, conn, port);
+    }
+
+    // Segment validity checks (combinational, for condition coverage).
+    let syn_fin = b.add("bad_syn_fin", BlockKind::Logic { op: LogicOp::And, inputs: 2 });
+    b.feed(syn, syn_fin, 0);
+    b.feed(fin, syn_fin, 1);
+    let any_flag = b.add("any_flag", BlockKind::Logic { op: LogicOp::Or, inputs: 4 });
+    for (i, f) in [syn, ack, fin, rst].into_iter().enumerate() {
+        b.feed(f, any_flag, i);
+    }
+    let malformed = b.add("malformed", BlockKind::Logic { op: LogicOp::Or, inputs: 2 });
+    let rst_syn = b.add("rst_with_syn", BlockKind::Logic { op: LogicOp::And, inputs: 2 });
+    b.feed(rst, rst_syn, 0);
+    b.feed(syn, rst_syn, 1);
+    b.feed(syn_fin, malformed, 0);
+    b.feed(rst_syn, malformed, 1);
+    let bad_count = b.add(
+        "bad_count",
+        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(1e6) },
+    );
+    let bad_f = b.add("bad_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.wire(malformed, bad_f);
+    b.wire(bad_f, bad_count);
+
+    // Outputs: connection state, outgoing flag byte, reset count,
+    // malformed-segment count, connection-established strobe.
+    let state = b.outport("State");
+    b.connect(conn, 0, state, 0);
+    let mut flag_byte = |src: cftcg_model::BlockId, port: usize, weight: f64, name: &str| {
+        let cast = b.add(format!("{name}_f"), BlockKind::DataTypeConversion { to: DataType::F64 });
+        b.connect(src, port, cast, 0);
+        let gain = b.add(format!("{name}_w"), BlockKind::Gain { gain: weight });
+        b.wire(cast, gain);
+        gain
+    };
+    let w_syn = flag_byte(conn, 1, 1.0, "osyn");
+    let w_ack = flag_byte(conn, 2, 2.0, "oack");
+    let w_fin = flag_byte(conn, 3, 4.0, "ofin");
+    let flags_sum = b.add(
+        "flags_sum",
+        BlockKind::Sum { signs: vec![cftcg_model::InputSign::Plus; 3] },
+    );
+    b.feed(w_syn, flags_sum, 0);
+    b.feed(w_ack, flags_sum, 1);
+    b.feed(w_fin, flags_sum, 2);
+    let flags_u8 = b.add("flags_u8", BlockKind::DataTypeConversion { to: DataType::U8 });
+    b.wire(flags_sum, flags_u8);
+    let snd_flags = b.outport("SndFlags");
+    b.wire(flags_u8, snd_flags);
+    let resets = b.outport("Resets");
+    b.connect(conn, 4, resets, 0);
+    let bad = b.outport("Malformed");
+    let bad_i = b.add("bad_i", BlockKind::DataTypeConversion { to: DataType::I32 });
+    b.wire(bad_count, bad_i);
+    b.wire(bad_i, bad);
+    let established = b.add("established", BlockKind::Compare { op: RelOp::Eq, constant: 4.0 });
+    b.connect(conn, 0, established, 0);
+    let est = b.outport("Established");
+    b.wire(established, est);
+
+    b.finish().expect("TCP validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_codegen::compile;
+    use cftcg_sim::Simulator;
+
+    const SYN: u8 = 1;
+    const ACK: u8 = 2;
+    const FIN: u8 = 4;
+    const RST: u8 = 8;
+
+    fn inputs(flags: u8, seq: u32, ack: u32, cmd: u8) -> Vec<Value> {
+        vec![Value::U8(flags), Value::U32(seq), Value::U32(ack), Value::U8(cmd)]
+    }
+
+    fn state_of(out: &[Value]) -> i32 {
+        match out[0] {
+            Value::I32(s) => s,
+            other => panic!("state output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn passive_three_way_handshake() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        assert_eq!(state_of(&sim.step(&inputs(0, 0, 0, 2)).unwrap()), 1); // Listen
+        assert_eq!(state_of(&sim.step(&inputs(SYN, 500, 0, 0)).unwrap()), 3); // SynRcvd
+        // ACK with the correct acknowledgement number completes it.
+        let out = sim.step(&inputs(ACK, 501, 101, 0)).unwrap();
+        assert_eq!(state_of(&out), 4); // Established
+        assert_eq!(out[4], Value::Bool(true));
+    }
+
+    #[test]
+    fn wrong_ack_number_stalls_handshake() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(0, 0, 0, 2)).unwrap(); // Listen
+        sim.step(&inputs(SYN, 500, 0, 0)).unwrap(); // SynRcvd (snd_seq = 100)
+        let out = sim.step(&inputs(ACK, 501, 999, 0)).unwrap(); // bad ack
+        assert_eq!(state_of(&out), 3, "must stay in SynRcvd on a bad ack");
+    }
+
+    #[test]
+    fn active_open_and_full_teardown() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        assert_eq!(state_of(&sim.step(&inputs(0, 0, 0, 1)).unwrap()), 2); // SynSent
+        assert_eq!(state_of(&sim.step(&inputs(SYN | ACK, 7, 101, 0)).unwrap()), 4);
+        assert_eq!(state_of(&sim.step(&inputs(0, 0, 0, 3)).unwrap()), 5); // FinWait1
+        assert_eq!(state_of(&sim.step(&inputs(FIN | ACK, 8, 101, 0)).unwrap()), 10); // TimeWait
+        for _ in 0..3 {
+            sim.step(&inputs(0, 0, 0, 0)).unwrap();
+        }
+        let out = sim.step(&inputs(0, 0, 0, 0)).unwrap();
+        assert_eq!(state_of(&out), 0, "2MSL timer must close the connection");
+    }
+
+    #[test]
+    fn rst_aborts_from_established() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(0, 0, 0, 1)).unwrap();
+        sim.step(&inputs(SYN | ACK, 7, 101, 0)).unwrap();
+        let out = sim.step(&inputs(RST, 0, 0, 0)).unwrap();
+        assert_eq!(state_of(&out), 0);
+        assert_eq!(out[2], Value::I32(1), "reset must be counted");
+    }
+
+    #[test]
+    fn malformed_segments_are_counted() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(SYN | FIN, 0, 0, 0)).unwrap();
+        sim.step(&inputs(SYN | RST, 0, 0, 0)).unwrap();
+        // The counter integrator publishes its pre-update state, so the
+        // two malformed segments are visible one step later.
+        let out = sim.step(&inputs(0, 0, 0, 0)).unwrap();
+        assert_eq!(out[3], Value::I32(2));
+    }
+
+    #[test]
+    fn compiles_with_rich_condition_set() {
+        let compiled = compile(&model()).unwrap();
+        let map = compiled.map();
+        assert!(
+            (70..320).contains(&map.branch_count()),
+            "branch count {} out of range",
+            map.branch_count()
+        );
+        assert!(map.condition_count() > 30, "want many MCDC goals");
+    }
+}

@@ -1,0 +1,382 @@
+//! **TWC** — a train wheel speed controller (wheel-slide protection).
+//!
+//! Computes the slip ratio between wheel and reference (train) speed and
+//! escalates through an anti-slip chart (`Normal / SlipWatch / Braking /
+//! Recovery / Emergency`). The paper observed a coverage jump for this
+//! model "at around 41 seconds": the emergency branch requires *sustained*
+//! slip over many consecutive iterations, which random short inputs almost
+//! never produce — exactly the deep-state logic rebuilt here (`slip_timer`
+//! must climb past a threshold while slip persists).
+
+use cftcg_model::expr::{parse_expr, parse_stmts};
+use cftcg_model::{
+    BlockKind, Chart, DataType, Model, ModelBuilder, RelOp, State, Transition, Value,
+};
+
+/// The anti-slip escalation chart.
+fn antislip_chart() -> Chart {
+    let mut chart = Chart::new();
+    chart.inputs.push(("slip".into(), DataType::F64));
+    chart.inputs.push(("brake_req".into(), DataType::F64));
+    chart.outputs.push(("phase".into(), DataType::I32));
+    chart.outputs.push(("brake_scale".into(), DataType::F64));
+    chart.outputs.push(("sander".into(), DataType::Bool));
+    chart.variables.push(("slip_timer".into(), DataType::I32, Value::I32(0)));
+    chart.variables.push(("recover_timer".into(), DataType::I32, Value::I32(0)));
+
+    let normal = chart.add_state(
+        State::new("Normal")
+            .with_entry(
+                parse_stmts("phase = 0; brake_scale = 1; sander = false; slip_timer = 0;")
+                    .unwrap(),
+            )
+            .with_during(parse_stmts("slip_timer = 0;").unwrap()),
+    );
+    let watch = chart.add_state(
+        State::new("SlipWatch")
+            .with_entry(parse_stmts("phase = 1;").unwrap())
+            .with_during(
+                parse_stmts(
+                    "if (slip > 0.1) { slip_timer = slip_timer + 1; } \
+                     else { slip_timer = 0; }",
+                )
+                .unwrap(),
+            ),
+    );
+    let braking = chart.add_state(
+        State::new("Braking")
+            .with_entry(parse_stmts("phase = 2; brake_scale = 0.4;").unwrap())
+            .with_during(
+                parse_stmts(
+                    "if (slip > 0.1) { slip_timer = slip_timer + 1; } \
+                     else { slip_timer = slip_timer - 1; }",
+                )
+                .unwrap(),
+            ),
+    );
+    let recovery = chart.add_state(
+        State::new("Recovery")
+            .with_entry(
+                parse_stmts("phase = 3; brake_scale = 0.7; recover_timer = 0; slip_timer = 0;")
+                    .unwrap(),
+            )
+            .with_during(parse_stmts("recover_timer = recover_timer + 1;").unwrap()),
+    );
+    let emergency = chart.add_state(
+        State::new("Emergency")
+            .with_entry(parse_stmts("phase = 4; brake_scale = 0.2; sander = true;").unwrap()),
+    );
+    chart.initial = normal;
+
+    chart.add_transition(Transition::new(normal, watch, parse_expr("slip > 0.1").unwrap()));
+    chart.add_transition(Transition::new(
+        watch,
+        braking,
+        parse_expr("slip > 0.2 || slip_timer >= 3").unwrap(),
+    ));
+    chart.add_transition(Transition::new(watch, normal, parse_expr("slip < 0.05").unwrap()));
+    // The deep branch: sustained heavy slip while braking.
+    chart.add_transition(Transition::new(
+        braking,
+        emergency,
+        parse_expr("slip > 0.35 && slip_timer >= 12").unwrap(),
+    ));
+    chart.add_transition(Transition::new(
+        braking,
+        recovery,
+        parse_expr("slip < 0.08").unwrap(),
+    ));
+    chart.add_transition(Transition::new(
+        recovery,
+        normal,
+        parse_expr("recover_timer >= 4 && slip < 0.05").unwrap(),
+    ));
+    chart.add_transition(Transition::new(
+        recovery,
+        braking,
+        parse_expr("slip > 0.15").unwrap(),
+    ));
+    chart.add_transition(Transition::new(
+        emergency,
+        recovery,
+        parse_expr("slip < 0.02 && brake_req < 10").unwrap(),
+    ));
+    chart
+}
+
+/// Builds the TWC benchmark model.
+///
+/// Inports: `WheelSpeed` (`uint16`, 0.1 km/h units), `TrainSpeed`
+/// (`uint16`, 0.1 km/h), `BrakeDemand` (`uint8`, percent).
+pub fn model() -> Model {
+    let mut b = ModelBuilder::new("TWC");
+    let wheel = b.inport("WheelSpeed", DataType::U16);
+    let train = b.inport("TrainSpeed", DataType::U16);
+    let demand = b.inport("BrakeDemand", DataType::U8);
+
+    let wheel_f = b.add("wheel_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    let train_f = b.add("train_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.feed(wheel, wheel_f, 0);
+    b.feed(train, train_f, 0);
+
+    // Speed sensor filtering: two-step moving window via unit delays.
+    let wheel_d1 = b.add("wheel_d1", BlockKind::UnitDelay { initial: Value::F64(0.0) });
+    b.wire(wheel_f, wheel_d1);
+    let wheel_avg = b.add("wheel_avg", BlockKind::Sum {
+        signs: vec![cftcg_model::InputSign::Plus; 2],
+    });
+    b.feed(wheel_f, wheel_avg, 0);
+    b.feed(wheel_d1, wheel_avg, 1);
+    let wheel_half = b.add("wheel_half", BlockKind::Gain { gain: 0.5 });
+    b.wire(wheel_avg, wheel_half);
+
+    // Slip ratio (train - wheel) / max(train, 10): sliding wheels lag the
+    // train during braking.
+    let diff = b.add("diff", BlockKind::Sum {
+        signs: vec![cftcg_model::InputSign::Plus, cftcg_model::InputSign::Minus],
+    });
+    b.feed(train_f, diff, 0);
+    b.feed(wheel_half, diff, 1);
+    let floor10 = b.constant("floor10", Value::F64(10.0));
+    let denom = b.add("denom", BlockKind::MinMax {
+        op: cftcg_model::MinMaxOp::Max,
+        inputs: 2,
+    });
+    b.feed(train_f, denom, 0);
+    b.feed(floor10, denom, 1);
+    let ratio = b.add("ratio", BlockKind::Product {
+        ops: vec![cftcg_model::ProductOp::Mul, cftcg_model::ProductOp::Div],
+    });
+    b.feed(diff, ratio, 0);
+    b.feed(denom, ratio, 1);
+    let slip = b.add("slip_sat", BlockKind::Saturation { lower: -1.0, upper: 1.0 });
+    b.wire(ratio, slip);
+
+    let demand_f = b.add("demand_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.feed(demand, demand_f, 0);
+
+    let ctl = b.add("antislip", BlockKind::Chart { chart: antislip_chart() });
+    b.feed(slip, ctl, 0);
+    b.feed(demand_f, ctl, 1);
+
+    // Brake command: demand × chart scale, slew-limited, saturated.
+    let cmd = b.add("brake_cmd", BlockKind::Product {
+        ops: vec![cftcg_model::ProductOp::Mul; 3],
+    });
+    let pct = b.constant("pct", Value::F64(0.01));
+    b.feed(demand_f, cmd, 0);
+    b.connect(ctl, 1, cmd, 1);
+    b.feed(pct, cmd, 2);
+    let cmd_slew = b.add("cmd_slew", BlockKind::RateLimiter { rising: 0.08, falling: 0.2 });
+    b.wire(cmd, cmd_slew);
+    let cmd_sat = b.add("cmd_sat", BlockKind::Saturation { lower: 0.0, upper: 1.0 });
+    b.wire(cmd_slew, cmd_sat);
+
+    // Wheel-flat risk monitor: *repeated* slip episodes (entries into the
+    // Braking phase) within a window indicate a developing wheel flat.
+    // A single long slide — which constant test signals produce — counts
+    // as one episode only; reaching the alarm needs structured slip/grip
+    // cycling.
+    let in_braking = b.add("in_braking", BlockKind::Compare { op: RelOp::Eq, constant: 2.0 });
+    b.connect(ctl, 0, in_braking, 0);
+    let episode_edge = b.add("episode_edge", BlockKind::EdgeDetect {
+        kind: cftcg_model::EdgeKind::Rising,
+    });
+    b.wire(in_braking, episode_edge);
+    let episode_f = b.add("episode_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.wire(episode_edge, episode_f);
+    // Episodes accumulate fast and leak slowly, so only clustered episodes
+    // reach the alarm threshold.
+    let leak_bias = b.constant("leak_bias", Value::F64(-0.02));
+    let episode_sig = b.add("episode_sig", BlockKind::Sum {
+        signs: vec![cftcg_model::InputSign::Plus; 2],
+    });
+    b.feed(episode_f, episode_sig, 0);
+    b.feed(leak_bias, episode_sig, 1);
+    let episodes = b.add(
+        "episodes",
+        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(6.0) },
+    );
+    b.wire(episode_sig, episodes);
+    let flat_risk = b.add("flat_risk", BlockKind::Compare { op: RelOp::Ge, constant: 2.5 });
+    b.wire(episodes, flat_risk);
+
+    // Sanding usage counter.
+    let sand_edge = b.add("sand_edge", BlockKind::EdgeDetect {
+        kind: cftcg_model::EdgeKind::Rising,
+    });
+    b.connect(ctl, 2, sand_edge, 0);
+    let sand_f = b.add("sand_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.wire(sand_edge, sand_f);
+    let sand_count = b.add(
+        "sand_count",
+        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(1e6) },
+    );
+    b.wire(sand_f, sand_count);
+
+    // Outputs.
+    let phase = b.outport("Phase");
+    b.connect(ctl, 0, phase, 0);
+    let brake_pct = b.add("brake_pct", BlockKind::Gain { gain: 100.0 });
+    b.wire(cmd_sat, brake_pct);
+    let brake_u8 = b.add("brake_u8", BlockKind::DataTypeConversion { to: DataType::U8 });
+    b.wire(brake_pct, brake_u8);
+    let brake_out = b.outport("BrakeCmd");
+    b.wire(brake_u8, brake_out);
+    let slip_milli = b.add("slip_milli", BlockKind::Gain { gain: 1000.0 });
+    b.wire(slip, slip_milli);
+    let slip_i = b.add("slip_i", BlockKind::DataTypeConversion { to: DataType::I16 });
+    b.wire(slip_milli, slip_i);
+    let slip_out = b.outport("SlipMilli");
+    b.wire(slip_i, slip_out);
+    let sands_i = b.add("sands_i", BlockKind::DataTypeConversion { to: DataType::I32 });
+    b.wire(sand_count, sands_i);
+    let sands = b.outport("SandUses");
+    b.wire(sands_i, sands);
+    let flat_out = b.outport("WheelFlatRisk");
+    b.wire(flat_risk, flat_out);
+
+    b.finish().expect("TWC validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_codegen::compile;
+    use cftcg_sim::Simulator;
+
+    fn inputs(wheel: u16, train: u16, demand: u8) -> Vec<Value> {
+        vec![Value::U16(wheel), Value::U16(train), Value::U8(demand)]
+    }
+
+    fn phase_of(out: &[Value]) -> i32 {
+        match out[0] {
+            Value::I32(p) => p,
+            other => panic!("phase output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_slip_stays_normal() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        // Let the two-sample speed filter settle (the first sample reads a
+        // spurious 50% slip against the zero-initialized delay).
+        for _ in 0..3 {
+            sim.step(&inputs(1000, 1000, 50)).unwrap();
+        }
+        for _ in 0..20 {
+            let out = sim.step(&inputs(1000, 1000, 50)).unwrap();
+            assert_eq!(phase_of(&out), 0);
+        }
+    }
+
+    #[test]
+    fn slip_escalates_to_braking() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(1000, 1000, 80)).unwrap(); // prime the filter
+        // Wheel locks up: 25% slip.
+        sim.step(&inputs(750, 1000, 80)).unwrap(); // Normal -> SlipWatch
+        let out = sim.step(&inputs(750, 1000, 80)).unwrap(); // slip > 0.2 -> Braking
+        assert_eq!(phase_of(&out), 2);
+    }
+
+    #[test]
+    fn emergency_needs_sustained_heavy_slip() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(1000, 1000, 100)).unwrap();
+        let mut reached_emergency_at = None;
+        for k in 0..40 {
+            let out = sim.step(&inputs(400, 1000, 100)).unwrap(); // 60% slip
+            if phase_of(&out) == 4 {
+                reached_emergency_at = Some(k);
+                break;
+            }
+        }
+        let k = reached_emergency_at.expect("sustained slip must reach Emergency");
+        assert!(k >= 12, "emergency requires >= 12 sustained-slip steps, fired at {k}");
+    }
+
+    #[test]
+    fn brief_slip_never_reaches_emergency() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        for _ in 0..3 {
+            sim.step(&inputs(1000, 1000, 100)).unwrap(); // settle the filter
+        }
+        for cycle in 0..30 {
+            // 5 steps of slip, then grip restored: timer resets via Recovery.
+            for _ in 0..5 {
+                let out = sim.step(&inputs(400, 1000, 100)).unwrap();
+                assert_ne!(phase_of(&out), 4, "cycle {cycle} must not reach Emergency");
+            }
+            for _ in 0..6 {
+                let out = sim.step(&inputs(1000, 1000, 100)).unwrap();
+                assert_ne!(phase_of(&out), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn braking_reduces_brake_command() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        // Reach steady full braking with no slip.
+        for _ in 0..30 {
+            sim.step(&inputs(1000, 1000, 100)).unwrap();
+        }
+        let normal_cmd = sim.step(&inputs(1000, 1000, 100)).unwrap()[1].as_f64();
+        // Now slip: anti-slip must release brake pressure.
+        for _ in 0..30 {
+            sim.step(&inputs(500, 1000, 100)).unwrap();
+        }
+        let slipping_cmd = sim.step(&inputs(500, 1000, 100)).unwrap()[1].as_f64();
+        assert!(
+            slipping_cmd < normal_cmd,
+            "anti-slip must release brakes: {slipping_cmd} vs {normal_cmd}"
+        );
+    }
+
+    #[test]
+    fn wheel_flat_risk_needs_repeated_episodes() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        for _ in 0..3 {
+            sim.step(&inputs(1000, 1000, 100)).unwrap();
+        }
+        // One long continuous slide: a single episode, no flat risk.
+        for _ in 0..40 {
+            let out = sim.step(&inputs(400, 1000, 100)).unwrap();
+            assert_eq!(out[4], Value::Bool(false), "one episode must not alarm");
+        }
+        // Clustered slip/grip cycles: repeated episodes trip the alarm.
+        let mut sim = Simulator::new(&model()).unwrap();
+        for _ in 0..3 {
+            sim.step(&inputs(1000, 1000, 100)).unwrap();
+        }
+        let mut tripped = false;
+        'outer: for _ in 0..8 {
+            for _ in 0..5 {
+                let out = sim.step(&inputs(400, 1000, 100)).unwrap();
+                if out[4].is_truthy() {
+                    tripped = true;
+                    break 'outer;
+                }
+            }
+            for _ in 0..7 {
+                let out = sim.step(&inputs(1000, 1000, 100)).unwrap();
+                if out[4].is_truthy() {
+                    tripped = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(tripped, "clustered slip episodes must raise the flat risk");
+    }
+
+    #[test]
+    fn compiles_at_expected_scale() {
+        let compiled = compile(&model()).unwrap();
+        let branches = compiled.map().branch_count();
+        assert!(
+            (40..180).contains(&branches),
+            "branch count {branches} out of expected range"
+        );
+    }
+}

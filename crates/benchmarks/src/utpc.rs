@@ -1,0 +1,317 @@
+//! **UTPC** — an underwater thruster power controller.
+//!
+//! Power delivery is limited by depth (pressure derating via a 1-D lookup),
+//! battery voltage (browns out below threshold), and cavitation detection
+//! (commanded thrust far above what the water column supports). The mode
+//! chart (`Off / Ramp / Run / Derate / Emergency`) contains the model's
+//! deep branch: *emergency surfacing* requires a leak detected **and**
+//! sustained for several iterations while deeper than 50 m — the paper saw
+//! this model's coverage jump only "at around 917 seconds".
+
+use cftcg_model::expr::{parse_expr, parse_stmts};
+use cftcg_model::{
+    BlockKind, Chart, DataType, LogicOp, Model, ModelBuilder, MinMaxOp, RelOp, State,
+    Transition, Value,
+};
+
+/// The thruster mode chart.
+fn mode_chart() -> Chart {
+    let mut chart = Chart::new();
+    chart.inputs.push(("enable".into(), DataType::Bool));
+    chart.inputs.push(("cmd".into(), DataType::F64));
+    chart.inputs.push(("leak".into(), DataType::Bool));
+    chart.inputs.push(("deep".into(), DataType::Bool));
+    chart.inputs.push(("volt_ok".into(), DataType::Bool));
+    chart.outputs.push(("mode".into(), DataType::I32));
+    chart.outputs.push(("authority".into(), DataType::F64));
+    chart.variables.push(("leak_timer".into(), DataType::I32, Value::I32(0)));
+    chart.variables.push(("ramp".into(), DataType::F64, Value::F64(0.0)));
+
+    let off = chart.add_state(
+        State::new("Off")
+            .with_entry(parse_stmts("mode = 0; authority = 0; ramp = 0;").unwrap())
+            .with_during(parse_stmts("leak_timer = 0;").unwrap()),
+    );
+    let rampup = chart.add_state(
+        State::new("Ramp")
+            .with_entry(parse_stmts("mode = 1;").unwrap())
+            .with_during(
+                parse_stmts("ramp = ramp + 0.1; authority = ramp;").unwrap(),
+            ),
+    );
+    let run = chart.add_state(
+        State::new("Run")
+            .with_entry(parse_stmts("mode = 2; authority = 1;").unwrap())
+            .with_during(
+                parse_stmts(
+                    "if (leak) { leak_timer = leak_timer + 1; } else { leak_timer = 0; }",
+                )
+                .unwrap(),
+            ),
+    );
+    let derate = chart.add_state(
+        State::new("Derate")
+            .with_entry(parse_stmts("mode = 3; authority = 0.5;").unwrap())
+            .with_during(
+                parse_stmts(
+                    "if (leak) { leak_timer = leak_timer + 1; } else { leak_timer = 0; }",
+                )
+                .unwrap(),
+            ),
+    );
+    let emergency = chart.add_state(
+        State::new("Emergency")
+            .with_entry(parse_stmts("mode = 4; authority = 1;").unwrap()),
+    );
+    chart.initial = off;
+
+    chart.add_transition(Transition::new(
+        off,
+        rampup,
+        parse_expr("enable && cmd > 5").unwrap(),
+    ));
+    chart.add_transition(Transition::new(rampup, run, parse_expr("ramp >= 1").unwrap()));
+    chart.add_transition(Transition::new(rampup, off, parse_expr("!enable").unwrap()));
+    chart.add_transition(Transition::new(run, derate, parse_expr("!volt_ok").unwrap()));
+    chart.add_transition(Transition::new(run, off, parse_expr("!enable || cmd < 1").unwrap()));
+    chart.add_transition(Transition::new(derate, run, parse_expr("volt_ok").unwrap()));
+    chart.add_transition(Transition::new(derate, off, parse_expr("!enable").unwrap()));
+    // The deep branch: a leak sustained for 10 iterations while deep.
+    for s in [run, derate] {
+        chart.add_transition(Transition::new(
+            s,
+            emergency,
+            parse_expr("leak && deep && leak_timer >= 10").unwrap(),
+        ));
+    }
+    chart.add_transition(Transition::new(
+        emergency,
+        off,
+        parse_expr("!deep && !leak").unwrap(),
+    ));
+    chart
+}
+
+/// Builds the UTPC benchmark model.
+///
+/// Inports: `ThrustCmd` (`int16`, signed percent ×1), `Depth` (`uint16`,
+/// meters), `BatteryV` (`uint8`, decivolts), `Leak` (`boolean`),
+/// `Enable` (`boolean`).
+pub fn model() -> Model {
+    let mut b = ModelBuilder::new("UTPC");
+    let cmd = b.inport("ThrustCmd", DataType::I16);
+    let depth = b.inport("Depth", DataType::U16);
+    let volts = b.inport("BatteryV", DataType::U8);
+    let leak = b.inport("Leak", DataType::Bool);
+    let enable = b.inport("Enable", DataType::Bool);
+
+    let cmd_f = b.add("cmd_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    let depth_f = b.add("depth_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    let volts_f = b.add("volts_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.feed(cmd, cmd_f, 0);
+    b.feed(depth, depth_f, 0);
+    b.feed(volts, volts_f, 0);
+
+    let cmd_abs = b.add("cmd_abs", BlockKind::Abs);
+    b.wire(cmd_f, cmd_abs);
+    let volt_ok = b.add("volt_ok", BlockKind::Compare { op: RelOp::Ge, constant: 110.0 });
+    b.feed(volts_f, volt_ok, 0);
+    let deep = b.add("deep", BlockKind::Compare { op: RelOp::Ge, constant: 50.0 });
+    b.feed(depth_f, deep, 0);
+
+    let ctl = b.add("mode_ctl", BlockKind::Chart { chart: mode_chart() });
+    b.feed(enable, ctl, 0);
+    b.feed(cmd_abs, ctl, 1);
+    b.feed(leak, ctl, 2);
+    b.feed(deep, ctl, 3);
+    b.feed(volt_ok, ctl, 4);
+
+    // Depth derating map: full power down to 30 m, tapering to 30% at 200 m.
+    let depth_limit = b.add("depth_limit", BlockKind::Lookup1D {
+        breakpoints: vec![0.0, 30.0, 80.0, 150.0, 200.0],
+        values: vec![100.0, 100.0, 70.0, 45.0, 30.0],
+    });
+    b.feed(depth_f, depth_limit, 0);
+
+    // Battery derating: linear with decivolts above brown-out.
+    let volt_margin = b.add("volt_margin", BlockKind::Bias { bias: -100.0 });
+    b.feed(volts_f, volt_margin, 0);
+    let volt_gain = b.add("volt_gain", BlockKind::Gain { gain: 2.0 });
+    b.wire(volt_margin, volt_gain);
+    let volt_limit = b.add("volt_limit", BlockKind::Saturation { lower: 0.0, upper: 100.0 });
+    b.wire(volt_gain, volt_limit);
+
+    // Effective limit = min(depth, battery) × chart authority.
+    let hard_limit = b.add("hard_limit", BlockKind::MinMax { op: MinMaxOp::Min, inputs: 2 });
+    b.feed(depth_limit, hard_limit, 0);
+    b.feed(volt_limit, hard_limit, 1);
+    let effective = b.add("effective", BlockKind::Product {
+        ops: vec![cftcg_model::ProductOp::Mul; 3],
+    });
+    let pct = b.constant("pct", Value::F64(0.01));
+    b.feed(hard_limit, effective, 0);
+    b.connect(ctl, 1, effective, 1);
+    b.feed(pct, effective, 2);
+
+    // Commanded power clipped by the effective limit, slew-limited.
+    let scaled_cmd = b.add("scaled_cmd", BlockKind::Product {
+        ops: vec![cftcg_model::ProductOp::Mul; 2],
+    });
+    b.feed(cmd_f, scaled_cmd, 0);
+    b.feed(effective, scaled_cmd, 1);
+    let out_sat = b.add("out_sat", BlockKind::Saturation { lower: -100.0, upper: 100.0 });
+    b.wire(scaled_cmd, out_sat);
+    let out_slew = b.add("out_slew", BlockKind::RateLimiter { rising: 8.0, falling: 8.0 });
+    b.wire(out_sat, out_slew);
+
+    // Cavitation monitor: high commanded power in shallow water.
+    let shallow = b.add("shallow", BlockKind::Compare { op: RelOp::Lt, constant: 5.0 });
+    b.feed(depth_f, shallow, 0);
+    let hot = b.add("hot", BlockKind::Compare { op: RelOp::Gt, constant: 80.0 });
+    b.feed(cmd_abs, hot, 0);
+    let cavitating = b.add("cavitating", BlockKind::Logic { op: LogicOp::And, inputs: 2 });
+    b.feed(shallow, cavitating, 0);
+    b.feed(hot, cavitating, 1);
+    let cav_f = b.add("cav_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+    b.wire(cavitating, cav_f);
+    let cav_count = b.add(
+        "cav_count",
+        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(1e6) },
+    );
+    b.wire(cav_f, cav_count);
+
+    // Outputs.
+    let mode = b.outport("Mode");
+    b.connect(ctl, 0, mode, 0);
+    let power_i = b.add("power_i", BlockKind::DataTypeConversion { to: DataType::I16 });
+    b.wire(out_slew, power_i);
+    let power = b.outport("Power");
+    b.wire(power_i, power);
+    let cav_i = b.add("cav_i", BlockKind::DataTypeConversion { to: DataType::I32 });
+    b.wire(cav_count, cav_i);
+    let cav = b.outport("CavitationEvents");
+    b.wire(cav_i, cav);
+
+    b.finish().expect("UTPC validates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_codegen::compile;
+    use cftcg_sim::Simulator;
+
+    fn inputs(cmd: i16, depth: u16, volts: u8, leak: bool, enable: bool) -> Vec<Value> {
+        vec![
+            Value::I16(cmd),
+            Value::U16(depth),
+            Value::U8(volts),
+            Value::Bool(leak),
+            Value::Bool(enable),
+        ]
+    }
+
+    fn mode_of(out: &[Value]) -> i32 {
+        match out[0] {
+            Value::I32(m) => m,
+            other => panic!("mode output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ramp_then_run() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        assert_eq!(mode_of(&sim.step(&inputs(50, 10, 130, false, true)).unwrap()), 1);
+        let mut mode = 1;
+        for _ in 0..15 {
+            mode = mode_of(&sim.step(&inputs(50, 10, 130, false, true)).unwrap());
+        }
+        assert_eq!(mode, 2, "ramp must complete into Run");
+    }
+
+    #[test]
+    fn low_battery_derates_and_recovers() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        for _ in 0..15 {
+            sim.step(&inputs(50, 10, 130, false, true)).unwrap();
+        }
+        let out = sim.step(&inputs(50, 10, 90, false, true)).unwrap();
+        assert_eq!(mode_of(&out), 3, "brown-out must derate");
+        let out = sim.step(&inputs(50, 10, 130, false, true)).unwrap();
+        assert_eq!(mode_of(&out), 2);
+    }
+
+    #[test]
+    fn emergency_needs_sustained_leak_at_depth() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        for _ in 0..15 {
+            sim.step(&inputs(50, 100, 130, false, true)).unwrap();
+        }
+        // Leak at depth, but intermittent: never escalates.
+        for _ in 0..8 {
+            let out = sim.step(&inputs(50, 100, 130, true, true)).unwrap();
+            assert_ne!(mode_of(&out), 4);
+        }
+        sim.step(&inputs(50, 100, 130, false, true)).unwrap(); // timer resets
+        // Sustained leak: escalates after 10 consecutive leak iterations.
+        let mut fired_at = None;
+        for k in 0..20 {
+            let out = sim.step(&inputs(50, 100, 130, true, true)).unwrap();
+            if mode_of(&out) == 4 {
+                fired_at = Some(k);
+                break;
+            }
+        }
+        let k = fired_at.expect("sustained leak at depth must trigger Emergency");
+        assert!(k >= 9, "needs ~10 sustained iterations, fired at {k}");
+    }
+
+    #[test]
+    fn leak_in_shallow_water_does_not_surface() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        for _ in 0..15 {
+            sim.step(&inputs(50, 10, 130, false, true)).unwrap();
+        }
+        for _ in 0..25 {
+            let out = sim.step(&inputs(50, 10, 130, true, true)).unwrap();
+            assert_ne!(mode_of(&out), 4, "shallow leak must not trigger Emergency");
+        }
+    }
+
+    #[test]
+    fn depth_derates_power() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        let run = |sim: &mut Simulator, depth: u16| {
+            for _ in 0..60 {
+                sim.step(&inputs(100, depth, 130, false, true)).unwrap();
+            }
+            sim.step(&inputs(100, depth, 130, false, true)).unwrap()[1].as_f64()
+        };
+        let shallow_power = run(&mut sim, 10);
+        sim.reset();
+        let deep_power = run(&mut sim, 200);
+        assert!(
+            deep_power < shallow_power,
+            "depth must derate power: {deep_power} vs {shallow_power}"
+        );
+    }
+
+    #[test]
+    fn cavitation_events_count() {
+        let mut sim = Simulator::new(&model()).unwrap();
+        sim.step(&inputs(90, 2, 130, false, true)).unwrap();
+        sim.step(&inputs(90, 2, 130, false, true)).unwrap();
+        let out = sim.step(&inputs(90, 2, 130, false, true)).unwrap();
+        assert_eq!(out[2], Value::I32(2), "two completed cavitation steps counted");
+    }
+
+    #[test]
+    fn compiles_at_expected_scale() {
+        let compiled = compile(&model()).unwrap();
+        let branches = compiled.map().branch_count();
+        assert!(
+            (50..190).contains(&branches),
+            "branch count {branches} out of expected range"
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! Fuzz-driver data segmentation: the per-iteration tuple layout.
+//!
+//! The paper's fuzz driver (Figure 3) splits the fuzzer's byte stream into
+//! *tuples* — one per model iteration — and `memcpy`s successive fields into
+//! the inport variables. [`TupleLayout`] is the executable form of that
+//! driver: field offsets/sizes/types computed from the model's inports,
+//! plus decode/encode and the CSV exporter the paper uses to hand test
+//! cases to Simulink's coverage tool.
+
+use std::error::Error;
+use std::fmt;
+
+use cftcg_model::{DataType, Model, Value};
+
+/// One inport's slice of the tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldLayout {
+    /// Inport (block) name.
+    pub name: String,
+    /// Field type.
+    pub dtype: DataType,
+    /// Byte offset within the tuple.
+    pub offset: usize,
+}
+
+/// The byte layout of one model iteration's input data.
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use cftcg_codegen::TupleLayout;
+/// use cftcg_model::{DataType, ModelBuilder, Value};
+///
+/// let mut b = ModelBuilder::new("SolarPV");
+/// let en = b.inport("Enable", DataType::I8);
+/// let p = b.inport("Power", DataType::I32);
+/// let id = b.inport("PanelID", DataType::I32);
+/// let y = b.outport("Ret");
+/// let t0 = b.add("t0", cftcg_model::BlockKind::Terminator);
+/// let t1 = b.add("t1", cftcg_model::BlockKind::Terminator);
+/// b.wire(en, y);
+/// b.wire(p, t0);
+/// b.wire(id, t1);
+/// let model = b.finish()?;
+///
+/// let layout = TupleLayout::for_model(&model);
+/// assert_eq!(layout.tuple_size(), 9); // the paper's `dataLen = 9`
+/// assert_eq!(layout.fields()[1].offset, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleLayout {
+    fields: Vec<FieldLayout>,
+    tuple_size: usize,
+}
+
+impl TupleLayout {
+    /// Computes the layout from a model's top-level inports, in port order.
+    pub fn for_model(model: &Model) -> Self {
+        let mut fields = Vec::new();
+        let mut offset = 0;
+        for (id, _, dtype) in model.inports() {
+            fields.push(FieldLayout {
+                name: model.block(id).name().to_string(),
+                dtype,
+                offset,
+            });
+            offset += dtype.size();
+        }
+        TupleLayout { fields, tuple_size: offset }
+    }
+
+    /// The fields, in inport order.
+    pub fn fields(&self) -> &[FieldLayout] {
+        &self.fields
+    }
+
+    /// Bytes per iteration (the paper's `dataLen`).
+    pub fn tuple_size(&self) -> usize {
+        self.tuple_size
+    }
+
+    /// Number of whole tuples in `data`; trailing bytes that cannot fill a
+    /// tuple are discarded, as in the paper's driver loop.
+    pub fn tuple_count(&self, data: &[u8]) -> usize {
+        if self.tuple_size == 0 {
+            0
+        } else {
+            data.len() / self.tuple_size
+        }
+    }
+
+    /// Iterates over the whole tuples in `data`.
+    pub fn split<'a>(&self, data: &'a [u8]) -> impl Iterator<Item = &'a [u8]> + 'a {
+        let size = self.tuple_size.max(1);
+        data.chunks_exact(size)
+    }
+
+    /// Decodes one tuple into inport values (little endian, like the
+    /// driver's `memcpy` on the paper's x86 target).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tuple` is shorter than [`TupleLayout::tuple_size`].
+    pub fn decode(&self, tuple: &[u8]) -> Vec<Value> {
+        self.fields
+            .iter()
+            .map(|f| Value::from_le_bytes(&tuple[f.offset..], f.dtype))
+            .collect()
+    }
+
+    /// Encodes one iteration's values into tuple bytes (inverse of
+    /// [`TupleLayout::decode`] up to `Bool` normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` does not match the field count or types are not
+    /// castable (they always are).
+    pub fn encode(&self, values: &[Value]) -> Vec<u8> {
+        assert_eq!(values.len(), self.fields.len(), "value count mismatch");
+        let mut out = vec![0u8; self.tuple_size];
+        for (f, v) in self.fields.iter().zip(values) {
+            let bytes = v.cast(f.dtype).to_le_bytes();
+            out[f.offset..f.offset + bytes.len()].copy_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Byte range of field `i` within a tuple.
+    pub fn field_range(&self, i: usize) -> std::ops::Range<usize> {
+        let f = &self.fields[i];
+        f.offset..f.offset + f.dtype.size()
+    }
+}
+
+/// One generated test case: the raw byte stream the fuzz driver consumes,
+/// segmented into tuples by a [`TupleLayout`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TestCase {
+    /// Raw bytes (whole tuples; any trailing fragment is ignored at run
+    /// time, mirroring the paper's driver).
+    pub bytes: Vec<u8>,
+}
+
+impl TestCase {
+    /// Wraps raw bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        TestCase { bytes }
+    }
+
+    /// Builds a test case from per-iteration value tuples.
+    pub fn from_tuples(layout: &TupleLayout, tuples: &[Vec<Value>]) -> Self {
+        let mut bytes = Vec::with_capacity(tuples.len() * layout.tuple_size());
+        for t in tuples {
+            bytes.extend_from_slice(&layout.encode(t));
+        }
+        TestCase { bytes }
+    }
+
+    /// Number of model iterations this case drives under `layout`.
+    pub fn iterations(&self, layout: &TupleLayout) -> usize {
+        layout.tuple_count(&self.bytes)
+    }
+}
+
+/// Converts a binary test case into the CSV form used to replay cases in
+/// Simulink ("we implemented a tool to convert binary test case files into
+/// csv supported by Simulink"). One header row of inport names, then one
+/// row per iteration.
+pub fn test_case_to_csv(layout: &TupleLayout, case: &TestCase) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = layout.fields().iter().map(|f| f.name.as_str()).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for tuple in layout.split(&case.bytes) {
+        let values = layout.decode(tuple);
+        let row: Vec<String> = values.iter().map(Value::to_string).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Error produced when CSV test-case text cannot be parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseCsvError {
+    message: String,
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse test-case csv: {}", self.message)
+    }
+}
+
+impl Error for ParseCsvError {}
+
+/// Parses the CSV form back into a binary test case (inverse of
+/// [`test_case_to_csv`]).
+///
+/// # Errors
+///
+/// Returns [`ParseCsvError`] when the header does not match the layout or a
+/// cell is not a literal of the field's type.
+pub fn test_case_from_csv(layout: &TupleLayout, csv: &str) -> Result<TestCase, ParseCsvError> {
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap_or("");
+    let expected: Vec<&str> = layout.fields().iter().map(|f| f.name.as_str()).collect();
+    let found: Vec<&str> = header.split(',').collect();
+    if found != expected {
+        return Err(ParseCsvError {
+            message: format!("header {found:?} does not match inports {expected:?}"),
+        });
+    }
+    let mut tuples = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != layout.fields().len() {
+            return Err(ParseCsvError {
+                message: format!("row {} has {} cells, expected {}", lineno + 2, cells.len(),
+                    layout.fields().len()),
+            });
+        }
+        let mut tuple = Vec::with_capacity(cells.len());
+        for (cell, field) in cells.iter().zip(layout.fields()) {
+            let v = Value::parse_typed(cell.trim(), field.dtype).map_err(|e| ParseCsvError {
+                message: format!("row {}: {e}", lineno + 2),
+            })?;
+            tuple.push(v);
+        }
+        tuples.push(tuple);
+    }
+    Ok(TestCase::from_tuples(layout, &tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_model::{BlockKind, ModelBuilder};
+
+    fn solar_layout() -> TupleLayout {
+        let mut b = ModelBuilder::new("SolarPV");
+        let en = b.inport("Enable", DataType::I8);
+        let p = b.inport("Power", DataType::I32);
+        let id = b.inport("PanelID", DataType::I32);
+        for (i, u) in [en, p, id].into_iter().enumerate() {
+            let t = b.add(format!("t{i}"), BlockKind::Terminator);
+            b.wire(u, t);
+        }
+        TupleLayout::for_model(&b.finish().unwrap())
+    }
+
+    #[test]
+    fn layout_matches_paper_figure_3() {
+        let layout = solar_layout();
+        assert_eq!(layout.tuple_size(), 9);
+        assert_eq!(layout.fields().len(), 3);
+        assert_eq!(layout.fields()[0].offset, 0);
+        assert_eq!(layout.fields()[1].offset, 1);
+        assert_eq!(layout.fields()[2].offset, 5);
+        assert_eq!(layout.field_range(1), 1..5);
+    }
+
+    #[test]
+    fn split_discards_trailing_fragment() {
+        let layout = solar_layout();
+        let data = vec![0u8; 9 * 2 + 5]; // two tuples + fragment
+        assert_eq!(layout.tuple_count(&data), 2);
+        assert_eq!(layout.split(&data).count(), 2);
+    }
+
+    #[test]
+    fn decode_encode_roundtrip() {
+        let layout = solar_layout();
+        let values = vec![Value::I8(-2), Value::I32(100_000), Value::I32(-7)];
+        let bytes = layout.encode(&values);
+        assert_eq!(bytes.len(), 9);
+        assert_eq!(layout.decode(&bytes), values);
+    }
+
+    #[test]
+    fn encode_casts_to_field_types() {
+        let layout = solar_layout();
+        let values = vec![Value::F64(300.0), Value::F64(1.6), Value::I32(1)];
+        let bytes = layout.encode(&values);
+        let decoded = layout.decode(&bytes);
+        assert_eq!(decoded[0], Value::I8(127)); // saturated
+        assert_eq!(decoded[1], Value::I32(2)); // rounded
+    }
+
+    #[test]
+    fn test_case_iterations() {
+        let layout = solar_layout();
+        let case = TestCase::new(vec![0u8; 30]);
+        assert_eq!(case.iterations(&layout), 3);
+        let empty = TestCase::default();
+        assert_eq!(empty.iterations(&layout), 0);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let layout = solar_layout();
+        let tuples = vec![
+            vec![Value::I8(1), Value::I32(500), Value::I32(3)],
+            vec![Value::I8(0), Value::I32(-12), Value::I32(9)],
+        ];
+        let case = TestCase::from_tuples(&layout, &tuples);
+        let csv = test_case_to_csv(&layout, &case);
+        assert!(csv.starts_with("Enable,Power,PanelID\n"));
+        assert!(csv.contains("1,500,3"));
+        let back = test_case_from_csv(&layout, &csv).unwrap();
+        assert_eq!(back, case);
+    }
+
+    #[test]
+    fn csv_rejects_bad_input() {
+        let layout = solar_layout();
+        assert!(test_case_from_csv(&layout, "Wrong,Header,Here\n1,2,3\n").is_err());
+        assert!(test_case_from_csv(&layout, "Enable,Power,PanelID\n1,2\n").is_err());
+        let err = test_case_from_csv(&layout, "Enable,Power,PanelID\n1,x,3\n").unwrap_err();
+        assert!(err.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn zero_inport_model_layout() {
+        let mut b = ModelBuilder::new("none");
+        let c = b.constant("c", 1.0);
+        let y = b.outport("y");
+        b.wire(c, y);
+        let layout = TupleLayout::for_model(&b.finish().unwrap());
+        assert_eq!(layout.tuple_size(), 0);
+        assert_eq!(layout.tuple_count(&[1, 2, 3]), 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Lowering of the embedded expression/statement language (If-block
+//! conditions, MATLAB Function bodies, chart guards and actions) to step-IR,
+//! with mode-(d) instrumentation: every decision gets outcome probes,
+//! condition probes, and an MCDC evaluation record.
+
+use std::collections::HashMap;
+
+use cftcg_model::expr::{BinOp, Expr, Stmt, UnaryOp};
+use cftcg_model::{DataType, Value};
+
+use crate::ir::{BinopCode, FuncCode, Instr, Reg, UnopCode};
+use crate::compile::Ctx;
+
+/// Where a named variable lives during lowering.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Place {
+    /// A register (function inputs/outputs/locals, chart inputs).
+    Reg(Reg),
+    /// A state slot (chart variables and outputs).
+    Slot(usize),
+}
+
+/// A variable binding: its storage plus the type assignments cast to
+/// (`None` = untyped `double`, used by function locals).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Binding {
+    pub place: Place,
+    pub ty: Option<DataType>,
+}
+
+/// The name → binding map for one lowering scope.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Scope {
+    vars: HashMap<String, Binding>,
+}
+
+impl Scope {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn bind_reg(&mut self, name: &str, reg: Reg, ty: Option<DataType>) {
+        self.vars.insert(name.to_string(), Binding { place: Place::Reg(reg), ty });
+    }
+
+    pub fn bind_slot(&mut self, name: &str, slot: usize, ty: DataType) {
+        self.vars.insert(name.to_string(), Binding { place: Place::Slot(slot), ty: Some(ty) });
+    }
+
+    pub fn get(&self, name: &str) -> Option<Binding> {
+        self.vars.get(name).copied()
+    }
+}
+
+/// Lowers a *numeric* expression; the result register holds its value
+/// (booleans as 0/1). No coverage probes are emitted — decisions use
+/// [`lower_decision`].
+pub(crate) fn lower_expr(
+    ctx: &mut Ctx,
+    body: &mut Vec<Instr>,
+    scope: &Scope,
+    expr: &Expr,
+) -> Reg {
+    match expr {
+        Expr::Literal(v) => {
+            let dst = ctx.reg();
+            let value = match v {
+                Value::Bool(b) => f64::from(*b),
+                other => other.as_f64(),
+            };
+            body.push(Instr::Const { dst, value });
+            dst
+        }
+        Expr::Var(name) => {
+            let binding = scope
+                .get(name)
+                .unwrap_or_else(|| panic!("validated model references unknown var `{name}`"));
+            match binding.place {
+                Place::Reg(r) => r,
+                Place::Slot(slot) => {
+                    let dst = ctx.reg();
+                    body.push(Instr::LoadState { dst, slot });
+                    dst
+                }
+            }
+        }
+        Expr::Unary(op, inner) => {
+            let src = lower_expr(ctx, body, scope, inner);
+            let dst = ctx.reg();
+            let op = match op {
+                UnaryOp::Neg => UnopCode::Neg,
+                UnaryOp::Not => UnopCode::Not,
+            };
+            body.push(Instr::Unop { dst, op, src });
+            dst
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let l = lower_expr(ctx, body, scope, lhs);
+            let r = lower_expr(ctx, body, scope, rhs);
+            let dst = ctx.reg();
+            let code = match op {
+                BinOp::Add => BinopCode::Add,
+                BinOp::Sub => BinopCode::Sub,
+                BinOp::Mul => BinopCode::Mul,
+                BinOp::Div => BinopCode::Div,
+                BinOp::Rem => BinopCode::Rem,
+                BinOp::Lt => BinopCode::Lt,
+                BinOp::Le => BinopCode::Le,
+                BinOp::Gt => BinopCode::Gt,
+                BinOp::Ge => BinopCode::Ge,
+                BinOp::Eq => BinopCode::Eq,
+                BinOp::Ne => BinopCode::Ne,
+                BinOp::And => BinopCode::And,
+                BinOp::Or => BinopCode::Or,
+            };
+            body.push(Instr::Binop { dst, op: code, lhs: l, rhs: r });
+            dst
+        }
+        Expr::Call(name, args) => {
+            let arg_regs: Vec<Reg> =
+                args.iter().map(|a| lower_expr(ctx, body, scope, a)).collect();
+            let func = FuncCode::from_builtin_name(name)
+                .unwrap_or_else(|| panic!("validated model calls unknown function `{name}`"));
+            let dst = ctx.reg();
+            body.push(Instr::Call { dst, func, args: arg_regs });
+            dst
+        }
+    }
+}
+
+/// Lowers a *decision* expression with full instrumentation: leaf conditions
+/// get [`Instr::CondProbe`]s and map entries, the decision gets an MCDC
+/// [`Instr::DecisionEval`], and both outcomes get branch [`Instr::Probe`]s.
+///
+/// Returns the 0/1 outcome register.
+pub(crate) fn lower_decision(
+    ctx: &mut Ctx,
+    body: &mut Vec<Instr>,
+    scope: &Scope,
+    expr: &Expr,
+    label: &str,
+) -> Reg {
+    let decision = ctx.map.begin_decision(label);
+    let mut cond_regs = Vec::new();
+    let outcome =
+        lower_condition_tree(ctx, body, scope, expr, decision, label, &mut cond_regs);
+    body.push(Instr::DecisionEval { decision, conds: cond_regs, outcome });
+    let t = ctx.map.add_outcome(decision, format!("{label}: true"));
+    let f = ctx.map.add_outcome(decision, format!("{label}: false"));
+    body.push(Instr::If {
+        cond: outcome,
+        then_body: vec![Instr::Probe { branch: t }],
+        else_body: vec![Instr::Probe { branch: f }],
+    });
+    outcome
+}
+
+/// Recursively lowers the boolean structure of a decision: `&&`/`||`/`!`
+/// combine sub-results; any other node is a *leaf condition*.
+fn lower_condition_tree(
+    ctx: &mut Ctx,
+    body: &mut Vec<Instr>,
+    scope: &Scope,
+    expr: &Expr,
+    decision: cftcg_coverage::DecisionId,
+    label: &str,
+    cond_regs: &mut Vec<Reg>,
+) -> Reg {
+    match expr {
+        Expr::Binary(op @ (BinOp::And | BinOp::Or), lhs, rhs) => {
+            let l = lower_condition_tree(ctx, body, scope, lhs, decision, label, cond_regs);
+            let r = lower_condition_tree(ctx, body, scope, rhs, decision, label, cond_regs);
+            let dst = ctx.reg();
+            let code = if *op == BinOp::And { BinopCode::And } else { BinopCode::Or };
+            body.push(Instr::Binop { dst, op: code, lhs: l, rhs: r });
+            dst
+        }
+        Expr::Unary(UnaryOp::Not, inner) => {
+            let src = lower_condition_tree(ctx, body, scope, inner, decision, label, cond_regs);
+            let dst = ctx.reg();
+            body.push(Instr::Unop { dst, op: UnopCode::Not, src });
+            dst
+        }
+        leaf => {
+            let raw = lower_expr(ctx, body, scope, leaf);
+            let b = ctx.reg();
+            body.push(Instr::Unop { dst: b, op: UnopCode::Truthy, src: raw });
+            let cond = ctx.map.add_condition(decision, format!("{label}: {leaf}"));
+            body.push(Instr::CondProbe { cond, src: b });
+            cond_regs.push(b);
+            b
+        }
+    }
+}
+
+/// Lowers a statement list. Assignments cast to the target binding's type;
+/// `if` statements are instrumented decisions (mode d), with the implicit
+/// `else` branch completed by the decision's false probe.
+pub(crate) fn lower_stmts(
+    ctx: &mut Ctx,
+    body: &mut Vec<Instr>,
+    scope: &mut Scope,
+    stmts: &[Stmt],
+    label: &str,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign(name, value) => {
+                let src = lower_expr(ctx, body, scope, value);
+                let binding = match scope.get(name) {
+                    Some(b) => b,
+                    None => {
+                        // New local: an untyped double register.
+                        let r = ctx.reg();
+                        scope.bind_reg(name, r, None);
+                        Binding { place: Place::Reg(r), ty: None }
+                    }
+                };
+                let cast = match binding.ty {
+                    Some(ty) if ty != DataType::F64 => {
+                        let dst = ctx.reg();
+                        body.push(Instr::CastSat { dst, src, ty });
+                        dst
+                    }
+                    _ => src,
+                };
+                match binding.place {
+                    Place::Reg(r) => body.push(Instr::Copy { dst: r, src: cast }),
+                    Place::Slot(slot) => body.push(Instr::StoreState { slot, src: cast }),
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let outcome = lower_decision(ctx, body, scope, cond, label);
+                let mut then_ir = Vec::new();
+                let mut else_ir = Vec::new();
+                // Both arms share the outer scope: variables assigned in a
+                // branch must already exist outside it for deterministic
+                // register identity. Pre-create locals assigned in either
+                // arm so both arms write the same register.
+                for var in stmt.assigned_vars() {
+                    if scope.get(&var).is_none() {
+                        let r = ctx.reg();
+                        // Locals default to 0.0 when a branch skips them.
+                        body.push(Instr::Const { dst: r, value: 0.0 });
+                        scope.bind_reg(&var, r, None);
+                    }
+                }
+                lower_stmts(ctx, &mut then_ir, scope, then_body, label);
+                lower_stmts(ctx, &mut else_ir, scope, else_body, label);
+                body.push(Instr::If { cond: outcome, then_body: then_ir, else_body: else_ir });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_model::expr::{parse_expr, parse_stmts};
+
+    fn fresh_ctx() -> Ctx {
+        Ctx::new()
+    }
+
+    #[test]
+    fn literal_and_var_lowering() {
+        let mut ctx = fresh_ctx();
+        let mut body = Vec::new();
+        let mut scope = Scope::new();
+        let u = ctx.reg();
+        scope.bind_reg("u", u, None);
+        let e = parse_expr("u + 2.5").unwrap();
+        let out = lower_expr(&mut ctx, &mut body, &scope, &e);
+        assert!(out > u);
+        assert!(matches!(body[0], Instr::Const { value, .. } if value == 2.5));
+        assert!(matches!(body[1], Instr::Binop { op: BinopCode::Add, .. }));
+    }
+
+    #[test]
+    fn slot_reads_emit_load_state() {
+        let mut ctx = fresh_ctx();
+        let mut body = Vec::new();
+        let mut scope = Scope::new();
+        let slot = ctx.slot(7.0);
+        scope.bind_slot("count", slot, DataType::I32);
+        let e = parse_expr("count + 1").unwrap();
+        lower_expr(&mut ctx, &mut body, &scope, &e);
+        assert!(matches!(body[0], Instr::LoadState { slot: s, .. } if s == slot));
+    }
+
+    #[test]
+    fn decision_registers_conditions_in_bit_order() {
+        let mut ctx = fresh_ctx();
+        let mut body = Vec::new();
+        let mut scope = Scope::new();
+        for name in ["a", "b", "c"] {
+            let r = ctx.reg();
+            scope.bind_reg(name, r, None);
+        }
+        let e = parse_expr("a && (b || !c)").unwrap();
+        lower_decision(&mut ctx, &mut body, &scope, &e, "test");
+        let map = ctx.map.clone().finish();
+        assert_eq!(map.decision_count(), 1);
+        assert_eq!(map.condition_count(), 3);
+        assert_eq!(map.branch_count(), 2);
+        assert_eq!(map.conditions()[0].bit, 0);
+        assert_eq!(map.conditions()[2].bit, 2);
+        assert!(map.conditions()[0].label.contains('a'));
+        // DecisionEval carries three condition registers.
+        let eval = body
+            .iter()
+            .find_map(|i| match i {
+                Instr::DecisionEval { conds, .. } => Some(conds.len()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(eval, 3);
+    }
+
+    #[test]
+    fn typed_assignment_emits_cast() {
+        let mut ctx = fresh_ctx();
+        let mut body = Vec::new();
+        let mut scope = Scope::new();
+        let slot = ctx.slot(0.0);
+        scope.bind_slot("y", slot, DataType::U8);
+        let stmts = parse_stmts("y = 300;").unwrap();
+        lower_stmts(&mut ctx, &mut body, &mut scope, &stmts, "t");
+        assert!(body.iter().any(|i| matches!(i, Instr::CastSat { ty: DataType::U8, .. })));
+        assert!(body.iter().any(|i| matches!(i, Instr::StoreState { slot: s, .. } if *s == slot)));
+    }
+
+    #[test]
+    fn untyped_local_has_no_cast() {
+        let mut ctx = fresh_ctx();
+        let mut body = Vec::new();
+        let mut scope = Scope::new();
+        let stmts = parse_stmts("tmp = 1.5;").unwrap();
+        lower_stmts(&mut ctx, &mut body, &mut scope, &stmts, "t");
+        assert!(!body.iter().any(|i| matches!(i, Instr::CastSat { .. })));
+        assert!(scope.get("tmp").is_some());
+    }
+
+    #[test]
+    fn if_stmt_produces_instrumented_branch() {
+        let mut ctx = fresh_ctx();
+        let mut body = Vec::new();
+        let mut scope = Scope::new();
+        let u = ctx.reg();
+        scope.bind_reg("u", u, None);
+        let stmts = parse_stmts("if (u > 0) { y = 1; } else { y = 2; }").unwrap();
+        lower_stmts(&mut ctx, &mut body, &mut scope, &stmts, "blk");
+        let map = ctx.map.clone().finish();
+        assert_eq!(map.decision_count(), 1);
+        assert_eq!(map.branch_count(), 2);
+        assert_eq!(map.condition_count(), 1);
+        // The structural If for the statement body exists beyond the probe If.
+        let ifs = body.iter().filter(|i| matches!(i, Instr::If { .. })).count();
+        assert_eq!(ifs, 2);
+    }
+
+    #[test]
+    fn branch_locals_share_registers_across_arms() {
+        let mut ctx = fresh_ctx();
+        let mut body = Vec::new();
+        let mut scope = Scope::new();
+        let u = ctx.reg();
+        scope.bind_reg("u", u, None);
+        let stmts = parse_stmts("if (u > 0) { y = 1; } else { y = 2; } z = y;").unwrap();
+        lower_stmts(&mut ctx, &mut body, &mut scope, &stmts, "blk");
+        // `y` must resolve to one register visible after the If.
+        assert!(scope.get("y").is_some());
+        assert!(scope.get("z").is_some());
+    }
+}

@@ -1,0 +1,177 @@
+//! Differential tests for chart corner cases: single-state charts,
+//! unconditional and self-loop transitions, action/entry ordering, typed
+//! chart variables, and priority shadowing.
+
+use cftcg_codegen::{compile, Executor};
+use cftcg_coverage::NullRecorder;
+use cftcg_model::expr::{parse_expr, parse_stmts};
+use cftcg_model::{
+    BlockKind, Chart, DataType, Model, ModelBuilder, State, Transition, Value,
+};
+use cftcg_sim::Simulator;
+
+fn chart_model(chart: Chart) -> Model {
+    let n_in = chart.inputs.len();
+    let n_out = chart.outputs.len();
+    let mut b = ModelBuilder::new("m");
+    let blk = b.add("chart", BlockKind::Chart { chart });
+    for i in 0..n_in {
+        let u = b.inport(format!("u{i}"), DataType::F64);
+        b.connect(u, 0, blk, i);
+    }
+    for i in 0..n_out {
+        let y = b.outport(format!("y{i}"));
+        b.connect(blk, i, y, 0);
+    }
+    b.finish().expect("chart model validates")
+}
+
+fn assert_equivalent(model: &Model, steps: &[Vec<Value>]) {
+    let mut sim = Simulator::new(model).unwrap();
+    let compiled = compile(model).unwrap();
+    let mut exec = Executor::new(&compiled);
+    let mut rec = NullRecorder;
+    for (k, inputs) in steps.iter().enumerate() {
+        let expected = sim.step(inputs).unwrap();
+        let actual = exec.step(inputs, &mut rec);
+        assert_eq!(expected, actual, "diverged at step {k} on inputs {inputs:?}");
+    }
+}
+
+fn f64_steps(xs: &[f64]) -> Vec<Vec<Value>> {
+    xs.iter().map(|&x| vec![Value::F64(x)]).collect()
+}
+
+#[test]
+fn single_state_chart_runs_during_every_step() {
+    let mut chart = Chart::new();
+    chart.inputs.push(("u".into(), DataType::F64));
+    chart.outputs.push(("acc".into(), DataType::F64));
+    chart.states.push(
+        State::new("Only").with_during(parse_stmts("acc = acc + u;").unwrap()),
+    );
+    let model = chart_model(chart);
+    assert_equivalent(&model, &f64_steps(&[1.0, 2.0, 3.0, -4.0]));
+}
+
+#[test]
+fn unconditional_transitions_ping_pong() {
+    let mut chart = Chart::new();
+    chart.inputs.push(("u".into(), DataType::F64));
+    chart.outputs.push(("which".into(), DataType::I32));
+    let a = chart.add_state(State::new("A").with_entry(parse_stmts("which = 1;").unwrap()));
+    let b = chart.add_state(State::new("B").with_entry(parse_stmts("which = 2;").unwrap()));
+    chart.initial = a;
+    chart.add_transition(Transition::unconditional(a, b));
+    chart.add_transition(Transition::unconditional(b, a));
+    let model = chart_model(chart);
+    // Alternates every step; both engines must agree on the phase.
+    let mut sim = Simulator::new(&model).unwrap();
+    let out = sim.step(&[Value::F64(0.0)]).unwrap();
+    assert_eq!(out[0], Value::I32(2), "A fires immediately into B");
+    assert_equivalent(&model, &f64_steps(&[0.0, 0.0, 0.0, 0.0, 0.0]));
+}
+
+#[test]
+fn self_loop_runs_action_and_entry_each_firing() {
+    let mut chart = Chart::new();
+    chart.inputs.push(("go".into(), DataType::F64));
+    chart.outputs.push(("entries".into(), DataType::I32));
+    chart.outputs.push(("actions".into(), DataType::I32));
+    let s = chart.add_state(
+        State::new("S").with_entry(parse_stmts("entries = entries + 1;").unwrap()),
+    );
+    chart.initial = s;
+    chart.add_transition(
+        Transition::new(s, s, parse_expr("go > 0").unwrap())
+            .with_action(parse_stmts("actions = actions + 1;").unwrap()),
+    );
+    let model = chart_model(chart);
+    let mut sim = Simulator::new(&model).unwrap();
+    // Init runs entry once; each firing runs action then entry again.
+    let out = sim.step(&[Value::F64(1.0)]).unwrap();
+    assert_eq!(out[0], Value::I32(2));
+    assert_eq!(out[1], Value::I32(1));
+    let out = sim.step(&[Value::F64(0.0)]).unwrap();
+    assert_eq!(out[0], Value::I32(2), "no firing, no entry");
+    assert_equivalent(&model, &f64_steps(&[1.0, 0.0, 1.0, 1.0, 0.0]));
+}
+
+#[test]
+fn transition_priority_shadows_later_guards() {
+    let mut chart = Chart::new();
+    chart.inputs.push(("u".into(), DataType::F64));
+    chart.outputs.push(("tag".into(), DataType::I32));
+    let start = chart.add_state(State::new("Start"));
+    let first = chart.add_state(State::new("First").with_entry(parse_stmts("tag = 1;").unwrap()));
+    let second =
+        chart.add_state(State::new("Second").with_entry(parse_stmts("tag = 2;").unwrap()));
+    chart.initial = start;
+    // Both guards true for u = 7; the first added must win.
+    chart.add_transition(Transition::new(start, first, parse_expr("u > 5").unwrap()));
+    chart.add_transition(Transition::new(start, second, parse_expr("u > 2").unwrap()));
+    let model = chart_model(chart);
+    let mut sim = Simulator::new(&model).unwrap();
+    assert_eq!(sim.step(&[Value::F64(7.0)]).unwrap()[0], Value::I32(1));
+    // And the lower-priority one fires when only it is enabled.
+    let mut sim = Simulator::new(&model).unwrap();
+    assert_eq!(sim.step(&[Value::F64(3.0)]).unwrap()[0], Value::I32(2));
+    assert_equivalent(&model, &f64_steps(&[7.0, 3.0, 1.0]));
+}
+
+#[test]
+fn action_updates_are_visible_to_target_entry() {
+    let mut chart = Chart::new();
+    chart.inputs.push(("u".into(), DataType::F64));
+    chart.outputs.push(("y".into(), DataType::F64));
+    chart.variables.push(("v".into(), DataType::F64, Value::F64(0.0)));
+    let a = chart.add_state(State::new("A"));
+    let b = chart.add_state(
+        State::new("B").with_entry(parse_stmts("y = v * 10;").unwrap()),
+    );
+    chart.initial = a;
+    chart.add_transition(
+        Transition::new(a, b, parse_expr("u > 0").unwrap())
+            .with_action(parse_stmts("v = u + 1;").unwrap()),
+    );
+    let model = chart_model(chart);
+    let mut sim = Simulator::new(&model).unwrap();
+    let out = sim.step(&[Value::F64(4.0)]).unwrap();
+    assert_eq!(out[0], Value::F64(50.0), "entry must see the action's write");
+    assert_equivalent(&model, &f64_steps(&[4.0, 0.0]));
+}
+
+#[test]
+fn typed_chart_variables_saturate_on_assignment() {
+    let mut chart = Chart::new();
+    chart.inputs.push(("u".into(), DataType::F64));
+    chart.outputs.push(("narrow".into(), DataType::I8));
+    let s = chart.add_state(
+        State::new("S").with_during(parse_stmts("narrow = u;").unwrap()),
+    );
+    chart.initial = s;
+    let model = chart_model(chart);
+    let mut sim = Simulator::new(&model).unwrap();
+    assert_eq!(sim.step(&[Value::F64(1000.0)]).unwrap()[0], Value::I8(127));
+    assert_eq!(sim.step(&[Value::F64(-1000.0)]).unwrap()[0], Value::I8(-128));
+    assert_equivalent(&model, &f64_steps(&[1000.0, -1000.0, 5.4, f64::NAN]));
+}
+
+#[test]
+fn chart_initial_entry_runs_once_before_first_step() {
+    let mut chart = Chart::new();
+    chart.inputs.push(("u".into(), DataType::F64));
+    chart.outputs.push(("y".into(), DataType::I32));
+    chart.variables.push(("boot".into(), DataType::I32, Value::I32(41)));
+    let s = chart.add_state(
+        State::new("S")
+            .with_entry(parse_stmts("boot = boot + 1; y = boot;").unwrap())
+            .with_during(parse_stmts("y = boot;").unwrap()),
+    );
+    chart.initial = s;
+    let model = chart_model(chart);
+    let mut sim = Simulator::new(&model).unwrap();
+    // Entry ran at init: boot = 42, published on the first step's during.
+    assert_eq!(sim.step(&[Value::F64(0.0)]).unwrap()[0], Value::I32(42));
+    assert_equivalent(&model, &f64_steps(&[0.0, 0.0]));
+}

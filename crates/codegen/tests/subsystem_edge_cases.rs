@@ -1,0 +1,224 @@
+//! Differential tests for conditionally-executed subsystem corner cases:
+//! nesting, frozen inner state, held outputs of multi-output subsystems,
+//! and merge resolution order.
+
+use cftcg_codegen::{compile, Executor};
+use cftcg_coverage::NullRecorder;
+use cftcg_model::expr::parse_expr;
+use cftcg_model::{
+    BlockKind, DataType, EdgeKind, InputSign, Model, ModelBuilder, Value,
+};
+use cftcg_sim::Simulator;
+
+fn assert_equivalent(model: &Model, steps: &[Vec<Value>]) {
+    let mut sim = Simulator::new(model).unwrap();
+    let compiled = compile(model).unwrap();
+    let mut exec = Executor::new(&compiled);
+    let mut rec = NullRecorder;
+    for (k, inputs) in steps.iter().enumerate() {
+        let expected = sim.step(inputs).unwrap();
+        let actual = exec.step(inputs, &mut rec);
+        assert_eq!(expected, actual, "diverged at step {k} on inputs {inputs:?}");
+    }
+}
+
+/// An accumulator inner model (one data input, one output).
+fn accumulator() -> Model {
+    let mut b = ModelBuilder::new("acc");
+    let u = b.inport("u", DataType::F64);
+    let sum = b.add("sum", BlockKind::Sum { signs: vec![InputSign::Plus; 2] });
+    let dly = b.add("dly", BlockKind::UnitDelay { initial: Value::F64(0.0) });
+    let y = b.outport("y");
+    b.connect(u, 0, sum, 0);
+    b.connect(dly, 0, sum, 1);
+    b.connect(sum, 0, dly, 0);
+    b.connect(sum, 0, y, 0);
+    b.finish().unwrap()
+}
+
+#[test]
+fn enabled_inside_enabled_freezes_independently() {
+    // outer enable gates an inner enabled subsystem with its own gate.
+    let mut inner_host = ModelBuilder::new("inner_host");
+    let gate2 = inner_host.inport("gate2", DataType::Bool);
+    let data = inner_host.inport("data", DataType::F64);
+    let sub = inner_host.add(
+        "inner",
+        BlockKind::EnabledSubsystem { model: Box::new(accumulator()) },
+    );
+    let y = inner_host.outport("y");
+    inner_host.feed(gate2, sub, 0);
+    inner_host.feed(data, sub, 1);
+    inner_host.wire(sub, y);
+    let inner_host = inner_host.finish().unwrap();
+
+    let mut b = ModelBuilder::new("outer");
+    let g1 = b.inport("g1", DataType::Bool);
+    let g2 = b.inport("g2", DataType::Bool);
+    let u = b.inport("u", DataType::F64);
+    let sub = b.add("outer_sub", BlockKind::EnabledSubsystem { model: Box::new(inner_host) });
+    let y = b.outport("y");
+    b.feed(g1, sub, 0);
+    b.feed(g2, sub, 1);
+    b.feed(u, sub, 2);
+    b.wire(sub, y);
+    let model = b.finish().unwrap();
+
+    let tt = |g1, g2, u| vec![Value::Bool(g1), Value::Bool(g2), Value::F64(u)];
+    let mut sim = Simulator::new(&model).unwrap();
+    assert_eq!(sim.step(&tt(true, true, 5.0)).unwrap()[0], Value::F64(5.0));
+    // Inner gate off: accumulator frozen, output held at 5.
+    assert_eq!(sim.step(&tt(true, false, 100.0)).unwrap()[0], Value::F64(5.0));
+    // Outer gate off: everything held.
+    assert_eq!(sim.step(&tt(false, true, 100.0)).unwrap()[0], Value::F64(5.0));
+    // Both on again: accumulation resumes from 5.
+    assert_eq!(sim.step(&tt(true, true, 2.0)).unwrap()[0], Value::F64(7.0));
+
+    assert_equivalent(&model, &[
+        tt(true, true, 5.0),
+        tt(true, false, 100.0),
+        tt(false, true, 100.0),
+        tt(true, true, 2.0),
+        tt(false, false, -3.0),
+        tt(true, true, -3.0),
+    ]);
+}
+
+#[test]
+fn multi_output_action_subsystem_holds_all_outputs() {
+    let mut inner = ModelBuilder::new("pair");
+    let u = inner.inport("u", DataType::F64);
+    let double = inner.add("double", BlockKind::Gain { gain: 2.0 });
+    let negate = inner.add("negate", BlockKind::UnaryMinus);
+    let y0 = inner.outport("double_out");
+    let y1 = inner.outport("neg_out");
+    inner.wire(u, double);
+    inner.feed(u, negate, 0);
+    inner.wire(double, y0);
+    inner.wire(negate, y1);
+    let inner = inner.finish().unwrap();
+
+    let mut b = ModelBuilder::new("m");
+    let u = b.inport("u", DataType::F64);
+    let iff = b.add(
+        "if",
+        BlockKind::If {
+            num_inputs: 1,
+            conditions: vec![parse_expr("u1 > 0").unwrap()],
+            has_else: false,
+        },
+    );
+    let act = b.add("act", BlockKind::ActionSubsystem { model: Box::new(inner) });
+    let y0 = b.outport("y0");
+    let y1 = b.outport("y1");
+    b.wire(u, iff);
+    b.connect(iff, 0, act, 0);
+    b.connect(u, 0, act, 1);
+    b.connect(act, 0, y0, 0);
+    b.connect(act, 1, y1, 0);
+    let model = b.finish().unwrap();
+
+    let mut sim = Simulator::new(&model).unwrap();
+    let out = sim.step(&[Value::F64(3.0)]).unwrap();
+    assert_eq!(out, vec![Value::F64(6.0), Value::F64(-3.0)]);
+    // Inactive: both outputs hold.
+    let out = sim.step(&[Value::F64(-9.0)]).unwrap();
+    assert_eq!(out, vec![Value::F64(6.0), Value::F64(-3.0)]);
+
+    let steps: Vec<Vec<Value>> =
+        [3.0, -9.0, 0.0, 7.5, -1.0].iter().map(|&x| vec![Value::F64(x)]).collect();
+    assert_equivalent(&model, &steps);
+}
+
+#[test]
+fn triggered_subsystem_nested_in_action_subsystem() {
+    // The trigger edge detector must keep its own state across outer
+    // inactivity.
+    let mut inner = ModelBuilder::new("trig_host");
+    let trig = inner.inport("trig", DataType::Bool);
+    let sub = inner.add(
+        "counter_sub",
+        BlockKind::TriggeredSubsystem {
+            model: Box::new({
+                let mut c = ModelBuilder::new("count");
+                let cnt = c.add("cnt", BlockKind::CounterFreeRunning { bits: 8 });
+                let y = c.outport("y");
+                c.wire(cnt, y);
+                c.finish().unwrap()
+            }),
+            edge: EdgeKind::Rising,
+        },
+    );
+    let y = inner.outport("y");
+    inner.feed(trig, sub, 0);
+    inner.wire(sub, y);
+    let inner = inner.finish().unwrap();
+
+    let mut b = ModelBuilder::new("m");
+    let active = b.inport("active", DataType::Bool);
+    let trig = b.inport("trig", DataType::Bool);
+    let iff = b.add(
+        "if",
+        BlockKind::If {
+            num_inputs: 1,
+            conditions: vec![parse_expr("u1").unwrap()],
+            has_else: false,
+        },
+    );
+    let act = b.add("act", BlockKind::ActionSubsystem { model: Box::new(inner) });
+    let y = b.outport("y");
+    b.wire(active, iff);
+    b.connect(iff, 0, act, 0);
+    b.connect(trig, 0, act, 1);
+    b.wire(act, y);
+    let model = b.finish().unwrap();
+
+    let tt = |a, t| vec![Value::Bool(a), Value::Bool(t)];
+    assert_equivalent(&model, &[
+        tt(true, false),
+        tt(true, true),  // rising edge, fire 0
+        tt(true, true),  // no edge
+        tt(false, false), // outer inactive: trigger state frozen (still true)
+        tt(true, true),  // trigger was never seen low while active... edge semantics
+        tt(true, false),
+        tt(true, true),  // rising edge, fire 1
+    ]);
+}
+
+#[test]
+fn merge_prefers_first_active_input() {
+    // Two action branches from a SwitchCase with overlapping activity is
+    // impossible; instead verify merge holds when *neither* fires.
+    fn const_action(name: &str, v: f64) -> BlockKind {
+        let mut b = ModelBuilder::new(name);
+        let c = b.constant("c", v);
+        let y = b.outport("y");
+        b.wire(c, y);
+        BlockKind::ActionSubsystem { model: Box::new(b.finish().unwrap()) }
+    }
+    let mut b = ModelBuilder::new("m");
+    let sel = b.inport("sel", DataType::I32);
+    let sc = b.add(
+        "sc",
+        BlockKind::SwitchCase { cases: vec![vec![1], vec![2]], has_default: false },
+    );
+    let a1 = b.add("a1", const_action("m1", 10.0));
+    let a2 = b.add("a2", const_action("m2", 20.0));
+    let merge = b.add("merge", BlockKind::Merge { inputs: 2 });
+    let y = b.outport("y");
+    b.wire(sel, sc);
+    b.connect(sc, 0, a1, 0);
+    b.connect(sc, 1, a2, 0);
+    b.connect(a1, 0, merge, 0);
+    b.connect(a2, 0, merge, 1);
+    b.wire(merge, y);
+    let model = b.finish().unwrap();
+
+    let mut sim = Simulator::new(&model).unwrap();
+    assert_eq!(sim.step(&[Value::I32(1)]).unwrap()[0], Value::F64(10.0));
+    assert_eq!(sim.step(&[Value::I32(9)]).unwrap()[0], Value::F64(10.0)); // held
+    assert_eq!(sim.step(&[Value::I32(2)]).unwrap()[0], Value::F64(20.0));
+    let steps: Vec<Vec<Value>> =
+        [1, 9, 2, 9, 1, 2].iter().map(|&s| vec![Value::I32(s)]).collect();
+    assert_equivalent(&model, &steps);
+}

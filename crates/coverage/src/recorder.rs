@@ -1,0 +1,346 @@
+//! Probe recorders: the runtime half of `CoverageStatistics()`.
+
+use std::collections::HashSet;
+
+use crate::map::{AssertionId, BranchId, ConditionId, DecisionId, InstrumentationMap};
+
+/// Receives probe events from executing instrumented code.
+///
+/// The compiled step program calls these methods; implementations choose
+/// what to retain. Methods other than [`Recorder::branch`] default to no-ops
+/// so the fuzz-loop-fast bitmap only pays for what it uses.
+pub trait Recorder {
+    /// A branch probe (decision outcome) was executed.
+    fn branch(&mut self, id: BranchId);
+
+    /// A condition evaluated to `value`.
+    fn condition(&mut self, id: ConditionId, value: bool) {
+        let _ = (id, value);
+    }
+
+    /// A boolean decision was evaluated with the given condition bit
+    /// `vector` and `outcome` (0 = false branch, 1 = true branch).
+    fn decision_eval(&mut self, id: DecisionId, vector: u64, outcome: u32) {
+        let _ = (id, vector, outcome);
+    }
+
+    /// A comparison executed with the given operands — LibFuzzer's
+    /// table-of-recent-compares (TORC) hook, which the fuzzer mines for
+    /// dictionary values that crack exact-match guards.
+    fn compare(&mut self, lhs: f64, rhs: f64) {
+        let _ = (lhs, rhs);
+    }
+
+    /// A run-time assertion evaluated with the given result (`false` is a
+    /// violation — Simulink's Assertion block in warn-and-continue mode).
+    fn assertion(&mut self, id: AssertionId, passed: bool) {
+        let _ = (id, passed);
+    }
+}
+
+/// Discards every event. Useful for pure-throughput benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn branch(&mut self, _id: BranchId) {}
+}
+
+/// The per-iteration branch bitmap of the paper's Algorithm 1
+/// (`g_CurrCov`): one flag per branch probe, cleared before every model
+/// iteration by the fuzz driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchBitmap {
+    bits: Vec<bool>,
+}
+
+impl BranchBitmap {
+    /// Creates a cleared bitmap with `branch_count` slots.
+    pub fn new(branch_count: usize) -> Self {
+        BranchBitmap { bits: vec![false; branch_count] }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` when the bitmap has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Clears all flags (start of a model iteration, Algorithm 1 line 11).
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Whether branch `i` was hit this iteration.
+    pub fn get(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Raw slice access for bulk operations.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of branches hit this iteration.
+    pub fn count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of positions where `self` and `other` differ — the
+    /// per-iteration term of the paper's *Iteration Difference Coverage*
+    /// metric (Algorithm 1 lines 17–18).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bitmaps have different lengths.
+    pub fn diff_count(&self, other: &BranchBitmap) -> usize {
+        assert_eq!(self.bits.len(), other.bits.len(), "bitmap length mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// ORs this iteration's hits into `total`, returning how many branches
+    /// were newly covered (Algorithm 1 lines 14–16).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bitmaps have different lengths.
+    pub fn merge_into(&self, total: &mut BranchBitmap) -> usize {
+        assert_eq!(self.bits.len(), total.bits.len(), "bitmap length mismatch");
+        let mut new_hits = 0;
+        for (curr, tot) in self.bits.iter().zip(&mut total.bits) {
+            if *curr && !*tot {
+                *tot = true;
+                new_hits += 1;
+            }
+        }
+        new_hits
+    }
+
+    /// Copies another bitmap's flags into this one (Algorithm 1 line 19,
+    /// `lastCov = g_CurrCov`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bitmaps have different lengths.
+    pub fn copy_from(&mut self, other: &BranchBitmap) {
+        assert_eq!(self.bits.len(), other.bits.len(), "bitmap length mismatch");
+        self.bits.copy_from_slice(&other.bits);
+    }
+}
+
+impl Recorder for BranchBitmap {
+    fn branch(&mut self, id: BranchId) {
+        self.bits[id.index()] = true;
+    }
+}
+
+/// Cap on distinct evaluation vectors retained per decision. Industrial
+/// coverage tools bound this too; beyond the cap additional vectors cannot
+/// demonstrate many new MCDC pairs in practice.
+const MAX_VECTORS_PER_DECISION: usize = 1024;
+
+/// The replay-time recorder: retains everything needed to score Decision,
+/// Condition, and MCDC coverage.
+#[derive(Debug, Clone)]
+pub struct FullTracker {
+    branch_hits: Vec<bool>,
+    /// `[false-seen, true-seen]` per condition.
+    condition_values: Vec<[bool; 2]>,
+    /// Distinct `(vector, outcome)` evaluations per decision.
+    decision_vectors: Vec<HashSet<(u64, u32)>>,
+    /// Violation counts per assertion.
+    assertion_failures: Vec<u64>,
+}
+
+impl FullTracker {
+    /// Creates an empty tracker sized for `map`.
+    pub fn new(map: &InstrumentationMap) -> Self {
+        FullTracker {
+            branch_hits: vec![false; map.branch_count()],
+            condition_values: vec![[false; 2]; map.condition_count()],
+            decision_vectors: vec![HashSet::new(); map.decision_count()],
+            assertion_failures: vec![0; map.assertion_count()],
+        }
+    }
+
+    /// Violation count of assertion `i`.
+    pub fn assertion_failures(&self, i: usize) -> u64 {
+        self.assertion_failures[i]
+    }
+
+    /// Whether branch `i` has ever been hit.
+    pub fn branch_hit(&self, i: usize) -> bool {
+        self.branch_hits[i]
+    }
+
+    /// Slice of per-branch hit flags.
+    pub fn branch_hits(&self) -> &[bool] {
+        &self.branch_hits
+    }
+
+    /// Whether condition `i` has been observed with `value`.
+    pub fn condition_seen(&self, i: usize, value: bool) -> bool {
+        self.condition_values[i][usize::from(value)]
+    }
+
+    /// The recorded `(vector, outcome)` evaluations of decision `i`.
+    pub fn decision_evals(&self, i: usize) -> &HashSet<(u64, u32)> {
+        &self.decision_vectors[i]
+    }
+
+    /// Merges another tracker's observations into this one (used to union
+    /// coverage across repeated runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trackers were built from different maps.
+    pub fn merge(&mut self, other: &FullTracker) {
+        assert_eq!(self.branch_hits.len(), other.branch_hits.len(), "tracker shape mismatch");
+        for (a, b) in self.assertion_failures.iter_mut().zip(&other.assertion_failures) {
+            *a += b;
+        }
+        for (a, b) in self.branch_hits.iter_mut().zip(&other.branch_hits) {
+            *a |= b;
+        }
+        for (a, b) in self.condition_values.iter_mut().zip(&other.condition_values) {
+            a[0] |= b[0];
+            a[1] |= b[1];
+        }
+        for (a, b) in self.decision_vectors.iter_mut().zip(&other.decision_vectors) {
+            if a.len() < MAX_VECTORS_PER_DECISION {
+                a.extend(b.iter().copied());
+            }
+        }
+    }
+}
+
+impl Recorder for FullTracker {
+    fn branch(&mut self, id: BranchId) {
+        self.branch_hits[id.index()] = true;
+    }
+
+    fn condition(&mut self, id: ConditionId, value: bool) {
+        self.condition_values[id.index()][usize::from(value)] = true;
+    }
+
+    fn decision_eval(&mut self, id: DecisionId, vector: u64, outcome: u32) {
+        let set = &mut self.decision_vectors[id.index()];
+        if set.len() < MAX_VECTORS_PER_DECISION {
+            set.insert((vector, outcome));
+        }
+    }
+
+    fn assertion(&mut self, id: AssertionId, passed: bool) {
+        if !passed {
+            self.assertion_failures[id.index()] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::MapBuilder;
+
+    #[test]
+    fn bitmap_basics() {
+        let mut bm = BranchBitmap::new(4);
+        assert_eq!(bm.len(), 4);
+        assert!(!bm.is_empty());
+        bm.branch(BranchId(1));
+        bm.branch(BranchId(3));
+        assert!(bm.get(1));
+        assert!(!bm.get(0));
+        assert_eq!(bm.count(), 2);
+        bm.clear();
+        assert_eq!(bm.count(), 0);
+    }
+
+    #[test]
+    fn bitmap_diff_and_merge() {
+        let mut a = BranchBitmap::new(4);
+        let mut b = BranchBitmap::new(4);
+        a.branch(BranchId(0));
+        a.branch(BranchId(1));
+        b.branch(BranchId(1));
+        b.branch(BranchId(2));
+        assert_eq!(a.diff_count(&b), 2); // positions 0 and 2 differ
+
+        let mut total = BranchBitmap::new(4);
+        assert_eq!(a.merge_into(&mut total), 2);
+        assert_eq!(b.merge_into(&mut total), 1); // only branch 2 is new
+        assert_eq!(total.count(), 3);
+
+        let mut last = BranchBitmap::new(4);
+        last.copy_from(&a);
+        assert_eq!(last.diff_count(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bitmap_length_mismatch_panics() {
+        let a = BranchBitmap::new(3);
+        let b = BranchBitmap::new(4);
+        let _ = a.diff_count(&b);
+    }
+
+    #[test]
+    fn full_tracker_records_everything() {
+        let mut mb = MapBuilder::new();
+        let d = mb.begin_decision("d");
+        let t = mb.add_outcome(d, "true");
+        mb.add_outcome(d, "false");
+        let c = mb.add_condition(d, "c0");
+        let map = mb.finish();
+
+        let mut tracker = FullTracker::new(&map);
+        tracker.branch(t);
+        tracker.condition(c, true);
+        tracker.decision_eval(d, 0b1, 1);
+        assert!(tracker.branch_hit(0));
+        assert!(!tracker.branch_hit(1));
+        assert!(tracker.condition_seen(0, true));
+        assert!(!tracker.condition_seen(0, false));
+        assert!(tracker.decision_evals(0).contains(&(1, 1)));
+    }
+
+    #[test]
+    fn tracker_merge_unions() {
+        let mut mb = MapBuilder::new();
+        let d = mb.begin_decision("d");
+        let t = mb.add_outcome(d, "true");
+        let f = mb.add_outcome(d, "false");
+        let c = mb.add_condition(d, "c0");
+        let map = mb.finish();
+
+        let mut a = FullTracker::new(&map);
+        a.branch(t);
+        a.condition(c, true);
+        a.decision_eval(d, 1, 1);
+        let mut b = FullTracker::new(&map);
+        b.branch(f);
+        b.condition(c, false);
+        b.decision_eval(d, 0, 0);
+
+        a.merge(&b);
+        assert!(a.branch_hit(0) && a.branch_hit(1));
+        assert!(a.condition_seen(0, false) && a.condition_seen(0, true));
+        assert_eq!(a.decision_evals(0).len(), 2);
+    }
+
+    #[test]
+    fn null_recorder_ignores_everything() {
+        let mut r = NullRecorder;
+        r.branch(BranchId(0));
+        r.condition(ConditionId(0), true);
+        r.decision_eval(DecisionId(0), 0, 0);
+    }
+}

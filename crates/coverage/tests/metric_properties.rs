@@ -1,0 +1,125 @@
+//! Property tests on the coverage metrics: invariants that must hold for
+//! any sequence of recorded observations.
+
+use cftcg_coverage::{
+    BranchBitmap, BranchId, ConditionId, CoverageReport, DecisionId, FullTracker, MapBuilder,
+    Recorder,
+};
+use proptest::prelude::*;
+
+/// Builds a map with one boolean decision of `n` conditions.
+fn bool_map(n: usize) -> cftcg_coverage::InstrumentationMap {
+    let mut b = MapBuilder::new();
+    let d = b.begin_decision("d");
+    b.add_outcome(d, "true");
+    b.add_outcome(d, "false");
+    for i in 0..n {
+        b.add_condition(d, format!("c{i}"));
+    }
+    b.finish()
+}
+
+/// Records one AND-evaluation over the given condition values.
+fn record(tracker: &mut FullTracker, values: &[bool]) {
+    let outcome = values.iter().all(|&v| v);
+    let mut vector = 0u64;
+    for (i, &v) in values.iter().enumerate() {
+        tracker.condition(ConditionId(i as u32), v);
+        if v {
+            vector |= 1 << i;
+        }
+    }
+    tracker.decision_eval(DecisionId(0), vector, u32::from(outcome));
+    tracker.branch(if outcome { BranchId(0) } else { BranchId(1) });
+}
+
+proptest! {
+    /// Coverage is monotone: recording more evaluations never decreases any
+    /// of the three metrics.
+    #[test]
+    fn metrics_are_monotone(
+        evals in prop::collection::vec(prop::collection::vec(any::<bool>(), 3), 1..24),
+    ) {
+        let map = bool_map(3);
+        let mut tracker = FullTracker::new(&map);
+        let mut last = CoverageReport::score(&map, &tracker);
+        for eval in &evals {
+            record(&mut tracker, eval);
+            let now = CoverageReport::score(&map, &tracker);
+            prop_assert!(now.decision.covered >= last.decision.covered);
+            prop_assert!(now.condition.covered >= last.condition.covered);
+            prop_assert!(now.mcdc.covered >= last.mcdc.covered);
+            last = now;
+        }
+    }
+
+    /// MCDC for a condition implies that condition has full condition
+    /// coverage (both values seen) and the decision has both outcomes.
+    #[test]
+    fn mcdc_implies_condition_and_decision_coverage(
+        evals in prop::collection::vec(prop::collection::vec(any::<bool>(), 2), 1..16),
+    ) {
+        let map = bool_map(2);
+        let mut tracker = FullTracker::new(&map);
+        for eval in &evals {
+            record(&mut tracker, eval);
+        }
+        let report = CoverageReport::score(&map, &tracker);
+        if report.mcdc.covered > 0 {
+            prop_assert_eq!(report.decision.covered, 2, "MCDC needs both outcomes");
+        }
+        prop_assert!(report.mcdc.covered * 2 <= report.condition.covered + 2);
+    }
+
+    /// Tracker merge equals recording the union of observations.
+    #[test]
+    fn merge_is_union(
+        a in prop::collection::vec(prop::collection::vec(any::<bool>(), 3), 0..12),
+        b in prop::collection::vec(prop::collection::vec(any::<bool>(), 3), 0..12),
+    ) {
+        let map = bool_map(3);
+        let mut ta = FullTracker::new(&map);
+        for e in &a {
+            record(&mut ta, e);
+        }
+        let mut tb = FullTracker::new(&map);
+        for e in &b {
+            record(&mut tb, e);
+        }
+        let mut combined = FullTracker::new(&map);
+        for e in a.iter().chain(&b) {
+            record(&mut combined, e);
+        }
+        ta.merge(&tb);
+        let merged = CoverageReport::score(&map, &ta);
+        let direct = CoverageReport::score(&map, &combined);
+        prop_assert_eq!(merged, direct);
+    }
+
+    /// The branch bitmap's diff/merge algebra is consistent:
+    /// `diff(a, b) == diff(b, a)` and merging is idempotent.
+    #[test]
+    fn bitmap_algebra(
+        a_hits in prop::collection::vec(any::<bool>(), 16),
+        b_hits in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        let mut a = BranchBitmap::new(16);
+        let mut b = BranchBitmap::new(16);
+        for (i, (&ha, &hb)) in a_hits.iter().zip(&b_hits).enumerate() {
+            if ha {
+                a.branch(BranchId(i as u32));
+            }
+            if hb {
+                b.branch(BranchId(i as u32));
+            }
+        }
+        prop_assert_eq!(a.diff_count(&b), b.diff_count(&a));
+        let mut total = BranchBitmap::new(16);
+        let first = a.merge_into(&mut total);
+        prop_assert_eq!(first, a.count());
+        let again = a.merge_into(&mut total);
+        prop_assert_eq!(again, 0, "merging twice adds nothing");
+        let from_b = b.merge_into(&mut total);
+        prop_assert_eq!(total.count(), a.count() + from_b);
+    }
+}

@@ -1,0 +1,205 @@
+//! The fuzzing corpus: interesting inputs retained for further mutation.
+//!
+//! The paper (§3.2.2): "input data that achieves specific coverage metrics
+//! will be saved as interesting inputs in the corpus for the next round of
+//! mutation" and "when saving interesting inputs, we prioritize those with
+//! higher Iteration Difference Coverage". Entries therefore carry the
+//! metric, and seed selection is energy-weighted by it (switchable for the
+//! ablation study).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One retained input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The raw byte stream.
+    pub bytes: Vec<u8>,
+    /// Its Iteration Difference Coverage metric when executed.
+    pub metric: usize,
+    /// How many branches were newly covered when it was added.
+    pub new_branches: usize,
+}
+
+/// A bounded corpus with metric-weighted seed selection.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    capacity: usize,
+    /// When `false`, selection is uniform and replacement FIFO — the
+    /// "no iteration-difference priority" ablation (A1).
+    pub metric_weighted: bool,
+}
+
+impl Corpus {
+    /// Creates an empty corpus holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Corpus { entries: Vec::new(), capacity: capacity.max(1), metric_weighted: true }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The retained entries.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Inserts an interesting input. When full, evicts the lowest-metric
+    /// entry (metric-weighted mode) or the oldest (FIFO mode) — but only if
+    /// the newcomer beats it.
+    pub fn insert(&mut self, entry: CorpusEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+            return;
+        }
+        if self.metric_weighted {
+            // Evict among non-finders first: inputs that discovered new
+            // branches are the coverage frontier and must survive the flood
+            // of high-metric-but-stale mutants.
+            let (worst, worst_entry) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, e)| (e.new_branches, e.metric))
+                .expect("corpus is non-empty at capacity");
+            let beats_worst = (entry.new_branches, entry.metric)
+                > (worst_entry.new_branches, worst_entry.metric);
+            if beats_worst {
+                self.entries[worst] = entry;
+            }
+        } else {
+            self.entries.remove(0);
+            self.entries.push(entry);
+        }
+    }
+
+    /// Picks a seed for the next mutation round. In weighted mode the
+    /// energy combines the iteration-difference metric with a strong bonus
+    /// for inputs that discovered new branches (they sit at the coverage
+    /// frontier); uniform otherwise. Returns `None` on an empty corpus.
+    pub fn pick<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a CorpusEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        if !self.metric_weighted {
+            let i = rng.random_range(0..self.entries.len());
+            return Some(&self.entries[i]);
+        }
+        let energy =
+            |e: &CorpusEntry| (e.metric as u64 + 1) * (1 + 8 * e.new_branches as u64);
+        let total: u64 = self.entries.iter().map(|e| energy(e)).sum();
+        let mut ticket = rng.random_range(0..total);
+        for entry in &self.entries {
+            let e = energy(entry);
+            if ticket < e {
+                return Some(entry);
+            }
+            ticket -= e;
+        }
+        unreachable!("ticket always lands within total energy")
+    }
+
+    /// Picks a second, independent entry for crossover.
+    pub fn pick_other<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a CorpusEntry> {
+        self.pick(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn entry(metric: usize, tag: u8) -> CorpusEntry {
+        CorpusEntry { bytes: vec![tag], metric, new_branches: 0 }
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut c = Corpus::new(4);
+        assert!(c.is_empty());
+        c.insert(entry(1, 0));
+        c.insert(entry(2, 1));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn capacity_eviction_prefers_high_metric() {
+        let mut c = Corpus::new(2);
+        c.insert(entry(5, 0));
+        c.insert(entry(1, 1));
+        c.insert(entry(10, 2)); // evicts the metric-1 entry
+        let metrics: Vec<usize> = c.entries().iter().map(|e| e.metric).collect();
+        assert_eq!(c.len(), 2);
+        assert!(metrics.contains(&5) && metrics.contains(&10));
+        c.insert(entry(0, 3)); // worse than both and no new coverage: dropped
+        let metrics: Vec<usize> = c.entries().iter().map(|e| e.metric).collect();
+        assert!(metrics.contains(&5) && metrics.contains(&10));
+    }
+
+    #[test]
+    fn new_coverage_always_displaces_at_capacity() {
+        let mut c = Corpus::new(1);
+        c.insert(entry(100, 0));
+        c.insert(CorpusEntry { bytes: vec![9], metric: 0, new_branches: 3 });
+        assert_eq!(c.entries()[0].bytes, vec![9]);
+    }
+
+    #[test]
+    fn fifo_mode_evicts_oldest() {
+        let mut c = Corpus::new(2);
+        c.metric_weighted = false;
+        c.insert(entry(100, 0));
+        c.insert(entry(100, 1));
+        c.insert(entry(0, 2));
+        let tags: Vec<u8> = c.entries().iter().map(|e| e.bytes[0]).collect();
+        assert_eq!(tags, vec![1, 2]);
+    }
+
+    #[test]
+    fn weighted_pick_prefers_high_metric() {
+        let mut c = Corpus::new(4);
+        c.insert(entry(0, 0));
+        c.insert(entry(99, 1));
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut high = 0;
+        for _ in 0..1000 {
+            if c.pick(&mut rng).unwrap().bytes[0] == 1 {
+                high += 1;
+            }
+        }
+        assert!(high > 900, "high-metric seed picked only {high}/1000 times");
+    }
+
+    #[test]
+    fn uniform_pick_in_fifo_mode() {
+        let mut c = Corpus::new(4);
+        c.metric_weighted = false;
+        c.insert(entry(0, 0));
+        c.insert(entry(9999, 1));
+        let mut rng = SmallRng::seed_from_u64(43);
+        let mut high = 0;
+        for _ in 0..1000 {
+            if c.pick(&mut rng).unwrap().bytes[0] == 1 {
+                high += 1;
+            }
+        }
+        assert!((350..650).contains(&high), "uniform pick skewed: {high}/1000");
+    }
+
+    #[test]
+    fn empty_pick_is_none() {
+        let c = Corpus::new(4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(c.pick(&mut rng).is_none());
+    }
+}

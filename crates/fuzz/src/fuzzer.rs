@@ -1,0 +1,617 @@
+//! The fuzzing loop: compile once, then mutate → execute → collect coverage
+//! (Algorithm 1) → save test cases and interesting inputs.
+
+use std::time::{Duration, Instant};
+
+use cftcg_codegen::{CompiledModel, Executor, TestCase};
+use cftcg_coverage::{BranchBitmap, Recorder as _};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::corpus::{Corpus, CorpusEntry};
+use crate::mutate::Mutator;
+
+/// LibFuzzer's table of recent compares, adapted to model fuzzing: a
+/// bounded *deduplicated* dictionary of comparison operand values mined
+/// from execution. Deduplication matters here — a model executes hundreds
+/// of comparisons per iteration, and the rare run-time-computed operand
+/// (a sequence number, a timer threshold) must survive the flood once
+/// observed.
+#[derive(Debug, Clone)]
+struct Torc {
+    pairs: Vec<(f64, f64)>,
+    seen: std::collections::HashSet<(u64, u64)>,
+}
+
+impl Torc {
+    const CAPACITY: usize = 512;
+
+    fn new() -> Self {
+        Torc { pairs: Vec::new(), seen: std::collections::HashSet::new() }
+    }
+
+    fn push(&mut self, lhs: f64, rhs: f64) {
+        // Equal operands carry no information; non-finite values cannot be
+        // injected meaningfully; trivial pairs (both tiny) are already in
+        // the interesting-constant table.
+        if !lhs.is_finite()
+            || !rhs.is_finite()
+            || lhs == rhs
+            || (lhs.abs() <= 1.0 && rhs.abs() <= 1.0)
+            || self.pairs.len() >= Self::CAPACITY
+        {
+            return;
+        }
+        if self.seen.insert((lhs.to_bits(), rhs.to_bits())) {
+            self.pairs.push((lhs, rhs));
+        }
+    }
+}
+
+/// The fuzz loop's in-execution recorder: Algorithm 1's branch bitmap plus
+/// the TORC ring and assertion-violation flags.
+struct LoopRecorder<'a> {
+    bitmap: &'a mut BranchBitmap,
+    torc: &'a mut Torc,
+    failed_assertions: &'a mut Vec<bool>,
+}
+
+impl cftcg_coverage::Recorder for LoopRecorder<'_> {
+    #[inline]
+    fn branch(&mut self, id: cftcg_coverage::BranchId) {
+        self.bitmap.branch(id);
+    }
+
+    #[inline]
+    fn compare(&mut self, lhs: f64, rhs: f64) {
+        self.torc.push(lhs, rhs);
+    }
+
+    #[inline]
+    fn assertion(&mut self, id: cftcg_coverage::AssertionId, passed: bool) {
+        if !passed {
+            self.failed_assertions[id.index()] = true;
+        }
+    }
+}
+
+/// What the fuzzer treats as coverage feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeedbackMode {
+    /// Model-level branch probes — CFTCG proper.
+    #[default]
+    ModelLevel,
+    /// Only probes that survive as real jumps in optimized code — the
+    /// "Fuzz Only" baseline's view (boolean/relational ops are invisible).
+    CodeLevelOnly,
+}
+
+/// Fuzzing-loop configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// RNG seed (runs are deterministic given a seed and a budget type).
+    pub seed: u64,
+    /// Maximum stream length in tuples after structural mutations.
+    pub max_tuples: usize,
+    /// Maximum model iterations executed per input (defence against huge
+    /// streams; the paper's driver runs whole streams, which its mutation
+    /// caps implicitly).
+    pub max_iterations_per_input: usize,
+    /// Corpus capacity.
+    pub corpus_capacity: usize,
+    /// Field-aware, tuple-aligned mutation (ablation A2 turns this off).
+    pub field_aware: bool,
+    /// Metric-weighted corpus scheduling (ablation A1 turns this off).
+    pub metric_weighted_corpus: bool,
+    /// Coverage feedback granularity (Figure 8's "Fuzz Only" uses
+    /// [`FeedbackMode::CodeLevelOnly`]).
+    pub feedback: FeedbackMode,
+    /// Optional per-inport value ranges (paper §5): mutated values are
+    /// clamped into these, shrinking the random exploration space.
+    pub input_ranges: Option<Vec<crate::FieldRange>>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            max_tuples: 96,
+            max_iterations_per_input: 256,
+            corpus_capacity: 256,
+            field_aware: true,
+            metric_weighted_corpus: true,
+            feedback: FeedbackMode::ModelLevel,
+            input_ranges: None,
+        }
+    }
+}
+
+/// A coverage-growth event: total covered branches after `elapsed`, used to
+/// draw the paper's Figure 7 coverage-vs-time curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageEvent {
+    /// Wall-clock time since the run started.
+    pub elapsed: Duration,
+    /// Executions (test inputs) completed when the event fired.
+    pub executions: u64,
+    /// Total branches covered after this event.
+    pub covered_branches: usize,
+}
+
+/// The result of a fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Emitted test cases (inputs that triggered new model coverage), in
+    /// discovery order — the tool's actual output artifact.
+    pub suite: Vec<TestCase>,
+    /// First input found violating each assertion, as `(assertion index,
+    /// input)` — look the label up via
+    /// [`InstrumentationMap::assertions`](cftcg_coverage::InstrumentationMap::assertions).
+    pub violations: Vec<(usize, TestCase)>,
+    /// Timestamped coverage growth (one event per new-coverage input).
+    pub events: Vec<CoverageEvent>,
+    /// Inputs executed.
+    pub executions: u64,
+    /// Model iterations executed (inputs × tuples).
+    pub iterations: u64,
+    /// Total branch probes in the instrumentation map.
+    pub branch_count: usize,
+    /// Branches covered at the end of the run.
+    pub covered_branches: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl FuzzOutcome {
+    /// Final branch (decision-outcome) coverage.
+    pub fn branch_coverage(&self) -> cftcg_coverage::Ratio {
+        cftcg_coverage::Ratio::new(self.covered_branches, self.branch_count)
+    }
+
+    /// Model iterations per second achieved by the loop.
+    pub fn iterations_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.iterations as f64 / secs
+        }
+    }
+}
+
+/// The model-oriented fuzzer.
+pub struct Fuzzer<'c> {
+    exec: Executor<'c>,
+    mutator: Mutator,
+    corpus: Corpus,
+    rng: SmallRng,
+    config: FuzzConfig,
+    /// `g_TotalCov` of Algorithm 1.
+    total: BranchBitmap,
+    curr: BranchBitmap,
+    last: BranchBitmap,
+    /// Feedback visibility mask (all-true for model-level feedback).
+    mask: Vec<bool>,
+    /// Table of recent compares (LibFuzzer value-profile dictionary).
+    torc: Torc,
+    /// Per-assertion violation flags for the current execution.
+    failed_assertions: Vec<bool>,
+    /// Assertions already reported, with their witness inputs.
+    violations: Vec<(usize, TestCase)>,
+    suite: Vec<TestCase>,
+    events: Vec<CoverageEvent>,
+    executions: u64,
+    iterations: u64,
+    started: Instant,
+    elapsed: Duration,
+}
+
+impl<'c> Fuzzer<'c> {
+    /// Creates a fuzzer over a compiled model.
+    pub fn new(compiled: &'c CompiledModel, config: FuzzConfig) -> Self {
+        let branch_count = compiled.map().branch_count();
+        let mut mutator = Mutator::new(compiled.layout().clone(), config.max_tuples);
+        mutator.field_aware = config.field_aware;
+        if let Some(ranges) = &config.input_ranges {
+            mutator.set_ranges(ranges.clone());
+        }
+        let mut corpus = Corpus::new(config.corpus_capacity);
+        corpus.metric_weighted = config.metric_weighted_corpus;
+        let mask = match config.feedback {
+            FeedbackMode::ModelLevel => vec![true; branch_count],
+            FeedbackMode::CodeLevelOnly => compiled.map().code_level_mask(),
+        };
+        Fuzzer {
+            exec: Executor::new(compiled),
+            mutator,
+            corpus,
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            total: BranchBitmap::new(branch_count),
+            curr: BranchBitmap::new(branch_count),
+            last: BranchBitmap::new(branch_count),
+            mask,
+            torc: Torc::new(),
+            failed_assertions: vec![false; compiled.map().assertion_count()],
+            violations: Vec::new(),
+            suite: Vec::new(),
+            events: Vec::new(),
+            executions: 0,
+            iterations: 0,
+            started: Instant::now(),
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// The emitted test suite so far.
+    pub fn suite(&self) -> &[TestCase] {
+        &self.suite
+    }
+
+    /// Adds an externally produced input (e.g. a constraint-solving
+    /// witness) to the loop: it is executed immediately with full coverage
+    /// accounting, emitted as a test case if it finds new coverage, and
+    /// retained in the corpus for mutation — the hybrid bootstrap the
+    /// paper's §5 proposes ("first apply constraint solving ... and then
+    /// generate input data accordingly").
+    pub fn add_seed(&mut self, bytes: Vec<u8>) {
+        let (new_branches, metric) = self.execute(&bytes);
+        self.executions += 1;
+        if new_branches > 0 {
+            self.suite.push(TestCase::new(bytes.clone()));
+            self.events.push(CoverageEvent {
+                elapsed: self.started.elapsed(),
+                executions: self.executions,
+                covered_branches: self.total.count(),
+            });
+        }
+        self.corpus.insert(CorpusEntry { bytes, metric, new_branches });
+    }
+
+    /// Branches covered so far (under the configured feedback mask).
+    pub fn covered_branches(&self) -> usize {
+        self.total.count()
+    }
+
+    /// Runs until `budget` wall-clock time has elapsed (cumulative across
+    /// calls). Returns the outcome snapshot.
+    pub fn run_for(&mut self, budget: Duration) -> FuzzOutcome {
+        let deadline = Instant::now() + budget;
+        self.started = Instant::now() - self.elapsed;
+        while Instant::now() < deadline {
+            for _ in 0..64 {
+                self.fuzz_one();
+            }
+        }
+        self.elapsed = self.started.elapsed();
+        self.outcome()
+    }
+
+    /// Runs exactly `n` input executions (deterministic; used by tests and
+    /// budget-matched experiments).
+    pub fn run_executions(&mut self, n: u64) -> FuzzOutcome {
+        self.started = Instant::now() - self.elapsed;
+        for _ in 0..n {
+            self.fuzz_one();
+        }
+        self.elapsed = self.started.elapsed();
+        self.outcome()
+    }
+
+    /// Assertion violations found so far: `(assertion index, first
+    /// violating input)`.
+    pub fn violations(&self) -> &[(usize, TestCase)] {
+        &self.violations
+    }
+
+    /// Snapshot of the current results.
+    pub fn outcome(&self) -> FuzzOutcome {
+        FuzzOutcome {
+            suite: self.suite.clone(),
+            violations: self.violations.clone(),
+            events: self.events.clone(),
+            executions: self.executions,
+            iterations: self.iterations,
+            branch_count: self.total.len(),
+            covered_branches: self.total.count(),
+            elapsed: self.elapsed,
+        }
+    }
+
+    /// Generates one input (seed selection + mutation), executes it with
+    /// Algorithm 1's coverage collection, and files the results.
+    fn fuzz_one(&mut self) {
+        let mut data = match self.corpus.pick(&mut self.rng) {
+            Some(entry) => entry.bytes.clone(),
+            None => {
+                // Bootstrap: a single random tuple.
+                self.mutator.random_tuple(&mut self.rng)
+            }
+        };
+        let other = self.corpus.pick_other(&mut self.rng).map(|e| e.bytes.clone());
+        // LibFuzzer stacks several mutations per generated input, with the
+        // TORC comparison operands as a value dictionary.
+        let rounds = 1 + (self.rng.next_u32() % 4);
+        for _ in 0..rounds {
+            let dict = std::mem::take(&mut self.torc.pairs);
+            self.mutator
+                .mutate_with_dictionary(&mut self.rng, &mut data, other.as_deref(), &dict);
+            self.torc.pairs = dict;
+        }
+
+        let (new_branches, metric) = self.execute(&data);
+        self.executions += 1;
+
+        // Report first-time assertion violations with their witness input.
+        for i in 0..self.failed_assertions.len() {
+            if self.failed_assertions[i] && !self.violations.iter().any(|&(a, _)| a == i) {
+                self.violations.push((i, TestCase::new(data.clone())));
+            }
+        }
+        if new_branches > 0 {
+            // Algorithm 1 line 16: output the test case.
+            self.suite.push(TestCase::new(data.clone()));
+            self.events.push(CoverageEvent {
+                elapsed: self.started.elapsed(),
+                executions: self.executions,
+                covered_branches: self.total.count(),
+            });
+        }
+        if new_branches > 0 || metric > 0 {
+            self.corpus.insert(CorpusEntry { bytes: data, metric, new_branches });
+        }
+    }
+
+    /// Algorithm 1: runs one input, returning `(new branches, iteration
+    /// difference metric)`.
+    fn execute(&mut self, data: &[u8]) -> (usize, usize) {
+        self.exec.reset(); // Model_init()
+        let layout = self.exec.compiled().layout().clone();
+        let mut new_branches = 0;
+        let mut metric = 0;
+        self.last.clear();
+        self.failed_assertions.iter_mut().for_each(|f| *f = false);
+        for tuple in layout
+            .split(data)
+            .take(self.config.max_iterations_per_input)
+        {
+            self.curr.clear(); // line 11
+            let mut recorder = LoopRecorder {
+                bitmap: &mut self.curr,
+                torc: &mut self.torc,
+                failed_assertions: &mut self.failed_assertions,
+            };
+            self.exec.step_tuple(tuple, &mut recorder); // line 12
+            self.apply_mask();
+            new_branches += self.curr.merge_into(&mut self.total); // lines 13–16
+            metric += self.curr.diff_count(&self.last); // lines 17–18
+            self.last.copy_from(&self.curr); // line 19
+            self.iterations += 1;
+        }
+        (new_branches, metric)
+    }
+
+    /// Clears probe hits the configured feedback cannot observe.
+    fn apply_mask(&mut self) {
+        if matches!(self.config.feedback, FeedbackMode::ModelLevel) {
+            return;
+        }
+        for (i, visible) in self.mask.iter().enumerate() {
+            if !visible && self.curr.get(i) {
+                // Rebuild without the invisible hit.
+                let mut masked = BranchBitmap::new(self.curr.len());
+                for j in 0..self.curr.len() {
+                    if self.curr.get(j) && self.mask[j] {
+                        masked.branch(cftcg_coverage::BranchId(j as u32));
+                    }
+                }
+                self.curr = masked;
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_codegen::{compile, replay_suite};
+    use cftcg_model::expr::parse_expr;
+    use cftcg_model::{BlockKind, DataType, ModelBuilder, Value};
+
+    /// A model with an easy branch and a magic-value branch.
+    fn magic_model() -> cftcg_codegen::CompiledModel {
+        let mut b = ModelBuilder::new("magic");
+        let u = b.inport("u", DataType::U8);
+        let iff = b.add(
+            "if",
+            BlockKind::If {
+                num_inputs: 1,
+                conditions: vec![parse_expr("u1 == 77").unwrap()],
+                has_else: true,
+            },
+        );
+        fn const_action(name: &str, v: f64) -> BlockKind {
+            let mut b = ModelBuilder::new(name);
+            let c = b.constant("c", v);
+            let y = b.outport("y");
+            b.wire(c, y);
+            BlockKind::ActionSubsystem { model: Box::new(b.finish().unwrap()) }
+        }
+        let hit = b.add("hit", const_action("hm", 1.0));
+        let miss = b.add("miss", const_action("mm", 0.0));
+        let merge = b.add("merge", BlockKind::Merge { inputs: 2 });
+        let y = b.outport("y");
+        b.wire(u, iff);
+        b.connect(iff, 0, hit, 0);
+        b.connect(iff, 1, miss, 0);
+        b.connect(hit, 0, merge, 0);
+        b.connect(miss, 0, merge, 1);
+        b.wire(merge, y);
+        compile(&b.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fuzzer_finds_magic_byte() {
+        let compiled = magic_model();
+        let mut fuzzer = Fuzzer::new(&compiled, FuzzConfig { seed: 3, ..Default::default() });
+        let outcome = fuzzer.run_executions(5_000);
+        assert_eq!(
+            outcome.covered_branches, outcome.branch_count,
+            "expected full coverage, got {}/{}",
+            outcome.covered_branches, outcome.branch_count
+        );
+        // The emitted suite replays to the same decision coverage.
+        let report = replay_suite(&compiled, &outcome.suite);
+        assert_eq!(report.decision.percent(), 100.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let compiled = magic_model();
+        let run = |seed| {
+            let mut f = Fuzzer::new(&compiled, FuzzConfig { seed, ..Default::default() });
+            let o = f.run_executions(500);
+            (o.covered_branches, o.iterations, o.suite.len())
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn events_are_monotone() {
+        let compiled = magic_model();
+        let mut fuzzer = Fuzzer::new(&compiled, FuzzConfig { seed: 5, ..Default::default() });
+        let outcome = fuzzer.run_executions(2_000);
+        assert!(!outcome.events.is_empty());
+        for pair in outcome.events.windows(2) {
+            assert!(pair[0].covered_branches < pair[1].covered_branches);
+            assert!(pair[0].executions <= pair[1].executions);
+        }
+        assert_eq!(
+            outcome.events.last().unwrap().covered_branches,
+            outcome.covered_branches
+        );
+    }
+
+    #[test]
+    fn iteration_difference_metric_prefers_state_visiting_inputs() {
+        // A counter-driven model: inputs with more tuples exercise more
+        // distinct branch sets across iterations, so their metric is larger.
+        let mut b = ModelBuilder::new("counted");
+        let u = b.inport("u", DataType::U8);
+        let t = b.add("t", BlockKind::Terminator);
+        b.wire(u, t);
+        let cnt = b.add("cnt", BlockKind::CounterLimited { limit: 3 });
+        let cmp = b.add("cmp", BlockKind::Compare { op: cftcg_model::RelOp::Ge, constant: 2.0 });
+        let y = b.outport("y");
+        b.wire(cnt, cmp);
+        b.wire(cmp, y);
+        let compiled = compile(&b.finish().unwrap()).unwrap();
+
+        let mut fuzzer = Fuzzer::new(&compiled, FuzzConfig { seed: 1, ..Default::default() });
+        let (_, metric_short) = fuzzer.execute(&[0]);
+        let (_, metric_long) = fuzzer.execute(&[0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(
+            metric_long > metric_short,
+            "long state-visiting input should score higher: {metric_long} vs {metric_short}"
+        );
+    }
+
+    /// Reproduces the statistical schematic of the paper's Figure 6: three
+    /// iterations whose per-iteration branch sets give an Iteration
+    /// Difference Coverage metric of 10 (= 3 + 4 + 3).
+    ///
+    /// A free-running counter drives k = 0, 1, 2 through a Saturation
+    /// (thresholds 0.5 / 1.5, giving nested conditionally-evaluated
+    /// decisions) and a Compare (k >= 1):
+    ///
+    /// * iteration 1 hits {upper:false, lower:true, cmp:false}      → diff 3
+    /// * iteration 2 hits {upper:false, lower:false, cmp:true}      → diff 4
+    /// * iteration 3 hits {upper:true, cmp:true} (lower not reached)→ diff 3
+    #[test]
+    fn figure_6_iteration_difference_metric() {
+        let mut b = ModelBuilder::new("fig6");
+        let u = b.inport("u", DataType::U8);
+        let t = b.add("t", BlockKind::Terminator);
+        b.wire(u, t);
+        let k = b.add("k", BlockKind::CounterFreeRunning { bits: 8 });
+        let sat = b.add("sat", BlockKind::Saturation { lower: 0.5, upper: 1.5 });
+        let cmp = b.add("cmp", BlockKind::Compare { op: cftcg_model::RelOp::Ge, constant: 1.0 });
+        let y0 = b.outport("y0");
+        let y1 = b.outport("y1");
+        b.wire(k, sat);
+        b.feed(k, cmp, 0);
+        b.wire(sat, y0);
+        b.wire(cmp, y1);
+        let compiled = compile(&b.finish().unwrap()).unwrap();
+        // 3 decisions × 2 outcomes = 6 branch probes, as in the schematic.
+        assert_eq!(compiled.map().branch_count(), 6);
+
+        let mut fuzzer = Fuzzer::new(&compiled, FuzzConfig::default());
+        let (new_branches, metric) = fuzzer.execute(&[0, 0, 0]);
+        assert_eq!(metric, 10, "Figure 6: metric = 3 + 4 + 3");
+        assert_eq!(new_branches, 6, "all six probes fire across the three iterations");
+    }
+
+    #[test]
+    fn code_level_feedback_sees_fewer_branches() {
+        // A pure boolean pipeline: AND gate → outport. Model-level feedback
+        // sees its branches; code-level feedback sees nothing (branchless).
+        let mut b = ModelBuilder::new("bool");
+        let x = b.inport("x", DataType::Bool);
+        let w = b.inport("w", DataType::Bool);
+        let and = b.add("and", BlockKind::Logic { op: cftcg_model::LogicOp::And, inputs: 2 });
+        let y = b.outport("y");
+        b.connect(x, 0, and, 0);
+        b.connect(w, 0, and, 1);
+        b.wire(and, y);
+        let compiled = compile(&b.finish().unwrap()).unwrap();
+
+        let mut model_level =
+            Fuzzer::new(&compiled, FuzzConfig { seed: 2, ..Default::default() });
+        let m = model_level.run_executions(200);
+        assert!(m.covered_branches > 0);
+
+        let mut code_level = Fuzzer::new(
+            &compiled,
+            FuzzConfig { seed: 2, feedback: FeedbackMode::CodeLevelOnly, ..Default::default() },
+        );
+        let c = code_level.run_executions(200);
+        assert_eq!(c.covered_branches, 0, "boolean branches must be invisible");
+        // ... and therefore it emits no test cases at all for this model.
+        assert!(c.suite.is_empty());
+    }
+
+    #[test]
+    fn run_for_respects_wall_clock() {
+        let compiled = magic_model();
+        let mut fuzzer = Fuzzer::new(&compiled, FuzzConfig { seed: 9, ..Default::default() });
+        let outcome = fuzzer.run_for(Duration::from_millis(30));
+        assert!(outcome.executions > 0);
+        assert!(outcome.elapsed >= Duration::from_millis(30));
+        assert!(outcome.iterations_per_second() > 0.0);
+    }
+
+    #[test]
+    fn suite_replay_matches_final_coverage() {
+        let compiled = magic_model();
+        let mut fuzzer = Fuzzer::new(&compiled, FuzzConfig { seed: 13, ..Default::default() });
+        let outcome = fuzzer.run_executions(3_000);
+        let report = replay_suite(&compiled, &outcome.suite);
+        assert_eq!(report.decision.covered, outcome.covered_branches);
+    }
+
+    #[test]
+    fn inputless_model_does_not_hang() {
+        let mut b = ModelBuilder::new("none");
+        let c = b.constant("c", Value::F64(5.0));
+        let sat = b.add("sat", BlockKind::Saturation { lower: 0.0, upper: 1.0 });
+        let y = b.outport("y");
+        b.wire(c, sat);
+        b.wire(sat, y);
+        let compiled = compile(&b.finish().unwrap()).unwrap();
+        let mut fuzzer = Fuzzer::new(&compiled, FuzzConfig { seed: 0, ..Default::default() });
+        let outcome = fuzzer.run_executions(50);
+        assert_eq!(outcome.executions, 50);
+    }
+}

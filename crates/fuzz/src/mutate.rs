@@ -1,0 +1,894 @@
+//! Model input mutation (paper §3.2.1, Table 1).
+//!
+//! All strategies operate on *tuples* — the per-iteration input records
+//! defined by the fuzz driver's [`TupleLayout`] — so structural edits
+//! (erase/insert/shuffle/copy/crossover) keep every remaining byte aligned
+//! with its inport field. The two value strategies mutate a single field
+//! knowing its width and class: integers get sign flips, byte swaps, bit
+//! flips, byte sets, small deltas, and re-randomization; floats get
+//! format-aware sign/exponent/mantissa edits and special values.
+//!
+//! Setting [`Mutator::field_aware`] to `false` degrades every strategy to
+//! blind byte-stream editing (arbitrary-length erase/insert), reproducing
+//! the misalignment failure mode of the paper's "Fuzz Only" baseline.
+
+use cftcg_codegen::TupleLayout;
+use cftcg_model::DataType;
+use rand::prelude::IndexedRandom;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The eight strategies of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// Modifies a binary integer field within a tuple.
+    ChangeBinaryInteger,
+    /// Modifies a binary float field, aware of the IEEE-754 layout.
+    ChangeBinaryFloat,
+    /// Removes a range of tuples.
+    EraseTuples,
+    /// Inserts a new tuple with a random value.
+    InsertTuple,
+    /// Inserts a sequence of repeated tuples.
+    InsertRepeatedTuples,
+    /// Shuffles the order of tuples.
+    ShuffleTuples,
+    /// Copies tuples into another position.
+    CopyTuples,
+    /// Combines tuples from two streams.
+    TuplesCrossOver,
+}
+
+impl MutationKind {
+    /// All strategies, in Table 1 order.
+    pub const ALL: [MutationKind; 8] = [
+        MutationKind::ChangeBinaryInteger,
+        MutationKind::ChangeBinaryFloat,
+        MutationKind::EraseTuples,
+        MutationKind::InsertTuple,
+        MutationKind::InsertRepeatedTuples,
+        MutationKind::ShuffleTuples,
+        MutationKind::CopyTuples,
+        MutationKind::TuplesCrossOver,
+    ];
+}
+
+/// An inclusive numeric range constraint for one inport field — the
+/// paper's §5 extension: "we can ask the testers to specify the value
+/// ranges for inports before test case generation. Then, during input
+/// mutation, we can add constraints based on the specified input ranges."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldRange {
+    /// Smallest admissible value.
+    pub min: f64,
+    /// Largest admissible value.
+    pub max: f64,
+}
+
+impl FieldRange {
+    /// Creates a range; `min` and `max` are swapped if reversed.
+    pub fn new(min: f64, max: f64) -> Self {
+        if min <= max {
+            FieldRange { min, max }
+        } else {
+            FieldRange { min: max, max: min }
+        }
+    }
+
+    /// Clamps a value into the range.
+    pub fn clamp(self, x: f64) -> f64 {
+        if x.is_nan() {
+            self.min
+        } else {
+            x.clamp(self.min, self.max)
+        }
+    }
+}
+
+/// The model input mutator.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    layout: TupleLayout,
+    /// Field-wise, tuple-aligned mutation (CFTCG) vs blind byte editing
+    /// (the "Fuzz Only" ablation).
+    pub field_aware: bool,
+    /// Maximum stream length in tuples after structural mutations.
+    pub max_tuples: usize,
+    /// Optional per-field value-range constraints (paper §5). Mutated and
+    /// freshly generated field values are clamped into their range, so the
+    /// random exploration space shrinks to what the tester declared valid.
+    ranges: Option<Vec<FieldRange>>,
+}
+
+impl Mutator {
+    /// Creates a field-aware mutator for a model's tuple layout.
+    pub fn new(layout: TupleLayout, max_tuples: usize) -> Self {
+        Mutator { layout, field_aware: true, max_tuples, ranges: None }
+    }
+
+    /// Installs per-field range constraints (one per inport, in port
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count does not match the layout's field count.
+    pub fn set_ranges(&mut self, ranges: Vec<FieldRange>) {
+        assert_eq!(ranges.len(), self.layout.fields().len(), "one range per field");
+        self.ranges = Some(ranges);
+    }
+
+    /// A zero tuple clamped into the configured ranges — the padding unit
+    /// for structural mutations.
+    fn blank_tuple(&self) -> Vec<u8> {
+        let mut tuple = vec![0u8; self.layout.tuple_size()];
+        self.constrain_tuple(&mut tuple);
+        tuple
+    }
+
+    /// Clamps the field values of one tuple into the configured ranges.
+    fn constrain_tuple(&self, tuple: &mut [u8]) {
+        let Some(ranges) = &self.ranges else { return };
+        for (i, (field, range)) in self.layout.fields().iter().zip(ranges).enumerate() {
+            let r = self.layout.field_range(i);
+            let v = cftcg_model::Value::from_le_bytes(&tuple[r.clone()], field.dtype);
+            let clamped = range.clamp(v.as_f64());
+            if clamped != v.as_f64() || v.as_f64().is_nan() {
+                let bytes =
+                    cftcg_model::Value::from_f64(clamped, field.dtype).to_le_bytes();
+                tuple[r].copy_from_slice(&bytes);
+            }
+        }
+    }
+
+    /// The driving layout.
+    pub fn layout(&self) -> &TupleLayout {
+        &self.layout
+    }
+
+    /// Mutates `data` in place. `other` provides the second stream for
+    /// [`MutationKind::TuplesCrossOver`] (ignored by other strategies).
+    /// Returns the strategy applied.
+    pub fn mutate(
+        &self,
+        rng: &mut SmallRng,
+        data: &mut Vec<u8>,
+        other: Option<&[u8]>,
+    ) -> MutationKind {
+        self.mutate_with_dictionary(rng, data, other, &[])
+    }
+
+    /// Like [`Mutator::mutate`], additionally drawing field values from a
+    /// `dictionary` of comparison operand *pairs* observed at run time —
+    /// LibFuzzer's TORC-based value injection. When one side of a recorded
+    /// comparison is found verbatim in a field, it is replaced by the other
+    /// side, cracking exact-match guards like `ack_in == seq + 1` in one
+    /// step.
+    pub fn mutate_with_dictionary(
+        &self,
+        rng: &mut SmallRng,
+        data: &mut Vec<u8>,
+        other: Option<&[u8]>,
+        dictionary: &[(f64, f64)],
+    ) -> MutationKind {
+        if !self.field_aware {
+            return self.mutate_blind(rng, data, other);
+        }
+        // Value mutations are weighted above structural ones, matching the
+        // balance of LibFuzzer's default mutator mix.
+        const WEIGHTED: [MutationKind; 13] = [
+            MutationKind::ChangeBinaryInteger,
+            MutationKind::ChangeBinaryInteger,
+            MutationKind::ChangeBinaryInteger,
+            MutationKind::ChangeBinaryFloat,
+            MutationKind::ChangeBinaryFloat,
+            MutationKind::EraseTuples,
+            MutationKind::InsertTuple,
+            MutationKind::InsertRepeatedTuples,
+            MutationKind::InsertRepeatedTuples,
+            MutationKind::ShuffleTuples,
+            MutationKind::CopyTuples,
+            MutationKind::TuplesCrossOver,
+            MutationKind::TuplesCrossOver,
+        ];
+        let kind = *WEIGHTED.choose(rng).expect("non-empty strategy table");
+        self.apply_with_dictionary(kind, rng, data, other, dictionary);
+        kind
+    }
+
+    /// Applies one specific strategy (used by tests and ablations).
+    pub fn apply(
+        &self,
+        kind: MutationKind,
+        rng: &mut SmallRng,
+        data: &mut Vec<u8>,
+        other: Option<&[u8]>,
+    ) {
+        self.apply_with_dictionary(kind, rng, data, other, &[]);
+    }
+
+    /// [`Mutator::apply`] with a runtime comparison-operand dictionary.
+    pub fn apply_with_dictionary(
+        &self,
+        kind: MutationKind,
+        rng: &mut SmallRng,
+        data: &mut Vec<u8>,
+        other: Option<&[u8]>,
+        dictionary: &[(f64, f64)],
+    ) {
+        let tsize = self.layout.tuple_size();
+        if tsize == 0 {
+            return; // inputless model: nothing to mutate
+        }
+        // Ensure at least one tuple to work on.
+        if data.len() < tsize {
+            *data = self.blank_tuple();
+        }
+        // Truncate any trailing fragment so structural edits stay aligned.
+        data.truncate((data.len() / tsize) * tsize);
+        let n = data.len() / tsize;
+        match kind {
+            MutationKind::ChangeBinaryInteger => {
+                let fields: Vec<usize> = self
+                    .layout
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| !f.dtype.is_float())
+                    .map(|(i, _)| i)
+                    .collect();
+                if let Some(&field) = fields.choose(rng) {
+                    let t = rng.random_range(0..n);
+                    let range = self.layout.field_range(field);
+                    let dtype = self.layout.fields()[field].dtype;
+                    let bytes = &mut data[t * tsize..][range];
+                    if !dictionary.is_empty() && rng.random_bool(0.5) {
+                        write_dictionary_value(rng, bytes, dtype, dictionary);
+                        self.constrain_tuple(&mut data[t * tsize..(t + 1) * tsize]);
+                        if rng.random_bool(0.5) {
+                            self.torc_patch(rng, data, dictionary);
+                        }
+                    } else {
+                        mutate_integer(rng, bytes);
+                        self.constrain_tuple(&mut data[t * tsize..(t + 1) * tsize]);
+                    }
+                }
+            }
+            MutationKind::ChangeBinaryFloat => {
+                let fields: Vec<usize> = self
+                    .layout
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.dtype.is_float())
+                    .map(|(i, _)| i)
+                    .collect();
+                if let Some(&field) = fields.choose(rng) {
+                    let t = rng.random_range(0..n);
+                    let range = self.layout.field_range(field);
+                    let dtype = self.layout.fields()[field].dtype;
+                    let bytes = &mut data[t * tsize..][range];
+                    if !dictionary.is_empty() && rng.random_bool(0.3) {
+                        write_dictionary_value(rng, bytes, dtype, dictionary);
+                    } else {
+                        mutate_float(rng, bytes, dtype);
+                    }
+                    self.constrain_tuple(&mut data[t * tsize..(t + 1) * tsize]);
+                } else {
+                    // No float inports: fall back to an integer edit.
+                    self.apply_with_dictionary(
+                        MutationKind::ChangeBinaryInteger,
+                        rng,
+                        data,
+                        other,
+                        dictionary,
+                    );
+                }
+            }
+            MutationKind::EraseTuples => {
+                if n > 1 {
+                    let start = rng.random_range(0..n);
+                    let len = rng.random_range(1..=(n - start).min(4));
+                    data.drain(start * tsize..(start + len) * tsize);
+                    if data.is_empty() {
+                        *data = self.blank_tuple();
+                    }
+                }
+            }
+            MutationKind::InsertTuple => {
+                if n < self.max_tuples {
+                    let at = rng.random_range(0..=n);
+                    let tuple = self.random_tuple(rng);
+                    splice_in(data, at * tsize, &tuple);
+                }
+            }
+            MutationKind::InsertRepeatedTuples => {
+                if n < self.max_tuples {
+                    let at = rng.random_range(0..=n);
+                    let count = rng
+                        .random_range(2..=24usize)
+                        .min(self.max_tuples.saturating_sub(n).max(1));
+                    // Repeat either an existing tuple or a random one —
+                    // repeated tuples drive state machines forward.
+                    let tuple = if n > 0 && rng.random_bool(0.7) {
+                        let t = rng.random_range(0..n);
+                        data[t * tsize..(t + 1) * tsize].to_vec()
+                    } else {
+                        self.random_tuple(rng)
+                    };
+                    let mut block = Vec::with_capacity(count * tsize);
+                    for _ in 0..count {
+                        block.extend_from_slice(&tuple);
+                    }
+                    splice_in(data, at * tsize, &block);
+                }
+            }
+            MutationKind::ShuffleTuples => {
+                if n > 1 {
+                    let start = rng.random_range(0..n - 1);
+                    let len = rng.random_range(2..=(n - start).min(6));
+                    // Fisher–Yates over whole tuples.
+                    for i in (1..len).rev() {
+                        let j = rng.random_range(0..=i);
+                        swap_tuples(data, tsize, start + i, start + j);
+                    }
+                }
+            }
+            MutationKind::CopyTuples => {
+                if n > 1 {
+                    let src = rng.random_range(0..n);
+                    let len = rng.random_range(1..=(n - src).min(4));
+                    let dst = rng.random_range(0..=n - len);
+                    let block = data[src * tsize..(src + len) * tsize].to_vec();
+                    data[dst * tsize..(dst + len) * tsize].copy_from_slice(&block);
+                }
+            }
+            MutationKind::TuplesCrossOver => {
+                if let Some(other) = other {
+                    let m = other.len() / tsize;
+                    if m > 0 {
+                        let keep = rng.random_range(0..=n);
+                        let take = rng.random_range(0..=m);
+                        data.truncate(keep * tsize);
+                        data.extend_from_slice(&other[..take * tsize]);
+                        if data.is_empty() {
+                            *data = self.blank_tuple();
+                        }
+                        let cap = self.max_tuples * tsize;
+                        data.truncate(cap.max(tsize));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Generates one random tuple (every field randomized within its type).
+    pub fn random_tuple(&self, rng: &mut SmallRng) -> Vec<u8> {
+        let mut tuple = vec![0u8; self.layout.tuple_size()];
+        rng.fill(tuple.as_mut_slice());
+        // Bias booleans towards valid 0/1 encodings.
+        for (i, field) in self.layout.fields().iter().enumerate() {
+            if field.dtype == DataType::Bool && rng.random_bool(0.8) {
+                let range = self.layout.field_range(i);
+                tuple[range.start] = u8::from(rng.random_bool(0.5));
+            }
+        }
+        self.constrain_tuple(&mut tuple);
+        tuple
+    }
+
+    /// LibFuzzer's cmp-guided patch: when one side of a recorded comparison
+    /// occurs verbatim as a field value somewhere in the stream, replace it
+    /// with the other side (occasionally ±1). This solves equality guards
+    /// against run-time-computed values in a single mutation.
+    fn torc_patch(&self, rng: &mut SmallRng, data: &mut [u8], dictionary: &[(f64, f64)]) {
+        let tsize = self.layout.tuple_size();
+        if tsize == 0 || data.len() < tsize || dictionary.is_empty() {
+            return;
+        }
+        let &(a, b) = dictionary.choose(rng).expect("non-empty dictionary");
+        let n = data.len() / tsize;
+        // Scan for either operand; patch the first match found starting
+        // from a random position so repeated calls spread across the input.
+        let start = rng.random_range(0..n);
+        for k in 0..n {
+            let t = (start + k) % n;
+            for (fi, field) in self.layout.fields().iter().enumerate() {
+                let r = self.layout.field_range(fi);
+                let tuple = &mut data[t * tsize..(t + 1) * tsize];
+                let current =
+                    cftcg_model::Value::from_le_bytes(&tuple[r.clone()], field.dtype).as_f64();
+                let replacement = if current == a {
+                    b
+                } else if current == b {
+                    a
+                } else {
+                    continue;
+                };
+                let mut v = replacement;
+                match rng.random_range(0..3u8) {
+                    0 => v += 1.0,
+                    1 => v -= 1.0,
+                    _ => {}
+                }
+                let value = cftcg_model::Value::from_f64(v, field.dtype);
+                tuple[r].copy_from_slice(&value.to_le_bytes());
+                self.constrain_tuple(tuple);
+                return;
+            }
+        }
+    }
+
+    /// Blind byte-stream mutation (the "Fuzz Only" ablation): LibFuzzer-ish
+    /// edits with no knowledge of tuple or field boundaries, so inserts and
+    /// erases of arbitrary length shift every following field.
+    fn mutate_blind(
+        &self,
+        rng: &mut SmallRng,
+        data: &mut Vec<u8>,
+        other: Option<&[u8]>,
+    ) -> MutationKind {
+        if data.is_empty() {
+            data.resize(self.layout.tuple_size().max(1), 0);
+        }
+        let max_len = (self.max_tuples * self.layout.tuple_size()).max(8);
+        let choice = rng.random_range(0..5u8);
+        match choice {
+            0 => {
+                // Flip a random bit.
+                let i = rng.random_range(0..data.len());
+                data[i] ^= 1 << rng.random_range(0..8u8);
+                MutationKind::ChangeBinaryInteger
+            }
+            1 => {
+                // Overwrite a random byte.
+                let i = rng.random_range(0..data.len());
+                data[i] = rng.random();
+                MutationKind::ChangeBinaryInteger
+            }
+            2 => {
+                // Erase a random byte range (misaligns following fields).
+                if data.len() > 1 {
+                    let start = rng.random_range(0..data.len() - 1);
+                    let len = rng.random_range(1..=(data.len() - start).min(9));
+                    data.drain(start..start + len);
+                }
+                MutationKind::EraseTuples
+            }
+            3 => {
+                // Insert random bytes (misaligns following fields).
+                if data.len() < max_len {
+                    let at = rng.random_range(0..=data.len());
+                    let len = rng.random_range(1..=9usize);
+                    let bytes: Vec<u8> = (0..len).map(|_| rng.random()).collect();
+                    splice_in(data, at, &bytes);
+                }
+                MutationKind::InsertTuple
+            }
+            _ => {
+                // Byte-level crossover.
+                if let Some(other) = other {
+                    if !other.is_empty() {
+                        let keep = rng.random_range(0..=data.len());
+                        let take = rng.random_range(0..=other.len());
+                        data.truncate(keep);
+                        data.extend_from_slice(&other[..take]);
+                        data.truncate(max_len);
+                        if data.is_empty() {
+                            data.push(0);
+                        }
+                    }
+                }
+                MutationKind::TuplesCrossOver
+            }
+        }
+    }
+}
+
+fn splice_in(data: &mut Vec<u8>, at: usize, block: &[u8]) {
+    let tail = data.split_off(at);
+    data.extend_from_slice(block);
+    data.extend_from_slice(&tail);
+}
+
+fn swap_tuples(data: &mut [u8], tsize: usize, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let (a, b) = (a.min(b), a.max(b));
+    let (head, tail) = data.split_at_mut(b * tsize);
+    head[a * tsize..(a + 1) * tsize].swap_with_slice(&mut tail[..tsize]);
+}
+
+/// The integer sub-strategies the paper lists: "changing the sign bit, byte
+/// swapping, bit flipping, byte modification, adding or subtracting values,
+/// and random changes".
+/// Writes a dictionary (TORC) operand into a field, with an occasional ±1
+/// jitter so strict and non-strict comparison boundaries both get hit.
+fn write_dictionary_value(
+    rng: &mut SmallRng,
+    bytes: &mut [u8],
+    dtype: DataType,
+    dictionary: &[(f64, f64)],
+) {
+    let &(a, b) = dictionary.choose(rng).expect("non-empty dictionary");
+    let mut v = if rng.random_bool(0.5) { a } else { b };
+    match rng.random_range(0..3u8) {
+        0 => v += 1.0,
+        1 => v -= 1.0,
+        _ => {}
+    }
+    let value = cftcg_model::Value::from_f64(v, dtype);
+    bytes.copy_from_slice(&value.to_le_bytes());
+}
+
+/// LibFuzzer-style interesting integer constants (the base framework
+/// injects these alongside bit-level edits; boundary values crack
+/// comparison windows that uniform randomness almost never hits).
+const INTERESTING: [i64; 22] = [
+    0, 1, 2, 3, 4, 8, 10, 16, 32, 64, 100, 127, 128, 255, 256, 512, 1000, 1024, 4096, 32767,
+    65535, 1_000_000,
+];
+
+fn mutate_integer(rng: &mut SmallRng, bytes: &mut [u8]) {
+    match rng.random_range(0..7u8) {
+        0 => {
+            // Sign bit (most significant bit of the little-endian value).
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x80;
+        }
+        1 => {
+            // Byte swap.
+            if bytes.len() > 1 {
+                let i = rng.random_range(0..bytes.len());
+                let j = rng.random_range(0..bytes.len());
+                bytes.swap(i, j);
+            } else {
+                bytes[0] = bytes[0].swap_bytes(); // no-op width: flip nibbles instead
+            }
+        }
+        2 => {
+            // Bit flip.
+            let i = rng.random_range(0..bytes.len());
+            bytes[i] ^= 1 << rng.random_range(0..8u8);
+        }
+        3 => {
+            // Byte modification.
+            let i = rng.random_range(0..bytes.len());
+            bytes[i] = rng.random();
+        }
+        4 => {
+            // Add or subtract a small value on the full little-endian word.
+            let mut word = [0u8; 8];
+            word[..bytes.len()].copy_from_slice(bytes);
+            let v = u64::from_le_bytes(word);
+            let delta = rng.random_range(1..=16u64);
+            let v = if rng.random_bool(0.5) {
+                v.wrapping_add(delta)
+            } else {
+                v.wrapping_sub(delta)
+            };
+            bytes.copy_from_slice(&v.to_le_bytes()[..bytes.len()]);
+        }
+        5 => {
+            // Interesting constant, optionally negated.
+            let mut v = *INTERESTING.choose(rng).expect("non-empty");
+            if rng.random_bool(0.3) {
+                v = -v;
+            }
+            bytes.copy_from_slice(&v.to_le_bytes()[..bytes.len()]);
+        }
+        _ => {
+            // Random change.
+            rng.fill(bytes);
+        }
+    }
+}
+
+/// Format-aware float mutation: sign / exponent / mantissa edits plus
+/// interesting constants.
+fn mutate_float(rng: &mut SmallRng, bytes: &mut [u8], dtype: DataType) {
+    const SPECIALS: [f64; 9] = [0.0, -0.0, 1.0, -1.0, 0.5, 1e6, -1e6, f64::INFINITY, f64::NAN];
+    match rng.random_range(0..4u8) {
+        0 => {
+            // Sign bit.
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x80;
+        }
+        1 => {
+            // Exponent nudge: multiply/divide by a power of two.
+            let factor = [0.5, 2.0, 4.0, 0.25].choose(rng).copied().expect("non-empty");
+            scale_float(bytes, dtype, factor);
+        }
+        2 => {
+            // Mantissa bit flip (low-order bytes).
+            let i = rng.random_range(0..bytes.len().max(2) - 1);
+            bytes[i] ^= 1 << rng.random_range(0..8u8);
+        }
+        _ => {
+            // Special value.
+            let v = *SPECIALS.choose(rng).expect("non-empty");
+            write_float(bytes, dtype, v);
+        }
+    }
+}
+
+fn scale_float(bytes: &mut [u8], dtype: DataType, factor: f64) {
+    match dtype {
+        DataType::F32 => {
+            let v = f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+            bytes.copy_from_slice(&(v * factor as f32).to_le_bytes());
+        }
+        _ => {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(bytes);
+            let v = f64::from_le_bytes(word);
+            bytes.copy_from_slice(&(v * factor).to_le_bytes());
+        }
+    }
+}
+
+fn write_float(bytes: &mut [u8], dtype: DataType, v: f64) {
+    match dtype {
+        DataType::F32 => bytes.copy_from_slice(&(v as f32).to_le_bytes()),
+        _ => bytes.copy_from_slice(&v.to_le_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_model::{BlockKind, ModelBuilder};
+    use rand::SeedableRng;
+
+    fn layout() -> TupleLayout {
+        // Mirrors the SolarPV driver: int8 + int32 + int32 (9 bytes), plus a
+        // double field to exercise float mutation (17 bytes total).
+        let mut b = ModelBuilder::new("m");
+        let e = b.inport("Enable", DataType::I8);
+        let p = b.inport("Power", DataType::I32);
+        let id = b.inport("PanelID", DataType::I32);
+        let lvl = b.inport("Level", DataType::F64);
+        for (i, u) in [e, p, id, lvl].into_iter().enumerate() {
+            let t = b.add(format!("t{i}"), BlockKind::Terminator);
+            b.wire(u, t);
+        }
+        TupleLayout::for_model(&b.finish().unwrap())
+    }
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn field_aware_mutations_preserve_tuple_alignment() {
+        let m = Mutator::new(layout(), 32);
+        let tsize = m.layout().tuple_size();
+        let mut r = rng(1);
+        let mut data = vec![0u8; tsize * 4];
+        let other = vec![7u8; tsize * 3];
+        for _ in 0..2_000 {
+            m.mutate(&mut r, &mut data, Some(&other));
+            assert_eq!(
+                data.len() % tsize,
+                0,
+                "tuple alignment broken: {} bytes",
+                data.len()
+            );
+            assert!(!data.is_empty());
+            assert!(data.len() <= (32 + 8) * tsize);
+        }
+    }
+
+    #[test]
+    fn every_strategy_applies_cleanly() {
+        let m = Mutator::new(layout(), 16);
+        let tsize = m.layout().tuple_size();
+        let mut r = rng(2);
+        for kind in MutationKind::ALL {
+            let mut data = vec![1u8; tsize * 3];
+            let other = vec![9u8; tsize * 2];
+            m.apply(kind, &mut r, &mut data, Some(&other));
+            assert_eq!(data.len() % tsize, 0, "{kind:?} broke alignment");
+        }
+    }
+
+    #[test]
+    fn integer_mutation_changes_only_target_field() {
+        let m = Mutator::new(layout(), 16);
+        let tsize = m.layout().tuple_size();
+        let mut r = rng(3);
+        for _ in 0..200 {
+            let mut data = vec![0u8; tsize * 2];
+            m.apply(MutationKind::ChangeBinaryInteger, &mut r, &mut data, None);
+            // Count which fields changed; must be at most one field in one
+            // tuple (integer fields only: offsets 0..9).
+            let mut touched_fields = 0;
+            for t in 0..2 {
+                for field in 0..m.layout().fields().len() {
+                    let range = m.layout().field_range(field);
+                    let slice = &data[t * tsize + range.start..t * tsize + range.end];
+                    if slice.iter().any(|&b| b != 0) {
+                        touched_fields += 1;
+                        assert!(
+                            !m.layout().fields()[field].dtype.is_float(),
+                            "integer strategy touched a float field"
+                        );
+                    }
+                }
+            }
+            assert!(touched_fields <= 1);
+        }
+    }
+
+    #[test]
+    fn float_mutation_targets_float_fields() {
+        let m = Mutator::new(layout(), 16);
+        let tsize = m.layout().tuple_size();
+        let mut r = rng(4);
+        let mut any_changed = false;
+        for _ in 0..100 {
+            let mut data = vec![0u8; tsize];
+            m.apply(MutationKind::ChangeBinaryFloat, &mut r, &mut data, None);
+            let float_range = m.layout().field_range(3);
+            let int_part = &data[..float_range.start];
+            assert!(int_part.iter().all(|&b| b == 0), "float strategy touched ints");
+            if data[float_range].iter().any(|&b| b != 0) {
+                any_changed = true;
+            }
+        }
+        assert!(any_changed, "float mutation never changed anything");
+    }
+
+    #[test]
+    fn erase_never_leaves_empty_stream() {
+        let m = Mutator::new(layout(), 16);
+        let tsize = m.layout().tuple_size();
+        let mut r = rng(5);
+        let mut data = vec![0u8; tsize];
+        for _ in 0..50 {
+            m.apply(MutationKind::EraseTuples, &mut r, &mut data, None);
+            assert!(data.len() >= tsize);
+        }
+    }
+
+    #[test]
+    fn crossover_combines_two_streams() {
+        let m = Mutator::new(layout(), 16);
+        let tsize = m.layout().tuple_size();
+        let mut r = rng(6);
+        let other = vec![0xAB; tsize * 4];
+        let mut saw_other_bytes = false;
+        for _ in 0..100 {
+            let mut data = vec![0x11; tsize * 4];
+            m.apply(MutationKind::TuplesCrossOver, &mut r, &mut data, Some(&other));
+            assert_eq!(data.len() % tsize, 0);
+            if data.contains(&0xAB) {
+                saw_other_bytes = true;
+            }
+        }
+        assert!(saw_other_bytes);
+    }
+
+    #[test]
+    fn blind_mode_misaligns_fields() {
+        let mut m = Mutator::new(layout(), 16);
+        m.field_aware = false;
+        let tsize = m.layout().tuple_size();
+        let mut r = rng(7);
+        let mut data = vec![0u8; tsize * 4];
+        let mut misaligned = false;
+        for _ in 0..500 {
+            m.mutate(&mut r, &mut data, None);
+            if data.len() % tsize != 0 {
+                misaligned = true;
+            }
+        }
+        assert!(misaligned, "blind mutation should break tuple alignment");
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset_of_tuples() {
+        let m = Mutator::new(layout(), 16);
+        let tsize = m.layout().tuple_size();
+        let mut r = rng(8);
+        let mut data = Vec::new();
+        for t in 0..5u8 {
+            let mut tuple = vec![t; tsize];
+            tuple[0] = t;
+            data.extend_from_slice(&tuple);
+        }
+        let mut before: Vec<Vec<u8>> = data.chunks(tsize).map(<[u8]>::to_vec).collect();
+        m.apply(MutationKind::ShuffleTuples, &mut r, &mut data, None);
+        let mut after: Vec<Vec<u8>> = data.chunks(tsize).map(<[u8]>::to_vec).collect();
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn random_tuple_has_layout_size() {
+        let m = Mutator::new(layout(), 16);
+        let mut r = rng(9);
+        assert_eq!(m.random_tuple(&mut r).len(), m.layout().tuple_size());
+    }
+
+    #[test]
+    fn range_constraints_hold_under_all_value_mutations() {
+        let mut m = Mutator::new(layout(), 16);
+        m.set_ranges(vec![
+            FieldRange::new(-5.0, 5.0),     // Enable i8
+            FieldRange::new(0.0, 5000.0),   // Power i32
+            FieldRange::new(1.0, 4.0),      // PanelID i32
+            FieldRange::new(-1.0, 1.0),     // Level f64
+        ]);
+        let tsize = m.layout().tuple_size();
+        let mut r = rng(20);
+        let mut data = m.random_tuple(&mut r);
+        data.extend(m.random_tuple(&mut r));
+        for _ in 0..3_000 {
+            let kind = if r.random_bool(0.5) {
+                MutationKind::ChangeBinaryInteger
+            } else {
+                MutationKind::ChangeBinaryFloat
+            };
+            m.apply(kind, &mut r, &mut data, None);
+            for tuple in data.chunks(tsize) {
+                let values = m.layout().decode(tuple);
+                assert!((-5.0..=5.0).contains(&values[0].as_f64()), "{values:?}");
+                assert!((0.0..=5000.0).contains(&values[1].as_f64()), "{values:?}");
+                assert!((1.0..=4.0).contains(&values[2].as_f64()), "{values:?}");
+                let lvl = values[3].as_f64();
+                assert!((-1.0..=1.0).contains(&lvl), "{values:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_constraints_hold_under_structural_mutations() {
+        let mut m = Mutator::new(layout(), 16);
+        m.set_ranges(vec![
+            FieldRange::new(0.0, 1.0),
+            FieldRange::new(100.0, 200.0),
+            FieldRange::new(1.0, 4.0),
+            FieldRange::new(0.0, 0.5),
+        ]);
+        let tsize = m.layout().tuple_size();
+        let mut r = rng(21);
+        let mut data = m.random_tuple(&mut r);
+        let other = {
+            let mut o = m.random_tuple(&mut r);
+            o.extend(m.random_tuple(&mut r));
+            o
+        };
+        for _ in 0..2_000 {
+            m.mutate(&mut r, &mut data, Some(&other));
+            for tuple in data.chunks(tsize) {
+                let values = m.layout().decode(tuple);
+                assert!((100.0..=200.0).contains(&values[1].as_f64()), "{values:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_range_normalizes_and_clamps() {
+        let r = FieldRange::new(5.0, -5.0);
+        assert_eq!(r.min, -5.0);
+        assert_eq!(r.max, 5.0);
+        assert_eq!(r.clamp(100.0), 5.0);
+        assert_eq!(r.clamp(f64::NAN), -5.0);
+        assert_eq!(r.clamp(0.5), 0.5);
+    }
+
+    #[test]
+    fn inputless_model_mutation_is_noop() {
+        let mut b = ModelBuilder::new("none");
+        let c = b.constant("c", 1.0);
+        let y = b.outport("y");
+        b.wire(c, y);
+        let m = Mutator::new(TupleLayout::for_model(&b.finish().unwrap()), 16);
+        let mut r = rng(10);
+        let mut data = vec![1, 2, 3];
+        m.apply(MutationKind::InsertTuple, &mut r, &mut data, None);
+        assert_eq!(data, vec![1, 2, 3]);
+    }
+}

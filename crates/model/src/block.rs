@@ -1,0 +1,973 @@
+//! The block catalog: every block kind CFTCG's code generator has a template
+//! for (the paper: "block templates for over fifty commonly used blocks").
+//!
+//! A [`BlockKind`] carries the block's parameters; port counts and output
+//! types are derived from it. Blocks fall into the paper's four
+//! instrumentation classes (Figure 4):
+//!
+//! * **(a)** boolean blocks ([`BlockKind::Logic`]) — inputs probed for
+//!   true/false,
+//! * **(b)** data switch blocks ([`BlockKind::Switch`],
+//!   [`BlockKind::MultiportSwitch`]) — one probe per selection branch,
+//! * **(c)** branch blocks ([`BlockKind::If`], [`BlockKind::SwitchCase`] and
+//!   their action subsystems) — one probe per action branch,
+//! * **(d)** blocks with internal conditionals ([`BlockKind::Saturation`],
+//!   [`BlockKind::MatlabFunction`], [`BlockKind::Chart`], ...) — probes on
+//!   every internal conditional including implicit `else`.
+
+use crate::chart::Chart;
+use crate::function::FunctionDef;
+use crate::model::Model;
+use crate::{DataType, Value};
+
+/// Logical operator for [`BlockKind::Logic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicOp {
+    /// All inputs true.
+    And,
+    /// Any input true.
+    Or,
+    /// Not all inputs true.
+    Nand,
+    /// No input true.
+    Nor,
+    /// An odd number of inputs true.
+    Xor,
+    /// Single-input negation.
+    Not,
+}
+
+impl LogicOp {
+    /// The operator's model-file name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LogicOp::And => "AND",
+            LogicOp::Or => "OR",
+            LogicOp::Nand => "NAND",
+            LogicOp::Nor => "NOR",
+            LogicOp::Xor => "XOR",
+            LogicOp::Not => "NOT",
+        }
+    }
+}
+
+/// Relational operator for [`BlockKind::Relational`] and [`BlockKind::Compare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl RelOp {
+    /// The operator's source/model-file symbol.
+    pub const fn symbol(self) -> &'static str {
+        match self {
+            RelOp::Eq => "==",
+            RelOp::Ne => "!=",
+            RelOp::Lt => "<",
+            RelOp::Le => "<=",
+            RelOp::Gt => ">",
+            RelOp::Ge => ">=",
+        }
+    }
+
+    /// Applies the comparison to two numeric operands.
+    pub fn apply(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            RelOp::Eq => lhs == rhs,
+            RelOp::Ne => lhs != rhs,
+            RelOp::Lt => lhs < rhs,
+            RelOp::Le => lhs <= rhs,
+            RelOp::Gt => lhs > rhs,
+            RelOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// Min-or-max selector for [`BlockKind::MinMax`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MinMaxOp {
+    /// Smallest input.
+    Min,
+    /// Largest input.
+    Max,
+}
+
+/// Elementary math function for [`BlockKind::Math`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathFunc {
+    /// `sqrt(u)`
+    Sqrt,
+    /// `exp(u)`
+    Exp,
+    /// `ln(u)`
+    Ln,
+    /// `log10(u)`
+    Log10,
+    /// `sin(u)`
+    Sin,
+    /// `cos(u)`
+    Cos,
+    /// `tan(u)`
+    Tan,
+    /// `u * u`
+    Square,
+    /// `1 / u`
+    Reciprocal,
+    /// `floor(u)`
+    Floor,
+    /// `ceil(u)`
+    Ceil,
+    /// `round(u)` (half away from zero)
+    Round,
+    /// MATLAB `mod(u1, u2)` (result takes the divisor's sign)
+    Mod,
+    /// C `fmod(u1, u2)` (result takes the dividend's sign)
+    Rem,
+    /// `pow(u1, u2)`
+    Pow,
+    /// `atan2(u1, u2)`
+    Atan2,
+    /// `hypot(u1, u2)`
+    Hypot,
+}
+
+impl MathFunc {
+    /// Number of input ports the function consumes.
+    pub const fn arity(self) -> usize {
+        match self {
+            MathFunc::Mod
+            | MathFunc::Rem
+            | MathFunc::Pow
+            | MathFunc::Atan2
+            | MathFunc::Hypot => 2,
+            _ => 1,
+        }
+    }
+
+    /// The function's model-file name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MathFunc::Sqrt => "sqrt",
+            MathFunc::Exp => "exp",
+            MathFunc::Ln => "ln",
+            MathFunc::Log10 => "log10",
+            MathFunc::Sin => "sin",
+            MathFunc::Cos => "cos",
+            MathFunc::Tan => "tan",
+            MathFunc::Square => "square",
+            MathFunc::Reciprocal => "reciprocal",
+            MathFunc::Floor => "floor",
+            MathFunc::Ceil => "ceil",
+            MathFunc::Round => "round",
+            MathFunc::Mod => "mod",
+            MathFunc::Rem => "rem",
+            MathFunc::Pow => "pow",
+            MathFunc::Atan2 => "atan2",
+            MathFunc::Hypot => "hypot",
+        }
+    }
+
+    /// Applies the function.
+    pub fn apply(self, args: &[f64]) -> f64 {
+        match (self, args) {
+            (MathFunc::Sqrt, [u]) => u.sqrt(),
+            (MathFunc::Exp, [u]) => u.exp(),
+            (MathFunc::Ln, [u]) => u.ln(),
+            (MathFunc::Log10, [u]) => u.log10(),
+            (MathFunc::Sin, [u]) => u.sin(),
+            (MathFunc::Cos, [u]) => u.cos(),
+            (MathFunc::Tan, [u]) => u.tan(),
+            (MathFunc::Square, [u]) => u * u,
+            (MathFunc::Reciprocal, [u]) => 1.0 / u,
+            (MathFunc::Floor, [u]) => u.floor(),
+            (MathFunc::Ceil, [u]) => u.ceil(),
+            (MathFunc::Round, [u]) => u.round(),
+            (MathFunc::Mod, [a, b]) => {
+                if *b == 0.0 {
+                    *a
+                } else {
+                    a - b * (a / b).floor()
+                }
+            }
+            (MathFunc::Rem, [a, b]) => a % b,
+            (MathFunc::Pow, [a, b]) => a.powf(*b),
+            (MathFunc::Atan2, [a, b]) => a.atan2(*b),
+            (MathFunc::Hypot, [a, b]) => a.hypot(*b),
+            _ => panic!("MathFunc::{self:?} applied with {} args", args.len()),
+        }
+    }
+}
+
+/// Criterion for the control input of a [`BlockKind::Switch`] block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwitchCriterion {
+    /// Pass first input when `u2 >= threshold`.
+    GreaterEqual(f64),
+    /// Pass first input when `u2 > threshold`.
+    Greater(f64),
+    /// Pass first input when `u2 != 0`.
+    NotZero,
+}
+
+impl SwitchCriterion {
+    /// Evaluates the criterion on the control value.
+    pub fn passes_first(self, control: f64) -> bool {
+        match self {
+            SwitchCriterion::GreaterEqual(t) => control >= t,
+            SwitchCriterion::Greater(t) => control > t,
+            SwitchCriterion::NotZero => control != 0.0,
+        }
+    }
+}
+
+/// Edge polarity for [`BlockKind::EdgeDetect`] and
+/// [`BlockKind::TriggeredSubsystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// False → true.
+    Rising,
+    /// True → false.
+    Falling,
+    /// Any change of truthiness.
+    Either,
+}
+
+impl EdgeKind {
+    /// `true` if a transition from `prev` to `curr` (truthiness) matches.
+    pub fn detect(self, prev: bool, curr: bool) -> bool {
+        match self {
+            EdgeKind::Rising => !prev && curr,
+            EdgeKind::Falling => prev && !curr,
+            EdgeKind::Either => prev != curr,
+        }
+    }
+}
+
+/// Per-input sign for a [`BlockKind::Sum`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSign {
+    /// Added.
+    Plus,
+    /// Subtracted.
+    Minus,
+}
+
+/// Per-input operation for a [`BlockKind::Product`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProductOp {
+    /// Multiplied.
+    Mul,
+    /// Divided.
+    Div,
+}
+
+/// A block's kind together with its parameters.
+///
+/// Input ports are numbered `0..num_inputs()`; output ports
+/// `0..num_outputs()`. Conditionally-executed subsystems reserve input
+/// port 0 for their action/enable/trigger signal; their data inputs start at
+/// port 1 and map to the inner model's inports in order.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BlockKind {
+    // ---- sources and sinks ---------------------------------------------
+    /// Top-level or subsystem input port.
+    Inport {
+        /// Zero-based port index within the owning model.
+        index: usize,
+        /// Declared signal type.
+        dtype: DataType,
+    },
+    /// Top-level or subsystem output port. One input, no outputs.
+    Outport {
+        /// Zero-based port index within the owning model.
+        index: usize,
+    },
+    /// Constant source.
+    Constant {
+        /// The emitted value (also fixes the output type).
+        value: Value,
+    },
+    /// Zero source of a given type.
+    Ground {
+        /// Output type.
+        dtype: DataType,
+    },
+    /// Signal sink; consumes one input.
+    Terminator,
+    /// Run-time assertion: records a violation whenever its input is falsy
+    /// during execution (Simulink's Assertion block in warn-and-continue
+    /// mode). One input, no outputs; instrumented as a pass/fail decision.
+    Assertion,
+
+    // ---- math ------------------------------------------------------------
+    /// Signed sum of the inputs.
+    Sum {
+        /// One sign per input port.
+        signs: Vec<InputSign>,
+    },
+    /// Product/quotient chain over the inputs.
+    Product {
+        /// One operation per input port.
+        ops: Vec<ProductOp>,
+    },
+    /// `y = gain * u`.
+    Gain {
+        /// Multiplier.
+        gain: f64,
+    },
+    /// `y = u + bias`.
+    Bias {
+        /// Offset.
+        bias: f64,
+    },
+    /// `y = |u|`.
+    Abs,
+    /// `y = -u`.
+    UnaryMinus,
+    /// `y = sign(u)` ∈ {-1, 0, 1}; internally conditional (mode d).
+    Signum,
+    /// Smallest or largest input.
+    MinMax {
+        /// Min or max.
+        op: MinMaxOp,
+        /// Number of inputs (≥ 2).
+        inputs: usize,
+    },
+    /// Elementary math function.
+    Math {
+        /// The function; fixes the arity.
+        func: MathFunc,
+    },
+
+    // ---- discontinuities (internal conditionals, mode d) ------------------
+    /// Clamps to `[lower, upper]`.
+    Saturation {
+        /// Lower limit.
+        lower: f64,
+        /// Upper limit.
+        upper: f64,
+    },
+    /// Zero output inside `[start, end]`, offset outside.
+    DeadZone {
+        /// Dead zone start.
+        start: f64,
+        /// Dead zone end.
+        end: f64,
+    },
+    /// Hysteresis relay (stateful).
+    Relay {
+        /// Input level that switches the relay on.
+        on_threshold: f64,
+        /// Input level that switches the relay off.
+        off_threshold: f64,
+        /// Output while on.
+        on_output: f64,
+        /// Output while off.
+        off_output: f64,
+    },
+    /// Rounds the input to multiples of `interval`.
+    Quantizer {
+        /// Quantization interval (> 0).
+        interval: f64,
+    },
+    /// Limits the per-step change of the signal (stateful).
+    RateLimiter {
+        /// Maximum increase per step (≥ 0).
+        rising: f64,
+        /// Maximum decrease per step (≥ 0, applied as negative).
+        falling: f64,
+    },
+    /// Mechanical play: output follows input only outside a dead band
+    /// (stateful).
+    Backlash {
+        /// Width of the dead band.
+        width: f64,
+        /// Initial output.
+        initial: f64,
+    },
+    /// Coulomb & viscous friction: `y = sign(u) * (gain * |u| + offset)`.
+    CoulombFriction {
+        /// Static friction offset.
+        offset: f64,
+        /// Viscous gain.
+        gain: f64,
+    },
+
+    // ---- logic and comparisons (modes a) -----------------------------------
+    /// Boolean combinational block; inputs probed per Figure 4(a).
+    Logic {
+        /// The operator.
+        op: LogicOp,
+        /// Number of inputs (1 for NOT).
+        inputs: usize,
+    },
+    /// `y = (u1 <op> u2)`.
+    Relational {
+        /// The comparison.
+        op: RelOp,
+    },
+    /// `y = (u <op> constant)`.
+    Compare {
+        /// The comparison.
+        op: RelOp,
+        /// The constant right-hand side.
+        constant: f64,
+    },
+
+    // ---- selection (mode b) -----------------------------------------------
+    /// Three-port switch: passes input 0 or input 2 depending on input 1.
+    Switch {
+        /// Criterion applied to the control input.
+        criterion: SwitchCriterion,
+    },
+    /// Selector-driven switch: input 0 (1-based) picks one of the `cases`
+    /// data inputs; out-of-range selects the last.
+    MultiportSwitch {
+        /// Number of data inputs.
+        cases: usize,
+    },
+    /// Combines the outputs of conditionally-executed subsystems: the input
+    /// written during the current step wins; otherwise holds (stateful).
+    Merge {
+        /// Number of inputs.
+        inputs: usize,
+    },
+
+    // ---- signal attributes -------------------------------------------------
+    /// Casts to another data type.
+    DataTypeConversion {
+        /// Target type.
+        to: DataType,
+    },
+    /// Single-rate zero-order hold (identity in this discrete-time IR).
+    ZeroOrderHold,
+
+    // ---- discrete-time state ------------------------------------------------
+    /// One-step delay; breaks algebraic loops.
+    UnitDelay {
+        /// Output on the first step.
+        initial: Value,
+    },
+    /// `steps`-step delay; breaks algebraic loops.
+    Delay {
+        /// Number of steps (≥ 1).
+        steps: usize,
+        /// Output for the first `steps` steps.
+        initial: Value,
+    },
+    /// Previous-step memory; identical timing to [`BlockKind::UnitDelay`].
+    Memory {
+        /// Output on the first step.
+        initial: Value,
+    },
+    /// Forward-Euler discrete integrator with optional output limits
+    /// (limits add internal conditionals, mode d); breaks algebraic loops.
+    DiscreteIntegrator {
+        /// Integration gain per step.
+        gain: f64,
+        /// Initial accumulator value.
+        initial: f64,
+        /// Optional lower output limit.
+        lower: Option<f64>,
+        /// Optional upper output limit.
+        upper: Option<f64>,
+    },
+    /// Counts steps up to `limit` then wraps to zero (stateful).
+    CounterLimited {
+        /// Inclusive upper count.
+        limit: u32,
+    },
+    /// Free-running counter that wraps at `2^bits` (stateful).
+    CounterFreeRunning {
+        /// Word width: 8, 16, or 32.
+        bits: u8,
+    },
+    /// Boolean edge detector (stateful, output Bool).
+    EdgeDetect {
+        /// Edge polarity.
+        kind: EdgeKind,
+    },
+
+    // ---- lookup tables --------------------------------------------------------
+    /// 1-D linear interpolation with end clipping.
+    Lookup1D {
+        /// Strictly increasing breakpoints.
+        breakpoints: Vec<f64>,
+        /// Table values, same length as `breakpoints`.
+        values: Vec<f64>,
+    },
+    /// 2-D bilinear interpolation with end clipping.
+    Lookup2D {
+        /// Strictly increasing row breakpoints (input 0).
+        row_breaks: Vec<f64>,
+        /// Strictly increasing column breakpoints (input 1).
+        col_breaks: Vec<f64>,
+        /// `values[r][c]` table, `row_breaks.len()` × `col_breaks.len()`.
+        values: Vec<Vec<f64>>,
+    },
+
+    // ---- control flow (mode c) ---------------------------------------------
+    /// `If` block: evaluates `conditions` over inputs `u1..un` and raises
+    /// exactly one action output (plus an optional `else` output).
+    If {
+        /// Number of data inputs, referenced as `u1..u<n>` by conditions.
+        num_inputs: usize,
+        /// Branch conditions, in priority order.
+        conditions: Vec<crate::expr::Expr>,
+        /// Whether an `else` action output exists after the conditions.
+        has_else: bool,
+    },
+    /// `SwitchCase` block: compares input 0 against the case label lists and
+    /// raises the matching action output (plus an optional default).
+    SwitchCase {
+        /// Case label lists, in priority order.
+        cases: Vec<Vec<i64>>,
+        /// Whether a default action output exists after the cases.
+        has_default: bool,
+    },
+    /// Subsystem executed when its action input (port 0) is raised by an
+    /// [`BlockKind::If`] or [`BlockKind::SwitchCase`] block. Outputs hold
+    /// their previous value on inactive steps.
+    ActionSubsystem {
+        /// The inner model.
+        model: Box<Model>,
+    },
+    /// Subsystem executed while its enable input (port 0) is truthy.
+    /// Outputs hold on disabled steps.
+    EnabledSubsystem {
+        /// The inner model.
+        model: Box<Model>,
+    },
+    /// Subsystem executed on an edge of its trigger input (port 0).
+    /// Outputs hold between triggers.
+    TriggeredSubsystem {
+        /// The inner model.
+        model: Box<Model>,
+        /// Trigger polarity.
+        edge: EdgeKind,
+    },
+    /// Virtual grouping subsystem, inlined during flattening.
+    Subsystem {
+        /// The inner model.
+        model: Box<Model>,
+    },
+
+    // ---- embedded code (mode d) -------------------------------------------
+    /// MATLAB Function block.
+    MatlabFunction {
+        /// The function definition.
+        function: FunctionDef,
+    },
+    /// Stateflow-style chart block.
+    Chart {
+        /// The chart definition.
+        chart: Chart,
+    },
+}
+
+impl BlockKind {
+    /// Number of input ports.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            BlockKind::Inport { .. }
+            | BlockKind::Constant { .. }
+            | BlockKind::Ground { .. }
+            | BlockKind::CounterLimited { .. }
+            | BlockKind::CounterFreeRunning { .. } => 0,
+            BlockKind::Outport { .. }
+            | BlockKind::Terminator
+            | BlockKind::Assertion
+            | BlockKind::Gain { .. }
+            | BlockKind::Bias { .. }
+            | BlockKind::Abs
+            | BlockKind::UnaryMinus
+            | BlockKind::Signum
+            | BlockKind::Saturation { .. }
+            | BlockKind::DeadZone { .. }
+            | BlockKind::Relay { .. }
+            | BlockKind::Quantizer { .. }
+            | BlockKind::RateLimiter { .. }
+            | BlockKind::Backlash { .. }
+            | BlockKind::CoulombFriction { .. }
+            | BlockKind::Compare { .. }
+            | BlockKind::DataTypeConversion { .. }
+            | BlockKind::ZeroOrderHold
+            | BlockKind::UnitDelay { .. }
+            | BlockKind::Delay { .. }
+            | BlockKind::Memory { .. }
+            | BlockKind::DiscreteIntegrator { .. }
+            | BlockKind::EdgeDetect { .. }
+            | BlockKind::Lookup1D { .. }
+            | BlockKind::SwitchCase { .. } => 1,
+            BlockKind::Relational { .. } | BlockKind::Lookup2D { .. } => 2,
+            BlockKind::Switch { .. } => 3,
+            BlockKind::Sum { signs } => signs.len(),
+            BlockKind::Product { ops } => ops.len(),
+            BlockKind::MinMax { inputs, .. } => *inputs,
+            BlockKind::Math { func } => func.arity(),
+            BlockKind::Logic { op, inputs } => {
+                if *op == LogicOp::Not {
+                    1
+                } else {
+                    *inputs
+                }
+            }
+            BlockKind::MultiportSwitch { cases } => 1 + cases,
+            BlockKind::Merge { inputs } => *inputs,
+            BlockKind::If { num_inputs, .. } => *num_inputs,
+            BlockKind::ActionSubsystem { model }
+            | BlockKind::EnabledSubsystem { model }
+            | BlockKind::TriggeredSubsystem { model, .. } => 1 + model.num_inports(),
+            BlockKind::Subsystem { model } => model.num_inports(),
+            BlockKind::MatlabFunction { function } => function.inputs().len(),
+            BlockKind::Chart { chart } => chart.inputs.len(),
+        }
+    }
+
+    /// Number of output ports.
+    pub fn num_outputs(&self) -> usize {
+        match self {
+            BlockKind::Outport { .. } | BlockKind::Terminator | BlockKind::Assertion => 0,
+            BlockKind::If { conditions, has_else, .. } => {
+                conditions.len() + usize::from(*has_else)
+            }
+            BlockKind::SwitchCase { cases, has_default } => {
+                cases.len() + usize::from(*has_default)
+            }
+            BlockKind::ActionSubsystem { model }
+            | BlockKind::EnabledSubsystem { model }
+            | BlockKind::TriggeredSubsystem { model, .. }
+            | BlockKind::Subsystem { model } => model.num_outports(),
+            BlockKind::MatlabFunction { function } => function.outputs().len(),
+            BlockKind::Chart { chart } => chart.outputs.len(),
+            _ => 1,
+        }
+    }
+
+    /// `true` when the block's output at step *k* depends only on state
+    /// written at steps `< k`, so a feedback loop through it is well-formed.
+    pub fn breaks_algebraic_loops(&self) -> bool {
+        matches!(
+            self,
+            BlockKind::UnitDelay { .. }
+                | BlockKind::Delay { .. }
+                | BlockKind::Memory { .. }
+                | BlockKind::DiscreteIntegrator { .. }
+        )
+    }
+
+    /// `true` when the block carries state across steps.
+    pub fn is_stateful(&self) -> bool {
+        match self {
+            BlockKind::UnitDelay { .. }
+            | BlockKind::Delay { .. }
+            | BlockKind::Memory { .. }
+            | BlockKind::DiscreteIntegrator { .. }
+            | BlockKind::Relay { .. }
+            | BlockKind::RateLimiter { .. }
+            | BlockKind::Backlash { .. }
+            | BlockKind::CounterLimited { .. }
+            | BlockKind::CounterFreeRunning { .. }
+            | BlockKind::EdgeDetect { .. }
+            | BlockKind::Merge { .. }
+            | BlockKind::Chart { .. } => true,
+            BlockKind::ActionSubsystem { model }
+            | BlockKind::EnabledSubsystem { model }
+            | BlockKind::TriggeredSubsystem { model, .. } => {
+                // Held outputs are state; so is any inner state.
+                model.num_outports() > 0 || model.has_state()
+            }
+            BlockKind::Subsystem { model } => model.has_state(),
+            _ => false,
+        }
+    }
+
+    /// The kind's model-file tag (used by XML persistence and display).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BlockKind::Inport { .. } => "Inport",
+            BlockKind::Outport { .. } => "Outport",
+            BlockKind::Constant { .. } => "Constant",
+            BlockKind::Ground { .. } => "Ground",
+            BlockKind::Terminator => "Terminator",
+            BlockKind::Assertion => "Assertion",
+            BlockKind::Sum { .. } => "Sum",
+            BlockKind::Product { .. } => "Product",
+            BlockKind::Gain { .. } => "Gain",
+            BlockKind::Bias { .. } => "Bias",
+            BlockKind::Abs => "Abs",
+            BlockKind::UnaryMinus => "UnaryMinus",
+            BlockKind::Signum => "Signum",
+            BlockKind::MinMax { .. } => "MinMax",
+            BlockKind::Math { .. } => "Math",
+            BlockKind::Saturation { .. } => "Saturation",
+            BlockKind::DeadZone { .. } => "DeadZone",
+            BlockKind::Relay { .. } => "Relay",
+            BlockKind::Quantizer { .. } => "Quantizer",
+            BlockKind::RateLimiter { .. } => "RateLimiter",
+            BlockKind::Backlash { .. } => "Backlash",
+            BlockKind::CoulombFriction { .. } => "CoulombFriction",
+            BlockKind::Logic { .. } => "Logic",
+            BlockKind::Relational { .. } => "Relational",
+            BlockKind::Compare { .. } => "Compare",
+            BlockKind::Switch { .. } => "Switch",
+            BlockKind::MultiportSwitch { .. } => "MultiportSwitch",
+            BlockKind::Merge { .. } => "Merge",
+            BlockKind::DataTypeConversion { .. } => "DataTypeConversion",
+            BlockKind::ZeroOrderHold => "ZeroOrderHold",
+            BlockKind::UnitDelay { .. } => "UnitDelay",
+            BlockKind::Delay { .. } => "Delay",
+            BlockKind::Memory { .. } => "Memory",
+            BlockKind::DiscreteIntegrator { .. } => "DiscreteIntegrator",
+            BlockKind::CounterLimited { .. } => "CounterLimited",
+            BlockKind::CounterFreeRunning { .. } => "CounterFreeRunning",
+            BlockKind::EdgeDetect { .. } => "EdgeDetect",
+            BlockKind::Lookup1D { .. } => "Lookup1D",
+            BlockKind::Lookup2D { .. } => "Lookup2D",
+            BlockKind::If { .. } => "If",
+            BlockKind::SwitchCase { .. } => "SwitchCase",
+            BlockKind::ActionSubsystem { .. } => "ActionSubsystem",
+            BlockKind::EnabledSubsystem { .. } => "EnabledSubsystem",
+            BlockKind::TriggeredSubsystem { .. } => "TriggeredSubsystem",
+            BlockKind::Subsystem { .. } => "Subsystem",
+            BlockKind::MatlabFunction { .. } => "MatlabFunction",
+            BlockKind::Chart { .. } => "Chart",
+        }
+    }
+
+    /// Output type of `port` given the resolved types of the data inputs.
+    ///
+    /// Subsystem kinds are resolved by the model-level type resolution pass
+    /// (they need the inner model's outport types) and must not be queried
+    /// here.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a subsystem kind, or with an out-of-range port.
+    pub fn output_type(&self, input_types: &[DataType], port: usize) -> DataType {
+        assert!(port < self.num_outputs(), "port {port} out of range for {}", self.tag());
+        let first_input = || {
+            *input_types
+                .first()
+                .unwrap_or_else(|| panic!("{} needs an input type", self.tag()))
+        };
+        match self {
+            BlockKind::Inport { dtype, .. } => *dtype,
+            BlockKind::Constant { value } => value.data_type(),
+            BlockKind::Ground { dtype } => *dtype,
+            BlockKind::Sum { .. }
+            | BlockKind::Product { .. }
+            | BlockKind::Gain { .. }
+            | BlockKind::Bias { .. }
+            | BlockKind::Abs
+            | BlockKind::UnaryMinus
+            | BlockKind::MinMax { .. }
+            | BlockKind::Saturation { .. }
+            | BlockKind::DeadZone { .. }
+            | BlockKind::Quantizer { .. }
+            | BlockKind::RateLimiter { .. }
+            | BlockKind::Backlash { .. }
+            | BlockKind::CoulombFriction { .. }
+            | BlockKind::ZeroOrderHold
+            | BlockKind::UnitDelay { .. }
+            | BlockKind::Delay { .. }
+            | BlockKind::Memory { .. }
+            | BlockKind::Switch { .. }
+            | BlockKind::Merge { .. } => first_input(),
+            BlockKind::Signum => first_input(),
+            BlockKind::MultiportSwitch { .. } => {
+                *input_types.get(1).expect("multiport switch needs a data input")
+            }
+            BlockKind::Math { .. }
+            | BlockKind::Relay { .. }
+            | BlockKind::DiscreteIntegrator { .. }
+            | BlockKind::Lookup1D { .. }
+            | BlockKind::Lookup2D { .. } => DataType::F64,
+            BlockKind::Logic { .. }
+            | BlockKind::Relational { .. }
+            | BlockKind::Compare { .. }
+            | BlockKind::EdgeDetect { .. }
+            | BlockKind::If { .. }
+            | BlockKind::SwitchCase { .. } => DataType::Bool,
+            BlockKind::DataTypeConversion { to } => *to,
+            BlockKind::CounterLimited { .. } => DataType::U32,
+            BlockKind::CounterFreeRunning { bits } => match bits {
+                0..=8 => DataType::U8,
+                9..=16 => DataType::U16,
+                _ => DataType::U32,
+            },
+            BlockKind::MatlabFunction { function } => function.outputs()[port].1,
+            BlockKind::Chart { chart } => chart.outputs[port].1,
+            BlockKind::ActionSubsystem { .. }
+            | BlockKind::EnabledSubsystem { .. }
+            | BlockKind::TriggeredSubsystem { .. }
+            | BlockKind::Subsystem { .. } => {
+                panic!("subsystem output types are resolved at the model level")
+            }
+            BlockKind::Outport { .. } | BlockKind::Terminator | BlockKind::Assertion => {
+                unreachable!("sinks have no outputs")
+            }
+        }
+    }
+
+    /// The inner model of a subsystem kind, if any.
+    pub fn inner_model(&self) -> Option<&Model> {
+        match self {
+            BlockKind::ActionSubsystem { model }
+            | BlockKind::EnabledSubsystem { model }
+            | BlockKind::TriggeredSubsystem { model, .. }
+            | BlockKind::Subsystem { model } => Some(model),
+            _ => None,
+        }
+    }
+
+    /// `true` for the conditionally-executed subsystem kinds (action input
+    /// at port 0).
+    pub fn is_conditional_subsystem(&self) -> bool {
+        matches!(
+            self,
+            BlockKind::ActionSubsystem { .. }
+                | BlockKind::EnabledSubsystem { .. }
+                | BlockKind::TriggeredSubsystem { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_expr;
+
+    #[test]
+    fn port_counts() {
+        assert_eq!(BlockKind::Constant { value: Value::F64(1.0) }.num_inputs(), 0);
+        assert_eq!(BlockKind::Constant { value: Value::F64(1.0) }.num_outputs(), 1);
+        assert_eq!(BlockKind::Terminator.num_outputs(), 0);
+        assert_eq!(
+            BlockKind::Sum { signs: vec![InputSign::Plus, InputSign::Minus, InputSign::Plus] }
+                .num_inputs(),
+            3
+        );
+        assert_eq!(BlockKind::Switch { criterion: SwitchCriterion::NotZero }.num_inputs(), 3);
+        assert_eq!(BlockKind::MultiportSwitch { cases: 4 }.num_inputs(), 5);
+        assert_eq!(BlockKind::Logic { op: LogicOp::Not, inputs: 99 }.num_inputs(), 1);
+        assert_eq!(BlockKind::Math { func: MathFunc::Pow }.num_inputs(), 2);
+        assert_eq!(BlockKind::Math { func: MathFunc::Sqrt }.num_inputs(), 1);
+    }
+
+    #[test]
+    fn if_block_ports() {
+        let kind = BlockKind::If {
+            num_inputs: 2,
+            conditions: vec![parse_expr("u1 > 0").unwrap(), parse_expr("u2 > 0").unwrap()],
+            has_else: true,
+        };
+        assert_eq!(kind.num_inputs(), 2);
+        assert_eq!(kind.num_outputs(), 3);
+        assert_eq!(kind.output_type(&[DataType::F64, DataType::F64], 2), DataType::Bool);
+    }
+
+    #[test]
+    fn switch_case_ports() {
+        let kind = BlockKind::SwitchCase { cases: vec![vec![1], vec![2, 3]], has_default: false };
+        assert_eq!(kind.num_inputs(), 1);
+        assert_eq!(kind.num_outputs(), 2);
+    }
+
+    #[test]
+    fn loop_breakers() {
+        assert!(BlockKind::UnitDelay { initial: Value::F64(0.0) }.breaks_algebraic_loops());
+        assert!(BlockKind::Memory { initial: Value::F64(0.0) }.breaks_algebraic_loops());
+        assert!(!BlockKind::Gain { gain: 2.0 }.breaks_algebraic_loops());
+        assert!(!BlockKind::Relay {
+            on_threshold: 1.0,
+            off_threshold: 0.0,
+            on_output: 1.0,
+            off_output: 0.0
+        }
+        .breaks_algebraic_loops());
+    }
+
+    #[test]
+    fn statefulness() {
+        assert!(BlockKind::EdgeDetect { kind: EdgeKind::Rising }.is_stateful());
+        assert!(BlockKind::CounterLimited { limit: 5 }.is_stateful());
+        assert!(!BlockKind::Abs.is_stateful());
+        assert!(!BlockKind::Logic { op: LogicOp::And, inputs: 2 }.is_stateful());
+    }
+
+    #[test]
+    fn output_types_propagate_or_fix() {
+        let sat = BlockKind::Saturation { lower: 0.0, upper: 1.0 };
+        assert_eq!(sat.output_type(&[DataType::I16], 0), DataType::I16);
+        let rel = BlockKind::Relational { op: RelOp::Lt };
+        assert_eq!(rel.output_type(&[DataType::F64, DataType::F64], 0), DataType::Bool);
+        let dtc = BlockKind::DataTypeConversion { to: DataType::U8 };
+        assert_eq!(dtc.output_type(&[DataType::F64], 0), DataType::U8);
+        let mps = BlockKind::MultiportSwitch { cases: 2 };
+        assert_eq!(
+            mps.output_type(&[DataType::I32, DataType::F32, DataType::F32], 0),
+            DataType::F32
+        );
+        let counter = BlockKind::CounterFreeRunning { bits: 8 };
+        assert_eq!(counter.output_type(&[], 0), DataType::U8);
+        let counter = BlockKind::CounterFreeRunning { bits: 12 };
+        assert_eq!(counter.output_type(&[], 0), DataType::U16);
+    }
+
+    #[test]
+    fn rel_and_math_semantics() {
+        assert!(RelOp::Le.apply(2.0, 2.0));
+        assert!(!RelOp::Lt.apply(2.0, 2.0));
+        assert!(RelOp::Ne.apply(1.0, 2.0));
+        assert_eq!(MathFunc::Mod.apply(&[-7.0, 3.0]), 2.0); // MATLAB mod
+        assert_eq!(MathFunc::Rem.apply(&[-7.0, 3.0]), -1.0); // C fmod
+        assert_eq!(MathFunc::Mod.apply(&[5.0, 0.0]), 5.0); // mod(x,0) = x
+        assert_eq!(MathFunc::Square.apply(&[3.0]), 9.0);
+    }
+
+    #[test]
+    fn switch_criteria() {
+        assert!(SwitchCriterion::GreaterEqual(2.0).passes_first(2.0));
+        assert!(!SwitchCriterion::Greater(2.0).passes_first(2.0));
+        assert!(SwitchCriterion::NotZero.passes_first(-0.5));
+        assert!(!SwitchCriterion::NotZero.passes_first(0.0));
+    }
+
+    #[test]
+    fn edge_detection() {
+        assert!(EdgeKind::Rising.detect(false, true));
+        assert!(!EdgeKind::Rising.detect(true, true));
+        assert!(EdgeKind::Falling.detect(true, false));
+        assert!(EdgeKind::Either.detect(true, false));
+        assert!(!EdgeKind::Either.detect(false, false));
+    }
+
+    #[test]
+    fn tags_are_distinct_for_catalog() {
+        use std::collections::BTreeSet;
+        let kinds: Vec<BlockKind> = vec![
+            BlockKind::Abs,
+            BlockKind::UnaryMinus,
+            BlockKind::Signum,
+            BlockKind::Terminator,
+            BlockKind::ZeroOrderHold,
+            BlockKind::Gain { gain: 1.0 },
+            BlockKind::Bias { bias: 0.0 },
+        ];
+        let tags: BTreeSet<_> = kinds.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags.len(), kinds.len());
+    }
+}

@@ -1,0 +1,175 @@
+//! Ergonomic construction of [`Model`]s.
+
+use crate::block::BlockKind;
+use crate::model::{BlockId, Connection, Model, ModelError, PortRef};
+use crate::{DataType, Value};
+
+/// Builds a [`Model`] block by block, then validates it.
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use cftcg_model::{BlockKind, DataType, ModelBuilder, Value};
+///
+/// let mut b = ModelBuilder::new("clip");
+/// let u = b.inport("u", DataType::F64);
+/// let sat = b.add("sat", BlockKind::Saturation { lower: -1.0, upper: 1.0 });
+/// let y = b.outport("y");
+/// b.connect(u, 0, sat, 0);
+/// b.connect(sat, 0, y, 0);
+/// let model = b.finish()?;
+/// assert_eq!(model.name(), "clip");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ModelBuilder {
+    name: String,
+    blocks: Vec<(String, BlockKind)>,
+    connections: Vec<Connection>,
+    next_inport: usize,
+    next_outport: usize,
+}
+
+impl ModelBuilder {
+    /// Starts a new model with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelBuilder {
+            name: name.into(),
+            blocks: Vec::new(),
+            connections: Vec::new(),
+            next_inport: 0,
+            next_outport: 0,
+        }
+    }
+
+    /// Adds a block and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, kind: BlockKind) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push((name.into(), kind));
+        id
+    }
+
+    /// Adds the next inport (indices assigned in call order).
+    pub fn inport(&mut self, name: impl Into<String>, dtype: DataType) -> BlockId {
+        let index = self.next_inport;
+        self.next_inport += 1;
+        self.add(name, BlockKind::Inport { index, dtype })
+    }
+
+    /// Adds an inport with an explicit index.
+    pub fn inport_at(&mut self, name: impl Into<String>, index: usize, dtype: DataType) -> BlockId {
+        self.next_inport = self.next_inport.max(index + 1);
+        self.add(name, BlockKind::Inport { index, dtype })
+    }
+
+    /// Adds the next outport (indices assigned in call order).
+    pub fn outport(&mut self, name: impl Into<String>) -> BlockId {
+        let index = self.next_outport;
+        self.next_outport += 1;
+        self.add(name, BlockKind::Outport { index })
+    }
+
+    /// Adds an outport with an explicit index.
+    pub fn outport_at(&mut self, name: impl Into<String>, index: usize) -> BlockId {
+        self.next_outport = self.next_outport.max(index + 1);
+        self.add(name, BlockKind::Outport { index })
+    }
+
+    /// Adds a constant block.
+    pub fn constant(&mut self, name: impl Into<String>, value: impl Into<Value>) -> BlockId {
+        self.add(name, BlockKind::Constant { value: value.into() })
+    }
+
+    /// Wires output `src_port` of `src` to input `dst_port` of `dst`.
+    pub fn connect(&mut self, src: BlockId, src_port: usize, dst: BlockId, dst_port: usize) {
+        self.connections.push(Connection {
+            src: PortRef::new(src, src_port),
+            dst: PortRef::new(dst, dst_port),
+        });
+    }
+
+    /// Wires output 0 of `src` to input 0 of `dst` — the common case.
+    pub fn wire(&mut self, src: BlockId, dst: BlockId) {
+        self.connect(src, 0, dst, 0);
+    }
+
+    /// Wires output 0 of `src` to input `dst_port` of `dst`.
+    pub fn feed(&mut self, src: BlockId, dst: BlockId, dst_port: usize) {
+        self.connect(src, 0, dst, dst_port);
+    }
+
+    /// Finishes and validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ModelError`] found by [`Model::validate`].
+    pub fn finish(self) -> Result<Model, ModelError> {
+        let model = self.finish_unchecked();
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Finishes without validation (for tests that need an invalid model).
+    pub fn finish_unchecked(self) -> Model {
+        Model::from_parts(self.name, self.blocks, self.connections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inport_indices_assigned_in_order() {
+        let mut b = ModelBuilder::new("m");
+        let u0 = b.inport("a", DataType::F64);
+        let u1 = b.inport("b", DataType::I8);
+        let t0 = b.add("t0", BlockKind::Terminator);
+        let t1 = b.add("t1", BlockKind::Terminator);
+        b.wire(u0, t0);
+        b.wire(u1, t1);
+        let m = b.finish().unwrap();
+        let ports = m.inports();
+        assert_eq!(ports[0].1, 0);
+        assert_eq!(ports[1].1, 1);
+        assert_eq!(ports[1].2, DataType::I8);
+    }
+
+    #[test]
+    fn explicit_indices_interleave_with_automatic() {
+        let mut b = ModelBuilder::new("m");
+        let a = b.inport_at("a", 1, DataType::F64);
+        let c = b.inport_at("c", 0, DataType::F64);
+        let d = b.inport("d", DataType::F64); // gets index 2
+        for (i, u) in [a, c, d].into_iter().enumerate() {
+            let t = b.add(format!("t{i}"), BlockKind::Terminator);
+            b.wire(u, t);
+        }
+        let m = b.finish().unwrap();
+        assert_eq!(m.num_inports(), 3);
+        assert_eq!(m.inports()[2].0, d);
+    }
+
+    #[test]
+    fn constant_helper() {
+        let mut b = ModelBuilder::new("m");
+        let c = b.constant("c", 3.5);
+        let y = b.outport("y");
+        b.wire(c, y);
+        let m = b.finish().unwrap();
+        assert!(matches!(
+            m.block(c).kind(),
+            BlockKind::Constant { value: Value::F64(x) } if *x == 3.5
+        ));
+    }
+
+    #[test]
+    fn finish_unchecked_skips_validation() {
+        let mut b = ModelBuilder::new("m");
+        b.add("floating_gain", BlockKind::Gain { gain: 1.0 });
+        let m = b.finish_unchecked(); // unconnected input, but no error
+        assert_eq!(m.blocks().len(), 1);
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Tokenizer for the expression/statement language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Token {
+    Number(f64),
+    Ident(String),
+    True,
+    False,
+    If,
+    Else,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Assign,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Ident(s) => f.write_str(s),
+            Token::True => f.write_str("true"),
+            Token::False => f.write_str("false"),
+            Token::If => f.write_str("if"),
+            Token::Else => f.write_str("else"),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Slash => f.write_str("/"),
+            Token::Percent => f.write_str("%"),
+            Token::Bang => f.write_str("!"),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+            Token::EqEq => f.write_str("=="),
+            Token::Ne => f.write_str("!="),
+            Token::AndAnd => f.write_str("&&"),
+            Token::OrOr => f.write_str("||"),
+            Token::Assign => f.write_str("="),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBrace => f.write_str("{"),
+            Token::RBrace => f.write_str("}"),
+            Token::Comma => f.write_str(","),
+            Token::Semicolon => f.write_str(";"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// Tokenizes `src`. Returns the offset of the offending byte on failure.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Spanned>, (usize, String)> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        let token = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'0'..=b'9' | b'.' => {
+                let mut j = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'0'..=b'9' => j += 1,
+                        b'.' if !seen_dot && !seen_exp => {
+                            seen_dot = true;
+                            j += 1;
+                        }
+                        b'e' | b'E' if !seen_exp && j > i => {
+                            seen_exp = true;
+                            j += 1;
+                            if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                                j += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[i..j];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| (start, format!("bad number literal `{text}`")))?;
+                i = j;
+                Token::Number(value)
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                i = j;
+                match word {
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    _ => Token::Ident(word.to_string()),
+                }
+            }
+            b'+' => one(&mut i, Token::Plus),
+            b'-' => one(&mut i, Token::Minus),
+            b'*' => one(&mut i, Token::Star),
+            b'/' => one(&mut i, Token::Slash),
+            b'%' => one(&mut i, Token::Percent),
+            b'(' => one(&mut i, Token::LParen),
+            b')' => one(&mut i, Token::RParen),
+            b'{' => one(&mut i, Token::LBrace),
+            b'}' => one(&mut i, Token::RBrace),
+            b',' => one(&mut i, Token::Comma),
+            b';' => one(&mut i, Token::Semicolon),
+            b'<' => pair(bytes, &mut i, b'=', Token::Le, Token::Lt),
+            b'>' => pair(bytes, &mut i, b'=', Token::Ge, Token::Gt),
+            b'=' => pair(bytes, &mut i, b'=', Token::EqEq, Token::Assign),
+            b'!' => pair(bytes, &mut i, b'=', Token::Ne, Token::Bang),
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    i += 2;
+                    Token::AndAnd
+                } else {
+                    return Err((start, "expected `&&`".to_string()));
+                }
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    i += 2;
+                    Token::OrOr
+                } else {
+                    return Err((start, "expected `||`".to_string()));
+                }
+            }
+            b'~' => {
+                // MATLAB-style `~=` accepted as an alias for `!=`.
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Token::Ne
+                } else {
+                    return Err((start, "expected `~=`".to_string()));
+                }
+            }
+            other => {
+                return Err((start, format!("unexpected character `{}`", other as char)));
+            }
+        };
+        tokens.push(Spanned { token, offset: start });
+    }
+    Ok(tokens)
+}
+
+fn one(i: &mut usize, token: Token) -> Token {
+    *i += 1;
+    token
+}
+
+fn pair(bytes: &[u8], i: &mut usize, next: u8, matched: Token, single: Token) -> Token {
+    if bytes.get(*i + 1) == Some(&next) {
+        *i += 2;
+        matched
+    } else {
+        *i += 1;
+        single
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("1 2.5 .5 1e3 2.5e-2"), vec![
+            Token::Number(1.0),
+            Token::Number(2.5),
+            Token::Number(0.5),
+            Token::Number(1000.0),
+            Token::Number(0.025),
+        ]);
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(toks("if else true false foo _x9"), vec![
+            Token::If,
+            Token::Else,
+            Token::True,
+            Token::False,
+            Token::Ident("foo".into()),
+            Token::Ident("_x9".into()),
+        ]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(toks("< <= > >= == != && || = ! ~="), vec![
+            Token::Lt,
+            Token::Le,
+            Token::Gt,
+            Token::Ge,
+            Token::EqEq,
+            Token::Ne,
+            Token::AndAnd,
+            Token::OrOr,
+            Token::Assign,
+            Token::Bang,
+            Token::Ne,
+        ]);
+    }
+
+    #[test]
+    fn rejects_single_ampersand() {
+        let (offset, msg) = tokenize("a & b").unwrap_err();
+        assert_eq!(offset, 2);
+        assert!(msg.contains("&&"));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(tokenize("a # b").is_err());
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let spanned = tokenize("ab + cd").unwrap();
+        assert_eq!(spanned[1].offset, 3);
+        assert_eq!(spanned[2].offset, 5);
+    }
+}

@@ -1,0 +1,424 @@
+//! Recursive-descent parser for expressions and statement lists.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Value;
+
+use super::ast::{BinOp, Expr, Stmt, UnaryOp};
+use super::lexer::{tokenize, Spanned, Token};
+
+/// Error produced when expression/statement text is malformed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseExprError {
+    message: String,
+    offset: usize,
+}
+
+impl ParseExprError {
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset of the offending token in the source text.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseExprError {}
+
+/// Parses a single expression.
+///
+/// # Errors
+///
+/// Returns [`ParseExprError`] on malformed input or trailing tokens.
+///
+/// ```
+/// # use cftcg_model::expr::parse_expr;
+/// assert!(parse_expr("u1 >= 2 && !u2").is_ok());
+/// assert!(parse_expr("u1 +").is_err());
+/// ```
+pub fn parse_expr(src: &str) -> Result<Expr, ParseExprError> {
+    let tokens = tokenize(src)
+        .map_err(|(offset, message)| ParseExprError { message, offset })?;
+    let mut p = Parser { tokens, pos: 0, src_len: src.len() };
+    let expr = p.expr()?;
+    p.expect_end()?;
+    Ok(expr)
+}
+
+/// Parses a statement list (a MATLAB Function body or a chart action).
+///
+/// # Errors
+///
+/// Returns [`ParseExprError`] on malformed input.
+///
+/// ```
+/// # use cftcg_model::expr::parse_stmts;
+/// let body = parse_stmts("y = 0; if (u > 5) { y = 1; }").unwrap();
+/// assert_eq!(body.len(), 2);
+/// ```
+pub fn parse_stmts(src: &str) -> Result<Vec<Stmt>, ParseExprError> {
+    let tokens = tokenize(src)
+        .map_err(|(offset, message)| ParseExprError { message, offset })?;
+    let mut p = Parser { tokens, pos: 0, src_len: src.len() };
+    let stmts = p.stmt_list_until_end()?;
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.src_len, |s| s.offset)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseExprError {
+        ParseExprError { message: message.into(), offset: self.offset() }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), ParseExprError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected `{token}`, found {}",
+                self.peek().map_or("end of input".to_string(), |t| format!("`{t}`"))
+            )))
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseExprError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseExprError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Token::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseExprError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            Some(Token::EqEq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.add_expr()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseExprError> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary_expr()?;
+            // Fold negation of literals so `-1` is a literal, not an op.
+            if let Expr::Literal(Value::F64(x)) = inner {
+                return Ok(Expr::Literal(Value::F64(-x)));
+            }
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(inner)));
+        }
+        if self.eat(&Token::Bang) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(inner)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseExprError> {
+        match self.bump() {
+            Some(Token::Number(x)) => Ok(Expr::Literal(Value::F64(x))),
+            Some(Token::True) => Ok(Expr::Literal(Value::Bool(true))),
+            Some(Token::False) => Ok(Expr::Literal(Value::Bool(false))),
+            Some(Token::Ident(name)) => {
+                if self.eat(&Token::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Token::RParen) {
+                                break;
+                            }
+                            self.expect(&Token::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(other) => Err(ParseExprError {
+                message: format!("unexpected token `{other}`"),
+                offset: self.tokens[self.pos - 1].offset,
+            }),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmt_list_until_end(&mut self) -> Result<Vec<Stmt>, ParseExprError> {
+        let mut stmts = Vec::new();
+        while self.peek().is_some() {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseExprError> {
+        if self.eat(&Token::If) {
+            return self.if_stmt();
+        }
+        match self.bump() {
+            Some(Token::Ident(name)) => {
+                self.expect(&Token::Assign)?;
+                let value = self.expr()?;
+                self.expect(&Token::Semicolon)?;
+                Ok(Stmt::Assign(name, value))
+            }
+            Some(other) => Err(ParseExprError {
+                message: format!("expected a statement, found `{other}`"),
+                offset: self.tokens[self.pos - 1].offset,
+            }),
+            None => Err(self.error("expected a statement")),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseExprError> {
+        self.expect(&Token::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&Token::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if self.eat(&Token::Else) {
+            if self.eat(&Token::If) {
+                vec![self.if_stmt()?] // `else if` chains
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then_body, else_body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseExprError> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.error("unclosed `{` block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence() {
+        let e = parse_expr("a + b * c").unwrap();
+        assert_eq!(e.to_string(), "a + b * c");
+        let e = parse_expr("(a + b) * c").unwrap();
+        assert_eq!(e.to_string(), "(a + b) * c");
+        let e = parse_expr("a || b && c").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Or,
+                Expr::var("a"),
+                Expr::bin(BinOp::And, Expr::var("b"), Expr::var("c"))
+            )
+        );
+    }
+
+    #[test]
+    fn comparison_binds_between_logic_and_arith() {
+        let e = parse_expr("a + 1 > b && c < 2").unwrap();
+        assert_eq!(e.to_string(), "a + 1 > b && c < 2");
+    }
+
+    #[test]
+    fn unary_folding_and_nesting() {
+        assert_eq!(parse_expr("-1").unwrap(), Expr::num(-1.0));
+        assert_eq!(parse_expr("- 2.5").unwrap(), Expr::num(-2.5));
+        let e = parse_expr("--x").unwrap();
+        assert_eq!(e.to_string(), "--x");
+        let e = parse_expr("!!b").unwrap();
+        assert_eq!(e.to_string(), "!!b");
+    }
+
+    #[test]
+    fn calls() {
+        let e = parse_expr("min(a, max(b, 3))").unwrap();
+        assert_eq!(e.to_string(), "min(a, max(b, 3))");
+        let e = parse_expr("rand()").unwrap();
+        assert_eq!(e, Expr::Call("rand".into(), vec![]));
+    }
+
+    #[test]
+    fn matlab_not_equal_alias() {
+        let e = parse_expr("a ~= b").unwrap();
+        assert_eq!(e.to_string(), "a != b");
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse_expr("a b").unwrap_err();
+        assert!(err.message().contains("trailing"));
+        assert_eq!(err.offset(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_operand() {
+        assert!(parse_expr("a +").is_err());
+        assert!(parse_expr("(a").is_err());
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("f(a,)").is_err());
+    }
+
+    #[test]
+    fn statements() {
+        let stmts = parse_stmts("x = 1; y = x + 2;").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0], Stmt::assign("x", Expr::num(1.0)));
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let stmts =
+            parse_stmts("if (a > 1) { x = 1; } else if (a > 0) { x = 2; } else { x = 3; }")
+                .unwrap();
+        assert_eq!(stmts.len(), 1);
+        match &stmts[0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_statements() {
+        assert!(parse_stmts("x = 1").is_err()); // missing semicolon
+        assert!(parse_stmts("if (a) x = 1;").is_err()); // missing braces
+        assert!(parse_stmts("if (a) { x = 1;").is_err()); // unclosed block
+        assert!(parse_stmts("1 = x;").is_err());
+    }
+
+    #[test]
+    fn expr_display_reparses_to_same_ast() {
+        let sources = [
+            "a && (b || c) && !(d > 1)",
+            "-x * (y - -3) % 2",
+            "min(a + 1, abs(b)) >= c / 4",
+            "a - (b - c) - d",
+            "!(a != b) || c % 2 == 0",
+        ];
+        for src in sources {
+            let e = parse_expr(src).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+            assert_eq!(reparsed, e, "source `{src}` printed as `{printed}`");
+        }
+    }
+}

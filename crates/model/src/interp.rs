@@ -1,0 +1,148 @@
+//! Lookup-table interpolation, shared by every execution engine so the
+//! interpreted and compiled paths cannot drift apart numerically.
+
+/// 1-D linear interpolation over strictly increasing `breakpoints`, clipping
+/// to the end values outside the table range.
+///
+/// ```
+/// use cftcg_model::interp::lookup1d;
+/// let breaks = [0.0, 1.0, 2.0];
+/// let values = [0.0, 10.0, 30.0];
+/// assert_eq!(lookup1d(&breaks, &values, 0.5), 5.0);
+/// assert_eq!(lookup1d(&breaks, &values, -9.0), 0.0); // clipped low
+/// assert_eq!(lookup1d(&breaks, &values, 9.0), 30.0); // clipped high
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices are empty or of different lengths (model validation
+/// rejects such tables before execution).
+pub fn lookup1d(breakpoints: &[f64], values: &[f64], x: f64) -> f64 {
+    assert_eq!(breakpoints.len(), values.len(), "table shape mismatch");
+    assert!(!breakpoints.is_empty(), "empty lookup table");
+    let n = breakpoints.len();
+    if x.is_nan() || x <= breakpoints[0] {
+        return values[0];
+    }
+    if x >= breakpoints[n - 1] {
+        return values[n - 1];
+    }
+    // Find the segment [i, i+1] containing x.
+    let mut i = 0;
+    while i + 2 < n && x >= breakpoints[i + 1] {
+        i += 1;
+    }
+    let (x0, x1) = (breakpoints[i], breakpoints[i + 1]);
+    let (y0, y1) = (values[i], values[i + 1]);
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+/// 2-D bilinear interpolation with end clipping on both axes.
+///
+/// `values[r][c]` corresponds to `row_breaks[r]` × `col_breaks[c]`.
+///
+/// ```
+/// use cftcg_model::interp::lookup2d;
+/// let rows = [0.0, 1.0];
+/// let cols = [0.0, 1.0];
+/// let table = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
+/// assert_eq!(lookup2d(&rows, &cols, &table, 0.5, 0.5), 1.5);
+/// ```
+///
+/// # Panics
+///
+/// Panics on shape mismatches (rejected earlier by model validation).
+pub fn lookup2d(
+    row_breaks: &[f64],
+    col_breaks: &[f64],
+    values: &[Vec<f64>],
+    r: f64,
+    c: f64,
+) -> f64 {
+    assert_eq!(values.len(), row_breaks.len(), "table shape mismatch");
+    let (ri, rt) = locate(row_breaks, r);
+    let (ci, ct) = locate(col_breaks, c);
+    let v00 = values[ri][ci];
+    let v01 = values[ri][ci + 1];
+    let v10 = values[ri + 1][ci];
+    let v11 = values[ri + 1][ci + 1];
+    let top = v00 + (v01 - v00) * ct;
+    let bottom = v10 + (v11 - v10) * ct;
+    top + (bottom - top) * rt
+}
+
+/// Returns the lower segment index and the in-segment fraction in `[0, 1]`
+/// for `x` over `breaks`, clipping outside the range.
+fn locate(breaks: &[f64], x: f64) -> (usize, f64) {
+    let n = breaks.len();
+    assert!(n >= 2, "need at least two breakpoints");
+    if x.is_nan() || x <= breaks[0] {
+        return (0, 0.0);
+    }
+    if x >= breaks[n - 1] {
+        return (n - 2, 1.0);
+    }
+    let mut i = 0;
+    while i + 2 < n && x >= breaks[i + 1] {
+        i += 1;
+    }
+    (i, (x - breaks[i]) / (breaks[i + 1] - breaks[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup1d_hits_breakpoints_exactly() {
+        let b = [0.0, 1.0, 3.0];
+        let v = [5.0, 7.0, -1.0];
+        for i in 0..3 {
+            assert_eq!(lookup1d(&b, &v, b[i]), v[i]);
+        }
+    }
+
+    #[test]
+    fn lookup1d_interpolates_in_every_segment() {
+        let b = [0.0, 1.0, 3.0];
+        let v = [0.0, 10.0, 30.0];
+        assert_eq!(lookup1d(&b, &v, 0.25), 2.5);
+        assert_eq!(lookup1d(&b, &v, 2.0), 20.0);
+    }
+
+    #[test]
+    fn lookup1d_clips_and_handles_nan() {
+        let b = [0.0, 1.0];
+        let v = [2.0, 4.0];
+        assert_eq!(lookup1d(&b, &v, -100.0), 2.0);
+        assert_eq!(lookup1d(&b, &v, 100.0), 4.0);
+        assert_eq!(lookup1d(&b, &v, f64::NAN), 2.0);
+    }
+
+    #[test]
+    fn lookup2d_corners_and_center() {
+        let rows = [0.0, 2.0];
+        let cols = [0.0, 4.0];
+        let table = vec![vec![1.0, 3.0], vec![5.0, 7.0]];
+        assert_eq!(lookup2d(&rows, &cols, &table, 0.0, 0.0), 1.0);
+        assert_eq!(lookup2d(&rows, &cols, &table, 2.0, 4.0), 7.0);
+        assert_eq!(lookup2d(&rows, &cols, &table, 1.0, 2.0), 4.0);
+    }
+
+    #[test]
+    fn lookup2d_clips_out_of_range() {
+        let rows = [0.0, 1.0];
+        let cols = [0.0, 1.0];
+        let table = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
+        assert_eq!(lookup2d(&rows, &cols, &table, -5.0, -5.0), 0.0);
+        assert_eq!(lookup2d(&rows, &cols, &table, 5.0, 5.0), 3.0);
+    }
+
+    #[test]
+    fn lookup1d_monotone_between_neighbors() {
+        let b: Vec<f64> = (0..10).map(f64::from).collect();
+        let v: Vec<f64> = b.iter().map(|x| x * x).collect();
+        let y = lookup1d(&b, &v, 4.5);
+        assert!(y > 16.0 && y < 25.0);
+    }
+}

@@ -1,0 +1,569 @@
+//! Scalar signal data types and runtime values.
+//!
+//! CFTCG models carry scalar signals of the Simulink built-in types. The
+//! fuzz driver decodes raw bytes into these types ([`Value::from_le_bytes`])
+//! and the mutation engine mutates fields knowing their width and class
+//! ([`DataType::size`], [`DataType::is_float`]).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Scalar signal data type, mirroring Simulink's built-in types.
+///
+/// ```
+/// use cftcg_model::DataType;
+/// assert_eq!(DataType::I32.size(), 4);
+/// assert!(DataType::F64.is_float());
+/// assert_eq!("uint8".parse::<DataType>().unwrap(), DataType::U8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// `boolean`
+    Bool,
+    /// `int8`
+    I8,
+    /// `uint8`
+    U8,
+    /// `int16`
+    I16,
+    /// `uint16`
+    U16,
+    /// `int32`
+    I32,
+    /// `uint32`
+    U32,
+    /// `single`
+    F32,
+    /// `double`
+    F64,
+}
+
+impl DataType {
+    /// All supported data types, in ascending width order.
+    pub const ALL: [DataType; 9] = [
+        DataType::Bool,
+        DataType::I8,
+        DataType::U8,
+        DataType::I16,
+        DataType::U16,
+        DataType::I32,
+        DataType::U32,
+        DataType::F32,
+        DataType::F64,
+    ];
+
+    /// Width of the type in bytes, as used by the fuzz-driver tuple layout.
+    pub const fn size(self) -> usize {
+        match self {
+            DataType::Bool | DataType::I8 | DataType::U8 => 1,
+            DataType::I16 | DataType::U16 => 2,
+            DataType::I32 | DataType::U32 | DataType::F32 => 4,
+            DataType::F64 => 8,
+        }
+    }
+
+    /// `true` for `single` and `double`.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DataType::F32 | DataType::F64)
+    }
+
+    /// `true` for the signed and unsigned integer types (not `boolean`).
+    pub const fn is_integer(self) -> bool {
+        !self.is_float() && !matches!(self, DataType::Bool)
+    }
+
+    /// `true` for signed integer types.
+    pub const fn is_signed(self) -> bool {
+        matches!(self, DataType::I8 | DataType::I16 | DataType::I32)
+    }
+
+    /// The Simulink-style name: `boolean`, `int8`, ..., `double`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DataType::Bool => "boolean",
+            DataType::I8 => "int8",
+            DataType::U8 => "uint8",
+            DataType::I16 => "int16",
+            DataType::U16 => "uint16",
+            DataType::I32 => "int32",
+            DataType::U32 => "uint32",
+            DataType::F32 => "single",
+            DataType::F64 => "double",
+        }
+    }
+
+    /// The C type name used by the emitted fuzz code (`int8_t`, `double`, ...).
+    pub const fn c_name(self) -> &'static str {
+        match self {
+            DataType::Bool => "bool",
+            DataType::I8 => "int8_t",
+            DataType::U8 => "uint8_t",
+            DataType::I16 => "int16_t",
+            DataType::U16 => "uint16_t",
+            DataType::I32 => "int32_t",
+            DataType::U32 => "uint32_t",
+            DataType::F32 => "float",
+            DataType::F64 => "double",
+        }
+    }
+
+    /// The zero value of this type.
+    pub const fn zero(self) -> Value {
+        match self {
+            DataType::Bool => Value::Bool(false),
+            DataType::I8 => Value::I8(0),
+            DataType::U8 => Value::U8(0),
+            DataType::I16 => Value::I16(0),
+            DataType::U16 => Value::U16(0),
+            DataType::I32 => Value::I32(0),
+            DataType::U32 => Value::U32(0),
+            DataType::F32 => Value::F32(0.0),
+            DataType::F64 => Value::F64(0.0),
+        }
+    }
+
+    /// Smallest representable value, as `f64` (used by saturating casts).
+    pub fn min_f64(self) -> f64 {
+        match self {
+            DataType::Bool => 0.0,
+            DataType::I8 => i8::MIN as f64,
+            DataType::U8 => 0.0,
+            DataType::I16 => i16::MIN as f64,
+            DataType::U16 => 0.0,
+            DataType::I32 => i32::MIN as f64,
+            DataType::U32 => 0.0,
+            DataType::F32 => f64::from(f32::MIN),
+            DataType::F64 => f64::MIN,
+        }
+    }
+
+    /// Largest representable value, as `f64` (used by saturating casts).
+    pub fn max_f64(self) -> f64 {
+        match self {
+            DataType::Bool => 1.0,
+            DataType::I8 => i8::MAX as f64,
+            DataType::U8 => u8::MAX as f64,
+            DataType::I16 => i16::MAX as f64,
+            DataType::U16 => u16::MAX as f64,
+            DataType::I32 => i32::MAX as f64,
+            DataType::U32 => u32::MAX as f64,
+            DataType::F32 => f64::from(f32::MAX),
+            DataType::F64 => f64::MAX,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a data type name is not recognized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDataTypeError(String);
+
+impl fmt::Display for ParseDataTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown data type `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseDataTypeError {}
+
+impl FromStr for DataType {
+    type Err = ParseDataTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "boolean" | "bool" => DataType::Bool,
+            "int8" => DataType::I8,
+            "uint8" => DataType::U8,
+            "int16" => DataType::I16,
+            "uint16" => DataType::U16,
+            "int32" => DataType::I32,
+            "uint32" => DataType::U32,
+            "single" | "float" => DataType::F32,
+            "double" => DataType::F64,
+            other => return Err(ParseDataTypeError(other.to_string())),
+        })
+    }
+}
+
+/// A runtime scalar value carried on a signal.
+///
+/// Arithmetic in the engines promotes to `f64` and casts back to the signal's
+/// declared type with saturation ([`Value::cast`]), approximating Simulink's
+/// default saturating fixed-point behaviour.
+///
+/// ```
+/// use cftcg_model::{DataType, Value};
+/// let v = Value::F64(300.7);
+/// assert_eq!(v.cast(DataType::U8), Value::U8(255)); // saturates
+/// assert_eq!(Value::F64(-2.5).cast(DataType::I32), Value::I32(-3)); // rounds half away
+/// assert!(Value::I8(-1).is_truthy());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// `boolean`
+    Bool(bool),
+    /// `int8`
+    I8(i8),
+    /// `uint8`
+    U8(u8),
+    /// `int16`
+    I16(i16),
+    /// `uint16`
+    U16(u16),
+    /// `int32`
+    I32(i32),
+    /// `uint32`
+    U32(u32),
+    /// `single`
+    F32(f32),
+    /// `double`
+    F64(f64),
+}
+
+impl Value {
+    /// The data type of this value.
+    pub const fn data_type(self) -> DataType {
+        match self {
+            Value::Bool(_) => DataType::Bool,
+            Value::I8(_) => DataType::I8,
+            Value::U8(_) => DataType::U8,
+            Value::I16(_) => DataType::I16,
+            Value::U16(_) => DataType::U16,
+            Value::I32(_) => DataType::I32,
+            Value::U32(_) => DataType::U32,
+            Value::F32(_) => DataType::F32,
+            Value::F64(_) => DataType::F64,
+        }
+    }
+
+    /// Numeric view of the value (`true` → 1.0).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::Bool(b) => {
+                if b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::I8(v) => f64::from(v),
+            Value::U8(v) => f64::from(v),
+            Value::I16(v) => f64::from(v),
+            Value::U16(v) => f64::from(v),
+            Value::I32(v) => f64::from(v),
+            Value::U32(v) => f64::from(v),
+            Value::F32(v) => f64::from(v),
+            Value::F64(v) => v,
+        }
+    }
+
+    /// Simulink truthiness: nonzero is true.
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            other => other.as_f64() != 0.0,
+        }
+    }
+
+    /// Casts to `to` with Simulink-style saturation.
+    ///
+    /// Floats converting to integers round half away from zero, then
+    /// saturate to the target range. NaN converts to zero.
+    pub fn cast(self, to: DataType) -> Value {
+        if self.data_type() == to {
+            return self;
+        }
+        let x = self.as_f64();
+        Value::from_f64(x, to)
+    }
+
+    /// Builds a value of type `ty` from an `f64`, rounding half away from
+    /// zero and saturating integers; NaN becomes zero for integer targets.
+    pub fn from_f64(x: f64, ty: DataType) -> Value {
+        match ty {
+            DataType::F64 => Value::F64(x),
+            DataType::F32 => Value::F32(x as f32),
+            DataType::Bool => Value::Bool(x != 0.0 && !x.is_nan()),
+            _ => {
+                let r = if x.is_nan() { 0.0 } else { x.round() };
+                let clamped = r.clamp(ty.min_f64(), ty.max_f64());
+                match ty {
+                    DataType::I8 => Value::I8(clamped as i8),
+                    DataType::U8 => Value::U8(clamped as u8),
+                    DataType::I16 => Value::I16(clamped as i16),
+                    DataType::U16 => Value::U16(clamped as u16),
+                    DataType::I32 => Value::I32(clamped as i32),
+                    DataType::U32 => Value::U32(clamped as u32),
+                    _ => unreachable!("float and bool handled above"),
+                }
+            }
+        }
+    }
+
+    /// Decodes a value of type `ty` from little-endian bytes.
+    ///
+    /// This is the data-segmentation step of the generated fuzz driver
+    /// (`memcpy(&inport_var, data + offset, size)` in the paper's Figure 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() < ty.size()`.
+    pub fn from_le_bytes(bytes: &[u8], ty: DataType) -> Value {
+        match ty {
+            DataType::Bool => Value::Bool(bytes[0] & 1 != 0),
+            DataType::I8 => Value::I8(bytes[0] as i8),
+            DataType::U8 => Value::U8(bytes[0]),
+            DataType::I16 => Value::I16(i16::from_le_bytes([bytes[0], bytes[1]])),
+            DataType::U16 => Value::U16(u16::from_le_bytes([bytes[0], bytes[1]])),
+            DataType::I32 => {
+                Value::I32(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+            }
+            DataType::U32 => {
+                Value::U32(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+            }
+            DataType::F32 => {
+                Value::F32(f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+            }
+            DataType::F64 => Value::F64(f64::from_le_bytes([
+                bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+            ])),
+        }
+    }
+
+    /// Encodes the value as little-endian bytes (inverse of
+    /// [`Value::from_le_bytes`], except `Bool` which normalizes to 0/1).
+    pub fn to_le_bytes(self) -> Vec<u8> {
+        match self {
+            Value::Bool(b) => vec![u8::from(b)],
+            Value::I8(v) => v.to_le_bytes().to_vec(),
+            Value::U8(v) => v.to_le_bytes().to_vec(),
+            Value::I16(v) => v.to_le_bytes().to_vec(),
+            Value::U16(v) => v.to_le_bytes().to_vec(),
+            Value::I32(v) => v.to_le_bytes().to_vec(),
+            Value::U32(v) => v.to_le_bytes().to_vec(),
+            Value::F32(v) => v.to_le_bytes().to_vec(),
+            Value::F64(v) => v.to_le_bytes().to_vec(),
+        }
+    }
+
+    /// Parses a literal of the given type from its display form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the text is not a literal of type `ty`.
+    pub fn parse_typed(text: &str, ty: DataType) -> Result<Value, ParseValueError> {
+        let bad = || ParseValueError { text: text.to_string(), ty };
+        Ok(match ty {
+            DataType::Bool => match text {
+                "true" | "1" => Value::Bool(true),
+                "false" | "0" => Value::Bool(false),
+                _ => return Err(bad()),
+            },
+            DataType::I8 => Value::I8(text.parse().map_err(|_| bad())?),
+            DataType::U8 => Value::U8(text.parse().map_err(|_| bad())?),
+            DataType::I16 => Value::I16(text.parse().map_err(|_| bad())?),
+            DataType::U16 => Value::U16(text.parse().map_err(|_| bad())?),
+            DataType::I32 => Value::I32(text.parse().map_err(|_| bad())?),
+            DataType::U32 => Value::U32(text.parse().map_err(|_| bad())?),
+            DataType::F32 => Value::F32(text.parse().map_err(|_| bad())?),
+            DataType::F64 => Value::F64(text.parse().map_err(|_| bad())?),
+        })
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I8(v) => write!(f, "{v}"),
+            Value::U8(v) => write!(f, "{v}"),
+            Value::I16(v) => write!(f, "{v}"),
+            Value::U16(v) => write!(f, "{v}"),
+            Value::I32(v) => write!(f, "{v}"),
+            Value::U32(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+/// Error returned when a value literal cannot be parsed as the given type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseValueError {
+    text: String,
+    ty: DataType,
+}
+
+impl fmt::Display for ParseValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` is not a valid {} literal", self.text, self.ty)
+    }
+}
+
+impl std::error::Error for ParseValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_c_layout() {
+        assert_eq!(DataType::Bool.size(), 1);
+        assert_eq!(DataType::I8.size(), 1);
+        assert_eq!(DataType::I16.size(), 2);
+        assert_eq!(DataType::U32.size(), 4);
+        assert_eq!(DataType::F32.size(), 4);
+        assert_eq!(DataType::F64.size(), 8);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(DataType::F32.is_float());
+        assert!(!DataType::I32.is_float());
+        assert!(DataType::I16.is_integer());
+        assert!(!DataType::Bool.is_integer());
+        assert!(DataType::I8.is_signed());
+        assert!(!DataType::U8.is_signed());
+    }
+
+    #[test]
+    fn parse_and_display_names_roundtrip() {
+        for ty in DataType::ALL {
+            assert_eq!(ty.name().parse::<DataType>().unwrap(), ty);
+        }
+        assert!("int64".parse::<DataType>().is_err());
+    }
+
+    #[test]
+    fn zero_has_matching_type() {
+        for ty in DataType::ALL {
+            assert_eq!(ty.zero().data_type(), ty);
+            assert_eq!(ty.zero().as_f64(), 0.0);
+        }
+    }
+
+    #[test]
+    fn cast_saturates_integers() {
+        assert_eq!(Value::F64(1e9).cast(DataType::I16), Value::I16(i16::MAX));
+        assert_eq!(Value::F64(-1e9).cast(DataType::U8), Value::U8(0));
+        assert_eq!(Value::I32(-5).cast(DataType::U32), Value::U32(0));
+        assert_eq!(Value::F64(127.4).cast(DataType::I8), Value::I8(127));
+    }
+
+    #[test]
+    fn cast_rounds_half_away_from_zero() {
+        assert_eq!(Value::F64(2.5).cast(DataType::I32), Value::I32(3));
+        assert_eq!(Value::F64(-2.5).cast(DataType::I32), Value::I32(-3));
+        assert_eq!(Value::F64(2.4).cast(DataType::I32), Value::I32(2));
+    }
+
+    #[test]
+    fn cast_nan_to_integer_is_zero() {
+        assert_eq!(Value::F64(f64::NAN).cast(DataType::I32), Value::I32(0));
+        assert_eq!(Value::F64(f64::NAN).cast(DataType::Bool), Value::Bool(false));
+    }
+
+    #[test]
+    fn cast_to_bool_is_truthiness() {
+        assert_eq!(Value::I32(2).cast(DataType::Bool), Value::Bool(true));
+        assert_eq!(Value::F64(0.0).cast(DataType::Bool), Value::Bool(false));
+        assert_eq!(Value::F64(-0.5).cast(DataType::Bool), Value::Bool(true));
+    }
+
+    #[test]
+    fn cast_same_type_is_identity() {
+        let v = Value::F32(1.25);
+        assert_eq!(v.cast(DataType::F32), v);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::I8(-1).is_truthy());
+        assert!(!Value::U32(0).is_truthy());
+        assert!(Value::F64(0.001).is_truthy());
+    }
+
+    #[test]
+    fn le_bytes_roundtrip_all_types() {
+        let samples = [
+            Value::Bool(true),
+            Value::I8(-5),
+            Value::U8(200),
+            Value::I16(-1234),
+            Value::U16(65000),
+            Value::I32(-100_000),
+            Value::U32(4_000_000_000),
+            Value::F32(3.5),
+            Value::F64(-2.25e10),
+        ];
+        for v in samples {
+            let bytes = v.to_le_bytes();
+            assert_eq!(bytes.len(), v.data_type().size());
+            assert_eq!(Value::from_le_bytes(&bytes, v.data_type()), v);
+        }
+    }
+
+    #[test]
+    fn bool_from_bytes_uses_low_bit() {
+        assert_eq!(Value::from_le_bytes(&[2], DataType::Bool), Value::Bool(false));
+        assert_eq!(Value::from_le_bytes(&[3], DataType::Bool), Value::Bool(true));
+    }
+
+    #[test]
+    fn parse_typed_literals() {
+        assert_eq!(Value::parse_typed("true", DataType::Bool).unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse_typed("-42", DataType::I16).unwrap(), Value::I16(-42));
+        assert_eq!(Value::parse_typed("2.5", DataType::F64).unwrap(), Value::F64(2.5));
+        assert!(Value::parse_typed("2.5", DataType::I32).is_err());
+        assert!(Value::parse_typed("maybe", DataType::Bool).is_err());
+        let err = Value::parse_typed("x", DataType::U8).unwrap_err();
+        assert!(err.to_string().contains("uint8"));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse_typed() {
+        let samples = [Value::I32(-7), Value::U16(9), Value::F64(1.5), Value::Bool(false)];
+        for v in samples {
+            let text = v.to_string();
+            assert_eq!(Value::parse_typed(&text, v.data_type()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3), Value::I32(3));
+        assert_eq!(Value::from(1.5), Value::F64(1.5));
+    }
+
+    #[test]
+    fn c_names() {
+        assert_eq!(DataType::I8.c_name(), "int8_t");
+        assert_eq!(DataType::F64.c_name(), "double");
+    }
+}

@@ -1,0 +1,1053 @@
+//! XML persistence for models — the `.mdlx` format.
+//!
+//! A `.mdlx` file is an XML document with a `<model>` root listing
+//! `<block>` and `<connection>` elements. Connections reference blocks by
+//! name (`from="gain1:0" to="sum:1"`), so files diff cleanly. Nested
+//! subsystems embed a child `<model>`; charts and MATLAB functions embed
+//! structured child elements with statement bodies stored as source text.
+//!
+//! This module is the reproduction's "Model Parser" stage (the paper loads
+//! `.slx` archives with Unzip + TinyXML; we load `.mdlx` with
+//! [`cftcg_slimxml`]).
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use cftcg_slimxml::{parse, Document, Element};
+
+use crate::block::{
+    BlockKind, EdgeKind, InputSign, LogicOp, MathFunc, MinMaxOp, ProductOp, RelOp,
+    SwitchCriterion,
+};
+use crate::chart::{Chart, State, Transition};
+use crate::expr::{format_stmts, parse_expr, parse_stmts};
+use crate::function::FunctionDef;
+use crate::model::{Connection, Model, PortRef};
+use crate::{DataType, Value};
+
+/// Error produced when a `.mdlx` document cannot be loaded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadModelError {
+    message: String,
+}
+
+impl LoadModelError {
+    fn new(message: impl Into<String>) -> Self {
+        LoadModelError { message: message.into() }
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for LoadModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot load model: {}", self.message)
+    }
+}
+
+impl Error for LoadModelError {}
+
+impl From<cftcg_slimxml::ParseXmlError> for LoadModelError {
+    fn from(e: cftcg_slimxml::ParseXmlError) -> Self {
+        LoadModelError::new(e.to_string())
+    }
+}
+
+impl From<crate::expr::ParseExprError> for LoadModelError {
+    fn from(e: crate::expr::ParseExprError) -> Self {
+        LoadModelError::new(e.to_string())
+    }
+}
+
+/// Serializes a model to `.mdlx` XML text.
+///
+/// The output round-trips through [`load_model`] to an equal [`Model`].
+pub fn save_model(model: &Model) -> String {
+    Document::new(model_to_element(model)).to_xml()
+}
+
+/// Parses a model from `.mdlx` XML text.
+///
+/// Note that this performs *structural* loading only; call
+/// [`Model::validate`] afterwards if the file is untrusted.
+///
+/// # Errors
+///
+/// Returns [`LoadModelError`] when the XML is malformed, a block kind or
+/// parameter is unknown, or a connection references a missing block.
+pub fn load_model(xml: &str) -> Result<Model, LoadModelError> {
+    let doc = parse(xml)?;
+    if doc.root.name != "model" {
+        return Err(LoadModelError::new(format!(
+            "expected <model> root, found <{}>",
+            doc.root.name
+        )));
+    }
+    model_from_element(&doc.root)
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn model_to_element(model: &Model) -> Element {
+    let mut root = Element::new("model").with_attr("name", model.name());
+    for block in model.blocks() {
+        let mut e = Element::new("block")
+            .with_attr("name", block.name())
+            .with_attr("kind", block.kind().tag());
+        write_kind(&mut e, block.kind());
+        root.children.push(cftcg_slimxml::Node::Element(e));
+    }
+    for c in model.connections() {
+        let from = format!("{}:{}", model.block(c.src.block).name(), c.src.port);
+        let to = format!("{}:{}", model.block(c.dst.block).name(), c.dst.port);
+        root.children.push(cftcg_slimxml::Node::Element(
+            Element::new("connection").with_attr("from", from).with_attr("to", to),
+        ));
+    }
+    root
+}
+
+fn param(e: &mut Element, name: &str, value: impl fmt::Display) {
+    e.children.push(cftcg_slimxml::Node::Element(
+        Element::new("param").with_attr("name", name).with_text(value.to_string()),
+    ));
+}
+
+fn typed_value_params(e: &mut Element, value: Value) {
+    param(e, "dtype", value.data_type());
+    param(e, "value", value);
+}
+
+fn csv(xs: &[f64]) -> String {
+    xs.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
+}
+
+fn write_kind(e: &mut Element, kind: &BlockKind) {
+    match kind {
+        BlockKind::Inport { index, dtype } => {
+            param(e, "index", index);
+            param(e, "dtype", dtype);
+        }
+        BlockKind::Outport { index } => param(e, "index", index),
+        BlockKind::Constant { value } => typed_value_params(e, *value),
+        BlockKind::Ground { dtype } => param(e, "dtype", dtype),
+        BlockKind::Terminator
+        | BlockKind::Assertion
+        | BlockKind::Abs
+        | BlockKind::UnaryMinus
+        | BlockKind::Signum
+        | BlockKind::ZeroOrderHold => {}
+        BlockKind::Sum { signs } => {
+            let text: String = signs
+                .iter()
+                .map(|s| match s {
+                    InputSign::Plus => '+',
+                    InputSign::Minus => '-',
+                })
+                .collect();
+            param(e, "signs", text);
+        }
+        BlockKind::Product { ops } => {
+            let text: String = ops
+                .iter()
+                .map(|o| match o {
+                    ProductOp::Mul => '*',
+                    ProductOp::Div => '/',
+                })
+                .collect();
+            param(e, "ops", text);
+        }
+        BlockKind::Gain { gain } => param(e, "gain", gain),
+        BlockKind::Bias { bias } => param(e, "bias", bias),
+        BlockKind::MinMax { op, inputs } => {
+            param(e, "op", match op {
+                MinMaxOp::Min => "min",
+                MinMaxOp::Max => "max",
+            });
+            param(e, "inputs", inputs);
+        }
+        BlockKind::Math { func } => param(e, "func", func.name()),
+        BlockKind::Saturation { lower, upper } => {
+            param(e, "lower", lower);
+            param(e, "upper", upper);
+        }
+        BlockKind::DeadZone { start, end } => {
+            param(e, "start", start);
+            param(e, "end", end);
+        }
+        BlockKind::Relay { on_threshold, off_threshold, on_output, off_output } => {
+            param(e, "on_threshold", on_threshold);
+            param(e, "off_threshold", off_threshold);
+            param(e, "on_output", on_output);
+            param(e, "off_output", off_output);
+        }
+        BlockKind::Quantizer { interval } => param(e, "interval", interval),
+        BlockKind::RateLimiter { rising, falling } => {
+            param(e, "rising", rising);
+            param(e, "falling", falling);
+        }
+        BlockKind::Backlash { width, initial } => {
+            param(e, "width", width);
+            param(e, "initial", initial);
+        }
+        BlockKind::CoulombFriction { offset, gain } => {
+            param(e, "offset", offset);
+            param(e, "gain", gain);
+        }
+        BlockKind::Logic { op, inputs } => {
+            param(e, "op", op.name());
+            param(e, "inputs", inputs);
+        }
+        BlockKind::Relational { op } => param(e, "op", op.symbol()),
+        BlockKind::Compare { op, constant } => {
+            param(e, "op", op.symbol());
+            param(e, "constant", constant);
+        }
+        BlockKind::Switch { criterion } => match criterion {
+            SwitchCriterion::GreaterEqual(t) => {
+                param(e, "criterion", "ge");
+                param(e, "threshold", t);
+            }
+            SwitchCriterion::Greater(t) => {
+                param(e, "criterion", "gt");
+                param(e, "threshold", t);
+            }
+            SwitchCriterion::NotZero => param(e, "criterion", "nz"),
+        },
+        BlockKind::MultiportSwitch { cases } => param(e, "cases", cases),
+        BlockKind::Merge { inputs } => param(e, "inputs", inputs),
+        BlockKind::DataTypeConversion { to } => param(e, "to", to),
+        BlockKind::UnitDelay { initial } | BlockKind::Memory { initial } => {
+            typed_value_params(e, *initial);
+        }
+        BlockKind::Delay { steps, initial } => {
+            param(e, "steps", steps);
+            typed_value_params(e, *initial);
+        }
+        BlockKind::DiscreteIntegrator { gain, initial, lower, upper } => {
+            param(e, "gain", gain);
+            param(e, "initial", initial);
+            if let Some(lo) = lower {
+                param(e, "lower", lo);
+            }
+            if let Some(hi) = upper {
+                param(e, "upper", hi);
+            }
+        }
+        BlockKind::CounterLimited { limit } => param(e, "limit", limit),
+        BlockKind::CounterFreeRunning { bits } => param(e, "bits", bits),
+        BlockKind::EdgeDetect { kind } => param(e, "edge", edge_name(*kind)),
+        BlockKind::Lookup1D { breakpoints, values } => {
+            param(e, "breakpoints", csv(breakpoints));
+            param(e, "values", csv(values));
+        }
+        BlockKind::Lookup2D { row_breaks, col_breaks, values } => {
+            param(e, "row_breaks", csv(row_breaks));
+            param(e, "col_breaks", csv(col_breaks));
+            let rows: Vec<String> = values.iter().map(|r| csv(r)).collect();
+            param(e, "values", rows.join(";"));
+        }
+        BlockKind::If { num_inputs, conditions, has_else } => {
+            param(e, "num_inputs", num_inputs);
+            param(e, "has_else", has_else);
+            for cond in conditions {
+                e.children.push(cftcg_slimxml::Node::Element(
+                    Element::new("condition").with_text(cond.to_string()),
+                ));
+            }
+        }
+        BlockKind::SwitchCase { cases, has_default } => {
+            param(e, "has_default", has_default);
+            for case in cases {
+                let labels =
+                    case.iter().map(i64::to_string).collect::<Vec<_>>().join(",");
+                e.children.push(cftcg_slimxml::Node::Element(
+                    Element::new("case").with_text(labels),
+                ));
+            }
+        }
+        BlockKind::ActionSubsystem { model }
+        | BlockKind::EnabledSubsystem { model }
+        | BlockKind::Subsystem { model } => {
+            e.children.push(cftcg_slimxml::Node::Element(model_to_element(model)));
+        }
+        BlockKind::TriggeredSubsystem { model, edge } => {
+            param(e, "edge", edge_name(*edge));
+            e.children.push(cftcg_slimxml::Node::Element(model_to_element(model)));
+        }
+        BlockKind::MatlabFunction { function } => {
+            let mut fe = Element::new("function");
+            for (name, ty) in function.inputs() {
+                fe.children.push(cftcg_slimxml::Node::Element(
+                    Element::new("input").with_attr("name", name).with_attr("dtype", ty.name()),
+                ));
+            }
+            for (name, ty) in function.outputs() {
+                fe.children.push(cftcg_slimxml::Node::Element(
+                    Element::new("output").with_attr("name", name).with_attr("dtype", ty.name()),
+                ));
+            }
+            fe.children.push(cftcg_slimxml::Node::Element(
+                Element::new("body").with_text(function.body_text()),
+            ));
+            e.children.push(cftcg_slimxml::Node::Element(fe));
+        }
+        BlockKind::Chart { chart } => {
+            e.children.push(cftcg_slimxml::Node::Element(chart_to_element(chart)));
+        }
+    }
+}
+
+fn edge_name(kind: EdgeKind) -> &'static str {
+    match kind {
+        EdgeKind::Rising => "rising",
+        EdgeKind::Falling => "falling",
+        EdgeKind::Either => "either",
+    }
+}
+
+fn chart_to_element(chart: &Chart) -> Element {
+    let mut ce = Element::new("chart").with_attr("initial", chart.initial.to_string());
+    for (name, ty) in &chart.inputs {
+        ce.children.push(cftcg_slimxml::Node::Element(
+            Element::new("input").with_attr("name", name).with_attr("dtype", ty.name()),
+        ));
+    }
+    for (name, ty) in &chart.outputs {
+        ce.children.push(cftcg_slimxml::Node::Element(
+            Element::new("output").with_attr("name", name).with_attr("dtype", ty.name()),
+        ));
+    }
+    for (name, ty, init) in &chart.variables {
+        ce.children.push(cftcg_slimxml::Node::Element(
+            Element::new("variable")
+                .with_attr("name", name)
+                .with_attr("dtype", ty.name())
+                .with_attr("init", init.to_string()),
+        ));
+    }
+    for state in &chart.states {
+        let mut se = Element::new("state").with_attr("name", &state.name);
+        if !state.entry.is_empty() {
+            se.children.push(cftcg_slimxml::Node::Element(
+                Element::new("entry").with_text(format_stmts(&state.entry)),
+            ));
+        }
+        if !state.during.is_empty() {
+            se.children.push(cftcg_slimxml::Node::Element(
+                Element::new("during").with_text(format_stmts(&state.during)),
+            ));
+        }
+        ce.children.push(cftcg_slimxml::Node::Element(se));
+    }
+    for t in &chart.transitions {
+        let mut te = Element::new("transition")
+            .with_attr("from", t.from.to_string())
+            .with_attr("to", t.to.to_string());
+        if let Some(guard) = &t.guard {
+            te.set_attr("guard", guard.to_string());
+        }
+        if !t.action.is_empty() {
+            te = te.with_text(format_stmts(&t.action));
+        }
+        ce.children.push(cftcg_slimxml::Node::Element(te));
+    }
+    ce
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+struct Params<'a> {
+    element: &'a Element,
+    block: &'a str,
+}
+
+impl<'a> Params<'a> {
+    fn text(&self, name: &str) -> Result<String, LoadModelError> {
+        self.element
+            .children_named("param")
+            .find(|p| p.attr("name") == Some(name))
+            .map(|p| p.text())
+            .ok_or_else(|| {
+                LoadModelError::new(format!(
+                    "block `{}` is missing parameter `{name}`",
+                    self.block
+                ))
+            })
+    }
+
+    fn opt_text(&self, name: &str) -> Option<String> {
+        self.element
+            .children_named("param")
+            .find(|p| p.attr("name") == Some(name))
+            .map(|p| p.text())
+    }
+
+    fn parse<T: FromStr>(&self, name: &str) -> Result<T, LoadModelError>
+    where
+        T::Err: fmt::Display,
+    {
+        let text = self.text(name)?;
+        text.parse().map_err(|e| {
+            LoadModelError::new(format!(
+                "block `{}` parameter `{name}`: {e} (got `{text}`)",
+                self.block
+            ))
+        })
+    }
+
+    fn opt_parse<T: FromStr>(&self, name: &str) -> Result<Option<T>, LoadModelError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.opt_text(name) {
+            None => Ok(None),
+            Some(text) => text
+                .parse()
+                .map(Some)
+                .map_err(|e| {
+                    LoadModelError::new(format!(
+                        "block `{}` parameter `{name}`: {e} (got `{text}`)",
+                        self.block
+                    ))
+                }),
+        }
+    }
+
+    fn typed_value(&self) -> Result<Value, LoadModelError> {
+        let ty: DataType = self.parse("dtype")?;
+        let text = self.text("value")?;
+        Value::parse_typed(&text, ty)
+            .map_err(|e| LoadModelError::new(format!("block `{}`: {e}", self.block)))
+    }
+
+    fn csv(&self, name: &str) -> Result<Vec<f64>, LoadModelError> {
+        parse_csv(&self.text(name)?).map_err(|e| {
+            LoadModelError::new(format!("block `{}` parameter `{name}`: {e}", self.block))
+        })
+    }
+}
+
+fn parse_csv(text: &str) -> Result<Vec<f64>, String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<f64>().map_err(|_| format!("bad number `{s}`")))
+        .collect()
+}
+
+fn model_from_element(root: &Element) -> Result<Model, LoadModelError> {
+    let name = root
+        .attr("name")
+        .ok_or_else(|| LoadModelError::new("<model> is missing a name"))?
+        .to_string();
+    let mut blocks = Vec::new();
+    for be in root.children_named("block") {
+        let block_name = be
+            .attr("name")
+            .ok_or_else(|| LoadModelError::new("<block> is missing a name"))?
+            .to_string();
+        let kind = read_kind(be, &block_name)?;
+        blocks.push((block_name, kind));
+    }
+    let mut connections = Vec::new();
+    let find = |endpoint: &str| -> Result<PortRef, LoadModelError> {
+        let (bname, port) = endpoint.rsplit_once(':').ok_or_else(|| {
+            LoadModelError::new(format!("bad connection endpoint `{endpoint}`"))
+        })?;
+        let index = blocks.iter().position(|(n, _)| n == bname).ok_or_else(|| {
+            LoadModelError::new(format!("connection references unknown block `{bname}`"))
+        })?;
+        let port: usize = port.parse().map_err(|_| {
+            LoadModelError::new(format!("bad port in connection endpoint `{endpoint}`"))
+        })?;
+        Ok(PortRef::new(crate::model::BlockId::from_index(index), port))
+    };
+    for ce in root.children_named("connection") {
+        let from = ce
+            .attr("from")
+            .ok_or_else(|| LoadModelError::new("<connection> missing `from`"))?;
+        let to = ce
+            .attr("to")
+            .ok_or_else(|| LoadModelError::new("<connection> missing `to`"))?;
+        connections.push(Connection { src: find(from)?, dst: find(to)? });
+    }
+    Ok(Model::from_parts(name, blocks, connections))
+}
+
+fn read_kind(e: &Element, block: &str) -> Result<BlockKind, LoadModelError> {
+    let tag = e
+        .attr("kind")
+        .ok_or_else(|| LoadModelError::new(format!("block `{block}` is missing a kind")))?;
+    let p = Params { element: e, block };
+    let inner_model = || -> Result<Box<Model>, LoadModelError> {
+        let me = e.child("model").ok_or_else(|| {
+            LoadModelError::new(format!("subsystem `{block}` is missing its <model>"))
+        })?;
+        Ok(Box::new(model_from_element(me)?))
+    };
+    Ok(match tag {
+        "Inport" => BlockKind::Inport { index: p.parse("index")?, dtype: p.parse("dtype")? },
+        "Outport" => BlockKind::Outport { index: p.parse("index")? },
+        "Constant" => BlockKind::Constant { value: p.typed_value()? },
+        "Ground" => BlockKind::Ground { dtype: p.parse("dtype")? },
+        "Terminator" => BlockKind::Terminator,
+        "Assertion" => BlockKind::Assertion,
+        "Abs" => BlockKind::Abs,
+        "UnaryMinus" => BlockKind::UnaryMinus,
+        "Signum" => BlockKind::Signum,
+        "ZeroOrderHold" => BlockKind::ZeroOrderHold,
+        "Sum" => {
+            let signs = p
+                .text("signs")?
+                .chars()
+                .map(|c| match c {
+                    '+' => Ok(InputSign::Plus),
+                    '-' => Ok(InputSign::Minus),
+                    other => Err(LoadModelError::new(format!(
+                        "block `{block}`: bad sign `{other}`"
+                    ))),
+                })
+                .collect::<Result<_, _>>()?;
+            BlockKind::Sum { signs }
+        }
+        "Product" => {
+            let ops = p
+                .text("ops")?
+                .chars()
+                .map(|c| match c {
+                    '*' => Ok(ProductOp::Mul),
+                    '/' => Ok(ProductOp::Div),
+                    other => Err(LoadModelError::new(format!(
+                        "block `{block}`: bad op `{other}`"
+                    ))),
+                })
+                .collect::<Result<_, _>>()?;
+            BlockKind::Product { ops }
+        }
+        "Gain" => BlockKind::Gain { gain: p.parse("gain")? },
+        "Bias" => BlockKind::Bias { bias: p.parse("bias")? },
+        "MinMax" => BlockKind::MinMax {
+            op: match p.text("op")?.as_str() {
+                "min" => MinMaxOp::Min,
+                "max" => MinMaxOp::Max,
+                other => {
+                    return Err(LoadModelError::new(format!(
+                        "block `{block}`: bad minmax op `{other}`"
+                    )))
+                }
+            },
+            inputs: p.parse("inputs")?,
+        },
+        "Math" => {
+            let name = p.text("func")?;
+            let func = [
+                MathFunc::Sqrt,
+                MathFunc::Exp,
+                MathFunc::Ln,
+                MathFunc::Log10,
+                MathFunc::Sin,
+                MathFunc::Cos,
+                MathFunc::Tan,
+                MathFunc::Square,
+                MathFunc::Reciprocal,
+                MathFunc::Floor,
+                MathFunc::Ceil,
+                MathFunc::Round,
+                MathFunc::Mod,
+                MathFunc::Rem,
+                MathFunc::Pow,
+                MathFunc::Atan2,
+                MathFunc::Hypot,
+            ]
+            .into_iter()
+            .find(|f| f.name() == name)
+            .ok_or_else(|| {
+                LoadModelError::new(format!("block `{block}`: unknown math func `{name}`"))
+            })?;
+            BlockKind::Math { func }
+        }
+        "Saturation" => {
+            BlockKind::Saturation { lower: p.parse("lower")?, upper: p.parse("upper")? }
+        }
+        "DeadZone" => BlockKind::DeadZone { start: p.parse("start")?, end: p.parse("end")? },
+        "Relay" => BlockKind::Relay {
+            on_threshold: p.parse("on_threshold")?,
+            off_threshold: p.parse("off_threshold")?,
+            on_output: p.parse("on_output")?,
+            off_output: p.parse("off_output")?,
+        },
+        "Quantizer" => BlockKind::Quantizer { interval: p.parse("interval")? },
+        "RateLimiter" => {
+            BlockKind::RateLimiter { rising: p.parse("rising")?, falling: p.parse("falling")? }
+        }
+        "Backlash" => {
+            BlockKind::Backlash { width: p.parse("width")?, initial: p.parse("initial")? }
+        }
+        "CoulombFriction" => {
+            BlockKind::CoulombFriction { offset: p.parse("offset")?, gain: p.parse("gain")? }
+        }
+        "Logic" => {
+            let name = p.text("op")?;
+            let op = [
+                LogicOp::And,
+                LogicOp::Or,
+                LogicOp::Nand,
+                LogicOp::Nor,
+                LogicOp::Xor,
+                LogicOp::Not,
+            ]
+            .into_iter()
+            .find(|o| o.name() == name)
+            .ok_or_else(|| {
+                LoadModelError::new(format!("block `{block}`: unknown logic op `{name}`"))
+            })?;
+            BlockKind::Logic { op, inputs: p.parse("inputs")? }
+        }
+        "Relational" => BlockKind::Relational { op: rel_op(&p.text("op")?, block)? },
+        "Compare" => BlockKind::Compare {
+            op: rel_op(&p.text("op")?, block)?,
+            constant: p.parse("constant")?,
+        },
+        "Switch" => {
+            let criterion = match p.text("criterion")?.as_str() {
+                "ge" => SwitchCriterion::GreaterEqual(p.parse("threshold")?),
+                "gt" => SwitchCriterion::Greater(p.parse("threshold")?),
+                "nz" => SwitchCriterion::NotZero,
+                other => {
+                    return Err(LoadModelError::new(format!(
+                        "block `{block}`: unknown switch criterion `{other}`"
+                    )))
+                }
+            };
+            BlockKind::Switch { criterion }
+        }
+        "MultiportSwitch" => BlockKind::MultiportSwitch { cases: p.parse("cases")? },
+        "Merge" => BlockKind::Merge { inputs: p.parse("inputs")? },
+        "DataTypeConversion" => BlockKind::DataTypeConversion { to: p.parse("to")? },
+        "UnitDelay" => BlockKind::UnitDelay { initial: p.typed_value()? },
+        "Memory" => BlockKind::Memory { initial: p.typed_value()? },
+        "Delay" => BlockKind::Delay { steps: p.parse("steps")?, initial: p.typed_value()? },
+        "DiscreteIntegrator" => BlockKind::DiscreteIntegrator {
+            gain: p.parse("gain")?,
+            initial: p.parse("initial")?,
+            lower: p.opt_parse("lower")?,
+            upper: p.opt_parse("upper")?,
+        },
+        "CounterLimited" => BlockKind::CounterLimited { limit: p.parse("limit")? },
+        "CounterFreeRunning" => BlockKind::CounterFreeRunning { bits: p.parse("bits")? },
+        "EdgeDetect" => BlockKind::EdgeDetect { kind: edge_kind(&p.text("edge")?, block)? },
+        "Lookup1D" => {
+            BlockKind::Lookup1D { breakpoints: p.csv("breakpoints")?, values: p.csv("values")? }
+        }
+        "Lookup2D" => {
+            let rows = p.text("values")?;
+            let values = rows
+                .split(';')
+                .map(parse_csv)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|err| LoadModelError::new(format!("block `{block}`: {err}")))?;
+            BlockKind::Lookup2D {
+                row_breaks: p.csv("row_breaks")?,
+                col_breaks: p.csv("col_breaks")?,
+                values,
+            }
+        }
+        "If" => {
+            let conditions = e
+                .children_named("condition")
+                .map(|c| parse_expr(&c.text()))
+                .collect::<Result<Vec<_>, _>>()?;
+            BlockKind::If {
+                num_inputs: p.parse("num_inputs")?,
+                conditions,
+                has_else: p.parse("has_else")?,
+            }
+        }
+        "SwitchCase" => {
+            let cases = e
+                .children_named("case")
+                .map(|c| {
+                    c.text()
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(|s| {
+                            s.parse::<i64>().map_err(|_| {
+                                LoadModelError::new(format!(
+                                    "block `{block}`: bad case label `{s}`"
+                                ))
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            BlockKind::SwitchCase { cases, has_default: p.parse("has_default")? }
+        }
+        "ActionSubsystem" => BlockKind::ActionSubsystem { model: inner_model()? },
+        "EnabledSubsystem" => BlockKind::EnabledSubsystem { model: inner_model()? },
+        "TriggeredSubsystem" => BlockKind::TriggeredSubsystem {
+            model: inner_model()?,
+            edge: edge_kind(&p.text("edge")?, block)?,
+        },
+        "Subsystem" => BlockKind::Subsystem { model: inner_model()? },
+        "MatlabFunction" => {
+            let fe = e.child("function").ok_or_else(|| {
+                LoadModelError::new(format!("block `{block}` is missing its <function>"))
+            })?;
+            let ports = |tag: &str| -> Result<Vec<(String, DataType)>, LoadModelError> {
+                fe.children_named(tag)
+                    .map(|pe| {
+                        let name = pe
+                            .attr("name")
+                            .ok_or_else(|| LoadModelError::new("port missing name"))?;
+                        let ty: DataType = pe
+                            .attr("dtype")
+                            .ok_or_else(|| LoadModelError::new("port missing dtype"))?
+                            .parse()
+                            .map_err(|err| LoadModelError::new(format!("{err}")))?;
+                        Ok((name.to_string(), ty))
+                    })
+                    .collect()
+            };
+            let body_text =
+                fe.child("body").map(|b| b.text()).unwrap_or_default();
+            BlockKind::MatlabFunction {
+                function: FunctionDef::new(
+                    ports("input")?,
+                    ports("output")?,
+                    parse_stmts(&body_text)?,
+                ),
+            }
+        }
+        "Chart" => {
+            let ce = e.child("chart").ok_or_else(|| {
+                LoadModelError::new(format!("block `{block}` is missing its <chart>"))
+            })?;
+            BlockKind::Chart { chart: chart_from_element(ce, block)? }
+        }
+        other => {
+            return Err(LoadModelError::new(format!(
+                "block `{block}` has unknown kind `{other}`"
+            )))
+        }
+    })
+}
+
+fn rel_op(symbol: &str, block: &str) -> Result<RelOp, LoadModelError> {
+    [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge]
+        .into_iter()
+        .find(|o| o.symbol() == symbol)
+        .ok_or_else(|| {
+            LoadModelError::new(format!(
+                "block `{block}`: unknown relational op `{symbol}`"
+            ))
+        })
+}
+
+fn edge_kind(name: &str, block: &str) -> Result<EdgeKind, LoadModelError> {
+    match name {
+        "rising" => Ok(EdgeKind::Rising),
+        "falling" => Ok(EdgeKind::Falling),
+        "either" => Ok(EdgeKind::Either),
+        other => Err(LoadModelError::new(format!(
+            "block `{block}`: unknown edge kind `{other}`"
+        ))),
+    }
+}
+
+fn chart_from_element(ce: &Element, block: &str) -> Result<Chart, LoadModelError> {
+    let mut chart = Chart::new();
+    chart.initial = ce
+        .attr("initial")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| LoadModelError::new(format!("chart `{block}`: bad initial index")))?;
+    let typed = |pe: &Element| -> Result<(String, DataType), LoadModelError> {
+        let name = pe
+            .attr("name")
+            .ok_or_else(|| LoadModelError::new(format!("chart `{block}`: port missing name")))?;
+        let ty: DataType = pe
+            .attr("dtype")
+            .ok_or_else(|| LoadModelError::new(format!("chart `{block}`: port missing dtype")))?
+            .parse()
+            .map_err(|err| LoadModelError::new(format!("chart `{block}`: {err}")))?;
+        Ok((name.to_string(), ty))
+    };
+    for pe in ce.children_named("input") {
+        chart.inputs.push(typed(pe)?);
+    }
+    for pe in ce.children_named("output") {
+        chart.outputs.push(typed(pe)?);
+    }
+    for pe in ce.children_named("variable") {
+        let (name, ty) = typed(pe)?;
+        let init_text = pe.attr("init").unwrap_or("0");
+        let init = Value::parse_typed(init_text, ty)
+            .map_err(|err| LoadModelError::new(format!("chart `{block}`: {err}")))?;
+        chart.variables.push((name, ty, init));
+    }
+    for se in ce.children_named("state") {
+        let name = se
+            .attr("name")
+            .ok_or_else(|| LoadModelError::new(format!("chart `{block}`: state missing name")))?;
+        let entry = match se.child("entry") {
+            Some(ee) => parse_stmts(&ee.text())?,
+            None => Vec::new(),
+        };
+        let during = match se.child("during") {
+            Some(de) => parse_stmts(&de.text())?,
+            None => Vec::new(),
+        };
+        chart.states.push(State { name: name.to_string(), entry, during });
+    }
+    for te in ce.children_named("transition") {
+        let parse_idx = |attr: &str| -> Result<usize, LoadModelError> {
+            te.attr(attr)
+                .ok_or_else(|| {
+                    LoadModelError::new(format!("chart `{block}`: transition missing `{attr}`"))
+                })?
+                .parse()
+                .map_err(|_| {
+                    LoadModelError::new(format!("chart `{block}`: bad transition `{attr}`"))
+                })
+        };
+        let guard = match te.attr("guard") {
+            Some(text) => Some(parse_expr(text)?),
+            None => None,
+        };
+        let action_text = te.text();
+        let action =
+            if action_text.is_empty() { Vec::new() } else { parse_stmts(&action_text)? };
+        chart.transitions.push(Transition {
+            from: parse_idx("from")?,
+            to: parse_idx("to")?,
+            guard,
+            action,
+        });
+    }
+    Ok(chart)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::chart::{State, Transition};
+
+    fn roundtrip(model: &Model) {
+        let xml = save_model(model);
+        let loaded = load_model(&xml)
+            .unwrap_or_else(|e| panic!("reload failed: {e}\n{xml}"));
+        assert_eq!(&loaded, model, "roundtrip mismatch for `{}`", model.name());
+    }
+
+    #[test]
+    fn simple_model_roundtrips() {
+        let mut b = ModelBuilder::new("simple");
+        let u = b.inport("u", DataType::I16);
+        let g = b.add("g", BlockKind::Gain { gain: -2.5 });
+        let y = b.outport("y");
+        b.wire(u, g);
+        b.wire(g, y);
+        roundtrip(&b.finish().unwrap());
+    }
+
+    #[test]
+    fn every_scalar_kind_roundtrips() {
+        use crate::block::*;
+        let kinds: Vec<BlockKind> = vec![
+            BlockKind::Constant { value: Value::I8(-3) },
+            BlockKind::Constant { value: Value::F64(2.5) },
+            BlockKind::Ground { dtype: DataType::U16 },
+            BlockKind::Terminator,
+            BlockKind::Sum { signs: vec![InputSign::Plus, InputSign::Minus] },
+            BlockKind::Product { ops: vec![ProductOp::Mul, ProductOp::Div] },
+            BlockKind::Gain { gain: 0.125 },
+            BlockKind::Bias { bias: -7.0 },
+            BlockKind::Abs,
+            BlockKind::UnaryMinus,
+            BlockKind::Signum,
+            BlockKind::MinMax { op: MinMaxOp::Max, inputs: 3 },
+            BlockKind::Math { func: MathFunc::Atan2 },
+            BlockKind::Saturation { lower: -1.5, upper: 1.5 },
+            BlockKind::DeadZone { start: -0.1, end: 0.1 },
+            BlockKind::Relay {
+                on_threshold: 1.0,
+                off_threshold: -1.0,
+                on_output: 5.0,
+                off_output: 0.0,
+            },
+            BlockKind::Quantizer { interval: 0.25 },
+            BlockKind::RateLimiter { rising: 2.0, falling: 3.0 },
+            BlockKind::Backlash { width: 1.0, initial: 0.5 },
+            BlockKind::CoulombFriction { offset: 0.2, gain: 1.1 },
+            BlockKind::Logic { op: LogicOp::Nand, inputs: 3 },
+            BlockKind::Relational { op: RelOp::Le },
+            BlockKind::Compare { op: RelOp::Ne, constant: 4.0 },
+            BlockKind::Switch { criterion: SwitchCriterion::GreaterEqual(0.5) },
+            BlockKind::Switch { criterion: SwitchCriterion::NotZero },
+            BlockKind::MultiportSwitch { cases: 3 },
+            BlockKind::DataTypeConversion { to: DataType::U8 },
+            BlockKind::ZeroOrderHold,
+            BlockKind::UnitDelay { initial: Value::I32(7) },
+            BlockKind::Delay { steps: 3, initial: Value::F32(1.5) },
+            BlockKind::Memory { initial: Value::Bool(true) },
+            BlockKind::DiscreteIntegrator {
+                gain: 0.1,
+                initial: 0.0,
+                lower: Some(-10.0),
+                upper: None,
+            },
+            BlockKind::CounterLimited { limit: 9 },
+            BlockKind::CounterFreeRunning { bits: 16 },
+            BlockKind::EdgeDetect { kind: EdgeKind::Falling },
+            BlockKind::Lookup1D {
+                breakpoints: vec![0.0, 1.0, 2.0],
+                values: vec![0.0, 10.0, 15.0],
+            },
+            BlockKind::Lookup2D {
+                row_breaks: vec![0.0, 1.0],
+                col_breaks: vec![0.0, 1.0, 2.0],
+                values: vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+            },
+        ];
+        // Build one (unvalidated) model containing them all; persistence
+        // does not require validity.
+        let mut b = ModelBuilder::new("catalog");
+        for (i, kind) in kinds.into_iter().enumerate() {
+            b.add(format!("blk{i}"), kind);
+        }
+        roundtrip(&b.finish_unchecked());
+    }
+
+    #[test]
+    fn if_and_switch_case_roundtrip() {
+        let mut b = ModelBuilder::new("control");
+        b.add(
+            "iff",
+            BlockKind::If {
+                num_inputs: 2,
+                conditions: vec![
+                    parse_expr("u1 > 0 && u2 < 5").unwrap(),
+                    parse_expr("u1 == -1").unwrap(),
+                ],
+                has_else: true,
+            },
+        );
+        b.add(
+            "sc",
+            BlockKind::SwitchCase { cases: vec![vec![1, 2], vec![3]], has_default: false },
+        );
+        roundtrip(&b.finish_unchecked());
+    }
+
+    #[test]
+    fn matlab_function_roundtrips() {
+        let function = FunctionDef::parse(
+            &[("u", DataType::F64), ("limit", DataType::I32)],
+            &[("y", DataType::F64)],
+            "if (u > limit) { y = limit; } else { y = u; }",
+        )
+        .unwrap();
+        let mut b = ModelBuilder::new("mf");
+        b.add("f", BlockKind::MatlabFunction { function });
+        roundtrip(&b.finish_unchecked());
+    }
+
+    #[test]
+    fn chart_roundtrips() {
+        let mut chart = Chart::new();
+        chart.inputs.push(("go".into(), DataType::Bool));
+        chart.outputs.push(("level".into(), DataType::I32));
+        chart.variables.push(("ticks".into(), DataType::I32, Value::I32(0)));
+        let idle = chart.add_state(State::new("Idle").with_entry(parse_stmts("level = 0;").unwrap()));
+        let run = chart.add_state(
+            State::new("Run")
+                .with_entry(parse_stmts("level = 1;").unwrap())
+                .with_during(parse_stmts("ticks = ticks + 1;").unwrap()),
+        );
+        chart.initial = idle;
+        chart.add_transition(Transition::new(idle, run, parse_expr("go").unwrap()));
+        chart.add_transition(
+            Transition::new(run, idle, parse_expr("!go || ticks > 9").unwrap())
+                .with_action(parse_stmts("ticks = 0;").unwrap()),
+        );
+        let mut b = ModelBuilder::new("chart_model");
+        b.add("ctl", BlockKind::Chart { chart });
+        roundtrip(&b.finish_unchecked());
+    }
+
+    #[test]
+    fn nested_subsystems_roundtrip() {
+        let mut inner = ModelBuilder::new("inner");
+        let u = inner.inport("u", DataType::F64);
+        let g = inner.add("g", BlockKind::Gain { gain: 3.0 });
+        let y = inner.outport("y");
+        inner.wire(u, g);
+        inner.wire(g, y);
+        let inner = inner.finish().unwrap();
+
+        let mut b = ModelBuilder::new("outer");
+        let u = b.inport("u", DataType::F64);
+        let sub = b.add("sub", BlockKind::Subsystem { model: Box::new(inner) });
+        let y = b.outport("y");
+        b.wire(u, sub);
+        b.wire(sub, y);
+        roundtrip(&b.finish().unwrap());
+    }
+
+    #[test]
+    fn load_rejects_malformed_documents() {
+        assert!(load_model("<nope/>").is_err());
+        assert!(load_model("<model/>").is_err()); // missing name
+        assert!(load_model("not xml").is_err());
+        let err = load_model(
+            "<model name=\"m\"><block name=\"b\" kind=\"Alien\"/></model>",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("Alien"));
+    }
+
+    #[test]
+    fn load_rejects_bad_connections() {
+        let err = load_model(
+            "<model name=\"m\"><connection from=\"ghost:0\" to=\"ghost:1\"/></model>",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("ghost"));
+        let err = load_model(
+            "<model name=\"m\"><block name=\"b\" kind=\"Terminator\"/>\
+             <connection from=\"b\" to=\"b:0\"/></model>",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("endpoint"));
+    }
+
+    #[test]
+    fn load_reports_missing_parameters() {
+        let err = load_model(
+            "<model name=\"m\"><block name=\"g\" kind=\"Gain\"/></model>",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("gain"));
+    }
+
+    #[test]
+    fn block_names_with_special_chars_roundtrip() {
+        let mut b = ModelBuilder::new("m<&>");
+        b.add("a & b", BlockKind::Terminator);
+        let c = b.constant("\"quoted\"", 1.0);
+        let t2 = b.add("t", BlockKind::Terminator);
+        b.wire(c, t2);
+        roundtrip(&b.finish_unchecked());
+    }
+}

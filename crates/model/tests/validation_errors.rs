@@ -1,0 +1,173 @@
+//! Error-path integration tests for model validation: every rejection the
+//! validator promises, demonstrated end to end.
+
+use cftcg_model::expr::parse_stmts;
+use cftcg_model::{
+    BlockKind, Chart, DataType, FunctionDef, Model, ModelBuilder, ModelError, PortRef, State,
+    Value,
+};
+
+fn gain_subsystem(input_type: DataType) -> Model {
+    let mut b = ModelBuilder::new("inner");
+    let u = b.inport("u", input_type);
+    let g = b.add("g", BlockKind::Gain { gain: 2.0 });
+    let y = b.outport("y");
+    b.wire(u, g);
+    b.wire(g, y);
+    b.finish().unwrap()
+}
+
+#[test]
+fn subsystem_boundary_type_mismatch_is_rejected() {
+    // Outer drives a double into an inner inport declared int16.
+    let mut b = ModelBuilder::new("outer");
+    let u = b.inport("u", DataType::F64);
+    let sub = b.add("sub", BlockKind::Subsystem {
+        model: Box::new(gain_subsystem(DataType::I16)),
+    });
+    let y = b.outport("y");
+    b.wire(u, sub);
+    b.wire(sub, y);
+    let err = b.finish().unwrap_err();
+    assert!(
+        matches!(err, ModelError::TypeMismatch { .. }),
+        "expected TypeMismatch, got {err}"
+    );
+    assert!(err.to_string().contains("int16"));
+}
+
+#[test]
+fn matching_boundary_types_pass() {
+    let mut b = ModelBuilder::new("outer");
+    let u = b.inport("u", DataType::I16);
+    let sub = b.add("sub", BlockKind::Subsystem {
+        model: Box::new(gain_subsystem(DataType::I16)),
+    });
+    let y = b.outport("y");
+    b.wire(u, sub);
+    b.wire(sub, y);
+    b.finish().unwrap();
+}
+
+#[test]
+fn invalid_chart_surfaces_as_bad_parameter() {
+    let mut chart = Chart::new();
+    chart.inputs.push(("u".into(), DataType::F64));
+    chart.outputs.push(("y".into(), DataType::F64));
+    // `ghost` is not declared anywhere.
+    chart.states.push(State::new("S").with_during(parse_stmts("y = ghost;").unwrap()));
+    let mut b = ModelBuilder::new("m");
+    let u = b.inport("u", DataType::F64);
+    let c = b.add("chart", BlockKind::Chart { chart });
+    let y = b.outport("y");
+    b.wire(u, c);
+    b.wire(c, y);
+    let err = b.finish().unwrap_err();
+    match err {
+        ModelError::BadParameter { block, detail } => {
+            assert_eq!(block, "chart");
+            assert!(detail.contains("ghost"), "{detail}");
+        }
+        other => panic!("expected BadParameter, got {other}"),
+    }
+}
+
+#[test]
+fn invalid_function_surfaces_as_bad_parameter() {
+    let function = FunctionDef::new(
+        vec![("u".into(), DataType::F64)],
+        vec![("y".into(), DataType::F64)],
+        Vec::new(), // y never assigned
+    );
+    let mut b = ModelBuilder::new("m");
+    let u = b.inport("u", DataType::F64);
+    let f = b.add("f", BlockKind::MatlabFunction { function });
+    let y = b.outport("y");
+    b.wire(u, f);
+    b.wire(f, y);
+    let err = b.finish().unwrap_err();
+    assert!(matches!(err, ModelError::BadParameter { .. }), "{err}");
+}
+
+#[test]
+fn nested_subsystem_errors_propagate() {
+    // The invalid model sits two levels deep.
+    let mut broken = ModelBuilder::new("broken");
+    broken.inport("u", DataType::F64);
+    broken.add("floating", BlockKind::Gain { gain: 1.0 }); // unconnected
+    let broken = broken.finish_unchecked();
+
+    let mut mid = ModelBuilder::new("mid");
+    let u = mid.inport("u", DataType::F64);
+    let sub = mid.add("sub", BlockKind::Subsystem { model: Box::new(broken) });
+    let y = mid.outport("y");
+    mid.wire(u, sub);
+    mid.wire(sub, y);
+    let mid = mid.finish_unchecked();
+
+    let mut top = ModelBuilder::new("top");
+    let u = top.inport("u", DataType::F64);
+    let sub = top.add("sub", BlockKind::Subsystem { model: Box::new(mid) });
+    let y = top.outport("y");
+    top.wire(u, sub);
+    top.wire(sub, y);
+    let err = top.finish().unwrap_err();
+    assert!(matches!(err, ModelError::UnconnectedInput { .. }), "{err}");
+}
+
+#[test]
+fn sinks_of_lists_every_consumer() {
+    let mut b = ModelBuilder::new("m");
+    let u = b.inport("u", DataType::F64);
+    let g1 = b.add("g1", BlockKind::Gain { gain: 1.0 });
+    let g2 = b.add("g2", BlockKind::Gain { gain: 2.0 });
+    let y1 = b.outport("y1");
+    let y2 = b.outport("y2");
+    b.wire(u, g1);
+    b.feed(u, g2, 0);
+    b.wire(g1, y1);
+    b.wire(g2, y2);
+    let m = b.finish().unwrap();
+    let src = PortRef::new(u, 0);
+    let sinks: Vec<_> = m.sinks_of(src).collect();
+    assert_eq!(sinks.len(), 2);
+}
+
+#[test]
+fn value_parse_rejects_out_of_range_integers() {
+    assert!(Value::parse_typed("300", DataType::I8).is_err());
+    assert!(Value::parse_typed("-1", DataType::U16).is_err());
+    assert!(Value::parse_typed("70000", DataType::U16).is_err());
+}
+
+#[test]
+fn triggered_subsystem_type_check_uses_data_ports() {
+    // Port 0 is the trigger; data starts at port 1. Types must be checked
+    // against the *data* mapping, not shifted by one.
+    let mut b = ModelBuilder::new("m");
+    let trig = b.inport("trig", DataType::Bool);
+    let data = b.inport("data", DataType::I16);
+    let sub = b.add("sub", BlockKind::TriggeredSubsystem {
+        model: Box::new(gain_subsystem(DataType::I16)),
+        edge: cftcg_model::EdgeKind::Rising,
+    });
+    let y = b.outport("y");
+    b.feed(trig, sub, 0);
+    b.feed(data, sub, 1);
+    b.wire(sub, y);
+    b.finish().unwrap();
+
+    // And the mismatching variant is rejected.
+    let mut b = ModelBuilder::new("m2");
+    let trig = b.inport("trig", DataType::Bool);
+    let data = b.inport("data", DataType::F64);
+    let sub = b.add("sub", BlockKind::TriggeredSubsystem {
+        model: Box::new(gain_subsystem(DataType::I16)),
+        edge: cftcg_model::EdgeKind::Rising,
+    });
+    let y = b.outport("y");
+    b.feed(trig, sub, 0);
+    b.feed(data, sub, 1);
+    b.wire(sub, y);
+    assert!(matches!(b.finish(), Err(ModelError::TypeMismatch { .. })));
+}

@@ -1,0 +1,701 @@
+//! The recursive interpretation engine: one `Engine` per model level, with
+//! child engines for subsystems.
+
+use std::collections::VecDeque;
+
+use cftcg_model::expr::{exec_stmts, EvalExprError, ExprEnv, MapEnv};
+use cftcg_model::interp::{lookup1d, lookup2d};
+use cftcg_model::{
+    BlockKind, DataType, InputSign, LogicOp, MinMaxOp, Model, ModelError, PortRef, ProductOp,
+    Value,
+};
+
+use crate::SimError;
+
+impl From<EvalExprError> for SimError {
+    fn from(e: EvalExprError) -> Self {
+        SimError::Eval(e.to_string())
+    }
+}
+
+/// Per-block runtime state.
+#[derive(Debug, Clone)]
+enum BlockState {
+    /// Stateless block.
+    None,
+    /// A single held value (unit delay, memory, merge, backlash, rate
+    /// limiter previous output).
+    Held(Value),
+    /// Relay or edge-detect boolean state.
+    Flag(bool),
+    /// Multi-step delay line (front = oldest).
+    Line(VecDeque<Value>),
+    /// Integrator accumulator.
+    Accum(f64),
+    /// Counter value.
+    Count(u32),
+    /// Chart runtime: active state index plus persistent variables/outputs.
+    Chart {
+        active: usize,
+        env: MapEnv,
+    },
+    /// Nested engine (all subsystem kinds); `prev_trigger` backs the
+    /// triggered variant's edge detection.
+    Sub {
+        engine: Box<Engine>,
+        prev_trigger: bool,
+    },
+}
+
+/// The interpretation engine for one model level.
+#[derive(Debug, Clone)]
+pub(crate) struct Engine {
+    /// Assertion violations observed since construction/reset (this level
+    /// plus nested subsystems).
+    violations: u64,
+    model: Model,
+    /// Execution order as dense block indices.
+    order: Vec<usize>,
+    /// `src[b][p]` = driving output of input port `p` of block `b`.
+    src: Vec<Vec<Option<(usize, usize)>>>,
+    /// Resolved output types.
+    out_types: Vec<Vec<DataType>>,
+    /// Current output values per block per port. Subsystem/merge/chart
+    /// outputs persist across steps (held when inactive).
+    signals: Vec<Vec<Value>>,
+    state: Vec<BlockState>,
+    /// `active[b]` = block `b` (a conditional subsystem) executed this step.
+    active: Vec<bool>,
+    /// Indices of delay-class blocks, in block order.
+    delay_blocks: Vec<usize>,
+}
+
+impl Engine {
+    pub(crate) fn new(model: Model) -> Result<Self, ModelError> {
+        let order: Vec<usize> =
+            model.execution_order()?.into_iter().map(|id| id.index()).collect();
+        let types = model.resolve_types()?;
+        let n = model.blocks().len();
+        let mut src = Vec::with_capacity(n);
+        let mut out_types = Vec::with_capacity(n);
+        for block in model.blocks() {
+            let mut per_port = Vec::with_capacity(block.kind().num_inputs());
+            for port in 0..block.kind().num_inputs() {
+                per_port.push(
+                    model
+                        .source_of(PortRef::new(block.id(), port))
+                        .map(|s| (s.block.index(), s.port)),
+                );
+            }
+            src.push(per_port);
+            let mut ports = Vec::with_capacity(block.kind().num_outputs());
+            for port in 0..block.kind().num_outputs() {
+                ports.push(types.output_type(PortRef::new(block.id(), port)));
+            }
+            out_types.push(ports);
+        }
+        let signals: Vec<Vec<Value>> = out_types
+            .iter()
+            .map(|ports| ports.iter().map(|t| t.zero()).collect())
+            .collect();
+        let mut state = Vec::with_capacity(n);
+        for block in model.blocks() {
+            state.push(initial_state(block.kind())?);
+        }
+        let delay_blocks = model
+            .blocks()
+            .iter()
+            .filter(|b| b.kind().breaks_algebraic_loops())
+            .map(|b| b.id().index())
+            .collect();
+        Ok(Engine {
+            violations: 0,
+            model,
+            order,
+            src,
+            out_types,
+            signals,
+            state,
+            active: vec![false; n],
+            delay_blocks,
+        })
+    }
+
+    /// Assertion violations observed so far, including nested subsystems.
+    pub(crate) fn violations(&self) -> u64 {
+        let nested: u64 = self
+            .state
+            .iter()
+            .map(|s| match s {
+                BlockState::Sub { engine, .. } => engine.violations(),
+                _ => 0,
+            })
+            .sum();
+        self.violations + nested
+    }
+
+    pub(crate) fn model(&self) -> &Model {
+        &self.model
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.violations = 0;
+        for (i, block) in self.model.blocks().iter().enumerate() {
+            self.state[i] = initial_state(block.kind()).expect("state was constructible before");
+            for (port, ty) in self.out_types[i].iter().enumerate() {
+                self.signals[i][port] = ty.zero();
+            }
+        }
+    }
+
+    fn input(&self, block: usize, port: usize) -> Value {
+        let (sb, sp) = self.src[block][port].expect("validated model has no unconnected inputs");
+        self.signals[sb][sp]
+    }
+
+    fn input_f64(&self, block: usize, port: usize) -> f64 {
+        self.input(block, port).as_f64()
+    }
+
+    fn write(&mut self, block: usize, port: usize, value: Value) {
+        self.signals[block][port] = value.cast(self.out_types[block][port]);
+    }
+
+    fn write_f64(&mut self, block: usize, port: usize, x: f64) {
+        self.signals[block][port] = Value::from_f64(x, self.out_types[block][port]);
+    }
+
+    pub(crate) fn step(
+        &mut self,
+        inputs: &[Value],
+        spins: u32,
+    ) -> Result<Vec<Value>, SimError> {
+        self.active.iter_mut().for_each(|a| *a = false);
+
+        // Phase A: delay-class blocks publish their state as this step's
+        // output before anything executes.
+        for i in 0..self.delay_blocks.len() {
+            let b = self.delay_blocks[i];
+            let value = match &self.state[b] {
+                BlockState::Held(v) => *v,
+                BlockState::Line(line) => *line.front().expect("delay line is non-empty"),
+                BlockState::Accum(x) => Value::F64(*x),
+                other => unreachable!("delay-class state {other:?}"),
+            };
+            self.write(b, 0, value);
+        }
+
+        // Phase B: execute every block in schedule order.
+        for i in 0..self.order.len() {
+            let b = self.order[i];
+            engine_overhead(spins);
+            self.exec_block(b, inputs)?;
+        }
+
+        // Phase C: delay-class blocks absorb this step's input into state.
+        for i in 0..self.delay_blocks.len() {
+            let b = self.delay_blocks[i];
+            let u = self.input(b, 0);
+            match (&mut self.state[b], self.model.blocks()[b].kind()) {
+                (BlockState::Held(v), _) => *v = u.cast(v.data_type()),
+                (BlockState::Line(line), _) => {
+                    let ty = line.front().expect("non-empty").data_type();
+                    line.push_back(u.cast(ty));
+                    line.pop_front();
+                }
+                (
+                    BlockState::Accum(x),
+                    BlockKind::DiscreteIntegrator { gain, lower, upper, .. },
+                ) => {
+                    let mut next = *x + gain * u.as_f64();
+                    if let Some(hi) = upper {
+                        if next > *hi {
+                            next = *hi;
+                        }
+                    }
+                    if let Some(lo) = lower {
+                        if next < *lo {
+                            next = *lo;
+                        }
+                    }
+                    *x = next;
+                }
+                (state, kind) => unreachable!("delay update {state:?} for {}", kind.tag()),
+            }
+        }
+
+        // Collect outports.
+        let mut outputs = Vec::with_capacity(self.model.num_outports());
+        for (id, _) in self.model.outports() {
+            outputs.push(self.input(id.index(), 0));
+        }
+        Ok(outputs)
+    }
+
+    fn exec_block(&mut self, b: usize, model_inputs: &[Value]) -> Result<(), SimError> {
+        let kind = self.model.blocks()[b].kind().clone();
+        match kind {
+            // Delay-class blocks already published in phase A.
+            BlockKind::UnitDelay { .. }
+            | BlockKind::Delay { .. }
+            | BlockKind::Memory { .. }
+            | BlockKind::DiscreteIntegrator { .. } => {}
+            BlockKind::Inport { index, dtype } => {
+                self.write(b, 0, model_inputs[index].cast(dtype));
+            }
+            BlockKind::Outport { .. } | BlockKind::Terminator => {}
+            BlockKind::Assertion => {
+                if !self.input(b, 0).is_truthy() {
+                    self.violations += 1;
+                }
+            }
+            BlockKind::Constant { value } => self.write(b, 0, value),
+            BlockKind::Ground { dtype } => self.write(b, 0, dtype.zero()),
+            BlockKind::Sum { signs } => {
+                let mut acc = 0.0;
+                for (port, sign) in signs.iter().enumerate() {
+                    let x = self.input_f64(b, port);
+                    match sign {
+                        InputSign::Plus => acc += x,
+                        InputSign::Minus => acc -= x,
+                    }
+                }
+                self.write_f64(b, 0, acc);
+            }
+            BlockKind::Product { ops } => {
+                let mut acc = 1.0;
+                for (port, op) in ops.iter().enumerate() {
+                    let x = self.input_f64(b, port);
+                    match op {
+                        ProductOp::Mul => acc *= x,
+                        ProductOp::Div => acc /= x,
+                    }
+                }
+                self.write_f64(b, 0, acc);
+            }
+            BlockKind::Gain { gain } => {
+                let x = self.input_f64(b, 0);
+                self.write_f64(b, 0, gain * x);
+            }
+            BlockKind::Bias { bias } => {
+                let x = self.input_f64(b, 0);
+                self.write_f64(b, 0, x + bias);
+            }
+            BlockKind::Abs => {
+                let x = self.input_f64(b, 0);
+                self.write_f64(b, 0, x.abs());
+            }
+            BlockKind::UnaryMinus => {
+                let x = self.input_f64(b, 0);
+                self.write_f64(b, 0, -x);
+            }
+            BlockKind::Signum => {
+                let x = self.input_f64(b, 0);
+                let y = if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                };
+                self.write_f64(b, 0, y);
+            }
+            BlockKind::MinMax { op, inputs } => {
+                let mut acc = self.input_f64(b, 0);
+                for port in 1..inputs {
+                    let x = self.input_f64(b, port);
+                    // Comparison-based selection, matching the generated
+                    // code's `if (x < acc) acc = x;` (NaN never wins).
+                    let wins = match op {
+                        MinMaxOp::Min => x < acc,
+                        MinMaxOp::Max => x > acc,
+                    };
+                    if wins {
+                        acc = x;
+                    }
+                }
+                self.write_f64(b, 0, acc);
+            }
+            BlockKind::Math { func } => {
+                let args: Vec<f64> =
+                    (0..func.arity()).map(|p| self.input_f64(b, p)).collect();
+                self.write_f64(b, 0, func.apply(&args));
+            }
+            BlockKind::Saturation { lower, upper } => {
+                let x = self.input_f64(b, 0);
+                let y = if x > upper {
+                    upper
+                } else if x < lower {
+                    lower
+                } else {
+                    x
+                };
+                self.write_f64(b, 0, y);
+            }
+            BlockKind::DeadZone { start, end } => {
+                let x = self.input_f64(b, 0);
+                let y = if x > end {
+                    x - end
+                } else if x < start {
+                    x - start
+                } else {
+                    0.0
+                };
+                self.write_f64(b, 0, y);
+            }
+            BlockKind::Relay { on_threshold, off_threshold, on_output, off_output } => {
+                let x = self.input_f64(b, 0);
+                let BlockState::Flag(on) = &mut self.state[b] else {
+                    unreachable!("relay state")
+                };
+                if *on {
+                    if x <= off_threshold {
+                        *on = false;
+                    }
+                } else if x >= on_threshold {
+                    *on = true;
+                }
+                let y = if *on { on_output } else { off_output };
+                self.write_f64(b, 0, y);
+            }
+            BlockKind::Quantizer { interval } => {
+                let x = self.input_f64(b, 0);
+                self.write_f64(b, 0, interval * (x / interval).round());
+            }
+            BlockKind::RateLimiter { rising, falling } => {
+                let x = self.input_f64(b, 0);
+                let BlockState::Held(prev) = &mut self.state[b] else {
+                    unreachable!("rate limiter state")
+                };
+                let p = prev.as_f64();
+                let delta = x - p;
+                let y = if delta > rising {
+                    p + rising
+                } else if delta < -falling {
+                    p - falling
+                } else {
+                    x
+                };
+                *prev = Value::F64(y);
+                self.write_f64(b, 0, y);
+            }
+            BlockKind::Backlash { width, .. } => {
+                let x = self.input_f64(b, 0);
+                let BlockState::Held(held) = &mut self.state[b] else {
+                    unreachable!("backlash state")
+                };
+                let mut y = held.as_f64();
+                let half = width / 2.0;
+                if x > y + half {
+                    y = x - half;
+                } else if x < y - half {
+                    y = x + half;
+                }
+                *held = Value::F64(y);
+                self.write_f64(b, 0, y);
+            }
+            BlockKind::CoulombFriction { offset, gain } => {
+                let x = self.input_f64(b, 0);
+                let y = if x > 0.0 {
+                    gain * x + offset
+                } else if x < 0.0 {
+                    gain * x - offset
+                } else {
+                    0.0
+                };
+                self.write_f64(b, 0, y);
+            }
+            BlockKind::Logic { op, inputs } => {
+                let n = if op == LogicOp::Not { 1 } else { inputs };
+                let vals: Vec<bool> =
+                    (0..n).map(|p| self.input(b, p).is_truthy()).collect();
+                let y = match op {
+                    LogicOp::And => vals.iter().all(|&v| v),
+                    LogicOp::Or => vals.iter().any(|&v| v),
+                    LogicOp::Nand => !vals.iter().all(|&v| v),
+                    LogicOp::Nor => !vals.iter().any(|&v| v),
+                    LogicOp::Xor => vals.iter().filter(|&&v| v).count() % 2 == 1,
+                    LogicOp::Not => !vals[0],
+                };
+                self.write(b, 0, Value::Bool(y));
+            }
+            BlockKind::Relational { op } => {
+                let l = self.input_f64(b, 0);
+                let r = self.input_f64(b, 1);
+                self.write(b, 0, Value::Bool(op.apply(l, r)));
+            }
+            BlockKind::Compare { op, constant } => {
+                let x = self.input_f64(b, 0);
+                self.write(b, 0, Value::Bool(op.apply(x, constant)));
+            }
+            BlockKind::Switch { criterion } => {
+                let control = self.input_f64(b, 1);
+                let v = if criterion.passes_first(control) {
+                    self.input(b, 0)
+                } else {
+                    self.input(b, 2)
+                };
+                self.write(b, 0, v);
+            }
+            BlockKind::MultiportSwitch { cases } => {
+                let sel = self.input_f64(b, 0).round();
+                let idx = if sel.is_nan() {
+                    1
+                } else {
+                    (sel as i64).clamp(1, cases as i64) as usize
+                };
+                let v = self.input(b, idx);
+                self.write(b, 0, v);
+            }
+            BlockKind::Merge { inputs } => {
+                // The input whose driving conditional subsystem ran this
+                // step wins; otherwise the output holds.
+                let mut chosen = None;
+                for port in 0..inputs {
+                    let (sb, _) = self.src[b][port].expect("validated");
+                    if self.active[sb] {
+                        chosen = Some(self.input(b, port));
+                        break;
+                    }
+                }
+                let BlockState::Held(held) = &mut self.state[b] else {
+                    unreachable!("merge state")
+                };
+                let v = chosen.unwrap_or(*held);
+                *held = v;
+                self.write(b, 0, v);
+            }
+            BlockKind::DataTypeConversion { to } => {
+                let v = self.input(b, 0);
+                self.write(b, 0, v.cast(to));
+            }
+            BlockKind::ZeroOrderHold => {
+                let v = self.input(b, 0);
+                self.write(b, 0, v);
+            }
+            BlockKind::CounterLimited { limit } => {
+                let BlockState::Count(c) = &mut self.state[b] else {
+                    unreachable!("counter state")
+                };
+                let y = *c;
+                *c = if *c >= limit { 0 } else { *c + 1 };
+                self.write(b, 0, Value::U32(y));
+            }
+            BlockKind::CounterFreeRunning { bits } => {
+                let BlockState::Count(c) = &mut self.state[b] else {
+                    unreachable!("counter state")
+                };
+                let y = *c;
+                let mask = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+                *c = c.wrapping_add(1) & mask;
+                self.write(b, 0, Value::U32(y));
+            }
+            BlockKind::EdgeDetect { kind } => {
+                let curr = self.input(b, 0).is_truthy();
+                let BlockState::Flag(prev) = &mut self.state[b] else {
+                    unreachable!("edge state")
+                };
+                let y = kind.detect(*prev, curr);
+                *prev = curr;
+                self.write(b, 0, Value::Bool(y));
+            }
+            BlockKind::Lookup1D { breakpoints, values } => {
+                let x = self.input_f64(b, 0);
+                self.write_f64(b, 0, lookup1d(&breakpoints, &values, x));
+            }
+            BlockKind::Lookup2D { row_breaks, col_breaks, values } => {
+                let r = self.input_f64(b, 0);
+                let c = self.input_f64(b, 1);
+                self.write_f64(b, 0, lookup2d(&row_breaks, &col_breaks, &values, r, c));
+            }
+            BlockKind::If { num_inputs, conditions, has_else } => {
+                let mut env = MapEnv::new();
+                for port in 0..num_inputs {
+                    env.set(&format!("u{}", port + 1), self.input(b, port));
+                }
+                let mut fired = None;
+                for (i, cond) in conditions.iter().enumerate() {
+                    if cond.eval(&env)?.is_truthy() {
+                        fired = Some(i);
+                        break;
+                    }
+                }
+                let total = conditions.len() + usize::from(has_else);
+                for port in 0..total {
+                    let hit = match fired {
+                        Some(i) => port == i,
+                        None => has_else && port == conditions.len(),
+                    };
+                    self.write(b, port, Value::Bool(hit));
+                }
+            }
+            BlockKind::SwitchCase { cases, has_default } => {
+                let sel_f = self.input_f64(b, 0).round();
+                let sel = if sel_f.is_nan() { i64::MIN } else { sel_f as i64 };
+                let fired = cases.iter().position(|labels| labels.contains(&sel));
+                let total = cases.len() + usize::from(has_default);
+                for port in 0..total {
+                    let hit = match fired {
+                        Some(i) => port == i,
+                        None => has_default && port == cases.len(),
+                    };
+                    self.write(b, port, Value::Bool(hit));
+                }
+            }
+            BlockKind::ActionSubsystem { .. } | BlockKind::EnabledSubsystem { .. } => {
+                let run = self.input(b, 0).is_truthy();
+                self.run_subsystem(b, run, 1)?;
+            }
+            BlockKind::TriggeredSubsystem { edge, .. } => {
+                let trigger = self.input(b, 0).is_truthy();
+                let run = {
+                    let BlockState::Sub { prev_trigger, .. } = &mut self.state[b] else {
+                        unreachable!("subsystem state")
+                    };
+                    let fire = edge.detect(*prev_trigger, trigger);
+                    *prev_trigger = trigger;
+                    fire
+                };
+                self.run_subsystem(b, run, 1)?;
+            }
+            BlockKind::Subsystem { .. } => {
+                self.run_subsystem(b, true, 0)?;
+            }
+            BlockKind::MatlabFunction { function } => {
+                let mut env = MapEnv::new();
+                for (port, (name, ty)) in function.inputs().iter().enumerate() {
+                    env.set(name, self.input(b, port).cast(*ty));
+                }
+                for (name, ty) in function.outputs() {
+                    env.set(name, ty.zero());
+                }
+                exec_stmts(function.body(), &mut env)?;
+                for (port, (name, _)) in function.outputs().iter().enumerate() {
+                    let v = env.get(name).expect("outputs pre-seeded");
+                    self.write(b, port, v);
+                }
+            }
+            BlockKind::Chart { chart } => {
+                let inputs: Vec<Value> = (0..chart.inputs.len())
+                    .map(|port| self.input(b, port))
+                    .collect();
+                let BlockState::Chart { active, env } = &mut self.state[b] else {
+                    unreachable!("chart state")
+                };
+                for ((name, ty), v) in chart.inputs.iter().zip(inputs) {
+                    env.set(name, v.cast(*ty));
+                }
+                let mut fired = None;
+                for t in chart.transitions_from(*active) {
+                    let take = match &t.guard {
+                        Some(g) => g.eval(&*env)?.is_truthy(),
+                        None => true,
+                    };
+                    if take {
+                        fired = Some(t.clone());
+                        break;
+                    }
+                }
+                if let Some(t) = fired {
+                    exec_stmts(&t.action, env)?;
+                    exec_stmts(&chart.states[t.to].entry, env)?;
+                    *active = t.to;
+                } else {
+                    let during = chart.states[*active].during.clone();
+                    exec_stmts(&during, env)?;
+                }
+                let outs: Vec<Value> = chart
+                    .outputs
+                    .iter()
+                    .map(|(name, ty)| env.get(name).map_or(ty.zero(), |v| v.cast(*ty)))
+                    .collect();
+                for (port, v) in outs.into_iter().enumerate() {
+                    self.write(b, port, v);
+                }
+            }
+            other => unreachable!("unhandled block kind {}", other.tag()),
+        }
+        Ok(())
+    }
+
+    /// Executes (or skips) a subsystem block, marking it active and copying
+    /// inner outport values into the block's output signals when it runs.
+    fn run_subsystem(&mut self, b: usize, run: bool, data_base: usize) -> Result<(), SimError> {
+        if !run {
+            return Ok(()); // outputs hold their previous signal values
+        }
+        self.active[b] = true;
+        let num_data = self.model.blocks()[b].kind().num_inputs() - data_base;
+        let inner_inputs: Vec<Value> =
+            (0..num_data).map(|i| self.input(b, data_base + i)).collect();
+        let outputs = {
+            let BlockState::Sub { engine, .. } = &mut self.state[b] else {
+                unreachable!("subsystem state")
+            };
+            engine.step(&inner_inputs, 0)?
+        };
+        for (port, v) in outputs.into_iter().enumerate() {
+            self.write(b, port, v);
+        }
+        Ok(())
+    }
+}
+
+fn initial_state(kind: &BlockKind) -> Result<BlockState, ModelError> {
+    Ok(match kind {
+        BlockKind::UnitDelay { initial } | BlockKind::Memory { initial } => {
+            BlockState::Held(*initial)
+        }
+        BlockKind::Delay { steps, initial } => {
+            BlockState::Line(std::iter::repeat(*initial).take(*steps).collect())
+        }
+        BlockKind::DiscreteIntegrator { initial, lower, upper, .. } => {
+            let mut x = *initial;
+            if let Some(hi) = upper {
+                x = x.min(*hi);
+            }
+            if let Some(lo) = lower {
+                x = x.max(*lo);
+            }
+            BlockState::Accum(x)
+        }
+        BlockKind::Relay { .. } => BlockState::Flag(false),
+        BlockKind::EdgeDetect { .. } => BlockState::Flag(false),
+        BlockKind::RateLimiter { .. } => BlockState::Held(Value::F64(0.0)),
+        BlockKind::Backlash { initial, .. } => BlockState::Held(Value::F64(*initial)),
+        BlockKind::CounterLimited { .. } | BlockKind::CounterFreeRunning { .. } => {
+            BlockState::Count(0)
+        }
+        BlockKind::Merge { .. } => BlockState::Held(Value::F64(0.0)),
+        BlockKind::Chart { chart } => {
+            let mut env = MapEnv::new();
+            for (name, _, init) in &chart.variables {
+                env.set(name, *init);
+            }
+            for (name, ty) in &chart.outputs {
+                env.set(name, ty.zero());
+            }
+            // Run the initial state's entry action once, matching
+            // Stateflow's default-transition-at-init semantics.
+            exec_stmts(&chart.states[chart.initial].entry, &mut env).map_err(|e| {
+                ModelError::BadParameter { block: "chart".into(), detail: e.to_string() }
+            })?;
+            BlockState::Chart { active: chart.initial, env }
+        }
+        BlockKind::ActionSubsystem { model }
+        | BlockKind::EnabledSubsystem { model }
+        | BlockKind::TriggeredSubsystem { model, .. }
+        | BlockKind::Subsystem { model } => BlockState::Sub {
+            engine: Box::new(Engine::new((**model).clone())?),
+            prev_trigger: false,
+        },
+        _ => BlockState::None,
+    })
+}
+
+#[inline]
+fn engine_overhead(spins: u32) {
+    for i in 0..spins {
+        std::hint::black_box(i);
+    }
+}

@@ -1,0 +1,560 @@
+//! Per-block semantics tests. These pin down the reference behaviour that
+//! the compiled step program (`cftcg-codegen`) is differentially tested
+//! against.
+
+use cftcg_model::expr::{parse_expr, parse_stmts};
+use cftcg_model::{
+    BlockKind, Chart, DataType, EdgeKind, FunctionDef, InputSign, LogicOp, MathFunc, MinMaxOp,
+    ModelBuilder, ProductOp, RelOp, State, SwitchCriterion, Transition, Value,
+};
+use cftcg_sim::Simulator;
+
+/// Builds a model with `n` F64 inports feeding `kind`, whose output 0 goes
+/// to a single outport, and runs it over `steps`, returning output 0 of
+/// every step.
+fn run_block(kind: BlockKind, steps: &[Vec<f64>]) -> Vec<Value> {
+    let n = kind.num_inputs();
+    let mut b = ModelBuilder::new("probe");
+    let blk = b.add("blk", kind);
+    for port in 0..n {
+        let u = b.inport(format!("u{port}"), DataType::F64);
+        b.connect(u, 0, blk, port);
+    }
+    let y = b.outport("y");
+    b.wire(blk, y);
+    let model = b.finish().unwrap();
+    let mut sim = Simulator::new(&model).unwrap();
+    steps
+        .iter()
+        .map(|step| {
+            let vals: Vec<Value> = step.iter().map(|&x| Value::F64(x)).collect();
+            sim.step(&vals).unwrap()[0]
+        })
+        .collect()
+}
+
+fn f(outputs: Vec<Value>) -> Vec<f64> {
+    outputs.into_iter().map(Value::as_f64).collect()
+}
+
+#[test]
+fn sum_signs() {
+    let kind = BlockKind::Sum { signs: vec![InputSign::Plus, InputSign::Minus, InputSign::Plus] };
+    assert_eq!(f(run_block(kind, &[vec![5.0, 3.0, 1.0]])), vec![3.0]);
+}
+
+#[test]
+fn product_ops() {
+    let kind = BlockKind::Product { ops: vec![ProductOp::Mul, ProductOp::Div] };
+    assert_eq!(f(run_block(kind, &[vec![6.0, 3.0]])), vec![2.0]);
+}
+
+#[test]
+fn gain_bias_abs_neg_sign() {
+    assert_eq!(f(run_block(BlockKind::Gain { gain: -2.0 }, &[vec![4.0]])), vec![-8.0]);
+    assert_eq!(f(run_block(BlockKind::Bias { bias: 10.0 }, &[vec![4.0]])), vec![14.0]);
+    assert_eq!(f(run_block(BlockKind::Abs, &[vec![-4.0]])), vec![4.0]);
+    assert_eq!(f(run_block(BlockKind::UnaryMinus, &[vec![4.0]])), vec![-4.0]);
+    assert_eq!(
+        f(run_block(BlockKind::Signum, &[vec![-3.0], vec![0.0], vec![9.0]])),
+        vec![-1.0, 0.0, 1.0]
+    );
+}
+
+#[test]
+fn min_max() {
+    let kind = BlockKind::MinMax { op: MinMaxOp::Min, inputs: 3 };
+    assert_eq!(f(run_block(kind, &[vec![3.0, -1.0, 2.0]])), vec![-1.0]);
+    let kind = BlockKind::MinMax { op: MinMaxOp::Max, inputs: 2 };
+    assert_eq!(f(run_block(kind, &[vec![3.0, 7.0]])), vec![7.0]);
+}
+
+#[test]
+fn math_functions() {
+    assert_eq!(f(run_block(BlockKind::Math { func: MathFunc::Sqrt }, &[vec![9.0]])), vec![3.0]);
+    assert_eq!(
+        f(run_block(BlockKind::Math { func: MathFunc::Pow }, &[vec![2.0, 8.0]])),
+        vec![256.0]
+    );
+    assert_eq!(
+        f(run_block(BlockKind::Math { func: MathFunc::Mod }, &[vec![-7.0, 3.0]])),
+        vec![2.0]
+    );
+    assert_eq!(
+        f(run_block(BlockKind::Math { func: MathFunc::Rem }, &[vec![-7.0, 3.0]])),
+        vec![-1.0]
+    );
+}
+
+#[test]
+fn saturation_three_regions() {
+    let kind = BlockKind::Saturation { lower: -1.0, upper: 1.0 };
+    assert_eq!(
+        f(run_block(kind, &[vec![-5.0], vec![0.5], vec![5.0]])),
+        vec![-1.0, 0.5, 1.0]
+    );
+}
+
+#[test]
+fn dead_zone_three_regions() {
+    let kind = BlockKind::DeadZone { start: -1.0, end: 1.0 };
+    assert_eq!(
+        f(run_block(kind, &[vec![-3.0], vec![0.5], vec![3.0]])),
+        vec![-2.0, 0.0, 2.0]
+    );
+}
+
+#[test]
+fn relay_hysteresis() {
+    let kind = BlockKind::Relay {
+        on_threshold: 2.0,
+        off_threshold: -2.0,
+        on_output: 10.0,
+        off_output: 0.0,
+    };
+    // Starts off; stays off below on-threshold; latches on; holds on until
+    // input drops to off-threshold.
+    assert_eq!(
+        f(run_block(kind, &[vec![1.0], vec![2.0], vec![0.0], vec![-2.0], vec![0.0]])),
+        vec![0.0, 10.0, 10.0, 0.0, 0.0]
+    );
+}
+
+#[test]
+fn quantizer_rounds_to_interval() {
+    let kind = BlockKind::Quantizer { interval: 0.5 };
+    assert_eq!(f(run_block(kind, &[vec![1.2], vec![1.3]])), vec![1.0, 1.5]);
+}
+
+#[test]
+fn rate_limiter_clamps_slew() {
+    let kind = BlockKind::RateLimiter { rising: 1.0, falling: 2.0 };
+    // prev starts at 0; +5 input limited to +1; falling limited to -2/step.
+    assert_eq!(
+        f(run_block(kind, &[vec![5.0], vec![5.0], vec![-5.0]])),
+        vec![1.0, 2.0, 0.0]
+    );
+}
+
+#[test]
+fn backlash_dead_band() {
+    let kind = BlockKind::Backlash { width: 2.0, initial: 0.0 };
+    // Inside the band: output holds. Push past the band edge: follows.
+    assert_eq!(
+        f(run_block(kind, &[vec![0.5], vec![2.0], vec![1.5], vec![-2.0]])),
+        vec![0.0, 1.0, 1.0, -1.0]
+    );
+}
+
+#[test]
+fn coulomb_friction_three_regions() {
+    let kind = BlockKind::CoulombFriction { offset: 1.0, gain: 2.0 };
+    assert_eq!(
+        f(run_block(kind, &[vec![3.0], vec![0.0], vec![-3.0]])),
+        vec![7.0, 0.0, -7.0]
+    );
+}
+
+#[test]
+fn logic_ops() {
+    for (op, a, b, expected) in [
+        (LogicOp::And, 1.0, 1.0, 1.0),
+        (LogicOp::And, 1.0, 0.0, 0.0),
+        (LogicOp::Or, 0.0, 1.0, 1.0),
+        (LogicOp::Or, 0.0, 0.0, 0.0),
+        (LogicOp::Nand, 1.0, 1.0, 0.0),
+        (LogicOp::Nor, 0.0, 0.0, 1.0),
+        (LogicOp::Xor, 1.0, 1.0, 0.0),
+        (LogicOp::Xor, 1.0, 0.0, 1.0),
+    ] {
+        let kind = BlockKind::Logic { op, inputs: 2 };
+        assert_eq!(f(run_block(kind, &[vec![a, b]])), vec![expected], "{op:?}({a},{b})");
+    }
+    let not = BlockKind::Logic { op: LogicOp::Not, inputs: 1 };
+    assert_eq!(f(run_block(not, &[vec![0.0]])), vec![1.0]);
+}
+
+#[test]
+fn relational_and_compare() {
+    let kind = BlockKind::Relational { op: RelOp::Le };
+    assert_eq!(f(run_block(kind, &[vec![2.0, 2.0], vec![3.0, 2.0]])), vec![1.0, 0.0]);
+    let kind = BlockKind::Compare { op: RelOp::Gt, constant: 5.0 };
+    assert_eq!(f(run_block(kind, &[vec![6.0], vec![5.0]])), vec![1.0, 0.0]);
+}
+
+#[test]
+fn switch_criteria() {
+    let kind = BlockKind::Switch { criterion: SwitchCriterion::GreaterEqual(1.0) };
+    // ports: 0 = first data, 1 = control, 2 = second data
+    assert_eq!(
+        f(run_block(kind, &[vec![10.0, 1.0, 20.0], vec![10.0, 0.5, 20.0]])),
+        vec![10.0, 20.0]
+    );
+}
+
+#[test]
+fn multiport_switch_clamps_selector() {
+    let kind = BlockKind::MultiportSwitch { cases: 2 };
+    // ports: 0 = selector (1-based), 1..=2 data
+    assert_eq!(
+        f(run_block(kind, &[
+            vec![1.0, 10.0, 20.0],
+            vec![2.0, 10.0, 20.0],
+            vec![7.0, 10.0, 20.0],
+            vec![-3.0, 10.0, 20.0],
+        ])),
+        vec![10.0, 20.0, 20.0, 10.0]
+    );
+}
+
+#[test]
+fn data_type_conversion_saturates() {
+    let kind = BlockKind::DataTypeConversion { to: DataType::I8 };
+    let out = run_block(kind, &[vec![300.0], vec![-300.0], vec![7.4]]);
+    assert_eq!(out, vec![Value::I8(127), Value::I8(-128), Value::I8(7)]);
+}
+
+#[test]
+fn unit_delay_and_memory_shift_by_one() {
+    for kind in [
+        BlockKind::UnitDelay { initial: Value::F64(-1.0) },
+        BlockKind::Memory { initial: Value::F64(-1.0) },
+    ] {
+        assert_eq!(
+            f(run_block(kind, &[vec![1.0], vec![2.0], vec![3.0]])),
+            vec![-1.0, 1.0, 2.0]
+        );
+    }
+}
+
+#[test]
+fn delay_n_steps() {
+    let kind = BlockKind::Delay { steps: 2, initial: Value::F64(0.0) };
+    assert_eq!(
+        f(run_block(kind, &[vec![1.0], vec![2.0], vec![3.0], vec![4.0]])),
+        vec![0.0, 0.0, 1.0, 2.0]
+    );
+}
+
+#[test]
+fn discrete_integrator_accumulates_and_limits() {
+    let kind = BlockKind::DiscreteIntegrator {
+        gain: 1.0,
+        initial: 0.0,
+        lower: Some(0.0),
+        upper: Some(2.5),
+    };
+    // Forward Euler: output is pre-update state; state clamps at 2.5.
+    assert_eq!(
+        f(run_block(kind, &[vec![1.0], vec![1.0], vec![1.0], vec![1.0], vec![-10.0]])),
+        vec![0.0, 1.0, 2.0, 2.5, 2.5]
+    );
+}
+
+#[test]
+fn counters() {
+    let limited = BlockKind::CounterLimited { limit: 2 };
+    assert_eq!(
+        f(run_block(limited, &[vec![], vec![], vec![], vec![], vec![]])),
+        vec![0.0, 1.0, 2.0, 0.0, 1.0]
+    );
+    let free = BlockKind::CounterFreeRunning { bits: 2 };
+    assert_eq!(
+        f(run_block(free, &[vec![], vec![], vec![], vec![], vec![]])),
+        vec![0.0, 1.0, 2.0, 3.0, 0.0]
+    );
+}
+
+#[test]
+fn edge_detect_polarity() {
+    let kind = BlockKind::EdgeDetect { kind: EdgeKind::Rising };
+    assert_eq!(
+        f(run_block(kind, &[vec![0.0], vec![1.0], vec![1.0], vec![0.0], vec![1.0]])),
+        vec![0.0, 1.0, 0.0, 0.0, 1.0]
+    );
+    let kind = BlockKind::EdgeDetect { kind: EdgeKind::Either };
+    assert_eq!(
+        f(run_block(kind, &[vec![1.0], vec![1.0], vec![0.0]])),
+        vec![1.0, 0.0, 1.0]
+    );
+}
+
+#[test]
+fn lookup_1d_and_2d() {
+    let kind = BlockKind::Lookup1D {
+        breakpoints: vec![0.0, 10.0],
+        values: vec![0.0, 100.0],
+    };
+    assert_eq!(f(run_block(kind, &[vec![2.5], vec![-1.0], vec![99.0]])), vec![25.0, 0.0, 100.0]);
+    let kind = BlockKind::Lookup2D {
+        row_breaks: vec![0.0, 1.0],
+        col_breaks: vec![0.0, 1.0],
+        values: vec![vec![0.0, 1.0], vec![2.0, 3.0]],
+    };
+    assert_eq!(f(run_block(kind, &[vec![0.5, 0.5]])), vec![1.5]);
+}
+
+#[test]
+fn zero_order_hold_is_identity() {
+    assert_eq!(f(run_block(BlockKind::ZeroOrderHold, &[vec![4.25]])), vec![4.25]);
+}
+
+#[test]
+fn ground_and_constant() {
+    let mut b = ModelBuilder::new("m");
+    let c = b.constant("c", Value::I16(42));
+    let g = b.add("gnd", BlockKind::Ground { dtype: DataType::U8 });
+    let y0 = b.outport("y0");
+    let y1 = b.outport("y1");
+    b.wire(c, y0);
+    b.wire(g, y1);
+    let model = b.finish().unwrap();
+    let mut sim = Simulator::new(&model).unwrap();
+    assert_eq!(sim.step(&[]).unwrap(), vec![Value::I16(42), Value::U8(0)]);
+}
+
+#[test]
+fn matlab_function_block() {
+    let function = FunctionDef::parse(
+        &[("u", DataType::F64), ("k", DataType::F64)],
+        &[("y", DataType::F64), ("hit", DataType::Bool)],
+        "hit = false; if (u * k > 10) { y = 10; hit = true; } else { y = u * k; }",
+    )
+    .unwrap();
+    let kind = BlockKind::MatlabFunction { function };
+    let mut b = ModelBuilder::new("m");
+    let u = b.inport("u", DataType::F64);
+    let k = b.inport("k", DataType::F64);
+    let blk = b.add("f", kind);
+    let y = b.outport("y");
+    let hit = b.outport("hit");
+    b.connect(u, 0, blk, 0);
+    b.connect(k, 0, blk, 1);
+    b.connect(blk, 0, y, 0);
+    b.connect(blk, 1, hit, 0);
+    let model = b.finish().unwrap();
+    let mut sim = Simulator::new(&model).unwrap();
+    assert_eq!(
+        sim.step(&[Value::F64(3.0), Value::F64(2.0)]).unwrap(),
+        vec![Value::F64(6.0), Value::Bool(false)]
+    );
+    assert_eq!(
+        sim.step(&[Value::F64(30.0), Value::F64(2.0)]).unwrap(),
+        vec![Value::F64(10.0), Value::Bool(true)]
+    );
+}
+
+#[test]
+fn chart_transitions_and_actions() {
+    let mut chart = Chart::new();
+    chart.inputs.push(("go".into(), DataType::Bool));
+    chart.outputs.push(("phase".into(), DataType::I32));
+    chart.variables.push(("ticks".into(), DataType::I32, Value::I32(0)));
+    let idle = chart.add_state(State::new("Idle").with_entry(parse_stmts("phase = 0;").unwrap()));
+    let run = chart.add_state(
+        State::new("Run")
+            .with_entry(parse_stmts("phase = 1; ticks = 0;").unwrap())
+            .with_during(parse_stmts("ticks = ticks + 1;").unwrap()),
+    );
+    chart.initial = idle;
+    chart.add_transition(Transition::new(idle, run, parse_expr("go").unwrap()));
+    chart.add_transition(Transition::new(run, idle, parse_expr("ticks >= 2").unwrap()));
+    let mut b = ModelBuilder::new("m");
+    let go = b.inport("go", DataType::Bool);
+    let blk = b.add("chart", BlockKind::Chart { chart });
+    let phase = b.outport("phase");
+    b.wire(go, blk);
+    b.wire(blk, phase);
+    let model = b.finish().unwrap();
+    let mut sim = Simulator::new(&model).unwrap();
+    let t = Value::Bool(true);
+    let n = Value::Bool(false);
+    // Idle; go fires -> Run(entry phase=1); during ticks=1; during ticks=2;
+    // guard ticks>=2 fires -> Idle (phase=0).
+    assert_eq!(sim.step(&[n]).unwrap(), vec![Value::I32(0)]);
+    assert_eq!(sim.step(&[t]).unwrap(), vec![Value::I32(1)]);
+    assert_eq!(sim.step(&[n]).unwrap(), vec![Value::I32(1)]); // ticks=1
+    assert_eq!(sim.step(&[n]).unwrap(), vec![Value::I32(1)]); // ticks=2
+    assert_eq!(sim.step(&[n]).unwrap(), vec![Value::I32(0)]); // back to idle
+}
+
+#[test]
+fn if_action_subsystems_with_merge() {
+    // if (u1 > 0) y = u*2 else y = u*10, via action subsystems + merge.
+    fn action_body(name: &str, gain: f64) -> BlockKind {
+        let mut b = ModelBuilder::new(name);
+        let u = b.inport("u", DataType::F64);
+        let g = b.add("g", BlockKind::Gain { gain });
+        let y = b.outport("y");
+        b.wire(u, g);
+        b.wire(g, y);
+        BlockKind::ActionSubsystem { model: Box::new(b.finish().unwrap()) }
+    }
+    let mut b = ModelBuilder::new("m");
+    let u = b.inport("u", DataType::F64);
+    let iff = b.add(
+        "if",
+        BlockKind::If {
+            num_inputs: 1,
+            conditions: vec![parse_expr("u1 > 0").unwrap()],
+            has_else: true,
+        },
+    );
+    let then_sub = b.add("then", action_body("then_m", 2.0));
+    let else_sub = b.add("else", action_body("else_m", 10.0));
+    let merge = b.add("merge", BlockKind::Merge { inputs: 2 });
+    let y = b.outport("y");
+    b.wire(u, iff);
+    b.connect(iff, 0, then_sub, 0); // then action
+    b.connect(iff, 1, else_sub, 0); // else action
+    b.connect(u, 0, then_sub, 1);
+    b.connect(u, 0, else_sub, 1);
+    b.connect(then_sub, 0, merge, 0);
+    b.connect(else_sub, 0, merge, 1);
+    b.wire(merge, y);
+    let model = b.finish().unwrap();
+    let mut sim = Simulator::new(&model).unwrap();
+    assert_eq!(sim.step(&[Value::F64(3.0)]).unwrap(), vec![Value::F64(6.0)]);
+    assert_eq!(sim.step(&[Value::F64(-3.0)]).unwrap(), vec![Value::F64(-30.0)]);
+}
+
+#[test]
+fn enabled_subsystem_holds_outputs_and_freezes_state() {
+    // Inner accumulator only advances while enabled.
+    let mut inner = ModelBuilder::new("inner");
+    let u = inner.inport("u", DataType::F64);
+    let sum = inner.add("sum", BlockKind::Sum { signs: vec![InputSign::Plus; 2] });
+    let dly = inner.add("dly", BlockKind::UnitDelay { initial: Value::F64(0.0) });
+    let y = inner.outport("y");
+    inner.connect(u, 0, sum, 0);
+    inner.connect(dly, 0, sum, 1);
+    inner.connect(sum, 0, dly, 0);
+    inner.connect(sum, 0, y, 0);
+    let inner = inner.finish().unwrap();
+
+    let mut b = ModelBuilder::new("m");
+    let en = b.inport("en", DataType::Bool);
+    let u = b.inport("u", DataType::F64);
+    let sub = b.add("sub", BlockKind::EnabledSubsystem { model: Box::new(inner) });
+    let y = b.outport("y");
+    b.connect(en, 0, sub, 0);
+    b.connect(u, 0, sub, 1);
+    b.wire(sub, y);
+    let model = b.finish().unwrap();
+    let mut sim = Simulator::new(&model).unwrap();
+    let on = Value::Bool(true);
+    let off = Value::Bool(false);
+    assert_eq!(sim.step(&[on, Value::F64(1.0)]).unwrap(), vec![Value::F64(1.0)]);
+    assert_eq!(sim.step(&[off, Value::F64(100.0)]).unwrap(), vec![Value::F64(1.0)]); // held
+    assert_eq!(sim.step(&[on, Value::F64(1.0)]).unwrap(), vec![Value::F64(2.0)]); // resumed
+}
+
+#[test]
+fn triggered_subsystem_fires_on_edges_only() {
+    let mut inner = ModelBuilder::new("inner");
+    let cnt = inner.add("cnt", BlockKind::CounterFreeRunning { bits: 8 });
+    let y = inner.outport("y");
+    inner.wire(cnt, y);
+    let inner = inner.finish().unwrap();
+
+    let mut b = ModelBuilder::new("m");
+    let trig = b.inport("trig", DataType::Bool);
+    let sub = b.add(
+        "sub",
+        BlockKind::TriggeredSubsystem { model: Box::new(inner), edge: EdgeKind::Rising },
+    );
+    let y = b.outport("y");
+    b.wire(trig, sub);
+    b.wire(sub, y);
+    let model = b.finish().unwrap();
+    let mut sim = Simulator::new(&model).unwrap();
+    let hi = Value::Bool(true);
+    let lo = Value::Bool(false);
+    assert_eq!(sim.step(&[lo]).unwrap(), vec![Value::U8(0)]); // never fired: zero
+    assert_eq!(sim.step(&[hi]).unwrap(), vec![Value::U8(0)]); // first fire: count 0
+    assert_eq!(sim.step(&[hi]).unwrap(), vec![Value::U8(0)]); // no edge: held
+    assert_eq!(sim.step(&[lo]).unwrap(), vec![Value::U8(0)]);
+    assert_eq!(sim.step(&[hi]).unwrap(), vec![Value::U8(1)]); // second fire
+}
+
+#[test]
+fn virtual_subsystem_is_transparent() {
+    let mut inner = ModelBuilder::new("inner");
+    let a = inner.inport("a", DataType::F64);
+    let bb = inner.inport("b", DataType::F64);
+    let sum = inner.add("sum", BlockKind::Sum { signs: vec![InputSign::Plus; 2] });
+    let y = inner.outport("y");
+    inner.connect(a, 0, sum, 0);
+    inner.connect(bb, 0, sum, 1);
+    inner.connect(sum, 0, y, 0);
+    let inner = inner.finish().unwrap();
+
+    let mut b = ModelBuilder::new("m");
+    let a = b.inport("a", DataType::F64);
+    let c = b.inport("c", DataType::F64);
+    let sub = b.add("sub", BlockKind::Subsystem { model: Box::new(inner) });
+    let y = b.outport("y");
+    b.connect(a, 0, sub, 0);
+    b.connect(c, 0, sub, 1);
+    b.wire(sub, y);
+    let model = b.finish().unwrap();
+    let mut sim = Simulator::new(&model).unwrap();
+    assert_eq!(
+        sim.step(&[Value::F64(2.0), Value::F64(40.0)]).unwrap(),
+        vec![Value::F64(42.0)]
+    );
+}
+
+#[test]
+fn switch_case_action_routing() {
+    fn const_action(name: &str, value: f64) -> BlockKind {
+        let mut b = ModelBuilder::new(name);
+        let c = b.constant("c", value);
+        let y = b.outport("y");
+        b.wire(c, y);
+        BlockKind::ActionSubsystem { model: Box::new(b.finish().unwrap()) }
+    }
+    let mut b = ModelBuilder::new("m");
+    let mode = b.inport("mode", DataType::I32);
+    let sc = b.add(
+        "sc",
+        BlockKind::SwitchCase { cases: vec![vec![1], vec![2, 3]], has_default: true },
+    );
+    let a1 = b.add("a1", const_action("m1", 10.0));
+    let a2 = b.add("a2", const_action("m2", 20.0));
+    let a3 = b.add("a3", const_action("m3", 99.0));
+    let merge = b.add("merge", BlockKind::Merge { inputs: 3 });
+    let y = b.outport("y");
+    b.wire(mode, sc);
+    b.connect(sc, 0, a1, 0);
+    b.connect(sc, 1, a2, 0);
+    b.connect(sc, 2, a3, 0);
+    b.connect(a1, 0, merge, 0);
+    b.connect(a2, 0, merge, 1);
+    b.connect(a3, 0, merge, 2);
+    b.wire(merge, y);
+    let model = b.finish().unwrap();
+    let mut sim = Simulator::new(&model).unwrap();
+    for (sel, expected) in [(1, 10.0), (2, 20.0), (3, 20.0), (7, 99.0), (-1, 99.0)] {
+        assert_eq!(
+            sim.step(&[Value::I32(sel)]).unwrap(),
+            vec![Value::F64(expected)],
+            "selector {sel}"
+        );
+    }
+}
+
+#[test]
+fn integer_signal_path_saturates_like_generated_code() {
+    // int8 inport feeding a Gain of 100: 100 * 2 saturates to 127 in int8.
+    let mut b = ModelBuilder::new("m");
+    let u = b.inport("u", DataType::I8);
+    let g = b.add("g", BlockKind::Gain { gain: 100.0 });
+    let y = b.outport("y");
+    b.wire(u, g);
+    b.wire(g, y);
+    let model = b.finish().unwrap();
+    let mut sim = Simulator::new(&model).unwrap();
+    assert_eq!(sim.step(&[Value::I8(2)]).unwrap(), vec![Value::I8(127)]);
+    assert_eq!(sim.step(&[Value::I8(-2)]).unwrap(), vec![Value::I8(-128)]);
+}

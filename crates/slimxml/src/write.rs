@@ -1,0 +1,101 @@
+//! Indented XML serialization with entity escaping.
+
+use crate::{Element, Node};
+
+/// Appends `element` to `out` indented at `depth` levels (two spaces each).
+pub(crate) fn write_element(out: &mut String, element: &Element, depth: usize) {
+    indent(out, depth);
+    out.push('<');
+    out.push_str(&element.name);
+    for (key, value) in &element.attributes {
+        out.push(' ');
+        out.push_str(key);
+        out.push_str("=\"");
+        escape_into(out, value, true);
+        out.push('"');
+    }
+    if element.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // A single text child renders inline: `<a>text</a>`.
+    if element.children.len() == 1 {
+        if let Node::Text(t) = &element.children[0] {
+            out.push('>');
+            escape_into(out, t, false);
+            out.push_str("</");
+            out.push_str(&element.name);
+            out.push_str(">\n");
+            return;
+        }
+    }
+    out.push_str(">\n");
+    for child in &element.children {
+        match child {
+            Node::Element(e) => write_element(out, e, depth + 1),
+            Node::Text(t) => {
+                indent(out, depth + 1);
+                escape_into(out, t, false);
+                out.push('\n');
+            }
+        }
+    }
+    indent(out, depth);
+    out.push_str("</");
+    out.push_str(&element.name);
+    out.push_str(">\n");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(out: &mut String, raw: &str, in_attribute: bool) {
+    for c in raw.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attribute => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, Element};
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(Element::new("a").to_xml(), "<a/>\n");
+    }
+
+    #[test]
+    fn single_text_child_is_inline() {
+        let e = Element::new("a").with_text("hi");
+        assert_eq!(e.to_xml(), "<a>hi</a>\n");
+    }
+
+    #[test]
+    fn nested_elements_indent() {
+        let e = Element::new("a").with_child(Element::new("b").with_child(Element::new("c")));
+        assert_eq!(e.to_xml(), "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let e = Element::new("a").with_attr("v", "<&\">'").with_text("a<b&c>d\"e");
+        let parsed = parse(&e.to_xml()).unwrap();
+        assert_eq!(parsed.root, e);
+    }
+
+    #[test]
+    fn attribute_order_is_preserved() {
+        let e = Element::new("a").with_attr("z", "1").with_attr("a", "2");
+        let xml = e.to_xml();
+        assert!(xml.find("z=").unwrap() < xml.find("a=").unwrap());
+    }
+}

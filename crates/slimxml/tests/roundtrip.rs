@@ -1,0 +1,115 @@
+//! Property tests: trees in the shape the CFTCG model format uses (text only
+//! as an element's only child) round-trip exactly; arbitrary mixed content
+//! round-trips modulo surrounding whitespace introduced by indentation.
+
+use cftcg_slimxml::{parse, Document, Element, Node};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,8}".prop_map(|s| s)
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Printable text including characters that need escaping; trimmed and
+    // nonblank because the writer re-indents and the parser drops blanks.
+    "[ -~]{0,12}[a-zA-Z<>&\"'][ -~]{0,12}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("nonblank", |s| !s.is_empty())
+}
+
+fn arb_attrs() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((arb_name(), arb_text()), 0..4)
+}
+
+/// Elements whose text appears only as an only-child — the `.mdlx` shape.
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (arb_name(), arb_attrs(), prop::option::of(arb_text())).prop_map(
+        |(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                e.set_attr(k, v); // dedups keys
+            }
+            if let Some(t) = text {
+                e.children.push(Node::Text(t));
+            }
+            e
+        },
+    );
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    (
+        arb_name(),
+        arb_attrs(),
+        prop::collection::vec(arb_element(depth - 1), 0..4),
+    )
+        .prop_map(|(name, attrs, children)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                e.set_attr(k, v);
+            }
+            for child in children {
+                e.children.push(Node::Element(child));
+            }
+            e
+        })
+        .boxed()
+}
+
+fn normalize(e: &Element) -> Element {
+    let mut out = Element::new(e.name.clone());
+    out.attributes = e.attributes.clone();
+    for child in &e.children {
+        match child {
+            Node::Element(c) => out.children.push(Node::Element(normalize(c))),
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    out.children.push(Node::Text(t.to_string()));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn model_shape_roundtrips_exactly(root in arb_element(3)) {
+        let doc = Document::new(root.clone());
+        let xml = doc.to_xml();
+        let parsed = parse(&xml).unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
+        prop_assert_eq!(parsed.root, root);
+    }
+
+    #[test]
+    fn mixed_content_roundtrips_normalized(
+        name in arb_name(),
+        parts in prop::collection::vec(
+            prop_oneof![
+                arb_element(1).prop_map(Node::Element),
+                arb_text().prop_map(Node::Text),
+            ],
+            0..5,
+        ),
+    ) {
+        let mut root = Element::new(name);
+        let mut last_was_text = false;
+        for part in parts {
+            let is_text = matches!(part, Node::Text(_));
+            if is_text && last_was_text {
+                continue; // adjacent text merges on reparse
+            }
+            last_was_text = is_text;
+            root.children.push(part);
+        }
+        let xml = Document::new(root.clone()).to_xml();
+        let parsed = parse(&xml).unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
+        prop_assert_eq!(normalize(&parsed.root), normalize(&root));
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[ -~\\n]{0,64}") {
+        let _ = parse(&input);
+    }
+}

@@ -1,0 +1,70 @@
+//! Inspect the fuzzing code generation stage: load a model from XML text,
+//! print the instrumented C step function and the branch map.
+//!
+//! ```sh
+//! cargo run --release --example codegen_inspect
+//! ```
+
+use std::error::Error;
+
+use cftcg::codegen::{compile, emit_c, emit_driver_c};
+use cftcg::model::load_model;
+
+/// A model written directly in the `.mdlx` on-disk format.
+const MDLX: &str = r#"
+<model name="speed_guard">
+  <block name="speed" kind="Inport">
+    <param name="index">0</param>
+    <param name="dtype">uint16</param>
+  </block>
+  <block name="limit" kind="Inport">
+    <param name="index">1</param>
+    <param name="dtype">uint16</param>
+  </block>
+  <block name="margin" kind="Sum">
+    <param name="signs">+-</param>
+  </block>
+  <block name="over" kind="Compare">
+    <param name="op">&gt;</param>
+    <param name="constant">0</param>
+  </block>
+  <block name="warn_zone" kind="Saturation">
+    <param name="lower">-50</param>
+    <param name="upper">50</param>
+  </block>
+  <block name="alarm" kind="Outport">
+    <param name="index">0</param>
+  </block>
+  <block name="margin_out" kind="Outport">
+    <param name="index">1</param>
+  </block>
+  <connection from="speed:0" to="margin:0"/>
+  <connection from="limit:0" to="margin:1"/>
+  <connection from="margin:0" to="over:0"/>
+  <connection from="margin:0" to="warn_zone:0"/>
+  <connection from="over:0" to="alarm:0"/>
+  <connection from="warn_zone:0" to="margin_out:0"/>
+</model>
+"#;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let model = load_model(MDLX)?;
+    model.validate()?;
+    let compiled = compile(&model)?;
+
+    println!("=== branch instrumentation map ===");
+    for (i, decision) in compiled.map().decisions().iter().enumerate() {
+        println!(
+            "decision {i}: {} ({} outcomes, {} conditions{})",
+            decision.label,
+            decision.outcomes.len(),
+            decision.conditions.len(),
+            if decision.code_level { "" } else { ", branchless in -O2 code" },
+        );
+    }
+    println!("\n=== instrumented step function ===");
+    println!("{}", emit_c(&compiled));
+    println!("=== fuzz driver ===");
+    println!("{}", emit_driver_c(&compiled));
+    Ok(())
+}

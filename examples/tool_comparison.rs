@@ -1,0 +1,66 @@
+//! A miniature of the paper's Table 3 on one model: run SLDV-like,
+//! SimCoTest-like, and CFTCG under the same wall-clock budget and score all
+//! three with the common replay yardstick.
+//!
+//! ```sh
+//! cargo run --release --example tool_comparison -- [ModelName] [budget_ms]
+//! ```
+
+use std::error::Error;
+use std::time::Duration;
+
+use cftcg::baselines::{fuzz_only, simcotest, sldv};
+use cftcg::codegen::{compile, replay_suite};
+use cftcg::Cftcg;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "TWC".to_string());
+    let budget_ms: u64 = args.next().map_or(1500, |s| s.parse().unwrap_or(1500));
+    let budget = Duration::from_millis(budget_ms);
+
+    let model = cftcg::benchmarks::by_name(&name)
+        .ok_or_else(|| format!("unknown model `{name}`; pick one of {:?}", cftcg::benchmarks::NAMES))?;
+    let compiled = compile(&model)?;
+    println!(
+        "{name}: {} branches, budget {budget:?} per tool\n",
+        compiled.map().branch_count()
+    );
+    println!(
+        "{:<12} {:>9} {:>10} {:>7} {:>7} {:>7}  notes",
+        "tool", "cases", "iters/s", "DC%", "CC%", "MCDC%"
+    );
+
+    let mut show = |tool: &str, generation: &cftcg::Generation| {
+        let report = replay_suite(&compiled, &generation.suite);
+        println!(
+            "{:<12} {:>9} {:>10.0} {:>6.0}% {:>6.0}% {:>6.0}%  {}",
+            tool,
+            generation.suite.len(),
+            generation.iterations_per_second(),
+            report.decision.percent(),
+            report.condition.percent(),
+            report.mcdc.percent(),
+            generation.notes,
+        );
+    };
+
+    let g = sldv::generate(&model, &compiled, &sldv::SldvConfig { budget, ..Default::default() });
+    show("SLDV-like", &g);
+
+    let g = simcotest::generate(&model, &simcotest::SimCoTestConfig {
+        budget,
+        seed: 1,
+        ..Default::default()
+    });
+    show("SimCoTest", &g);
+
+    let g = fuzz_only::generate(&compiled, &fuzz_only::FuzzOnlyConfig { budget, seed: 1 });
+    show("Fuzz Only", &g);
+
+    let tool = Cftcg::new(&model)?;
+    let g = tool.generate(budget, 1);
+    show("CFTCG", &g);
+
+    Ok(())
+}

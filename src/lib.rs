@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # CFTCG — code-based fuzzing test generation for Simulink-style models
+//!
+//! A from-scratch Rust reproduction of *"CFTCG: Test Case Generation for
+//! Simulink Model through Code Based Fuzzing"* (DAC 2024): the complete
+//! pipeline — model IR, interpretive simulator, instrumented code
+//! generation, the model-oriented fuzzer — plus the paper's baselines and
+//! benchmark models.
+//!
+//! This crate is the facade: it re-exports every subsystem under one roof.
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`model`] | `cftcg-model` | block-diagram IR, expression language, XML persistence |
+//! | [`sim`] | `cftcg-sim` | interpretive simulator (the slow reference engine) |
+//! | [`coverage`] | `cftcg-coverage` | branch probes, Decision/Condition/MCDC scoring |
+//! | [`codegen`] | `cftcg-codegen` | schedule conversion, branch instrumentation, step-IR VM, C emission, fuzz driver |
+//! | [`fuzz`] | `cftcg-fuzz` | tuple-aware mutation, iteration-difference feedback, the fuzzing loop |
+//! | [`baselines`] | `cftcg-baselines` | SLDV-like, SimCoTest-like, and Fuzz-Only generators |
+//! | [`benchmarks`] | `cftcg-benchmarks` | the eight Table 2 models |
+//! | [`pipeline`] | `cftcg-core` | the end-to-end tool ([`Cftcg`]) |
+//! | [`slimxml`] | `cftcg-slimxml` | minimal XML parser (TinyXML substitute) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use cftcg::{Cftcg, model::{BlockKind, DataType, ModelBuilder}};
+//! use std::time::Duration;
+//!
+//! // 1. Build (or load) a model.
+//! let mut b = ModelBuilder::new("demo");
+//! let u = b.inport("u", DataType::I16);
+//! let sat = b.add("sat", BlockKind::Saturation { lower: -100.0, upper: 100.0 });
+//! let y = b.outport("y");
+//! b.wire(u, sat);
+//! b.wire(sat, y);
+//! let model = b.finish()?;
+//!
+//! // 2. Fuzzing code generation + the model-oriented fuzzing loop.
+//! let tool = Cftcg::new(&model)?;
+//! let tests = tool.generate(Duration::from_millis(200), 0);
+//!
+//! // 3. Score the suite with Decision / Condition / MCDC coverage.
+//! let report = tool.score(&tests);
+//! assert_eq!(report.decision.percent(), 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cftcg_baselines as baselines;
+pub use cftcg_benchmarks as benchmarks;
+pub use cftcg_codegen as codegen;
+pub use cftcg_core as pipeline;
+pub use cftcg_coverage as coverage;
+pub use cftcg_fuzz as fuzz;
+pub use cftcg_model as model;
+pub use cftcg_sim as sim;
+pub use cftcg_slimxml as slimxml;
+
+pub use cftcg_core::Cftcg;
+pub use cftcg_coverage::CoverageReport;
+pub use cftcg_fuzz::Generation;

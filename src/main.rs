@@ -1,0 +1,190 @@
+//! `cftcg` — the command-line front end of the pipeline.
+//!
+//! ```text
+//! cftcg stats  <model.mdlx>                         instrumentation statistics
+//! cftcg codegen <model.mdlx> [--driver]             emit instrumented C / fuzz driver
+//! cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR]
+//!                                                   run the fuzzing loop, write CSV cases
+//! cftcg score  <model.mdlx> <case.csv>...           replay CSV test cases, print coverage
+//! cftcg export-benchmarks <DIR>                     write the 8 Table-2 models as .mdlx
+//! ```
+
+use std::error::Error;
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cftcg::codegen::{
+    compile, emit_c, emit_driver_c, replay_case, replay_suite, test_case_from_csv,
+    test_case_to_csv,
+};
+use cftcg::coverage::{detailed_report, FullTracker};
+use cftcg::model::{load_model, save_model, Model};
+use cftcg::Cftcg;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    match command.as_str() {
+        "stats" => stats(&load(args.get(1))?),
+        "codegen" => codegen(&load(args.get(1))?, args.contains(&"--driver".to_string())),
+        "fuzz" => fuzz(&load(args.get(1))?, &args[2..]),
+        "score" => score(&load(args.get(1))?, &args[2..]),
+        "export-benchmarks" => export_benchmarks(
+            args.get(1).map(String::as_str).unwrap_or("models"),
+        ),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `cftcg help`)").into()),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "cftcg — test case generation for Simulink-style models through code-based fuzzing\n\n\
+         USAGE:\n\
+         \x20 cftcg stats  <model.mdlx>\n\
+         \x20 cftcg codegen <model.mdlx> [--driver]\n\
+         \x20 cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR]\n\
+         \x20 cftcg score  <model.mdlx> <case.csv>...\n\
+         \x20 cftcg export-benchmarks [DIR]"
+    );
+}
+
+fn load(path: Option<&String>) -> Result<Model, Box<dyn Error>> {
+    let path = path.ok_or("missing <model.mdlx> argument")?;
+    let xml = fs::read_to_string(path)?;
+    let model = load_model(&xml)?;
+    model.validate()?;
+    Ok(model)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn stats(model: &Model) -> Result<(), Box<dyn Error>> {
+    let compiled = compile(model)?;
+    println!("model     : {}", model.name());
+    println!("blocks    : {} (including subsystems)", model.total_block_count());
+    println!("branches  : {}", compiled.map().branch_count());
+    println!("decisions : {}", compiled.map().decision_count());
+    println!("conditions: {}", compiled.map().condition_count());
+    println!("state     : {} slots", compiled.state_len());
+    println!("driver    : {} bytes per iteration", compiled.layout().tuple_size());
+    for field in compiled.layout().fields() {
+        println!("  {:>12}  {:>8}  offset {}", field.name, field.dtype, field.offset);
+    }
+    Ok(())
+}
+
+fn codegen(model: &Model, driver: bool) -> Result<(), Box<dyn Error>> {
+    let compiled = compile(model)?;
+    if driver {
+        print!("{}", emit_driver_c(&compiled));
+    } else {
+        print!("{}", emit_c(&compiled));
+    }
+    Ok(())
+}
+
+fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
+    let budget_ms: u64 = flag_value(rest, "--budget-ms")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(5_000);
+    let seed: u64 = flag_value(rest, "--seed").map(str::parse).transpose()?.unwrap_or(0);
+    let out = flag_value(rest, "--out");
+    let minimize = rest.contains(&"--minimize".to_string());
+
+    let tool = Cftcg::new(model)?;
+    let mut generation = tool.generate(Duration::from_millis(budget_ms), seed);
+    if minimize {
+        let before = generation.suite.len();
+        generation.suite = tool.minimize(&generation.suite);
+        println!("minimized suite: {before} -> {} cases", generation.suite.len());
+    }
+    let report = tool.score(&generation);
+    println!(
+        "executed {} inputs / {} model iterations in {:?} ({:.0} iterations/s)",
+        generation.executions,
+        generation.iterations,
+        generation.elapsed,
+        generation.iterations_per_second()
+    );
+    println!("emitted {} test cases", generation.suite.len());
+    println!("coverage: {report}");
+    if !generation.violations.is_empty() {
+        println!("assertion violations found:");
+        for (idx, case) in &generation.violations {
+            println!(
+                "  {} (witness: {} iterations)",
+                tool.compiled().map().assertions()[*idx],
+                case.iterations(tool.compiled().layout())
+            );
+        }
+    }
+    if let Some(dir) = out {
+        fs::create_dir_all(dir)?;
+        for (i, case) in generation.suite.iter().enumerate() {
+            let csv = test_case_to_csv(tool.compiled().layout(), case);
+            fs::write(Path::new(dir).join(format!("case_{i:04}.csv")), csv)?;
+        }
+        println!("wrote {} CSV test cases to {dir}/", generation.suite.len());
+    }
+    Ok(())
+}
+
+fn score(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
+    let detailed = rest.contains(&"--detailed".to_string());
+    let csv_paths: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+    if csv_paths.is_empty() {
+        return Err("score needs at least one <case.csv>".into());
+    }
+    let compiled = compile(model)?;
+    let mut suite = Vec::new();
+    for path in csv_paths {
+        let csv = fs::read_to_string(path)?;
+        suite.push(test_case_from_csv(compiled.layout(), &csv)?);
+    }
+    if detailed {
+        let mut tracker = FullTracker::new(compiled.map());
+        for case in &suite {
+            replay_case(&compiled, case, &mut tracker);
+        }
+        print!("{}", detailed_report(compiled.map(), &tracker));
+    } else {
+        let report = replay_suite(&compiled, &suite);
+        println!("{} test cases: {report}", suite.len());
+    }
+    Ok(())
+}
+
+fn export_benchmarks(dir: &str) -> Result<(), Box<dyn Error>> {
+    fs::create_dir_all(dir)?;
+    for model in cftcg::benchmarks::all() {
+        let path = Path::new(dir).join(format!("{}.mdlx", model.name().to_lowercase()));
+        fs::write(&path, save_model(&model))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

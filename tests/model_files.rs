@@ -1,0 +1,30 @@
+//! The `.mdlx` files shipped in `models/` stay in sync with the benchmark
+//! builders (regenerate with `cargo run --bin cftcg -- export-benchmarks`).
+
+use std::path::Path;
+
+#[test]
+fn shipped_model_files_match_builders() {
+    for model in cftcg::benchmarks::all() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("models")
+            .join(format!("{}.mdlx", model.name().to_lowercase()));
+        let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{} missing ({e}); run `cargo run --bin cftcg -- export-benchmarks models`",
+                path.display()
+            )
+        });
+        let expected = cftcg::model::save_model(&model);
+        assert_eq!(
+            on_disk,
+            expected,
+            "{} is stale; run `cargo run --bin cftcg -- export-benchmarks models`",
+            path.display()
+        );
+        // And the file loads back to a valid, identical model.
+        let loaded = cftcg::model::load_model(&on_disk).expect("file parses");
+        loaded.validate().expect("file validates");
+        assert_eq!(loaded, model);
+    }
+}

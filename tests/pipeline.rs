@@ -1,0 +1,88 @@
+//! Cross-crate integration tests: the full CFTCG pipeline over the
+//! benchmark suite.
+
+use cftcg::codegen::{compile, replay_suite, test_case_from_csv, test_case_to_csv};
+use cftcg::Cftcg;
+
+/// Every benchmark model makes it through the whole pipeline: validate →
+/// instrument/compile → fuzz → replay-score → CSV export/import.
+#[test]
+fn end_to_end_on_every_benchmark() {
+    for model in cftcg::benchmarks::all() {
+        let tool = Cftcg::new(&model)
+            .unwrap_or_else(|e| panic!("{}: {e}", model.name()));
+        let generation = tool.generate_executions(1_500, 99);
+        assert!(
+            !generation.suite.is_empty(),
+            "{}: fuzzer must emit at least one test case",
+            model.name()
+        );
+        let report = tool.score(&generation);
+        assert!(
+            report.decision.covered > 0,
+            "{}: some decision outcome must be covered",
+            model.name()
+        );
+        // CSV round trip preserves the replayed coverage exactly.
+        let compiled = tool.compiled();
+        let rebuilt: Vec<_> = generation
+            .suite
+            .iter()
+            .map(|case| {
+                let csv = test_case_to_csv(compiled.layout(), case);
+                test_case_from_csv(compiled.layout(), &csv)
+                    .unwrap_or_else(|e| panic!("{}: {e}", model.name()))
+            })
+            .collect();
+        let replayed = replay_suite(compiled, &rebuilt);
+        assert_eq!(
+            replayed.decision.covered,
+            report.decision.covered,
+            "{}: CSV export must preserve coverage",
+            model.name()
+        );
+    }
+}
+
+/// The emitted C artifacts are structurally complete for every benchmark.
+#[test]
+fn c_emission_is_complete_for_every_benchmark() {
+    for model in cftcg::benchmarks::all() {
+        let tool = Cftcg::new(&model).unwrap();
+        let step = tool.fuzz_code_c();
+        let driver = tool.fuzz_driver_c();
+        let probes = step.matches("CoverageStatistics(").count();
+        assert_eq!(
+            probes,
+            tool.compiled().map().branch_count() + 1, // + the extern decl
+            "{}: one probe per branch",
+            model.name()
+        );
+        assert!(driver.contains(&format!(
+            "int dataLen = {};",
+            tool.compiled().layout().tuple_size()
+        )));
+        for field in tool.compiled().layout().fields() {
+            assert!(
+                driver.contains(&format!("+ {}, {});", field.offset, field.dtype.size())),
+                "{}: driver must memcpy field `{}`",
+                model.name(),
+                field.name
+            );
+        }
+    }
+}
+
+/// Model files round-trip through XML and recompile to the identical
+/// instrumentation map and program.
+#[test]
+fn xml_roundtrip_preserves_compilation() {
+    for model in cftcg::benchmarks::all() {
+        let xml = cftcg::model::save_model(&model);
+        let reloaded = cftcg::model::load_model(&xml).unwrap();
+        let a = compile(&model).unwrap();
+        let b = compile(&reloaded).unwrap();
+        assert_eq!(a.map(), b.map(), "{}", model.name());
+        assert_eq!(a.program(), b.program(), "{}", model.name());
+    }
+}

@@ -1,0 +1,107 @@
+//! Scale test: a synthetic model an order of magnitude larger than the
+//! benchmarks still validates, compiles, matches the interpreter, and
+//! fuzzes — guarding against accidental quadratic blow-ups in scheduling,
+//! type resolution, or instrumentation.
+
+use cftcg::codegen::{compile, Executor};
+use cftcg::coverage::NullRecorder;
+use cftcg::model::{BlockKind, DataType, InputSign, Model, ModelBuilder, RelOp, Value};
+use cftcg::sim::Simulator;
+
+/// Builds a model with `chains` parallel processing chains of `depth`
+/// blocks each, cross-coupled through a shared accumulator.
+fn big_model(chains: usize, depth: usize) -> Model {
+    let mut b = ModelBuilder::new("big");
+    let mut chain_ends = Vec::new();
+    for c in 0..chains {
+        let u = b.inport(format!("u{c}"), DataType::F64);
+        let mut prev = u;
+        for d in 0..depth {
+            let blk = match d % 6 {
+                0 => b.add(format!("g{c}_{d}"), BlockKind::Gain { gain: 1.01 }),
+                1 => b.add(format!("b{c}_{d}"), BlockKind::Bias { bias: -0.5 }),
+                2 => b.add(
+                    format!("s{c}_{d}"),
+                    BlockKind::Saturation { lower: -1e6, upper: 1e6 },
+                ),
+                3 => b.add(
+                    format!("d{c}_{d}"),
+                    BlockKind::UnitDelay { initial: Value::F64(0.0) },
+                ),
+                4 => b.add(format!("a{c}_{d}"), BlockKind::Abs),
+                _ => b.add(
+                    format!("q{c}_{d}"),
+                    BlockKind::Quantizer { interval: 0.25 },
+                ),
+            };
+            b.wire(prev, blk);
+            prev = blk;
+        }
+        chain_ends.push(prev);
+    }
+    let total = b.add(
+        "total",
+        BlockKind::Sum { signs: vec![InputSign::Plus; chains] },
+    );
+    for (i, &end) in chain_ends.iter().enumerate() {
+        b.connect(end, 0, total, i);
+    }
+    let hot = b.add("hot", BlockKind::Compare { op: RelOp::Gt, constant: 100.0 });
+    b.wire(total, hot);
+    let y = b.outport("y");
+    let alarm = b.outport("alarm");
+    b.wire(total, y);
+    b.wire(hot, alarm);
+    b.finish().expect("big model validates")
+}
+
+#[test]
+fn large_model_compiles_and_stays_equivalent() {
+    let model = big_model(12, 40); // ~500 blocks
+    assert!(model.total_block_count() > 480);
+    let compiled = compile(&model).expect("compiles");
+    let mut sim = Simulator::new(&model).expect("simulates");
+    let mut exec = Executor::new(&compiled);
+    let mut rec = NullRecorder;
+    for k in 0..30 {
+        let inputs: Vec<Value> =
+            (0..12).map(|i| Value::F64((k * 7 + i) as f64 / 3.0 - 20.0)).collect();
+        let expected = sim.step(&inputs).unwrap();
+        let actual = exec.step(&inputs, &mut rec);
+        assert_eq!(expected, actual, "diverged at step {k}");
+    }
+}
+
+#[test]
+fn large_model_fuzzes_to_full_coverage_quickly() {
+    let model = big_model(6, 20);
+    let tool = cftcg::Cftcg::new(&model).expect("compiles");
+    let generation = tool.generate_executions(2_000, 1);
+    let report = tool.score(&generation);
+    // Each chain's second and third saturations sit downstream of an `Abs`,
+    // so their lower-limit clip branches are structurally unreachable:
+    // 2 unreachable branches × 6 chains = 12. Everything reachable must be
+    // covered.
+    let unreachable = 12;
+    assert_eq!(
+        report.decision.covered,
+        report.decision.total - unreachable,
+        "expected full reachable coverage, got {}",
+        report.decision
+    );
+}
+
+#[test]
+fn deterministic_suites_on_a_benchmark_model() {
+    let model = cftcg::benchmarks::tcp::model();
+    let tool = cftcg::Cftcg::new(&model).expect("compiles");
+    let a = tool.generate_executions(600, 77);
+    let b = tool.generate_executions(600, 77);
+    assert_eq!(a.suite, b.suite, "same seed must give byte-identical suites");
+    assert_eq!(a.iterations, b.iterations);
+    let c = tool.generate_executions(600, 78);
+    assert!(
+        a.suite != c.suite || a.iterations != c.iterations,
+        "different seeds should explore differently"
+    );
+}
