@@ -13,9 +13,14 @@ fn main() {
     for name in ["TWC", "UTPC", "SolarPV", "CPUTask"] {
         let model = cftcg_benchmarks::by_name(name).unwrap();
         let compiled = compile(&model).unwrap();
-        let g = simcotest::generate(&model, &simcotest::SimCoTestConfig {
-            budget: Duration::from_secs(15), seed: 0, ..Default::default()
-        });
+        let g = simcotest::generate(
+            &model,
+            &simcotest::SimCoTestConfig {
+                budget: Duration::from_secs(15),
+                seed: 0,
+                ..Default::default()
+            },
+        );
         let r = replay_suite(&compiled, &g.suite);
         println!("{name}: {r}  ({})", g.notes);
     }

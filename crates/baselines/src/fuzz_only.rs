@@ -88,16 +88,12 @@ mod tests {
     #[test]
     fn fuzz_only_lags_cftcg_on_boolean_logic() {
         let compiled = boolean_model();
-        let ablated = generate(
-            &compiled,
-            &FuzzOnlyConfig { seed: 4, budget: Duration::from_millis(100) },
-        );
+        let ablated =
+            generate(&compiled, &FuzzOnlyConfig { seed: 4, budget: Duration::from_millis(100) });
         let ablated_report = replay_suite(&compiled, &ablated.suite);
 
-        let mut cftcg = Fuzzer::new(
-            &compiled,
-            cftcg_fuzz::FuzzConfig { seed: 4, ..Default::default() },
-        );
+        let mut cftcg =
+            Fuzzer::new(&compiled, cftcg_fuzz::FuzzConfig { seed: 4, ..Default::default() });
         let full = cftcg.run_for(Duration::from_millis(100));
         let full_report = replay_suite(&compiled, &full.suite);
 

@@ -46,16 +46,10 @@ impl Default for HybridConfig {
 pub fn generate(model: &Model, compiled: &CompiledModel, config: &HybridConfig) -> Generation {
     let started = Instant::now();
     let solve_budget = config.budget.mul_f64(config.solve_fraction.clamp(0.0, 0.9));
-    let solving = sldv::generate(
-        model,
-        compiled,
-        &SldvConfig { budget: solve_budget, ..Default::default() },
-    );
+    let solving =
+        sldv::generate(model, compiled, &SldvConfig { budget: solve_budget, ..Default::default() });
 
-    let mut fuzzer = Fuzzer::new(
-        compiled,
-        FuzzConfig { seed: config.seed, ..config.fuzz.clone() },
-    );
+    let mut fuzzer = Fuzzer::new(compiled, FuzzConfig { seed: config.seed, ..config.fuzz.clone() });
     for case in &solving.suite {
         fuzzer.add_seed(case.bytes.clone());
     }
@@ -105,7 +99,12 @@ mod tests {
         // gate signal is non-negative) and stays uncovered by design.
         let count = b.add(
             "count",
-            BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(20.0) },
+            BlockKind::DiscreteIntegrator {
+                gain: 1.0,
+                initial: 0.0,
+                lower: Some(0.0),
+                upper: Some(20.0),
+            },
         );
         b.wire(gate_f, count);
         let iff = b.add(
@@ -133,11 +132,8 @@ mod tests {
     fn hybrid_reaches_gated_deep_state() {
         let model = gated_counter_model();
         let compiled = compile(&model).unwrap();
-        let config = HybridConfig {
-            seed: 5,
-            budget: Duration::from_millis(1_000),
-            ..Default::default()
-        };
+        let config =
+            HybridConfig { seed: 5, budget: Duration::from_millis(1_000), ..Default::default() };
         let generation = generate(&model, &compiled, &config);
         let report = replay_suite(&compiled, &generation.suite);
         // Everything except the structurally unreachable lower clip.
@@ -158,10 +154,7 @@ mod tests {
         assert_eq!(fuzzer.covered_branches(), 0);
         // A hand-built satisfying seed: 6 gated tuples.
         let layout = compiled.layout();
-        let tuple = layout.encode(&[
-            cftcg_model::Value::I32(37),
-            cftcg_model::Value::I32(91),
-        ]);
+        let tuple = layout.encode(&[cftcg_model::Value::I32(37), cftcg_model::Value::I32(91)]);
         let mut bytes = Vec::new();
         for _ in 0..8 {
             bytes.extend_from_slice(&tuple);

@@ -13,7 +13,6 @@
 use cftcg_model::expr::Expr;
 use cftcg_model::{BlockKind, Model, PortRef, SwitchCriterion};
 
-
 /// Per-top-level-inport constant sets: `result[i]` holds the constants from
 /// constraints influenced by inport `i`.
 pub fn relevant_constants(model: &Model) -> Vec<Vec<f64>> {
@@ -76,9 +75,7 @@ fn taint_model(model: &Model, input_taints: &[u64], attr: &mut [Vec<f64>]) {
         for b in 0..n {
             let kind = model.blocks()[b].kind();
             let new: u64 = match kind {
-                BlockKind::Inport { index, .. } => {
-                    input_taints.get(*index).copied().unwrap_or(0)
-                }
+                BlockKind::Inport { index, .. } => input_taints.get(*index).copied().unwrap_or(0),
                 BlockKind::Constant { .. } | BlockKind::Ground { .. } => 0,
                 _ => all_in(&taints, b),
             };
@@ -138,9 +135,7 @@ fn taint_model(model: &Model, input_taints: &[u64], attr: &mut [Vec<f64>]) {
                     // feeding the `u<i>` variables it references.
                     let mut mask = 0;
                     for var in cond.free_vars() {
-                        if let Some(i) = var
-                            .strip_prefix('u')
-                            .and_then(|d| d.parse::<usize>().ok())
+                        if let Some(i) = var.strip_prefix('u').and_then(|d| d.parse::<usize>().ok())
                         {
                             if i >= 1 && i <= *num_inputs {
                                 mask |= in_taint(&taints, b, i - 1);
@@ -206,15 +201,13 @@ fn taint_model(model: &Model, input_taints: &[u64], attr: &mut [Vec<f64>]) {
             BlockKind::ActionSubsystem { model: inner }
             | BlockKind::EnabledSubsystem { model: inner }
             | BlockKind::TriggeredSubsystem { model: inner, .. } => {
-                let inner_taints: Vec<u64> = (0..inner.num_inports())
-                    .map(|i| in_taint(&taints, b, 1 + i))
-                    .collect();
+                let inner_taints: Vec<u64> =
+                    (0..inner.num_inports()).map(|i| in_taint(&taints, b, 1 + i)).collect();
                 taint_model(inner, &inner_taints, attr);
             }
             BlockKind::Subsystem { model: inner } => {
-                let inner_taints: Vec<u64> = (0..inner.num_inports())
-                    .map(|i| in_taint(&taints, b, i))
-                    .collect();
+                let inner_taints: Vec<u64> =
+                    (0..inner.num_inports()).map(|i| in_taint(&taints, b, i)).collect();
                 taint_model(inner, &inner_taints, attr);
             }
             _ => {}
@@ -284,10 +277,7 @@ pub fn suggested_input_ranges(model: &Model) -> Vec<cftcg_fuzz::FieldRange> {
                 }
                 _ => (dtype.min_f64(), dtype.max_f64()),
             };
-            cftcg_fuzz::FieldRange::new(
-                lo.max(dtype.min_f64()),
-                hi.min(dtype.max_f64()),
-            )
+            cftcg_fuzz::FieldRange::new(lo.max(dtype.min_f64()), hi.min(dtype.max_f64()))
         })
         .collect()
 }
@@ -364,9 +354,6 @@ mod tests {
         let power = &attr[1];
         assert!(power.contains(&100.0), "Power must know the charging threshold");
         assert!(power.contains(&4500.0), "Power must know the fault threshold");
-        assert!(
-            !panel_id.contains(&4500.0),
-            "the fault threshold is not in PanelID's cone"
-        );
+        assert!(!panel_id.contains(&4500.0), "the fault threshold is not in PanelID's cone");
     }
 }

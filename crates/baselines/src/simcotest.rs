@@ -116,13 +116,9 @@ pub fn generate(model: &Model, config: &SimCoTestConfig) -> Generation {
         for (s, &f) in scale.iter_mut().zip(&features) {
             *s = s.max(f.abs()).max(1e-12);
         }
-        let normalized: Vec<f64> =
-            features.iter().zip(&scale).map(|(&f, &s)| f / s).collect();
+        let normalized: Vec<f64> = features.iter().zip(&scale).map(|(&f, &s)| f / s).collect();
         let novel = archive.is_empty()
-            || archive
-                .iter()
-                .map(|a| distance(a, &normalized))
-                .fold(f64::INFINITY, f64::min)
+            || archive.iter().map(|a| distance(a, &normalized)).fold(f64::INFINITY, f64::min)
                 > config.novelty_threshold;
         if novel {
             archive.push(normalized);
@@ -148,9 +144,7 @@ fn sample_signal(rng: &mut SmallRng, model: &Model, len: usize) -> Vec<Vec<Value
     for (_, _, dtype) in &inports {
         columns.push(sample_column(rng, *dtype, len));
     }
-    (0..len)
-        .map(|k| columns.iter().map(|col| col[k]).collect())
-        .collect()
+    (0..len).map(|k| columns.iter().map(|col| col[k]).collect()).collect()
 }
 
 fn sample_column(rng: &mut SmallRng, dtype: DataType, len: usize) -> Vec<Value> {
@@ -292,18 +286,24 @@ mod tests {
     #[test]
     fn engine_overhead_reduces_throughput() {
         let model = small_model();
-        let fast = generate(&model, &SimCoTestConfig {
-            budget: Duration::from_millis(120),
-            seed: 3,
-            engine_overhead_spins: 0,
-            ..Default::default()
-        });
-        let slow = generate(&model, &SimCoTestConfig {
-            budget: Duration::from_millis(120),
-            seed: 3,
-            engine_overhead_spins: 20_000,
-            ..Default::default()
-        });
+        let fast = generate(
+            &model,
+            &SimCoTestConfig {
+                budget: Duration::from_millis(120),
+                seed: 3,
+                engine_overhead_spins: 0,
+                ..Default::default()
+            },
+        );
+        let slow = generate(
+            &model,
+            &SimCoTestConfig {
+                budget: Duration::from_millis(120),
+                seed: 3,
+                engine_overhead_spins: 20_000,
+                ..Default::default()
+            },
+        );
         assert!(
             slow.iterations_per_second() < fast.iterations_per_second() / 2.0,
             "throttle must bite: {} vs {}",

@@ -90,10 +90,8 @@ pub fn generate(model: &Model, compiled: &CompiledModel, config: &SldvConfig) ->
         for &node in &frontier {
             for (ti, tuple) in candidates.iter().enumerate() {
                 if started.elapsed() >= config.budget {
-                    generation.notes = format!(
-                        "time budget exhausted after {} states",
-                        states.len()
-                    );
+                    generation.notes =
+                        format!("time budget exhausted after {} states", states.len());
                     break 'search;
                 }
                 exec.set_state(&states[node]);
@@ -138,11 +136,8 @@ pub fn generate(model: &Model, compiled: &CompiledModel, config: &SldvConfig) ->
         frontier = next_frontier;
     }
     if generation.notes.is_empty() {
-        generation.notes = format!(
-            "search complete: {} states, depth ≤ {}",
-            states.len(),
-            config.max_depth
-        );
+        generation.notes =
+            format!("search complete: {} states, depth ≤ {}", states.len(), config.max_depth);
     }
     generation.elapsed = started.elapsed();
     generation
@@ -156,11 +151,7 @@ fn state_bits(state: &[f64]) -> Vec<u64> {
     state.iter().map(|x| x.to_bits()).collect()
 }
 
-fn prefix_bytes(
-    parents: &[(usize, usize)],
-    candidates: &[Vec<u8>],
-    mut node: usize,
-) -> Vec<u8> {
+fn prefix_bytes(parents: &[(usize, usize)], candidates: &[Vec<u8>], mut node: usize) -> Vec<u8> {
     let mut tuples_rev = Vec::new();
     while parents[node].0 != usize::MAX {
         let (parent, ti) = parents[node];
@@ -390,8 +381,7 @@ fn candidate_tuples(model: &Model, compiled: &CompiledModel, cap: usize) -> Vec<
     let mut seen: HashSet<Vec<u8>> = HashSet::new();
     let mut index = vec![0usize; nf];
     'cross: loop {
-        let tuple: Vec<Value> =
-            index.iter().zip(&reduced).map(|(&i, vals)| vals[i]).collect();
+        let tuple: Vec<Value> = index.iter().zip(&reduced).map(|(&i, vals)| vals[i]).collect();
         let bytes = layout.encode(&tuple);
         if seen.insert(bytes.clone()) {
             tuples.push(bytes);
@@ -410,8 +400,7 @@ fn candidate_tuples(model: &Model, compiled: &CompiledModel, cap: usize) -> Vec<
         }
     }
     // Single-field probes over the full candidate sets.
-    let zero_tuple: Vec<Value> =
-        layout.fields().iter().map(|f| f.dtype.zero()).collect();
+    let zero_tuple: Vec<Value> = layout.fields().iter().map(|f| f.dtype.zero()).collect();
     for (fi, vals) in per_field.iter().enumerate() {
         for v in vals {
             let mut tuple = zero_tuple.clone();

@@ -30,7 +30,12 @@ fn mixed_model() -> Model {
     b.feed(mode_f, func, 1);
     let integ = b.add(
         "integ",
-        BlockKind::DiscreteIntegrator { gain: 0.5, initial: 0.0, lower: Some(0.0), upper: Some(40.0) },
+        BlockKind::DiscreteIntegrator {
+            gain: 0.5,
+            initial: 0.0,
+            lower: Some(0.0),
+            upper: Some(40.0),
+        },
     );
     b.wire(func, integ);
     let over = b.add("over", BlockKind::Compare { op: RelOp::Ge, constant: 39.0 });
@@ -60,10 +65,7 @@ fn check_suite(compiled: &cftcg_codegen::CompiledModel, suite: &[cftcg_codegen::
         cftcg_codegen::replay_case(compiled, case, &mut total);
     }
     let report = replay_suite(compiled, suite);
-    assert_eq!(
-        report.decision.covered,
-        total.branch_hits().iter().filter(|&&h| h).count(),
-    );
+    assert_eq!(report.decision.covered, total.branch_hits().iter().filter(|&&h| h).count(),);
 }
 
 #[test]
@@ -182,11 +184,8 @@ fn generation_case_times_are_monotone_for_every_tool() {
 fn solver_respects_iteration_depth_in_witness_length() {
     let model = mixed_model();
     let compiled = compile(&model).unwrap();
-    let config = sldv::SldvConfig {
-        max_depth: 3,
-        budget: Duration::from_millis(500),
-        ..Default::default()
-    };
+    let config =
+        sldv::SldvConfig { max_depth: 3, budget: Duration::from_millis(500), ..Default::default() };
     let generation = sldv::generate(&model, &compiled, &config);
     let tuple = compiled.layout().tuple_size();
     for case in &generation.suite {

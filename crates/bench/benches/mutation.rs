@@ -10,10 +10,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn solar_layout() -> TupleLayout {
-    compile(&cftcg_benchmarks::solar_pv::model())
-        .expect("solar pv compiles")
-        .layout()
-        .clone()
+    compile(&cftcg_benchmarks::solar_pv::model()).expect("solar pv compiles").layout().clone()
 }
 
 fn bench_strategies(c: &mut Criterion) {

@@ -11,11 +11,7 @@ use cftcg_model::{DataType, Value};
 use cftcg_sim::Simulator;
 
 fn input_for(types: &[DataType]) -> Vec<Value> {
-    types
-        .iter()
-        .enumerate()
-        .map(|(i, ty)| Value::from_f64((i as f64 + 1.0) * 7.0, *ty))
-        .collect()
+    types.iter().enumerate().map(|(i, ty)| Value::from_f64((i as f64 + 1.0) * 7.0, *ty)).collect()
 }
 
 fn bench_step(c: &mut Criterion) {
@@ -28,6 +24,16 @@ fn bench_step(c: &mut Criterion) {
         let mut rec = NullRecorder;
         group.bench_function("compiled", |b| {
             b.iter(|| black_box(exec.step(black_box(&inputs), &mut rec)));
+        });
+
+        let mut exec = Executor::new(&compiled);
+        let mut rec = NullRecorder;
+        let mut out = Vec::new();
+        group.bench_function("compiled(step_into)", |b| {
+            b.iter(|| {
+                exec.step_into(black_box(&inputs), &mut out, &mut rec);
+                black_box(&out);
+            });
         });
 
         let mut exec = Executor::new(&compiled);

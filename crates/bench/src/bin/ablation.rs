@@ -31,13 +31,8 @@ fn main() {
             c
         }),
     ];
-    println!(
-        "Ablation ({budget:?} per variant per model, {repeats} seeds averaged)\n"
-    );
-    println!(
-        "{:<9} {:<18} {:>6} {:>6} {:>6}",
-        "Model", "Variant", "DC%", "CC%", "MCDC%"
-    );
+    println!("Ablation ({budget:?} per variant per model, {repeats} seeds averaged)\n");
+    println!("{:<9} {:<18} {:>6} {:>6} {:>6}", "Model", "Variant", "DC%", "CC%", "MCDC%");
     for (model, compiled) in cftcg_bench::compiled_benchmarks() {
         let ranges = suggested_input_ranges(&model);
         // The named ablations plus the §5 extension (derived input ranges).
@@ -52,9 +47,7 @@ fn main() {
         }
         rows.push((
             "§5: derived ranges".to_string(),
-            Cftcg::new(&model)
-                .expect("benchmark compiles")
-                .with_input_ranges(ranges),
+            Cftcg::new(&model).expect("benchmark compiles").with_input_ranges(ranges),
         ));
         for (i, (name, tool)) in rows.iter().enumerate() {
             let mut acc = (0.0, 0.0, 0.0);

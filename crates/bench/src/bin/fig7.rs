@@ -2,15 +2,19 @@
 //! (s) for SLDV, SimCoTest, and CFTCG on each benchmark model, as CSV
 //! series (one stanza per model) plus a coarse ASCII sparkline.
 //!
+//! Pass `--workers N` (or set `CFTCG_WORKERS`) to run the CFTCG series
+//! with the sharded parallel engine; the baselines stay sequential.
+//!
 //! ```sh
 //! CFTCG_BUDGET_MS=3000 cargo run --release -p cftcg-bench --bin fig7
 //! ```
 
 use cftcg_baselines::coverage_series;
-use cftcg_bench::{run_tool, Tool};
+use cftcg_bench::{run_tool_with_workers, Tool};
 
 fn main() {
     let budget = cftcg_bench::budget();
+    let workers = cftcg_bench::workers();
     let tools = [Tool::Sldv, Tool::SimCoTest, Tool::Cftcg];
     for (model, compiled) in cftcg_bench::compiled_benchmarks() {
         let branch_count = compiled.map().branch_count() as f64;
@@ -18,7 +22,7 @@ fn main() {
         println!("tool,time_s,decision_coverage_pct");
         let mut finals = Vec::new();
         for tool in tools {
-            let generation = run_tool(tool, &model, &compiled, budget, 0);
+            let generation = run_tool_with_workers(tool, &model, &compiled, budget, 0, workers);
             let series = coverage_series(&compiled, &generation);
             for (at, covered) in &series {
                 println!(

@@ -11,9 +11,7 @@ use cftcg_bench::{averaged_coverage, Tool};
 fn main() {
     let budget = cftcg_bench::budget();
     let repeats = cftcg_bench::repeats();
-    println!(
-        "Figure 8: CFTCG vs Fuzz Only ({budget:?} per tool per model, {repeats} repeats)\n"
-    );
+    println!("Figure 8: CFTCG vs Fuzz Only ({budget:?} per tool per model, {repeats} repeats)\n");
     println!(
         "{:<9} {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
         "Model", "DC cftcg", "DC fuzz", "CC cftcg", "CC fuzz", "MCDC cftcg", "MCDC fuzz"

@@ -7,6 +7,10 @@
 //! * "its memory usage exceeded 12 GB" — we report the SLDV-like search's
 //!   state-space growth against its budget.
 //!
+//! It also sweeps the sharded parallel engine over worker counts and
+//! writes the machine-readable `results/BENCH_parallel.json` (workers vs
+//! iterations/s, with the host's core count for context).
+//!
 //! ```sh
 //! cargo run --release -p cftcg-bench --bin speed
 //! ```
@@ -51,7 +55,10 @@ fn main() {
 
     println!("SolarPV iteration throughput:");
     println!("  compiled fuzzing loop : {fuzz_rate:>12.0} iterations/s");
-    println!("  interpreter (raw)     : {raw_rate:>12.0} iterations/s  (×{:.0} slower)", fuzz_rate / raw_rate);
+    println!(
+        "  interpreter (raw)     : {raw_rate:>12.0} iterations/s  (×{:.0} slower)",
+        fuzz_rate / raw_rate
+    );
     println!(
         "  interpreter (modelled): {modeled_rate:>12.0} iterations/s  (×{:.0} slower)",
         fuzz_rate / modeled_rate
@@ -82,4 +89,62 @@ fn main() {
         "  (the paper observed SLDV exceeding 12 GB on this model; the \
          explicit frontier grows the same way until its budget trips)"
     );
+
+    parallel_sweep(&tool, budget);
+}
+
+/// Sweeps the sharded parallel engine over worker counts on SolarPV and
+/// writes `results/BENCH_parallel.json`. Numbers are honest wall-clock
+/// measurements on this host — on a single-core machine the extra workers
+/// time-slice one core and the sweep shows it (see `cores` in the JSON).
+fn parallel_sweep(tool: &Cftcg, budget: Duration) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_workers = cftcg_bench::workers().max(4);
+    let mut counts = vec![1usize, 2, 4];
+    while counts.last().copied().unwrap_or(0) * 2 <= max_workers {
+        counts.push(counts.last().unwrap() * 2);
+    }
+    counts.dedup();
+
+    println!("\nSharded parallel fuzzing on SolarPV ({cores} core(s) available):");
+    let mut rows = Vec::new();
+    for &workers in &counts {
+        let started = Instant::now();
+        let generation = if workers == 1 {
+            tool.generate(budget, 0)
+        } else {
+            tool.generate_parallel(budget, 0, workers)
+        };
+        let elapsed = started.elapsed().as_secs_f64();
+        let rate = generation.iterations_per_second();
+        let execs_per_sec = generation.executions as f64 / elapsed.max(1e-9);
+        let covered = tool.score(&generation).decision.covered;
+        println!("  workers {workers:>2}: {rate:>12.0} iterations/s  ({covered} covered)");
+        rows.push((workers, rate, execs_per_sec, covered));
+    }
+
+    let base = rows.first().map_or(1.0, |r| r.1).max(1e-9);
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(workers, rate, execs, covered)| {
+            format!(
+                "    {{\"workers\": {workers}, \"iterations_per_sec\": {rate:.1}, \
+                 \"executions_per_sec\": {execs:.1}, \"covered_branches\": {covered}, \
+                 \"speedup_vs_1\": {:.3}}}",
+                rate / base
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"model\": \"SolarPV\",\n  \"cores\": {cores},\n  \
+         \"budget_ms\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        budget.as_millis(),
+        entries.join(",\n")
+    );
+    let path = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(path);
+    match std::fs::write(path.join("BENCH_parallel.json"), &json) {
+        Ok(()) => println!("  wrote results/BENCH_parallel.json"),
+        Err(e) => eprintln!("  could not write results/BENCH_parallel.json: {e}"),
+    }
 }

@@ -16,9 +16,7 @@ use cftcg_bench::{average_improvement, averaged_coverage, paper, Tool};
 fn main() {
     let budget = cftcg_bench::budget();
     let repeats = cftcg_bench::repeats();
-    println!(
-        "Table 3: coverage comparison ({budget:?} per tool per model, {repeats} repeats)\n"
-    );
+    println!("Table 3: coverage comparison ({budget:?} per tool per model, {repeats} repeats)\n");
     println!(
         "{:<9} {:<10} {:>5} {:>5} {:>5}   paper: {:>5} {:>5} {:>5}",
         "Model", "Tool", "DC%", "CC%", "MCDC%", "DC%", "CC%", "MCDC%"

@@ -30,10 +30,7 @@ pub mod paper;
 
 /// Wall-clock budget per tool per model, from `CFTCG_BUDGET_MS` (ms).
 pub fn budget() -> Duration {
-    let ms = std::env::var("CFTCG_BUDGET_MS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3_000);
+    let ms = std::env::var("CFTCG_BUDGET_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(3_000);
     Duration::from_millis(ms)
 }
 
@@ -41,6 +38,30 @@ pub fn budget() -> Duration {
 /// `CFTCG_REPEATS` (the paper repeats 10×).
 pub fn repeats() -> u64 {
     std::env::var("CFTCG_REPEATS").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
+}
+
+/// Fuzzing worker count for CFTCG runs: `--workers N` on the command line
+/// wins, then the `CFTCG_WORKERS` environment variable, default 1
+/// (sequential). Zero is clamped to 1.
+pub fn workers() -> usize {
+    let mut argv = std::env::args();
+    let from_argv = loop {
+        match argv.next() {
+            Some(arg) if arg == "--workers" => {
+                break argv.next().and_then(|v| v.parse().ok());
+            }
+            Some(arg) => {
+                if let Some(v) = arg.strip_prefix("--workers=") {
+                    break v.parse().ok();
+                }
+            }
+            None => break None,
+        }
+    };
+    from_argv
+        .or_else(|| std::env::var("CFTCG_WORKERS").ok().and_then(|s| s.parse().ok()))
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// The tools of the Table 3 comparison.
@@ -76,19 +97,34 @@ pub fn run_tool(
     budget: Duration,
     seed: u64,
 ) -> Generation {
+    run_tool_with_workers(tool, model, compiled, budget, seed, 1)
+}
+
+/// Like [`run_tool`], but runs CFTCG with the sharded parallel engine when
+/// `workers > 1`. The baselines are sequential by construction and ignore
+/// the worker count.
+pub fn run_tool_with_workers(
+    tool: Tool,
+    model: &Model,
+    compiled: &CompiledModel,
+    budget: Duration,
+    seed: u64,
+    workers: usize,
+) -> Generation {
+    if tool == Tool::Cftcg && workers > 1 {
+        return Cftcg::new(model)
+            .expect("benchmark model compiles")
+            .generate_parallel(budget, seed, workers);
+    }
     match tool {
-        Tool::Sldv => sldv::generate(
-            model,
-            compiled,
-            &sldv::SldvConfig { budget, ..Default::default() },
-        ),
+        Tool::Sldv => {
+            sldv::generate(model, compiled, &sldv::SldvConfig { budget, ..Default::default() })
+        }
         Tool::SimCoTest => simcotest::generate(
             model,
             &simcotest::SimCoTestConfig { budget, seed, ..Default::default() },
         ),
-        Tool::Cftcg => Cftcg::new(model)
-            .expect("benchmark model compiles")
-            .generate(budget, seed),
+        Tool::Cftcg => Cftcg::new(model).expect("benchmark model compiles").generate(budget, seed),
         Tool::FuzzOnly => {
             fuzz_only::generate(compiled, &fuzz_only::FuzzOnlyConfig { budget, seed })
         }
@@ -175,5 +211,6 @@ mod tests {
     fn env_defaults() {
         assert!(budget() >= Duration::from_millis(1));
         assert!(repeats() >= 1);
+        assert!(workers() >= 1);
     }
 }

@@ -34,12 +34,7 @@ pub const TABLE2: [Table2Row; 8] = [
         branches: 146,
         blocks: 330,
     },
-    Table2Row {
-        model: "RAC",
-        functionality: "Robotic arm controller",
-        branches: 179,
-        blocks: 667,
-    },
+    Table2Row { model: "RAC", functionality: "Robotic arm controller", branches: 179, blocks: 667 },
     Table2Row {
         model: "EVCS",
         functionality: "Electric vehicle charging system",
@@ -169,9 +164,6 @@ mod tests {
         let mcdc: Vec<f64> = TABLE3.iter().map(|r| r.cftcg.2).collect();
         let mcdc_sim: Vec<f64> = TABLE3.iter().map(|r| r.simcotest.2).collect();
         let imp = crate::average_improvement(&mcdc, &mcdc_sim);
-        assert!(
-            (imp - IMPROVEMENT_VS_SIMCOTEST.2).abs() < 25.0,
-            "MCDC vs SimCoTest: {imp}"
-        );
+        assert!((imp - IMPROVEMENT_VS_SIMCOTEST.2).abs() < 25.0, "MCDC vs SimCoTest: {imp}");
     }
 }

@@ -32,26 +32,28 @@ pub fn model() -> Model {
     b.feed(temp, temp_f, 0);
 
     // Base fuel map (injector ms ×100) over RPM × throttle.
-    let base_map = b.add("base_map", BlockKind::Lookup2D {
-        row_breaks: vec![500.0, 1500.0, 3000.0, 5000.0, 7000.0],
-        col_breaks: vec![0.0, 25.0, 50.0, 75.0, 100.0],
-        values: vec![
-            vec![120.0, 180.0, 260.0, 340.0, 400.0],
-            vec![140.0, 220.0, 320.0, 420.0, 500.0],
-            vec![160.0, 260.0, 380.0, 520.0, 640.0],
-            vec![180.0, 300.0, 460.0, 640.0, 800.0],
-            vec![200.0, 340.0, 540.0, 760.0, 960.0],
-        ],
-    });
+    let base_map = b.add(
+        "base_map",
+        BlockKind::Lookup2D {
+            row_breaks: vec![500.0, 1500.0, 3000.0, 5000.0, 7000.0],
+            col_breaks: vec![0.0, 25.0, 50.0, 75.0, 100.0],
+            values: vec![
+                vec![120.0, 180.0, 260.0, 340.0, 400.0],
+                vec![140.0, 220.0, 320.0, 420.0, 500.0],
+                vec![160.0, 260.0, 380.0, 520.0, 640.0],
+                vec![180.0, 300.0, 460.0, 640.0, 800.0],
+                vec![200.0, 340.0, 540.0, 760.0, 960.0],
+            ],
+        },
+    );
     b.feed(rpm_f, base_map, 0);
     b.feed(thr_f, base_map, 1);
 
     // Transient enrichment: positive throttle derivative adds fuel.
     let thr_prev = b.add("thr_prev", BlockKind::UnitDelay { initial: Value::F64(0.0) });
     b.wire(thr_f, thr_prev);
-    let thr_rate = b.add("thr_rate", BlockKind::Sum {
-        signs: vec![InputSign::Plus, InputSign::Minus],
-    });
+    let thr_rate =
+        b.add("thr_rate", BlockKind::Sum { signs: vec![InputSign::Plus, InputSign::Minus] });
     b.feed(thr_f, thr_rate, 0);
     b.feed(thr_prev, thr_rate, 1);
     let pump_zone = b.add("pump_zone", BlockKind::DeadZone { start: -100.0, end: 2.0 });
@@ -82,39 +84,36 @@ pub fn model() -> Model {
     b.feed(warm, closed_loop, 0);
     b.feed(not_wot, closed_loop, 1);
     let zero = b.constant("zero", Value::F64(0.0));
-    let trim_sel = b.add("trim_sel", BlockKind::Switch {
-        criterion: cftcg_model::SwitchCriterion::NotZero,
-    });
+    let trim_sel =
+        b.add("trim_sel", BlockKind::Switch { criterion: cftcg_model::SwitchCriterion::NotZero });
     b.feed(trim, trim_sel, 0);
     b.feed(closed_loop, trim_sel, 1);
     b.feed(zero, trim_sel, 2);
 
     // Cold-start enrichment: scales base fuel up below 20 °C.
-    let cold_curve = b.add("cold_curve", BlockKind::Lookup1D {
-        breakpoints: vec![-40.0, 0.0, 20.0, 60.0],
-        values: vec![1.4, 1.25, 1.1, 1.0],
-    });
+    let cold_curve = b.add(
+        "cold_curve",
+        BlockKind::Lookup1D {
+            breakpoints: vec![-40.0, 0.0, 20.0, 60.0],
+            values: vec![1.4, 1.25, 1.1, 1.0],
+        },
+    );
     b.feed(temp_f, cold_curve, 0);
 
     // Total pulse = base × cold + pump + trim, fuel-cut on over-rev.
-    let enriched = b.add("enriched", BlockKind::Product {
-        ops: vec![ProductOp::Mul; 3],
-    });
+    let enriched = b.add("enriched", BlockKind::Product { ops: vec![ProductOp::Mul; 3] });
     let one = b.constant("one", Value::F64(1.0));
     b.feed(base_map, enriched, 0);
     b.feed(cold_curve, enriched, 1);
     b.feed(one, enriched, 2);
-    let pulse_sum = b.add("pulse_sum", BlockKind::Sum {
-        signs: vec![InputSign::Plus; 3],
-    });
+    let pulse_sum = b.add("pulse_sum", BlockKind::Sum { signs: vec![InputSign::Plus; 3] });
     b.feed(enriched, pulse_sum, 0);
     b.feed(pump_gain, pulse_sum, 1);
     b.feed(trim_sel, pulse_sum, 2);
     let over_rev = b.add("over_rev", BlockKind::Compare { op: RelOp::Gt, constant: 6500.0 });
     b.feed(rpm_f, over_rev, 0);
-    let fuel_cut = b.add("fuel_cut", BlockKind::Switch {
-        criterion: cftcg_model::SwitchCriterion::NotZero,
-    });
+    let fuel_cut =
+        b.add("fuel_cut", BlockKind::Switch { criterion: cftcg_model::SwitchCriterion::NotZero });
     b.feed(zero, fuel_cut, 0);
     b.feed(over_rev, fuel_cut, 1);
     b.feed(pulse_sum, fuel_cut, 2);
@@ -130,9 +129,7 @@ pub fn model() -> Model {
     let lean_i = b.add("lean_i", BlockKind::DataTypeConversion { to: DataType::I32 });
     b.wire(rich, rich_i);
     b.wire(lean, lean_i);
-    let mix = b.add("mix", BlockKind::Sum {
-        signs: vec![InputSign::Plus, InputSign::Minus],
-    });
+    let mix = b.add("mix", BlockKind::Sum { signs: vec![InputSign::Plus, InputSign::Minus] });
     b.feed(rich_i, mix, 0);
     b.feed(lean_i, mix, 1);
 
@@ -232,9 +229,6 @@ mod tests {
     fn compiles_as_the_smallest_model() {
         let compiled = compile(&model()).unwrap();
         let branches = compiled.map().branch_count();
-        assert!(
-            (20..90).contains(&branches),
-            "branch count {branches} out of expected range"
-        );
+        assert!((20..90).contains(&branches), "branch count {branches} out of expected range");
     }
 }

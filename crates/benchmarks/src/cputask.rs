@@ -34,28 +34,24 @@ fn queue_chart() -> Chart {
     chart.outputs.push(("overflowed".into(), DataType::Bool));
     let depth = QUEUE_DEPTH;
     let normal = chart.add_state(
-        State::new("Normal")
-            .with_entry(parse_stmts("overflowed = false;").unwrap())
-            .with_during(
-                parse_stmts(&format!(
-                    "if (flush) {{ len = 0; }} else {{ \
+        State::new("Normal").with_entry(parse_stmts("overflowed = false;").unwrap()).with_during(
+            parse_stmts(&format!(
+                "if (flush) {{ len = 0; }} else {{ \
                        if (submit && len < {depth}) {{ len = len + 1; }} \
                        if (complete && len > 0) {{ len = len - 1; }} }}"
-                ))
-                .unwrap(),
-            ),
+            ))
+            .unwrap(),
+        ),
     );
     let full = chart.add_state(
-        State::new("Full")
-            .with_entry(parse_stmts("overflowed = true;").unwrap())
-            .with_during(
-                parse_stmts(
-                    "if (submit) { dropped = dropped + 1; } \
+        State::new("Full").with_entry(parse_stmts("overflowed = true;").unwrap()).with_during(
+            parse_stmts(
+                "if (submit) { dropped = dropped + 1; } \
                      if (complete && len > 0) { len = len - 1; } \
                      if (flush) { len = 0; }",
-                )
-                .unwrap(),
-            ),
+            )
+            .unwrap(),
+        ),
     );
     chart.initial = normal;
     chart.add_transition(Transition::new(
@@ -85,12 +81,10 @@ fn dispatcher_chart() -> Chart {
     let idle = chart.add_state(
         State::new("Idle").with_entry(parse_stmts("running = 0; run_prio = -1;").unwrap()),
     );
-    let running = chart.add_state(
-        State::new("Running").with_during(parse_stmts("running = running;").unwrap()),
-    );
+    let running = chart
+        .add_state(State::new("Running").with_during(parse_stmts("running = running;").unwrap()));
     let preempted = chart.add_state(
-        State::new("Preempted")
-            .with_entry(parse_stmts("preemptions = preemptions + 1;").unwrap()),
+        State::new("Preempted").with_entry(parse_stmts("preemptions = preemptions + 1;").unwrap()),
     );
     chart.initial = idle;
     chart.add_transition(
@@ -101,9 +95,11 @@ fn dispatcher_chart() -> Chart {
         Transition::new(running, preempted, parse_expr("submit && prio > run_prio").unwrap())
             .with_action(parse_stmts("running = task; run_prio = prio;").unwrap()),
     );
-    chart.add_transition(
-        Transition::new(running, idle, parse_expr("complete && qlen <= 1").unwrap()),
-    );
+    chart.add_transition(Transition::new(
+        running,
+        idle,
+        parse_expr("complete && qlen <= 1").unwrap(),
+    ));
     chart.add_transition(Transition::new(preempted, running, parse_expr("true").unwrap()));
     chart
 }
@@ -193,11 +189,15 @@ pub fn model() -> Model {
     let full_flag = *level_flags.last().expect("levels exist");
     let starve_timer = b.add(
         "starve_timer",
-        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(100.0) },
+        BlockKind::DiscreteIntegrator {
+            gain: 1.0,
+            initial: 0.0,
+            lower: Some(0.0),
+            upper: Some(100.0),
+        },
     );
-    let full_signed = b.add("full_signed", BlockKind::Switch {
-        criterion: cftcg_model::SwitchCriterion::NotZero,
-    });
+    let full_signed = b
+        .add("full_signed", BlockKind::Switch { criterion: cftcg_model::SwitchCriterion::NotZero });
     let one = b.constant("one_c", Value::F64(1.0));
     let neg = b.constant("neg_c", Value::F64(-4.0));
     b.feed(one, full_signed, 0);
@@ -287,9 +287,6 @@ mod tests {
     fn compiles_with_queue_depth_branches() {
         let compiled = compile(&model()).unwrap();
         let branches = compiled.map().branch_count();
-        assert!(
-            (60..250).contains(&branches),
-            "branch count {branches} out of expected range"
-        );
+        assert!((60..250).contains(&branches), "branch count {branches} out of expected range");
     }
 }

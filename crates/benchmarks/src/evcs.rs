@@ -8,8 +8,8 @@
 
 use cftcg_model::expr::{parse_expr, parse_stmts};
 use cftcg_model::{
-    BlockKind, Chart, DataType, LogicOp, Model, ModelBuilder, MinMaxOp, RelOp, State,
-    Transition, Value,
+    BlockKind, Chart, DataType, LogicOp, MinMaxOp, Model, ModelBuilder, RelOp, State, Transition,
+    Value,
 };
 
 /// The charge-session chart.
@@ -25,9 +25,8 @@ fn session_chart() -> Chart {
     chart.outputs.push(("faults".into(), DataType::I32));
     chart.variables.push(("auth_timer".into(), DataType::I32, Value::I32(0)));
 
-    let idle = chart.add_state(
-        State::new("Idle").with_entry(parse_stmts("mode = 0; demand = 0;").unwrap()),
-    );
+    let idle = chart
+        .add_state(State::new("Idle").with_entry(parse_stmts("mode = 0; demand = 0;").unwrap()));
     let auth = chart.add_state(
         State::new("Authenticate")
             .with_entry(parse_stmts("mode = 1; auth_timer = 0;").unwrap())
@@ -77,11 +76,7 @@ fn session_chart() -> Chart {
     ));
     chart.add_transition(Transition::new(precharge, trickle, parse_expr("soc >= 80").unwrap()));
     chart.add_transition(Transition::new(fast, trickle, parse_expr("soc >= 80").unwrap()));
-    chart.add_transition(Transition::new(
-        fast,
-        precharge,
-        parse_expr("!grid_ok").unwrap(),
-    ));
+    chart.add_transition(Transition::new(fast, precharge, parse_expr("!grid_ok").unwrap()));
     chart.add_transition(Transition::new(trickle, complete, parse_expr("soc >= 99").unwrap()));
     chart.add_transition(Transition::new(
         error,
@@ -126,16 +121,18 @@ pub fn model() -> Model {
             upper: Some(150.0),
         },
     );
-    let overtemp_relay = b.add("overtemp", BlockKind::Relay {
-        on_threshold: 90.0,
-        off_threshold: 60.0,
-        on_output: 1.0,
-        off_output: 0.0,
-    });
+    let overtemp_relay = b.add(
+        "overtemp",
+        BlockKind::Relay {
+            on_threshold: 90.0,
+            off_threshold: 60.0,
+            on_output: 1.0,
+            off_output: 0.0,
+        },
+    );
     b.wire(temp, overtemp_relay);
-    let overtemp_bool = b.add("overtemp_bool", BlockKind::DataTypeConversion {
-        to: DataType::Bool,
-    });
+    let overtemp_bool =
+        b.add("overtemp_bool", BlockKind::DataTypeConversion { to: DataType::Bool });
     b.wire(overtemp_relay, overtemp_bool);
 
     let session = b.add("session", BlockKind::Chart { chart: session_chart() });
@@ -146,10 +143,13 @@ pub fn model() -> Model {
     b.feed(grid_ok, session, 4);
 
     // Current limiting: min(demand, SoC-derate curve, grid cap / 4).
-    let soc_limit = b.add("soc_limit", BlockKind::Lookup1D {
-        breakpoints: vec![0.0, 20.0, 50.0, 80.0, 95.0, 100.0],
-        values: vec![40.0, 100.0, 100.0, 60.0, 20.0, 5.0],
-    });
+    let soc_limit = b.add(
+        "soc_limit",
+        BlockKind::Lookup1D {
+            breakpoints: vec![0.0, 20.0, 50.0, 80.0, 95.0, 100.0],
+            values: vec![40.0, 100.0, 100.0, 60.0, 20.0, 5.0],
+        },
+    );
     b.feed(soc_f, soc_limit, 0);
     let grid_f = b.add("grid_f", BlockKind::DataTypeConversion { to: DataType::F64 });
     b.feed(grid, grid_f, 0);
@@ -163,9 +163,10 @@ pub fn model() -> Model {
     b.feed(grid_cap_sat, current, 2);
 
     // Thermal feedback: heating proportional to current minus fixed cooling.
-    let heat = b.add("heat", BlockKind::Sum {
-        signs: vec![cftcg_model::InputSign::Plus, cftcg_model::InputSign::Minus],
-    });
+    let heat = b.add(
+        "heat",
+        BlockKind::Sum { signs: vec![cftcg_model::InputSign::Plus, cftcg_model::InputSign::Minus] },
+    );
     let cooling = b.constant("cooling", Value::F64(8.0));
     b.feed(current, heat, 0);
     b.feed(cooling, heat, 1);
@@ -174,7 +175,12 @@ pub fn model() -> Model {
     // Energy meter.
     let meter = b.add(
         "meter",
-        BlockKind::DiscreteIntegrator { gain: 0.1, initial: 0.0, lower: Some(0.0), upper: Some(1e9) },
+        BlockKind::DiscreteIntegrator {
+            gain: 0.1,
+            initial: 0.0,
+            lower: Some(0.0),
+            upper: Some(1e9),
+        },
     );
     b.feed(current, meter, 0);
 
@@ -293,9 +299,6 @@ mod tests {
     fn compiles_at_expected_scale() {
         let compiled = compile(&model()).unwrap();
         let branches = compiled.map().branch_count();
-        assert!(
-            (50..220).contains(&branches),
-            "branch count {branches} out of expected range"
-        );
+        assert!((50..220).contains(&branches), "branch count {branches} out of expected range");
     }
 }

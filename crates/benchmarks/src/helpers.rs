@@ -9,9 +9,7 @@ pub fn const_action(name: &str, value: Value) -> BlockKind {
     let c = b.add("value", BlockKind::Constant { value });
     let y = b.outport("out");
     b.wire(c, y);
-    BlockKind::ActionSubsystem {
-        model: Box::new(b.finish().expect("const action body validates")),
-    }
+    BlockKind::ActionSubsystem { model: Box::new(b.finish().expect("const action body validates")) }
 }
 
 /// An action subsystem that forwards its single data input unchanged.
@@ -32,10 +30,7 @@ mod tests {
 
     #[test]
     fn helper_bodies_validate() {
-        assert!(matches!(
-            const_action("a", Value::F64(1.0)),
-            BlockKind::ActionSubsystem { .. }
-        ));
+        assert!(matches!(const_action("a", Value::F64(1.0)), BlockKind::ActionSubsystem { .. }));
         assert!(matches!(
             passthrough_action("p", DataType::I32),
             BlockKind::ActionSubsystem { .. }

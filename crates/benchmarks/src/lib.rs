@@ -48,8 +48,7 @@ pub(crate) mod helpers;
 use cftcg_model::Model;
 
 /// Names of all benchmark models, in the paper's Table 2 order.
-pub const NAMES: [&str; 8] =
-    ["CPUTask", "AFC", "TCP", "RAC", "EVCS", "TWC", "UTPC", "SolarPV"];
+pub const NAMES: [&str; 8] = ["CPUTask", "AFC", "TCP", "RAC", "EVCS", "TWC", "UTPC", "SolarPV"];
 
 /// Builds all eight benchmark models, in Table 2 order.
 pub fn all() -> Vec<Model> {
@@ -113,8 +112,8 @@ mod tests {
     fn xml_roundtrip_for_every_benchmark() {
         for model in all() {
             let xml = cftcg_model::save_model(&model);
-            let reloaded = cftcg_model::load_model(&xml)
-                .unwrap_or_else(|e| panic!("{}: {e}", model.name()));
+            let reloaded =
+                cftcg_model::load_model(&xml).unwrap_or_else(|e| panic!("{}: {e}", model.name()));
             assert_eq!(reloaded, model, "{} xml roundtrip", model.name());
         }
     }

@@ -11,8 +11,8 @@
 
 use cftcg_model::expr::{parse_expr, parse_stmts};
 use cftcg_model::{
-    BlockKind, Chart, DataType, InputSign, LogicOp, Model, ModelBuilder, RelOp, State,
-    Transition, Value,
+    BlockKind, Chart, DataType, InputSign, LogicOp, Model, ModelBuilder, RelOp, State, Transition,
+    Value,
 };
 
 /// Travel limits per joint (degrees).
@@ -27,21 +27,17 @@ fn joint_model(k: usize) -> Model {
     let speed = b.inport("speed", DataType::F64);
 
     // Servo error with a small dead zone.
-    let err = b.add("err", BlockKind::Sum {
-        signs: vec![InputSign::Plus, InputSign::Minus],
-    });
+    let err = b.add("err", BlockKind::Sum { signs: vec![InputSign::Plus, InputSign::Minus] });
     let dz = b.add("err_dz", BlockKind::DeadZone { start: -0.5, end: 0.5 });
     let p_gain = b.add("p_gain", BlockKind::Gain { gain: 0.4 });
     // Speed-scaled command saturation.
     let cmd_sat = b.add("cmd_sat", BlockKind::Saturation { lower: -10.0, upper: 10.0 });
-    let speed_scale = b.add("speed_scale", BlockKind::Product {
-        ops: vec![cftcg_model::ProductOp::Mul; 3],
-    });
+    let speed_scale =
+        b.add("speed_scale", BlockKind::Product { ops: vec![cftcg_model::ProductOp::Mul; 3] });
     let norm = b.constant("speed_norm", Value::F64(1.0 / 255.0));
     // Enable gate.
-    let gate = b.add("enable_gate", BlockKind::Switch {
-        criterion: cftcg_model::SwitchCriterion::NotZero,
-    });
+    let gate = b
+        .add("enable_gate", BlockKind::Switch { criterion: cftcg_model::SwitchCriterion::NotZero });
     let zero = b.constant("zero", Value::F64(0.0));
     // Slew limit and plant.
     let slew = b.add("slew", BlockKind::RateLimiter { rising: 2.0, falling: 2.0 });
@@ -81,9 +77,7 @@ fn joint_model(k: usize) -> Model {
     // sustained run of steps.
     let pos_prev = b.add("pos_prev", BlockKind::UnitDelay { initial: Value::F64(0.0) });
     b.wire(plant, pos_prev);
-    let vel = b.add("vel", BlockKind::Sum {
-        signs: vec![InputSign::Plus, InputSign::Minus],
-    });
+    let vel = b.add("vel", BlockKind::Sum { signs: vec![InputSign::Plus, InputSign::Minus] });
     b.feed(plant, vel, 0);
     b.feed(pos_prev, vel, 1);
     let abs_vel = b.add("abs_vel", BlockKind::Abs);
@@ -97,9 +91,8 @@ fn joint_model(k: usize) -> Model {
     let stalled = b.add("stalled", BlockKind::Logic { op: LogicOp::And, inputs: 2 });
     b.feed(pushing, stalled, 0);
     b.feed(frozen, stalled, 1);
-    let stall_sig = b.add("stall_sig", BlockKind::Switch {
-        criterion: cftcg_model::SwitchCriterion::NotZero,
-    });
+    let stall_sig =
+        b.add("stall_sig", BlockKind::Switch { criterion: cftcg_model::SwitchCriterion::NotZero });
     let plus_one = b.constant("plus_one", Value::F64(1.0));
     let minus_two = b.constant("minus_two", Value::F64(-2.0));
     b.feed(plus_one, stall_sig, 0);
@@ -107,7 +100,12 @@ fn joint_model(k: usize) -> Model {
     b.feed(minus_two, stall_sig, 2);
     let stall_timer = b.add(
         "stall_timer",
-        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(50.0) },
+        BlockKind::DiscreteIntegrator {
+            gain: 1.0,
+            initial: 0.0,
+            lower: Some(0.0),
+            upper: Some(50.0),
+        },
     );
     b.wire(stall_sig, stall_timer);
     let fault_bool = b.add("fault_bool", BlockKind::Compare { op: RelOp::Ge, constant: 25.0 });
@@ -150,9 +148,8 @@ fn coordinator_chart() -> Chart {
     chart.outputs.push(("cycles".into(), DataType::I32));
     chart.variables.push(("settle".into(), DataType::I32, Value::I32(0)));
 
-    let init = chart.add_state(
-        State::new("Init").with_entry(parse_stmts("phase = 0; grip = false;").unwrap()),
-    );
+    let init = chart
+        .add_state(State::new("Init").with_entry(parse_stmts("phase = 0; grip = false;").unwrap()));
     let mut pose_states = Vec::new();
     for (i, (name, t1, t2, t3, grip)) in POSES.iter().enumerate() {
         let s = chart.add_state(
@@ -196,11 +193,7 @@ fn coordinator_chart() -> Chart {
     );
     // Safety: fault or E-stop from any operating state.
     for &s in std::iter::once(&init).chain(&pose_states) {
-        chart.add_transition(Transition::new(
-            s,
-            estop,
-            parse_expr("estop || any_fault").unwrap(),
-        ));
+        chart.add_transition(Transition::new(s, estop, parse_expr("estop || any_fault").unwrap()));
     }
     chart.add_transition(Transition::new(
         estop,
@@ -285,24 +278,26 @@ pub fn model() -> Model {
     b.feed(reset, coord, 4);
 
     // Gripper cycle counter via edge detection.
-    let grip_edge = b.add("grip_edge", BlockKind::EdgeDetect {
-        kind: cftcg_model::EdgeKind::Rising,
-    });
+    let grip_edge =
+        b.add("grip_edge", BlockKind::EdgeDetect { kind: cftcg_model::EdgeKind::Rising });
     b.connect(coord, 3, grip_edge, 0);
     let grip_f = b.add("grip_f", BlockKind::DataTypeConversion { to: DataType::F64 });
     b.wire(grip_edge, grip_f);
     let grips = b.add(
         "grips",
-        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(1e6) },
+        BlockKind::DiscreteIntegrator {
+            gain: 1.0,
+            initial: 0.0,
+            lower: Some(0.0),
+            upper: Some(1e6),
+        },
     );
     b.wire(grip_f, grips);
 
     // Outputs.
     for (k, &j) in joints.iter().enumerate() {
-        let cast = b.add(
-            format!("pos{}_i16", k + 1),
-            BlockKind::DataTypeConversion { to: DataType::I16 },
-        );
+        let cast =
+            b.add(format!("pos{}_i16", k + 1), BlockKind::DataTypeConversion { to: DataType::I16 });
         b.connect(j, 0, cast, 0);
         let out = b.outport(format!("Pos{}", k + 1));
         b.wire(cast, out);
@@ -410,10 +405,7 @@ mod tests {
         let m = model();
         let compiled = compile(&m).unwrap();
         let branches = compiled.map().branch_count();
-        assert!(
-            (90..350).contains(&branches),
-            "branch count {branches} out of expected range"
-        );
+        assert!((90..350).contains(&branches), "branch count {branches} out of expected range");
         assert!(m.total_block_count() > 100, "RAC should be the largest model");
     }
 }

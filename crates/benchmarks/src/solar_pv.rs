@@ -12,8 +12,8 @@
 
 use cftcg_model::expr::{parse_expr, parse_stmts};
 use cftcg_model::{
-    BlockKind, Chart, DataType, InputSign, LogicOp, Model, ModelBuilder, RelOp, State,
-    Transition, Value,
+    BlockKind, Chart, DataType, InputSign, LogicOp, Model, ModelBuilder, RelOp, State, Transition,
+    Value,
 };
 
 use crate::helpers::const_action;
@@ -29,9 +29,8 @@ fn panel_model(k: usize) -> Model {
     chart.outputs.push(("rate".into(), DataType::F64));
     chart.outputs.push(("status".into(), DataType::I32));
     chart.variables.push(("level".into(), DataType::F64, Value::F64(0.0)));
-    let off = chart.add_state(
-        State::new("Off").with_entry(parse_stmts("status = 0; rate = 0;").unwrap()),
-    );
+    let off = chart
+        .add_state(State::new("Off").with_entry(parse_stmts("status = 0; rate = 0;").unwrap()));
     let charging = chart.add_state(
         State::new("Charging")
             .with_entry(parse_stmts("status = 1;").unwrap())
@@ -42,18 +41,19 @@ fn panel_model(k: usize) -> Model {
             .with_entry(parse_stmts("status = 2; rate = 0;").unwrap())
             .with_during(parse_stmts("level = level - 0.1;").unwrap()),
     );
-    let fault = chart.add_state(
-        State::new("Fault").with_entry(parse_stmts("status = 3; rate = 0;").unwrap()),
-    );
+    let fault = chart
+        .add_state(State::new("Fault").with_entry(parse_stmts("status = 3; rate = 0;").unwrap()));
     chart.initial = off;
     chart.add_transition(Transition::new(off, fault, parse_expr("p < -500").unwrap()));
     chart.add_transition(Transition::new(off, charging, parse_expr("p > 100").unwrap()));
     chart.add_transition(Transition::new(charging, fault, parse_expr("p > 4500").unwrap()));
     chart.add_transition(Transition::new(charging, full, parse_expr("level >= 50").unwrap()));
     chart.add_transition(Transition::new(charging, off, parse_expr("p < 10").unwrap()));
-    chart.add_transition(
-        Transition::new(full, charging, parse_expr("level < 45 && p > 100").unwrap()),
-    );
+    chart.add_transition(Transition::new(
+        full,
+        charging,
+        parse_expr("level < 45 && p > 100").unwrap(),
+    ));
     chart.add_transition(Transition::new(fault, off, parse_expr("p == 0").unwrap()));
 
     let mut b = ModelBuilder::new(format!("Panel{k}"));
@@ -95,14 +95,9 @@ pub fn model() -> Model {
     // Per-panel gating: panel k runs while Enable != 0 and PanelID == k.
     let mut panel_blocks = Vec::new();
     for k in 1..=PANELS {
-        let is_k = b.add(
-            format!("is_panel{k}"),
-            BlockKind::Compare { op: RelOp::Eq, constant: k as f64 },
-        );
-        let gate = b.add(
-            format!("gate{k}"),
-            BlockKind::Logic { op: LogicOp::And, inputs: 2 },
-        );
+        let is_k =
+            b.add(format!("is_panel{k}"), BlockKind::Compare { op: RelOp::Eq, constant: k as f64 });
+        let gate = b.add(format!("gate{k}"), BlockKind::Logic { op: LogicOp::And, inputs: 2 });
         let panel = b.add(
             format!("panel{k}"),
             BlockKind::EnabledSubsystem { model: Box::new(panel_model(k)) },
@@ -228,10 +223,7 @@ mod tests {
     fn compiles_with_substantial_instrumentation() {
         let compiled = compile(&model()).unwrap();
         let branches = compiled.map().branch_count();
-        assert!(
-            (40..200).contains(&branches),
-            "branch count {branches} out of expected range"
-        );
+        assert!((40..200).contains(&branches), "branch count {branches} out of expected range");
         assert!(model().total_block_count() > 50);
     }
 }

@@ -52,8 +52,7 @@ fn connection_chart() -> Chart {
     };
     let closed = add_state("Closed", 0, "");
     let listen = add_state("Listen", 1, "");
-    let syn_sent =
-        add_state("SynSent", 2, "snd_syn = true; retries = retries + 1;");
+    let syn_sent = add_state("SynSent", 2, "snd_syn = true; retries = retries + 1;");
     let syn_rcvd = add_state("SynRcvd", 3, "snd_syn = true; snd_ack = true;");
     let established = add_state("Established", 4, "snd_ack = true;");
     let fin_wait1 = add_state("FinWait1", 5, "snd_fin = true;");
@@ -61,8 +60,7 @@ fn connection_chart() -> Chart {
     let close_wait = add_state("CloseWait", 7, "snd_ack = true;");
     let closing = add_state("Closing", 8, "");
     let last_ack = add_state("LastAck", 9, "snd_fin = true;");
-    let time_wait =
-        add_state("TimeWait", 10, "wait_timer = wait_timer + 1;");
+    let time_wait = add_state("TimeWait", 10, "wait_timer = wait_timer + 1;");
     chart.initial = closed;
 
     let t = |from, to, guard: &str, action: &str| {
@@ -73,27 +71,12 @@ fn connection_chart() -> Chart {
         tr
     };
     // Active/passive open.
-    chart.add_transition(t(
-        closed,
-        syn_sent,
-        "open_cmd",
-        "snd_seq = 100; retries = 0;",
-    ));
+    chart.add_transition(t(closed, syn_sent, "open_cmd", "snd_seq = 100; retries = 0;"));
     chart.add_transition(t(closed, listen, "listen_cmd && !open_cmd", ""));
     // Passive handshake.
-    chart.add_transition(t(
-        listen,
-        syn_rcvd,
-        "syn && !rst",
-        "rcv_seq = seq_in; snd_seq = 100;",
-    ));
+    chart.add_transition(t(listen, syn_rcvd, "syn && !rst", "rcv_seq = seq_in; snd_seq = 100;"));
     chart.add_transition(t(listen, closed, "close_cmd || rst", ""));
-    chart.add_transition(t(
-        syn_rcvd,
-        established,
-        "ack && !syn && ack_in == snd_seq + 1",
-        "",
-    ));
+    chart.add_transition(t(syn_rcvd, established, "ack && !syn && ack_in == snd_seq + 1", ""));
     chart.add_transition(t(syn_rcvd, listen, "rst", "resets = resets + 1;"));
     // Active handshake (simultaneous-open included).
     chart.add_transition(t(
@@ -102,12 +85,7 @@ fn connection_chart() -> Chart {
         "syn && ack && ack_in == snd_seq + 1",
         "rcv_seq = seq_in;",
     ));
-    chart.add_transition(t(
-        syn_sent,
-        syn_rcvd,
-        "syn && !ack",
-        "rcv_seq = seq_in;",
-    ));
+    chart.add_transition(t(syn_sent, syn_rcvd, "syn && !ack", "rcv_seq = seq_in;"));
     chart.add_transition(t(
         syn_sent,
         closed,
@@ -116,49 +94,24 @@ fn connection_chart() -> Chart {
     ));
     // Teardown, both directions.
     chart.add_transition(t(established, fin_wait1, "close_cmd", ""));
-    chart.add_transition(t(
-        established,
-        close_wait,
-        "fin && !rst",
-        "rcv_seq = seq_in;",
-    ));
+    chart.add_transition(t(established, close_wait, "fin && !rst", "rcv_seq = seq_in;"));
     chart.add_transition(t(established, closed, "rst", "resets = resets + 1;"));
-    chart.add_transition(t(
-        fin_wait1,
-        closing,
-        "fin && !ack",
-        "",
-    ));
+    chart.add_transition(t(fin_wait1, closing, "fin && !ack", ""));
     chart.add_transition(t(
         fin_wait1,
         time_wait,
         "fin && ack && ack_in == snd_seq + 1",
         "wait_timer = 0;",
     ));
-    chart.add_transition(t(
-        fin_wait1,
-        fin_wait2,
-        "ack && ack_in == snd_seq + 1",
-        "",
-    ));
+    chart.add_transition(t(fin_wait1, fin_wait2, "ack && ack_in == snd_seq + 1", ""));
     chart.add_transition(t(fin_wait1, closed, "rst", "resets = resets + 1;"));
     chart.add_transition(t(fin_wait2, time_wait, "fin", "wait_timer = 0;"));
     chart.add_transition(t(fin_wait2, closed, "rst", "resets = resets + 1;"));
     chart.add_transition(t(close_wait, last_ack, "close_cmd", ""));
     chart.add_transition(t(close_wait, closed, "rst", "resets = resets + 1;"));
-    chart.add_transition(t(
-        closing,
-        time_wait,
-        "ack && ack_in == snd_seq + 1",
-        "wait_timer = 0;",
-    ));
+    chart.add_transition(t(closing, time_wait, "ack && ack_in == snd_seq + 1", "wait_timer = 0;"));
     chart.add_transition(t(closing, closed, "rst", "resets = resets + 1;"));
-    chart.add_transition(t(
-        last_ack,
-        closed,
-        "ack && ack_in == snd_seq + 1",
-        "",
-    ));
+    chart.add_transition(t(last_ack, closed, "ack && ack_in == snd_seq + 1", ""));
     chart.add_transition(t(last_ack, closed, "rst", "resets = resets + 1;"));
     // 2MSL timer.
     chart.add_transition(t(time_wait, closed, "wait_timer >= 3", ""));
@@ -183,21 +136,14 @@ pub fn model() -> Model {
     let flags_f = b.add("flags_f", BlockKind::DataTypeConversion { to: DataType::F64 });
     b.feed(flags, flags_f, 0);
     let mut bit = |name: &str, bit_value: f64| {
-        let half = b.add(
-            format!("{name}_scale"),
-            BlockKind::Gain { gain: 1.0 / (2.0 * bit_value) },
-        );
-        let frac = b.add(format!("{name}_frac"), BlockKind::Math {
-            func: cftcg_model::MathFunc::Floor,
-        });
-        let odd = b.add(format!("{name}_odd"), BlockKind::Math {
-            func: cftcg_model::MathFunc::Rem,
-        });
+        let half =
+            b.add(format!("{name}_scale"), BlockKind::Gain { gain: 1.0 / (2.0 * bit_value) });
+        let frac =
+            b.add(format!("{name}_frac"), BlockKind::Math { func: cftcg_model::MathFunc::Floor });
+        let odd =
+            b.add(format!("{name}_odd"), BlockKind::Math { func: cftcg_model::MathFunc::Rem });
         let two = b.constant(format!("{name}_two"), Value::F64(2.0));
-        let set = b.add(format!("{name}_set"), BlockKind::Compare {
-            op: RelOp::Ge,
-            constant: 1.0,
-        });
+        let set = b.add(format!("{name}_set"), BlockKind::Compare { op: RelOp::Ge, constant: 1.0 });
         // floor(flags / bit) % 2 >= 1
         let descale = b.add(format!("{name}_descale"), BlockKind::Gain { gain: 2.0 });
         b.feed(flags_f, half, 0);
@@ -227,11 +173,8 @@ pub fn model() -> Model {
     b.feed(ack_in, ack_f, 0);
 
     let conn = b.add("connection", BlockKind::Chart { chart: connection_chart() });
-    for (port, src) in [
-        syn, ack, fin, rst, seq_f, ack_f, open_cmd, listen_cmd, close_cmd,
-    ]
-    .into_iter()
-    .enumerate()
+    for (port, src) in
+        [syn, ack, fin, rst, seq_f, ack_f, open_cmd, listen_cmd, close_cmd].into_iter().enumerate()
     {
         b.connect(src, 0, conn, port);
     }
@@ -252,7 +195,12 @@ pub fn model() -> Model {
     b.feed(rst_syn, malformed, 1);
     let bad_count = b.add(
         "bad_count",
-        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(1e6) },
+        BlockKind::DiscreteIntegrator {
+            gain: 1.0,
+            initial: 0.0,
+            lower: Some(0.0),
+            upper: Some(1e6),
+        },
     );
     let bad_f = b.add("bad_f", BlockKind::DataTypeConversion { to: DataType::F64 });
     b.wire(malformed, bad_f);
@@ -272,10 +220,8 @@ pub fn model() -> Model {
     let w_syn = flag_byte(conn, 1, 1.0, "osyn");
     let w_ack = flag_byte(conn, 2, 2.0, "oack");
     let w_fin = flag_byte(conn, 3, 4.0, "ofin");
-    let flags_sum = b.add(
-        "flags_sum",
-        BlockKind::Sum { signs: vec![cftcg_model::InputSign::Plus; 3] },
-    );
+    let flags_sum =
+        b.add("flags_sum", BlockKind::Sum { signs: vec![cftcg_model::InputSign::Plus; 3] });
     b.feed(w_syn, flags_sum, 0);
     b.feed(w_ack, flags_sum, 1);
     b.feed(w_fin, flags_sum, 2);
@@ -324,7 +270,7 @@ mod tests {
         let mut sim = Simulator::new(&model()).unwrap();
         assert_eq!(state_of(&sim.step(&inputs(0, 0, 0, 2)).unwrap()), 1); // Listen
         assert_eq!(state_of(&sim.step(&inputs(SYN, 500, 0, 0)).unwrap()), 3); // SynRcvd
-        // ACK with the correct acknowledgement number completes it.
+                                                                              // ACK with the correct acknowledgement number completes it.
         let out = sim.step(&inputs(ACK, 501, 101, 0)).unwrap();
         assert_eq!(state_of(&out), 4); // Established
         assert_eq!(out[4], Value::Bool(true));

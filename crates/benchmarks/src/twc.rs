@@ -27,21 +27,18 @@ fn antislip_chart() -> Chart {
     let normal = chart.add_state(
         State::new("Normal")
             .with_entry(
-                parse_stmts("phase = 0; brake_scale = 1; sander = false; slip_timer = 0;")
-                    .unwrap(),
+                parse_stmts("phase = 0; brake_scale = 1; sander = false; slip_timer = 0;").unwrap(),
             )
             .with_during(parse_stmts("slip_timer = 0;").unwrap()),
     );
     let watch = chart.add_state(
-        State::new("SlipWatch")
-            .with_entry(parse_stmts("phase = 1;").unwrap())
-            .with_during(
-                parse_stmts(
-                    "if (slip > 0.1) { slip_timer = slip_timer + 1; } \
+        State::new("SlipWatch").with_entry(parse_stmts("phase = 1;").unwrap()).with_during(
+            parse_stmts(
+                "if (slip > 0.1) { slip_timer = slip_timer + 1; } \
                      else { slip_timer = 0; }",
-                )
-                .unwrap(),
-            ),
+            )
+            .unwrap(),
+        ),
     );
     let braking = chart.add_state(
         State::new("Braking")
@@ -81,21 +78,13 @@ fn antislip_chart() -> Chart {
         emergency,
         parse_expr("slip > 0.35 && slip_timer >= 12").unwrap(),
     ));
-    chart.add_transition(Transition::new(
-        braking,
-        recovery,
-        parse_expr("slip < 0.08").unwrap(),
-    ));
+    chart.add_transition(Transition::new(braking, recovery, parse_expr("slip < 0.08").unwrap()));
     chart.add_transition(Transition::new(
         recovery,
         normal,
         parse_expr("recover_timer >= 4 && slip < 0.05").unwrap(),
     ));
-    chart.add_transition(Transition::new(
-        recovery,
-        braking,
-        parse_expr("slip > 0.15").unwrap(),
-    ));
+    chart.add_transition(Transition::new(recovery, braking, parse_expr("slip > 0.15").unwrap()));
     chart.add_transition(Transition::new(
         emergency,
         recovery,
@@ -122,9 +111,8 @@ pub fn model() -> Model {
     // Speed sensor filtering: two-step moving window via unit delays.
     let wheel_d1 = b.add("wheel_d1", BlockKind::UnitDelay { initial: Value::F64(0.0) });
     b.wire(wheel_f, wheel_d1);
-    let wheel_avg = b.add("wheel_avg", BlockKind::Sum {
-        signs: vec![cftcg_model::InputSign::Plus; 2],
-    });
+    let wheel_avg =
+        b.add("wheel_avg", BlockKind::Sum { signs: vec![cftcg_model::InputSign::Plus; 2] });
     b.feed(wheel_f, wheel_avg, 0);
     b.feed(wheel_d1, wheel_avg, 1);
     let wheel_half = b.add("wheel_half", BlockKind::Gain { gain: 0.5 });
@@ -132,21 +120,20 @@ pub fn model() -> Model {
 
     // Slip ratio (train - wheel) / max(train, 10): sliding wheels lag the
     // train during braking.
-    let diff = b.add("diff", BlockKind::Sum {
-        signs: vec![cftcg_model::InputSign::Plus, cftcg_model::InputSign::Minus],
-    });
+    let diff = b.add(
+        "diff",
+        BlockKind::Sum { signs: vec![cftcg_model::InputSign::Plus, cftcg_model::InputSign::Minus] },
+    );
     b.feed(train_f, diff, 0);
     b.feed(wheel_half, diff, 1);
     let floor10 = b.constant("floor10", Value::F64(10.0));
-    let denom = b.add("denom", BlockKind::MinMax {
-        op: cftcg_model::MinMaxOp::Max,
-        inputs: 2,
-    });
+    let denom = b.add("denom", BlockKind::MinMax { op: cftcg_model::MinMaxOp::Max, inputs: 2 });
     b.feed(train_f, denom, 0);
     b.feed(floor10, denom, 1);
-    let ratio = b.add("ratio", BlockKind::Product {
-        ops: vec![cftcg_model::ProductOp::Mul, cftcg_model::ProductOp::Div],
-    });
+    let ratio = b.add(
+        "ratio",
+        BlockKind::Product { ops: vec![cftcg_model::ProductOp::Mul, cftcg_model::ProductOp::Div] },
+    );
     b.feed(diff, ratio, 0);
     b.feed(denom, ratio, 1);
     let slip = b.add("slip_sat", BlockKind::Saturation { lower: -1.0, upper: 1.0 });
@@ -160,9 +147,7 @@ pub fn model() -> Model {
     b.feed(demand_f, ctl, 1);
 
     // Brake command: demand × chart scale, slew-limited, saturated.
-    let cmd = b.add("brake_cmd", BlockKind::Product {
-        ops: vec![cftcg_model::ProductOp::Mul; 3],
-    });
+    let cmd = b.add("brake_cmd", BlockKind::Product { ops: vec![cftcg_model::ProductOp::Mul; 3] });
     let pct = b.constant("pct", Value::F64(0.01));
     b.feed(demand_f, cmd, 0);
     b.connect(ctl, 1, cmd, 1);
@@ -179,38 +164,45 @@ pub fn model() -> Model {
     // cycling.
     let in_braking = b.add("in_braking", BlockKind::Compare { op: RelOp::Eq, constant: 2.0 });
     b.connect(ctl, 0, in_braking, 0);
-    let episode_edge = b.add("episode_edge", BlockKind::EdgeDetect {
-        kind: cftcg_model::EdgeKind::Rising,
-    });
+    let episode_edge =
+        b.add("episode_edge", BlockKind::EdgeDetect { kind: cftcg_model::EdgeKind::Rising });
     b.wire(in_braking, episode_edge);
     let episode_f = b.add("episode_f", BlockKind::DataTypeConversion { to: DataType::F64 });
     b.wire(episode_edge, episode_f);
     // Episodes accumulate fast and leak slowly, so only clustered episodes
     // reach the alarm threshold.
     let leak_bias = b.constant("leak_bias", Value::F64(-0.02));
-    let episode_sig = b.add("episode_sig", BlockKind::Sum {
-        signs: vec![cftcg_model::InputSign::Plus; 2],
-    });
+    let episode_sig =
+        b.add("episode_sig", BlockKind::Sum { signs: vec![cftcg_model::InputSign::Plus; 2] });
     b.feed(episode_f, episode_sig, 0);
     b.feed(leak_bias, episode_sig, 1);
     let episodes = b.add(
         "episodes",
-        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(6.0) },
+        BlockKind::DiscreteIntegrator {
+            gain: 1.0,
+            initial: 0.0,
+            lower: Some(0.0),
+            upper: Some(6.0),
+        },
     );
     b.wire(episode_sig, episodes);
     let flat_risk = b.add("flat_risk", BlockKind::Compare { op: RelOp::Ge, constant: 2.5 });
     b.wire(episodes, flat_risk);
 
     // Sanding usage counter.
-    let sand_edge = b.add("sand_edge", BlockKind::EdgeDetect {
-        kind: cftcg_model::EdgeKind::Rising,
-    });
+    let sand_edge =
+        b.add("sand_edge", BlockKind::EdgeDetect { kind: cftcg_model::EdgeKind::Rising });
     b.connect(ctl, 2, sand_edge, 0);
     let sand_f = b.add("sand_f", BlockKind::DataTypeConversion { to: DataType::F64 });
     b.wire(sand_edge, sand_f);
     let sand_count = b.add(
         "sand_count",
-        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(1e6) },
+        BlockKind::DiscreteIntegrator {
+            gain: 1.0,
+            initial: 0.0,
+            lower: Some(0.0),
+            upper: Some(1e6),
+        },
     );
     b.wire(sand_f, sand_count);
 
@@ -274,7 +266,7 @@ mod tests {
     fn slip_escalates_to_braking() {
         let mut sim = Simulator::new(&model()).unwrap();
         sim.step(&inputs(1000, 1000, 80)).unwrap(); // prime the filter
-        // Wheel locks up: 25% slip.
+                                                    // Wheel locks up: 25% slip.
         sim.step(&inputs(750, 1000, 80)).unwrap(); // Normal -> SlipWatch
         let out = sim.step(&inputs(750, 1000, 80)).unwrap(); // slip > 0.2 -> Braking
         assert_eq!(phase_of(&out), 2);
@@ -374,9 +366,6 @@ mod tests {
     fn compiles_at_expected_scale() {
         let compiled = compile(&model()).unwrap();
         let branches = compiled.map().branch_count();
-        assert!(
-            (40..180).contains(&branches),
-            "branch count {branches} out of expected range"
-        );
+        assert!((40..180).contains(&branches), "branch count {branches} out of expected range");
     }
 }

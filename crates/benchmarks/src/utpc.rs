@@ -10,8 +10,8 @@
 
 use cftcg_model::expr::{parse_expr, parse_stmts};
 use cftcg_model::{
-    BlockKind, Chart, DataType, LogicOp, Model, ModelBuilder, MinMaxOp, RelOp, State,
-    Transition, Value,
+    BlockKind, Chart, DataType, LogicOp, MinMaxOp, Model, ModelBuilder, RelOp, State, Transition,
+    Value,
 };
 
 /// The thruster mode chart.
@@ -35,41 +35,28 @@ fn mode_chart() -> Chart {
     let rampup = chart.add_state(
         State::new("Ramp")
             .with_entry(parse_stmts("mode = 1;").unwrap())
-            .with_during(
-                parse_stmts("ramp = ramp + 0.1; authority = ramp;").unwrap(),
-            ),
+            .with_during(parse_stmts("ramp = ramp + 0.1; authority = ramp;").unwrap()),
     );
     let run = chart.add_state(
-        State::new("Run")
-            .with_entry(parse_stmts("mode = 2; authority = 1;").unwrap())
-            .with_during(
-                parse_stmts(
-                    "if (leak) { leak_timer = leak_timer + 1; } else { leak_timer = 0; }",
-                )
+        State::new("Run").with_entry(parse_stmts("mode = 2; authority = 1;").unwrap()).with_during(
+            parse_stmts("if (leak) { leak_timer = leak_timer + 1; } else { leak_timer = 0; }")
                 .unwrap(),
-            ),
+        ),
     );
     let derate = chart.add_state(
         State::new("Derate")
             .with_entry(parse_stmts("mode = 3; authority = 0.5;").unwrap())
             .with_during(
-                parse_stmts(
-                    "if (leak) { leak_timer = leak_timer + 1; } else { leak_timer = 0; }",
-                )
-                .unwrap(),
+                parse_stmts("if (leak) { leak_timer = leak_timer + 1; } else { leak_timer = 0; }")
+                    .unwrap(),
             ),
     );
     let emergency = chart.add_state(
-        State::new("Emergency")
-            .with_entry(parse_stmts("mode = 4; authority = 1;").unwrap()),
+        State::new("Emergency").with_entry(parse_stmts("mode = 4; authority = 1;").unwrap()),
     );
     chart.initial = off;
 
-    chart.add_transition(Transition::new(
-        off,
-        rampup,
-        parse_expr("enable && cmd > 5").unwrap(),
-    ));
+    chart.add_transition(Transition::new(off, rampup, parse_expr("enable && cmd > 5").unwrap()));
     chart.add_transition(Transition::new(rampup, run, parse_expr("ramp >= 1").unwrap()));
     chart.add_transition(Transition::new(rampup, off, parse_expr("!enable").unwrap()));
     chart.add_transition(Transition::new(run, derate, parse_expr("!volt_ok").unwrap()));
@@ -84,11 +71,7 @@ fn mode_chart() -> Chart {
             parse_expr("leak && deep && leak_timer >= 10").unwrap(),
         ));
     }
-    chart.add_transition(Transition::new(
-        emergency,
-        off,
-        parse_expr("!deep && !leak").unwrap(),
-    ));
+    chart.add_transition(Transition::new(emergency, off, parse_expr("!deep && !leak").unwrap()));
     chart
 }
 
@@ -127,10 +110,13 @@ pub fn model() -> Model {
     b.feed(volt_ok, ctl, 4);
 
     // Depth derating map: full power down to 30 m, tapering to 30% at 200 m.
-    let depth_limit = b.add("depth_limit", BlockKind::Lookup1D {
-        breakpoints: vec![0.0, 30.0, 80.0, 150.0, 200.0],
-        values: vec![100.0, 100.0, 70.0, 45.0, 30.0],
-    });
+    let depth_limit = b.add(
+        "depth_limit",
+        BlockKind::Lookup1D {
+            breakpoints: vec![0.0, 30.0, 80.0, 150.0, 200.0],
+            values: vec![100.0, 100.0, 70.0, 45.0, 30.0],
+        },
+    );
     b.feed(depth_f, depth_limit, 0);
 
     // Battery derating: linear with decivolts above brown-out.
@@ -145,18 +131,16 @@ pub fn model() -> Model {
     let hard_limit = b.add("hard_limit", BlockKind::MinMax { op: MinMaxOp::Min, inputs: 2 });
     b.feed(depth_limit, hard_limit, 0);
     b.feed(volt_limit, hard_limit, 1);
-    let effective = b.add("effective", BlockKind::Product {
-        ops: vec![cftcg_model::ProductOp::Mul; 3],
-    });
+    let effective =
+        b.add("effective", BlockKind::Product { ops: vec![cftcg_model::ProductOp::Mul; 3] });
     let pct = b.constant("pct", Value::F64(0.01));
     b.feed(hard_limit, effective, 0);
     b.connect(ctl, 1, effective, 1);
     b.feed(pct, effective, 2);
 
     // Commanded power clipped by the effective limit, slew-limited.
-    let scaled_cmd = b.add("scaled_cmd", BlockKind::Product {
-        ops: vec![cftcg_model::ProductOp::Mul; 2],
-    });
+    let scaled_cmd =
+        b.add("scaled_cmd", BlockKind::Product { ops: vec![cftcg_model::ProductOp::Mul; 2] });
     b.feed(cmd_f, scaled_cmd, 0);
     b.feed(effective, scaled_cmd, 1);
     let out_sat = b.add("out_sat", BlockKind::Saturation { lower: -100.0, upper: 100.0 });
@@ -176,7 +160,12 @@ pub fn model() -> Model {
     b.wire(cavitating, cav_f);
     let cav_count = b.add(
         "cav_count",
-        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(0.0), upper: Some(1e6) },
+        BlockKind::DiscreteIntegrator {
+            gain: 1.0,
+            initial: 0.0,
+            lower: Some(0.0),
+            upper: Some(1e6),
+        },
     );
     b.wire(cav_f, cav_count);
 
@@ -253,7 +242,7 @@ mod tests {
             assert_ne!(mode_of(&out), 4);
         }
         sim.step(&inputs(50, 100, 130, false, true)).unwrap(); // timer resets
-        // Sustained leak: escalates after 10 consecutive leak iterations.
+                                                               // Sustained leak: escalates after 10 consecutive leak iterations.
         let mut fired_at = None;
         for k in 0..20 {
             let out = sim.step(&inputs(50, 100, 130, true, true)).unwrap();
@@ -309,9 +298,6 @@ mod tests {
     fn compiles_at_expected_scale() {
         let compiled = compile(&model()).unwrap();
         let branches = compiled.map().branch_count();
-        assert!(
-            (50..190).contains(&branches),
-            "branch count {branches} out of expected range"
-        );
+        assert!((50..190).contains(&branches), "branch count {branches} out of expected range");
     }
 }

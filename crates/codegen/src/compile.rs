@@ -265,9 +265,8 @@ pub fn compile(model: &Model) -> Result<CompiledModel, CompileError> {
     let mut output_types = Vec::new();
     for ((id, index), src) in model.outports().into_iter().zip(&out_regs) {
         body.push(Instr::Output { index, src: *src });
-        let driver = model
-            .source_of(PortRef::new(id, 0))
-            .expect("validated outports are connected");
+        let driver =
+            model.source_of(PortRef::new(id, 0)).expect("validated outports are connected");
         output_types.push(types.output_type(driver));
     }
 
@@ -491,8 +490,7 @@ fn compile_region(
                 body.push(Instr::Copy { dst: port_regs[b][0], src: cast });
             }
             BlockKind::Math { func } => {
-                let args: Vec<Reg> =
-                    (0..func.arity()).map(|p| in_reg(&port_regs, b, p)).collect();
+                let args: Vec<Reg> = (0..func.arity()).map(|p| in_reg(&port_regs, b, p)).collect();
                 let dst = ctx.reg();
                 body.push(Instr::Call { dst, func: FuncCode::Math(func), args });
                 body.push(Instr::Copy { dst: port_regs[b][0], src: dst });
@@ -745,13 +743,7 @@ fn compile_region(
                 let g = ctx.const_reg(body, gain);
                 let c = ctx.const_reg(body, offset);
                 let pos = ctx.binop(body, BinopCode::Gt, u, zero);
-                ctx.single_cond_decision(
-                    body,
-                    pos,
-                    &format!("{label} (u > 0)"),
-                    "pos",
-                    "not-pos",
-                );
+                ctx.single_cond_decision(body, pos, &format!("{label} (u > 0)"), "pos", "not-pos");
                 let gu = ctx.reg();
                 let y_pos = ctx.reg();
                 let y_neg = ctx.reg();
@@ -795,8 +787,7 @@ fn compile_region(
                 for port in 0..n {
                     let raw = in_reg(&port_regs, b, port);
                     let c = ctx.unop(body, UnopCode::Truthy, raw);
-                    let cond =
-                        ctx.map.add_condition(decision, format!("{label}: input {port}"));
+                    let cond = ctx.map.add_condition(decision, format!("{label}: input {port}"));
                     body.push(Instr::CondProbe { cond, src: c });
                     conds.push(c);
                 }
@@ -958,13 +949,7 @@ fn compile_region(
                 body.push(Instr::LoadState { dst: c, slot });
                 let lim = ctx.const_reg(body, f64::from(limit));
                 let wrap = ctx.binop(body, BinopCode::Ge, c, lim);
-                ctx.single_cond_decision(
-                    body,
-                    wrap,
-                    &format!("{label} (wrap)"),
-                    "wrap",
-                    "count",
-                );
+                ctx.single_cond_decision(body, wrap, &format!("{label} (wrap)"), "wrap", "count");
                 let zero = ctx.reg();
                 let one = ctx.const_reg(body, 1.0);
                 let next = ctx.reg();
@@ -1172,13 +1157,7 @@ fn compile_region(
                     EdgeKind::Either => ctx.binop(body, BinopCode::Ne, prev, trig),
                 };
                 body.push(Instr::StoreState { slot, src: trig });
-                ctx.single_cond_decision(
-                    body,
-                    act,
-                    &format!("{label} (trigger)"),
-                    "fired",
-                    "idle",
-                );
+                ctx.single_cond_decision(body, act, &format!("{label} (trigger)"), "fired", "idle");
                 compile_conditional_subsystem(
                     ctx, body, &inner, b, act, &port_regs, model, &label,
                 )?;
@@ -1282,9 +1261,7 @@ fn compile_region(
     // Collect outport sources.
     let mut outs = Vec::new();
     for (id, _) in model.outports() {
-        let src = model
-            .source_of(PortRef::new(id, 0))
-            .expect("validated outports are connected");
+        let src = model.source_of(PortRef::new(id, 0)).expect("validated outports are connected");
         outs.push(port_regs[src.block.index()][src.port]);
     }
     Ok(outs)
@@ -1345,9 +1322,8 @@ fn compile_chart(
     for (name, ty) in &chart.outputs {
         env.set(name, ty.zero());
     }
-    exec_stmts(&chart.states[chart.initial].entry, &mut env).map_err(|e| {
-        CompileError::ChartInit { block: label.to_string(), detail: e.to_string() }
-    })?;
+    exec_stmts(&chart.states[chart.initial].entry, &mut env)
+        .map_err(|e| CompileError::ChartInit { block: label.to_string(), detail: e.to_string() })?;
 
     let active_slot = ctx.slot(chart.initial as f64);
     let mut scope = Scope::new();
@@ -1403,10 +1379,7 @@ fn compile_chart(
                     &mut arm,
                     &scope,
                     g,
-                    &format!(
-                        "{label} ({} -> {} guard {ti})",
-                        state.name, chart.states[t.to].name
-                    ),
+                    &format!("{label} ({} -> {} guard {ti})", state.name, chart.states[t.to].name),
                 ),
                 None => {
                     let one = ctx.reg();
@@ -1416,13 +1389,7 @@ fn compile_chart(
             };
             let mut fire_body = Vec::new();
             lower_stmts(ctx, &mut fire_body, &mut scope.clone(), &t.action, label);
-            lower_stmts(
-                ctx,
-                &mut fire_body,
-                &mut scope.clone(),
-                &chart.states[t.to].entry,
-                label,
-            );
+            lower_stmts(ctx, &mut fire_body, &mut scope.clone(), &chart.states[t.to].entry, label);
             let target = ctx.reg();
             fire_body.push(Instr::Const { dst: target, value: t.to as f64 });
             fire_body.push(Instr::StoreState { slot: active_slot, src: target });
@@ -1453,9 +1420,7 @@ fn compile_chart(
     body.extend(chain);
 
     // Publish outputs.
-    let out_ty = |port: usize| {
-        types.output_type(PortRef::new(model.blocks()[b].id(), port))
-    };
+    let out_ty = |port: usize| types.output_type(PortRef::new(model.blocks()[b].id(), port));
     for (port, slot) in out_slots.into_iter().enumerate() {
         let raw = ctx.reg();
         body.push(Instr::LoadState { dst: raw, slot });

@@ -61,11 +61,7 @@ impl TupleLayout {
         let mut fields = Vec::new();
         let mut offset = 0;
         for (id, _, dtype) in model.inports() {
-            fields.push(FieldLayout {
-                name: model.block(id).name().to_string(),
-                dtype,
-                offset,
-            });
+            fields.push(FieldLayout { name: model.block(id).name().to_string(), dtype, offset });
             offset += dtype.size();
         }
         TupleLayout { fields, tuple_size: offset }
@@ -104,10 +100,7 @@ impl TupleLayout {
     ///
     /// Panics when `tuple` is shorter than [`TupleLayout::tuple_size`].
     pub fn decode(&self, tuple: &[u8]) -> Vec<Value> {
-        self.fields
-            .iter()
-            .map(|f| Value::from_le_bytes(&tuple[f.offset..], f.dtype))
-            .collect()
+        self.fields.iter().map(|f| Value::from_le_bytes(&tuple[f.offset..], f.dtype)).collect()
     }
 
     /// Encodes one iteration's values into tuple bytes (inverse of
@@ -221,15 +214,18 @@ pub fn test_case_from_csv(layout: &TupleLayout, csv: &str) -> Result<TestCase, P
         let cells: Vec<&str> = line.split(',').collect();
         if cells.len() != layout.fields().len() {
             return Err(ParseCsvError {
-                message: format!("row {} has {} cells, expected {}", lineno + 2, cells.len(),
-                    layout.fields().len()),
+                message: format!(
+                    "row {} has {} cells, expected {}",
+                    lineno + 2,
+                    cells.len(),
+                    layout.fields().len()
+                ),
             });
         }
         let mut tuple = Vec::with_capacity(cells.len());
         for (cell, field) in cells.iter().zip(layout.fields()) {
-            let v = Value::parse_typed(cell.trim(), field.dtype).map_err(|e| ParseCsvError {
-                message: format!("row {}: {e}", lineno + 2),
-            })?;
+            let v = Value::parse_typed(cell.trim(), field.dtype)
+                .map_err(|e| ParseCsvError { message: format!("row {}: {e}", lineno + 2) })?;
             tuple.push(v);
         }
         tuples.push(tuple);

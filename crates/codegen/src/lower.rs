@@ -8,8 +8,8 @@ use std::collections::HashMap;
 use cftcg_model::expr::{BinOp, Expr, Stmt, UnaryOp};
 use cftcg_model::{DataType, Value};
 
-use crate::ir::{BinopCode, FuncCode, Instr, Reg, UnopCode};
 use crate::compile::Ctx;
+use crate::ir::{BinopCode, FuncCode, Instr, Reg, UnopCode};
 
 /// Where a named variable lives during lowering.
 #[derive(Debug, Clone, Copy)]
@@ -55,12 +55,7 @@ impl Scope {
 /// Lowers a *numeric* expression; the result register holds its value
 /// (booleans as 0/1). No coverage probes are emitted — decisions use
 /// [`lower_decision`].
-pub(crate) fn lower_expr(
-    ctx: &mut Ctx,
-    body: &mut Vec<Instr>,
-    scope: &Scope,
-    expr: &Expr,
-) -> Reg {
+pub(crate) fn lower_expr(ctx: &mut Ctx, body: &mut Vec<Instr>, scope: &Scope, expr: &Expr) -> Reg {
     match expr {
         Expr::Literal(v) => {
             let dst = ctx.reg();
@@ -117,8 +112,7 @@ pub(crate) fn lower_expr(
             dst
         }
         Expr::Call(name, args) => {
-            let arg_regs: Vec<Reg> =
-                args.iter().map(|a| lower_expr(ctx, body, scope, a)).collect();
+            let arg_regs: Vec<Reg> = args.iter().map(|a| lower_expr(ctx, body, scope, a)).collect();
             let func = FuncCode::from_builtin_name(name)
                 .unwrap_or_else(|| panic!("validated model calls unknown function `{name}`"));
             let dst = ctx.reg();
@@ -142,8 +136,7 @@ pub(crate) fn lower_decision(
 ) -> Reg {
     let decision = ctx.map.begin_decision(label);
     let mut cond_regs = Vec::new();
-    let outcome =
-        lower_condition_tree(ctx, body, scope, expr, decision, label, &mut cond_regs);
+    let outcome = lower_condition_tree(ctx, body, scope, expr, decision, label, &mut cond_regs);
     body.push(Instr::DecisionEval { decision, conds: cond_regs, outcome });
     let t = ctx.map.add_outcome(decision, format!("{label}: true"));
     let f = ctx.map.add_outcome(decision, format!("{label}: false"));

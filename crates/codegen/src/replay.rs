@@ -10,11 +10,7 @@ use crate::vm::Executor;
 
 /// Replays one test case into an existing tracker. Returns the number of
 /// model iterations executed.
-pub fn replay_case(
-    compiled: &CompiledModel,
-    case: &TestCase,
-    tracker: &mut FullTracker,
-) -> usize {
+pub fn replay_case(compiled: &CompiledModel, case: &TestCase, tracker: &mut FullTracker) -> usize {
     let mut exec = Executor::new(compiled);
     exec.run_case(case, tracker)
 }
@@ -63,10 +59,7 @@ mod tests {
     fn replay_accumulates_across_cases() {
         let mut b = ModelBuilder::new("m");
         let u = b.inport("u", DataType::I8);
-        let cmp = b.add(
-            "cmp",
-            BlockKind::Compare { op: cftcg_model::RelOp::Gt, constant: 0.0 },
-        );
+        let cmp = b.add("cmp", BlockKind::Compare { op: cftcg_model::RelOp::Gt, constant: 0.0 });
         let y = b.outport("y");
         b.wire(u, cmp);
         b.wire(cmp, y);

@@ -50,27 +50,45 @@ impl<'c> Executor<'c> {
         self.state.copy_from_slice(&self.compiled.state_init);
     }
 
-    /// Executes one model iteration.
+    /// Executes one model iteration, collecting the outputs into a fresh
+    /// `Vec`. Allocation-sensitive callers (per-iteration loops) should use
+    /// [`Executor::step_into`] and reuse one buffer instead.
     ///
     /// # Panics
     ///
     /// Panics if `inputs` does not match the model's inport count.
     pub fn step<R: Recorder>(&mut self, inputs: &[Value], recorder: &mut R) -> Vec<Value> {
-        assert_eq!(
-            inputs.len(),
-            self.compiled.input_types.len(),
-            "input arity mismatch"
-        );
+        let mut out = Vec::with_capacity(self.compiled.output_types.len());
+        self.step_into(inputs, &mut out, recorder);
+        out
+    }
+
+    /// Executes one model iteration, writing the outputs into `out`
+    /// (cleared first, capacity reused) — [`Executor::step`] without the
+    /// per-iteration `Vec` allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the model's inport count.
+    pub fn step_into<R: Recorder>(
+        &mut self,
+        inputs: &[Value],
+        out: &mut Vec<Value>,
+        recorder: &mut R,
+    ) {
+        assert_eq!(inputs.len(), self.compiled.input_types.len(), "input arity mismatch");
         for (slot, v) in self.inputs.iter_mut().zip(inputs) {
             *slot = v.as_f64();
         }
         self.run_body_owned(recorder);
-        self.compiled
-            .output_types
-            .iter()
-            .zip(&self.outputs)
-            .map(|(ty, &x)| Value::from_f64(x, *ty))
-            .collect()
+        out.clear();
+        out.extend(
+            self.compiled
+                .output_types
+                .iter()
+                .zip(&self.outputs)
+                .map(|(ty, &x)| Value::from_f64(x, *ty)),
+        );
     }
 
     /// Executes one iteration from a raw input tuple (driver fast path: no
@@ -93,9 +111,11 @@ impl<'c> Executor<'c> {
     /// Figure 3. Returns the number of iterations executed.
     pub fn run_case<R: Recorder>(&mut self, case: &TestCase, recorder: &mut R) -> usize {
         self.reset();
-        let layout = self.compiled.layout().clone();
+        // Copy the `&'c` reference out of `self` so iterating the layout
+        // doesn't hold a borrow of `self` (and doesn't clone the layout).
+        let compiled: &'c CompiledModel = self.compiled;
         let mut iterations = 0;
-        for tuple in layout.split(&case.bytes) {
+        for tuple in compiled.layout().split(&case.bytes) {
             self.step_tuple(tuple, recorder);
             iterations += 1;
         }

@@ -5,9 +5,7 @@
 use cftcg_codegen::{compile, Executor};
 use cftcg_coverage::NullRecorder;
 use cftcg_model::expr::{parse_expr, parse_stmts};
-use cftcg_model::{
-    BlockKind, Chart, DataType, Model, ModelBuilder, State, Transition, Value,
-};
+use cftcg_model::{BlockKind, Chart, DataType, Model, ModelBuilder, State, Transition, Value};
 use cftcg_sim::Simulator;
 
 fn chart_model(chart: Chart) -> Model {
@@ -31,9 +29,10 @@ fn assert_equivalent(model: &Model, steps: &[Vec<Value>]) {
     let compiled = compile(model).unwrap();
     let mut exec = Executor::new(&compiled);
     let mut rec = NullRecorder;
+    let mut actual = Vec::new();
     for (k, inputs) in steps.iter().enumerate() {
         let expected = sim.step(inputs).unwrap();
-        let actual = exec.step(inputs, &mut rec);
+        exec.step_into(inputs, &mut actual, &mut rec);
         assert_eq!(expected, actual, "diverged at step {k} on inputs {inputs:?}");
     }
 }
@@ -47,9 +46,7 @@ fn single_state_chart_runs_during_every_step() {
     let mut chart = Chart::new();
     chart.inputs.push(("u".into(), DataType::F64));
     chart.outputs.push(("acc".into(), DataType::F64));
-    chart.states.push(
-        State::new("Only").with_during(parse_stmts("acc = acc + u;").unwrap()),
-    );
+    chart.states.push(State::new("Only").with_during(parse_stmts("acc = acc + u;").unwrap()));
     let model = chart_model(chart);
     assert_equivalent(&model, &f64_steps(&[1.0, 2.0, 3.0, -4.0]));
 }
@@ -78,9 +75,8 @@ fn self_loop_runs_action_and_entry_each_firing() {
     chart.inputs.push(("go".into(), DataType::F64));
     chart.outputs.push(("entries".into(), DataType::I32));
     chart.outputs.push(("actions".into(), DataType::I32));
-    let s = chart.add_state(
-        State::new("S").with_entry(parse_stmts("entries = entries + 1;").unwrap()),
-    );
+    let s =
+        chart.add_state(State::new("S").with_entry(parse_stmts("entries = entries + 1;").unwrap()));
     chart.initial = s;
     chart.add_transition(
         Transition::new(s, s, parse_expr("go > 0").unwrap())
@@ -104,8 +100,7 @@ fn transition_priority_shadows_later_guards() {
     chart.outputs.push(("tag".into(), DataType::I32));
     let start = chart.add_state(State::new("Start"));
     let first = chart.add_state(State::new("First").with_entry(parse_stmts("tag = 1;").unwrap()));
-    let second =
-        chart.add_state(State::new("Second").with_entry(parse_stmts("tag = 2;").unwrap()));
+    let second = chart.add_state(State::new("Second").with_entry(parse_stmts("tag = 2;").unwrap()));
     chart.initial = start;
     // Both guards true for u = 7; the first added must win.
     chart.add_transition(Transition::new(start, first, parse_expr("u > 5").unwrap()));
@@ -126,9 +121,7 @@ fn action_updates_are_visible_to_target_entry() {
     chart.outputs.push(("y".into(), DataType::F64));
     chart.variables.push(("v".into(), DataType::F64, Value::F64(0.0)));
     let a = chart.add_state(State::new("A"));
-    let b = chart.add_state(
-        State::new("B").with_entry(parse_stmts("y = v * 10;").unwrap()),
-    );
+    let b = chart.add_state(State::new("B").with_entry(parse_stmts("y = v * 10;").unwrap()));
     chart.initial = a;
     chart.add_transition(
         Transition::new(a, b, parse_expr("u > 0").unwrap())
@@ -146,9 +139,7 @@ fn typed_chart_variables_saturate_on_assignment() {
     let mut chart = Chart::new();
     chart.inputs.push(("u".into(), DataType::F64));
     chart.outputs.push(("narrow".into(), DataType::I8));
-    let s = chart.add_state(
-        State::new("S").with_during(parse_stmts("narrow = u;").unwrap()),
-    );
+    let s = chart.add_state(State::new("S").with_during(parse_stmts("narrow = u;").unwrap()));
     chart.initial = s;
     let model = chart_model(chart);
     let mut sim = Simulator::new(&model).unwrap();

@@ -30,9 +30,10 @@ fn assert_equivalent(model: &Model, steps: &[Vec<Value>]) {
     let compiled = compile(model).expect("model compiles");
     let mut exec = Executor::new(&compiled);
     let mut rec = NullRecorder;
+    let mut actual = Vec::new();
     for (k, inputs) in steps.iter().enumerate() {
         let expected = sim.step(inputs).expect("sim step");
-        let actual = exec.step(inputs, &mut rec);
+        exec.step_into(inputs, &mut actual, &mut rec);
         assert_eq!(expected.len(), actual.len());
         for (port, (e, a)) in expected.iter().zip(&actual).enumerate() {
             assert!(
@@ -450,8 +451,7 @@ fn nested_virtual_subsystems_are_equivalent() {
     b.wire(sub, y);
     let model = b.finish().unwrap();
 
-    let steps: Vec<Vec<Value>> =
-        (-5..5).map(|i| vec![Value::F64(f64::from(i) * 0.5)]).collect();
+    let steps: Vec<Vec<Value>> = (-5..5).map(|i| vec![Value::F64(f64::from(i) * 0.5)]).collect();
     assert_equivalent(&model, &steps);
 }
 
@@ -492,9 +492,9 @@ fn if_block_multi_condition_is_equivalent() {
     b.wire(merge, y);
     let model = b.finish().unwrap();
     let steps: Vec<Vec<Value>> = vec![
-        vec![Value::F64(3.0), Value::F64(-1.0)], // cond 0
-        vec![Value::F64(2.0), Value::F64(2.0)],  // cond 1
-        vec![Value::F64(0.0), Value::F64(5.0)],  // else
+        vec![Value::F64(3.0), Value::F64(-1.0)],          // cond 0
+        vec![Value::F64(2.0), Value::F64(2.0)],           // cond 1
+        vec![Value::F64(0.0), Value::F64(5.0)],           // else
         vec![Value::F64(f64::NAN), Value::F64(f64::NAN)], // else (NaN != NaN)
     ];
     assert_equivalent(&model, &steps);

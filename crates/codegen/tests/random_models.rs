@@ -61,14 +61,11 @@ impl Recipe {
             Recipe::Abs => BlockKind::Abs,
             Recipe::Neg => BlockKind::UnaryMinus,
             Recipe::Signum => BlockKind::Signum,
-            Recipe::MinMax(min, n) => BlockKind::MinMax {
-                op: if min { MinMaxOp::Min } else { MinMaxOp::Max },
-                inputs: n,
-            },
-            Recipe::Math(f) => BlockKind::Math { func: f },
-            Recipe::Saturation(a, b) => {
-                BlockKind::Saturation { lower: a.min(b), upper: a.max(b) }
+            Recipe::MinMax(min, n) => {
+                BlockKind::MinMax { op: if min { MinMaxOp::Min } else { MinMaxOp::Max }, inputs: n }
             }
+            Recipe::Math(f) => BlockKind::Math { func: f },
+            Recipe::Saturation(a, b) => BlockKind::Saturation { lower: a.min(b), upper: a.max(b) },
             Recipe::DeadZone(a, b) => BlockKind::DeadZone { start: a.min(b), end: a.max(b) },
             Recipe::Quantizer(q) => BlockKind::Quantizer { interval: q.abs().max(0.1) },
             Recipe::Relay(a, b) => BlockKind::Relay {
@@ -174,10 +171,7 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
             Just(RelOp::Ge),
         ]
         .prop_map(Recipe::Relational),
-        (
-            prop_oneof![Just(RelOp::Lt), Just(RelOp::Ge), Just(RelOp::Eq)],
-            small()
-        )
+        (prop_oneof![Just(RelOp::Lt), Just(RelOp::Ge), Just(RelOp::Eq)], small())
             .prop_map(|(op, c)| Recipe::Compare(op, c)),
         prop_oneof![
             small().prop_map(SwitchCriterion::GreaterEqual),
@@ -198,16 +192,9 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
         small().prop_map(Recipe::UnitDelay),
         ((1usize..4), small()).prop_map(|(n, x)| Recipe::Delay(n, x)),
         (small(), small()).prop_map(|(g, l)| Recipe::Integrator(g / 10.0, l)),
-        prop_oneof![
-            Just(EdgeKind::Rising),
-            Just(EdgeKind::Falling),
-            Just(EdgeKind::Either)
-        ]
-        .prop_map(Recipe::EdgeDetect),
-        (
-            prop::collection::vec(small(), 2..5),
-            prop::collection::vec(small(), 2..5)
-        )
+        prop_oneof![Just(EdgeKind::Rising), Just(EdgeKind::Falling), Just(EdgeKind::Either)]
+            .prop_map(Recipe::EdgeDetect),
+        (prop::collection::vec(small(), 2..5), prop::collection::vec(small(), 2..5))
             .prop_map(|(b, v)| Recipe::Lookup(b, v)),
         any::<u32>().prop_map(Recipe::CounterLimited),
     ]
@@ -282,6 +269,7 @@ proptest! {
         let mut sim = Simulator::new(&model).expect("validated model simulates");
         let mut exec = Executor::new(&compiled);
         let mut rec = NullRecorder;
+        let mut actual = Vec::new();
         for (k, row) in steps.iter().enumerate() {
             let inputs: Vec<Value> = input_types
                 .iter()
@@ -289,7 +277,7 @@ proptest! {
                 .map(|(&ty, &x)| Value::from_f64(x, ty))
                 .collect();
             let expected = sim.step(&inputs).expect("sim step");
-            let actual = exec.step(&inputs, &mut rec);
+            exec.step_into(&inputs, &mut actual, &mut rec);
             for (port, (e, a)) in expected.iter().zip(&actual).enumerate() {
                 prop_assert!(
                     values_eq(e, a),

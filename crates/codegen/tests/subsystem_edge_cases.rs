@@ -5,9 +5,7 @@
 use cftcg_codegen::{compile, Executor};
 use cftcg_coverage::NullRecorder;
 use cftcg_model::expr::parse_expr;
-use cftcg_model::{
-    BlockKind, DataType, EdgeKind, InputSign, Model, ModelBuilder, Value,
-};
+use cftcg_model::{BlockKind, DataType, EdgeKind, InputSign, Model, ModelBuilder, Value};
 use cftcg_sim::Simulator;
 
 fn assert_equivalent(model: &Model, steps: &[Vec<Value>]) {
@@ -15,9 +13,10 @@ fn assert_equivalent(model: &Model, steps: &[Vec<Value>]) {
     let compiled = compile(model).unwrap();
     let mut exec = Executor::new(&compiled);
     let mut rec = NullRecorder;
+    let mut actual = Vec::new();
     for (k, inputs) in steps.iter().enumerate() {
         let expected = sim.step(inputs).unwrap();
-        let actual = exec.step(inputs, &mut rec);
+        exec.step_into(inputs, &mut actual, &mut rec);
         assert_eq!(expected, actual, "diverged at step {k} on inputs {inputs:?}");
     }
 }
@@ -42,10 +41,8 @@ fn enabled_inside_enabled_freezes_independently() {
     let mut inner_host = ModelBuilder::new("inner_host");
     let gate2 = inner_host.inport("gate2", DataType::Bool);
     let data = inner_host.inport("data", DataType::F64);
-    let sub = inner_host.add(
-        "inner",
-        BlockKind::EnabledSubsystem { model: Box::new(accumulator()) },
-    );
+    let sub =
+        inner_host.add("inner", BlockKind::EnabledSubsystem { model: Box::new(accumulator()) });
     let y = inner_host.outport("y");
     inner_host.feed(gate2, sub, 0);
     inner_host.feed(data, sub, 1);
@@ -74,14 +71,17 @@ fn enabled_inside_enabled_freezes_independently() {
     // Both on again: accumulation resumes from 5.
     assert_eq!(sim.step(&tt(true, true, 2.0)).unwrap()[0], Value::F64(7.0));
 
-    assert_equivalent(&model, &[
-        tt(true, true, 5.0),
-        tt(true, false, 100.0),
-        tt(false, true, 100.0),
-        tt(true, true, 2.0),
-        tt(false, false, -3.0),
-        tt(true, true, -3.0),
-    ]);
+    assert_equivalent(
+        &model,
+        &[
+            tt(true, true, 5.0),
+            tt(true, false, 100.0),
+            tt(false, true, 100.0),
+            tt(true, true, 2.0),
+            tt(false, false, -3.0),
+            tt(true, true, -3.0),
+        ],
+    );
 }
 
 #[test]
@@ -174,15 +174,18 @@ fn triggered_subsystem_nested_in_action_subsystem() {
     let model = b.finish().unwrap();
 
     let tt = |a, t| vec![Value::Bool(a), Value::Bool(t)];
-    assert_equivalent(&model, &[
-        tt(true, false),
-        tt(true, true),  // rising edge, fire 0
-        tt(true, true),  // no edge
-        tt(false, false), // outer inactive: trigger state frozen (still true)
-        tt(true, true),  // trigger was never seen low while active... edge semantics
-        tt(true, false),
-        tt(true, true),  // rising edge, fire 1
-    ]);
+    assert_equivalent(
+        &model,
+        &[
+            tt(true, false),
+            tt(true, true),   // rising edge, fire 0
+            tt(true, true),   // no edge
+            tt(false, false), // outer inactive: trigger state frozen (still true)
+            tt(true, true),   // trigger was never seen low while active... edge semantics
+            tt(true, false),
+            tt(true, true), // rising edge, fire 1
+        ],
+    );
 }
 
 #[test]
@@ -198,10 +201,8 @@ fn merge_prefers_first_active_input() {
     }
     let mut b = ModelBuilder::new("m");
     let sel = b.inport("sel", DataType::I32);
-    let sc = b.add(
-        "sc",
-        BlockKind::SwitchCase { cases: vec![vec![1], vec![2]], has_default: false },
-    );
+    let sc =
+        b.add("sc", BlockKind::SwitchCase { cases: vec![vec![1], vec![2]], has_default: false });
     let a1 = b.add("a1", const_action("m1", 10.0));
     let a2 = b.add("a2", const_action("m2", 20.0));
     let merge = b.add("merge", BlockKind::Merge { inputs: 2 });
@@ -218,7 +219,6 @@ fn merge_prefers_first_active_input() {
     assert_eq!(sim.step(&[Value::I32(1)]).unwrap()[0], Value::F64(10.0));
     assert_eq!(sim.step(&[Value::I32(9)]).unwrap()[0], Value::F64(10.0)); // held
     assert_eq!(sim.step(&[Value::I32(2)]).unwrap()[0], Value::F64(20.0));
-    let steps: Vec<Vec<Value>> =
-        [1, 9, 2, 9, 1, 2].iter().map(|&s| vec![Value::I32(s)]).collect();
+    let steps: Vec<Vec<Value>> = [1, 9, 2, 9, 1, 2].iter().map(|&s| vec![Value::I32(s)]).collect();
     assert_equivalent(&model, &steps);
 }

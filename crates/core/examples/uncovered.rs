@@ -6,8 +6,8 @@
 //! ```
 
 use cftcg_codegen::compile;
-use cftcg_coverage::FullTracker;
 use cftcg_core::Cftcg;
+use cftcg_coverage::FullTracker;
 use std::time::Duration;
 fn main() {
     let name = std::env::args().nth(1).unwrap_or("TCP".into());
@@ -18,8 +18,14 @@ fn main() {
     let seed: u64 = std::env::args().nth(3).map(|s| s.parse().unwrap()).unwrap_or(0);
     let g = tool.generate(Duration::from_millis(ms), seed);
     let mut tracker = FullTracker::new(compiled.map());
-    for case in &g.suite { cftcg_codegen::replay_case(&compiled, case, &mut tracker); }
-    println!("covered {}/{}", tracker.branch_hits().iter().filter(|&&h| h).count(), compiled.map().branch_count());
+    for case in &g.suite {
+        cftcg_codegen::replay_case(&compiled, case, &mut tracker);
+    }
+    println!(
+        "covered {}/{}",
+        tracker.branch_hits().iter().filter(|&&h| h).count(),
+        compiled.map().branch_count()
+    );
     for (i, b) in compiled.map().branches().iter().enumerate() {
         if !tracker.branch_hit(i) {
             println!("  MISS {}", b.label);

@@ -46,7 +46,7 @@ use cftcg_codegen::{
     compile, emit_c, emit_driver_c, replay_suite, CompileError, CompiledModel, TestCase,
 };
 use cftcg_coverage::CoverageReport;
-use cftcg_fuzz::{FuzzConfig, Fuzzer, Generation};
+use cftcg_fuzz::{FuzzConfig, Fuzzer, Generation, ParallelFuzzConfig, ParallelFuzzer};
 use cftcg_model::Model;
 
 /// A ready-to-fuzz model: the output of CFTCG's code generation stage.
@@ -118,6 +118,34 @@ impl Cftcg {
         fuzzer.run_executions(executions).into()
     }
 
+    /// Runs the sharded parallel fuzzing loop across `workers` shards for a
+    /// wall-clock budget, merging coverage and corpora on a sync interval.
+    /// With `workers == 1` this degrades gracefully to the sequential loop.
+    pub fn generate_parallel(&self, budget: Duration, seed: u64, workers: usize) -> Generation {
+        let fuzzer = self.parallel_fuzzer(seed, workers);
+        let outcome = fuzzer.run_for(budget);
+        let covered = outcome.covered_branches;
+        let mut generation: Generation = outcome.into();
+        generation.notes = format!(
+            "CFTCG ({workers} workers): {} branches covered of {}",
+            covered,
+            self.compiled.map().branch_count()
+        );
+        generation
+    }
+
+    /// Runs the parallel loop for an exact number of executions split
+    /// across `workers` shards (deterministic given seed and worker count;
+    /// with one worker, byte-identical to [`Cftcg::generate_executions`]).
+    pub fn generate_parallel_executions(
+        &self,
+        executions: u64,
+        seed: u64,
+        workers: usize,
+    ) -> Generation {
+        self.parallel_fuzzer(seed, workers).run_executions(executions).into()
+    }
+
     /// Scores a generation's suite with the common replay yardstick.
     pub fn score(&self, generation: &Generation) -> CoverageReport {
         replay_suite(&self.compiled, &generation.suite)
@@ -130,10 +158,8 @@ impl Cftcg {
     /// but is not guaranteed (minimization tracks the branch bitmap only,
     /// like the fuzzing loop itself).
     pub fn minimize(&self, suite: &[TestCase]) -> Vec<TestCase> {
-        let shrunk: Vec<TestCase> = suite
-            .iter()
-            .map(|case| cftcg_fuzz::minimize_case(&self.compiled, case))
-            .collect();
+        let shrunk: Vec<TestCase> =
+            suite.iter().map(|case| cftcg_fuzz::minimize_case(&self.compiled, case)).collect();
         cftcg_fuzz::minimize_suite(&self.compiled, &shrunk)
     }
 
@@ -148,6 +174,17 @@ impl Cftcg {
 
     fn fuzzer(&self, seed: u64) -> Fuzzer<'_> {
         Fuzzer::new(&self.compiled, FuzzConfig { seed, ..self.config.clone() })
+    }
+
+    fn parallel_fuzzer(&self, seed: u64, workers: usize) -> ParallelFuzzer<'_> {
+        ParallelFuzzer::new(
+            &self.compiled,
+            ParallelFuzzConfig {
+                workers,
+                fuzz: FuzzConfig { seed, ..self.config.clone() },
+                ..ParallelFuzzConfig::default()
+            },
+        )
     }
 }
 
@@ -193,6 +230,24 @@ mod tests {
         let a = cftcg.generate_executions(500, 42);
         let b = cftcg.generate_executions(500, 42);
         assert_eq!(a.suite, b.suite);
+    }
+
+    #[test]
+    fn parallel_one_worker_matches_sequential_facade() {
+        let cftcg = small_pipeline();
+        let seq = cftcg.generate_executions(1_000, 11);
+        let par = cftcg.generate_parallel_executions(1_000, 11, 1);
+        assert_eq!(par.suite, seq.suite);
+        assert_eq!(par.executions, seq.executions);
+        assert_eq!(par.iterations, seq.iterations);
+    }
+
+    #[test]
+    fn parallel_generation_scores_like_sequential() {
+        let cftcg = small_pipeline();
+        let generation = cftcg.generate_parallel_executions(2_000, 3, 2);
+        let report = cftcg.score(&generation);
+        assert_eq!(report.decision.percent(), 100.0);
     }
 
     #[test]

@@ -188,10 +188,7 @@ impl InstrumentationMap {
     /// of branchless decisions (see [`DecisionInfo::code_level`]). This is
     /// the feedback mask of the paper's "Fuzz Only" baseline.
     pub fn code_level_mask(&self) -> Vec<bool> {
-        self.branches
-            .iter()
-            .map(|b| self.decisions[b.decision.index()].code_level)
-            .collect()
+        self.branches.iter().map(|b| self.decisions[b.decision.index()].code_level).collect()
     }
 }
 
@@ -267,11 +264,7 @@ impl MapBuilder {
     ///
     /// Panics if `decision` was not returned by this builder, or if the
     /// decision already has 64 conditions (the vector is a `u64`).
-    pub fn add_condition(
-        &mut self,
-        decision: DecisionId,
-        label: impl Into<String>,
-    ) -> ConditionId {
+    pub fn add_condition(&mut self, decision: DecisionId, label: impl Into<String>) -> ConditionId {
         let id = ConditionId(self.map.conditions.len() as u32);
         let info = &mut self.map.decisions[decision.index()];
         assert!(info.conditions.len() < 64, "decision has too many conditions for a u64 vector");

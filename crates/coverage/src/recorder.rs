@@ -99,11 +99,7 @@ impl BranchBitmap {
     /// Panics when the bitmaps have different lengths.
     pub fn diff_count(&self, other: &BranchBitmap) -> usize {
         assert_eq!(self.bits.len(), other.bits.len(), "bitmap length mismatch");
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .filter(|(a, b)| a != b)
-            .count()
+        self.bits.iter().zip(&other.bits).filter(|(a, b)| a != b).count()
     }
 
     /// ORs this iteration's hits into `total`, returning how many branches
@@ -133,6 +129,47 @@ impl BranchBitmap {
     pub fn copy_from(&mut self, other: &BranchBitmap) {
         assert_eq!(self.bits.len(), other.bits.len(), "bitmap length mismatch");
         self.bits.copy_from_slice(&other.bits);
+    }
+
+    /// ORs `other`'s flags into this bitmap, returning how many were newly
+    /// set here. The mirror of [`merge_into`](Self::merge_into), used by the
+    /// parallel coordinator to fold worker shard bitmaps into `g_TotalCov`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bitmaps have different lengths.
+    pub fn merge_from(&mut self, other: &BranchBitmap) -> usize {
+        other.merge_into(self)
+    }
+
+    /// How many branches are set in `self` but not in `baseline` — the
+    /// non-mutating "would this be new coverage?" query the coordinator runs
+    /// before deciding whether to broadcast a candidate corpus entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bitmaps have different lengths.
+    pub fn new_vs(&self, baseline: &BranchBitmap) -> usize {
+        assert_eq!(self.bits.len(), baseline.bits.len(), "bitmap length mismatch");
+        self.bits.iter().zip(&baseline.bits).filter(|(s, b)| **s && !**b).count()
+    }
+
+    /// Indices of the set branches, ascending.
+    pub fn set_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().filter_map(|(i, &b)| b.then_some(i))
+    }
+
+    /// Clears every flag whose `mask` slot is `false` (code-level feedback
+    /// mode restricts coverage to non-model-level probes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mask` has a different length.
+    pub fn retain_mask(&mut self, mask: &[bool]) {
+        assert_eq!(self.bits.len(), mask.len(), "bitmap length mismatch");
+        for (bit, &keep) in self.bits.iter_mut().zip(mask) {
+            *bit &= keep;
+        }
     }
 }
 
@@ -282,6 +319,36 @@ mod tests {
         let mut last = BranchBitmap::new(4);
         last.copy_from(&a);
         assert_eq!(last.diff_count(&a), 0);
+    }
+
+    #[test]
+    fn bitmap_merge_from_and_delta_queries() {
+        let mut a = BranchBitmap::new(5);
+        let mut b = BranchBitmap::new(5);
+        a.branch(BranchId(0));
+        a.branch(BranchId(2));
+        b.branch(BranchId(2));
+        b.branch(BranchId(4));
+
+        assert_eq!(a.new_vs(&b), 1); // only branch 0
+        assert_eq!(b.new_vs(&a), 1); // only branch 4
+        assert_eq!(a.set_indices().collect::<Vec<_>>(), vec![0, 2]);
+
+        let mut total = a.clone();
+        assert_eq!(total.merge_from(&b), 1);
+        assert_eq!(total.set_indices().collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(total.merge_from(&b), 0, "second merge adds nothing");
+        assert_eq!(a.new_vs(&total), 0, "total dominates a");
+    }
+
+    #[test]
+    fn bitmap_retain_mask_clears_unmasked() {
+        let mut bm = BranchBitmap::new(4);
+        bm.branch(BranchId(0));
+        bm.branch(BranchId(1));
+        bm.branch(BranchId(3));
+        bm.retain_mask(&[true, false, true, false]);
+        assert_eq!(bm.set_indices().collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]

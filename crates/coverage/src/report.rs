@@ -56,16 +56,10 @@ impl CoverageReport {
     ///
     /// Panics if `tracker` was not built from `map`.
     pub fn score(map: &InstrumentationMap, tracker: &FullTracker) -> Self {
-        assert_eq!(
-            tracker.branch_hits().len(),
-            map.branch_count(),
-            "tracker does not match map"
-        );
+        assert_eq!(tracker.branch_hits().len(), map.branch_count(), "tracker does not match map");
         // Decision Coverage: every branch probe is one decision outcome.
-        let decision = Ratio::new(
-            tracker.branch_hits().iter().filter(|&&h| h).count(),
-            map.branch_count(),
-        );
+        let decision =
+            Ratio::new(tracker.branch_hits().iter().filter(|&&h| h).count(), map.branch_count());
 
         // Condition Coverage: each condition must be seen false and true.
         let mut cond_covered = 0;
@@ -87,9 +81,7 @@ impl CoverageReport {
             for (bit, _) in info.conditions.iter().enumerate() {
                 let mask = 1u64 << bit;
                 let demonstrated = evals.iter().enumerate().any(|(i, &(v1, o1))| {
-                    evals[i + 1..]
-                        .iter()
-                        .any(|&(v2, o2)| (v1 ^ v2) == mask && o1 != o2)
+                    evals[i + 1..].iter().any(|&(v2, o2)| (v1 ^ v2) == mask && o1 != o2)
                 });
                 mcdc_covered += usize::from(demonstrated);
             }
@@ -121,11 +113,7 @@ pub fn detailed_report(map: &InstrumentationMap, tracker: &FullTracker) -> Strin
     let mut out = String::new();
     let _ = writeln!(out, "coverage summary: {report}");
     for (d, decision) in map.decisions().iter().enumerate() {
-        let covered = decision
-            .outcomes
-            .iter()
-            .filter(|&&o| tracker.branch_hit(o.index()))
-            .count();
+        let covered = decision.outcomes.iter().filter(|&&o| tracker.branch_hit(o.index())).count();
         let _ = writeln!(
             out,
             "decision {d}: {} ({covered}/{} outcomes)",

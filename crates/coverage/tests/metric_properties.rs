@@ -122,4 +122,45 @@ proptest! {
         let from_b = b.merge_into(&mut total);
         prop_assert_eq!(total.count(), a.count() + from_b);
     }
+
+    /// `merge_from` is commutative (as a set union), idempotent, and
+    /// consistent with the `new_vs` delta query — the invariants the
+    /// parallel coordinator's global-coverage fold relies on.
+    #[test]
+    fn merge_from_is_commutative_and_idempotent(
+        a_hits in prop::collection::vec(any::<bool>(), 24),
+        b_hits in prop::collection::vec(any::<bool>(), 24),
+    ) {
+        let mut a = BranchBitmap::new(24);
+        let mut b = BranchBitmap::new(24);
+        for (i, (&ha, &hb)) in a_hits.iter().zip(&b_hits).enumerate() {
+            if ha {
+                a.branch(BranchId(i as u32));
+            }
+            if hb {
+                b.branch(BranchId(i as u32));
+            }
+        }
+
+        // Commutative: a ∪ b == b ∪ a.
+        let mut ab = a.clone();
+        let gained_b = ab.merge_from(&b);
+        let mut ba = b.clone();
+        let gained_a = ba.merge_from(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // The reported gain matches the non-mutating delta query.
+        prop_assert_eq!(gained_b, b.new_vs(&a));
+        prop_assert_eq!(gained_a, a.new_vs(&b));
+
+        // Idempotent: merging either operand again adds nothing.
+        let before = ab.clone();
+        prop_assert_eq!(ab.merge_from(&a), 0);
+        prop_assert_eq!(ab.merge_from(&b), 0);
+        prop_assert_eq!(&ab, &before);
+
+        // The union dominates both operands.
+        prop_assert_eq!(a.new_vs(&ab), 0);
+        prop_assert_eq!(b.new_vs(&ab), 0);
+    }
 }

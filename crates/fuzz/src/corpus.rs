@@ -70,8 +70,8 @@ impl Corpus {
                 .enumerate()
                 .min_by_key(|&(_, e)| (e.new_branches, e.metric))
                 .expect("corpus is non-empty at capacity");
-            let beats_worst = (entry.new_branches, entry.metric)
-                > (worst_entry.new_branches, worst_entry.metric);
+            let beats_worst =
+                (entry.new_branches, entry.metric) > (worst_entry.new_branches, worst_entry.metric);
             if beats_worst {
                 self.entries[worst] = entry;
             }
@@ -93,8 +93,7 @@ impl Corpus {
             let i = rng.random_range(0..self.entries.len());
             return Some(&self.entries[i]);
         }
-        let energy =
-            |e: &CorpusEntry| (e.metric as u64 + 1) * (1 + 8 * e.new_branches as u64);
+        let energy = |e: &CorpusEntry| (e.metric as u64 + 1) * (1 + 8 * e.new_branches as u64);
         let total: u64 = self.entries.iter().map(|e| energy(e)).sum();
         let mut ticket = rng.random_range(0..total);
         for entry in &self.entries {

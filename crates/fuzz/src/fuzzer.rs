@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 use cftcg_codegen::{CompiledModel, Executor, TestCase};
-use cftcg_coverage::{BranchBitmap, Recorder as _};
+use cftcg_coverage::BranchBitmap;
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 
@@ -17,20 +17,36 @@ use crate::mutate::Mutator;
 /// of comparisons per iteration, and the rare run-time-computed operand
 /// (a sequence number, a timer threshold) must survive the flood once
 /// observed.
+///
+/// The table is a ring: once full, admitting a new pair evicts the oldest
+/// one (round-robin), so the dictionary keeps tracking the operands of the
+/// *current* frontier instead of freezing on whatever the first 512 were.
 #[derive(Debug, Clone)]
-struct Torc {
-    pairs: Vec<(f64, f64)>,
+pub(crate) struct Torc {
+    pub(crate) pairs: Vec<(f64, f64)>,
     seen: std::collections::HashSet<(u64, u64)>,
+    /// Ring cursor: the slot the next eviction replaces (oldest entry).
+    next_evict: usize,
+    /// When set, newly admitted pairs are also copied to `fresh` for the
+    /// parallel coordinator to merge (drained by [`Torc::take_fresh`]).
+    track_fresh: bool,
+    fresh: Vec<(f64, f64)>,
 }
 
 impl Torc {
-    const CAPACITY: usize = 512;
+    pub(crate) const CAPACITY: usize = 512;
 
-    fn new() -> Self {
-        Torc { pairs: Vec::new(), seen: std::collections::HashSet::new() }
+    pub(crate) fn new() -> Self {
+        Torc {
+            pairs: Vec::new(),
+            seen: std::collections::HashSet::new(),
+            next_evict: 0,
+            track_fresh: false,
+            fresh: Vec::new(),
+        }
     }
 
-    fn push(&mut self, lhs: f64, rhs: f64) {
+    pub(crate) fn push(&mut self, lhs: f64, rhs: f64) {
         // Equal operands carry no information; non-finite values cannot be
         // injected meaningfully; trivial pairs (both tiny) are already in
         // the interesting-constant table.
@@ -38,13 +54,45 @@ impl Torc {
             || !rhs.is_finite()
             || lhs == rhs
             || (lhs.abs() <= 1.0 && rhs.abs() <= 1.0)
-            || self.pairs.len() >= Self::CAPACITY
         {
             return;
         }
-        if self.seen.insert((lhs.to_bits(), rhs.to_bits())) {
+        if !self.seen.insert((lhs.to_bits(), rhs.to_bits())) {
+            return;
+        }
+        if self.pairs.len() >= Self::CAPACITY {
+            let (old_l, old_r) = self.pairs[self.next_evict];
+            self.seen.remove(&(old_l.to_bits(), old_r.to_bits()));
+            self.pairs[self.next_evict] = (lhs, rhs);
+            self.next_evict = (self.next_evict + 1) % Self::CAPACITY;
+        } else {
             self.pairs.push((lhs, rhs));
         }
+        if self.track_fresh {
+            self.fresh.push((lhs, rhs));
+        }
+    }
+
+    /// Turns on fresh-pair tracking (parallel workers only; sequential use
+    /// would buffer pairs nobody drains).
+    pub(crate) fn enable_tracking(&mut self) {
+        self.track_fresh = true;
+    }
+
+    /// Drains the pairs admitted since the previous call.
+    pub(crate) fn take_fresh(&mut self) -> Vec<(f64, f64)> {
+        std::mem::take(&mut self.fresh)
+    }
+
+    /// Merges pairs discovered elsewhere (another worker's shard) without
+    /// echoing them back out through `fresh`.
+    pub(crate) fn absorb(&mut self, pairs: &[(f64, f64)]) {
+        let tracking = self.track_fresh;
+        self.track_fresh = false;
+        for &(lhs, rhs) in pairs {
+            self.push(lhs, rhs);
+        }
+        self.track_fresh = tracking;
     }
 }
 
@@ -182,6 +230,9 @@ impl FuzzOutcome {
 /// The model-oriented fuzzer.
 pub struct Fuzzer<'c> {
     exec: Executor<'c>,
+    /// Cached copy of the compiled tuple layout (avoids cloning it on
+    /// every execution just to iterate tuples).
+    layout: cftcg_codegen::TupleLayout,
     mutator: Mutator,
     corpus: Corpus,
     rng: SmallRng,
@@ -223,6 +274,7 @@ impl<'c> Fuzzer<'c> {
         };
         Fuzzer {
             exec: Executor::new(compiled),
+            layout: compiled.layout().clone(),
             mutator,
             corpus,
             rng: SmallRng::seed_from_u64(config.seed),
@@ -334,8 +386,7 @@ impl<'c> Fuzzer<'c> {
         let rounds = 1 + (self.rng.next_u32() % 4);
         for _ in 0..rounds {
             let dict = std::mem::take(&mut self.torc.pairs);
-            self.mutator
-                .mutate_with_dictionary(&mut self.rng, &mut data, other.as_deref(), &dict);
+            self.mutator.mutate_with_dictionary(&mut self.rng, &mut data, other.as_deref(), &dict);
             self.torc.pairs = dict;
         }
 
@@ -366,15 +417,12 @@ impl<'c> Fuzzer<'c> {
     /// difference metric)`.
     fn execute(&mut self, data: &[u8]) -> (usize, usize) {
         self.exec.reset(); // Model_init()
-        let layout = self.exec.compiled().layout().clone();
         let mut new_branches = 0;
         let mut metric = 0;
         self.last.clear();
         self.failed_assertions.iter_mut().for_each(|f| *f = false);
-        for tuple in layout
-            .split(data)
-            .take(self.config.max_iterations_per_input)
-        {
+        let masked = !matches!(self.config.feedback, FeedbackMode::ModelLevel);
+        for tuple in self.layout.split(data).take(self.config.max_iterations_per_input) {
             self.curr.clear(); // line 11
             let mut recorder = LoopRecorder {
                 bitmap: &mut self.curr,
@@ -382,7 +430,10 @@ impl<'c> Fuzzer<'c> {
                 failed_assertions: &mut self.failed_assertions,
             };
             self.exec.step_tuple(tuple, &mut recorder); // line 12
-            self.apply_mask();
+            if masked {
+                // Clear probe hits the configured feedback cannot observe.
+                self.curr.retain_mask(&self.mask);
+            }
             new_branches += self.curr.merge_into(&mut self.total); // lines 13–16
             metric += self.curr.diff_count(&self.last); // lines 17–18
             self.last.copy_from(&self.curr); // line 19
@@ -391,24 +442,77 @@ impl<'c> Fuzzer<'c> {
         (new_branches, metric)
     }
 
-    /// Clears probe hits the configured feedback cannot observe.
-    fn apply_mask(&mut self) {
-        if matches!(self.config.feedback, FeedbackMode::ModelLevel) {
-            return;
+    // ---- parallel-engine hooks (crate-private; see `parallel.rs`) ----
+
+    /// Runs `n` inputs without touching the wall-clock bookkeeping — the
+    /// unit of work a parallel worker performs between synchronizations.
+    pub(crate) fn fuzz_batch(&mut self, n: u64) {
+        for _ in 0..n {
+            self.fuzz_one();
         }
-        for (i, visible) in self.mask.iter().enumerate() {
-            if !visible && self.curr.get(i) {
-                // Rebuild without the invisible hit.
-                let mut masked = BranchBitmap::new(self.curr.len());
-                for j in 0..self.curr.len() {
-                    if self.curr.get(j) && self.mask[j] {
-                        masked.branch(cftcg_coverage::BranchId(j as u32));
-                    }
-                }
-                self.curr = masked;
-                return;
-            }
+    }
+
+    /// Inputs executed so far.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Model iterations executed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Coverage-growth events so far (one per suite entry, same order).
+    pub fn events(&self) -> &[CoverageEvent] {
+        &self.events
+    }
+
+    /// Imports a corpus entry discovered by another worker shard: executes
+    /// it so this shard's `g_TotalCov`, TORC, and corpus account for the
+    /// broadcast coverage, without counting it as fuzzing work (the
+    /// originating worker already counted the execution) and without
+    /// re-reporting its discoveries (suite, events, and violations stay
+    /// untouched — the coordinator owns the merged view).
+    pub(crate) fn absorb_entry(&mut self, bytes: Vec<u8>) {
+        let iterations = self.iterations;
+        let executions = self.executions;
+        let tracking = std::mem::take(&mut self.torc.track_fresh);
+        let (new_branches, metric) = self.execute(&bytes);
+        self.torc.track_fresh = tracking;
+        self.iterations = iterations;
+        self.executions = executions;
+        // Only keep it if it taught this shard something; otherwise it
+        // would crowd out locally interesting entries.
+        if new_branches > 0 || metric > 0 {
+            self.corpus.insert(CorpusEntry { bytes, metric, new_branches });
         }
+    }
+
+    /// Merges compare-dictionary pairs broadcast by the coordinator.
+    pub(crate) fn absorb_torc(&mut self, pairs: &[(f64, f64)]) {
+        self.torc.absorb(pairs);
+    }
+
+    /// Turns on TORC fresh-pair tracking for coordinator syncs.
+    pub(crate) fn enable_torc_tracking(&mut self) {
+        self.torc.enable_tracking();
+    }
+
+    /// Drains TORC pairs admitted since the last drain.
+    pub(crate) fn take_fresh_torc(&mut self) -> Vec<(f64, f64)> {
+        self.torc.take_fresh()
+    }
+
+    /// Violations found since index `from`, as `(assertion, input bytes)`.
+    pub(crate) fn violations_since(&self, from: usize) -> &[(usize, TestCase)] {
+        &self.violations[from..]
+    }
+
+    /// Suite/event pairs since index `from` (the two vectors grow in
+    /// lockstep: one event per emitted test case).
+    pub(crate) fn discoveries_since(&self, from: usize) -> (&[TestCase], &[CoverageEvent]) {
+        debug_assert_eq!(self.suite.len(), self.events.len());
+        (&self.suite[from..], &self.events[from..])
     }
 }
 
@@ -452,6 +556,54 @@ mod tests {
     }
 
     #[test]
+    fn torc_dedups_and_filters() {
+        let mut t = Torc::new();
+        t.push(5.0, 77.0);
+        t.push(5.0, 77.0); // duplicate
+        t.push(f64::NAN, 1.0); // non-finite
+        t.push(3.0, 3.0); // equal operands
+        t.push(0.5, -0.5); // both tiny
+        assert_eq!(t.pairs, vec![(5.0, 77.0)]);
+    }
+
+    #[test]
+    fn torc_ring_evicts_oldest_once_full() {
+        let mut t = Torc::new();
+        for i in 0..Torc::CAPACITY {
+            t.push(2.0 + i as f64, 1.0);
+        }
+        assert_eq!(t.pairs.len(), Torc::CAPACITY);
+        assert!(t.pairs.contains(&(2.0, 1.0)));
+
+        // The table is full; a new pair must still be admitted…
+        t.push(9_999.0, 1.0);
+        assert_eq!(t.pairs.len(), Torc::CAPACITY, "stays bounded");
+        assert!(t.pairs.contains(&(9_999.0, 1.0)), "new pair admitted");
+        // …at the expense of the oldest entry.
+        assert!(!t.pairs.contains(&(2.0, 1.0)), "oldest evicted");
+
+        // The evicted pair's dedup slot was released: it can come back
+        // (evicting the now-oldest survivor).
+        t.push(2.0, 1.0);
+        assert!(t.pairs.contains(&(2.0, 1.0)));
+        assert!(!t.pairs.contains(&(3.0, 1.0)));
+        assert_eq!(t.pairs.len(), Torc::CAPACITY);
+    }
+
+    #[test]
+    fn torc_fresh_tracking_drains_and_skips_absorbed() {
+        let mut t = Torc::new();
+        t.push(10.0, 20.0); // before tracking: not recorded as fresh
+        t.enable_tracking();
+        t.push(30.0, 40.0);
+        t.absorb(&[(50.0, 60.0), (10.0, 20.0)]); // imported, not echoed
+        assert_eq!(t.take_fresh(), vec![(30.0, 40.0)]);
+        assert!(t.take_fresh().is_empty(), "drained");
+        assert!(t.pairs.contains(&(50.0, 60.0)), "absorbed pairs join the table");
+        assert_eq!(t.pairs.len(), 3, "absorbed duplicate was deduped");
+    }
+
+    #[test]
     fn fuzzer_finds_magic_byte() {
         let compiled = magic_model();
         let mut fuzzer = Fuzzer::new(&compiled, FuzzConfig { seed: 3, ..Default::default() });
@@ -487,10 +639,7 @@ mod tests {
             assert!(pair[0].covered_branches < pair[1].covered_branches);
             assert!(pair[0].executions <= pair[1].executions);
         }
-        assert_eq!(
-            outcome.events.last().unwrap().covered_branches,
-            outcome.covered_branches
-        );
+        assert_eq!(outcome.events.last().unwrap().covered_branches, outcome.covered_branches);
     }
 
     #[test]
@@ -567,8 +716,7 @@ mod tests {
         b.wire(and, y);
         let compiled = compile(&b.finish().unwrap()).unwrap();
 
-        let mut model_level =
-            Fuzzer::new(&compiled, FuzzConfig { seed: 2, ..Default::default() });
+        let mut model_level = Fuzzer::new(&compiled, FuzzConfig { seed: 2, ..Default::default() });
         let m = model_level.run_executions(200);
         assert!(m.covered_branches > 0);
 

@@ -52,9 +52,11 @@ mod fuzzer;
 mod generation;
 mod minimize;
 mod mutate;
+mod parallel;
 
 pub use corpus::{Corpus, CorpusEntry};
+pub use fuzzer::{CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer};
 pub use generation::{coverage_series, Generation};
 pub use minimize::{minimize_case, minimize_suite};
-pub use fuzzer::{CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer};
 pub use mutate::{FieldRange, MutationKind, Mutator};
+pub use parallel::{ParallelFuzzConfig, ParallelFuzzer};

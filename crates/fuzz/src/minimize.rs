@@ -26,11 +26,7 @@ fn coverage_of(compiled: &CompiledModel, case: &TestCase) -> BranchBitmap {
 
 /// `true` when every branch set in `needed` is also set in `have`.
 fn covers(have: &BranchBitmap, needed: &BranchBitmap) -> bool {
-    needed
-        .as_slice()
-        .iter()
-        .zip(have.as_slice())
-        .all(|(&n, &h)| !n || h)
+    needed.as_slice().iter().zip(have.as_slice()).all(|(&n, &h)| !n || h)
 }
 
 /// Shrinks one test case by removing tuple blocks (halves, then quarters,
@@ -65,11 +61,8 @@ pub fn minimize_case(compiled: &CompiledModel, case: &TestCase) -> TestCase {
         return TestCase::default();
     }
     let target = coverage_of(compiled, case);
-    let mut tuples: Vec<Vec<u8>> = compiled
-        .layout()
-        .split(&case.bytes)
-        .map(<[u8]>::to_vec)
-        .collect();
+    let mut tuples: Vec<Vec<u8>> =
+        compiled.layout().split(&case.bytes).map(<[u8]>::to_vec).collect();
 
     let mut block = (tuples.len() / 2).max(1);
     loop {
@@ -103,11 +96,8 @@ pub fn minimize_case(compiled: &CompiledModel, case: &TestCase) -> TestCase {
 /// the same branches as the input suite.
 pub fn minimize_suite(compiled: &CompiledModel, suite: &[TestCase]) -> Vec<TestCase> {
     let branch_count = compiled.map().branch_count();
-    let mut coverages: Vec<(usize, BranchBitmap)> = suite
-        .iter()
-        .enumerate()
-        .map(|(i, case)| (i, coverage_of(compiled, case)))
-        .collect();
+    let mut coverages: Vec<(usize, BranchBitmap)> =
+        suite.iter().enumerate().map(|(i, case)| (i, coverage_of(compiled, case))).collect();
     // Largest coverage first so the greedy pass keeps few, strong cases.
     coverages.sort_by_key(|(_, cov)| std::cmp::Reverse(cov.count()));
 
@@ -174,10 +164,7 @@ mod tests {
         let compiled = compile(&b.finish().unwrap()).unwrap();
         let case = TestCase::new(vec![0; 10]);
         let slim = minimize_case(&compiled, &case);
-        assert_eq!(
-            coverage_of(&compiled, &slim).count(),
-            coverage_of(&compiled, &case).count()
-        );
+        assert_eq!(coverage_of(&compiled, &slim).count(), coverage_of(&compiled, &case).count());
         // The wrap needs at least 4 iterations (count 0..=3).
         assert!(slim.bytes.len() >= 4, "kept {} tuples", slim.bytes.len());
     }
@@ -186,12 +173,12 @@ mod tests {
     fn suite_minimization_drops_redundant_cases() {
         let compiled = saturation_compiled();
         let suite = vec![
-            TestCase::new(vec![15]),       // pass-through
-            TestCase::new(vec![15, 15]),   // redundant
-            TestCase::new(vec![0]),        // lower clip
-            TestCase::new(vec![255]),      // upper clip
-            TestCase::new(vec![0, 255]),   // redundant combination
-            TestCase::new(vec![16]),       // redundant
+            TestCase::new(vec![15]),     // pass-through
+            TestCase::new(vec![15, 15]), // redundant
+            TestCase::new(vec![0]),      // lower clip
+            TestCase::new(vec![255]),    // upper clip
+            TestCase::new(vec![0, 255]), // redundant combination
+            TestCase::new(vec![16]),     // redundant
         ];
         let before = replay_suite(&compiled, &suite);
         let slim = minimize_suite(&compiled, &suite);

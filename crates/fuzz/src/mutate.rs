@@ -133,8 +133,7 @@ impl Mutator {
             let v = cftcg_model::Value::from_le_bytes(&tuple[r.clone()], field.dtype);
             let clamped = range.clamp(v.as_f64());
             if clamped != v.as_f64() || v.as_f64().is_nan() {
-                let bytes =
-                    cftcg_model::Value::from_f64(clamped, field.dtype).to_le_bytes();
+                let bytes = cftcg_model::Value::from_f64(clamped, field.dtype).to_le_bytes();
                 tuple[r].copy_from_slice(&bytes);
             }
         }
@@ -304,9 +303,8 @@ impl Mutator {
             MutationKind::InsertRepeatedTuples => {
                 if n < self.max_tuples {
                     let at = rng.random_range(0..=n);
-                    let count = rng
-                        .random_range(2..=24usize)
-                        .min(self.max_tuples.saturating_sub(n).max(1));
+                    let count =
+                        rng.random_range(2..=24usize).min(self.max_tuples.saturating_sub(n).max(1));
                     // Repeat either an existing tuple or a random one —
                     // repeated tuples drive state machines forward.
                     let tuple = if n > 0 && rng.random_bool(0.7) {
@@ -525,8 +523,8 @@ fn write_dictionary_value(
 /// injects these alongside bit-level edits; boundary values crack
 /// comparison windows that uniform randomness almost never hits).
 const INTERESTING: [i64; 22] = [
-    0, 1, 2, 3, 4, 8, 10, 16, 32, 64, 100, 127, 128, 255, 256, 512, 1000, 1024, 4096, 32767,
-    65535, 1_000_000,
+    0, 1, 2, 3, 4, 8, 10, 16, 32, 64, 100, 127, 128, 255, 256, 512, 1000, 1024, 4096, 32767, 65535,
+    1_000_000,
 ];
 
 fn mutate_integer(rng: &mut SmallRng, bytes: &mut [u8]) {
@@ -562,11 +560,8 @@ fn mutate_integer(rng: &mut SmallRng, bytes: &mut [u8]) {
             word[..bytes.len()].copy_from_slice(bytes);
             let v = u64::from_le_bytes(word);
             let delta = rng.random_range(1..=16u64);
-            let v = if rng.random_bool(0.5) {
-                v.wrapping_add(delta)
-            } else {
-                v.wrapping_sub(delta)
-            };
+            let v =
+                if rng.random_bool(0.5) { v.wrapping_add(delta) } else { v.wrapping_sub(delta) };
             bytes.copy_from_slice(&v.to_le_bytes()[..bytes.len()]);
         }
         5 => {
@@ -668,12 +663,7 @@ mod tests {
         let other = vec![7u8; tsize * 3];
         for _ in 0..2_000 {
             m.mutate(&mut r, &mut data, Some(&other));
-            assert_eq!(
-                data.len() % tsize,
-                0,
-                "tuple alignment broken: {} bytes",
-                data.len()
-            );
+            assert_eq!(data.len() % tsize, 0, "tuple alignment broken: {} bytes", data.len());
             assert!(!data.is_empty());
             assert!(data.len() <= (32 + 8) * tsize);
         }
@@ -816,10 +806,10 @@ mod tests {
     fn range_constraints_hold_under_all_value_mutations() {
         let mut m = Mutator::new(layout(), 16);
         m.set_ranges(vec![
-            FieldRange::new(-5.0, 5.0),     // Enable i8
-            FieldRange::new(0.0, 5000.0),   // Power i32
-            FieldRange::new(1.0, 4.0),      // PanelID i32
-            FieldRange::new(-1.0, 1.0),     // Level f64
+            FieldRange::new(-5.0, 5.0),   // Enable i8
+            FieldRange::new(0.0, 5000.0), // Power i32
+            FieldRange::new(1.0, 4.0),    // PanelID i32
+            FieldRange::new(-1.0, 1.0),   // Level f64
         ]);
         let tsize = m.layout().tuple_size();
         let mut r = rng(20);

@@ -1,0 +1,402 @@
+//! Sharded parallel fuzzing with periodic coverage/corpus synchronization.
+//!
+//! AFL-style main/secondary parallelism adapted to the model fuzzing loop:
+//! `N` workers each own a full [`Fuzzer`] — their own executor, mutator,
+//! corpus shard, TORC dictionary, and a seed-derived RNG (`seed ^
+//! worker_id`, so runs stay deterministic per worker count). Workers fuzz
+//! independently between *sync rounds*; each round they report to a
+//! coordinator which
+//!
+//! 1. folds the workers' coverage into a global `g_TotalCov` bitmap by
+//!    **re-executing** each candidate test case (the re-execution, not the
+//!    worker's shard-local claim, decides global novelty — two shards often
+//!    find the same branch in the same round),
+//! 2. broadcasts globally-new corpus entries back to every *other* shard,
+//!    so discoveries propagate without the shards sharing mutable state,
+//! 3. merges compare-dictionary (TORC) pairs and assertion violations with
+//!    first-witness-wins semantics.
+//!
+//! The merged [`FuzzOutcome`] has the same shape as a sequential run:
+//! executions/iterations are summed, events carry global coverage totals,
+//! and with `workers == 1` the suite is byte-identical to [`Fuzzer`] under
+//! the same seed (nothing is broadcast back to its own origin, so the
+//! single worker's trajectory is untouched).
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+use cftcg_codegen::{CompiledModel, Executor, TestCase, TupleLayout};
+use cftcg_coverage::BranchBitmap;
+
+use crate::fuzzer::{CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer};
+
+/// Configuration of the parallel engine.
+#[derive(Debug, Clone)]
+pub struct ParallelFuzzConfig {
+    /// Number of worker shards (clamped to at least 1).
+    pub workers: usize,
+    /// Executions each worker runs between syncs (execution-budget runs).
+    pub sync_interval: u64,
+    /// Wall-clock length of a sync round (time-budget runs).
+    pub sync_period: Duration,
+    /// Per-worker fuzzing configuration; `fuzz.seed` is the base seed each
+    /// worker XORs with its id.
+    pub fuzz: FuzzConfig,
+}
+
+impl Default for ParallelFuzzConfig {
+    fn default() -> Self {
+        ParallelFuzzConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            sync_interval: 1024,
+            sync_period: Duration::from_millis(200),
+            fuzz: FuzzConfig::default(),
+        }
+    }
+}
+
+/// One globally-new discovery as reported by a worker.
+struct ReportedCase {
+    bytes: Vec<u8>,
+    /// Worker wall-clock at discovery.
+    elapsed: Duration,
+    /// Worker-local execution count at discovery.
+    executions: u64,
+}
+
+/// What a worker sends the coordinator at the end of each sync round.
+struct WorkerReport {
+    worker: usize,
+    /// New suite entries since the last report (shard-local novelty).
+    cases: Vec<ReportedCase>,
+    /// New `(assertion index, witness input)` pairs since the last report.
+    violations: Vec<(usize, Vec<u8>)>,
+    /// TORC pairs admitted to the shard dictionary since the last report.
+    torc: Vec<(f64, f64)>,
+    /// Cumulative worker-local totals.
+    executions: u64,
+    iterations: u64,
+    /// The worker has exhausted its budget.
+    done: bool,
+}
+
+/// What the coordinator sends every worker after processing a round.
+struct Broadcast {
+    /// Globally-new corpus entries discovered by *other* workers.
+    entries: Vec<Vec<u8>>,
+    /// Globally-new TORC pairs discovered by *other* workers.
+    torc: Vec<(f64, f64)>,
+    /// Budget exhausted everywhere: exit after absorbing.
+    stop: bool,
+}
+
+/// A worker's fuzzing budget.
+#[derive(Clone, Copy)]
+enum WorkerBudget {
+    /// Run exactly `total` executions, `per_round` per sync round.
+    Executions { total: u64, per_round: u64 },
+    /// Run until `deadline`, syncing every `period`.
+    WallClock { deadline: Instant, period: Duration },
+}
+
+/// The worker thread body: fuzz a round, report, absorb the broadcast,
+/// repeat until the coordinator says stop (or hangs up).
+fn worker_loop(
+    compiled: &CompiledModel,
+    config: FuzzConfig,
+    budget: WorkerBudget,
+    worker: usize,
+    reports: Sender<WorkerReport>,
+    broadcasts: Receiver<Broadcast>,
+) {
+    let mut fuzzer = Fuzzer::new(compiled, config);
+    fuzzer.enable_torc_tracking();
+    let started = Instant::now();
+    let mut reported_cases = 0usize;
+    let mut reported_violations = 0usize;
+    let mut executed = 0u64;
+    let mut round = 0u32;
+    loop {
+        let done = match budget {
+            WorkerBudget::Executions { total, per_round } => {
+                let batch = per_round.min(total - executed);
+                fuzzer.fuzz_batch(batch);
+                executed += batch;
+                executed >= total
+            }
+            WorkerBudget::WallClock { deadline, period } => {
+                let round_end = (started + period * (round + 1)).min(deadline);
+                while Instant::now() < round_end {
+                    fuzzer.fuzz_batch(64);
+                }
+                Instant::now() >= deadline
+            }
+        };
+
+        let (suite, events) = fuzzer.discoveries_since(reported_cases);
+        let cases: Vec<ReportedCase> = suite
+            .iter()
+            .zip(events)
+            .map(|(case, event)| ReportedCase {
+                bytes: case.bytes.clone(),
+                elapsed: event.elapsed,
+                executions: event.executions,
+            })
+            .collect();
+        reported_cases += cases.len();
+        let violations: Vec<(usize, Vec<u8>)> = fuzzer
+            .violations_since(reported_violations)
+            .iter()
+            .map(|(assertion, case)| (*assertion, case.bytes.clone()))
+            .collect();
+        reported_violations += violations.len();
+
+        let report = WorkerReport {
+            worker,
+            cases,
+            violations,
+            torc: fuzzer.take_fresh_torc(),
+            executions: fuzzer.executions(),
+            iterations: fuzzer.iterations(),
+            done,
+        };
+        if reports.send(report).is_err() {
+            return; // Coordinator hung up (a peer died); just exit.
+        }
+        let Ok(broadcast) = broadcasts.recv() else {
+            return;
+        };
+        for bytes in broadcast.entries {
+            fuzzer.absorb_entry(bytes);
+        }
+        fuzzer.absorb_torc(&broadcast.torc);
+        if broadcast.stop {
+            return;
+        }
+        round += 1;
+    }
+}
+
+/// The coordinator's global coverage state: its own executor re-runs every
+/// candidate case against `g_TotalCov` to judge global novelty.
+struct GlobalCoverage<'c> {
+    exec: Executor<'c>,
+    layout: TupleLayout,
+    total: BranchBitmap,
+    curr: BranchBitmap,
+    mask: Vec<bool>,
+    masked: bool,
+    max_iterations: usize,
+}
+
+impl<'c> GlobalCoverage<'c> {
+    fn new(compiled: &'c CompiledModel, config: &FuzzConfig) -> Self {
+        let branch_count = compiled.map().branch_count();
+        let masked = !matches!(config.feedback, FeedbackMode::ModelLevel);
+        let mask = match config.feedback {
+            FeedbackMode::ModelLevel => vec![true; branch_count],
+            FeedbackMode::CodeLevelOnly => compiled.map().code_level_mask(),
+        };
+        GlobalCoverage {
+            exec: Executor::new(compiled),
+            layout: compiled.layout().clone(),
+            total: BranchBitmap::new(branch_count),
+            curr: BranchBitmap::new(branch_count),
+            mask,
+            masked,
+            max_iterations: config.max_iterations_per_input,
+        }
+    }
+
+    /// Re-executes `bytes` exactly as a worker would, merging its coverage
+    /// into the global bitmap and returning how many branches were new.
+    fn absorb(&mut self, bytes: &[u8]) -> usize {
+        self.exec.reset();
+        let mut new_branches = 0;
+        for tuple in self.layout.split(bytes).take(self.max_iterations) {
+            self.curr.clear();
+            self.exec.step_tuple(tuple, &mut self.curr);
+            if self.masked {
+                self.curr.retain_mask(&self.mask);
+            }
+            new_branches += self.curr.merge_into(&mut self.total);
+        }
+        new_branches
+    }
+}
+
+/// The sharded parallel fuzzing engine. One-shot: construct, then call
+/// [`run_for`](Self::run_for) or [`run_executions`](Self::run_executions)
+/// once for a merged [`FuzzOutcome`].
+pub struct ParallelFuzzer<'c> {
+    compiled: &'c CompiledModel,
+    config: ParallelFuzzConfig,
+}
+
+impl<'c> ParallelFuzzer<'c> {
+    /// Creates a parallel fuzzer over a compiled model.
+    pub fn new(compiled: &'c CompiledModel, config: ParallelFuzzConfig) -> Self {
+        ParallelFuzzer { compiled, config }
+    }
+
+    /// Runs until `budget` wall-clock time has elapsed.
+    pub fn run_for(&self, budget: Duration) -> FuzzOutcome {
+        let deadline = Instant::now() + budget;
+        self.run(WorkerBudget::WallClock { deadline, period: self.config.sync_period })
+    }
+
+    /// Runs exactly `n` executions split across the workers (remainder to
+    /// the lowest worker ids). Deterministic for a given seed and worker
+    /// count; with one worker, byte-identical to [`Fuzzer::run_executions`].
+    pub fn run_executions(&self, n: u64) -> FuzzOutcome {
+        self.run(WorkerBudget::Executions { total: n, per_round: self.config.sync_interval.max(1) })
+    }
+
+    fn run(&self, budget: WorkerBudget) -> FuzzOutcome {
+        let workers = self.config.workers.max(1);
+        let started = Instant::now();
+        let compiled = self.compiled;
+
+        let mut global = GlobalCoverage::new(compiled, &self.config.fuzz);
+        let mut torc_seen = std::collections::HashSet::new();
+        let mut suite: Vec<TestCase> = Vec::new();
+        let mut events: Vec<CoverageEvent> = Vec::new();
+        let mut violations: Vec<(usize, TestCase)> = Vec::new();
+        // Per-worker cumulative executions as of the end of the previous
+        // round — the base for global execution estimates on events.
+        let mut prev_execs = vec![0u64; workers];
+        let mut iterations = vec![0u64; workers];
+
+        let (report_tx, report_rx) = mpsc::channel::<WorkerReport>();
+        std::thread::scope(|scope| {
+            let mut broadcast_txs = Vec::with_capacity(workers);
+            for worker in 0..workers {
+                let (tx, rx) = mpsc::channel::<Broadcast>();
+                broadcast_txs.push(tx);
+                let mut fuzz = self.config.fuzz.clone();
+                fuzz.seed ^= worker as u64;
+                let worker_budget = match budget {
+                    WorkerBudget::Executions { total, per_round } => {
+                        // Split n across shards, remainder to low ids.
+                        let base = total / workers as u64;
+                        let extra = u64::from((worker as u64) < total % workers as u64);
+                        WorkerBudget::Executions { total: base + extra, per_round }
+                    }
+                    wall => wall,
+                };
+                let report_tx = report_tx.clone();
+                scope.spawn(move || {
+                    worker_loop(compiled, fuzz, worker_budget, worker, report_tx, rx)
+                });
+            }
+            drop(report_tx);
+
+            let wall_mode = matches!(budget, WorkerBudget::WallClock { .. });
+            'rounds: loop {
+                // Collect exactly one report per worker (lockstep round).
+                let mut reports: Vec<Option<WorkerReport>> = (0..workers).map(|_| None).collect();
+                for _ in 0..workers {
+                    match report_rx.recv() {
+                        Ok(report) => {
+                            let w = report.worker;
+                            reports[w] = Some(report);
+                        }
+                        // A worker died (panic): drop the broadcast senders
+                        // so the rest exit, and let scope join re-raise.
+                        Err(_) => break 'rounds,
+                    }
+                }
+                let reports: Vec<WorkerReport> =
+                    reports.into_iter().map(|r| r.expect("one report per worker")).collect();
+
+                let global_base: u64 = prev_execs.iter().sum();
+
+                // Candidate cases, ordered deterministically: by discovery
+                // timestamp for wall-clock runs, by (worker, index) for
+                // execution-budget runs (where timestamps are not
+                // reproducible but worker trajectories are).
+                let mut candidates: Vec<(usize, usize, &ReportedCase)> = reports
+                    .iter()
+                    .flat_map(|r| r.cases.iter().enumerate().map(|(i, c)| (r.worker, i, c)))
+                    .collect();
+                if wall_mode {
+                    candidates.sort_by_key(|&(w, i, c)| (c.elapsed, w, i));
+                }
+
+                // Re-execute each candidate against the global bitmap; only
+                // globally-novel ones enter the merged suite and the
+                // cross-shard broadcast.
+                let mut accepted: Vec<(usize, &[u8])> = Vec::new();
+                for (worker, _, case) in candidates {
+                    if global.absorb(&case.bytes) > 0 {
+                        suite.push(TestCase::new(case.bytes.clone()));
+                        events.push(CoverageEvent {
+                            elapsed: case.elapsed,
+                            executions: global_base + (case.executions - prev_execs[worker]),
+                            covered_branches: global.total.count(),
+                        });
+                        accepted.push((worker, &case.bytes));
+                    }
+                }
+
+                // First witness wins: violations in worker-id order.
+                for report in &reports {
+                    for (assertion, bytes) in &report.violations {
+                        if !violations.iter().any(|&(a, _)| a == *assertion) {
+                            violations.push((*assertion, TestCase::new(bytes.clone())));
+                        }
+                    }
+                }
+
+                // Globally-new TORC pairs, first witness wins.
+                let mut fresh_torc: Vec<(usize, (f64, f64))> = Vec::new();
+                for report in &reports {
+                    for &(lhs, rhs) in &report.torc {
+                        if torc_seen.insert((lhs.to_bits(), rhs.to_bits())) {
+                            fresh_torc.push((report.worker, (lhs, rhs)));
+                        }
+                    }
+                }
+
+                let all_done = reports.iter().all(|r| r.done);
+                for report in &reports {
+                    prev_execs[report.worker] = report.executions;
+                    iterations[report.worker] = report.iterations;
+                }
+
+                for (worker, tx) in broadcast_txs.iter().enumerate() {
+                    let broadcast = Broadcast {
+                        entries: accepted
+                            .iter()
+                            .filter(|&&(origin, _)| origin != worker)
+                            .map(|&(_, bytes)| bytes.to_vec())
+                            .collect(),
+                        torc: fresh_torc
+                            .iter()
+                            .filter(|&&(origin, _)| origin != worker)
+                            .map(|&(_, pair)| pair)
+                            .collect(),
+                        stop: all_done,
+                    };
+                    // A send failure means that worker exited; the
+                    // done-handshake below still terminates the round loop.
+                    let _ = tx.send(broadcast);
+                }
+                if all_done {
+                    break;
+                }
+            }
+        });
+
+        FuzzOutcome {
+            suite,
+            violations,
+            events,
+            executions: prev_execs.iter().sum(),
+            iterations: iterations.iter().sum(),
+            branch_count: global.total.len(),
+            covered_branches: global.total.count(),
+            elapsed: started.elapsed(),
+        }
+    }
+}

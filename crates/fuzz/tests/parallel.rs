@@ -1,0 +1,147 @@
+//! Integration tests of the sharded parallel engine: the `workers == 1`
+//! determinism contract, per-worker-count reproducibility, and the
+//! multi-worker coverage smoke test on a real benchmark model.
+
+use std::time::Duration;
+
+use cftcg_codegen::compile;
+use cftcg_fuzz::{FuzzConfig, Fuzzer, ParallelFuzzConfig, ParallelFuzzer};
+
+fn config(seed: u64) -> FuzzConfig {
+    FuzzConfig { seed, ..FuzzConfig::default() }
+}
+
+/// The determinism contract: one worker, same seed, execution budget ⇒ the
+/// parallel engine is byte-identical to the sequential fuzzer. Nothing is
+/// broadcast back to its own origin, so the single shard's trajectory is
+/// exactly the sequential one, and the coordinator's re-execution merge
+/// reconstructs the same suite, events, and counters.
+#[test]
+fn one_worker_matches_sequential_exactly() {
+    let model = cftcg_benchmarks::solar_pv::model();
+    let compiled = compile(&model).expect("benchmark compiles");
+
+    let mut sequential = Fuzzer::new(&compiled, config(42));
+    let expected = sequential.run_executions(4_000);
+
+    let parallel = ParallelFuzzer::new(
+        &compiled,
+        ParallelFuzzConfig {
+            workers: 1,
+            sync_interval: 512, // several sync rounds, not one big batch
+            fuzz: config(42),
+            ..ParallelFuzzConfig::default()
+        },
+    );
+    let merged = parallel.run_executions(4_000);
+
+    assert_eq!(merged.suite, expected.suite, "suites must be byte-identical");
+    assert_eq!(merged.executions, expected.executions);
+    assert_eq!(merged.iterations, expected.iterations);
+    assert_eq!(merged.branch_count, expected.branch_count);
+    assert_eq!(merged.covered_branches, expected.covered_branches);
+    assert_eq!(merged.events.len(), expected.events.len());
+    for (m, e) in merged.events.iter().zip(&expected.events) {
+        assert_eq!(m.executions, e.executions);
+        assert_eq!(m.covered_branches, e.covered_branches);
+    }
+    assert_eq!(
+        merged.violations.iter().map(|(a, c)| (*a, &c.bytes)).collect::<Vec<_>>(),
+        expected.violations.iter().map(|(a, c)| (*a, &c.bytes)).collect::<Vec<_>>(),
+    );
+}
+
+/// Execution-budget runs are deterministic for a fixed worker count: worker
+/// RNGs are seed-derived (`seed ^ worker_id`), rounds are lockstep, and the
+/// coordinator merges in a deterministic order.
+#[test]
+fn multi_worker_runs_are_deterministic_per_worker_count() {
+    let model = cftcg_benchmarks::solar_pv::model();
+    let compiled = compile(&model).expect("benchmark compiles");
+
+    let run = || {
+        ParallelFuzzer::new(
+            &compiled,
+            ParallelFuzzConfig {
+                workers: 3,
+                sync_interval: 256,
+                fuzz: config(7),
+                ..ParallelFuzzConfig::default()
+            },
+        )
+        .run_executions(3_000)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.suite, b.suite);
+    assert_eq!(a.covered_branches, b.covered_branches);
+    assert_eq!(a.executions, b.executions);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.events.len(), b.events.len());
+}
+
+/// Multi-worker smoke test: at an equal execution budget, four synced
+/// shards must cover at least as much as one sequential fuzzer (cross-shard
+/// corpus broadcast means shards build on each other's discoveries).
+#[test]
+fn four_workers_cover_at_least_sequential_at_equal_budget() {
+    let model = cftcg_benchmarks::solar_pv::model();
+    let compiled = compile(&model).expect("benchmark compiles");
+    const BUDGET: u64 = 8_000;
+
+    let mut sequential = Fuzzer::new(&compiled, config(5));
+    let seq = sequential.run_executions(BUDGET);
+
+    let par = ParallelFuzzer::new(
+        &compiled,
+        ParallelFuzzConfig {
+            workers: 4,
+            sync_interval: 250,
+            fuzz: config(5),
+            ..ParallelFuzzConfig::default()
+        },
+    )
+    .run_executions(BUDGET);
+
+    assert_eq!(par.executions, BUDGET, "budget is split exactly");
+    assert!(
+        par.covered_branches >= seq.covered_branches,
+        "4 workers covered {} < sequential {}",
+        par.covered_branches,
+        seq.covered_branches
+    );
+    // The merged suite replays to the merged coverage claim.
+    let replayed = cftcg_codegen::replay_suite(&compiled, &par.suite);
+    assert_eq!(replayed.decision.covered, par.covered_branches);
+    // Events carry a monotone global coverage total.
+    for pair in par.events.windows(2) {
+        assert!(pair[0].covered_branches < pair[1].covered_branches);
+    }
+    assert_eq!(par.events.last().map(|e| e.covered_branches), Some(par.covered_branches));
+}
+
+/// Wall-clock mode: runs finish, produce work from every shard, and stay
+/// within a sane envelope of the deadline.
+#[test]
+fn wall_clock_mode_terminates_and_merges() {
+    let model = cftcg_benchmarks::solar_pv::model();
+    let compiled = compile(&model).expect("benchmark compiles");
+
+    let outcome = ParallelFuzzer::new(
+        &compiled,
+        ParallelFuzzConfig {
+            workers: 2,
+            sync_period: Duration::from_millis(25),
+            fuzz: config(9),
+            ..ParallelFuzzConfig::default()
+        },
+    )
+    .run_for(Duration::from_millis(120));
+
+    assert!(outcome.executions > 0);
+    assert!(outcome.covered_branches > 0);
+    assert!(outcome.elapsed >= Duration::from_millis(120));
+    for pair in outcome.events.windows(2) {
+        assert!(pair[0].covered_branches < pair[1].covered_branches);
+    }
+}

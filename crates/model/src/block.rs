@@ -146,11 +146,7 @@ impl MathFunc {
     /// Number of input ports the function consumes.
     pub const fn arity(self) -> usize {
         match self {
-            MathFunc::Mod
-            | MathFunc::Rem
-            | MathFunc::Pow
-            | MathFunc::Atan2
-            | MathFunc::Hypot => 2,
+            MathFunc::Mod | MathFunc::Rem | MathFunc::Pow | MathFunc::Atan2 | MathFunc::Hypot => 2,
             _ => 1,
         }
     }
@@ -640,12 +636,8 @@ impl BlockKind {
     pub fn num_outputs(&self) -> usize {
         match self {
             BlockKind::Outport { .. } | BlockKind::Terminator | BlockKind::Assertion => 0,
-            BlockKind::If { conditions, has_else, .. } => {
-                conditions.len() + usize::from(*has_else)
-            }
-            BlockKind::SwitchCase { cases, has_default } => {
-                cases.len() + usize::from(*has_default)
-            }
+            BlockKind::If { conditions, has_else, .. } => conditions.len() + usize::from(*has_else),
+            BlockKind::SwitchCase { cases, has_default } => cases.len() + usize::from(*has_default),
             BlockKind::ActionSubsystem { model }
             | BlockKind::EnabledSubsystem { model }
             | BlockKind::TriggeredSubsystem { model, .. }
@@ -758,11 +750,8 @@ impl BlockKind {
     /// Panics when called on a subsystem kind, or with an out-of-range port.
     pub fn output_type(&self, input_types: &[DataType], port: usize) -> DataType {
         assert!(port < self.num_outputs(), "port {port} out of range for {}", self.tag());
-        let first_input = || {
-            *input_types
-                .first()
-                .unwrap_or_else(|| panic!("{} needs an input type", self.tag()))
-        };
+        let first_input =
+            || *input_types.first().unwrap_or_else(|| panic!("{} needs an input type", self.tag()));
         match self {
             BlockKind::Inport { dtype, .. } => *dtype,
             BlockKind::Constant { value } => value.data_type(),

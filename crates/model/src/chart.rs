@@ -194,10 +194,7 @@ impl Chart {
     }
 }
 
-fn check_assignable(
-    declared: &BTreeSet<&str>,
-    stmt: &Stmt,
-) -> Result<(), ValidateChartError> {
+fn check_assignable(declared: &BTreeSet<&str>, stmt: &Stmt) -> Result<(), ValidateChartError> {
     for v in stmt.assigned_vars() {
         if !declared.contains(v.as_str()) {
             return Err(ValidateChartError::UndeclaredVariable(v));
@@ -295,10 +292,7 @@ mod tests {
     fn rejects_duplicate_state_names() {
         let mut chart = toggle_chart();
         chart.add_state(State::new("Off"));
-        assert_eq!(
-            chart.validate().unwrap_err(),
-            ValidateChartError::DuplicateState("Off".into())
-        );
+        assert_eq!(chart.validate().unwrap_err(), ValidateChartError::DuplicateState("Off".into()));
     }
 
     #[test]

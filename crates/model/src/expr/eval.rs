@@ -79,10 +79,9 @@ impl fmt::Display for EvalExprError {
         match self {
             EvalExprError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
             EvalExprError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
-            EvalExprError::BadArity { function, expected, found } => write!(
-                f,
-                "function `{function}` expects {expected} argument(s), found {found}"
-            ),
+            EvalExprError::BadArity { function, expected, found } => {
+                write!(f, "function `{function}` expects {expected} argument(s), found {found}")
+            }
         }
     }
 }
@@ -168,9 +167,9 @@ impl Expr {
     pub fn eval<E: DynEnv + ?Sized>(&self, env: &E) -> Result<Value, EvalExprError> {
         match self {
             Expr::Literal(v) => Ok(*v),
-            Expr::Var(name) => env
-                .get_var(name)
-                .ok_or_else(|| EvalExprError::UnknownVariable(name.clone())),
+            Expr::Var(name) => {
+                env.get_var(name).ok_or_else(|| EvalExprError::UnknownVariable(name.clone()))
+            }
             Expr::Unary(op, inner) => {
                 let v = inner.eval(env)?;
                 Ok(match op {
@@ -342,18 +341,12 @@ mod tests {
         assert_eq!(eval("true || y > 0", &[]), Value::Bool(true));
         // Without short circuit it errors:
         let e = parse_expr("true && y > 0").unwrap();
-        assert_eq!(
-            e.eval(&MapEnv::new()).unwrap_err(),
-            EvalExprError::UnknownVariable("y".into())
-        );
+        assert_eq!(e.eval(&MapEnv::new()).unwrap_err(), EvalExprError::UnknownVariable("y".into()));
     }
 
     #[test]
     fn variables_of_any_type_promote() {
-        assert_eq!(
-            eval("u + 1", &[("u", Value::I8(-3))]),
-            Value::F64(-2.0)
-        );
+        assert_eq!(eval("u + 1", &[("u", Value::I8(-3))]), Value::F64(-2.0));
         assert_eq!(eval("b && true", &[("b", Value::U16(7))]), Value::Bool(true));
     }
 
@@ -378,10 +371,7 @@ mod tests {
             EvalExprError::UnknownFunction("mystery".into())
         );
         let err = parse_expr("min(1)").unwrap().eval(&env).unwrap_err();
-        assert_eq!(
-            err,
-            EvalExprError::BadArity { function: "min".into(), expected: 2, found: 1 }
-        );
+        assert_eq!(err, EvalExprError::BadArity { function: "min".into(), expected: 2, found: 1 });
         assert!(err.to_string().contains("min"));
     }
 

@@ -110,17 +110,14 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Spanned>, (usize, String)> {
                     }
                 }
                 let text = &src[i..j];
-                let value: f64 = text
-                    .parse()
-                    .map_err(|_| (start, format!("bad number literal `{text}`")))?;
+                let value: f64 =
+                    text.parse().map_err(|_| (start, format!("bad number literal `{text}`")))?;
                 i = j;
                 Token::Number(value)
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let mut j = i;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
                 let word = &src[i..j];
@@ -207,42 +204,51 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("1 2.5 .5 1e3 2.5e-2"), vec![
-            Token::Number(1.0),
-            Token::Number(2.5),
-            Token::Number(0.5),
-            Token::Number(1000.0),
-            Token::Number(0.025),
-        ]);
+        assert_eq!(
+            toks("1 2.5 .5 1e3 2.5e-2"),
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(0.5),
+                Token::Number(1000.0),
+                Token::Number(0.025),
+            ]
+        );
     }
 
     #[test]
     fn keywords_and_idents() {
-        assert_eq!(toks("if else true false foo _x9"), vec![
-            Token::If,
-            Token::Else,
-            Token::True,
-            Token::False,
-            Token::Ident("foo".into()),
-            Token::Ident("_x9".into()),
-        ]);
+        assert_eq!(
+            toks("if else true false foo _x9"),
+            vec![
+                Token::If,
+                Token::Else,
+                Token::True,
+                Token::False,
+                Token::Ident("foo".into()),
+                Token::Ident("_x9".into()),
+            ]
+        );
     }
 
     #[test]
     fn operators() {
-        assert_eq!(toks("< <= > >= == != && || = ! ~="), vec![
-            Token::Lt,
-            Token::Le,
-            Token::Gt,
-            Token::Ge,
-            Token::EqEq,
-            Token::Ne,
-            Token::AndAnd,
-            Token::OrOr,
-            Token::Assign,
-            Token::Bang,
-            Token::Ne,
-        ]);
+        assert_eq!(
+            toks("< <= > >= == != && || = ! ~="),
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::EqEq,
+                Token::Ne,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Assign,
+                Token::Bang,
+                Token::Ne,
+            ]
+        );
     }
 
     #[test]

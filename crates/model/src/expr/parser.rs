@@ -47,8 +47,7 @@ impl Error for ParseExprError {}
 /// assert!(parse_expr("u1 +").is_err());
 /// ```
 pub fn parse_expr(src: &str) -> Result<Expr, ParseExprError> {
-    let tokens = tokenize(src)
-        .map_err(|(offset, message)| ParseExprError { message, offset })?;
+    let tokens = tokenize(src).map_err(|(offset, message)| ParseExprError { message, offset })?;
     let mut p = Parser { tokens, pos: 0, src_len: src.len() };
     let expr = p.expr()?;
     p.expect_end()?;
@@ -67,8 +66,7 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseExprError> {
 /// assert_eq!(body.len(), 2);
 /// ```
 pub fn parse_stmts(src: &str) -> Result<Vec<Stmt>, ParseExprError> {
-    let tokens = tokenize(src)
-        .map_err(|(offset, message)| ParseExprError { message, offset })?;
+    let tokens = tokenize(src).map_err(|(offset, message)| ParseExprError { message, offset })?;
     let mut p = Parser { tokens, pos: 0, src_len: src.len() };
     let stmts = p.stmt_list_until_end()?;
     Ok(stmts)
@@ -383,9 +381,8 @@ mod tests {
 
     #[test]
     fn if_else_chain() {
-        let stmts =
-            parse_stmts("if (a > 1) { x = 1; } else if (a > 0) { x = 2; } else { x = 3; }")
-                .unwrap();
+        let stmts = parse_stmts("if (a > 1) { x = 1; } else if (a > 0) { x = 2; } else { x = 3; }")
+            .unwrap();
         assert_eq!(stmts.len(), 1);
         match &stmts[0] {
             Stmt::If { else_body, .. } => {

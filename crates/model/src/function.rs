@@ -85,12 +85,8 @@ impl FunctionDef {
     ///
     /// Returns [`ValidateFunctionError`] describing the first problem found.
     pub fn validate(&self) -> Result<(), ValidateFunctionError> {
-        let mut defined: BTreeSet<String> = self
-            .inputs
-            .iter()
-            .chain(&self.outputs)
-            .map(|(n, _)| n.clone())
-            .collect();
+        let mut defined: BTreeSet<String> =
+            self.inputs.iter().chain(&self.outputs).map(|(n, _)| n.clone()).collect();
         let mut maybe_assigned = BTreeSet::new();
         check_definite_assignment(&self.body, &mut defined, &mut maybe_assigned)?;
         for (name, _) in &self.outputs {
@@ -223,18 +219,15 @@ mod tests {
             "y = u;",
         )
         .unwrap();
-        assert_eq!(
-            f.validate().unwrap_err(),
-            ValidateFunctionError::UnassignedOutput("z".into())
-        );
+        assert_eq!(f.validate().unwrap_err(), ValidateFunctionError::UnassignedOutput("z".into()));
     }
 
     #[test]
     fn body_text_reparses() {
         let f = sat();
         let text = f.body_text();
-        let reparsed = FunctionDef::parse(&[("u", DataType::F64)], &[("y", DataType::F64)], &text)
-            .unwrap();
+        let reparsed =
+            FunctionDef::parse(&[("u", DataType::F64)], &[("y", DataType::F64)], &text).unwrap();
         assert_eq!(reparsed.body(), f.body());
     }
 

@@ -55,8 +55,7 @@ mod types;
 mod xml;
 
 pub use block::{
-    BlockKind, EdgeKind, InputSign, LogicOp, MathFunc, MinMaxOp, ProductOp, RelOp,
-    SwitchCriterion,
+    BlockKind, EdgeKind, InputSign, LogicOp, MathFunc, MinMaxOp, ProductOp, RelOp, SwitchCriterion,
 };
 pub use builder::ModelBuilder;
 pub use chart::{Chart, State, Transition, ValidateChartError};

@@ -163,18 +163,12 @@ impl Model {
 
     /// Number of top-level input ports ([`BlockKind::Inport`] blocks).
     pub fn num_inports(&self) -> usize {
-        self.blocks
-            .iter()
-            .filter(|b| matches!(b.kind, BlockKind::Inport { .. }))
-            .count()
+        self.blocks.iter().filter(|b| matches!(b.kind, BlockKind::Inport { .. })).count()
     }
 
     /// Number of top-level output ports ([`BlockKind::Outport`] blocks).
     pub fn num_outports(&self) -> usize {
-        self.blocks
-            .iter()
-            .filter(|b| matches!(b.kind, BlockKind::Outport { .. }))
-            .count()
+        self.blocks.iter().filter(|b| matches!(b.kind, BlockKind::Outport { .. })).count()
     }
 
     /// The inport blocks sorted by port index, as `(block, index, type)`.
@@ -253,10 +247,8 @@ impl Model {
             out_edges[src].push(dst);
             in_degree[dst] += 1;
         }
-        let mut heap: BinaryHeap<Reverse<usize>> = (0..n)
-            .filter(|&i| in_degree[i] == 0)
-            .map(Reverse)
-            .collect();
+        let mut heap: BinaryHeap<Reverse<usize>> =
+            (0..n).filter(|&i| in_degree[i] == 0).map(Reverse).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(Reverse(i)) = heap.pop() {
             order.push(BlockId::from_index(i));
@@ -271,9 +263,7 @@ impl Model {
             let stuck = (0..n)
                 .find(|&i| in_degree[i] > 0)
                 .expect("some block must remain when order is incomplete");
-            return Err(ModelError::AlgebraicLoop {
-                block: self.blocks[stuck].name.clone(),
-            });
+            return Err(ModelError::AlgebraicLoop { block: self.blocks[stuck].name.clone() });
         }
         Ok(order)
     }
@@ -286,11 +276,8 @@ impl Model {
     /// unconnected inputs encountered during propagation.
     pub fn resolve_types(&self) -> Result<TypeMap, ModelError> {
         let order = self.execution_order()?;
-        let mut map: Vec<Vec<DataType>> = self
-            .blocks
-            .iter()
-            .map(|b| vec![DataType::F64; b.kind.num_outputs()])
-            .collect();
+        let mut map: Vec<Vec<DataType>> =
+            self.blocks.iter().map(|b| vec![DataType::F64; b.kind.num_outputs()]).collect();
         // Loop-breaker outputs may be consumed before the block is visited
         // in `order` (their consumers have no edge to them); resolve them
         // first from their initial-value/parameter types.
@@ -488,10 +475,8 @@ impl Model {
 
     fn validate_params(&self) -> Result<(), ModelError> {
         for block in &self.blocks {
-            let bad = |detail: String| ModelError::BadParameter {
-                block: block.name.clone(),
-                detail,
-            };
+            let bad =
+                |detail: String| ModelError::BadParameter { block: block.name.clone(), detail };
             match &block.kind {
                 BlockKind::Sum { signs } if signs.is_empty() => {
                     return Err(bad("Sum needs at least one input".into()));
@@ -521,9 +506,7 @@ impl Model {
                 BlockKind::Quantizer { interval } if *interval <= 0.0 => {
                     return Err(bad("quantization interval must be positive".into()));
                 }
-                BlockKind::RateLimiter { rising, falling }
-                    if *rising < 0.0 || *falling < 0.0 =>
-                {
+                BlockKind::RateLimiter { rising, falling } if *rising < 0.0 || *falling < 0.0 => {
                     return Err(bad("rate limits must be non-negative".into()));
                 }
                 BlockKind::Backlash { width, .. } if *width < 0.0 => {
@@ -537,9 +520,7 @@ impl Model {
                 {
                     return Err(bad("integrator lower limit exceeds upper".into()));
                 }
-                BlockKind::CounterFreeRunning { bits }
-                    if !matches!(bits, 1..=32) =>
-                {
+                BlockKind::CounterFreeRunning { bits } if !matches!(bits, 1..=32) => {
                     return Err(bad("counter width must be 1..=32 bits".into()));
                 }
                 BlockKind::MultiportSwitch { cases } if *cases == 0 => {
@@ -802,8 +783,7 @@ mod tests {
     fn execution_order_respects_dataflow() {
         let m = simple_model();
         let order = m.execution_order().unwrap();
-        let pos: HashMap<BlockId, usize> =
-            order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let pos: HashMap<BlockId, usize> = order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
         let u = m.block_by_name("u").unwrap().id();
         let g = m.block_by_name("g").unwrap().id();
         let y = m.block_by_name("y").unwrap().id();

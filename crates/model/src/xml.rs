@@ -17,8 +17,7 @@ use std::str::FromStr;
 use cftcg_slimxml::{parse, Document, Element};
 
 use crate::block::{
-    BlockKind, EdgeKind, InputSign, LogicOp, MathFunc, MinMaxOp, ProductOp, RelOp,
-    SwitchCriterion,
+    BlockKind, EdgeKind, InputSign, LogicOp, MathFunc, MinMaxOp, ProductOp, RelOp, SwitchCriterion,
 };
 use crate::chart::{Chart, State, Transition};
 use crate::expr::{format_stmts, parse_expr, parse_stmts};
@@ -166,10 +165,14 @@ fn write_kind(e: &mut Element, kind: &BlockKind) {
         BlockKind::Gain { gain } => param(e, "gain", gain),
         BlockKind::Bias { bias } => param(e, "bias", bias),
         BlockKind::MinMax { op, inputs } => {
-            param(e, "op", match op {
-                MinMaxOp::Min => "min",
-                MinMaxOp::Max => "max",
-            });
+            param(
+                e,
+                "op",
+                match op {
+                    MinMaxOp::Min => "min",
+                    MinMaxOp::Max => "max",
+                },
+            );
             param(e, "inputs", inputs);
         }
         BlockKind::Math { func } => param(e, "func", func.name()),
@@ -265,11 +268,9 @@ fn write_kind(e: &mut Element, kind: &BlockKind) {
         BlockKind::SwitchCase { cases, has_default } => {
             param(e, "has_default", has_default);
             for case in cases {
-                let labels =
-                    case.iter().map(i64::to_string).collect::<Vec<_>>().join(",");
-                e.children.push(cftcg_slimxml::Node::Element(
-                    Element::new("case").with_text(labels),
-                ));
+                let labels = case.iter().map(i64::to_string).collect::<Vec<_>>().join(",");
+                e.children
+                    .push(cftcg_slimxml::Node::Element(Element::new("case").with_text(labels)));
             }
         }
         BlockKind::ActionSubsystem { model }
@@ -377,10 +378,7 @@ impl<'a> Params<'a> {
             .find(|p| p.attr("name") == Some(name))
             .map(|p| p.text())
             .ok_or_else(|| {
-                LoadModelError::new(format!(
-                    "block `{}` is missing parameter `{name}`",
-                    self.block
-                ))
+                LoadModelError::new(format!("block `{}` is missing parameter `{name}`", self.block))
             })
     }
 
@@ -410,15 +408,12 @@ impl<'a> Params<'a> {
     {
         match self.opt_text(name) {
             None => Ok(None),
-            Some(text) => text
-                .parse()
-                .map(Some)
-                .map_err(|e| {
-                    LoadModelError::new(format!(
-                        "block `{}` parameter `{name}`: {e} (got `{text}`)",
-                        self.block
-                    ))
-                }),
+            Some(text) => text.parse().map(Some).map_err(|e| {
+                LoadModelError::new(format!(
+                    "block `{}` parameter `{name}`: {e} (got `{text}`)",
+                    self.block
+                ))
+            }),
         }
     }
 
@@ -460,9 +455,9 @@ fn model_from_element(root: &Element) -> Result<Model, LoadModelError> {
     }
     let mut connections = Vec::new();
     let find = |endpoint: &str| -> Result<PortRef, LoadModelError> {
-        let (bname, port) = endpoint.rsplit_once(':').ok_or_else(|| {
-            LoadModelError::new(format!("bad connection endpoint `{endpoint}`"))
-        })?;
+        let (bname, port) = endpoint
+            .rsplit_once(':')
+            .ok_or_else(|| LoadModelError::new(format!("bad connection endpoint `{endpoint}`")))?;
         let index = blocks.iter().position(|(n, _)| n == bname).ok_or_else(|| {
             LoadModelError::new(format!("connection references unknown block `{bname}`"))
         })?;
@@ -472,12 +467,9 @@ fn model_from_element(root: &Element) -> Result<Model, LoadModelError> {
         Ok(PortRef::new(crate::model::BlockId::from_index(index), port))
     };
     for ce in root.children_named("connection") {
-        let from = ce
-            .attr("from")
-            .ok_or_else(|| LoadModelError::new("<connection> missing `from`"))?;
-        let to = ce
-            .attr("to")
-            .ok_or_else(|| LoadModelError::new("<connection> missing `to`"))?;
+        let from =
+            ce.attr("from").ok_or_else(|| LoadModelError::new("<connection> missing `from`"))?;
+        let to = ce.attr("to").ok_or_else(|| LoadModelError::new("<connection> missing `to`"))?;
         connections.push(Connection { src: find(from)?, dst: find(to)? });
     }
     Ok(Model::from_parts(name, blocks, connections))
@@ -512,9 +504,9 @@ fn read_kind(e: &Element, block: &str) -> Result<BlockKind, LoadModelError> {
                 .map(|c| match c {
                     '+' => Ok(InputSign::Plus),
                     '-' => Ok(InputSign::Minus),
-                    other => Err(LoadModelError::new(format!(
-                        "block `{block}`: bad sign `{other}`"
-                    ))),
+                    other => {
+                        Err(LoadModelError::new(format!("block `{block}`: bad sign `{other}`")))
+                    }
                 })
                 .collect::<Result<_, _>>()?;
             BlockKind::Sum { signs }
@@ -526,9 +518,7 @@ fn read_kind(e: &Element, block: &str) -> Result<BlockKind, LoadModelError> {
                 .map(|c| match c {
                     '*' => Ok(ProductOp::Mul),
                     '/' => Ok(ProductOp::Div),
-                    other => Err(LoadModelError::new(format!(
-                        "block `{block}`: bad op `{other}`"
-                    ))),
+                    other => Err(LoadModelError::new(format!("block `{block}`: bad op `{other}`"))),
                 })
                 .collect::<Result<_, _>>()?;
             BlockKind::Product { ops }
@@ -718,8 +708,7 @@ fn read_kind(e: &Element, block: &str) -> Result<BlockKind, LoadModelError> {
                     })
                     .collect()
             };
-            let body_text =
-                fe.child("body").map(|b| b.text()).unwrap_or_default();
+            let body_text = fe.child("body").map(|b| b.text()).unwrap_or_default();
             BlockKind::MatlabFunction {
                 function: FunctionDef::new(
                     ports("input")?,
@@ -735,9 +724,7 @@ fn read_kind(e: &Element, block: &str) -> Result<BlockKind, LoadModelError> {
             BlockKind::Chart { chart: chart_from_element(ce, block)? }
         }
         other => {
-            return Err(LoadModelError::new(format!(
-                "block `{block}` has unknown kind `{other}`"
-            )))
+            return Err(LoadModelError::new(format!("block `{block}` has unknown kind `{other}`")))
         }
     })
 }
@@ -747,9 +734,7 @@ fn rel_op(symbol: &str, block: &str) -> Result<RelOp, LoadModelError> {
         .into_iter()
         .find(|o| o.symbol() == symbol)
         .ok_or_else(|| {
-            LoadModelError::new(format!(
-                "block `{block}`: unknown relational op `{symbol}`"
-            ))
+            LoadModelError::new(format!("block `{block}`: unknown relational op `{symbol}`"))
         })
 }
 
@@ -758,9 +743,7 @@ fn edge_kind(name: &str, block: &str) -> Result<EdgeKind, LoadModelError> {
         "rising" => Ok(EdgeKind::Rising),
         "falling" => Ok(EdgeKind::Falling),
         "either" => Ok(EdgeKind::Either),
-        other => Err(LoadModelError::new(format!(
-            "block `{block}`: unknown edge kind `{other}`"
-        ))),
+        other => Err(LoadModelError::new(format!("block `{block}`: unknown edge kind `{other}`"))),
     }
 }
 
@@ -825,8 +808,7 @@ fn chart_from_element(ce: &Element, block: &str) -> Result<Chart, LoadModelError
             None => None,
         };
         let action_text = te.text();
-        let action =
-            if action_text.is_empty() { Vec::new() } else { parse_stmts(&action_text)? };
+        let action = if action_text.is_empty() { Vec::new() } else { parse_stmts(&action_text)? };
         chart.transitions.push(Transition {
             from: parse_idx("from")?,
             to: parse_idx("to")?,
@@ -845,8 +827,7 @@ mod tests {
 
     fn roundtrip(model: &Model) {
         let xml = save_model(model);
-        let loaded = load_model(&xml)
-            .unwrap_or_else(|e| panic!("reload failed: {e}\n{xml}"));
+        let loaded = load_model(&xml).unwrap_or_else(|e| panic!("reload failed: {e}\n{xml}"));
         assert_eq!(&loaded, model, "roundtrip mismatch for `{}`", model.name());
     }
 
@@ -910,10 +891,7 @@ mod tests {
             BlockKind::CounterLimited { limit: 9 },
             BlockKind::CounterFreeRunning { bits: 16 },
             BlockKind::EdgeDetect { kind: EdgeKind::Falling },
-            BlockKind::Lookup1D {
-                breakpoints: vec![0.0, 1.0, 2.0],
-                values: vec![0.0, 10.0, 15.0],
-            },
+            BlockKind::Lookup1D { breakpoints: vec![0.0, 1.0, 2.0], values: vec![0.0, 10.0, 15.0] },
             BlockKind::Lookup2D {
                 row_breaks: vec![0.0, 1.0],
                 col_breaks: vec![0.0, 1.0, 2.0],
@@ -943,10 +921,7 @@ mod tests {
                 has_else: true,
             },
         );
-        b.add(
-            "sc",
-            BlockKind::SwitchCase { cases: vec![vec![1, 2], vec![3]], has_default: false },
-        );
+        b.add("sc", BlockKind::SwitchCase { cases: vec![vec![1, 2], vec![3]], has_default: false });
         roundtrip(&b.finish_unchecked());
     }
 
@@ -969,7 +944,8 @@ mod tests {
         chart.inputs.push(("go".into(), DataType::Bool));
         chart.outputs.push(("level".into(), DataType::I32));
         chart.variables.push(("ticks".into(), DataType::I32, Value::I32(0)));
-        let idle = chart.add_state(State::new("Idle").with_entry(parse_stmts("level = 0;").unwrap()));
+        let idle =
+            chart.add_state(State::new("Idle").with_entry(parse_stmts("level = 0;").unwrap()));
         let run = chart.add_state(
             State::new("Run")
                 .with_entry(parse_stmts("level = 1;").unwrap())
@@ -1010,19 +986,16 @@ mod tests {
         assert!(load_model("<nope/>").is_err());
         assert!(load_model("<model/>").is_err()); // missing name
         assert!(load_model("not xml").is_err());
-        let err = load_model(
-            "<model name=\"m\"><block name=\"b\" kind=\"Alien\"/></model>",
-        )
-        .unwrap_err();
+        let err =
+            load_model("<model name=\"m\"><block name=\"b\" kind=\"Alien\"/></model>").unwrap_err();
         assert!(err.message().contains("Alien"));
     }
 
     #[test]
     fn load_rejects_bad_connections() {
-        let err = load_model(
-            "<model name=\"m\"><connection from=\"ghost:0\" to=\"ghost:1\"/></model>",
-        )
-        .unwrap_err();
+        let err =
+            load_model("<model name=\"m\"><connection from=\"ghost:0\" to=\"ghost:1\"/></model>")
+                .unwrap_err();
         assert!(err.message().contains("ghost"));
         let err = load_model(
             "<model name=\"m\"><block name=\"b\" kind=\"Terminator\"/>\
@@ -1034,10 +1007,8 @@ mod tests {
 
     #[test]
     fn load_reports_missing_parameters() {
-        let err = load_model(
-            "<model name=\"m\"><block name=\"g\" kind=\"Gain\"/></model>",
-        )
-        .unwrap_err();
+        let err =
+            load_model("<model name=\"m\"><block name=\"g\" kind=\"Gain\"/></model>").unwrap_err();
         assert!(err.message().contains("gain"));
     }
 

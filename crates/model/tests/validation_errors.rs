@@ -3,8 +3,7 @@
 
 use cftcg_model::expr::parse_stmts;
 use cftcg_model::{
-    BlockKind, Chart, DataType, FunctionDef, Model, ModelBuilder, ModelError, PortRef, State,
-    Value,
+    BlockKind, Chart, DataType, FunctionDef, Model, ModelBuilder, ModelError, PortRef, State, Value,
 };
 
 fn gain_subsystem(input_type: DataType) -> Model {
@@ -22,17 +21,12 @@ fn subsystem_boundary_type_mismatch_is_rejected() {
     // Outer drives a double into an inner inport declared int16.
     let mut b = ModelBuilder::new("outer");
     let u = b.inport("u", DataType::F64);
-    let sub = b.add("sub", BlockKind::Subsystem {
-        model: Box::new(gain_subsystem(DataType::I16)),
-    });
+    let sub = b.add("sub", BlockKind::Subsystem { model: Box::new(gain_subsystem(DataType::I16)) });
     let y = b.outport("y");
     b.wire(u, sub);
     b.wire(sub, y);
     let err = b.finish().unwrap_err();
-    assert!(
-        matches!(err, ModelError::TypeMismatch { .. }),
-        "expected TypeMismatch, got {err}"
-    );
+    assert!(matches!(err, ModelError::TypeMismatch { .. }), "expected TypeMismatch, got {err}");
     assert!(err.to_string().contains("int16"));
 }
 
@@ -40,9 +34,7 @@ fn subsystem_boundary_type_mismatch_is_rejected() {
 fn matching_boundary_types_pass() {
     let mut b = ModelBuilder::new("outer");
     let u = b.inport("u", DataType::I16);
-    let sub = b.add("sub", BlockKind::Subsystem {
-        model: Box::new(gain_subsystem(DataType::I16)),
-    });
+    let sub = b.add("sub", BlockKind::Subsystem { model: Box::new(gain_subsystem(DataType::I16)) });
     let y = b.outport("y");
     b.wire(u, sub);
     b.wire(sub, y);
@@ -147,10 +139,13 @@ fn triggered_subsystem_type_check_uses_data_ports() {
     let mut b = ModelBuilder::new("m");
     let trig = b.inport("trig", DataType::Bool);
     let data = b.inport("data", DataType::I16);
-    let sub = b.add("sub", BlockKind::TriggeredSubsystem {
-        model: Box::new(gain_subsystem(DataType::I16)),
-        edge: cftcg_model::EdgeKind::Rising,
-    });
+    let sub = b.add(
+        "sub",
+        BlockKind::TriggeredSubsystem {
+            model: Box::new(gain_subsystem(DataType::I16)),
+            edge: cftcg_model::EdgeKind::Rising,
+        },
+    );
     let y = b.outport("y");
     b.feed(trig, sub, 0);
     b.feed(data, sub, 1);
@@ -161,10 +156,13 @@ fn triggered_subsystem_type_check_uses_data_ports() {
     let mut b = ModelBuilder::new("m2");
     let trig = b.inport("trig", DataType::Bool);
     let data = b.inport("data", DataType::F64);
-    let sub = b.add("sub", BlockKind::TriggeredSubsystem {
-        model: Box::new(gain_subsystem(DataType::I16)),
-        edge: cftcg_model::EdgeKind::Rising,
-    });
+    let sub = b.add(
+        "sub",
+        BlockKind::TriggeredSubsystem {
+            model: Box::new(gain_subsystem(DataType::I16)),
+            edge: cftcg_model::EdgeKind::Rising,
+        },
+    );
     let y = b.outport("y");
     b.feed(trig, sub, 0);
     b.feed(data, sub, 1);

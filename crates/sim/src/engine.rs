@@ -6,8 +6,7 @@ use std::collections::VecDeque;
 use cftcg_model::expr::{exec_stmts, EvalExprError, ExprEnv, MapEnv};
 use cftcg_model::interp::{lookup1d, lookup2d};
 use cftcg_model::{
-    BlockKind, DataType, InputSign, LogicOp, MinMaxOp, Model, ModelError, PortRef, ProductOp,
-    Value,
+    BlockKind, DataType, InputSign, LogicOp, MinMaxOp, Model, ModelError, PortRef, ProductOp, Value,
 };
 
 use crate::SimError;
@@ -35,16 +34,10 @@ enum BlockState {
     /// Counter value.
     Count(u32),
     /// Chart runtime: active state index plus persistent variables/outputs.
-    Chart {
-        active: usize,
-        env: MapEnv,
-    },
+    Chart { active: usize, env: MapEnv },
     /// Nested engine (all subsystem kinds); `prev_trigger` backs the
     /// triggered variant's edge detection.
-    Sub {
-        engine: Box<Engine>,
-        prev_trigger: bool,
-    },
+    Sub { engine: Box<Engine>, prev_trigger: bool },
 }
 
 /// The interpretation engine for one model level.
@@ -72,8 +65,7 @@ pub(crate) struct Engine {
 
 impl Engine {
     pub(crate) fn new(model: Model) -> Result<Self, ModelError> {
-        let order: Vec<usize> =
-            model.execution_order()?.into_iter().map(|id| id.index()).collect();
+        let order: Vec<usize> = model.execution_order()?.into_iter().map(|id| id.index()).collect();
         let types = model.resolve_types()?;
         let n = model.blocks().len();
         let mut src = Vec::with_capacity(n);
@@ -94,10 +86,8 @@ impl Engine {
             }
             out_types.push(ports);
         }
-        let signals: Vec<Vec<Value>> = out_types
-            .iter()
-            .map(|ports| ports.iter().map(|t| t.zero()).collect())
-            .collect();
+        let signals: Vec<Vec<Value>> =
+            out_types.iter().map(|ports| ports.iter().map(|t| t.zero()).collect()).collect();
         let mut state = Vec::with_capacity(n);
         for block in model.blocks() {
             state.push(initial_state(block.kind())?);
@@ -165,11 +155,7 @@ impl Engine {
         self.signals[block][port] = Value::from_f64(x, self.out_types[block][port]);
     }
 
-    pub(crate) fn step(
-        &mut self,
-        inputs: &[Value],
-        spins: u32,
-    ) -> Result<Vec<Value>, SimError> {
+    pub(crate) fn step(&mut self, inputs: &[Value], spins: u32) -> Result<Vec<Value>, SimError> {
         self.active.iter_mut().for_each(|a| *a = false);
 
         // Phase A: delay-class blocks publish their state as this step's
@@ -317,8 +303,7 @@ impl Engine {
                 self.write_f64(b, 0, acc);
             }
             BlockKind::Math { func } => {
-                let args: Vec<f64> =
-                    (0..func.arity()).map(|p| self.input_f64(b, p)).collect();
+                let args: Vec<f64> = (0..func.arity()).map(|p| self.input_f64(b, p)).collect();
                 self.write_f64(b, 0, func.apply(&args));
             }
             BlockKind::Saturation { lower, upper } => {
@@ -345,9 +330,7 @@ impl Engine {
             }
             BlockKind::Relay { on_threshold, off_threshold, on_output, off_output } => {
                 let x = self.input_f64(b, 0);
-                let BlockState::Flag(on) = &mut self.state[b] else {
-                    unreachable!("relay state")
-                };
+                let BlockState::Flag(on) = &mut self.state[b] else { unreachable!("relay state") };
                 if *on {
                     if x <= off_threshold {
                         *on = false;
@@ -407,8 +390,7 @@ impl Engine {
             }
             BlockKind::Logic { op, inputs } => {
                 let n = if op == LogicOp::Not { 1 } else { inputs };
-                let vals: Vec<bool> =
-                    (0..n).map(|p| self.input(b, p).is_truthy()).collect();
+                let vals: Vec<bool> = (0..n).map(|p| self.input(b, p).is_truthy()).collect();
                 let y = match op {
                     LogicOp::And => vals.iter().all(|&v| v),
                     LogicOp::Or => vals.iter().any(|&v| v),
@@ -439,11 +421,8 @@ impl Engine {
             }
             BlockKind::MultiportSwitch { cases } => {
                 let sel = self.input_f64(b, 0).round();
-                let idx = if sel.is_nan() {
-                    1
-                } else {
-                    (sel as i64).clamp(1, cases as i64) as usize
-                };
+                let idx =
+                    if sel.is_nan() { 1 } else { (sel as i64).clamp(1, cases as i64) as usize };
                 let v = self.input(b, idx);
                 self.write(b, 0, v);
             }
@@ -492,9 +471,7 @@ impl Engine {
             }
             BlockKind::EdgeDetect { kind } => {
                 let curr = self.input(b, 0).is_truthy();
-                let BlockState::Flag(prev) = &mut self.state[b] else {
-                    unreachable!("edge state")
-                };
+                let BlockState::Flag(prev) = &mut self.state[b] else { unreachable!("edge state") };
                 let y = kind.detect(*prev, curr);
                 *prev = curr;
                 self.write(b, 0, Value::Bool(y));
@@ -576,9 +553,8 @@ impl Engine {
                 }
             }
             BlockKind::Chart { chart } => {
-                let inputs: Vec<Value> = (0..chart.inputs.len())
-                    .map(|port| self.input(b, port))
-                    .collect();
+                let inputs: Vec<Value> =
+                    (0..chart.inputs.len()).map(|port| self.input(b, port)).collect();
                 let BlockState::Chart { active, env } = &mut self.state[b] else {
                     unreachable!("chart state")
                 };

@@ -106,11 +106,7 @@ impl Simulator {
     /// Returns [`ModelError`] if the model fails validation.
     pub fn new(model: &Model) -> Result<Self, ModelError> {
         model.validate()?;
-        Ok(Simulator {
-            engine: Engine::new(model.clone())?,
-            step_count: 0,
-            overhead_spins: 0,
-        })
+        Ok(Simulator { engine: Engine::new(model.clone())?, step_count: 0, overhead_spins: 0 })
     }
 
     /// Number of inports the model declares.

@@ -89,19 +89,13 @@ fn math_functions() {
 #[test]
 fn saturation_three_regions() {
     let kind = BlockKind::Saturation { lower: -1.0, upper: 1.0 };
-    assert_eq!(
-        f(run_block(kind, &[vec![-5.0], vec![0.5], vec![5.0]])),
-        vec![-1.0, 0.5, 1.0]
-    );
+    assert_eq!(f(run_block(kind, &[vec![-5.0], vec![0.5], vec![5.0]])), vec![-1.0, 0.5, 1.0]);
 }
 
 #[test]
 fn dead_zone_three_regions() {
     let kind = BlockKind::DeadZone { start: -1.0, end: 1.0 };
-    assert_eq!(
-        f(run_block(kind, &[vec![-3.0], vec![0.5], vec![3.0]])),
-        vec![-2.0, 0.0, 2.0]
-    );
+    assert_eq!(f(run_block(kind, &[vec![-3.0], vec![0.5], vec![3.0]])), vec![-2.0, 0.0, 2.0]);
 }
 
 #[test]
@@ -130,10 +124,7 @@ fn quantizer_rounds_to_interval() {
 fn rate_limiter_clamps_slew() {
     let kind = BlockKind::RateLimiter { rising: 1.0, falling: 2.0 };
     // prev starts at 0; +5 input limited to +1; falling limited to -2/step.
-    assert_eq!(
-        f(run_block(kind, &[vec![5.0], vec![5.0], vec![-5.0]])),
-        vec![1.0, 2.0, 0.0]
-    );
+    assert_eq!(f(run_block(kind, &[vec![5.0], vec![5.0], vec![-5.0]])), vec![1.0, 2.0, 0.0]);
 }
 
 #[test]
@@ -149,10 +140,7 @@ fn backlash_dead_band() {
 #[test]
 fn coulomb_friction_three_regions() {
     let kind = BlockKind::CoulombFriction { offset: 1.0, gain: 2.0 };
-    assert_eq!(
-        f(run_block(kind, &[vec![3.0], vec![0.0], vec![-3.0]])),
-        vec![7.0, 0.0, -7.0]
-    );
+    assert_eq!(f(run_block(kind, &[vec![3.0], vec![0.0], vec![-3.0]])), vec![7.0, 0.0, -7.0]);
 }
 
 #[test]
@@ -197,12 +185,15 @@ fn multiport_switch_clamps_selector() {
     let kind = BlockKind::MultiportSwitch { cases: 2 };
     // ports: 0 = selector (1-based), 1..=2 data
     assert_eq!(
-        f(run_block(kind, &[
-            vec![1.0, 10.0, 20.0],
-            vec![2.0, 10.0, 20.0],
-            vec![7.0, 10.0, 20.0],
-            vec![-3.0, 10.0, 20.0],
-        ])),
+        f(run_block(
+            kind,
+            &[
+                vec![1.0, 10.0, 20.0],
+                vec![2.0, 10.0, 20.0],
+                vec![7.0, 10.0, 20.0],
+                vec![-3.0, 10.0, 20.0],
+            ]
+        )),
         vec![10.0, 20.0, 20.0, 10.0]
     );
 }
@@ -220,10 +211,7 @@ fn unit_delay_and_memory_shift_by_one() {
         BlockKind::UnitDelay { initial: Value::F64(-1.0) },
         BlockKind::Memory { initial: Value::F64(-1.0) },
     ] {
-        assert_eq!(
-            f(run_block(kind, &[vec![1.0], vec![2.0], vec![3.0]])),
-            vec![-1.0, 1.0, 2.0]
-        );
+        assert_eq!(f(run_block(kind, &[vec![1.0], vec![2.0], vec![3.0]])), vec![-1.0, 1.0, 2.0]);
     }
 }
 
@@ -273,18 +261,12 @@ fn edge_detect_polarity() {
         vec![0.0, 1.0, 0.0, 0.0, 1.0]
     );
     let kind = BlockKind::EdgeDetect { kind: EdgeKind::Either };
-    assert_eq!(
-        f(run_block(kind, &[vec![1.0], vec![1.0], vec![0.0]])),
-        vec![1.0, 0.0, 1.0]
-    );
+    assert_eq!(f(run_block(kind, &[vec![1.0], vec![1.0], vec![0.0]])), vec![1.0, 0.0, 1.0]);
 }
 
 #[test]
 fn lookup_1d_and_2d() {
-    let kind = BlockKind::Lookup1D {
-        breakpoints: vec![0.0, 10.0],
-        values: vec![0.0, 100.0],
-    };
+    let kind = BlockKind::Lookup1D { breakpoints: vec![0.0, 10.0], values: vec![0.0, 100.0] };
     assert_eq!(f(run_block(kind, &[vec![2.5], vec![-1.0], vec![99.0]])), vec![25.0, 0.0, 100.0]);
     let kind = BlockKind::Lookup2D {
         row_breaks: vec![0.0, 1.0],
@@ -446,7 +428,8 @@ fn enabled_subsystem_holds_outputs_and_freezes_state() {
     let off = Value::Bool(false);
     assert_eq!(sim.step(&[on, Value::F64(1.0)]).unwrap(), vec![Value::F64(1.0)]);
     assert_eq!(sim.step(&[off, Value::F64(100.0)]).unwrap(), vec![Value::F64(1.0)]); // held
-    assert_eq!(sim.step(&[on, Value::F64(1.0)]).unwrap(), vec![Value::F64(2.0)]); // resumed
+    assert_eq!(sim.step(&[on, Value::F64(1.0)]).unwrap(), vec![Value::F64(2.0)]);
+    // resumed
 }
 
 #[test]
@@ -499,10 +482,7 @@ fn virtual_subsystem_is_transparent() {
     b.wire(sub, y);
     let model = b.finish().unwrap();
     let mut sim = Simulator::new(&model).unwrap();
-    assert_eq!(
-        sim.step(&[Value::F64(2.0), Value::F64(40.0)]).unwrap(),
-        vec![Value::F64(42.0)]
-    );
+    assert_eq!(sim.step(&[Value::F64(2.0), Value::F64(40.0)]).unwrap(), vec![Value::F64(42.0)]);
 }
 
 #[test]
@@ -516,10 +496,8 @@ fn switch_case_action_routing() {
     }
     let mut b = ModelBuilder::new("m");
     let mode = b.inport("mode", DataType::I32);
-    let sc = b.add(
-        "sc",
-        BlockKind::SwitchCase { cases: vec![vec![1], vec![2, 3]], has_default: true },
-    );
+    let sc =
+        b.add("sc", BlockKind::SwitchCase { cases: vec![vec![1], vec![2, 3]], has_default: true });
     let a1 = b.add("a1", const_action("m1", 10.0));
     let a2 = b.add("a2", const_action("m2", 20.0));
     let a3 = b.add("a3", const_action("m3", 99.0));

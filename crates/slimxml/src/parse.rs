@@ -180,11 +180,7 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> Result<String, ParseXmlError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || b == b'_'
-                || b == b'-'
-                || b == b'.'
-                || b == b':';
+            let ok = b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':';
             if ok {
                 self.pos += 1;
             } else {
@@ -398,8 +394,7 @@ mod tests {
     #[test]
     fn preserves_nonblank_text() {
         let doc = parse("<a>hello <b/>world</a>").unwrap();
-        let texts: Vec<_> =
-            doc.root.children.iter().filter_map(Node::as_text).collect();
+        let texts: Vec<_> = doc.root.children.iter().filter_map(Node::as_text).collect();
         assert_eq!(texts, vec!["hello ", "world"]);
     }
 

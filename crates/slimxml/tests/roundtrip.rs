@@ -23,8 +23,8 @@ fn arb_attrs() -> impl Strategy<Value = Vec<(String, String)>> {
 
 /// Elements whose text appears only as an only-child — the `.mdlx` shape.
 fn arb_element(depth: u32) -> BoxedStrategy<Element> {
-    let leaf = (arb_name(), arb_attrs(), prop::option::of(arb_text())).prop_map(
-        |(name, attrs, text)| {
+    let leaf =
+        (arb_name(), arb_attrs(), prop::option::of(arb_text())).prop_map(|(name, attrs, text)| {
             let mut e = Element::new(name);
             for (k, v) in attrs {
                 e.set_attr(k, v); // dedups keys
@@ -33,16 +33,11 @@ fn arb_element(depth: u32) -> BoxedStrategy<Element> {
                 e.children.push(Node::Text(t));
             }
             e
-        },
-    );
+        });
     if depth == 0 {
         return leaf.boxed();
     }
-    (
-        arb_name(),
-        arb_attrs(),
-        prop::collection::vec(arb_element(depth - 1), 0..4),
-    )
+    (arb_name(), arb_attrs(), prop::collection::vec(arb_element(depth - 1), 0..4))
         .prop_map(|(name, attrs, children)| {
             let mut e = Element::new(name);
             for (k, v) in attrs {

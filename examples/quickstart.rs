@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     b.wire(temp, temp_f);
     let filt = b.add(
         "filter",
-        BlockKind::DiscreteIntegrator { gain: 0.2, initial: 0.0, lower: Some(-500.0), upper: Some(500.0) },
+        BlockKind::DiscreteIntegrator {
+            gain: 0.2,
+            initial: 0.0,
+            lower: Some(-500.0),
+            upper: Some(500.0),
+        },
     );
     b.wire(temp_f, filt);
     let hot = b.add("hot", BlockKind::Compare { op: RelOp::Gt, constant: 80.0 });

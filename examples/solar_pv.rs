@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let tool = Cftcg::new(&model)?;
     let layout = tool.compiled().layout();
-    println!(
-        "driver tuple layout: {} bytes/iteration (paper: dataLen = 9)",
-        layout.tuple_size()
-    );
+    println!("driver tuple layout: {} bytes/iteration (paper: dataLen = 9)", layout.tuple_size());
     for field in layout.fields() {
         println!("  {:>8}  {}  at offset {}", field.name, field.dtype, field.offset);
     }

@@ -19,13 +19,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let budget_ms: u64 = args.next().map_or(1500, |s| s.parse().unwrap_or(1500));
     let budget = Duration::from_millis(budget_ms);
 
-    let model = cftcg::benchmarks::by_name(&name)
-        .ok_or_else(|| format!("unknown model `{name}`; pick one of {:?}", cftcg::benchmarks::NAMES))?;
+    let model = cftcg::benchmarks::by_name(&name).ok_or_else(|| {
+        format!("unknown model `{name}`; pick one of {:?}", cftcg::benchmarks::NAMES)
+    })?;
     let compiled = compile(&model)?;
-    println!(
-        "{name}: {} branches, budget {budget:?} per tool\n",
-        compiled.map().branch_count()
-    );
+    println!("{name}: {} branches, budget {budget:?} per tool\n", compiled.map().branch_count());
     println!(
         "{:<12} {:>9} {:>10} {:>7} {:>7} {:>7}  notes",
         "tool", "cases", "iters/s", "DC%", "CC%", "MCDC%"
@@ -48,11 +46,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let g = sldv::generate(&model, &compiled, &sldv::SldvConfig { budget, ..Default::default() });
     show("SLDV-like", &g);
 
-    let g = simcotest::generate(&model, &simcotest::SimCoTestConfig {
-        budget,
-        seed: 1,
-        ..Default::default()
-    });
+    let g = simcotest::generate(
+        &model,
+        &simcotest::SimCoTestConfig { budget, seed: 1, ..Default::default() },
+    );
     show("SimCoTest", &g);
 
     let g = fuzz_only::generate(&compiled, &fuzz_only::FuzzOnlyConfig { budget, seed: 1 });

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 gate: build, test, and format-check the whole workspace.
+# Offline-safe: all dependencies are workspace-local (see vendor/).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test --workspace --offline -q
+cargo fmt --check

@@ -16,8 +16,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use cftcg::codegen::{
-    compile, emit_c, emit_driver_c, replay_case, replay_suite, test_case_from_csv,
-    test_case_to_csv,
+    compile, emit_c, emit_driver_c, replay_case, replay_suite, test_case_from_csv, test_case_to_csv,
 };
 use cftcg::coverage::{detailed_report, FullTracker};
 use cftcg::model::{load_model, save_model, Model};
@@ -44,9 +43,9 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "codegen" => codegen(&load(args.get(1))?, args.contains(&"--driver".to_string())),
         "fuzz" => fuzz(&load(args.get(1))?, &args[2..]),
         "score" => score(&load(args.get(1))?, &args[2..]),
-        "export-benchmarks" => export_benchmarks(
-            args.get(1).map(String::as_str).unwrap_or("models"),
-        ),
+        "export-benchmarks" => {
+            export_benchmarks(args.get(1).map(String::as_str).unwrap_or("models"))
+        }
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -76,10 +75,7 @@ fn load(path: Option<&String>) -> Result<Model, Box<dyn Error>> {
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn stats(model: &Model) -> Result<(), Box<dyn Error>> {
@@ -108,10 +104,8 @@ fn codegen(model: &Model, driver: bool) -> Result<(), Box<dyn Error>> {
 }
 
 fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
-    let budget_ms: u64 = flag_value(rest, "--budget-ms")
-        .map(str::parse)
-        .transpose()?
-        .unwrap_or(5_000);
+    let budget_ms: u64 =
+        flag_value(rest, "--budget-ms").map(str::parse).transpose()?.unwrap_or(5_000);
     let seed: u64 = flag_value(rest, "--seed").map(str::parse).transpose()?.unwrap_or(0);
     let out = flag_value(rest, "--out");
     let minimize = rest.contains(&"--minimize".to_string());

@@ -14,7 +14,12 @@ fn guarded_model() -> Model {
     let u = b.inport("u", DataType::I8);
     let integ = b.add(
         "integ",
-        BlockKind::DiscreteIntegrator { gain: 1.0, initial: 0.0, lower: Some(-500.0), upper: Some(500.0) },
+        BlockKind::DiscreteIntegrator {
+            gain: 1.0,
+            initial: 0.0,
+            lower: Some(-500.0),
+            upper: Some(500.0),
+        },
     );
     let u_f = b.add("u_f", BlockKind::DataTypeConversion { to: DataType::F64 });
     b.wire(u, u_f);
@@ -125,11 +130,7 @@ fn assertion_decision_counts_toward_coverage() {
     let model = guarded_model();
     let compiled = compile(&model).unwrap();
     // The pass/fail decision exists in the map.
-    let has_assert_decision = compiled
-        .map()
-        .decisions()
-        .iter()
-        .any(|d| d.label.contains("safety"));
+    let has_assert_decision = compiled.map().decisions().iter().any(|d| d.label.contains("safety"));
     assert!(has_assert_decision);
     let mut exec = Executor::new(&compiled);
     let mut tracker = FullTracker::new(compiled.map());

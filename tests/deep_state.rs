@@ -69,10 +69,7 @@ fn bounded_search_misses_the_queue_full_branch() {
     for case in &generation.suite {
         cftcg::codegen::replay_case(&compiled, case, &mut tracker);
     }
-    assert!(
-        !tracker.branch_hit(full_branch),
-        "a depth-6 unrolling cannot fill an 8-deep queue"
-    );
+    assert!(!tracker.branch_hit(full_branch), "a depth-6 unrolling cannot fill an 8-deep queue");
     // ... even though it covers plenty of shallow logic.
     assert!(report.decision.covered > 0);
 }

@@ -39,13 +39,14 @@ fn compiled_matches_interpreter_on_all_benchmarks() {
             let mut rec = NullRecorder;
             // Long runs with persistent values drive the charts deep.
             let mut held: Vec<Value> = types.iter().map(|&t| draw(&mut rng, t)).collect();
+            let mut actual = Vec::new();
             for step in 0..400 {
                 if rng.random_bool(0.3) {
                     let i = rng.random_range(0..held.len());
                     held[i] = draw(&mut rng, types[i]);
                 }
                 let expected = sim.step(&held).unwrap();
-                let actual = exec.step(&held, &mut rec);
+                exec.step_into(&held, &mut actual, &mut rec);
                 for (port, (e, a)) in expected.iter().zip(&actual).enumerate() {
                     assert!(
                         values_eq(e, a),
@@ -67,9 +68,8 @@ fn reset_equivalence_on_all_benchmarks() {
         let compiled = compile(&model).unwrap();
         let types: Vec<DataType> = compiled.input_types().to_vec();
         let mut rng = SmallRng::seed_from_u64(7);
-        let inputs: Vec<Vec<Value>> = (0..50)
-            .map(|_| types.iter().map(|&t| draw(&mut rng, t)).collect())
-            .collect();
+        let inputs: Vec<Vec<Value>> =
+            (0..50).map(|_| types.iter().map(|&t| draw(&mut rng, t)).collect()).collect();
 
         let mut sim = Simulator::new(&model).unwrap();
         let mut exec = Executor::new(&compiled);

@@ -9,8 +9,7 @@ use cftcg::Cftcg;
 #[test]
 fn end_to_end_on_every_benchmark() {
     for model in cftcg::benchmarks::all() {
-        let tool = Cftcg::new(&model)
-            .unwrap_or_else(|e| panic!("{}: {e}", model.name()));
+        let tool = Cftcg::new(&model).unwrap_or_else(|e| panic!("{}: {e}", model.name()));
         let generation = tool.generate_executions(1_500, 99);
         assert!(
             !generation.suite.is_empty(),
@@ -58,10 +57,9 @@ fn c_emission_is_complete_for_every_benchmark() {
             "{}: one probe per branch",
             model.name()
         );
-        assert!(driver.contains(&format!(
-            "int dataLen = {};",
-            tool.compiled().layout().tuple_size()
-        )));
+        assert!(
+            driver.contains(&format!("int dataLen = {};", tool.compiled().layout().tuple_size()))
+        );
         for field in tool.compiled().layout().fields() {
             assert!(
                 driver.contains(&format!("+ {}, {});", field.offset, field.dtype.size())),

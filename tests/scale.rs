@@ -20,29 +20,17 @@ fn big_model(chains: usize, depth: usize) -> Model {
             let blk = match d % 6 {
                 0 => b.add(format!("g{c}_{d}"), BlockKind::Gain { gain: 1.01 }),
                 1 => b.add(format!("b{c}_{d}"), BlockKind::Bias { bias: -0.5 }),
-                2 => b.add(
-                    format!("s{c}_{d}"),
-                    BlockKind::Saturation { lower: -1e6, upper: 1e6 },
-                ),
-                3 => b.add(
-                    format!("d{c}_{d}"),
-                    BlockKind::UnitDelay { initial: Value::F64(0.0) },
-                ),
+                2 => b.add(format!("s{c}_{d}"), BlockKind::Saturation { lower: -1e6, upper: 1e6 }),
+                3 => b.add(format!("d{c}_{d}"), BlockKind::UnitDelay { initial: Value::F64(0.0) }),
                 4 => b.add(format!("a{c}_{d}"), BlockKind::Abs),
-                _ => b.add(
-                    format!("q{c}_{d}"),
-                    BlockKind::Quantizer { interval: 0.25 },
-                ),
+                _ => b.add(format!("q{c}_{d}"), BlockKind::Quantizer { interval: 0.25 }),
             };
             b.wire(prev, blk);
             prev = blk;
         }
         chain_ends.push(prev);
     }
-    let total = b.add(
-        "total",
-        BlockKind::Sum { signs: vec![InputSign::Plus; chains] },
-    );
+    let total = b.add("total", BlockKind::Sum { signs: vec![InputSign::Plus; chains] });
     for (i, &end) in chain_ends.iter().enumerate() {
         b.connect(end, 0, total, i);
     }
@@ -63,11 +51,12 @@ fn large_model_compiles_and_stays_equivalent() {
     let mut sim = Simulator::new(&model).expect("simulates");
     let mut exec = Executor::new(&compiled);
     let mut rec = NullRecorder;
+    let mut actual = Vec::new();
     for k in 0..30 {
         let inputs: Vec<Value> =
             (0..12).map(|i| Value::F64((k * 7 + i) as f64 / 3.0 - 20.0)).collect();
         let expected = sim.step(&inputs).unwrap();
-        let actual = exec.step(&inputs, &mut rec);
+        exec.step_into(&inputs, &mut actual, &mut rec);
         assert_eq!(expected, actual, "diverged at step {k}");
     }
 }

@@ -1,0 +1,151 @@
+//! Offline shim of the `criterion` API surface this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! minimal benchmarking harness with criterion's spelling: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark is timed with
+//! `std::time::Instant` over an auto-calibrated batch and reported as a
+//! single `ns/iter` line — no warm-up statistics, outlier analysis, or HTML
+//! reports. Honors `CRITERION_QUICK=1` for a fast smoke pass.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring each benchmark.
+fn measure_budget() -> Duration {
+    if std::env::var_os("CRITERION_QUICK").is_some() {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(500)
+    }
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    /// Nanoseconds per iteration of the most recent [`iter`](Self::iter).
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the batch size until the measurement
+    /// fills the time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it runs long enough to time.
+        let mut batch: u64 = 1;
+        let budget = measure_budget();
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= budget || batch >= 1 << 40 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / batch as f64;
+                return;
+            }
+            // Aim straight for the budget, with headroom for timer noise.
+            let scale = budget.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            batch = (batch as f64 * scale.clamp(2.0, 100.0)) as u64;
+        }
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{name:<48} time: {value:>10.3} {unit}/iter");
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name.as_ref(), b.ns_per_iter);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name.as_ref()), b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group (a no-op in this shim, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut x = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        let mut group = c.benchmark_group("grouped");
+        group.bench_function("spin2", |b| b.iter(|| std::hint::black_box(3u32 * 7)));
+        group.finish();
+    }
+}

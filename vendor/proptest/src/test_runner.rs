@@ -1,0 +1,103 @@
+//! The runner-side types: [`TestRng`], [`ProptestConfig`], [`TestCaseError`].
+
+use rand::prelude::*;
+
+/// The RNG handed to strategies.
+///
+/// Seeds are fixed per test function (derived from the test's name), so a
+/// failure seen in CI replays identically on a developer machine.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Creates a generator for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { inner: SmallRng::seed_from_u64(h) }
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Runner configuration. Only `cases` is meaningful in this shim; the
+/// struct is non-exhaustive-by-convention via `..ProptestConfig::default()`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this container is single-core, so the
+        // shim trims the default while keeping per-test overrides intact.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by a filter (not a failure).
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A filtered-out case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Runs `body` for `config.cases` cases, panicking (with the generating
+/// inputs rendered by `body` itself) on the first failure. This is the
+/// engine behind the [`proptest!`](crate::proptest) macro; user code does
+/// not call it directly.
+pub fn run<F>(name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let mut rng = TestRng::for_test(name);
+    for case in 0..config.cases {
+        if let Err(msg) = body(&mut rng) {
+            panic!("proptest case {case} of '{name}' failed:\n{msg}");
+        }
+    }
+}
