@@ -57,6 +57,7 @@ pub fn generate(compiled: &CompiledModel, config: &FuzzOnlyConfig) -> Generation
             compiled.map().code_level_mask().iter().filter(|&&v| v).count(),
             compiled.map().branch_count()
         ),
+        operators: outcome.operators,
     }
 }
 

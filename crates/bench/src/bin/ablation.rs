@@ -12,10 +12,13 @@ use cftcg_baselines::relevance::suggested_input_ranges;
 use cftcg_core::Cftcg;
 use cftcg_fuzz::FuzzConfig;
 
+/// A named configuration tweak applied on top of the default fuzzer config.
+type Variant = (&'static str, fn(FuzzConfig) -> FuzzConfig);
+
 fn main() {
     let budget = cftcg_bench::budget();
     let repeats = cftcg_bench::repeats();
-    let variants: [(&str, fn(FuzzConfig) -> FuzzConfig); 4] = [
+    let variants: [Variant; 4] = [
         ("full CFTCG", |c| c),
         ("A1: FIFO corpus", |mut c| {
             c.metric_weighted_corpus = false;

@@ -11,10 +11,15 @@
 
 use cftcg_baselines::coverage_series;
 use cftcg_bench::{run_tool_with_workers, Tool};
+use cftcg_telemetry::Event;
 
 fn main() {
     let budget = cftcg_bench::budget();
     let workers = cftcg_bench::workers();
+    // With CFTCG_STATS_JSONL set, every series point is also logged as a
+    // `bench-point` event through the shared telemetry sink, so figure
+    // tooling can consume the same JSONL stream as fuzzing campaigns.
+    let telemetry = cftcg_bench::telemetry_from_env();
     let tools = [Tool::Sldv, Tool::SimCoTest, Tool::Cftcg];
     for (model, compiled) in cftcg_bench::compiled_benchmarks() {
         let branch_count = compiled.map().branch_count() as f64;
@@ -31,6 +36,15 @@ fn main() {
                     at.as_secs_f64(),
                     100.0 * *covered as f64 / branch_count
                 );
+                if let Some(t) = &telemetry {
+                    t.emit(&Event::BenchPoint {
+                        tool: tool.name().to_string(),
+                        model: model.name().to_string(),
+                        t: at.as_secs_f64(),
+                        covered: *covered,
+                        total: branch_count as usize,
+                    });
+                }
             }
             finals.push((tool, series.last().map_or(0, |&(_, c)| c)));
         }
@@ -39,5 +53,8 @@ fn main() {
             print!(" {}={:.0}%", tool.name(), 100.0 * covered as f64 / branch_count);
         }
         println!("\n");
+    }
+    if let Some(t) = &telemetry {
+        t.flush();
     }
 }

@@ -107,6 +107,10 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) {
     counts.dedup();
 
     println!("\nSharded parallel fuzzing on SolarPV ({cores} core(s) available):");
+    // With CFTCG_STATS_JSONL set, each sweep row also lands in the shared
+    // telemetry JSONL stream as a `bench-point` event.
+    let telemetry = cftcg_bench::telemetry_from_env();
+    let total = tool.compiled().map().branch_count();
     let mut rows = Vec::new();
     for &workers in &counts {
         let started = Instant::now();
@@ -120,7 +124,19 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) {
         let execs_per_sec = generation.executions as f64 / elapsed.max(1e-9);
         let covered = tool.score(&generation).decision.covered;
         println!("  workers {workers:>2}: {rate:>12.0} iterations/s  ({covered} covered)");
+        if let Some(t) = &telemetry {
+            t.emit(&cftcg_telemetry::Event::BenchPoint {
+                tool: format!("CFTCG x{workers}"),
+                model: "SolarPV".to_string(),
+                t: elapsed,
+                covered,
+                total,
+            });
+        }
         rows.push((workers, rate, execs_per_sec, covered));
+    }
+    if let Some(t) = &telemetry {
+        t.flush();
     }
 
     let base = rows.first().map_or(1.0, |r| r.1).max(1e-9);
@@ -135,9 +151,13 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) {
             )
         })
         .collect();
+    // Host metadata (core count, CFTCG_WORKERS override, budget) comes from
+    // the telemetry helper so every benchmark artifact self-describes the
+    // machine it ran on in the same schema.
+    let host = cftcg_telemetry::host_metadata_json(Some(budget.as_millis() as u64));
     let json = format!(
         "{{\n  \"model\": \"SolarPV\",\n  \"cores\": {cores},\n  \
-         \"budget_ms\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"budget_ms\": {},\n  \"host\": {host},\n  \"results\": [\n{}\n  ]\n}}\n",
         budget.as_millis(),
         entries.join(",\n")
     );

@@ -64,6 +64,23 @@ pub fn workers() -> usize {
         .max(1)
 }
 
+/// An optional shared telemetry registry for bench binaries, from the
+/// `CFTCG_STATS_JSONL` environment variable: when set, a registry with a
+/// JSONL sink writing to that path is returned and benchmark runs log
+/// their campaign/bench events through it. `None` (no overhead) otherwise.
+pub fn telemetry_from_env() -> Option<std::sync::Arc<cftcg_telemetry::Telemetry>> {
+    let path = std::env::var("CFTCG_STATS_JSONL").ok()?;
+    match std::fs::File::create(&path) {
+        Ok(file) => Some(std::sync::Arc::new(
+            cftcg_telemetry::Telemetry::new().with_jsonl(std::io::BufWriter::new(file)),
+        )),
+        Err(e) => {
+            eprintln!("CFTCG_STATS_JSONL: cannot create {path}: {e}");
+            None
+        }
+    }
+}
+
 /// The tools of the Table 3 comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tool {

@@ -66,6 +66,9 @@ impl From<ModelError> for CompileError {
     }
 }
 
+/// A 2-D lookup table: row breakpoints, column breakpoints, value grid.
+pub type Lookup2Table = (Vec<f64>, Vec<f64>, Vec<Vec<f64>>);
+
 /// A compiled, instrumented model: the reproduction's "generated fuzz code".
 #[derive(Debug, Clone)]
 pub struct CompiledModel {
@@ -78,7 +81,7 @@ pub struct CompiledModel {
     pub(crate) input_types: Vec<DataType>,
     pub(crate) output_types: Vec<DataType>,
     pub(crate) tables1: Vec<(Vec<f64>, Vec<f64>)>,
-    pub(crate) tables2: Vec<(Vec<f64>, Vec<f64>, Vec<Vec<f64>>)>,
+    pub(crate) tables2: Vec<Lookup2Table>,
 }
 
 impl CompiledModel {
@@ -130,7 +133,7 @@ pub(crate) struct Ctx {
     pub state_init: Vec<f64>,
     pub map: MapBuilder,
     pub tables1: Vec<(Vec<f64>, Vec<f64>)>,
-    pub tables2: Vec<(Vec<f64>, Vec<f64>, Vec<Vec<f64>>)>,
+    pub tables2: Vec<Lookup2Table>,
 }
 
 impl Ctx {
@@ -1033,8 +1036,8 @@ fn compile_region(
                         ctx.map.add_outcome(dispatch, format!("{label}: {what}"))
                     })
                     .collect();
-                for port in 0..n_out {
-                    body.push(Instr::Const { dst: port_regs[b][port], value: 0.0 });
+                for &dst in port_regs[b].iter().take(n_out) {
+                    body.push(Instr::Const { dst, value: 0.0 });
                 }
                 let mut chain: Vec<Instr> = if has_else {
                     vec![
@@ -1082,8 +1085,8 @@ fn compile_region(
                         ctx.map.add_outcome(dispatch, format!("{label}: {what}"))
                     })
                     .collect();
-                for port in 0..n_out {
-                    body.push(Instr::Const { dst: port_regs[b][port], value: 0.0 });
+                for &dst in port_regs[b].iter().take(n_out) {
+                    body.push(Instr::Const { dst, value: 0.0 });
                 }
                 let mut chain: Vec<Instr> = if has_default {
                     vec![

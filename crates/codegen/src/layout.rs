@@ -80,11 +80,7 @@ impl TupleLayout {
     /// Number of whole tuples in `data`; trailing bytes that cannot fill a
     /// tuple are discarded, as in the paper's driver loop.
     pub fn tuple_count(&self, data: &[u8]) -> usize {
-        if self.tuple_size == 0 {
-            0
-        } else {
-            data.len() / self.tuple_size
-        }
+        data.len().checked_div(self.tuple_size).unwrap_or(0)
     }
 
     /// Iterates over the whole tuples in `data`.

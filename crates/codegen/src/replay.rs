@@ -67,7 +67,7 @@ mod tests {
 
         let pos = TestCase::new(Value::I8(5).to_le_bytes());
         let neg = TestCase::new(Value::I8(-5).to_le_bytes());
-        let half = replay_suite(&compiled, &[pos.clone()]);
+        let half = replay_suite(&compiled, std::slice::from_ref(&pos));
         assert_eq!(half.decision.covered, 1);
         let full = replay_suite(&compiled, &[pos, neg]);
         assert_eq!(full.decision.covered, 2);

@@ -174,7 +174,7 @@ fn run_body<R: Recorder>(
     inputs: &[f64],
     outputs: &mut [f64],
     tables1: &[(Vec<f64>, Vec<f64>)],
-    tables2: &[(Vec<f64>, Vec<f64>, Vec<Vec<f64>>)],
+    tables2: &[crate::compile::Lookup2Table],
     recorder: &mut R,
 ) {
     for instr in body {

@@ -82,6 +82,14 @@ impl Cftcg {
         self
     }
 
+    /// Attaches a telemetry registry: the fuzzing loop (sequential or
+    /// parallel) records counters/histograms into it and emits events to
+    /// its sinks. Pure observation — the fuzzing trajectory is unchanged.
+    pub fn with_telemetry(mut self, telemetry: std::sync::Arc<cftcg_telemetry::Telemetry>) -> Self {
+        self.config.telemetry = Some(telemetry);
+        self
+    }
+
     /// The compiled, instrumented model.
     pub fn compiled(&self) -> &CompiledModel {
         &self.compiled

@@ -21,6 +21,18 @@ pub struct CorpusEntry {
     pub new_branches: usize,
 }
 
+/// What [`Corpus::insert`] did with the offered entry — the corpus-churn
+/// signal the telemetry layer counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusInsertion {
+    /// Stored in a free slot (corpus grew).
+    Appended,
+    /// Stored by evicting a retained entry (corpus churned).
+    Replaced,
+    /// Dropped: it did not beat the worst retained entry.
+    Rejected,
+}
+
 /// A bounded corpus with metric-weighted seed selection.
 #[derive(Debug, Clone)]
 pub struct Corpus {
@@ -54,11 +66,11 @@ impl Corpus {
 
     /// Inserts an interesting input. When full, evicts the lowest-metric
     /// entry (metric-weighted mode) or the oldest (FIFO mode) — but only if
-    /// the newcomer beats it.
-    pub fn insert(&mut self, entry: CorpusEntry) {
+    /// the newcomer beats it. Returns what happened, for churn accounting.
+    pub fn insert(&mut self, entry: CorpusEntry) -> CorpusInsertion {
         if self.entries.len() < self.capacity {
             self.entries.push(entry);
-            return;
+            return CorpusInsertion::Appended;
         }
         if self.metric_weighted {
             // Evict among non-finders first: inputs that discovered new
@@ -74,10 +86,14 @@ impl Corpus {
                 (entry.new_branches, entry.metric) > (worst_entry.new_branches, worst_entry.metric);
             if beats_worst {
                 self.entries[worst] = entry;
+                CorpusInsertion::Replaced
+            } else {
+                CorpusInsertion::Rejected
             }
         } else {
             self.entries.remove(0);
             self.entries.push(entry);
+            CorpusInsertion::Replaced
         }
     }
 
@@ -94,7 +110,7 @@ impl Corpus {
             return Some(&self.entries[i]);
         }
         let energy = |e: &CorpusEntry| (e.metric as u64 + 1) * (1 + 8 * e.new_branches as u64);
-        let total: u64 = self.entries.iter().map(|e| energy(e)).sum();
+        let total: u64 = self.entries.iter().map(&energy).sum();
         let mut ticket = rng.random_range(0..total);
         for entry in &self.entries {
             let e = energy(entry);

@@ -1,15 +1,17 @@
 //! The fuzzing loop: compile once, then mutate → execute → collect coverage
 //! (Algorithm 1) → save test cases and interesting inputs.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cftcg_codegen::{CompiledModel, Executor, TestCase};
 use cftcg_coverage::BranchBitmap;
+use cftcg_telemetry::{Event, ShardStats, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 
-use crate::corpus::{Corpus, CorpusEntry};
-use crate::mutate::Mutator;
+use crate::corpus::{Corpus, CorpusEntry, CorpusInsertion};
+use crate::mutate::{MutationKind, Mutator};
 
 /// LibFuzzer's table of recent compares, adapted to model fuzzing: a
 /// bounded *deduplicated* dictionary of comparison operand values mined
@@ -157,6 +159,10 @@ pub struct FuzzConfig {
     /// Optional per-inport value ranges (paper §5): mutated values are
     /// clamped into these, shrinking the random exploration space.
     pub input_ranges: Option<Vec<crate::FieldRange>>,
+    /// Optional telemetry registry. Attaching one enables per-execution
+    /// latency timing and event emission; it never influences the fuzzing
+    /// trajectory, so runs stay byte-identical with or without it.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for FuzzConfig {
@@ -170,6 +176,7 @@ impl Default for FuzzConfig {
             metric_weighted_corpus: true,
             feedback: FeedbackMode::ModelLevel,
             input_ranges: None,
+            telemetry: None,
         }
     }
 }
@@ -184,6 +191,34 @@ pub struct CoverageEvent {
     pub executions: u64,
     /// Total branches covered after this event.
     pub covered_branches: usize,
+}
+
+/// Attribution totals for one mutation operator across a run: how many
+/// candidate executions its strategy contributed to, and how many of those
+/// earned new coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperatorAttribution {
+    /// Operator name (Table 1 spelling).
+    pub name: &'static str,
+    /// Candidate executions whose mutation chain included this operator.
+    pub executions: u64,
+    /// Of those, executions that covered at least one new branch.
+    pub coverage_earning: u64,
+}
+
+impl OperatorAttribution {
+    /// Builds the per-operator attribution table from raw counters indexed
+    /// by [`MutationKind::ALL`].
+    pub(crate) fn from_counters(counters: &cftcg_telemetry::OperatorCounters) -> Vec<Self> {
+        MutationKind::ALL
+            .iter()
+            .map(|k| OperatorAttribution {
+                name: k.name(),
+                executions: counters.executions.get(k.index()).copied().unwrap_or(0),
+                coverage_earning: counters.coverage_earning.get(k.index()).copied().unwrap_or(0),
+            })
+            .collect()
+    }
 }
 
 /// The result of a fuzzing run.
@@ -208,6 +243,9 @@ pub struct FuzzOutcome {
     pub covered_branches: usize,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Per-mutation-operator attribution (Table 1 order): executions each
+    /// operator contributed to and how many earned new coverage.
+    pub operators: Vec<OperatorAttribution>,
 }
 
 impl FuzzOutcome {
@@ -216,14 +254,29 @@ impl FuzzOutcome {
         cftcg_coverage::Ratio::new(self.covered_branches, self.branch_count)
     }
 
-    /// Model iterations per second achieved by the loop.
+    /// Model iterations per second achieved by the loop. Zero when no time
+    /// has elapsed (a zero-budget run did no measurable work; reporting
+    /// infinity would poison downstream averages and JSON output).
     pub fn iterations_per_second(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs == 0.0 {
-            f64::INFINITY
+            0.0
         } else {
             self.iterations as f64 / secs
         }
+    }
+
+    /// The operator table as telemetry report rows (for the campaign-end
+    /// event and CLI report).
+    pub fn operator_reports(&self) -> Vec<cftcg_telemetry::OperatorReport> {
+        self.operators
+            .iter()
+            .map(|op| cftcg_telemetry::OperatorReport {
+                name: op.name.to_string(),
+                executions: op.executions,
+                coverage_earning: op.coverage_earning,
+            })
+            .collect()
     }
 }
 
@@ -247,6 +300,8 @@ pub struct Fuzzer<'c> {
     torc: Torc,
     /// Per-assertion violation flags for the current execution.
     failed_assertions: Vec<bool>,
+    /// Assertion labels from the instrumentation map (for violation events).
+    assertion_labels: Vec<String>,
     /// Assertions already reported, with their witness inputs.
     violations: Vec<(usize, TestCase)>,
     suite: Vec<TestCase>,
@@ -255,6 +310,19 @@ pub struct Fuzzer<'c> {
     iterations: u64,
     started: Instant,
     elapsed: Duration,
+    /// Locally owned telemetry counters (lock-free; cumulative).
+    stats: ShardStats,
+    /// Baseline of the last stats report, for delta computation.
+    reported_stats: ShardStats,
+    /// Telemetry registry, shared with the campaign owner.
+    telemetry: Option<Arc<Telemetry>>,
+    /// Per-execution latency timing (costs two clock reads per input), on
+    /// only when a telemetry registry is attached.
+    time_execs: bool,
+    /// Set on parallel worker shards: record local stats but never emit
+    /// events or merge into the registry directly — the coordinator owns
+    /// the global view and folds worker deltas at sync rounds.
+    worker_mode: bool,
 }
 
 impl<'c> Fuzzer<'c> {
@@ -272,6 +340,12 @@ impl<'c> Fuzzer<'c> {
             FeedbackMode::ModelLevel => vec![true; branch_count],
             FeedbackMode::CodeLevelOnly => compiled.map().code_level_mask(),
         };
+        let telemetry = config.telemetry.clone();
+        if let Some(t) = &telemetry {
+            let labels: Vec<&str> = MutationKind::ALL.iter().map(|k| k.name()).collect();
+            t.set_operator_labels(&labels);
+        }
+        let time_execs = telemetry.is_some();
         Fuzzer {
             exec: Executor::new(compiled),
             layout: compiled.layout().clone(),
@@ -285,6 +359,7 @@ impl<'c> Fuzzer<'c> {
             mask,
             torc: Torc::new(),
             failed_assertions: vec![false; compiled.map().assertion_count()],
+            assertion_labels: compiled.map().assertions().to_vec(),
             violations: Vec::new(),
             suite: Vec::new(),
             events: Vec::new(),
@@ -292,6 +367,11 @@ impl<'c> Fuzzer<'c> {
             iterations: 0,
             started: Instant::now(),
             elapsed: Duration::ZERO,
+            stats: ShardStats::new(MutationKind::ALL.len()),
+            reported_stats: ShardStats::new(MutationKind::ALL.len()),
+            telemetry,
+            time_execs,
+            worker_mode: false,
         }
     }
 
@@ -309,7 +389,9 @@ impl<'c> Fuzzer<'c> {
     pub fn add_seed(&mut self, bytes: Vec<u8>) {
         let (new_branches, metric) = self.execute(&bytes);
         self.executions += 1;
+        self.stats.executions += 1;
         if new_branches > 0 {
+            self.stats.discoveries += 1;
             self.suite.push(TestCase::new(bytes.clone()));
             self.events.push(CoverageEvent {
                 elapsed: self.started.elapsed(),
@@ -317,7 +399,26 @@ impl<'c> Fuzzer<'c> {
                 covered_branches: self.total.count(),
             });
         }
-        self.corpus.insert(CorpusEntry { bytes, metric, new_branches });
+        let insertion = self.corpus.insert(CorpusEntry { bytes, metric, new_branches });
+        self.record_insertion(insertion);
+        if !self.worker_mode {
+            if let Some(t) = &self.telemetry {
+                t.emit(&Event::SeedAdded {
+                    shard: 0,
+                    executions: self.executions,
+                    t: t.elapsed_s(),
+                });
+                if new_branches > 0 {
+                    t.emit(&Event::NewCoverage {
+                        shard: 0,
+                        executions: self.executions,
+                        covered: self.total.count(),
+                        total: self.total.len(),
+                        t: t.elapsed_s(),
+                    });
+                }
+            }
+        }
     }
 
     /// Branches covered so far (under the configured feedback mask).
@@ -330,13 +431,38 @@ impl<'c> Fuzzer<'c> {
     pub fn run_for(&mut self, budget: Duration) -> FuzzOutcome {
         let deadline = Instant::now() + budget;
         self.started = Instant::now() - self.elapsed;
-        while Instant::now() < deadline {
-            for _ in 0..64 {
-                self.fuzz_one();
-            }
-        }
+        self.run_until(deadline);
         self.elapsed = self.started.elapsed();
+        self.flush_telemetry();
         self.outcome()
+    }
+
+    /// Runs executions until `deadline`, checking the clock between
+    /// *batches* rather than per input. The batch size adapts to the
+    /// model's execution cost — doubling while a batch finishes quickly,
+    /// halving when one overshoots — so the loop neither burns a clock
+    /// read per 100ns execution on small models nor overruns the deadline
+    /// by seconds on slow ones. Batching only affects when the clock is
+    /// consulted; the input sequence is identical for any batch schedule.
+    pub(crate) fn run_until(&mut self, deadline: Instant) {
+        /// Below this per-batch cost the clock overhead is noise: grow.
+        const GROW_BELOW: Duration = Duration::from_millis(2);
+        /// Above this per-batch cost the deadline overshoot hurts: shrink.
+        const SHRINK_ABOVE: Duration = Duration::from_millis(8);
+        let mut batch: u64 = 16;
+        let mut now = Instant::now();
+        while now < deadline {
+            self.fuzz_batch(batch);
+            let after = Instant::now();
+            let took = after - now;
+            now = after;
+            if took < GROW_BELOW {
+                batch = (batch * 2).min(8192);
+            } else if took > SHRINK_ABOVE {
+                batch = (batch / 2).max(1);
+            }
+            self.flush_telemetry();
+        }
     }
 
     /// Runs exactly `n` input executions (deterministic; used by tests and
@@ -347,7 +473,22 @@ impl<'c> Fuzzer<'c> {
             self.fuzz_one();
         }
         self.elapsed = self.started.elapsed();
+        self.flush_telemetry();
         self.outcome()
+    }
+
+    /// Reports the stats delta since the last flush into the attached
+    /// registry and lets the status line tick. No-op on worker shards (the
+    /// coordinator folds their deltas) and without a registry.
+    fn flush_telemetry(&mut self) {
+        if self.worker_mode {
+            return;
+        }
+        if let Some(t) = self.telemetry.clone() {
+            let delta = self.take_stats_delta();
+            t.merge_shard(0, &delta, self.corpus.len());
+            t.status_tick(false);
+        }
     }
 
     /// Assertion violations found so far: `(assertion index, first
@@ -367,6 +508,7 @@ impl<'c> Fuzzer<'c> {
             branch_count: self.total.len(),
             covered_branches: self.total.count(),
             elapsed: self.elapsed,
+            operators: OperatorAttribution::from_counters(&self.stats.operators),
         }
     }
 
@@ -382,21 +524,52 @@ impl<'c> Fuzzer<'c> {
         };
         let other = self.corpus.pick_other(&mut self.rng).map(|e| e.bytes.clone());
         // LibFuzzer stacks several mutations per generated input, with the
-        // TORC comparison operands as a value dictionary.
+        // TORC comparison operands as a value dictionary. The operators
+        // applied are remembered (as a bitmask over Table 1) so coverage
+        // gains can be attributed back to the strategies that produced them.
         let rounds = 1 + (self.rng.next_u32() % 4);
+        let mut operator_mask = 0u8;
         for _ in 0..rounds {
             let dict = std::mem::take(&mut self.torc.pairs);
-            self.mutator.mutate_with_dictionary(&mut self.rng, &mut data, other.as_deref(), &dict);
+            let kind = self.mutator.mutate_with_dictionary(
+                &mut self.rng,
+                &mut data,
+                other.as_deref(),
+                &dict,
+            );
             self.torc.pairs = dict;
+            operator_mask |= 1 << kind.index();
         }
+        self.stats.mutation_depth.record(u64::from(rounds));
 
         let (new_branches, metric) = self.execute(&data);
         self.executions += 1;
+        self.stats.executions += 1;
+        let earned = new_branches > 0;
+        if earned {
+            self.stats.discoveries += 1;
+        }
+        for kind in MutationKind::ALL {
+            if operator_mask & (1 << kind.index()) != 0 {
+                self.stats.operators.record(kind.index(), earned);
+            }
+        }
 
         // Report first-time assertion violations with their witness input.
         for i in 0..self.failed_assertions.len() {
             if self.failed_assertions[i] && !self.violations.iter().any(|&(a, _)| a == i) {
                 self.violations.push((i, TestCase::new(data.clone())));
+                self.stats.violations += 1;
+                if !self.worker_mode {
+                    if let Some(t) = &self.telemetry {
+                        t.emit(&Event::Violation {
+                            shard: 0,
+                            assertion: i,
+                            label: self.assertion_labels.get(i).cloned().unwrap_or_default(),
+                            t: t.elapsed_s(),
+                        });
+                    }
+                }
             }
         }
         if new_branches > 0 {
@@ -407,15 +580,50 @@ impl<'c> Fuzzer<'c> {
                 executions: self.executions,
                 covered_branches: self.total.count(),
             });
+            if !self.worker_mode {
+                if let Some(t) = &self.telemetry {
+                    t.emit(&Event::NewCoverage {
+                        shard: 0,
+                        executions: self.executions,
+                        covered: self.total.count(),
+                        total: self.total.len(),
+                        t: t.elapsed_s(),
+                    });
+                }
+            }
         }
         if new_branches > 0 || metric > 0 {
-            self.corpus.insert(CorpusEntry { bytes: data, metric, new_branches });
+            let insertion = self.corpus.insert(CorpusEntry { bytes: data, metric, new_branches });
+            self.record_insertion(insertion);
+        }
+    }
+
+    /// Books a corpus-insertion outcome into the shard stats and, on the
+    /// sequential fuzzer, emits the eviction event.
+    fn record_insertion(&mut self, insertion: CorpusInsertion) {
+        match insertion {
+            CorpusInsertion::Appended => self.stats.corpus_inserts += 1,
+            CorpusInsertion::Replaced => {
+                self.stats.corpus_inserts += 1;
+                self.stats.corpus_evictions += 1;
+                if !self.worker_mode {
+                    if let Some(t) = &self.telemetry {
+                        t.emit(&Event::CorpusEvict {
+                            shard: 0,
+                            corpus_len: self.corpus.len(),
+                            t: t.elapsed_s(),
+                        });
+                    }
+                }
+            }
+            CorpusInsertion::Rejected => {}
         }
     }
 
     /// Algorithm 1: runs one input, returning `(new branches, iteration
     /// difference metric)`.
     fn execute(&mut self, data: &[u8]) -> (usize, usize) {
+        let timer = if self.time_execs { Some(Instant::now()) } else { None };
         self.exec.reset(); // Model_init()
         let mut new_branches = 0;
         let mut metric = 0;
@@ -438,6 +646,10 @@ impl<'c> Fuzzer<'c> {
             metric += self.curr.diff_count(&self.last); // lines 17–18
             self.last.copy_from(&self.curr); // line 19
             self.iterations += 1;
+            self.stats.iterations += 1;
+        }
+        if let Some(start) = timer {
+            self.stats.exec_latency_ns.record(start.elapsed().as_nanos() as u64);
         }
         (new_branches, metric)
     }
@@ -450,6 +662,27 @@ impl<'c> Fuzzer<'c> {
         for _ in 0..n {
             self.fuzz_one();
         }
+    }
+
+    /// Marks this fuzzer as a parallel worker shard: local stats keep
+    /// accumulating, but events and registry merges are left to the
+    /// coordinator (which owns the global view).
+    pub(crate) fn set_worker_mode(&mut self) {
+        self.worker_mode = true;
+    }
+
+    /// The stats accumulated since the previous call (or since creation),
+    /// advancing the report baseline. Merge-ordering of these deltas across
+    /// shards is irrelevant: ShardStats addition is commutative.
+    pub(crate) fn take_stats_delta(&mut self) -> ShardStats {
+        let delta = self.stats.delta_since(&self.reported_stats);
+        self.reported_stats = self.stats.clone();
+        delta
+    }
+
+    /// Number of corpus entries currently retained.
+    pub fn corpus_len(&self) -> usize {
+        self.corpus.len()
     }
 
     /// Inputs executed so far.
@@ -476,11 +709,15 @@ impl<'c> Fuzzer<'c> {
     pub(crate) fn absorb_entry(&mut self, bytes: Vec<u8>) {
         let iterations = self.iterations;
         let executions = self.executions;
+        let stats = self.stats.clone();
         let tracking = std::mem::take(&mut self.torc.track_fresh);
         let (new_branches, metric) = self.execute(&bytes);
         self.torc.track_fresh = tracking;
         self.iterations = iterations;
         self.executions = executions;
+        // The originating worker already counted this execution; rolling
+        // the stats back keeps the telemetry totals double-count-free.
+        self.stats = stats;
         // Only keep it if it taught this shard something; otherwise it
         // would crowd out locally interesting entries.
         if new_branches > 0 || metric > 0 {

@@ -25,14 +25,19 @@ pub struct Generation {
     pub notes: String,
     /// Assertion violations discovered: `(assertion index, witness input)`.
     pub violations: Vec<(usize, TestCase)>,
+    /// Per-mutation-operator attribution (empty for non-fuzzing
+    /// generators, which apply no mutation operators).
+    pub operators: Vec<crate::OperatorAttribution>,
 }
 
 impl Generation {
     /// Model iterations per second achieved by the generator's engine.
+    /// Zero when no time has elapsed (see
+    /// [`FuzzOutcome::iterations_per_second`](crate::FuzzOutcome::iterations_per_second)).
     pub fn iterations_per_second(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs == 0.0 {
-            f64::INFINITY
+            0.0
         } else {
             self.iterations as f64 / secs
         }
@@ -49,6 +54,7 @@ impl From<crate::FuzzOutcome> for Generation {
             elapsed: outcome.elapsed,
             notes: String::new(),
             violations: outcome.violations,
+            operators: outcome.operators,
         }
     }
 }

@@ -54,8 +54,10 @@ mod minimize;
 mod mutate;
 mod parallel;
 
-pub use corpus::{Corpus, CorpusEntry};
-pub use fuzzer::{CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer};
+pub use corpus::{Corpus, CorpusEntry, CorpusInsertion};
+pub use fuzzer::{
+    CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer, OperatorAttribution,
+};
 pub use generation::{coverage_series, Generation};
 pub use minimize::{minimize_case, minimize_suite};
 pub use mutate::{FieldRange, MutationKind, Mutator};

@@ -51,6 +51,27 @@ impl MutationKind {
         MutationKind::CopyTuples,
         MutationKind::TuplesCrossOver,
     ];
+
+    /// The Table 1 spelling of the strategy name (used for telemetry
+    /// attribution and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::ChangeBinaryInteger => "ChangeBinaryInteger",
+            MutationKind::ChangeBinaryFloat => "ChangeBinaryFloat",
+            MutationKind::EraseTuples => "EraseTuples",
+            MutationKind::InsertTuple => "InsertTuple",
+            MutationKind::InsertRepeatedTuples => "InsertRepeatedTuples",
+            MutationKind::ShuffleTuples => "ShuffleTuples",
+            MutationKind::CopyTuples => "CopyTuples",
+            MutationKind::TuplesCrossOver => "TuplesCrossOver",
+        }
+    }
+
+    /// The strategy's index in [`MutationKind::ALL`] (stable attribution
+    /// slot for telemetry counters).
+    pub fn index(self) -> usize {
+        MutationKind::ALL.iter().position(|&k| k == self).expect("kind is in ALL")
+    }
 }
 
 /// An inclusive numeric range constraint for one inport field — the
@@ -769,7 +790,7 @@ mod tests {
         let mut misaligned = false;
         for _ in 0..500 {
             m.mutate(&mut r, &mut data, None);
-            if data.len() % tsize != 0 {
+            if !data.len().is_multiple_of(tsize) {
                 misaligned = true;
             }
         }

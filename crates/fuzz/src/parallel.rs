@@ -27,8 +27,12 @@ use std::time::{Duration, Instant};
 
 use cftcg_codegen::{CompiledModel, Executor, TestCase, TupleLayout};
 use cftcg_coverage::BranchBitmap;
+use cftcg_telemetry::{Event, ShardStats};
 
-use crate::fuzzer::{CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer};
+use crate::fuzzer::{
+    CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer, OperatorAttribution,
+};
+use crate::mutate::MutationKind;
 
 /// Configuration of the parallel engine.
 #[derive(Debug, Clone)]
@@ -76,6 +80,11 @@ struct WorkerReport {
     /// Cumulative worker-local totals.
     executions: u64,
     iterations: u64,
+    /// Telemetry-stats delta since the previous report (commutative to
+    /// merge, so arrival order across workers is irrelevant).
+    stats: ShardStats,
+    /// Corpus entries currently retained by the shard.
+    corpus_len: usize,
     /// The worker has exhausted its budget.
     done: bool,
 }
@@ -111,6 +120,9 @@ fn worker_loop(
 ) {
     let mut fuzzer = Fuzzer::new(compiled, config);
     fuzzer.enable_torc_tracking();
+    // Workers record stats locally but never touch the shared registry;
+    // the coordinator owns the global view (and the event log).
+    fuzzer.set_worker_mode();
     let started = Instant::now();
     let mut reported_cases = 0usize;
     let mut reported_violations = 0usize;
@@ -126,9 +138,7 @@ fn worker_loop(
             }
             WorkerBudget::WallClock { deadline, period } => {
                 let round_end = (started + period * (round + 1)).min(deadline);
-                while Instant::now() < round_end {
-                    fuzzer.fuzz_batch(64);
-                }
+                fuzzer.run_until(round_end);
                 Instant::now() >= deadline
             }
         };
@@ -158,6 +168,8 @@ fn worker_loop(
             torc: fuzzer.take_fresh_torc(),
             executions: fuzzer.executions(),
             iterations: fuzzer.iterations(),
+            stats: fuzzer.take_stats_delta(),
+            corpus_len: fuzzer.corpus_len(),
             done,
         };
         if reports.send(report).is_err() {
@@ -258,6 +270,11 @@ impl<'c> ParallelFuzzer<'c> {
         let compiled = self.compiled;
 
         let mut global = GlobalCoverage::new(compiled, &self.config.fuzz);
+        let telemetry = self.config.fuzz.telemetry.clone();
+        // Campaign-wide stats, merged from worker deltas each round, so the
+        // final outcome carries attribution even without a registry.
+        let mut global_stats = ShardStats::new(MutationKind::ALL.len());
+        let mut round_idx = 0u64;
         let mut torc_seen = std::collections::HashSet::new();
         let mut suite: Vec<TestCase> = Vec::new();
         let mut events: Vec<CoverageEvent> = Vec::new();
@@ -309,6 +326,7 @@ impl<'c> ParallelFuzzer<'c> {
                 let reports: Vec<WorkerReport> =
                     reports.into_iter().map(|r| r.expect("one report per worker")).collect();
 
+                let merge_started = Instant::now();
                 let global_base: u64 = prev_execs.iter().sum();
 
                 // Candidate cases, ordered deterministically: by discovery
@@ -330,11 +348,21 @@ impl<'c> ParallelFuzzer<'c> {
                 for (worker, _, case) in candidates {
                     if global.absorb(&case.bytes) > 0 {
                         suite.push(TestCase::new(case.bytes.clone()));
+                        let executions = global_base + (case.executions - prev_execs[worker]);
                         events.push(CoverageEvent {
                             elapsed: case.elapsed,
-                            executions: global_base + (case.executions - prev_execs[worker]),
+                            executions,
                             covered_branches: global.total.count(),
                         });
+                        if let Some(t) = &telemetry {
+                            t.emit(&Event::NewCoverage {
+                                shard: worker,
+                                executions,
+                                covered: global.total.count(),
+                                total: global.total.len(),
+                                t: t.elapsed_s(),
+                            });
+                        }
                         accepted.push((worker, &case.bytes));
                     }
                 }
@@ -344,7 +372,29 @@ impl<'c> ParallelFuzzer<'c> {
                     for (assertion, bytes) in &report.violations {
                         if !violations.iter().any(|&(a, _)| a == *assertion) {
                             violations.push((*assertion, TestCase::new(bytes.clone())));
+                            if let Some(t) = &telemetry {
+                                t.emit(&Event::Violation {
+                                    shard: report.worker,
+                                    assertion: *assertion,
+                                    label: compiled
+                                        .map()
+                                        .assertions()
+                                        .get(*assertion)
+                                        .cloned()
+                                        .unwrap_or_default(),
+                                    t: t.elapsed_s(),
+                                });
+                            }
                         }
+                    }
+                }
+
+                // Fold worker stats deltas into the campaign totals (and
+                // the registry, which also tracks per-shard rates).
+                for report in &reports {
+                    global_stats.merge_from(&report.stats);
+                    if let Some(t) = &telemetry {
+                        t.merge_shard(report.worker, &report.stats, report.corpus_len);
                     }
                 }
 
@@ -382,12 +432,28 @@ impl<'c> ParallelFuzzer<'c> {
                     // done-handshake below still terminates the round loop.
                     let _ = tx.send(broadcast);
                 }
+                if let Some(t) = &telemetry {
+                    t.emit(&Event::SyncRound {
+                        round: round_idx,
+                        duration_ms: merge_started.elapsed().as_secs_f64() * 1e3,
+                        accepted: accepted.len(),
+                        broadcast: accepted.len(),
+                        executions: prev_execs.iter().sum(),
+                        covered: global.total.count(),
+                        total: global.total.len(),
+                        t: t.elapsed_s(),
+                    });
+                    t.status_tick(false);
+                }
+                round_idx += 1;
                 if all_done {
                     break;
                 }
             }
         });
 
+        // Coordinator-side sync cost lives in the registry (via SyncRound
+        // events); the outcome carries the merged operator attribution.
         FuzzOutcome {
             suite,
             violations,
@@ -397,6 +463,7 @@ impl<'c> ParallelFuzzer<'c> {
             branch_count: global.total.len(),
             covered_branches: global.total.count(),
             elapsed: started.elapsed(),
+            operators: OperatorAttribution::from_counters(&global_stats.operators),
         }
     }
 }

@@ -2,10 +2,12 @@
 //! determinism contract, per-worker-count reproducibility, and the
 //! multi-worker coverage smoke test on a real benchmark model.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use cftcg_codegen::compile;
 use cftcg_fuzz::{FuzzConfig, Fuzzer, ParallelFuzzConfig, ParallelFuzzer};
+use cftcg_telemetry::{json::Json, SharedBuf, Telemetry};
 
 fn config(seed: u64) -> FuzzConfig {
     FuzzConfig { seed, ..FuzzConfig::default() }
@@ -49,6 +51,62 @@ fn one_worker_matches_sequential_exactly() {
         merged.violations.iter().map(|(a, c)| (*a, &c.bytes)).collect::<Vec<_>>(),
         expected.violations.iter().map(|(a, c)| (*a, &c.bytes)).collect::<Vec<_>>(),
     );
+}
+
+/// Telemetry is pure observation: attaching a registry with live sinks must
+/// not perturb the fuzzing trajectory. A `workers == 1` run with JSONL and
+/// status sinks attached stays byte-identical to the bare sequential
+/// fuzzer, the registry's totals agree with the outcome's counters, and
+/// every logged line is valid JSON.
+#[test]
+fn one_worker_with_telemetry_stays_byte_identical() {
+    let model = cftcg_benchmarks::solar_pv::model();
+    let compiled = compile(&model).expect("benchmark compiles");
+
+    let mut sequential = Fuzzer::new(&compiled, config(42));
+    let expected = sequential.run_executions(4_000);
+
+    let jsonl = SharedBuf::new();
+    let telemetry = Arc::new(
+        Telemetry::new()
+            .with_jsonl(jsonl.clone())
+            .with_status_to(Duration::from_millis(0), SharedBuf::new()),
+    );
+    let parallel = ParallelFuzzer::new(
+        &compiled,
+        ParallelFuzzConfig {
+            workers: 1,
+            sync_interval: 512,
+            fuzz: FuzzConfig { telemetry: Some(telemetry.clone()), ..config(42) },
+            ..ParallelFuzzConfig::default()
+        },
+    );
+    let merged = parallel.run_executions(4_000);
+
+    assert_eq!(merged.suite, expected.suite, "telemetry must not perturb the run");
+    assert_eq!(merged.executions, expected.executions);
+    assert_eq!(merged.iterations, expected.iterations);
+    assert_eq!(merged.covered_branches, expected.covered_branches);
+
+    let snapshot = telemetry.snapshot();
+    assert_eq!(snapshot.totals.executions, expected.executions);
+    assert_eq!(snapshot.totals.iterations, expected.iterations);
+    assert_eq!(snapshot.covered, merged.covered_branches);
+    assert!(!snapshot.totals.exec_latency_ns.is_empty(), "latency timing was on");
+
+    let log = jsonl.contents();
+    assert!(!log.is_empty(), "sync rounds and discoveries were logged");
+    for line in log.lines() {
+        Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+    }
+
+    // Attribution reached the outcome: every execution belongs to at least
+    // one operator, and the per-operator totals are internally consistent.
+    let attributed: u64 = merged.operators.iter().map(|op| op.executions).sum();
+    assert!(attributed >= merged.executions, "every execution has ≥1 operator");
+    for op in &merged.operators {
+        assert!(op.coverage_earning <= op.executions, "{}", op.name);
+    }
 }
 
 /// Execution-budget runs are deterministic for a fixed worker count: worker

@@ -321,8 +321,10 @@ impl Model {
                     }
                 }
                 kind => {
-                    for port in 0..kind.num_outputs() {
-                        map[id.index()][port] = kind.output_type(&input_types, port);
+                    for (port, slot) in
+                        map[id.index()].iter_mut().enumerate().take(kind.num_outputs())
+                    {
+                        *slot = kind.output_type(&input_types, port);
                     }
                 }
             }
@@ -487,10 +489,10 @@ impl Model {
                 BlockKind::MinMax { inputs, .. } if *inputs < 2 => {
                     return Err(bad("MinMax needs at least two inputs".into()));
                 }
-                BlockKind::Logic { op, inputs } => {
-                    if *op != crate::block::LogicOp::Not && *inputs < 2 {
-                        return Err(bad(format!("{} needs at least two inputs", op.name())));
-                    }
+                BlockKind::Logic { op, inputs }
+                    if *op != crate::block::LogicOp::Not && *inputs < 2 =>
+                {
+                    return Err(bad(format!("{} needs at least two inputs", op.name())));
                 }
                 BlockKind::Saturation { lower, upper } if lower > upper => {
                     return Err(bad(format!("lower {lower} exceeds upper {upper}")));
@@ -554,7 +556,7 @@ impl Model {
                     if conditions.is_empty() {
                         return Err(bad("If block needs at least one condition".into()));
                     }
-                    if conditions.len() == 0 && !has_else {
+                    if conditions.is_empty() && !has_else {
                         return Err(bad("If block needs an output".into()));
                     }
                     let allowed: BTreeSet<String> =

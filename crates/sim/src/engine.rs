@@ -623,7 +623,7 @@ fn initial_state(kind: &BlockKind) -> Result<BlockState, ModelError> {
             BlockState::Held(*initial)
         }
         BlockKind::Delay { steps, initial } => {
-            BlockState::Line(std::iter::repeat(*initial).take(*steps).collect())
+            BlockState::Line(std::iter::repeat_n(*initial, *steps).collect())
         }
         BlockKind::DiscreteIntegrator { initial, lower, upper, .. } => {
             let mut x = *initial;

@@ -1,0 +1,332 @@
+//! The campaign event schema: everything the JSONL sink can log.
+//!
+//! One event per line, serialized as a flat JSON object with a `"type"`
+//! discriminator and a `"t"` wall-clock offset in seconds since the
+//! campaign started. The schema is documented in DESIGN.md §5c and consumed
+//! by `cftcg report`.
+
+use crate::json::{push_json_f64, push_json_str};
+
+/// Per-operator attribution snapshot carried by [`Event::CampaignEnd`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorReport {
+    /// Mutation-operator name (Table 1 spelling, e.g. `EraseTuples`).
+    pub name: String,
+    /// Candidate executions whose mutation chain included this operator.
+    pub executions: u64,
+    /// Of those, how many earned new coverage.
+    pub coverage_earning: u64,
+}
+
+/// A campaign event. Field names below match the JSON keys exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The campaign began: identity and shape of the run.
+    CampaignStart {
+        /// Model name.
+        model: String,
+        /// Base RNG seed.
+        seed: u64,
+        /// Worker-shard count (1 = sequential).
+        workers: usize,
+        /// Wall-clock budget in milliseconds (`None` for execution budgets).
+        budget_ms: Option<u64>,
+        /// Total branch probes in the instrumentation map.
+        branch_count: usize,
+    },
+    /// An externally supplied seed input entered the corpus.
+    SeedAdded {
+        /// Originating shard.
+        shard: usize,
+        /// Executions completed when the seed was absorbed.
+        executions: u64,
+        /// Seconds since campaign start.
+        t: f64,
+    },
+    /// An input covered at least one new branch and was emitted as a test
+    /// case. In parallel campaigns these carry *global* novelty (judged by
+    /// the coordinator's re-execution), so `covered` is monotone.
+    NewCoverage {
+        /// Discovering shard.
+        shard: usize,
+        /// Executions completed at discovery.
+        executions: u64,
+        /// Total branches covered after this input.
+        covered: usize,
+        /// Total branch probes.
+        total: usize,
+        /// Seconds since campaign start.
+        t: f64,
+    },
+    /// First witness for an assertion violation.
+    Violation {
+        /// Discovering shard.
+        shard: usize,
+        /// Assertion index in the instrumentation map.
+        assertion: usize,
+        /// Assertion label.
+        label: String,
+        /// Seconds since campaign start.
+        t: f64,
+    },
+    /// The corpus replaced a retained entry (churn signal).
+    CorpusEvict {
+        /// Shard whose corpus evicted.
+        shard: usize,
+        /// Corpus size after the eviction.
+        corpus_len: usize,
+        /// Seconds since campaign start.
+        t: f64,
+    },
+    /// The parallel coordinator finished a sync round.
+    SyncRound {
+        /// Round index (0-based).
+        round: u64,
+        /// Coordinator merge cost for this round, in milliseconds.
+        duration_ms: f64,
+        /// Candidate cases accepted as globally novel.
+        accepted: usize,
+        /// Corpus entries broadcast to other shards.
+        broadcast: usize,
+        /// Global executions after the round.
+        executions: u64,
+        /// Global branches covered after the round.
+        covered: usize,
+        /// Total branch probes.
+        total: usize,
+        /// Seconds since campaign start.
+        t: f64,
+    },
+    /// One point of a benchmark coverage-growth series (used by the bench
+    /// binaries instead of ad-hoc CSV plumbing).
+    BenchPoint {
+        /// Generating tool (`CFTCG`, `SLDV`, …).
+        tool: String,
+        /// Model name.
+        model: String,
+        /// Series timestamp in seconds.
+        t: f64,
+        /// Branches covered at `t`.
+        covered: usize,
+        /// Total branch probes.
+        total: usize,
+    },
+    /// The campaign finished: final aggregates and operator attribution.
+    CampaignEnd {
+        /// Inputs executed.
+        executions: u64,
+        /// Model iterations executed.
+        iterations: u64,
+        /// Branches covered at the end.
+        covered: usize,
+        /// Total branch probes.
+        total: usize,
+        /// Distinct assertions violated.
+        violations: usize,
+        /// Wall-clock seconds the campaign ran.
+        elapsed_s: f64,
+        /// Iteration throughput.
+        iterations_per_second: f64,
+        /// Per-operator attribution.
+        operators: Vec<OperatorReport>,
+    },
+}
+
+impl Event {
+    /// The `"type"` discriminator string.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CampaignStart { .. } => "campaign-start",
+            Event::SeedAdded { .. } => "seed-added",
+            Event::NewCoverage { .. } => "new-coverage",
+            Event::Violation { .. } => "violation",
+            Event::CorpusEvict { .. } => "corpus-evict",
+            Event::SyncRound { .. } => "sync-round",
+            Event::BenchPoint { .. } => "bench-point",
+            Event::CampaignEnd { .. } => "campaign-end",
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"type\":");
+        push_json_str(&mut out, self.kind());
+        match self {
+            Event::CampaignStart { model, seed, workers, budget_ms, branch_count } => {
+                out.push_str(",\"model\":");
+                push_json_str(&mut out, model);
+                out.push_str(&format!(",\"seed\":{seed},\"workers\":{workers}"));
+                match budget_ms {
+                    Some(ms) => out.push_str(&format!(",\"budget_ms\":{ms}")),
+                    None => out.push_str(",\"budget_ms\":null"),
+                }
+                out.push_str(&format!(",\"branch_count\":{branch_count}"));
+            }
+            Event::SeedAdded { shard, executions, t } => {
+                out.push_str(&format!(",\"shard\":{shard},\"executions\":{executions},\"t\":"));
+                push_json_f64(&mut out, *t);
+            }
+            Event::NewCoverage { shard, executions, covered, total, t } => {
+                out.push_str(&format!(
+                    ",\"shard\":{shard},\"executions\":{executions},\"covered\":{covered},\"total\":{total},\"t\":"
+                ));
+                push_json_f64(&mut out, *t);
+            }
+            Event::Violation { shard, assertion, label, t } => {
+                out.push_str(&format!(",\"shard\":{shard},\"assertion\":{assertion},\"label\":"));
+                push_json_str(&mut out, label);
+                out.push_str(",\"t\":");
+                push_json_f64(&mut out, *t);
+            }
+            Event::CorpusEvict { shard, corpus_len, t } => {
+                out.push_str(&format!(",\"shard\":{shard},\"corpus_len\":{corpus_len},\"t\":"));
+                push_json_f64(&mut out, *t);
+            }
+            Event::SyncRound {
+                round,
+                duration_ms,
+                accepted,
+                broadcast,
+                executions,
+                covered,
+                total,
+                t,
+            } => {
+                out.push_str(&format!(",\"round\":{round},\"duration_ms\":"));
+                push_json_f64(&mut out, *duration_ms);
+                out.push_str(&format!(
+                    ",\"accepted\":{accepted},\"broadcast\":{broadcast},\"executions\":{executions},\"covered\":{covered},\"total\":{total},\"t\":"
+                ));
+                push_json_f64(&mut out, *t);
+            }
+            Event::BenchPoint { tool, model, t, covered, total } => {
+                out.push_str(",\"tool\":");
+                push_json_str(&mut out, tool);
+                out.push_str(",\"model\":");
+                push_json_str(&mut out, model);
+                out.push_str(",\"t\":");
+                push_json_f64(&mut out, *t);
+                out.push_str(&format!(",\"covered\":{covered},\"total\":{total}"));
+            }
+            Event::CampaignEnd {
+                executions,
+                iterations,
+                covered,
+                total,
+                violations,
+                elapsed_s,
+                iterations_per_second,
+                operators,
+            } => {
+                out.push_str(&format!(
+                    ",\"executions\":{executions},\"iterations\":{iterations},\"covered\":{covered},\"total\":{total},\"violations\":{violations},\"elapsed_s\":"
+                ));
+                push_json_f64(&mut out, *elapsed_s);
+                out.push_str(",\"iterations_per_second\":");
+                push_json_f64(&mut out, *iterations_per_second);
+                out.push_str(",\"operators\":[");
+                for (i, op) in operators.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"name\":");
+                    push_json_str(&mut out, &op.name);
+                    out.push_str(&format!(
+                        ",\"executions\":{},\"coverage_earning\":{}}}",
+                        op.executions, op.coverage_earning
+                    ));
+                }
+                out.push(']');
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn every_event_serializes_to_parseable_json() {
+        let events = [
+            Event::CampaignStart {
+                model: "SolarPV".into(),
+                seed: 7,
+                workers: 4,
+                budget_ms: Some(3_000),
+                branch_count: 56,
+            },
+            Event::SeedAdded { shard: 0, executions: 1, t: 0.01 },
+            Event::NewCoverage { shard: 2, executions: 512, covered: 12, total: 56, t: 0.5 },
+            Event::Violation {
+                shard: 1,
+                assertion: 0,
+                label: "overcharge \"guard\"".into(),
+                t: 1.0,
+            },
+            Event::CorpusEvict { shard: 0, corpus_len: 256, t: 2.0 },
+            Event::SyncRound {
+                round: 3,
+                duration_ms: 1.25,
+                accepted: 2,
+                broadcast: 2,
+                executions: 4096,
+                covered: 30,
+                total: 56,
+                t: 2.5,
+            },
+            Event::BenchPoint {
+                tool: "CFTCG".into(),
+                model: "TCP".into(),
+                t: 0.2,
+                covered: 9,
+                total: 40,
+            },
+            Event::CampaignEnd {
+                executions: 10_000,
+                iterations: 1_000_000,
+                covered: 50,
+                total: 56,
+                violations: 1,
+                elapsed_s: 3.0,
+                iterations_per_second: 333_333.3,
+                operators: vec![OperatorReport {
+                    name: "EraseTuples".into(),
+                    executions: 900,
+                    coverage_earning: 12,
+                }],
+            },
+        ];
+        for event in &events {
+            let line = event.to_json();
+            let parsed = Json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(parsed.get("type").unwrap().as_str(), Some(event.kind()));
+        }
+    }
+
+    #[test]
+    fn campaign_end_operators_round_trip() {
+        let event = Event::CampaignEnd {
+            executions: 1,
+            iterations: 2,
+            covered: 3,
+            total: 4,
+            violations: 0,
+            elapsed_s: 0.5,
+            iterations_per_second: 4.0,
+            operators: vec![
+                OperatorReport { name: "A".into(), executions: 10, coverage_earning: 2 },
+                OperatorReport { name: "B".into(), executions: 20, coverage_earning: 0 },
+            ],
+        };
+        let parsed = Json::parse(&event.to_json()).unwrap();
+        let ops = parsed.get("operators").unwrap().as_array().unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].get("name").unwrap().as_str(), Some("A"));
+        assert_eq!(ops[1].get("executions").unwrap().as_u64(), Some(20));
+    }
+}

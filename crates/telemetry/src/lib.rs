@@ -1,0 +1,748 @@
+#![warn(missing_docs)]
+
+//! Observability for the CFTCG fuzzing engine: structured metrics, a JSONL
+//! event log, a live status line, and Prometheus text exposition — all
+//! zero-dependency and offline-safe.
+//!
+//! # Architecture
+//!
+//! The hot path never takes a lock: each fuzzing shard (a worker thread, or
+//! the one sequential fuzzer) owns a plain [`ShardStats`] — counters plus
+//! log₂-scale [`Histogram`]s — and records into it with ordinary integer
+//! arithmetic. At *sync rounds* (or status ticks for the sequential loop)
+//! the shard's cumulative stats are snapshotted, the delta since the last
+//! report is computed ([`ShardStats::delta_since`]), and the delta is folded
+//! into the shared [`Telemetry`] registry under a short mutex hold
+//! ([`Telemetry::merge_shard`]). Merging is commutative and associative
+//! (element-wise addition), so shard order never matters.
+//!
+//! Because telemetry only *observes* — it never touches the fuzzer's RNG,
+//! corpus, or scheduling — enabling it cannot perturb a campaign: a
+//! `workers = 1` run stays byte-identical to the sequential fuzzer with or
+//! without sinks attached (enforced by `crates/fuzz` regression tests).
+//!
+//! # Sinks
+//!
+//! * **JSONL event log** ([`Telemetry::with_jsonl`]): one [`Event`] per
+//!   line — campaign lifecycle, new-coverage discoveries, violations,
+//!   corpus evictions, sync rounds, bench series points.
+//! * **Status line** ([`Telemetry::with_status`]): an AFL-style periodic
+//!   one-liner (execs/s, per-shard rates, corpus size, branch %, violation
+//!   count, sync lag).
+//! * **Prometheus** ([`Telemetry::prometheus_text`]): a pull-style text
+//!   exposition dump of every counter, gauge, and histogram.
+//!
+//! # Example
+//!
+//! ```
+//! use cftcg_telemetry::{Event, ShardStats, Telemetry};
+//!
+//! let telemetry = Telemetry::new().with_jsonl(Vec::new());
+//! telemetry.set_operator_labels(&["EraseTuples", "InsertTuple"]);
+//!
+//! // A shard records locally, lock-free…
+//! let mut stats = ShardStats::new(2);
+//! stats.executions += 1;
+//! stats.exec_latency_ns.record(12_345);
+//! stats.operators.record(0, true);
+//!
+//! // …and merges at a sync point.
+//! telemetry.merge_shard(0, &stats, 1);
+//! telemetry.emit(&Event::NewCoverage { shard: 0, executions: 1, covered: 3, total: 8, t: 0.1 });
+//!
+//! assert!(telemetry.prometheus_text().contains("cftcg_executions_total 1"));
+//! ```
+
+mod event;
+mod histogram;
+pub mod json;
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use event::{Event, OperatorReport};
+pub use histogram::{Histogram, BUCKETS};
+
+/// Per-mutation-operator attribution counters.
+///
+/// Index space is defined by the caller (the fuzz crate maps its
+/// `MutationKind` table onto `0..n`); labels are attached once via
+/// [`Telemetry::set_operator_labels`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OperatorCounters {
+    /// Candidate executions whose mutation chain included the operator.
+    pub executions: Vec<u64>,
+    /// Of those, executions that earned new (shard-local) coverage.
+    pub coverage_earning: Vec<u64>,
+}
+
+impl OperatorCounters {
+    /// Counters for `n` operators, all zero.
+    pub fn new(n: usize) -> Self {
+        OperatorCounters { executions: vec![0; n], coverage_earning: vec![0; n] }
+    }
+
+    /// Number of operator slots.
+    pub fn len(&self) -> usize {
+        self.executions.len()
+    }
+
+    /// `true` when no operator slots exist.
+    pub fn is_empty(&self) -> bool {
+        self.executions.is_empty()
+    }
+
+    /// Records one candidate execution attributed to operator `index`.
+    #[inline]
+    pub fn record(&mut self, index: usize, earned_coverage: bool) {
+        self.executions[index] += 1;
+        if earned_coverage {
+            self.coverage_earning[index] += 1;
+        }
+    }
+
+    /// Folds another counter set into this one, growing if needed.
+    pub fn merge_from(&mut self, other: &OperatorCounters) {
+        if other.len() > self.len() {
+            self.executions.resize(other.len(), 0);
+            self.coverage_earning.resize(other.len(), 0);
+        }
+        for (mine, theirs) in self.executions.iter_mut().zip(&other.executions) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.coverage_earning.iter_mut().zip(&other.coverage_earning) {
+            *mine += theirs;
+        }
+    }
+
+    /// The difference `self − baseline` (both from the same monotone
+    /// counter stream).
+    pub fn delta_since(&self, baseline: &OperatorCounters) -> OperatorCounters {
+        let sub = |now: &[u64], base: &[u64]| {
+            now.iter()
+                .enumerate()
+                .map(|(i, v)| v.saturating_sub(base.get(i).copied().unwrap_or(0)))
+                .collect()
+        };
+        OperatorCounters {
+            executions: sub(&self.executions, &baseline.executions),
+            coverage_earning: sub(&self.coverage_earning, &baseline.coverage_earning),
+        }
+    }
+}
+
+/// One shard's locally owned metrics. Plain data, no locks: the owning
+/// worker increments fields directly; deltas are merged into [`Telemetry`]
+/// at sync points.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStats {
+    /// Inputs executed.
+    pub executions: u64,
+    /// Model iterations executed.
+    pub iterations: u64,
+    /// Inputs that found new (shard-local) coverage.
+    pub discoveries: u64,
+    /// Assertion violations first witnessed by this shard.
+    pub violations: u64,
+    /// Corpus insertions (appends and replacements).
+    pub corpus_inserts: u64,
+    /// Corpus replacements (an older entry was evicted).
+    pub corpus_evictions: u64,
+    /// Per-input execution latency, nanoseconds (recorded only when a
+    /// telemetry handle is attached — timing costs two clock reads).
+    pub exec_latency_ns: Histogram,
+    /// Mutation stacking depth per generated candidate.
+    pub mutation_depth: Histogram,
+    /// Coordinator-side sync-round merge cost, nanoseconds (empty on
+    /// worker shards).
+    pub sync_duration_ns: Histogram,
+    /// Mutation-operator attribution.
+    pub operators: OperatorCounters,
+}
+
+impl ShardStats {
+    /// Fresh stats with `operator_count` attribution slots.
+    pub fn new(operator_count: usize) -> Self {
+        ShardStats { operators: OperatorCounters::new(operator_count), ..Default::default() }
+    }
+
+    /// Folds another stats block into this one.
+    pub fn merge_from(&mut self, other: &ShardStats) {
+        self.executions += other.executions;
+        self.iterations += other.iterations;
+        self.discoveries += other.discoveries;
+        self.violations += other.violations;
+        self.corpus_inserts += other.corpus_inserts;
+        self.corpus_evictions += other.corpus_evictions;
+        self.exec_latency_ns.merge_from(&other.exec_latency_ns);
+        self.mutation_depth.merge_from(&other.mutation_depth);
+        self.sync_duration_ns.merge_from(&other.sync_duration_ns);
+        self.operators.merge_from(&other.operators);
+    }
+
+    /// The difference `self − baseline`, where `baseline` is an earlier
+    /// snapshot of this same stats block.
+    pub fn delta_since(&self, baseline: &ShardStats) -> ShardStats {
+        ShardStats {
+            executions: self.executions.saturating_sub(baseline.executions),
+            iterations: self.iterations.saturating_sub(baseline.iterations),
+            discoveries: self.discoveries.saturating_sub(baseline.discoveries),
+            violations: self.violations.saturating_sub(baseline.violations),
+            corpus_inserts: self.corpus_inserts.saturating_sub(baseline.corpus_inserts),
+            corpus_evictions: self.corpus_evictions.saturating_sub(baseline.corpus_evictions),
+            exec_latency_ns: self.exec_latency_ns.delta_since(&baseline.exec_latency_ns),
+            mutation_depth: self.mutation_depth.delta_since(&baseline.mutation_depth),
+            sync_duration_ns: self.sync_duration_ns.delta_since(&baseline.sync_duration_ns),
+            operators: self.operators.delta_since(&baseline.operators),
+        }
+    }
+}
+
+/// A consistent point-in-time copy of the registry's merged state.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// Campaign-wide merged stats.
+    pub totals: ShardStats,
+    /// Branches covered (from the latest coverage-bearing event).
+    pub covered: usize,
+    /// Total branch probes.
+    pub branch_count: usize,
+    /// Total corpus entries across shards (latest reports).
+    pub corpus_size: u64,
+    /// Wall-clock time since the registry was created.
+    pub elapsed: Duration,
+    /// Most recent per-shard execution rates (executions per second).
+    pub shard_rates: Vec<f64>,
+    /// Operator labels (parallel to `totals.operators`).
+    pub operator_labels: Vec<String>,
+}
+
+impl TelemetrySnapshot {
+    /// Per-operator attribution as reportable rows.
+    pub fn operator_reports(&self) -> Vec<OperatorReport> {
+        self.operator_labels
+            .iter()
+            .enumerate()
+            .map(|(i, name)| OperatorReport {
+                name: name.clone(),
+                executions: self.totals.operators.executions.get(i).copied().unwrap_or(0),
+                coverage_earning: self
+                    .totals
+                    .operators
+                    .coverage_earning
+                    .get(i)
+                    .copied()
+                    .unwrap_or(0),
+            })
+            .collect()
+    }
+}
+
+struct ShardCell {
+    executions: u64,
+    corpus_len: usize,
+    last_merge: Option<Duration>,
+    rate: f64,
+}
+
+struct StatusSink {
+    every: Duration,
+    last: Option<Instant>,
+    last_executions: u64,
+    out: Box<dyn Write + Send>,
+}
+
+struct Inner {
+    totals: ShardStats,
+    shards: Vec<ShardCell>,
+    covered: usize,
+    branch_count: usize,
+    violations: u64,
+    last_sync_ms: f64,
+    jsonl: Option<Box<dyn Write + Send>>,
+    status: Option<StatusSink>,
+    operator_labels: Vec<String>,
+}
+
+/// The shared metrics registry and sink multiplexer.
+///
+/// Cheap to share (`Arc<Telemetry>`); every method takes `&self`. With no
+/// sinks attached the registry is a passive accumulator — queries like
+/// [`Telemetry::snapshot`] and [`Telemetry::prometheus_text`] work either
+/// way.
+pub struct Telemetry {
+    started: Instant,
+    has_jsonl: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("jsonl", &self.has_jsonl.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A registry with no sinks attached.
+    pub fn new() -> Self {
+        Telemetry {
+            started: Instant::now(),
+            has_jsonl: AtomicBool::new(false),
+            inner: Mutex::new(Inner {
+                totals: ShardStats::default(),
+                shards: Vec::new(),
+                covered: 0,
+                branch_count: 0,
+                violations: 0,
+                last_sync_ms: 0.0,
+                jsonl: None,
+                status: None,
+                operator_labels: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attaches a JSONL event-log writer (one [`Event`] per line). Callers
+    /// should hand in a buffered writer for file sinks; [`Telemetry::flush`]
+    /// and campaign end force the buffer out.
+    pub fn with_jsonl(self, writer: impl Write + Send + 'static) -> Self {
+        self.has_jsonl.store(true, Ordering::Relaxed);
+        self.lock().jsonl = Some(Box::new(writer));
+        self
+    }
+
+    /// Attaches the periodic status line, written to stderr.
+    pub fn with_status(self, every: Duration) -> Self {
+        self.with_status_to(every, std::io::stderr())
+    }
+
+    /// Attaches the periodic status line with a custom writer (tests).
+    pub fn with_status_to(self, every: Duration, out: impl Write + Send + 'static) -> Self {
+        self.lock().status =
+            Some(StatusSink { every, last: None, last_executions: 0, out: Box::new(out) });
+        self
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Telemetry must never take the engine down: a poisoned registry
+        // (a panic while holding the lock) keeps serving the sane parts.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Seconds since the registry was created — the `t` timestamp base for
+    /// every event.
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Names the operator-attribution slots (idempotent; first caller with
+    /// a non-empty list wins).
+    pub fn set_operator_labels(&self, labels: &[&str]) {
+        let mut inner = self.lock();
+        if inner.operator_labels.is_empty() {
+            inner.operator_labels = labels.iter().map(|s| (*s).to_string()).collect();
+        }
+    }
+
+    /// Appends an event to the JSONL log (if attached) and folds any gauges
+    /// the event carries (coverage totals, violation count, sync lag) into
+    /// the registry so the status line and Prometheus dump stay current.
+    pub fn emit(&self, event: &Event) {
+        let mut inner = self.lock();
+        match event {
+            Event::CampaignStart { branch_count, .. } => inner.branch_count = *branch_count,
+            Event::NewCoverage { covered, total, .. } => {
+                inner.covered = inner.covered.max(*covered);
+                inner.branch_count = *total;
+            }
+            Event::Violation { .. } => inner.violations += 1,
+            Event::SyncRound { duration_ms, covered, total, .. } => {
+                inner.last_sync_ms = *duration_ms;
+                inner.covered = inner.covered.max(*covered);
+                inner.branch_count = *total;
+                inner.totals.sync_duration_ns.record((duration_ms * 1e6) as u64);
+            }
+            _ => {}
+        }
+        if let Some(w) = &mut inner.jsonl {
+            let _ = writeln!(w, "{}", event.to_json());
+        }
+    }
+
+    /// Folds a shard's stats *delta* into the campaign totals and updates
+    /// that shard's execution-rate estimate and corpus gauge.
+    pub fn merge_shard(&self, shard: usize, delta: &ShardStats, corpus_len: usize) {
+        let now = self.started.elapsed();
+        let mut inner = self.lock();
+        inner.totals.merge_from(delta);
+        if inner.shards.len() <= shard {
+            inner.shards.resize_with(shard + 1, || ShardCell {
+                executions: 0,
+                corpus_len: 0,
+                last_merge: None,
+                rate: 0.0,
+            });
+        }
+        let cell = &mut inner.shards[shard];
+        cell.executions += delta.executions;
+        cell.corpus_len = corpus_len;
+        if let Some(last) = cell.last_merge {
+            let window = (now - last).as_secs_f64();
+            if window > 1e-6 {
+                cell.rate = delta.executions as f64 / window;
+            }
+        } else if now.as_secs_f64() > 1e-6 {
+            cell.rate = delta.executions as f64 / now.as_secs_f64();
+        }
+        cell.last_merge = Some(now);
+    }
+
+    /// Writes the AFL-style status line if the status sink is attached and
+    /// its period elapsed (or `force` is set). Rate-limited internally, so
+    /// callers can invoke it once per batch/round without bookkeeping.
+    pub fn status_tick(&self, force: bool) {
+        let elapsed = self.started.elapsed();
+        let mut inner = self.lock();
+        let Some(status) = &inner.status else { return };
+        let due = match status.last {
+            None => true,
+            Some(at) => at.elapsed() >= status.every,
+        };
+        if !due && !force {
+            return;
+        }
+        let line = render_status(&inner, elapsed);
+        let executions = inner.totals.executions;
+        if let Some(status) = &mut inner.status {
+            let _ = writeln!(status.out, "{line}");
+            let _ = status.out.flush();
+            status.last = Some(Instant::now());
+            status.last_executions = executions;
+        }
+        if let Some(w) = &mut inner.jsonl {
+            let _ = w.flush();
+        }
+    }
+
+    /// Flushes the JSONL sink (call at campaign end).
+    pub fn flush(&self) {
+        let mut inner = self.lock();
+        if let Some(w) = &mut inner.jsonl {
+            let _ = w.flush();
+        }
+        if let Some(status) = &mut inner.status {
+            let _ = status.out.flush();
+        }
+    }
+
+    /// A point-in-time copy of the merged state.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let elapsed = self.started.elapsed();
+        let inner = self.lock();
+        TelemetrySnapshot {
+            totals: inner.totals.clone(),
+            covered: inner.covered,
+            branch_count: inner.branch_count,
+            corpus_size: inner.shards.iter().map(|s| s.corpus_len as u64).sum(),
+            elapsed,
+            shard_rates: inner.shards.iter().map(|s| s.rate).collect(),
+            operator_labels: inner.operator_labels.clone(),
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (counters, gauges, per-operator counters with labels, and the three
+    /// histograms with cumulative `le` buckets).
+    pub fn prometheus_text(&self) -> String {
+        let snapshot = self.snapshot();
+        let t = &snapshot.totals;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+        };
+        counter("cftcg_executions_total", "Inputs executed", t.executions);
+        counter("cftcg_iterations_total", "Model iterations executed", t.iterations);
+        counter("cftcg_discoveries_total", "Inputs that found new coverage", t.discoveries);
+        counter("cftcg_violations_total", "Assertion violations witnessed", t.violations);
+        counter("cftcg_corpus_inserts_total", "Corpus insertions", t.corpus_inserts);
+        counter("cftcg_corpus_evictions_total", "Corpus replacements", t.corpus_evictions);
+
+        out.push_str("# HELP cftcg_covered_branches Branches covered so far\n");
+        out.push_str("# TYPE cftcg_covered_branches gauge\n");
+        out.push_str(&format!("cftcg_covered_branches {}\n", snapshot.covered));
+        out.push_str("# HELP cftcg_branch_count Total branch probes\n");
+        out.push_str("# TYPE cftcg_branch_count gauge\n");
+        out.push_str(&format!("cftcg_branch_count {}\n", snapshot.branch_count));
+        out.push_str("# HELP cftcg_corpus_size Retained corpus entries across shards\n");
+        out.push_str("# TYPE cftcg_corpus_size gauge\n");
+        out.push_str(&format!("cftcg_corpus_size {}\n", snapshot.corpus_size));
+        out.push_str("# HELP cftcg_shard_execs_per_second Latest per-shard execution rate\n");
+        out.push_str("# TYPE cftcg_shard_execs_per_second gauge\n");
+        for (shard, rate) in snapshot.shard_rates.iter().enumerate() {
+            out.push_str(&format!("cftcg_shard_execs_per_second{{shard=\"{shard}\"}} {rate:.1}\n"));
+        }
+
+        out.push_str(
+            "# HELP cftcg_operator_executions_total Candidate executions per mutation operator\n",
+        );
+        out.push_str("# TYPE cftcg_operator_executions_total counter\n");
+        for op in snapshot.operator_reports() {
+            out.push_str(&format!(
+                "cftcg_operator_executions_total{{operator=\"{}\"}} {}\n",
+                op.name, op.executions
+            ));
+        }
+        out.push_str(
+            "# HELP cftcg_operator_coverage_earning_total Coverage-earning executions per mutation operator\n",
+        );
+        out.push_str("# TYPE cftcg_operator_coverage_earning_total counter\n");
+        for op in snapshot.operator_reports() {
+            out.push_str(&format!(
+                "cftcg_operator_coverage_earning_total{{operator=\"{}\"}} {}\n",
+                op.name, op.coverage_earning
+            ));
+        }
+
+        for (name, help, histogram) in [
+            ("cftcg_exec_latency_ns", "Per-input execution latency (ns)", &t.exec_latency_ns),
+            ("cftcg_mutation_depth", "Stacked mutations per candidate", &t.mutation_depth),
+            ("cftcg_sync_duration_ns", "Coordinator sync-round cost (ns)", &t.sync_duration_ns),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+            for (le, cumulative) in histogram.cumulative_buckets() {
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", histogram.count()));
+            out.push_str(&format!("{name}_sum {}\n", histogram.sum()));
+            out.push_str(&format!("{name}_count {}\n", histogram.count()));
+        }
+        out
+    }
+}
+
+/// Renders the one-line status summary.
+fn render_status(inner: &Inner, elapsed: Duration) -> String {
+    let t = &inner.totals;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let overall_rate = t.executions as f64 / secs;
+    let corpus: usize = inner.shards.iter().map(|s| s.corpus_len).sum();
+    let pct = if inner.branch_count > 0 {
+        100.0 * inner.covered as f64 / inner.branch_count as f64
+    } else {
+        0.0
+    };
+    let mut line = format!(
+        "[{secs:8.1}s] execs {} ({}/s)",
+        group_digits(t.executions),
+        group_digits(overall_rate as u64)
+    );
+    if inner.shards.len() > 1 {
+        let rates: Vec<f64> = inner.shards.iter().map(|s| s.rate).collect();
+        let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().copied().fold(0.0f64, f64::max);
+        line.push_str(&format!(
+            " | shards {}x ({}-{}/s)",
+            inner.shards.len(),
+            group_digits(min as u64),
+            group_digits(max as u64)
+        ));
+    }
+    line.push_str(&format!(
+        " | corpus {corpus} | branches {}/{} {pct:.1}% | viols {}",
+        inner.covered, inner.branch_count, inner.violations
+    ));
+    if inner.last_sync_ms > 0.0 {
+        line.push_str(&format!(" | sync {:.1}ms", inner.last_sync_ms));
+    }
+    if !t.exec_latency_ns.is_empty() {
+        line.push_str(&format!(
+            " | p50 exec {}",
+            format_ns(t.exec_latency_ns.quantile_upper_bound(0.5))
+        ));
+    }
+    line
+}
+
+/// `1234567` → `"1,234,567"`.
+fn group_digits(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Human-scale nanosecond rendering (`"≤512ns"`, `"≤8.2µs"`, `"≤1.0ms"`).
+fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("≤{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("≤{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("≤{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("≤{:.1}s", ns as f64 / 1e9)
+    }
+}
+
+/// Host metadata as a JSON object string — core count, the `CFTCG_WORKERS`
+/// override (if set), and an optional budget — so benchmark artifacts are
+/// self-describing.
+pub fn host_metadata_json(budget_ms: Option<u64>) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = format!("{{\"cores\": {cores}, \"cftcg_workers\": ");
+    match std::env::var("CFTCG_WORKERS").ok().and_then(|s| s.parse::<usize>().ok()) {
+        Some(w) => out.push_str(&w.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"budget_ms\": ");
+    match budget_ms {
+        Some(ms) => out.push_str(&ms.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+/// A thread-safe shared byte buffer usable as a sink in tests and in-memory
+/// campaigns: `SharedBuf::new()` clones share one underlying `Vec<u8>`.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffered bytes as a UTF-8 string (lossy).
+    pub fn contents(&self) -> String {
+        let buf = self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        String::from_utf8_lossy(&buf).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_shard_accumulates_and_tracks_rates() {
+        let t = Telemetry::new();
+        let mut a = ShardStats::new(2);
+        a.executions = 100;
+        a.iterations = 1_000;
+        a.operators.record(0, true);
+        let mut b = ShardStats::new(2);
+        b.executions = 50;
+        b.operators.record(1, false);
+        t.merge_shard(0, &a, 10);
+        t.merge_shard(1, &b, 20);
+        let snap = t.snapshot();
+        assert_eq!(snap.totals.executions, 150);
+        assert_eq!(snap.totals.iterations, 1_000);
+        assert_eq!(snap.corpus_size, 30);
+        assert_eq!(snap.shard_rates.len(), 2);
+        assert_eq!(snap.totals.operators.executions, vec![1, 1]);
+        assert_eq!(snap.totals.operators.coverage_earning, vec![1, 0]);
+    }
+
+    #[test]
+    fn emit_updates_gauges_and_writes_jsonl() {
+        let buf = SharedBuf::new();
+        let t = Telemetry::new().with_jsonl(buf.clone());
+        t.emit(&Event::NewCoverage { shard: 0, executions: 5, covered: 3, total: 10, t: 0.1 });
+        t.emit(&Event::Violation { shard: 0, assertion: 1, label: "a".into(), t: 0.2 });
+        t.flush();
+        let snap = t.snapshot();
+        assert_eq!(snap.covered, 3);
+        assert_eq!(snap.branch_count, 10);
+        assert_eq!(snap.totals.violations, 0, "violations gauge is event-side");
+        let contents = buf.contents();
+        let lines: Vec<&str> = contents.lines().map(str::trim).collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            json::Json::parse(line).expect("every JSONL line parses");
+        }
+    }
+
+    #[test]
+    fn status_line_renders_all_sections() {
+        let buf = SharedBuf::new();
+        let t = Telemetry::new().with_status_to(Duration::from_millis(0), buf.clone());
+        let mut stats = ShardStats::new(1);
+        stats.executions = 1_234;
+        stats.exec_latency_ns.record(5_000);
+        t.merge_shard(0, &stats, 17);
+        t.emit(&Event::NewCoverage { shard: 0, executions: 10, covered: 4, total: 8, t: 0.1 });
+        t.status_tick(true);
+        let line = buf.contents();
+        assert!(line.contains("execs 1,234"), "{line}");
+        assert!(line.contains("corpus 17"), "{line}");
+        assert!(line.contains("branches 4/8 50.0%"), "{line}");
+        assert!(line.contains("p50 exec"), "{line}");
+    }
+
+    #[test]
+    fn prometheus_dump_is_well_formed() {
+        let t = Telemetry::new();
+        t.set_operator_labels(&["EraseTuples", "InsertTuple"]);
+        let mut stats = ShardStats::new(2);
+        stats.executions = 7;
+        stats.exec_latency_ns.record(100);
+        stats.operators.record(0, true);
+        t.merge_shard(0, &stats, 3);
+        let text = t.prometheus_text();
+        assert!(text.contains("cftcg_executions_total 7"));
+        assert!(text.contains("cftcg_operator_executions_total{operator=\"EraseTuples\"} 1"));
+        assert!(text.contains("cftcg_exec_latency_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("cftcg_exec_latency_ns_count 1"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad exposition line: {line}");
+        }
+    }
+
+    #[test]
+    fn host_metadata_is_json() {
+        let meta = host_metadata_json(Some(3_000));
+        let parsed = json::Json::parse(&meta).unwrap();
+        assert!(parsed.get("cores").unwrap().as_u64().unwrap() >= 1);
+        assert_eq!(parsed.get("budget_ms").unwrap().as_u64(), Some(3_000));
+    }
+
+    #[test]
+    fn group_digits_inserts_separators() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1_000), "1,000");
+        assert_eq!(group_digits(1_234_567), "1,234,567");
+    }
+}

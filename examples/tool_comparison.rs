@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "tool", "cases", "iters/s", "DC%", "CC%", "MCDC%"
     );
 
-    let mut show = |tool: &str, generation: &cftcg::Generation| {
+    let show = |tool: &str, generation: &cftcg::Generation| {
         let report = replay_suite(&compiled, &generation.suite);
         println!(
             "{:<12} {:>9} {:>10.0} {:>6.0}% {:>6.0}% {:>6.0}%  {}",

@@ -8,3 +8,4 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test --workspace --offline -q
 cargo fmt --check
+cargo clippy --workspace --offline --all-targets -- -D warnings

@@ -19,6 +19,7 @@
 //! | [`fuzz`] | `cftcg-fuzz` | tuple-aware mutation, iteration-difference feedback, the fuzzing loop |
 //! | [`baselines`] | `cftcg-baselines` | SLDV-like, SimCoTest-like, and Fuzz-Only generators |
 //! | [`benchmarks`] | `cftcg-benchmarks` | the eight Table 2 models |
+//! | [`telemetry`] | `cftcg-telemetry` | metrics registry, JSONL event log, status line, Prometheus dump |
 //! | [`pipeline`] | `cftcg-core` | the end-to-end tool ([`Cftcg`]) |
 //! | [`slimxml`] | `cftcg-slimxml` | minimal XML parser (TinyXML substitute) |
 //!
@@ -59,6 +60,7 @@ pub use cftcg_fuzz as fuzz;
 pub use cftcg_model as model;
 pub use cftcg_sim as sim;
 pub use cftcg_slimxml as slimxml;
+pub use cftcg_telemetry as telemetry;
 
 pub use cftcg_core::Cftcg;
 pub use cftcg_coverage::CoverageReport;

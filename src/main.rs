@@ -3,8 +3,10 @@
 //! ```text
 //! cftcg stats  <model.mdlx>                         instrumentation statistics
 //! cftcg codegen <model.mdlx> [--driver]             emit instrumented C / fuzz driver
-//! cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR]
+//! cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR] [--workers N]
+//!              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]
 //!                                                   run the fuzzing loop, write CSV cases
+//! cftcg report <stats.jsonl>                        summarize a campaign event log
 //! cftcg score  <model.mdlx> <case.csv>...           replay CSV test cases, print coverage
 //! cftcg export-benchmarks <DIR>                     write the 8 Table-2 models as .mdlx
 //! ```
@@ -13,6 +15,7 @@ use std::error::Error;
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cftcg::codegen::{
@@ -20,6 +23,7 @@ use cftcg::codegen::{
 };
 use cftcg::coverage::{detailed_report, FullTracker};
 use cftcg::model::{load_model, save_model, Model};
+use cftcg::telemetry::{json::Json, Event, OperatorReport, Telemetry};
 use cftcg::Cftcg;
 
 fn main() -> ExitCode {
@@ -42,6 +46,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "stats" => stats(&load(args.get(1))?),
         "codegen" => codegen(&load(args.get(1))?, args.contains(&"--driver".to_string())),
         "fuzz" => fuzz(&load(args.get(1))?, &args[2..]),
+        "report" => report(args.get(1).map(String::as_str).ok_or("missing <stats.jsonl>")?),
         "score" => score(&load(args.get(1))?, &args[2..]),
         "export-benchmarks" => {
             export_benchmarks(args.get(1).map(String::as_str).unwrap_or("models"))
@@ -60,7 +65,9 @@ fn print_usage() {
          USAGE:\n\
          \x20 cftcg stats  <model.mdlx>\n\
          \x20 cftcg codegen <model.mdlx> [--driver]\n\
-         \x20 cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR]\n\
+         \x20 cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR] [--workers N]\n\
+         \x20              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]\n\
+         \x20 cftcg report <stats.jsonl>\n\
          \x20 cftcg score  <model.mdlx> <case.csv>...\n\
          \x20 cftcg export-benchmarks [DIR]"
     );
@@ -107,11 +114,73 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     let budget_ms: u64 =
         flag_value(rest, "--budget-ms").map(str::parse).transpose()?.unwrap_or(5_000);
     let seed: u64 = flag_value(rest, "--seed").map(str::parse).transpose()?.unwrap_or(0);
+    let workers: usize = flag_value(rest, "--workers").map(str::parse).transpose()?.unwrap_or(1);
     let out = flag_value(rest, "--out");
     let minimize = rest.contains(&"--minimize".to_string());
+    let stats_jsonl = flag_value(rest, "--stats-jsonl");
+    let status_every: Option<f64> =
+        flag_value(rest, "--status-every").map(str::parse).transpose()?;
+    let prom = flag_value(rest, "--prom");
 
-    let tool = Cftcg::new(model)?;
-    let mut generation = tool.generate(Duration::from_millis(budget_ms), seed);
+    // Build the telemetry registry only when a sink was requested; without
+    // one the loop skips per-execution timing entirely.
+    let telemetry = if stats_jsonl.is_some() || status_every.is_some() || prom.is_some() {
+        let mut t = Telemetry::new();
+        if let Some(path) = stats_jsonl {
+            t = t.with_jsonl(std::io::BufWriter::new(fs::File::create(path)?));
+        }
+        if let Some(secs) = status_every {
+            t = t.with_status(Duration::from_secs_f64(secs.max(0.0)));
+        }
+        Some(Arc::new(t))
+    } else {
+        None
+    };
+
+    let mut tool = Cftcg::new(model)?;
+    if let Some(t) = &telemetry {
+        tool = tool.with_telemetry(t.clone());
+        t.emit(&Event::CampaignStart {
+            model: model.name().to_string(),
+            seed,
+            workers,
+            budget_ms: Some(budget_ms),
+            branch_count: tool.compiled().map().branch_count(),
+        });
+    }
+
+    let mut generation = if workers > 1 {
+        tool.generate_parallel(Duration::from_millis(budget_ms), seed, workers)
+    } else {
+        tool.generate(Duration::from_millis(budget_ms), seed)
+    };
+
+    if let Some(t) = &telemetry {
+        let report = tool.score(&generation);
+        t.emit(&Event::CampaignEnd {
+            executions: generation.executions,
+            iterations: generation.iterations,
+            covered: report.decision.covered,
+            total: report.decision.total,
+            violations: generation.violations.len(),
+            elapsed_s: generation.elapsed.as_secs_f64(),
+            iterations_per_second: generation.iterations_per_second(),
+            operators: generation
+                .operators
+                .iter()
+                .map(|op| OperatorReport {
+                    name: op.name.to_string(),
+                    executions: op.executions,
+                    coverage_earning: op.coverage_earning,
+                })
+                .collect(),
+        });
+        t.status_tick(true);
+        t.flush();
+        if let Some(path) = prom {
+            fs::write(path, t.prometheus_text())?;
+        }
+    }
     if minimize {
         let before = generation.suite.len();
         generation.suite = tool.minimize(&generation.suite);
@@ -127,6 +196,15 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     );
     println!("emitted {} test cases", generation.suite.len());
     println!("coverage: {report}");
+    if !generation.operators.is_empty() {
+        println!("mutation-operator attribution:");
+        let rows: Vec<(String, u64, u64)> = generation
+            .operators
+            .iter()
+            .map(|op| (op.name.to_string(), op.executions, op.coverage_earning))
+            .collect();
+        print!("{}", operator_table(&rows));
+    }
     if !generation.violations.is_empty() {
         println!("assertion violations found:");
         for (idx, case) in &generation.violations {
@@ -169,6 +247,132 @@ fn score(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     } else {
         let report = replay_suite(&compiled, &suite);
         println!("{} test cases: {report}", suite.len());
+    }
+    Ok(())
+}
+
+/// Renders `(name, executions, coverage-earning)` attribution rows as an
+/// aligned table with a hit-rate column, sorted by executions.
+fn operator_table(rows: &[(String, u64, u64)]) -> String {
+    let mut rows: Vec<&(String, u64, u64)> = rows.iter().collect();
+    rows.sort_by_key(|&&(_, execs, earning)| {
+        (std::cmp::Reverse(execs), std::cmp::Reverse(earning))
+    });
+    let width = rows.iter().map(|r| r.0.len()).max().unwrap_or(8).max("operator".len());
+    let mut out = format!(
+        "  {:width$}  {:>12}  {:>12}  {:>9}\n",
+        "operator", "executions", "earning", "hit rate"
+    );
+    for (name, execs, earning) in rows {
+        let rate = if *execs > 0 { 100.0 * *earning as f64 / *execs as f64 } else { 0.0 };
+        out.push_str(&format!("  {name:width$}  {execs:>12}  {earning:>12}  {rate:>8.3}%\n"));
+    }
+    out
+}
+
+/// `cftcg report <stats.jsonl>`: renders a campaign event log as a summary —
+/// run identity, coverage growth, violations, sync behaviour, and the
+/// per-operator attribution table from the campaign-end event.
+fn report(path: &str) -> Result<(), Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    let mut campaign: Option<Json> = None;
+    let mut end: Option<Json> = None;
+    let mut coverage_events = 0u64;
+    let mut last_coverage: Option<(u64, u64)> = None;
+    let mut violations: Vec<String> = Vec::new();
+    let mut sync_rounds = 0u64;
+    let mut sync_ms_total = 0.0f64;
+    let mut seeds = 0u64;
+    let mut evictions = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event =
+            Json::parse(line).map_err(|e| format!("{path}:{}: invalid JSONL: {e}", lineno + 1))?;
+        let kind = event.get("type").and_then(Json::as_str).unwrap_or("?").to_string();
+        match kind.as_str() {
+            "campaign-start" => campaign = Some(event),
+            "campaign-end" => end = Some(event),
+            "new-coverage" => {
+                coverage_events += 1;
+                let covered = event.get("covered").and_then(Json::as_u64).unwrap_or(0);
+                let total = event.get("total").and_then(Json::as_u64).unwrap_or(0);
+                last_coverage = Some((covered, total));
+            }
+            "violation" => {
+                let label = event.get("label").and_then(Json::as_str).unwrap_or("?").to_string();
+                violations.push(label);
+            }
+            "sync-round" => {
+                sync_rounds += 1;
+                sync_ms_total += event.get("duration_ms").and_then(Json::as_f64).unwrap_or(0.0);
+            }
+            "seed-added" => seeds += 1,
+            "corpus-evict" => evictions += 1,
+            _ => {}
+        }
+    }
+
+    if let Some(start) = &campaign {
+        println!(
+            "campaign : model {} | seed {} | {} worker(s) | budget {} ms | {} branch probes",
+            start.get("model").and_then(Json::as_str).unwrap_or("?"),
+            start.get("seed").and_then(Json::as_u64).unwrap_or(0),
+            start.get("workers").and_then(Json::as_u64).unwrap_or(1),
+            start
+                .get("budget_ms")
+                .and_then(Json::as_u64)
+                .map_or_else(|| "?".to_string(), |v| v.to_string()),
+            start.get("branch_count").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
+    if let Some(end) = &end {
+        println!(
+            "result   : {} executions / {} iterations in {:.2}s ({:.0} iterations/s)",
+            end.get("executions").and_then(Json::as_u64).unwrap_or(0),
+            end.get("iterations").and_then(Json::as_u64).unwrap_or(0),
+            end.get("elapsed_s").and_then(Json::as_f64).unwrap_or(0.0),
+            end.get("iterations_per_second").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+        println!(
+            "coverage : {}/{} branches",
+            end.get("covered").and_then(Json::as_u64).unwrap_or(0),
+            end.get("total").and_then(Json::as_u64).unwrap_or(0),
+        );
+    } else if let Some((covered, total)) = last_coverage {
+        println!("coverage : {covered}/{total} branches (campaign still running)");
+    }
+    println!("progress : {coverage_events} new-coverage events, {seeds} seeds, {evictions} corpus evictions");
+    if sync_rounds > 0 {
+        println!(
+            "sync     : {sync_rounds} rounds, {:.2} ms average merge cost",
+            sync_ms_total / sync_rounds as f64
+        );
+    }
+    if violations.is_empty() {
+        println!("violations: none");
+    } else {
+        println!("violations:");
+        for label in &violations {
+            println!("  {label}");
+        }
+    }
+    if let Some(ops) = end.as_ref().and_then(|e| e.get("operators")).and_then(Json::as_array) {
+        let rows: Vec<(String, u64, u64)> = ops
+            .iter()
+            .map(|op| {
+                (
+                    op.get("name").and_then(Json::as_str).unwrap_or("?").to_string(),
+                    op.get("executions").and_then(Json::as_u64).unwrap_or(0),
+                    op.get("coverage_earning").and_then(Json::as_u64).unwrap_or(0),
+                )
+            })
+            .collect();
+        if !rows.is_empty() {
+            println!("mutation-operator attribution:");
+            print!("{}", operator_table(&rows));
+        }
     }
     Ok(())
 }

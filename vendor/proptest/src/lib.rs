@@ -134,6 +134,7 @@ macro_rules! __proptest_impl {
                     $(let $arg = $crate::strategy::Strategy::sample(&$strat, __rng);)+
                     let __inputs =
                         format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                    #[allow(clippy::redundant_closure_call)]
                     let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
                         (move || {
                             $body
