@@ -45,20 +45,13 @@ pub fn generate(compiled: &CompiledModel, config: &FuzzOnlyConfig) -> Generation
     };
     let mut fuzzer = Fuzzer::new(compiled, fuzz_config);
     let outcome = fuzzer.run_for(config.budget);
-    Generation {
-        case_times: outcome.events.iter().map(|e| e.elapsed).collect(),
-        suite: outcome.suite,
-        violations: outcome.violations,
-        executions: outcome.executions,
-        iterations: outcome.iterations,
-        elapsed: outcome.elapsed,
-        notes: format!(
-            "code-level feedback over {} of {} branches",
-            compiled.map().code_level_mask().iter().filter(|&&v| v).count(),
-            compiled.map().branch_count()
-        ),
-        operators: outcome.operators,
-    }
+    let mut generation: Generation = outcome.into();
+    generation.notes = format!(
+        "code-level feedback over {} of {} branches",
+        compiled.map().code_level_mask().iter().filter(|&&v| v).count(),
+        compiled.map().branch_count()
+    );
+    generation
 }
 
 #[cfg(test)]

@@ -1,0 +1,409 @@
+//! The HTML campaign explorer: one self-contained document (inline CSS,
+//! inline SVG, zero JavaScript, zero external requests) that renders a
+//! persisted campaign for a human — summary tiles, the coverage-vs-time
+//! curve, a per-decision annotated goal listing with first-hit provenance,
+//! the frontier table of every open goal with its cause classification,
+//! and the suite with full mutation lineage chains.
+//!
+//! The renderer is a pure function of its inputs and byte-stable: every
+//! collection it walks is in a deterministic order (map index order,
+//! emission order, canonical goal order), so two renders of the same
+//! artifact are identical — which is what the golden-file test in the
+//! umbrella crate pins down.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use cftcg_coverage::{
+    format_case_id, frontier, CoverageReport, FullTracker, Goal, InstrumentationMap, Ratio,
+};
+use cftcg_fuzz::{format_chain, MutationKind};
+
+use crate::campaign::{CampaignArtifact, CampaignHit};
+
+/// Renders the campaign explorer. `tracker` must hold the replayed
+/// observations of the artifact's suite (the CLI rebuilds it by replaying
+/// the embedded case bytes through the compiled model), so the coverage,
+/// per-goal status, and frontier shown all derive from the same evidence.
+pub fn campaign_explorer_html(
+    map: &InstrumentationMap,
+    artifact: &CampaignArtifact,
+    tracker: &FullTracker,
+) -> String {
+    let report = CoverageReport::score(map, tracker);
+    let open = frontier(map, tracker);
+    let open_goals: HashSet<Goal> = open.iter().map(|e| e.goal).collect();
+    let hit_by_goal: HashMap<Goal, &CampaignHit> =
+        artifact.hits.iter().map(|h| (h.goal, h)).collect();
+    let lineage = artifact.lineage_dag();
+
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    let _ = writeln!(out, "<title>CFTCG campaign explorer — {}</title>", esc(&artifact.model));
+    out.push_str(STYLE);
+    out.push_str("</head>\n<body>\n");
+    let _ = writeln!(out, "<h1>CFTCG campaign explorer — {}</h1>", esc(&artifact.model));
+
+    render_summary(&mut out, artifact, &report);
+    render_series(&mut out, artifact);
+    render_goals(&mut out, map, tracker, &open_goals, &hit_by_goal);
+    render_frontier(&mut out, &open);
+    render_cases(&mut out, artifact, &lineage);
+
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+const STYLE: &str = "<style>\n\
+body{font:14px/1.45 system-ui,sans-serif;margin:2rem auto;max-width:70rem;color:#1a1a2a;padding:0 1rem}\n\
+h1{font-size:1.4rem}h2{font-size:1.1rem;margin-top:2rem;border-bottom:1px solid #ccd;padding-bottom:.2rem}\n\
+.tiles{display:flex;flex-wrap:wrap;gap:.6rem;margin:1rem 0}\n\
+.tile{border:1px solid #ccd;border-radius:6px;padding:.5rem .8rem;background:#f7f8fb}\n\
+.tile b{display:block;font-size:1.15rem}.tile span{color:#567;font-size:.8rem}\n\
+table{border-collapse:collapse;width:100%;margin:.6rem 0}\n\
+th,td{border:1px solid #dde;padding:.25rem .5rem;text-align:left;vertical-align:top}\n\
+th{background:#eef0f6}tr.open td{background:#fff4f2}tr.hit td{background:#f4fbf4}\n\
+code{background:#eef;padding:0 .2rem;border-radius:3px;font-size:.92em}\n\
+.cov{color:#1a7a2a;font-weight:600}.miss{color:#b03030;font-weight:600}\n\
+details{margin:.6rem 0}summary{cursor:pointer;font-weight:600}\n\
+svg{background:#fbfcff;border:1px solid #ccd;border-radius:6px}\n\
+.chain{font-family:ui-monospace,monospace;font-size:.85em;word-break:break-word}\n\
+</style>\n";
+
+fn render_summary(out: &mut String, artifact: &CampaignArtifact, report: &CoverageReport) {
+    out.push_str("<div class=\"tiles\">\n");
+    let mut tile = |value: String, label: &str| {
+        let _ = writeln!(out, "<div class=\"tile\"><b>{value}</b><span>{label}</span></div>");
+    };
+    tile(artifact.seed.to_string(), "seed");
+    tile(artifact.workers.to_string(), "workers");
+    tile(artifact.executions.to_string(), "inputs executed");
+    tile(artifact.iterations.to_string(), "model iterations");
+    tile(format!("{:.2}s", artifact.elapsed_s), "wall clock");
+    tile(artifact.cases.len().to_string(), "test cases");
+    tile(ratio_text(report.decision), "decision coverage");
+    tile(ratio_text(report.condition), "condition coverage");
+    tile(ratio_text(report.mcdc), "MCDC");
+    out.push_str("</div>\n");
+}
+
+fn ratio_text(ratio: Ratio) -> String {
+    format!("{}/{} ({:.1}%)", ratio.covered, ratio.total, ratio.percent())
+}
+
+/// Inline-SVG coverage-vs-time curve built from the per-case emission
+/// metadata: each emitted case is one step of the cumulative covered-branch
+/// count (the data behind the paper's Figure 7, per campaign).
+fn render_series(out: &mut String, artifact: &CampaignArtifact) {
+    out.push_str("<h2>Coverage over time</h2>\n");
+    if artifact.cases.is_empty() {
+        out.push_str("<p>No test cases were emitted.</p>\n");
+        return;
+    }
+    const W: f64 = 680.0;
+    const H: f64 = 200.0;
+    const PAD: f64 = 42.0;
+    let max_t = artifact.cases.iter().map(|c| c.t_s).fold(artifact.elapsed_s, f64::max).max(1e-9);
+    let max_c = artifact.branch_count.max(1) as f64;
+    let x = |t: f64| PAD + (W - 2.0 * PAD) * (t / max_t);
+    let y = |c: f64| H - PAD + (2.0 * PAD - H) * (c / max_c);
+
+    let mut points = String::new();
+    let mut last = 0.0f64;
+    let _ = write!(points, "{:.1},{:.1}", x(0.0), y(0.0));
+    for case in &artifact.cases {
+        // Step function: hold the previous level until the case landed.
+        let _ = write!(points, " {:.1},{:.1}", x(case.t_s), y(last));
+        last = case.covered_branches as f64;
+        let _ = write!(points, " {:.1},{:.1}", x(case.t_s), y(last));
+    }
+    let _ = write!(points, " {:.1},{:.1}", x(max_t), y(last));
+
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\" \
+         aria-label=\"covered branches over time\">\n\
+         <line x1=\"{p}\" y1=\"{yb:.1}\" x2=\"{xe:.1}\" y2=\"{yb:.1}\" stroke=\"#99a\"/>\n\
+         <line x1=\"{p}\" y1=\"{yt:.1}\" x2=\"{p}\" y2=\"{yb:.1}\" stroke=\"#99a\"/>\n\
+         <text x=\"{p}\" y=\"{H}\" font-size=\"11\" fill=\"#567\">0s</text>\n\
+         <text x=\"{xe:.1}\" y=\"{H}\" font-size=\"11\" fill=\"#567\" text-anchor=\"end\">{max_t:.2}s</text>\n\
+         <text x=\"4\" y=\"{yt2:.1}\" font-size=\"11\" fill=\"#567\">{branches}</text>\n\
+         <text x=\"4\" y=\"{yb:.1}\" font-size=\"11\" fill=\"#567\">0</text>\n\
+         <polyline fill=\"none\" stroke=\"#2a6fb0\" stroke-width=\"2\" points=\"{points}\"/>\n\
+         </svg>\n",
+        p = PAD,
+        yb = y(0.0),
+        yt = y(max_c),
+        yt2 = y(max_c) + 4.0,
+        xe = x(max_t),
+        branches = artifact.branch_count,
+    );
+    let _ = writeln!(
+        out,
+        "<p>{} of {} branch probes covered.</p>",
+        artifact.covered_branches, artifact.branch_count
+    );
+}
+
+/// Per-decision annotated goal listing: every outcome, condition polarity,
+/// and MCDC goal of each decision, with covered/open status and first-hit
+/// provenance where recorded.
+fn render_goals(
+    out: &mut String,
+    map: &InstrumentationMap,
+    tracker: &FullTracker,
+    open_goals: &HashSet<Goal>,
+    hit_by_goal: &HashMap<Goal, &CampaignHit>,
+) {
+    out.push_str("<h2>Goals by decision</h2>\n");
+    for decision in map.decisions() {
+        let total = decision.outcomes.len() + 3 * decision.conditions.len();
+        let covered = decision.outcomes.iter().filter(|b| tracker.branch_hit(b.index())).count()
+            + decision
+                .conditions
+                .iter()
+                .flat_map(|c| {
+                    [
+                        !open_goals.contains(&Goal::Condition(c.index(), false)),
+                        !open_goals.contains(&Goal::Condition(c.index(), true)),
+                        !open_goals.contains(&Goal::Mcdc(c.index())),
+                    ]
+                })
+                .filter(|&v| v)
+                .count();
+        let _ = writeln!(
+            out,
+            "<details{}><summary><code>{}</code> — {covered}/{total} goals</summary>",
+            if covered < total { " open" } else { "" },
+            esc(&decision.label),
+        );
+        out.push_str("<table>\n<tr><th>goal</th><th>status</th><th>first hit</th></tr>\n");
+        for &branch in &decision.outcomes {
+            let b = branch.index();
+            goal_row(out, map, Goal::Outcome(b), tracker.branch_hit(b), hit_by_goal);
+        }
+        for &cond in &decision.conditions {
+            let c = cond.index();
+            for value in [false, true] {
+                let goal = Goal::Condition(c, value);
+                goal_row(out, map, goal, !open_goals.contains(&goal), hit_by_goal);
+            }
+            let goal = Goal::Mcdc(c);
+            goal_row(out, map, goal, !open_goals.contains(&goal), hit_by_goal);
+        }
+        out.push_str("</table>\n</details>\n");
+    }
+}
+
+fn goal_row(
+    out: &mut String,
+    map: &InstrumentationMap,
+    goal: Goal,
+    covered: bool,
+    hit_by_goal: &HashMap<Goal, &CampaignHit>,
+) {
+    let hit = hit_by_goal.get(&goal);
+    let provenance = match hit {
+        Some(h) => format!(
+            "<code>{}</code> at execution {} via {}",
+            format_case_id(h.case),
+            h.executions,
+            esc(&op_chain(&h.ops)),
+        ),
+        None if covered => "—".to_string(),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "<tr class=\"{}\"><td>[{}] {}</td><td class=\"{}\">{}</td><td>{provenance}</td></tr>",
+        if covered { "hit" } else { "open" },
+        goal.metric(),
+        esc(&goal.label(map)),
+        if covered { "cov" } else { "miss" },
+        if covered { "covered" } else { "open" },
+    );
+}
+
+/// Operator chain of a first hit rendered with Table-1 names.
+fn op_chain(ops: &[u8]) -> String {
+    if ops.is_empty() {
+        return "seed/bootstrap".to_string();
+    }
+    ops.iter()
+        .map(|&i| MutationKind::ALL.get(i as usize).map_or("?", |k| k.name()))
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// The frontier table: every open goal with its cause classification and
+/// the byte-stable detail line from the frontier analyzer.
+fn render_frontier(out: &mut String, open: &[cftcg_coverage::FrontierEntry]) {
+    let _ = writeln!(out, "<h2>Frontier — {} open goal{}</h2>", open.len(), plural(open.len()));
+    if open.is_empty() {
+        out.push_str("<p>Every goal of the model is covered.</p>\n");
+        return;
+    }
+    out.push_str("<table>\n<tr><th>metric</th><th>goal</th><th>cause</th><th>detail</th></tr>\n");
+    for entry in open {
+        let _ = writeln!(
+            out,
+            "<tr class=\"open\"><td>{}</td><td>{}</td><td><code>{}</code></td><td>{}</td></tr>",
+            entry.goal.metric(),
+            esc(&entry.label),
+            entry.cause.tag(),
+            esc(&entry.detail),
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+/// The emitted suite with full mutation lineage chains.
+fn render_cases(out: &mut String, artifact: &CampaignArtifact, lineage: &cftcg_fuzz::Lineage) {
+    let _ = writeln!(out, "<h2>Test cases — {} emitted</h2>", artifact.cases.len());
+    if artifact.cases.is_empty() {
+        return;
+    }
+    out.push_str(
+        "<table>\n<tr><th>case</th><th>shard</th><th>execution</th><th>t</th>\
+         <th>covered after</th><th>bytes</th><th>lineage</th></tr>\n",
+    );
+    for case in &artifact.cases {
+        let chain = lineage.chain(case.id);
+        let chain_text = if chain.is_empty() {
+            "(no lineage recorded)".to_string()
+        } else {
+            format_chain(&chain)
+        };
+        let _ = writeln!(
+            out,
+            "<tr><td><code>{}</code></td><td>{}</td><td>{}</td><td>{:.2}s</td>\
+             <td>{}</td><td>{}</td><td class=\"chain\">{}</td></tr>",
+            format_case_id(case.id),
+            case.shard,
+            case.executions,
+            case.t_s,
+            case.covered_branches,
+            case.bytes.len(),
+            esc(&chain_text),
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Escapes text for HTML element content and attribute values.
+fn esc(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cftcg_codegen::{replay_case, TestCase};
+    use cftcg_model::{BlockKind, DataType, LogicOp, ModelBuilder};
+
+    fn tool() -> crate::Cftcg {
+        let mut b = ModelBuilder::new("explorer<&>test");
+        let x = b.inport("x", DataType::Bool);
+        let z = b.inport("z", DataType::Bool);
+        let and = b.add("and", BlockKind::Logic { op: LogicOp::And, inputs: 2 });
+        let y = b.outport("y");
+        b.feed(x, and, 0);
+        b.feed(z, and, 1);
+        b.wire(and, y);
+        crate::Cftcg::new(&b.finish().unwrap()).unwrap()
+    }
+
+    fn render(tool: &crate::Cftcg, executions: u64) -> (CampaignArtifact, String) {
+        let generation = tool.generate_executions(executions, 11);
+        let map = tool.compiled().map();
+        let artifact =
+            CampaignArtifact::from_generation("explorer<&>test", 11, 1, &generation, map);
+        let mut tracker = FullTracker::new(map);
+        for case in &artifact.cases {
+            replay_case(tool.compiled(), &TestCase::new(case.bytes.clone()), &mut tracker);
+        }
+        let html = campaign_explorer_html(map, &artifact, &tracker);
+        (artifact, html)
+    }
+
+    #[test]
+    fn explorer_is_self_contained_and_escaped() {
+        let tool = tool();
+        let (_, html) = render(&tool, 800);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        // Self-contained: no external fetches, no scripts.
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http://") && !html.contains("https://"));
+        // The model name needed escaping and got it.
+        assert!(html.contains("explorer&lt;&amp;&gt;test"));
+        assert!(!html.contains("explorer<&>test"));
+        // All four sections render.
+        for section in ["Coverage over time", "Goals by decision", "Frontier", "Test cases"] {
+            assert!(html.contains(section), "missing section {section}");
+        }
+    }
+
+    #[test]
+    fn every_open_goal_appears_with_a_cause() {
+        let tool = tool();
+        // A tiny budget leaves goals open (at minimum the run is unlikely to
+        // demonstrate all MCDC pairs in 30 executions; if it does, the
+        // frontier section must say so instead).
+        let (artifact, html) = render(&tool, 30);
+        let map = tool.compiled().map();
+        let mut tracker = FullTracker::new(map);
+        for case in &artifact.cases {
+            replay_case(tool.compiled(), &TestCase::new(case.bytes.clone()), &mut tracker);
+        }
+        let open = frontier(map, &tracker);
+        if open.is_empty() {
+            assert!(html.contains("Every goal of the model is covered."));
+        }
+        for entry in &open {
+            assert!(html.contains(&esc(&entry.label)), "missing open goal {}", entry.label);
+            assert!(html.contains(entry.cause.tag()), "missing cause {}", entry.cause.tag());
+        }
+        // And every covered goal carries its provenance annotation.
+        for hit in &artifact.hits {
+            assert!(
+                html.contains(&format!("<code>{}</code>", format_case_id(hit.case))),
+                "missing provenance case {}",
+                hit.case
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_is_byte_stable() {
+        let tool = tool();
+        let (artifact, first) = render(&tool, 500);
+        let map = tool.compiled().map();
+        for _ in 0..3 {
+            let mut tracker = FullTracker::new(map);
+            for case in &artifact.cases {
+                replay_case(tool.compiled(), &TestCase::new(case.bytes.clone()), &mut tracker);
+            }
+            assert_eq!(campaign_explorer_html(map, &artifact, &tracker), first);
+        }
+    }
+}

@@ -40,6 +40,12 @@
 //! # }
 //! ```
 
+mod campaign;
+mod html;
+
+pub use campaign::{parse_case_id, CampaignArtifact, CampaignCase, CampaignHit};
+pub use html::campaign_explorer_html;
+
 use std::time::Duration;
 
 use cftcg_codegen::{

@@ -1,0 +1,496 @@
+//! Frontier analysis: *why* each uncovered goal is still open.
+//!
+//! The scorer says a goal is uncovered; the frontier says what is blocking
+//! it, in terms an engineer staring at the model can act on — "this Switch
+//! was never reached", "this guard has only ever been false", "the closest
+//! recorded evaluation pair for this MCDC goal also flips two other
+//! conditions". This is the information a hybrid follow-up (e.g. handing
+//! open branches to a bounded model checker) consumes, and what the HTML
+//! campaign explorer's frontier table renders.
+//!
+//! [`frontier`] partitions the goal universe exactly: a goal appears in its
+//! output iff [`CoverageReport::score`](crate::CoverageReport::score) counts
+//! it uncovered, so `covered + frontier = total` per metric. Output order
+//! and text are byte-stable (evaluation vectors are sorted before any pair
+//! search or rendering).
+
+use std::fmt;
+
+use crate::map::{DecisionInfo, InstrumentationMap};
+use crate::provenance::Goal;
+use crate::recorder::FullTracker;
+use crate::report::{eval_index, mcdc_demonstrated_for};
+
+/// Why an uncovered goal is still open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontierCause {
+    /// No outcome of the goal's decision ever executed: the decision is
+    /// unreachable so far (dead region, or guarded by other open goals).
+    DecisionNeverReached,
+    /// The decision executed, but only the listed outcome indices were ever
+    /// taken; this outcome never was.
+    OutcomeUntaken {
+        /// Outcome indices (within the decision) that *were* taken.
+        taken: Vec<usize>,
+    },
+    /// The condition was never evaluated with either polarity.
+    ConditionNeverEvaluated,
+    /// The condition evaluated, but only ever to `stuck_at`.
+    ConditionStuckAt {
+        /// The single polarity observed.
+        stuck_at: bool,
+    },
+    /// MCDC: the owning decision has no recorded evaluations.
+    McdcDecisionNeverReached,
+    /// MCDC: across every recorded evaluation vector the condition's bit
+    /// held the same value, so no flipping pair can exist yet.
+    McdcConditionNeverVaried {
+        /// The constant bit value.
+        stuck_at: bool,
+    },
+    /// MCDC: an evaluation pair differing *only* in this condition exists,
+    /// but both evaluations produced the same outcome — flipping the
+    /// condition alone did not affect the decision (masked by the decision
+    /// logic, at least on the observed vectors).
+    McdcOutcomeInsensitive {
+        /// One vector of the closest same-outcome pair.
+        vector: u64,
+        /// Its partner (`vector` with this condition's bit flipped, plus
+        /// any extra differing bits when no single-bit pair was recorded).
+        partner: u64,
+        /// The outcome both evaluations produced.
+        outcome: u32,
+    },
+    /// MCDC: the closest outcome-flipping pair that toggles this condition
+    /// also toggles other conditions — those extra bits block a unique-cause
+    /// demonstration.
+    McdcBlockedPair {
+        /// First vector of the closest pair.
+        vector_a: u64,
+        /// Outcome of the first evaluation.
+        outcome_a: u32,
+        /// Second vector.
+        vector_b: u64,
+        /// Outcome of the second evaluation.
+        outcome_b: u32,
+        /// Mask of the *extra* condition bits that also differ (never
+        /// includes this condition's own bit).
+        extra_bits: u64,
+    },
+}
+
+impl FrontierCause {
+    /// Short classification tag for tables.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FrontierCause::DecisionNeverReached => "decision-never-reached",
+            FrontierCause::OutcomeUntaken { .. } => "outcome-untaken",
+            FrontierCause::ConditionNeverEvaluated => "condition-never-evaluated",
+            FrontierCause::ConditionStuckAt { .. } => "condition-stuck",
+            FrontierCause::McdcDecisionNeverReached => "mcdc-decision-never-reached",
+            FrontierCause::McdcConditionNeverVaried { .. } => "mcdc-condition-never-varied",
+            FrontierCause::McdcOutcomeInsensitive { .. } => "mcdc-outcome-insensitive",
+            FrontierCause::McdcBlockedPair { .. } => "mcdc-blocked-pair",
+        }
+    }
+}
+
+/// One uncovered goal with its cause classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierEntry {
+    /// The open goal.
+    pub goal: Goal,
+    /// Goal label resolved to the model block path.
+    pub label: String,
+    /// Why the goal is open.
+    pub cause: FrontierCause,
+    /// Human-readable elaboration (observed pair, blocking condition
+    /// labels, …). Byte-stable across runs.
+    pub detail: String,
+}
+
+impl fmt::Display for FrontierEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} — {}: {}", self.goal.metric(), self.label, self.cause.tag(), self.detail)
+    }
+}
+
+/// Classifies every uncovered goal of `tracker` against `map`, in canonical
+/// goal order (outcomes, condition polarities, MCDC).
+///
+/// # Panics
+///
+/// Panics if `tracker` was not built from `map`.
+pub fn frontier(map: &InstrumentationMap, tracker: &FullTracker) -> Vec<FrontierEntry> {
+    assert_eq!(tracker.branch_hits().len(), map.branch_count(), "tracker does not match map");
+    let mut entries = Vec::new();
+
+    for (b, info) in map.branches().iter().enumerate() {
+        if tracker.branch_hit(b) {
+            continue;
+        }
+        let decision = map.decision(info.decision);
+        let taken: Vec<usize> = decision
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| tracker.branch_hit(o.index()))
+            .map(|(i, _)| i)
+            .collect();
+        let (cause, detail) = if taken.is_empty() {
+            (
+                FrontierCause::DecisionNeverReached,
+                format!("decision `{}` never executed", decision.label),
+            )
+        } else {
+            let names: Vec<&str> = taken
+                .iter()
+                .map(|&i| map.branches()[decision.outcomes[i].index()].label.as_str())
+                .collect();
+            let detail = format!(
+                "decision reached, but only outcome{} {} taken",
+                if names.len() == 1 { "" } else { "s" },
+                names.iter().map(|n| format!("`{n}`")).collect::<Vec<_>>().join(", ")
+            );
+            (FrontierCause::OutcomeUntaken { taken }, detail)
+        };
+        entries.push(FrontierEntry {
+            goal: Goal::Outcome(b),
+            label: Goal::Outcome(b).label(map),
+            cause,
+            detail,
+        });
+    }
+
+    for (c, info) in map.conditions().iter().enumerate() {
+        for value in [false, true] {
+            if tracker.condition_seen(c, value) {
+                continue;
+            }
+            let (cause, detail) = if tracker.condition_seen(c, !value) {
+                (
+                    FrontierCause::ConditionStuckAt { stuck_at: !value },
+                    format!("condition `{}` only ever evaluated {}", info.label, !value),
+                )
+            } else {
+                (
+                    FrontierCause::ConditionNeverEvaluated,
+                    format!("condition `{}` never evaluated", info.label),
+                )
+            };
+            entries.push(FrontierEntry {
+                goal: Goal::Condition(c, value),
+                label: Goal::Condition(c, value).label(map),
+                cause,
+                detail,
+            });
+        }
+    }
+
+    for (d, decision) in map.decisions().iter().enumerate() {
+        if decision.conditions.is_empty() {
+            continue;
+        }
+        let demonstrated = mcdc_demonstrated_for(tracker.decision_evals(d), decision);
+        let evals = tracker.decision_evals_sorted(d);
+        for (bit, (&cond, shown)) in decision.conditions.iter().zip(demonstrated).enumerate() {
+            if shown {
+                continue;
+            }
+            let c = cond.index();
+            let (cause, detail) = classify_mcdc(map, decision, &evals, bit);
+            entries.push(FrontierEntry {
+                goal: Goal::Mcdc(c),
+                label: Goal::Mcdc(c).label(map),
+                cause,
+                detail,
+            });
+        }
+    }
+
+    entries
+}
+
+/// Classifies one open MCDC goal (condition at `bit` of `decision`) from
+/// the decision's sorted evaluations.
+fn classify_mcdc(
+    map: &InstrumentationMap,
+    decision: &DecisionInfo,
+    evals: &[(u64, u32)],
+    bit: usize,
+) -> (FrontierCause, String) {
+    let mask = 1u64 << bit;
+    if evals.is_empty() {
+        return (
+            FrontierCause::McdcDecisionNeverReached,
+            format!("decision `{}` has no recorded evaluations", decision.label),
+        );
+    }
+    if evals.iter().all(|&(v, _)| v & mask == 0) || evals.iter().all(|&(v, _)| v & mask != 0) {
+        let stuck_at = evals[0].0 & mask != 0;
+        return (
+            FrontierCause::McdcConditionNeverVaried { stuck_at },
+            format!(
+                "condition bit held {stuck_at} across all {} recorded evaluation{}",
+                evals.len(),
+                if evals.len() == 1 { "" } else { "s" }
+            ),
+        );
+    }
+
+    // The bit varied. Check single-bit pairs first: if a `v ^ mask` partner
+    // was recorded, the goal can only be open because both sides produced
+    // the same outcome.
+    let index = eval_index(evals.iter().copied());
+    for &(v, o) in evals {
+        if v & mask != 0 {
+            continue; // visit each unordered pair once, from its bit=0 side
+        }
+        let partner = v ^ mask;
+        if index.get(&partner).is_some_and(|&seen| seen & (1u8 << o.min(1)) != 0) {
+            return (
+                FrontierCause::McdcOutcomeInsensitive { vector: v, partner, outcome: o },
+                format!(
+                    "flipping only this condition ({} vs {}) left the outcome at {o}",
+                    render_vector(v, decision.conditions.len()),
+                    render_vector(partner, decision.conditions.len()),
+                ),
+            );
+        }
+    }
+
+    // No single-bit pair. Find the closest bit-differing pair, preferring
+    // outcome-flipping pairs, then fewest extra bits, then the smallest
+    // vectors — a total order, so the report is deterministic.
+    let mut best: Option<(bool, u32, u64, u32, u64, u32)> = None;
+    for (i, &(v1, o1)) in evals.iter().enumerate() {
+        for &(v2, o2) in &evals[i + 1..] {
+            if (v1 ^ v2) & mask == 0 {
+                continue;
+            }
+            let extra = (v1 ^ v2) & !mask;
+            let key = (o1 == o2, extra.count_ones(), v1, o1, v2, o2);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+    }
+    let (same_outcome, _, v1, o1, v2, o2) =
+        best.expect("bit varies, so a bit-differing pair exists");
+    let extra = (v1 ^ v2) & !mask;
+    let blockers: Vec<&str> = decision
+        .conditions
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| extra & (1u64 << i) != 0)
+        .map(|(_, c)| map.conditions()[c.index()].label.as_str())
+        .collect();
+    let width = decision.conditions.len();
+    if same_outcome {
+        (
+            FrontierCause::McdcOutcomeInsensitive { vector: v1, partner: v2, outcome: o1 },
+            format!(
+                "closest pair {} vs {} (also flips `{}`) kept the outcome at {o1}",
+                render_vector(v1, width),
+                render_vector(v2, width),
+                blockers.join("`, `"),
+            ),
+        )
+    } else {
+        (
+            FrontierCause::McdcBlockedPair {
+                vector_a: v1,
+                outcome_a: o1,
+                vector_b: v2,
+                outcome_b: o2,
+                extra_bits: extra,
+            },
+            format!(
+                "closest outcome-flipping pair {}→{o1} vs {}→{o2} differs in {} extra bit{}: `{}`",
+                render_vector(v1, width),
+                render_vector(v2, width),
+                extra.count_ones(),
+                if extra.count_ones() == 1 { "" } else { "s" },
+                blockers.join("`, `"),
+            ),
+        )
+    }
+}
+
+/// Renders an evaluation vector as `width` condition bits, LSB (condition
+/// 0) first, e.g. `TFF` for vector 0b001 over three conditions.
+fn render_vector(vector: u64, width: usize) -> String {
+    (0..width.max(1)).map(|i| if vector & (1u64 << i) != 0 { 'T' } else { 'F' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{BranchId, ConditionId, DecisionId, MapBuilder};
+    use crate::recorder::Recorder;
+    use crate::report::CoverageReport;
+
+    fn and_map() -> InstrumentationMap {
+        let mut b = MapBuilder::new();
+        let d = b.begin_decision("and");
+        b.add_outcome(d, "true");
+        b.add_outcome(d, "false");
+        b.add_condition(d, "a");
+        b.add_condition(d, "b");
+        b.finish()
+    }
+
+    fn eval_and(tracker: &mut FullTracker, a: bool, b: bool) {
+        let outcome = a && b;
+        tracker.condition(ConditionId(0), a);
+        tracker.condition(ConditionId(1), b);
+        tracker.decision_eval(
+            DecisionId(0),
+            u64::from(a) | (u64::from(b) << 1),
+            u32::from(outcome),
+        );
+        tracker.branch(if outcome { BranchId(0) } else { BranchId(1) });
+    }
+
+    fn causes(entries: &[FrontierEntry]) -> Vec<(Goal, &'static str)> {
+        entries.iter().map(|e| (e.goal, e.cause.tag())).collect()
+    }
+
+    #[test]
+    fn empty_tracker_reports_everything_unreached() {
+        let map = and_map();
+        let tracker = FullTracker::new(&map);
+        let entries = frontier(&map, &tracker);
+        assert_eq!(
+            causes(&entries),
+            vec![
+                (Goal::Outcome(0), "decision-never-reached"),
+                (Goal::Outcome(1), "decision-never-reached"),
+                (Goal::Condition(0, false), "condition-never-evaluated"),
+                (Goal::Condition(0, true), "condition-never-evaluated"),
+                (Goal::Condition(1, false), "condition-never-evaluated"),
+                (Goal::Condition(1, true), "condition-never-evaluated"),
+                (Goal::Mcdc(0), "mcdc-decision-never-reached"),
+                (Goal::Mcdc(1), "mcdc-decision-never-reached"),
+            ]
+        );
+    }
+
+    #[test]
+    fn one_sided_run_classifies_stuck_goals() {
+        let map = and_map();
+        let mut tracker = FullTracker::new(&map);
+        eval_and(&mut tracker, true, true);
+        let entries = frontier(&map, &tracker);
+        assert_eq!(
+            causes(&entries),
+            vec![
+                (Goal::Outcome(1), "outcome-untaken"),
+                (Goal::Condition(0, false), "condition-stuck"),
+                (Goal::Condition(1, false), "condition-stuck"),
+                (Goal::Mcdc(0), "mcdc-condition-never-varied"),
+                (Goal::Mcdc(1), "mcdc-condition-never-varied"),
+            ]
+        );
+        assert!(entries[0].detail.contains("only outcome `true` taken"));
+        assert_eq!(entries[1].cause, FrontierCause::ConditionStuckAt { stuck_at: true });
+    }
+
+    #[test]
+    fn two_bit_flip_reports_blocked_pair_with_blocker_label() {
+        let map = and_map();
+        let mut tracker = FullTracker::new(&map);
+        // (T,T)=T vs (F,F)=F: outcome flips but both bits differ, so each
+        // condition's closest pair is blocked by the other.
+        eval_and(&mut tracker, true, true);
+        eval_and(&mut tracker, false, false);
+        let entries = frontier(&map, &tracker);
+        let mcdc_a = entries.iter().find(|e| e.goal == Goal::Mcdc(0)).unwrap();
+        assert_eq!(
+            mcdc_a.cause,
+            FrontierCause::McdcBlockedPair {
+                vector_a: 0b00,
+                outcome_a: 0,
+                vector_b: 0b11,
+                outcome_b: 1,
+                extra_bits: 0b10,
+            }
+        );
+        assert!(mcdc_a.detail.contains("1 extra bit"), "{}", mcdc_a.detail);
+        assert!(mcdc_a.detail.contains("`b`"), "{}", mcdc_a.detail);
+        assert!(mcdc_a.detail.contains("FF→0 vs TT→1"), "{}", mcdc_a.detail);
+    }
+
+    #[test]
+    fn masked_condition_reports_outcome_insensitive() {
+        let mut b = MapBuilder::new();
+        let d = b.begin_decision("or");
+        b.add_outcome(d, "true");
+        b.add_outcome(d, "false");
+        b.add_condition(d, "a");
+        b.add_condition(d, "b");
+        let map = b.finish();
+        let mut tracker = FullTracker::new(&map);
+        // a || b with b stuck true: flipping `a` alone never changes the
+        // outcome on the observed vectors.
+        for a in [false, true] {
+            let outcome = true;
+            tracker.condition(ConditionId(0), a);
+            tracker.condition(ConditionId(1), true);
+            tracker.decision_eval(DecisionId(0), u64::from(a) | 0b10, u32::from(outcome));
+            tracker.branch(BranchId(0));
+        }
+        let entries = frontier(&map, &tracker);
+        let mcdc_a = entries.iter().find(|e| e.goal == Goal::Mcdc(0)).unwrap();
+        assert_eq!(
+            mcdc_a.cause,
+            FrontierCause::McdcOutcomeInsensitive { vector: 0b10, partner: 0b11, outcome: 1 }
+        );
+        assert!(mcdc_a.detail.contains("FT"), "{}", mcdc_a.detail);
+    }
+
+    #[test]
+    fn frontier_partitions_the_goal_universe_against_score() {
+        let map = and_map();
+        let mut tracker = FullTracker::new(&map);
+        eval_and(&mut tracker, true, true);
+        eval_and(&mut tracker, false, true);
+        let report = CoverageReport::score(&map, &tracker);
+        let entries = frontier(&map, &tracker);
+        let open_d = entries.iter().filter(|e| matches!(e.goal, Goal::Outcome(_))).count();
+        let open_c = entries.iter().filter(|e| matches!(e.goal, Goal::Condition(..))).count();
+        let open_m = entries.iter().filter(|e| matches!(e.goal, Goal::Mcdc(_))).count();
+        assert_eq!(report.decision.covered + open_d, report.decision.total);
+        assert_eq!(report.condition.covered + open_c, report.condition.total);
+        assert_eq!(report.mcdc.covered + open_m, report.mcdc.total);
+    }
+
+    #[test]
+    fn frontier_output_is_byte_stable() {
+        let map = and_map();
+        let mut tracker = FullTracker::new(&map);
+        eval_and(&mut tracker, true, false);
+        eval_and(&mut tracker, false, true);
+        eval_and(&mut tracker, false, false);
+        let render = |t: &FullTracker| {
+            frontier(&map, t).iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n")
+        };
+        let first = render(&tracker);
+        for _ in 0..8 {
+            // Rebuild the tracker so HashSet iteration order gets a fresh
+            // chance to differ.
+            let mut t = FullTracker::new(&map);
+            eval_and(&mut t, false, false);
+            eval_and(&mut t, false, true);
+            eval_and(&mut t, true, false);
+            assert_eq!(render(&t), first);
+        }
+    }
+
+    #[test]
+    fn render_vector_is_lsb_first() {
+        assert_eq!(render_vector(0b01, 3), "TFF");
+        assert_eq!(render_vector(0b110, 3), "FTT");
+        assert_eq!(render_vector(0, 0), "F");
+    }
+}

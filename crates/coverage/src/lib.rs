@@ -47,13 +47,17 @@
 //! in this IR are side-effect-free), so masking from `&&`/`||`
 //! short-circuiting does not hide vectors.
 
+mod frontier;
 mod map;
+mod provenance;
 mod recorder;
 mod report;
 
+pub use frontier::{frontier, FrontierCause, FrontierEntry};
 pub use map::{
     AssertionId, BranchId, BranchInfo, ConditionId, ConditionInfo, DecisionId, DecisionInfo,
     InstrumentationMap, MapBuilder,
 };
+pub use provenance::{format_case_id, FirstHit, Goal, ProvenanceTracker};
 pub use recorder::{BranchBitmap, FullTracker, NullRecorder, Recorder};
 pub use report::{detailed_report, CoverageReport, Ratio};

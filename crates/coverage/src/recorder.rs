@@ -186,7 +186,7 @@ const MAX_VECTORS_PER_DECISION: usize = 1024;
 
 /// The replay-time recorder: retains everything needed to score Decision,
 /// Condition, and MCDC coverage.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FullTracker {
     branch_hits: Vec<bool>,
     /// `[false-seen, true-seen]` per condition.
@@ -231,6 +231,16 @@ impl FullTracker {
     /// The recorded `(vector, outcome)` evaluations of decision `i`.
     pub fn decision_evals(&self, i: usize) -> &HashSet<(u64, u32)> {
         &self.decision_vectors[i]
+    }
+
+    /// The recorded evaluations of decision `i` in ascending `(vector,
+    /// outcome)` order. The backing store is a `HashSet` whose iteration
+    /// order varies run to run; every rendered report must use this accessor
+    /// so its output is byte-stable.
+    pub fn decision_evals_sorted(&self, i: usize) -> Vec<(u64, u32)> {
+        let mut evals: Vec<(u64, u32)> = self.decision_vectors[i].iter().copied().collect();
+        evals.sort_unstable();
+        evals
     }
 
     /// Merges another tracker's observations into this one (used to union

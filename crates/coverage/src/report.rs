@@ -1,8 +1,9 @@
 //! Scoring: turning recorded observations into the paper's three metrics.
 
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use crate::map::InstrumentationMap;
+use crate::map::{DecisionInfo, InstrumentationMap};
 use crate::recorder::FullTracker;
 
 /// A covered/total pair with percentage helpers.
@@ -74,22 +75,52 @@ impl CoverageReport {
         // outcome.
         let mut mcdc_covered = 0;
         for (d, info) in map.decisions().iter().enumerate() {
-            if info.conditions.is_empty() {
-                continue;
-            }
-            let evals: Vec<(u64, u32)> = tracker.decision_evals(d).iter().copied().collect();
-            for (bit, _) in info.conditions.iter().enumerate() {
-                let mask = 1u64 << bit;
-                let demonstrated = evals.iter().enumerate().any(|(i, &(v1, o1))| {
-                    evals[i + 1..].iter().any(|&(v2, o2)| (v1 ^ v2) == mask && o1 != o2)
-                });
-                mcdc_covered += usize::from(demonstrated);
-            }
+            mcdc_covered += mcdc_demonstrated_for(tracker.decision_evals(d), info)
+                .into_iter()
+                .filter(|&shown| shown)
+                .count();
         }
         let mcdc = Ratio::new(mcdc_covered, map.condition_count());
 
         CoverageReport { decision, condition, mcdc }
     }
+}
+
+/// Indexes a decision's recorded evaluations as `vector -> outcome bitset`
+/// (bit 0 = outcome 0 seen, bit 1 = outcome 1 seen). Shared by the MCDC
+/// scorer and the frontier analyzer; lets the unique-cause pair search probe
+/// `vector ^ mask` in O(1) instead of scanning all pairs.
+pub(crate) fn eval_index(evals: impl IntoIterator<Item = (u64, u32)>) -> HashMap<u64, u8> {
+    let mut seen: HashMap<u64, u8> = HashMap::new();
+    for (vector, outcome) in evals {
+        *seen.entry(vector).or_insert(0) |= 1u8 << outcome.min(1);
+    }
+    seen
+}
+
+/// Per-condition MCDC status of one decision, aligned with
+/// `info.conditions`: `true` when some recorded evaluation pair differs only
+/// in that condition's bit and flips the outcome. O(E) in the number of
+/// recorded evaluations: each vector probes its `vector ^ mask` partner in
+/// the [`eval_index`].
+pub(crate) fn mcdc_demonstrated_for(evals: &HashSet<(u64, u32)>, info: &DecisionInfo) -> Vec<bool> {
+    if info.conditions.is_empty() {
+        return Vec::new();
+    }
+    let index = eval_index(evals.iter().copied());
+    info.conditions
+        .iter()
+        .enumerate()
+        .map(|(bit, _)| {
+            let mask = 1u64 << bit;
+            evals.iter().any(|&(vector, outcome)| {
+                let partner_outcomes = index.get(&(vector ^ mask)).copied().unwrap_or(0);
+                // Demonstrated when the partner vector was seen with the
+                // opposite outcome.
+                partner_outcomes & (1u8 << (1 - outcome.min(1))) != 0
+            })
+        })
+        .collect()
 }
 
 /// Renders a human-readable annotated coverage listing: every decision with
@@ -133,16 +164,18 @@ pub fn detailed_report(map: &InstrumentationMap, tracker: &FullTracker) -> Strin
                 .unwrap_or(&info.label);
             let _ = writeln!(out, "  [{}] {label}", if hit { 'x' } else { ' ' });
         }
-        for &cond in &decision.conditions {
+        let mcdc = mcdc_demonstrated_for(tracker.decision_evals(d), decision);
+        for (&cond, shown) in decision.conditions.iter().zip(mcdc) {
             let i = cond.index();
             let f = tracker.condition_seen(i, false);
             let t = tracker.condition_seen(i, true);
             let _ = writeln!(
                 out,
-                "  condition {}: false {} / true {}",
+                "  condition {}: false {} / true {} / MCDC {}",
                 map.conditions()[i].label,
                 if f { "seen" } else { "MISSING" },
                 if t { "seen" } else { "MISSING" },
+                if shown { "demonstrated" } else { "not demonstrated" },
             );
         }
     }

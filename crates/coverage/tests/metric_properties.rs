@@ -1,9 +1,12 @@
 //! Property tests on the coverage metrics: invariants that must hold for
 //! any sequence of recorded observations.
 
+use std::collections::HashSet;
+use std::time::Duration;
+
 use cftcg_coverage::{
-    BranchBitmap, BranchId, ConditionId, CoverageReport, DecisionId, FullTracker, MapBuilder,
-    Recorder,
+    frontier, BranchBitmap, BranchId, ConditionId, CoverageReport, DecisionId, FirstHit,
+    FullTracker, Goal, MapBuilder, ProvenanceTracker, Recorder,
 };
 use proptest::prelude::*;
 
@@ -121,6 +124,51 @@ proptest! {
         prop_assert_eq!(again, 0, "merging twice adds nothing");
         let from_b = b.merge_into(&mut total);
         prop_assert_eq!(total.count(), a.count() + from_b);
+    }
+
+    /// Forensic partition: after any campaign (sequence of absorbed cases),
+    /// every goal of the universe is in *exactly one* of
+    /// {covered-with-provenance, frontier}, and the partition counts
+    /// reproduce `CoverageReport::score` per metric.
+    #[test]
+    fn provenance_and_frontier_partition_the_goal_universe(
+        evals in prop::collection::vec(prop::collection::vec(any::<bool>(), 3), 0..20),
+    ) {
+        let map = bool_map(3);
+        let mut provenance = ProvenanceTracker::new(&map);
+        for (i, eval) in evals.iter().enumerate() {
+            let mut case = FullTracker::new(&map);
+            record(&mut case, eval);
+            let hit = FirstHit {
+                executions: i as u64 + 1,
+                elapsed: Duration::from_millis(i as u64),
+                shard: 0,
+                case: i as u64,
+                ops: vec![],
+            };
+            provenance.absorb(&map, &case, &hit);
+        }
+
+        let open: HashSet<Goal> =
+            frontier(&map, provenance.tracker()).into_iter().map(|e| e.goal).collect();
+        for goal in Goal::all(&map) {
+            prop_assert!(
+                provenance.first_hit(goal).is_some() != open.contains(&goal),
+                "goal {goal:?} must be in exactly one partition"
+            );
+        }
+
+        let report = CoverageReport::score(&map, provenance.tracker());
+        let (d, c, m) = provenance.covered_counts();
+        prop_assert_eq!(d, report.decision.covered);
+        prop_assert_eq!(c, report.condition.covered);
+        prop_assert_eq!(m, report.mcdc.covered);
+        let open_d = open.iter().filter(|g| matches!(g, Goal::Outcome(_))).count();
+        let open_c = open.iter().filter(|g| matches!(g, Goal::Condition(..))).count();
+        let open_m = open.iter().filter(|g| matches!(g, Goal::Mcdc(_))).count();
+        prop_assert_eq!(d + open_d, report.decision.total);
+        prop_assert_eq!(c + open_c, report.condition.total);
+        prop_assert_eq!(m + open_m, report.mcdc.total);
     }
 
     /// `merge_from` is commutative (as a set union), idempotent, and

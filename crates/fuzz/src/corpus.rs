@@ -13,6 +13,10 @@ use rand::Rng;
 /// One retained input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CorpusEntry {
+    /// Stable lineage id of the input (shard-strided; see
+    /// [`Lineage`](crate::Lineage)). Broadcast entries keep the id their
+    /// originating shard minted.
+    pub id: u64,
     /// The raw byte stream.
     pub bytes: Vec<u8>,
     /// Its Iteration Difference Coverage metric when executed.
@@ -134,7 +138,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn entry(metric: usize, tag: u8) -> CorpusEntry {
-        CorpusEntry { bytes: vec![tag], metric, new_branches: 0 }
+        CorpusEntry { id: u64::from(tag), bytes: vec![tag], metric, new_branches: 0 }
     }
 
     #[test]
@@ -165,7 +169,7 @@ mod tests {
     fn new_coverage_always_displaces_at_capacity() {
         let mut c = Corpus::new(1);
         c.insert(entry(100, 0));
-        c.insert(CorpusEntry { bytes: vec![9], metric: 0, new_branches: 3 });
+        c.insert(CorpusEntry { id: 9, bytes: vec![9], metric: 0, new_branches: 3 });
         assert_eq!(c.entries()[0].bytes, vec![9]);
     }
 

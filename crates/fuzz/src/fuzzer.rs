@@ -5,12 +5,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cftcg_codegen::{CompiledModel, Executor, TestCase};
-use cftcg_coverage::BranchBitmap;
+use cftcg_coverage::{BranchBitmap, FirstHit, FullTracker, ProvenanceTracker};
 use cftcg_telemetry::{Event, ShardStats, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 
 use crate::corpus::{Corpus, CorpusEntry, CorpusInsertion};
+use crate::lineage::{Lineage, LineageOrigin, LineageRecord, SHARD_ID_STRIDE};
 use crate::mutate::{MutationKind, Mutator};
 
 /// LibFuzzer's table of recent compares, adapted to model fuzzing: a
@@ -221,12 +222,35 @@ impl OperatorAttribution {
     }
 }
 
+/// Forensic metadata of one emitted test case (parallel to
+/// [`FuzzOutcome::suite`], same order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseMeta {
+    /// Stable lineage id of the case (resolve via [`FuzzOutcome::lineage`]).
+    pub case: u64,
+    /// Shard that discovered it.
+    pub shard: usize,
+    /// Campaign executions completed when it was emitted.
+    pub executions: u64,
+    /// Total branches covered after it was emitted.
+    pub covered_branches: usize,
+}
+
 /// The result of a fuzzing run.
 #[derive(Debug, Clone)]
 pub struct FuzzOutcome {
     /// Emitted test cases (inputs that triggered new model coverage), in
     /// discovery order — the tool's actual output artifact.
     pub suite: Vec<TestCase>,
+    /// Forensic metadata of each suite entry (same length and order).
+    pub suite_meta: Vec<CaseMeta>,
+    /// The lineage DAG: one record per committed input, in mint order (see
+    /// [`Lineage`]); every suite entry's ancestry resolves here.
+    pub lineage: Vec<LineageRecord>,
+    /// Per-goal first-hit provenance of the emitted suite. Its embedded
+    /// tracker is the union of the suite's observations, so scoring it
+    /// reproduces the suite's replay coverage.
+    pub provenance: ProvenanceTracker,
     /// First input found violating each assertion, as `(assertion index,
     /// input)` — look the label up via
     /// [`InstrumentationMap::assertions`](cftcg_coverage::InstrumentationMap::assertions).
@@ -283,6 +307,9 @@ impl FuzzOutcome {
 /// The model-oriented fuzzer.
 pub struct Fuzzer<'c> {
     exec: Executor<'c>,
+    /// The compiled model, kept for forensic replays (provenance absorbs
+    /// re-execute coverage-earning inputs with a [`FullTracker`]).
+    compiled: &'c CompiledModel,
     /// Cached copy of the compiled tuple layout (avoids cloning it on
     /// every execution just to iterate tuples).
     layout: cftcg_codegen::TupleLayout,
@@ -306,6 +333,18 @@ pub struct Fuzzer<'c> {
     violations: Vec<(usize, TestCase)>,
     suite: Vec<TestCase>,
     events: Vec<CoverageEvent>,
+    /// Forensic metadata per suite entry (lockstep with `suite`).
+    suite_meta: Vec<CaseMeta>,
+    /// Shard id: 0 for sequential runs, the worker id on parallel shards.
+    /// Lineage ids are minted as `shard * SHARD_ID_STRIDE + counter`.
+    shard: usize,
+    /// Shard-local counter of committed lineage records.
+    next_case: u64,
+    /// The lineage DAG of every committed input.
+    lineage: Lineage,
+    /// Per-goal first-hit provenance (sequential runs only; on worker
+    /// shards the coordinator owns the global provenance).
+    provenance: ProvenanceTracker,
     executions: u64,
     iterations: u64,
     started: Instant,
@@ -348,6 +387,7 @@ impl<'c> Fuzzer<'c> {
         let time_execs = telemetry.is_some();
         Fuzzer {
             exec: Executor::new(compiled),
+            compiled,
             layout: compiled.layout().clone(),
             mutator,
             corpus,
@@ -363,6 +403,11 @@ impl<'c> Fuzzer<'c> {
             violations: Vec::new(),
             suite: Vec::new(),
             events: Vec::new(),
+            suite_meta: Vec::new(),
+            shard: 0,
+            next_case: 0,
+            lineage: Lineage::new(),
+            provenance: ProvenanceTracker::new(compiled.map()),
             executions: 0,
             iterations: 0,
             started: Instant::now(),
@@ -390,17 +435,27 @@ impl<'c> Fuzzer<'c> {
         let (new_branches, metric) = self.execute(&bytes);
         self.executions += 1;
         self.stats.executions += 1;
-        if new_branches > 0 {
+        let case_id = self.shard as u64 * SHARD_ID_STRIDE + self.next_case;
+        let emitted = new_branches > 0;
+        if emitted {
             self.stats.discoveries += 1;
-            self.suite.push(TestCase::new(bytes.clone()));
-            self.events.push(CoverageEvent {
-                elapsed: self.started.elapsed(),
-                executions: self.executions,
-                covered_branches: self.total.count(),
-            });
+            self.emit_case(&bytes, case_id, &[], None, None);
         }
-        let insertion = self.corpus.insert(CorpusEntry { bytes, metric, new_branches });
+        let insertion =
+            self.corpus.insert(CorpusEntry { id: case_id, bytes, metric, new_branches });
         self.record_insertion(insertion);
+        if emitted || !matches!(insertion, CorpusInsertion::Rejected) {
+            self.lineage.push(LineageRecord {
+                id: case_id,
+                parent: None,
+                crossover: None,
+                ops: Vec::new(),
+                origin: LineageOrigin::External,
+                shard: self.shard,
+                executions: self.executions,
+            });
+            self.next_case += 1;
+        }
         if !self.worker_mode {
             if let Some(t) = &self.telemetry {
                 t.emit(&Event::SeedAdded {
@@ -408,15 +463,6 @@ impl<'c> Fuzzer<'c> {
                     executions: self.executions,
                     t: t.elapsed_s(),
                 });
-                if new_branches > 0 {
-                    t.emit(&Event::NewCoverage {
-                        shard: 0,
-                        executions: self.executions,
-                        covered: self.total.count(),
-                        total: self.total.len(),
-                        t: t.elapsed_s(),
-                    });
-                }
             }
         }
     }
@@ -501,6 +547,9 @@ impl<'c> Fuzzer<'c> {
     pub fn outcome(&self) -> FuzzOutcome {
         FuzzOutcome {
             suite: self.suite.clone(),
+            suite_meta: self.suite_meta.clone(),
+            lineage: self.lineage.records().to_vec(),
+            provenance: self.provenance.clone(),
             violations: self.violations.clone(),
             events: self.events.clone(),
             executions: self.executions,
@@ -515,30 +564,32 @@ impl<'c> Fuzzer<'c> {
     /// Generates one input (seed selection + mutation), executes it with
     /// Algorithm 1's coverage collection, and files the results.
     fn fuzz_one(&mut self) {
-        let mut data = match self.corpus.pick(&mut self.rng) {
-            Some(entry) => entry.bytes.clone(),
+        let (mut data, parent, origin) = match self.corpus.pick(&mut self.rng) {
+            Some(entry) => (entry.bytes.clone(), Some(entry.id), LineageOrigin::Mutant),
             None => {
                 // Bootstrap: a single random tuple.
-                self.mutator.random_tuple(&mut self.rng)
+                (self.mutator.random_tuple(&mut self.rng), None, LineageOrigin::Bootstrap)
             }
         };
-        let other = self.corpus.pick_other(&mut self.rng).map(|e| e.bytes.clone());
+        let other = self.corpus.pick_other(&mut self.rng).map(|e| (e.id, e.bytes.clone()));
         // LibFuzzer stacks several mutations per generated input, with the
         // TORC comparison operands as a value dictionary. The operators
-        // applied are remembered (as a bitmask over Table 1) so coverage
-        // gains can be attributed back to the strategies that produced them.
+        // applied are remembered in application order, both for coverage
+        // attribution (Table 1) and as the lineage edge of the new input.
         let rounds = 1 + (self.rng.next_u32() % 4);
         let mut operator_mask = 0u8;
+        let mut ops = Vec::with_capacity(rounds as usize);
         for _ in 0..rounds {
             let dict = std::mem::take(&mut self.torc.pairs);
             let kind = self.mutator.mutate_with_dictionary(
                 &mut self.rng,
                 &mut data,
-                other.as_deref(),
+                other.as_ref().map(|(_, bytes)| bytes.as_slice()),
                 &dict,
             );
             self.torc.pairs = dict;
             operator_mask |= 1 << kind.index();
+            ops.push(kind);
         }
         self.stats.mutation_depth.record(u64::from(rounds));
 
@@ -572,30 +623,111 @@ impl<'c> Fuzzer<'c> {
                 }
             }
         }
+        let case_id = self.shard as u64 * SHARD_ID_STRIDE + self.next_case;
+        // The crossover partner only enters the lineage when the operator
+        // chain actually consulted it.
+        let crossover = if ops.contains(&MutationKind::TuplesCrossOver) {
+            other.as_ref().map(|&(id, _)| id)
+        } else {
+            None
+        };
         if new_branches > 0 {
             // Algorithm 1 line 16: output the test case.
-            self.suite.push(TestCase::new(data.clone()));
-            self.events.push(CoverageEvent {
-                elapsed: self.started.elapsed(),
-                executions: self.executions,
-                covered_branches: self.total.count(),
-            });
-            if !self.worker_mode {
-                if let Some(t) = &self.telemetry {
-                    t.emit(&Event::NewCoverage {
-                        shard: 0,
-                        executions: self.executions,
-                        covered: self.total.count(),
-                        total: self.total.len(),
-                        t: t.elapsed_s(),
-                    });
-                }
-            }
+            self.emit_case(&data, case_id, &ops, parent, crossover);
         }
+        let mut committed = new_branches > 0;
         if new_branches > 0 || metric > 0 {
-            let insertion = self.corpus.insert(CorpusEntry { bytes: data, metric, new_branches });
+            let insertion =
+                self.corpus.insert(CorpusEntry { id: case_id, bytes: data, metric, new_branches });
             self.record_insertion(insertion);
+            committed = committed || !matches!(insertion, CorpusInsertion::Rejected);
         }
+        // The id is only burned when the input survives somewhere (suite or
+        // corpus); rejected mutants leave no lineage record, keeping the DAG
+        // proportional to retained state rather than executions.
+        if committed {
+            self.lineage.push(LineageRecord {
+                id: case_id,
+                parent,
+                crossover,
+                ops,
+                origin,
+                shard: self.shard,
+                executions: self.executions,
+            });
+            self.next_case += 1;
+        }
+    }
+
+    /// Emits `data` as a test case: suite entry, coverage event, forensic
+    /// metadata, per-goal first-hit provenance, and (sequential runs) the
+    /// `new-coverage` / `case-lineage` telemetry events. Worker shards only
+    /// record the local artifacts — the coordinator owns global provenance.
+    fn emit_case(
+        &mut self,
+        data: &[u8],
+        case_id: u64,
+        ops: &[MutationKind],
+        parent: Option<u64>,
+        crossover: Option<u64>,
+    ) {
+        let elapsed = self.started.elapsed();
+        self.suite.push(TestCase::new(data.to_vec()));
+        self.events.push(CoverageEvent {
+            elapsed,
+            executions: self.executions,
+            covered_branches: self.total.count(),
+        });
+        self.suite_meta.push(CaseMeta {
+            case: case_id,
+            shard: self.shard,
+            executions: self.executions,
+            covered_branches: self.total.count(),
+        });
+        if self.worker_mode {
+            return;
+        }
+        let case_tracker = self.case_tracker(data);
+        let hit = FirstHit {
+            executions: self.executions,
+            elapsed,
+            shard: self.shard,
+            case: case_id,
+            ops: ops.iter().map(|k| k.index() as u8).collect(),
+        };
+        self.provenance.absorb(self.compiled.map(), &case_tracker, &hit);
+        if let Some(t) = &self.telemetry {
+            t.emit(&Event::NewCoverage {
+                shard: 0,
+                executions: self.executions,
+                covered: self.total.count(),
+                total: self.total.len(),
+                t: t.elapsed_s(),
+            });
+            t.emit(&Event::CaseLineage {
+                shard: self.shard,
+                case: case_id,
+                parent,
+                crossover,
+                ops: ops.iter().map(|k| k.name().to_string()).collect(),
+                executions: self.executions,
+                t: t.elapsed_s(),
+            });
+        }
+    }
+
+    /// Replays `data` with a [`FullTracker`] to collect the condition and
+    /// decision-evaluation observations provenance needs. Only
+    /// coverage-earning inputs (rare) are replayed; the executor is reset on
+    /// every use and the tracker's compare hook is a no-op, so the replay
+    /// cannot perturb the fuzzing trajectory.
+    fn case_tracker(&mut self, data: &[u8]) -> FullTracker {
+        let mut tracker = FullTracker::new(self.compiled.map());
+        self.exec.reset();
+        for tuple in self.layout.split(data).take(self.config.max_iterations_per_input) {
+            self.exec.step_tuple(tuple, &mut tracker);
+        }
+        tracker
     }
 
     /// Books a corpus-insertion outcome into the shard stats and, on the
@@ -671,6 +803,14 @@ impl<'c> Fuzzer<'c> {
         self.worker_mode = true;
     }
 
+    /// Sets the shard id lineage ids are minted under (worker id on
+    /// parallel shards; stays 0 on sequential runs, so shard 0's ids
+    /// coincide with a sequential run's — the `workers == 1` byte-identity
+    /// contract).
+    pub(crate) fn set_worker_shard(&mut self, shard: usize) {
+        self.shard = shard;
+    }
+
     /// The stats accumulated since the previous call (or since creation),
     /// advancing the report baseline. Merge-ordering of these deltas across
     /// shards is irrelevant: ShardStats addition is commutative.
@@ -706,7 +846,7 @@ impl<'c> Fuzzer<'c> {
     /// originating worker already counted the execution) and without
     /// re-reporting its discoveries (suite, events, and violations stay
     /// untouched — the coordinator owns the merged view).
-    pub(crate) fn absorb_entry(&mut self, bytes: Vec<u8>) {
+    pub(crate) fn absorb_entry(&mut self, id: u64, bytes: Vec<u8>) {
         let iterations = self.iterations;
         let executions = self.executions;
         let stats = self.stats.clone();
@@ -719,9 +859,11 @@ impl<'c> Fuzzer<'c> {
         // the stats back keeps the telemetry totals double-count-free.
         self.stats = stats;
         // Only keep it if it taught this shard something; otherwise it
-        // would crowd out locally interesting entries.
+        // would crowd out locally interesting entries. The entry keeps the
+        // lineage id its originating shard minted, so mutants of it trace
+        // across the shard boundary.
         if new_branches > 0 || metric > 0 {
-            self.corpus.insert(CorpusEntry { bytes, metric, new_branches });
+            self.corpus.insert(CorpusEntry { id, bytes, metric, new_branches });
         }
     }
 
@@ -745,11 +887,20 @@ impl<'c> Fuzzer<'c> {
         &self.violations[from..]
     }
 
-    /// Suite/event pairs since index `from` (the two vectors grow in
-    /// lockstep: one event per emitted test case).
-    pub(crate) fn discoveries_since(&self, from: usize) -> (&[TestCase], &[CoverageEvent]) {
+    /// Suite/event/meta triples since index `from` (the three vectors grow
+    /// in lockstep: one event and one meta record per emitted test case).
+    pub(crate) fn discoveries_since(
+        &self,
+        from: usize,
+    ) -> (&[TestCase], &[CoverageEvent], &[CaseMeta]) {
         debug_assert_eq!(self.suite.len(), self.events.len());
-        (&self.suite[from..], &self.events[from..])
+        debug_assert_eq!(self.suite.len(), self.suite_meta.len());
+        (&self.suite[from..], &self.events[from..], &self.suite_meta[from..])
+    }
+
+    /// Lineage records minted since index `from` (append-only stream).
+    pub(crate) fn lineage_records_since(&self, from: usize) -> &[LineageRecord] {
+        &self.lineage.records()[from..]
     }
 }
 

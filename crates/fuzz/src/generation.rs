@@ -6,7 +6,10 @@
 use std::time::Duration;
 
 use cftcg_codegen::{CompiledModel, Executor, TestCase};
-use cftcg_coverage::BranchBitmap;
+use cftcg_coverage::{BranchBitmap, ProvenanceTracker};
+
+use crate::fuzzer::CaseMeta;
+use crate::lineage::LineageRecord;
 
 /// The output of one generator run.
 #[derive(Debug, Clone, Default)]
@@ -15,6 +18,15 @@ pub struct Generation {
     pub suite: Vec<TestCase>,
     /// Emission timestamp of each case (same length as `suite`).
     pub case_times: Vec<Duration>,
+    /// Forensic metadata per suite entry (empty for generators that do not
+    /// track it; same length and order as `suite` otherwise).
+    pub suite_meta: Vec<CaseMeta>,
+    /// Input lineage records, in mint order (empty for non-fuzzing
+    /// generators, whose cases have no mutation ancestry).
+    pub lineage: Vec<LineageRecord>,
+    /// Per-goal first-hit provenance (`None` for generators that do not
+    /// track it).
+    pub provenance: Option<ProvenanceTracker>,
     /// Test inputs executed (or solver probes performed).
     pub executions: u64,
     /// Model iterations executed across all inputs.
@@ -49,6 +61,9 @@ impl From<crate::FuzzOutcome> for Generation {
         Generation {
             case_times: outcome.events.iter().map(|e| e.elapsed).collect(),
             suite: outcome.suite,
+            suite_meta: outcome.suite_meta,
+            lineage: outcome.lineage,
+            provenance: Some(outcome.provenance),
             executions: outcome.executions,
             iterations: outcome.iterations,
             elapsed: outcome.elapsed,

@@ -50,15 +50,17 @@
 mod corpus;
 mod fuzzer;
 mod generation;
+mod lineage;
 mod minimize;
 mod mutate;
 mod parallel;
 
 pub use corpus::{Corpus, CorpusEntry, CorpusInsertion};
 pub use fuzzer::{
-    CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer, OperatorAttribution,
+    CaseMeta, CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer, OperatorAttribution,
 };
 pub use generation::{coverage_series, Generation};
+pub use lineage::{format_chain, Lineage, LineageOrigin, LineageRecord, SHARD_ID_STRIDE};
 pub use minimize::{minimize_case, minimize_suite};
 pub use mutate::{FieldRange, MutationKind, Mutator};
 pub use parallel::{ParallelFuzzConfig, ParallelFuzzer};

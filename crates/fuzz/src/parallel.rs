@@ -26,12 +26,13 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::time::{Duration, Instant};
 
 use cftcg_codegen::{CompiledModel, Executor, TestCase, TupleLayout};
-use cftcg_coverage::BranchBitmap;
+use cftcg_coverage::{BranchBitmap, FirstHit, FullTracker, ProvenanceTracker, Recorder};
 use cftcg_telemetry::{Event, ShardStats};
 
 use crate::fuzzer::{
-    CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer, OperatorAttribution,
+    CaseMeta, CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer, OperatorAttribution,
 };
+use crate::lineage::{Lineage, LineageRecord};
 use crate::mutate::MutationKind;
 
 /// Configuration of the parallel engine.
@@ -62,6 +63,8 @@ impl Default for ParallelFuzzConfig {
 /// One globally-new discovery as reported by a worker.
 struct ReportedCase {
     bytes: Vec<u8>,
+    /// Stable lineage id the shard minted for this case.
+    case: u64,
     /// Worker wall-clock at discovery.
     elapsed: Duration,
     /// Worker-local execution count at discovery.
@@ -77,6 +80,10 @@ struct WorkerReport {
     violations: Vec<(usize, Vec<u8>)>,
     /// TORC pairs admitted to the shard dictionary since the last report.
     torc: Vec<(f64, f64)>,
+    /// Lineage records minted since the last report (append-only stream;
+    /// ids are shard-strided so streams from different workers never
+    /// collide).
+    lineage: Vec<LineageRecord>,
     /// Cumulative worker-local totals.
     executions: u64,
     iterations: u64,
@@ -91,8 +98,9 @@ struct WorkerReport {
 
 /// What the coordinator sends every worker after processing a round.
 struct Broadcast {
-    /// Globally-new corpus entries discovered by *other* workers.
-    entries: Vec<Vec<u8>>,
+    /// Globally-new corpus entries discovered by *other* workers, with the
+    /// lineage id their originating shard minted.
+    entries: Vec<(u64, Vec<u8>)>,
     /// Globally-new TORC pairs discovered by *other* workers.
     torc: Vec<(f64, f64)>,
     /// Budget exhausted everywhere: exit after absorbing.
@@ -123,9 +131,13 @@ fn worker_loop(
     // Workers record stats locally but never touch the shared registry;
     // the coordinator owns the global view (and the event log).
     fuzzer.set_worker_mode();
+    // Lineage ids are minted under the worker's shard so streams from
+    // different shards never collide (and shard 0 matches sequential).
+    fuzzer.set_worker_shard(worker);
     let started = Instant::now();
     let mut reported_cases = 0usize;
     let mut reported_violations = 0usize;
+    let mut reported_lineage = 0usize;
     let mut executed = 0u64;
     let mut round = 0u32;
     loop {
@@ -143,17 +155,21 @@ fn worker_loop(
             }
         };
 
-        let (suite, events) = fuzzer.discoveries_since(reported_cases);
+        let (suite, events, metas) = fuzzer.discoveries_since(reported_cases);
         let cases: Vec<ReportedCase> = suite
             .iter()
             .zip(events)
-            .map(|(case, event)| ReportedCase {
+            .zip(metas)
+            .map(|((case, event), meta)| ReportedCase {
                 bytes: case.bytes.clone(),
+                case: meta.case,
                 elapsed: event.elapsed,
                 executions: event.executions,
             })
             .collect();
         reported_cases += cases.len();
+        let lineage = fuzzer.lineage_records_since(reported_lineage).to_vec();
+        reported_lineage += lineage.len();
         let violations: Vec<(usize, Vec<u8>)> = fuzzer
             .violations_since(reported_violations)
             .iter()
@@ -166,6 +182,7 @@ fn worker_loop(
             cases,
             violations,
             torc: fuzzer.take_fresh_torc(),
+            lineage,
             executions: fuzzer.executions(),
             iterations: fuzzer.iterations(),
             stats: fuzzer.take_stats_delta(),
@@ -178,8 +195,8 @@ fn worker_loop(
         let Ok(broadcast) = broadcasts.recv() else {
             return;
         };
-        for bytes in broadcast.entries {
-            fuzzer.absorb_entry(bytes);
+        for (id, bytes) in broadcast.entries {
+            fuzzer.absorb_entry(id, bytes);
         }
         fuzzer.absorb_torc(&broadcast.torc);
         if broadcast.stop {
@@ -189,10 +206,43 @@ fn worker_loop(
     }
 }
 
+/// The coordinator's candidate recorder: the per-iteration branch bitmap
+/// (which decides global novelty, exactly as a worker's loop would) plus a
+/// [`FullTracker`] collecting the condition/decision-evaluation
+/// observations provenance needs — both filled in one execution pass.
+struct ForensicRecorder<'a> {
+    bitmap: &'a mut BranchBitmap,
+    tracker: &'a mut FullTracker,
+}
+
+impl Recorder for ForensicRecorder<'_> {
+    #[inline]
+    fn branch(&mut self, id: cftcg_coverage::BranchId) {
+        self.bitmap.branch(id);
+        self.tracker.branch(id);
+    }
+
+    #[inline]
+    fn condition(&mut self, id: cftcg_coverage::ConditionId, value: bool) {
+        self.tracker.condition(id, value);
+    }
+
+    #[inline]
+    fn decision_eval(&mut self, id: cftcg_coverage::DecisionId, vector: u64, outcome: u32) {
+        self.tracker.decision_eval(id, vector, outcome);
+    }
+
+    #[inline]
+    fn assertion(&mut self, id: cftcg_coverage::AssertionId, passed: bool) {
+        self.tracker.assertion(id, passed);
+    }
+}
+
 /// The coordinator's global coverage state: its own executor re-runs every
 /// candidate case against `g_TotalCov` to judge global novelty.
 struct GlobalCoverage<'c> {
     exec: Executor<'c>,
+    map: &'c cftcg_coverage::InstrumentationMap,
     layout: TupleLayout,
     total: BranchBitmap,
     curr: BranchBitmap,
@@ -211,6 +261,7 @@ impl<'c> GlobalCoverage<'c> {
         };
         GlobalCoverage {
             exec: Executor::new(compiled),
+            map: compiled.map(),
             layout: compiled.layout().clone(),
             total: BranchBitmap::new(branch_count),
             curr: BranchBitmap::new(branch_count),
@@ -221,19 +272,24 @@ impl<'c> GlobalCoverage<'c> {
     }
 
     /// Re-executes `bytes` exactly as a worker would, merging its coverage
-    /// into the global bitmap and returning how many branches were new.
-    fn absorb(&mut self, bytes: &[u8]) -> usize {
+    /// into the global bitmap. Returns how many branches were new together
+    /// with the case's full observation tracker (the masked feedback view
+    /// governs novelty; the tracker is always unmasked — forensics are
+    /// model-level regardless of feedback mode).
+    fn absorb(&mut self, bytes: &[u8]) -> (usize, FullTracker) {
         self.exec.reset();
+        let mut tracker = FullTracker::new(self.map);
         let mut new_branches = 0;
         for tuple in self.layout.split(bytes).take(self.max_iterations) {
             self.curr.clear();
-            self.exec.step_tuple(tuple, &mut self.curr);
+            let mut recorder = ForensicRecorder { bitmap: &mut self.curr, tracker: &mut tracker };
+            self.exec.step_tuple(tuple, &mut recorder);
             if self.masked {
                 self.curr.retain_mask(&self.mask);
             }
             new_branches += self.curr.merge_into(&mut self.total);
         }
-        new_branches
+        (new_branches, tracker)
     }
 }
 
@@ -278,6 +334,12 @@ impl<'c> ParallelFuzzer<'c> {
         let mut torc_seen = std::collections::HashSet::new();
         let mut suite: Vec<TestCase> = Vec::new();
         let mut events: Vec<CoverageEvent> = Vec::new();
+        let mut suite_meta: Vec<CaseMeta> = Vec::new();
+        // The merged lineage DAG (worker streams appended in worker-id
+        // order each round) and the global per-goal provenance, fed by
+        // re-executing accepted candidates.
+        let mut lineage = Lineage::new();
+        let mut provenance = ProvenanceTracker::new(compiled.map());
         let mut violations: Vec<(usize, TestCase)> = Vec::new();
         // Per-worker cumulative executions as of the end of the previous
         // round — the base for global execution estimates on events.
@@ -329,6 +391,15 @@ impl<'c> ParallelFuzzer<'c> {
                 let merge_started = Instant::now();
                 let global_base: u64 = prev_execs.iter().sum();
 
+                // Fold the workers' lineage streams first, so every
+                // candidate processed below can resolve its own record
+                // (parents may arrive in the same round as their children).
+                for report in &reports {
+                    for record in &report.lineage {
+                        lineage.push(record.clone());
+                    }
+                }
+
                 // Candidate cases, ordered deterministically: by discovery
                 // timestamp for wall-clock runs, by (worker, index) for
                 // execution-budget runs (where timestamps are not
@@ -344,9 +415,10 @@ impl<'c> ParallelFuzzer<'c> {
                 // Re-execute each candidate against the global bitmap; only
                 // globally-novel ones enter the merged suite and the
                 // cross-shard broadcast.
-                let mut accepted: Vec<(usize, &[u8])> = Vec::new();
+                let mut accepted: Vec<(usize, u64, &[u8])> = Vec::new();
                 for (worker, _, case) in candidates {
-                    if global.absorb(&case.bytes) > 0 {
+                    let (new_branches, tracker) = global.absorb(&case.bytes);
+                    if new_branches > 0 {
                         suite.push(TestCase::new(case.bytes.clone()));
                         let executions = global_base + (case.executions - prev_execs[worker]);
                         events.push(CoverageEvent {
@@ -354,6 +426,30 @@ impl<'c> ParallelFuzzer<'c> {
                             executions,
                             covered_branches: global.total.count(),
                         });
+                        suite_meta.push(CaseMeta {
+                            case: case.case,
+                            shard: worker,
+                            executions,
+                            covered_branches: global.total.count(),
+                        });
+                        let (parent, crossover, op_names, op_indices) = match lineage.get(case.case)
+                        {
+                            Some(r) => (
+                                r.parent,
+                                r.crossover,
+                                r.ops.iter().map(|k| k.name().to_string()).collect(),
+                                r.op_indices(),
+                            ),
+                            None => (None, None, Vec::new(), Vec::new()),
+                        };
+                        let hit = FirstHit {
+                            executions,
+                            elapsed: case.elapsed,
+                            shard: worker,
+                            case: case.case,
+                            ops: op_indices,
+                        };
+                        provenance.absorb(compiled.map(), &tracker, &hit);
                         if let Some(t) = &telemetry {
                             t.emit(&Event::NewCoverage {
                                 shard: worker,
@@ -362,8 +458,17 @@ impl<'c> ParallelFuzzer<'c> {
                                 total: global.total.len(),
                                 t: t.elapsed_s(),
                             });
+                            t.emit(&Event::CaseLineage {
+                                shard: worker,
+                                case: case.case,
+                                parent,
+                                crossover,
+                                ops: op_names,
+                                executions,
+                                t: t.elapsed_s(),
+                            });
                         }
-                        accepted.push((worker, &case.bytes));
+                        accepted.push((worker, case.case, &case.bytes));
                     }
                 }
 
@@ -418,8 +523,8 @@ impl<'c> ParallelFuzzer<'c> {
                     let broadcast = Broadcast {
                         entries: accepted
                             .iter()
-                            .filter(|&&(origin, _)| origin != worker)
-                            .map(|&(_, bytes)| bytes.to_vec())
+                            .filter(|&&(origin, _, _)| origin != worker)
+                            .map(|&(_, id, bytes)| (id, bytes.to_vec()))
                             .collect(),
                         torc: fresh_torc
                             .iter()
@@ -456,6 +561,9 @@ impl<'c> ParallelFuzzer<'c> {
         // events); the outcome carries the merged operator attribution.
         FuzzOutcome {
             suite,
+            suite_meta,
+            lineage: lineage.records().to_vec(),
+            provenance,
             violations,
             events,
             executions: prev_execs.iter().sum(),

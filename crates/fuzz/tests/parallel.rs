@@ -6,11 +6,43 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cftcg_codegen::compile;
-use cftcg_fuzz::{FuzzConfig, Fuzzer, ParallelFuzzConfig, ParallelFuzzer};
+use cftcg_coverage::{Goal, ProvenanceTracker};
+use cftcg_fuzz::{FuzzConfig, FuzzOutcome, Fuzzer, ParallelFuzzConfig, ParallelFuzzer};
 use cftcg_telemetry::{json::Json, SharedBuf, Telemetry};
 
 fn config(seed: u64) -> FuzzConfig {
     FuzzConfig { seed, ..FuzzConfig::default() }
+}
+
+/// Provenance with wall-clock fields projected out: everything in a
+/// [`FirstHit`](cftcg_coverage::FirstHit) except `elapsed`, which is the
+/// one field that legitimately differs between a sequential run and its
+/// `workers == 1` replay (discovery timestamps are wall-clock).
+fn provenance_key(
+    p: &ProvenanceTracker,
+    map: &cftcg_coverage::InstrumentationMap,
+) -> Vec<(Goal, u64, usize, u64, Vec<u8>)> {
+    p.covered_goals(map)
+        .into_iter()
+        .map(|(goal, hit)| (goal, hit.executions, hit.shard, hit.case, hit.ops.clone()))
+        .collect()
+}
+
+/// Asserts the forensic artifacts of a `workers == 1` run match the
+/// sequential run's exactly (modulo wall-clock timestamps).
+fn assert_forensics_match(
+    merged: &FuzzOutcome,
+    expected: &FuzzOutcome,
+    map: &cftcg_coverage::InstrumentationMap,
+) {
+    assert_eq!(merged.suite_meta, expected.suite_meta, "suite metadata must be identical");
+    assert_eq!(merged.lineage, expected.lineage, "lineage DAGs must be identical");
+    assert_eq!(
+        provenance_key(&merged.provenance, map),
+        provenance_key(&expected.provenance, map),
+        "per-goal provenance must be identical modulo elapsed"
+    );
+    assert_eq!(merged.provenance.tracker(), expected.provenance.tracker());
 }
 
 /// The determinism contract: one worker, same seed, execution budget ⇒ the
@@ -51,6 +83,12 @@ fn one_worker_matches_sequential_exactly() {
         merged.violations.iter().map(|(a, c)| (*a, &c.bytes)).collect::<Vec<_>>(),
         expected.violations.iter().map(|(a, c)| (*a, &c.bytes)).collect::<Vec<_>>(),
     );
+    assert_forensics_match(&merged, &expected, compiled.map());
+    // Provenance's embedded tracker is the union of the suite's
+    // observations, so its goal counts agree with scoring the suite.
+    let (d, c, m) = merged.provenance.covered_counts();
+    assert!(d > 0, "a real campaign hits decision goals");
+    assert!(c > 0 && m <= compiled.map().condition_count());
 }
 
 /// Telemetry is pure observation: attaching a registry with live sinks must
@@ -87,6 +125,7 @@ fn one_worker_with_telemetry_stays_byte_identical() {
     assert_eq!(merged.executions, expected.executions);
     assert_eq!(merged.iterations, expected.iterations);
     assert_eq!(merged.covered_branches, expected.covered_branches);
+    assert_forensics_match(&merged, &expected, compiled.map());
 
     let snapshot = telemetry.snapshot();
     assert_eq!(snapshot.totals.executions, expected.executions);
@@ -136,6 +175,12 @@ fn multi_worker_runs_are_deterministic_per_worker_count() {
     assert_eq!(a.executions, b.executions);
     assert_eq!(a.iterations, b.iterations);
     assert_eq!(a.events.len(), b.events.len());
+    assert_eq!(a.suite_meta, b.suite_meta);
+    assert_eq!(a.lineage, b.lineage);
+    assert_eq!(
+        provenance_key(&a.provenance, compiled.map()),
+        provenance_key(&b.provenance, compiled.map())
+    );
 }
 
 /// Multi-worker smoke test: at an equal execution budget, four synced
@@ -176,6 +221,21 @@ fn four_workers_cover_at_least_sequential_at_equal_budget() {
         assert!(pair[0].covered_branches < pair[1].covered_branches);
     }
     assert_eq!(par.events.last().map(|e| e.covered_branches), Some(par.covered_branches));
+    // Every merged suite entry's lineage resolves across shard boundaries:
+    // the chain walks to a generation-phase root, never a dangling parent.
+    assert_eq!(par.suite_meta.len(), par.suite.len());
+    let lineage = cftcg_fuzz::Lineage::from_records(par.lineage.clone());
+    for meta in &par.suite_meta {
+        let chain = lineage.chain(meta.case);
+        assert!(!chain.is_empty(), "case {} missing from lineage", meta.case);
+        let root = chain.last().unwrap();
+        assert!(root.parent.is_none(), "case {} ancestry truncated", meta.case);
+    }
+    // Per-goal provenance attributes every hit to a real shard and case.
+    for (_, hit) in par.provenance.covered_goals(compiled.map()) {
+        assert!(hit.shard < 4);
+        assert!(lineage.get(hit.case).is_some(), "provenance case {} unknown", hit.case);
+    }
 }
 
 /// Wall-clock mode: runs finish, produce work from every shard, and stay

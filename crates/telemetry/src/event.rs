@@ -78,6 +78,27 @@ pub enum Event {
         /// Seconds since campaign start.
         t: f64,
     },
+    /// Lineage of a newly emitted test case: the mutation round that
+    /// produced it and its ancestry links, keyed by stable shard-strided
+    /// case ids. One event per suite entry, emitted right after its
+    /// `new-coverage` event, so the JSONL stream carries the full lineage
+    /// DAG of the emitted suite.
+    CaseLineage {
+        /// Shard that minted the case.
+        shard: usize,
+        /// Stable case id (shard-strided).
+        case: u64,
+        /// Parent case id (`None` for bootstrap tuples and seeds).
+        parent: Option<u64>,
+        /// Crossover partner id, when `TuplesCrossOver` consulted one.
+        crossover: Option<u64>,
+        /// Mutation operators applied, in order (Table 1 spellings).
+        ops: Vec<String>,
+        /// Campaign executions when the case was emitted.
+        executions: u64,
+        /// Seconds since campaign start.
+        t: f64,
+    },
     /// The parallel coordinator finished a sync round.
     SyncRound {
         /// Round index (0-based).
@@ -141,6 +162,7 @@ impl Event {
             Event::NewCoverage { .. } => "new-coverage",
             Event::Violation { .. } => "violation",
             Event::CorpusEvict { .. } => "corpus-evict",
+            Event::CaseLineage { .. } => "case-lineage",
             Event::SyncRound { .. } => "sync-round",
             Event::BenchPoint { .. } => "bench-point",
             Event::CampaignEnd { .. } => "campaign-end",
@@ -181,6 +203,27 @@ impl Event {
             }
             Event::CorpusEvict { shard, corpus_len, t } => {
                 out.push_str(&format!(",\"shard\":{shard},\"corpus_len\":{corpus_len},\"t\":"));
+                push_json_f64(&mut out, *t);
+            }
+            Event::CaseLineage { shard, case, parent, crossover, ops, executions, t } => {
+                out.push_str(&format!(",\"shard\":{shard},\"case\":{case},\"parent\":"));
+                match parent {
+                    Some(p) => out.push_str(&p.to_string()),
+                    None => out.push_str("null"),
+                }
+                out.push_str(",\"crossover\":");
+                match crossover {
+                    Some(c) => out.push_str(&c.to_string()),
+                    None => out.push_str("null"),
+                }
+                out.push_str(",\"ops\":[");
+                for (i, op) in ops.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(&mut out, op);
+                }
+                out.push_str(&format!("],\"executions\":{executions},\"t\":"));
                 push_json_f64(&mut out, *t);
             }
             Event::SyncRound {
@@ -269,6 +312,15 @@ mod tests {
                 t: 1.0,
             },
             Event::CorpusEvict { shard: 0, corpus_len: 256, t: 2.0 },
+            Event::CaseLineage {
+                shard: 1,
+                case: (1 << 40) + 3,
+                parent: Some(1 << 40),
+                crossover: None,
+                ops: vec!["InsertTuple".into(), "ChangeBinaryFloat".into()],
+                executions: 741,
+                t: 1.5,
+            },
             Event::SyncRound {
                 round: 3,
                 duration_ms: 1.25,
@@ -306,6 +358,25 @@ mod tests {
             let parsed = Json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(parsed.get("type").unwrap().as_str(), Some(event.kind()));
         }
+    }
+
+    #[test]
+    fn case_lineage_round_trips_ids_and_ops() {
+        let event = Event::CaseLineage {
+            shard: 0,
+            case: 5,
+            parent: None,
+            crossover: Some(2),
+            ops: vec!["EraseTuples".into()],
+            executions: 10,
+            t: 0.25,
+        };
+        let parsed = Json::parse(&event.to_json()).unwrap();
+        assert_eq!(parsed.get("case").unwrap().as_u64(), Some(5));
+        assert_eq!(parsed.get("parent"), Some(&Json::Null));
+        assert_eq!(parsed.get("crossover").unwrap().as_u64(), Some(2));
+        let ops = parsed.get("ops").unwrap().as_array().unwrap();
+        assert_eq!(ops[0].as_str(), Some("EraseTuples"));
     }
 
     #[test]

@@ -9,3 +9,9 @@ cargo build --release --offline
 cargo test --workspace --offline -q
 cargo fmt --check
 cargo clippy --workspace --offline --all-targets -- -D warnings
+
+# Golden-file gate (also part of the workspace test run, invoked explicitly
+# so a drift in the HTML campaign explorer fails loudly and names the fix):
+# re-bless with `BLESS=1 cargo test --offline --test html_golden` after an
+# intentional rendering change.
+cargo test --offline -q --test html_golden

@@ -6,7 +6,11 @@
 //! cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR] [--workers N]
 //!              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]
 //!                                                   run the fuzzing loop, write CSV cases
+//!                                                   + campaign.json forensics
+//! cftcg explain <model.mdlx> <campaign.json> [CASE] frontier analysis; with CASE (s0:12),
+//!                                                   the case's mutation lineage
 //! cftcg report <stats.jsonl>                        summarize a campaign event log
+//! cftcg report --html OUT --model M --campaign C    render the HTML campaign explorer
 //! cftcg score  <model.mdlx> <case.csv>...           replay CSV test cases, print coverage
 //! cftcg export-benchmarks <DIR>                     write the 8 Table-2 models as .mdlx
 //! ```
@@ -19,10 +23,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cftcg::codegen::{
-    compile, emit_c, emit_driver_c, replay_case, replay_suite, test_case_from_csv, test_case_to_csv,
+    compile, emit_c, emit_driver_c, replay_case, replay_suite, test_case_from_csv,
+    test_case_to_csv, CompiledModel, TestCase,
 };
-use cftcg::coverage::{detailed_report, FullTracker};
+use cftcg::coverage::{detailed_report, frontier, CoverageReport, FullTracker};
+use cftcg::fuzz::format_chain;
 use cftcg::model::{load_model, save_model, Model};
+use cftcg::pipeline::{campaign_explorer_html, parse_case_id, CampaignArtifact};
 use cftcg::telemetry::{json::Json, Event, OperatorReport, Telemetry};
 use cftcg::Cftcg;
 
@@ -46,7 +53,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "stats" => stats(&load(args.get(1))?),
         "codegen" => codegen(&load(args.get(1))?, args.contains(&"--driver".to_string())),
         "fuzz" => fuzz(&load(args.get(1))?, &args[2..]),
-        "report" => report(args.get(1).map(String::as_str).ok_or("missing <stats.jsonl>")?),
+        "explain" => explain(&load(args.get(1))?, &args[2..]),
+        "report" => report(&args[1..]),
         "score" => score(&load(args.get(1))?, &args[2..]),
         "export-benchmarks" => {
             export_benchmarks(args.get(1).map(String::as_str).unwrap_or("models"))
@@ -67,18 +75,34 @@ fn print_usage() {
          \x20 cftcg codegen <model.mdlx> [--driver]\n\
          \x20 cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR] [--workers N]\n\
          \x20              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]\n\
+         \x20 cftcg explain <model.mdlx> <campaign.json> [CASE]\n\
          \x20 cftcg report <stats.jsonl>\n\
+         \x20 cftcg report --html OUT.html --model <model.mdlx> --campaign <campaign.json>\n\
          \x20 cftcg score  <model.mdlx> <case.csv>...\n\
          \x20 cftcg export-benchmarks [DIR]"
     );
 }
 
 fn load(path: Option<&String>) -> Result<Model, Box<dyn Error>> {
-    let path = path.ok_or("missing <model.mdlx> argument")?;
+    load_path(path.ok_or("missing <model.mdlx> argument")?)
+}
+
+fn load_path(path: &str) -> Result<Model, Box<dyn Error>> {
     let xml = fs::read_to_string(path)?;
     let model = load_model(&xml)?;
     model.validate()?;
     Ok(model)
+}
+
+/// Rebuilds the replay-time observations of a persisted campaign by running
+/// its embedded suite bytes through the compiled model — the evidence the
+/// frontier analysis and the HTML explorer are derived from.
+fn replay_tracker(compiled: &CompiledModel, artifact: &CampaignArtifact) -> FullTracker {
+    let mut tracker = FullTracker::new(compiled.map());
+    for case in &artifact.cases {
+        replay_case(compiled, &TestCase::new(case.bytes.clone()), &mut tracker);
+    }
+    tracker
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -181,6 +205,18 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
             fs::write(path, t.prometheus_text())?;
         }
     }
+    // Capture forensics before minimization: the artifact describes the
+    // campaign as it ran (lineage ids, first hits, emission metadata), while
+    // minimization rewrites the suite for export.
+    let artifact = out.map(|_| {
+        CampaignArtifact::from_generation(
+            model.name(),
+            seed,
+            workers,
+            &generation,
+            tool.compiled().map(),
+        )
+    });
     if minimize {
         let before = generation.suite.len();
         generation.suite = tool.minimize(&generation.suite);
@@ -221,7 +257,94 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
             let csv = test_case_to_csv(tool.compiled().layout(), case);
             fs::write(Path::new(dir).join(format!("case_{i:04}.csv")), csv)?;
         }
-        println!("wrote {} CSV test cases to {dir}/", generation.suite.len());
+        if let Some(artifact) = &artifact {
+            fs::write(Path::new(dir).join("campaign.json"), artifact.to_json())?;
+        }
+        println!("wrote {} CSV test cases and campaign.json to {dir}/", generation.suite.len());
+    }
+    Ok(())
+}
+
+/// `cftcg explain <model.mdlx> <campaign.json> [CASE]`: without a case
+/// reference, prints the campaign's coverage partition and the frontier
+/// analysis of every open goal; with one (`s0:12` or a raw lineage id),
+/// prints that case's full mutation lineage back to its seed and the goals
+/// it was first to demonstrate.
+fn explain(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
+    let campaign_path =
+        rest.first().filter(|a| !a.starts_with("--")).ok_or("missing <campaign.json>")?;
+    let artifact = CampaignArtifact::from_json(&fs::read_to_string(campaign_path)?)?;
+    let compiled = compile(model)?;
+    let tracker = replay_tracker(&compiled, &artifact);
+    let map = compiled.map();
+
+    if let Some(case_ref) = rest.get(1) {
+        let id = parse_case_id(case_ref)
+            .ok_or_else(|| format!("bad case reference `{case_ref}` (expected s<shard>:<n>)"))?;
+        let lineage = artifact.lineage_dag();
+        let chain = lineage.chain(id);
+        if chain.is_empty() {
+            return Err(format!(
+                "case `{case_ref}` is not in this campaign's lineage ({} records)",
+                artifact.lineage.len()
+            )
+            .into());
+        }
+        let record = chain[0];
+        println!(
+            "case    : {} ({}, shard {}, minted at execution {})",
+            cftcg::coverage::format_case_id(id),
+            record.origin.tag(),
+            record.shard,
+            record.executions
+        );
+        if let Some(case) = artifact.case(id) {
+            println!(
+                "emitted : {} driver bytes at t={:.2}s, {} branches covered after",
+                case.bytes.len(),
+                case.t_s,
+                case.covered_branches
+            );
+        } else {
+            println!("emitted : no (corpus-retained only)");
+        }
+        println!("lineage : {}", format_chain(&chain));
+        let firsts: Vec<_> = artifact.hits.iter().filter(|h| h.case == id).collect();
+        if firsts.is_empty() {
+            println!("goals   : none first-demonstrated by this case");
+        } else {
+            println!("goals first demonstrated by this case:");
+            for hit in firsts {
+                println!(
+                    "  [{}] {} at execution {}",
+                    hit.goal.metric(),
+                    hit.goal.label(map),
+                    hit.executions
+                );
+            }
+        }
+        return Ok(());
+    }
+
+    let report = CoverageReport::score(map, &tracker);
+    let open = frontier(map, &tracker);
+    println!(
+        "campaign : model {} | seed {} | {} worker(s) | {} executions | {} cases",
+        artifact.model,
+        artifact.seed,
+        artifact.workers,
+        artifact.executions,
+        artifact.cases.len()
+    );
+    println!("coverage : D {} | C {} | MCDC {}", report.decision, report.condition, report.mcdc);
+    println!("goals    : {} covered with provenance, {} open", artifact.hits.len(), open.len());
+    if open.is_empty() {
+        println!("frontier : empty — every goal of the model is covered");
+    } else {
+        println!("frontier :");
+        for entry in &open {
+            println!("  {entry}");
+        }
     }
     Ok(())
 }
@@ -272,8 +395,28 @@ fn operator_table(rows: &[(String, u64, u64)]) -> String {
 
 /// `cftcg report <stats.jsonl>`: renders a campaign event log as a summary —
 /// run identity, coverage growth, violations, sync behaviour, and the
-/// per-operator attribution table from the campaign-end event.
-fn report(path: &str) -> Result<(), Box<dyn Error>> {
+/// per-operator attribution table from the campaign-end event. With
+/// `--html OUT --model M --campaign C` it instead renders the persisted
+/// campaign artifact as the self-contained HTML campaign explorer.
+fn report(rest: &[String]) -> Result<(), Box<dyn Error>> {
+    if let Some(out) = flag_value(rest, "--html") {
+        let model_path = flag_value(rest, "--model").ok_or("--html needs --model <model.mdlx>")?;
+        let campaign_path =
+            flag_value(rest, "--campaign").ok_or("--html needs --campaign <campaign.json>")?;
+        let model = load_path(model_path)?;
+        let artifact = CampaignArtifact::from_json(&fs::read_to_string(campaign_path)?)?;
+        let compiled = compile(&model)?;
+        let tracker = replay_tracker(&compiled, &artifact);
+        let html = campaign_explorer_html(compiled.map(), &artifact, &tracker);
+        fs::write(out, &html)?;
+        println!("wrote campaign explorer to {out}");
+        return Ok(());
+    }
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .ok_or("missing <stats.jsonl>")?;
     let text = fs::read_to_string(path)?;
     let mut campaign: Option<Json> = None;
     let mut end: Option<Json> = None;

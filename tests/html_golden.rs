@@ -1,0 +1,73 @@
+//! Golden-file test of the HTML campaign explorer: a fixed-seed SolarPV
+//! campaign must render byte-identically across runs and machines.
+//!
+//! Wall-clock timestamps (case emission times, elapsed, per-hit elapsed)
+//! are the only nondeterministic inputs of the renderer, so the test zeroes
+//! them before rendering; everything else — the suite, lineage ids, goal
+//! provenance, frontier classification — is fully determined by the seed.
+//!
+//! After an *intentional* change to the explorer's output, re-bless with:
+//!
+//! ```text
+//! BLESS=1 cargo test --offline --test html_golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use cftcg::codegen::{replay_case, TestCase};
+use cftcg::coverage::FullTracker;
+use cftcg::pipeline::{campaign_explorer_html, CampaignArtifact};
+use cftcg::Cftcg;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/campaign_explorer.html")
+}
+
+#[test]
+fn campaign_explorer_matches_golden() {
+    let model = cftcg::benchmarks::solar_pv::model();
+    let tool = Cftcg::new(&model).expect("benchmark compiles");
+    let generation = tool.generate_executions(3_000, 42);
+    let map = tool.compiled().map();
+
+    let mut artifact = CampaignArtifact::from_generation(model.name(), 42, 1, &generation, map);
+    artifact.elapsed_s = 0.0;
+    for case in &mut artifact.cases {
+        case.t_s = 0.0;
+    }
+    for hit in &mut artifact.hits {
+        hit.elapsed_s = 0.0;
+    }
+
+    // Round-trip through JSON exactly like the CLI does (fuzz --out writes
+    // the artifact; report --html parses it back).
+    let json = artifact.to_json();
+    let artifact = CampaignArtifact::from_json(&json).expect("artifact round-trips");
+
+    let mut tracker = FullTracker::new(map);
+    for case in &artifact.cases {
+        replay_case(tool.compiled(), &TestCase::new(case.bytes.clone()), &mut tracker);
+    }
+    let html = campaign_explorer_html(map, &artifact, &tracker);
+
+    let golden = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&golden, &html).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!("missing golden file {} (run with BLESS=1 to create): {e}", golden.display())
+    });
+    if html != expected {
+        let actual = golden.with_extension("actual.html");
+        fs::write(&actual, &html).expect("write actual");
+        panic!(
+            "HTML explorer drifted from golden ({} bytes rendered vs {} expected); \
+             actual output written to {} — re-bless with BLESS=1 if the change is intentional",
+            html.len(),
+            expected.len(),
+            actual.display()
+        );
+    }
+}
