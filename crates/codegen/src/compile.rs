@@ -69,6 +69,26 @@ impl From<ModelError> for CompileError {
 /// A 2-D lookup table: row breakpoints, column breakpoints, value grid.
 pub type Lookup2Table = (Vec<f64>, Vec<f64>, Vec<Vec<f64>>);
 
+/// One entry of the compiled signal table: a block output port, its
+/// hierarchical name, resolved data type, and the dedicated register that
+/// carries its value after every tick.
+///
+/// `compile_region` allocates one register per block output port up front
+/// and every block arm finishes by writing its (cast) outputs there, so the
+/// register file doubles as a free signal probe surface: reading
+/// [`Executor::reg`](crate::Executor::reg) after a tick observes the port's
+/// current value with hold semantics identical to the interpreter's
+/// persistent signal store — no extra instructions are emitted for tracing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalMeta {
+    /// Hierarchical signal name: `model/…/block:port`.
+    pub name: String,
+    /// The port's resolved output data type.
+    pub dtype: DataType,
+    /// Register holding the port's value after each tick.
+    pub reg: Reg,
+}
+
 /// A compiled, instrumented model: the reproduction's "generated fuzz code".
 #[derive(Debug, Clone)]
 pub struct CompiledModel {
@@ -82,6 +102,7 @@ pub struct CompiledModel {
     pub(crate) output_types: Vec<DataType>,
     pub(crate) tables1: Vec<(Vec<f64>, Vec<f64>)>,
     pub(crate) tables2: Vec<Lookup2Table>,
+    pub(crate) signals: Vec<SignalMeta>,
 }
 
 impl CompiledModel {
@@ -124,6 +145,15 @@ impl CompiledModel {
     pub fn instr_count(&self) -> usize {
         crate::ir::instr_count(&self.program)
     }
+
+    /// The signal table: every block output port in schedule order, with
+    /// subsystem-inner signals preceding their container's own ports. The
+    /// enumeration order and naming match
+    /// `cftcg_sim::Simulator::signals` exactly, which is what lets the
+    /// divergence auditor compare the two engines index-by-index.
+    pub fn signals(&self) -> &[SignalMeta] {
+        &self.signals
+    }
 }
 
 /// The mutable compilation context shared across regions.
@@ -134,6 +164,7 @@ pub(crate) struct Ctx {
     pub map: MapBuilder,
     pub tables1: Vec<(Vec<f64>, Vec<f64>)>,
     pub tables2: Vec<Lookup2Table>,
+    pub signals: Vec<SignalMeta>,
 }
 
 impl Ctx {
@@ -284,6 +315,7 @@ pub fn compile(model: &Model) -> Result<CompiledModel, CompileError> {
         output_types,
         tables1: ctx.tables1,
         tables2: ctx.tables2,
+        signals: ctx.signals,
     })
 }
 
@@ -1201,6 +1233,17 @@ fn compile_region(
                 compile_chart(ctx, body, &chart, b, &port_regs, model, &label, &types)?;
             }
             other => unreachable!("unhandled block kind {}", other.tag()),
+        }
+        // Signal table entries for this block's output ports. Recursive
+        // `compile_region` calls inside the arm above have already pushed
+        // the inner region's signals, so a container's own ports always
+        // follow its children — the same order the interpreter enumerates.
+        for (port, &reg) in port_regs[b].iter().enumerate() {
+            ctx.signals.push(SignalMeta {
+                name: format!("{label}:{port}"),
+                dtype: out_ty(port),
+                reg,
+            });
         }
     }
 

@@ -67,7 +67,7 @@ mod replay;
 mod vm;
 
 pub use cemit::{emit_c, emit_driver_c};
-pub use compile::{compile, CompileError, CompiledModel};
+pub use compile::{compile, CompileError, CompiledModel, SignalMeta};
 pub use ir::{BinopCode, FuncCode, Instr, Reg, UnopCode};
 pub use layout::{
     test_case_from_csv, test_case_to_csv, FieldLayout, ParseCsvError, TestCase, TupleLayout,

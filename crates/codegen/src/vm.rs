@@ -139,6 +139,21 @@ impl<'c> Executor<'c> {
         self.state.copy_from_slice(state);
     }
 
+    /// Reads one register of the current register file.
+    ///
+    /// With the registers listed in
+    /// [`CompiledModel::signals`](crate::CompiledModel::signals) this is the
+    /// VM's signal probe: after a step, `reg(meta.reg)` is the value block
+    /// port `meta.name` produced (or held) this tick. Reading costs one
+    /// index per probed signal — tracing is O(probed), not O(model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is out of range for this model's register file.
+    pub fn reg(&self, reg: crate::ir::Reg) -> f64 {
+        self.regs[reg as usize]
+    }
+
     /// Current outport values (after a step).
     pub fn outputs(&self) -> Vec<Value> {
         self.compiled

@@ -14,22 +14,27 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
+use cftcg_codegen::{replay_case, CompiledModel, TestCase};
 use cftcg_coverage::{
     format_case_id, frontier, CoverageReport, FullTracker, Goal, InstrumentationMap, Ratio,
 };
 use cftcg_fuzz::{format_chain, MutationKind};
+use cftcg_trace::{trace_vm_case, ProbeMask, Trace};
 
-use crate::campaign::{CampaignArtifact, CampaignHit};
+use crate::campaign::{CampaignArtifact, CampaignCase, CampaignHit};
 
 /// Renders the campaign explorer. `tracker` must hold the replayed
 /// observations of the artifact's suite (the CLI rebuilds it by replaying
 /// the embedded case bytes through the compiled model), so the coverage,
 /// per-goal status, and frontier shown all derive from the same evidence.
+/// The compiled model (not just its instrumentation map) is needed to
+/// replay violation witnesses and capture their output waveforms.
 pub fn campaign_explorer_html(
-    map: &InstrumentationMap,
+    compiled: &CompiledModel,
     artifact: &CampaignArtifact,
     tracker: &FullTracker,
 ) -> String {
+    let map = compiled.map();
     let report = CoverageReport::score(map, tracker);
     let open = frontier(map, tracker);
     let open_goals: HashSet<Goal> = open.iter().map(|e| e.goal).collect();
@@ -48,6 +53,7 @@ pub fn campaign_explorer_html(
     render_series(&mut out, artifact);
     render_goals(&mut out, map, tracker, &open_goals, &hit_by_goal);
     render_frontier(&mut out, &open);
+    render_waveforms(&mut out, compiled, artifact);
     render_cases(&mut out, artifact, &lineage);
 
     out.push_str("</body>\n</html>\n");
@@ -257,6 +263,146 @@ fn render_frontier(out: &mut String, open: &[cftcg_coverage::FrontierEntry]) {
     out.push_str("</table>\n");
 }
 
+/// Violation witnesses to plot at most; the remainder is summarized.
+const MAX_WAVEFORM_CASES: usize = 4;
+
+/// Trace-ring bound per plotted witness (records, not ticks): generous
+/// enough for every output of every bundled model over the iteration cap,
+/// while still bounding a pathological case.
+const WAVEFORM_CAPACITY: usize = 1 << 16;
+
+/// Inline output waveforms for every assertion-violating case: each suite
+/// case is replayed to see whether it fails an assertion, and the first few
+/// witnesses get one step-line plot per model output (the Scope view of the
+/// failure). Absent when the model has no assertions or no case violates.
+fn render_waveforms(out: &mut String, compiled: &CompiledModel, artifact: &CampaignArtifact) {
+    let map = compiled.map();
+    if map.assertions().is_empty() {
+        return;
+    }
+    let mut witnesses: Vec<(&CampaignCase, Vec<usize>)> = Vec::new();
+    for case in &artifact.cases {
+        let mut tracker = FullTracker::new(map);
+        replay_case(compiled, &TestCase::new(case.bytes.clone()), &mut tracker);
+        let failed: Vec<usize> =
+            (0..map.assertions().len()).filter(|&i| tracker.assertion_failures(i) > 0).collect();
+        if !failed.is_empty() {
+            witnesses.push((case, failed));
+        }
+    }
+    if witnesses.is_empty() {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "<h2>Violation waveforms — {} witness case{}</h2>",
+        witnesses.len(),
+        plural(witnesses.len()),
+    );
+    if witnesses.len() > MAX_WAVEFORM_CASES {
+        let _ = writeln!(out, "<p>Showing the first {MAX_WAVEFORM_CASES} witnesses.</p>");
+    }
+    let mask = ProbeMask::outputs(compiled);
+    for (case, failed) in witnesses.iter().take(MAX_WAVEFORM_CASES) {
+        let labels: Vec<String> = failed
+            .iter()
+            .map(|&i| map.assertions().get(i).cloned().unwrap_or_else(|| format!("#{i}")))
+            .collect();
+        let _ = writeln!(
+            out,
+            "<h3><code>{}</code> — violates {}</h3>",
+            format_case_id(case.id),
+            esc(&labels.join(", ")),
+        );
+        let trace =
+            trace_vm_case(compiled, &TestCase::new(case.bytes.clone()), &mask, WAVEFORM_CAPACITY);
+        if trace.dropped() > 0 {
+            let _ =
+                writeln!(out, "<p>Long case: showing the most recent {} samples.</p>", trace.len());
+        }
+        render_waveform_svgs(out, &trace);
+    }
+}
+
+/// One compact step-line SVG per probed signal of a captured trace.
+fn render_waveform_svgs(out: &mut String, trace: &Trace) {
+    const W: f64 = 680.0;
+    const H: f64 = 90.0;
+    const PAD: f64 = 42.0;
+    let last_tick = trace.records().map(|r| r.tick).max().unwrap_or(0);
+    for (k, signal) in trace.signals().iter().enumerate() {
+        let series: Vec<(u64, f64)> =
+            trace.records().filter(|r| r.signal == k as u32).map(|r| (r.tick, r.value)).collect();
+        if series.is_empty() {
+            continue;
+        }
+        let (mut lo, mut hi) = series
+            .iter()
+            .filter(|(_, v)| v.is_finite())
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, v)| (lo.min(v), hi.max(v)));
+        if !lo.is_finite() || !hi.is_finite() {
+            (lo, hi) = (0.0, 1.0); // no finite samples: arbitrary fixed frame
+        }
+        if lo == hi {
+            // A flat signal still needs a non-degenerate y range.
+            (lo, hi) = (lo - 1.0, hi + 1.0);
+        }
+        let span = (last_tick.max(1)) as f64;
+        let x = |t: u64| PAD + (W - 2.0 * PAD) * (t as f64 / span);
+        let y = |v: f64| H - 22.0 + (14.0 - (H - 22.0)) * ((v - lo) / (hi - lo));
+        // Step polylines, broken at non-finite samples (NaN/±inf have no
+        // plottable y; the gap makes them visible instead of lying).
+        let mut segments: Vec<String> = Vec::new();
+        let mut current = String::new();
+        let mut prev: Option<(u64, f64)> = None;
+        for &(t, v) in &series {
+            if !v.is_finite() {
+                if !current.is_empty() {
+                    segments.push(std::mem::take(&mut current));
+                }
+                prev = None;
+                continue;
+            }
+            if let Some((_, pv)) = prev {
+                let _ = write!(current, " {:.1},{:.1}", x(t), y(pv));
+            }
+            if !current.is_empty() {
+                current.push(' ');
+            }
+            let _ = write!(current, "{:.1},{:.1}", x(t), y(v));
+            prev = Some((t, v));
+        }
+        if !current.is_empty() {
+            segments.push(current);
+        }
+        let _ = writeln!(
+            out,
+            "<p><code>{}</code> <span class=\"range\">[{lo:.4} .. {hi:.4}]</span></p>",
+            esc(&signal.name),
+        );
+        let _ = write!(
+            out,
+            "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\" \
+             aria-label=\"waveform of {}\">\n\
+             <line x1=\"{p}\" y1=\"{yb:.1}\" x2=\"{xe:.1}\" y2=\"{yb:.1}\" stroke=\"#99a\"/>\n\
+             <text x=\"{p}\" y=\"{H}\" font-size=\"11\" fill=\"#567\">tick 0</text>\n\
+             <text x=\"{xe:.1}\" y=\"{H}\" font-size=\"11\" fill=\"#567\" \
+             text-anchor=\"end\">tick {last_tick}</text>\n",
+            esc(&signal.name),
+            p = PAD,
+            yb = H - 22.0,
+            xe = x(last_tick.max(1)),
+        );
+        for points in &segments {
+            let _ = writeln!(
+                out,
+                "<polyline fill=\"none\" stroke=\"#b0572a\" stroke-width=\"2\" points=\"{points}\"/>"
+            );
+        }
+        out.push_str("</svg>\n");
+    }
+}
+
 /// The emitted suite with full mutation lineage chains.
 fn render_cases(out: &mut String, artifact: &CampaignArtifact, lineage: &cftcg_fuzz::Lineage) {
     let _ = writeln!(out, "<h2>Test cases — {} emitted</h2>", artifact.cases.len());
@@ -317,8 +463,7 @@ fn esc(text: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cftcg_codegen::{replay_case, TestCase};
-    use cftcg_model::{BlockKind, DataType, LogicOp, ModelBuilder};
+    use cftcg_model::{BlockKind, DataType, LogicOp, ModelBuilder, RelOp};
 
     fn tool() -> crate::Cftcg {
         let mut b = ModelBuilder::new("explorer<&>test");
@@ -341,7 +486,7 @@ mod tests {
         for case in &artifact.cases {
             replay_case(tool.compiled(), &TestCase::new(case.bytes.clone()), &mut tracker);
         }
-        let html = campaign_explorer_html(map, &artifact, &tracker);
+        let html = campaign_explorer_html(tool.compiled(), &artifact, &tracker);
         (artifact, html)
     }
 
@@ -361,6 +506,48 @@ mod tests {
         for section in ["Coverage over time", "Goals by decision", "Frontier", "Test cases"] {
             assert!(html.contains(section), "missing section {section}");
         }
+        // No assertions in the model: the waveform section stays absent.
+        assert!(!html.contains("Violation waveforms"));
+    }
+
+    #[test]
+    fn violation_witnesses_get_waveforms() {
+        // The guarded integrator: "output stays below 100", violated by a
+        // sustained positive input — which the fuzzer reliably finds.
+        let mut b = ModelBuilder::new("guarded");
+        let u = b.inport("u", DataType::I8);
+        let u_f = b.add("u_f", BlockKind::DataTypeConversion { to: DataType::F64 });
+        let integ = b.add(
+            "integ",
+            BlockKind::DiscreteIntegrator {
+                gain: 1.0,
+                initial: 0.0,
+                lower: Some(-500.0),
+                upper: Some(500.0),
+            },
+        );
+        b.wire(u, u_f);
+        b.wire(u_f, integ);
+        let ok = b.add("ok", BlockKind::Compare { op: RelOp::Lt, constant: 100.0 });
+        b.wire(integ, ok);
+        let guard = b.add("safety", BlockKind::Assertion);
+        b.wire(ok, guard);
+        let y = b.outport("y");
+        b.wire(integ, y);
+        let tool = crate::Cftcg::new(&b.finish().unwrap()).unwrap();
+
+        let generation = tool.generate_executions(3_000, 2);
+        assert!(!generation.violations.is_empty(), "the violation must be found");
+        let map = tool.compiled().map();
+        let artifact = CampaignArtifact::from_generation("guarded", 2, 1, &generation, map);
+        let mut tracker = FullTracker::new(map);
+        for case in &artifact.cases {
+            replay_case(tool.compiled(), &TestCase::new(case.bytes.clone()), &mut tracker);
+        }
+        let html = campaign_explorer_html(tool.compiled(), &artifact, &tracker);
+        assert!(html.contains("Violation waveforms"), "witness section renders");
+        assert!(html.contains("safety"), "the failed assertion is named");
+        assert!(html.contains("aria-label=\"waveform of"), "an output waveform is plotted");
     }
 
     #[test]
@@ -403,7 +590,7 @@ mod tests {
             for case in &artifact.cases {
                 replay_case(tool.compiled(), &TestCase::new(case.bytes.clone()), &mut tracker);
             }
-            assert_eq!(campaign_explorer_html(map, &artifact, &tracker), first);
+            assert_eq!(campaign_explorer_html(tool.compiled(), &artifact, &tracker), first);
         }
     }
 }

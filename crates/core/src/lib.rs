@@ -96,6 +96,15 @@ impl Cftcg {
         self
     }
 
+    /// Installs a trace hook observing every coverage-earning case the
+    /// fuzzing loop emits (`hook(case_bytes, case_id)`). Pure observation —
+    /// the hook consumes no fuzzer RNG and fires after emission, so
+    /// outcomes are byte-identical with or without it (enforced by test).
+    pub fn with_trace_hook(mut self, hook: cftcg_fuzz::TraceHook) -> Self {
+        self.config.trace_hook = Some(hook);
+        self
+    }
+
     /// The compiled, instrumented model.
     pub fn compiled(&self) -> &CompiledModel {
         &self.compiled

@@ -126,6 +126,37 @@ impl cftcg_coverage::Recorder for LoopRecorder<'_> {
     }
 }
 
+/// A callback fired for every coverage-earning test case the fuzzer emits,
+/// carrying the case's input bytes and stable case id.
+///
+/// This is the seam the `trace` layer uses to capture sampled waveforms of
+/// interesting inputs *without* perturbing the run: the hook fires after
+/// the case is already booked (suite, coverage event, metadata), consumes
+/// no fuzzer RNG, and on parallel runs fires only on the coordinator — so
+/// fuzzing outcomes are byte-identical with or without a hook installed
+/// (enforced by test).
+#[derive(Clone)]
+pub struct TraceHook(TraceHookFn);
+
+type TraceHookFn = Arc<dyn Fn(&[u8], u64) + Send + Sync>;
+
+impl TraceHook {
+    /// Wraps a callback `f(case_bytes, case_id)`.
+    pub fn new(f: impl Fn(&[u8], u64) + Send + Sync + 'static) -> Self {
+        TraceHook(Arc::new(f))
+    }
+
+    pub(crate) fn call(&self, data: &[u8], case_id: u64) {
+        (self.0)(data, case_id);
+    }
+}
+
+impl std::fmt::Debug for TraceHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceHook(..)")
+    }
+}
+
 /// What the fuzzer treats as coverage feedback.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FeedbackMode {
@@ -164,6 +195,10 @@ pub struct FuzzConfig {
     /// latency timing and event emission; it never influences the fuzzing
     /// trajectory, so runs stay byte-identical with or without it.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Optional observer of coverage-earning cases (sampled waveform
+    /// capture). Never consulted on worker shards and never fed RNG, so it
+    /// cannot change what the fuzzer produces.
+    pub trace_hook: Option<TraceHook>,
 }
 
 impl Default for FuzzConfig {
@@ -178,6 +213,7 @@ impl Default for FuzzConfig {
             feedback: FeedbackMode::ModelLevel,
             input_ranges: None,
             telemetry: None,
+            trace_hook: None,
         }
     }
 }
@@ -686,6 +722,9 @@ impl<'c> Fuzzer<'c> {
         });
         if self.worker_mode {
             return;
+        }
+        if let Some(hook) = &self.config.trace_hook {
+            hook.call(data, case_id);
         }
         let case_tracker = self.case_tracker(data);
         let hit = FirstHit {

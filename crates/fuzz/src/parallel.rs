@@ -327,6 +327,9 @@ impl<'c> ParallelFuzzer<'c> {
 
         let mut global = GlobalCoverage::new(compiled, &self.config.fuzz);
         let telemetry = self.config.fuzz.telemetry.clone();
+        // The coordinator owns case emission, so it also owns the trace
+        // hook (workers run in worker mode, where the hook never fires).
+        let trace_hook = self.config.fuzz.trace_hook.clone();
         // Campaign-wide stats, merged from worker deltas each round, so the
         // final outcome carries attribution even without a registry.
         let mut global_stats = ShardStats::new(MutationKind::ALL.len());
@@ -432,6 +435,9 @@ impl<'c> ParallelFuzzer<'c> {
                             executions,
                             covered_branches: global.total.count(),
                         });
+                        if let Some(hook) = &trace_hook {
+                            hook.call(&case.bytes, case.case);
+                        }
                         let (parent, crossover, op_names, op_indices) = match lineage.get(case.case)
                         {
                             Some(r) => (

@@ -9,7 +9,7 @@ use cftcg_model::{
     BlockKind, DataType, InputSign, LogicOp, MinMaxOp, Model, ModelError, PortRef, ProductOp, Value,
 };
 
-use crate::SimError;
+use crate::{BlockObserver, SimError};
 
 impl From<EvalExprError> for SimError {
     fn from(e: EvalExprError) -> Self {
@@ -128,6 +128,35 @@ impl Engine {
         &self.model
     }
 
+    /// Appends `(name, type)` for every block output port at this level in
+    /// schedule order, recursing into subsystems so a container's inner
+    /// signals precede its own ports — the exact enumeration the compiled
+    /// signal table (`CompiledModel::signals`) uses.
+    pub(crate) fn collect_signals(&self, path: &str, out: &mut Vec<(String, DataType)>) {
+        for &b in &self.order {
+            let name = self.model.blocks()[b].name();
+            if let BlockState::Sub { engine, .. } = &self.state[b] {
+                engine.collect_signals(&format!("{path}/{name}"), out);
+            }
+            for (port, ty) in self.out_types[b].iter().enumerate() {
+                out.push((format!("{path}/{name}:{port}"), *ty));
+            }
+        }
+    }
+
+    /// Appends the current value of every signal as `f64`, in
+    /// [`Engine::collect_signals`] order.
+    pub(crate) fn read_signals_into(&self, out: &mut Vec<f64>) {
+        for &b in &self.order {
+            if let BlockState::Sub { engine, .. } = &self.state[b] {
+                engine.read_signals_into(out);
+            }
+            for v in &self.signals[b] {
+                out.push(v.as_f64());
+            }
+        }
+    }
+
     pub(crate) fn reset(&mut self) {
         self.violations = 0;
         for (i, block) in self.model.blocks().iter().enumerate() {
@@ -155,7 +184,12 @@ impl Engine {
         self.signals[block][port] = Value::from_f64(x, self.out_types[block][port]);
     }
 
-    pub(crate) fn step(&mut self, inputs: &[Value], spins: u32) -> Result<Vec<Value>, SimError> {
+    pub(crate) fn step<O: BlockObserver>(
+        &mut self,
+        inputs: &[Value],
+        spins: u32,
+        obs: &mut O,
+    ) -> Result<Vec<Value>, SimError> {
         self.active.iter_mut().for_each(|a| *a = false);
 
         // Phase A: delay-class blocks publish their state as this step's
@@ -171,11 +205,20 @@ impl Engine {
             self.write(b, 0, value);
         }
 
-        // Phase B: execute every block in schedule order.
+        // Phase B: execute every block in schedule order. The observer
+        // branch is decided by a monomorphized constant: with `NoObserver`
+        // this loop compiles to the untimed path.
         for i in 0..self.order.len() {
             let b = self.order[i];
             engine_overhead(spins);
-            self.exec_block(b, inputs)?;
+            if O::ENABLED {
+                let started = std::time::Instant::now();
+                self.exec_block(b, inputs, obs)?;
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                obs.block(self.model.blocks()[b].kind().tag(), nanos);
+            } else {
+                self.exec_block(b, inputs, obs)?;
+            }
         }
 
         // Phase C: delay-class blocks absorb this step's input into state.
@@ -218,7 +261,12 @@ impl Engine {
         Ok(outputs)
     }
 
-    fn exec_block(&mut self, b: usize, model_inputs: &[Value]) -> Result<(), SimError> {
+    fn exec_block<O: BlockObserver>(
+        &mut self,
+        b: usize,
+        model_inputs: &[Value],
+        obs: &mut O,
+    ) -> Result<(), SimError> {
         let kind = self.model.blocks()[b].kind().clone();
         match kind {
             // Delay-class blocks already published in phase A.
@@ -521,7 +569,7 @@ impl Engine {
             }
             BlockKind::ActionSubsystem { .. } | BlockKind::EnabledSubsystem { .. } => {
                 let run = self.input(b, 0).is_truthy();
-                self.run_subsystem(b, run, 1)?;
+                self.run_subsystem(b, run, 1, obs)?;
             }
             BlockKind::TriggeredSubsystem { edge, .. } => {
                 let trigger = self.input(b, 0).is_truthy();
@@ -533,10 +581,10 @@ impl Engine {
                     *prev_trigger = trigger;
                     fire
                 };
-                self.run_subsystem(b, run, 1)?;
+                self.run_subsystem(b, run, 1, obs)?;
             }
             BlockKind::Subsystem { .. } => {
-                self.run_subsystem(b, true, 0)?;
+                self.run_subsystem(b, true, 0, obs)?;
             }
             BlockKind::MatlabFunction { function } => {
                 let mut env = MapEnv::new();
@@ -596,7 +644,13 @@ impl Engine {
 
     /// Executes (or skips) a subsystem block, marking it active and copying
     /// inner outport values into the block's output signals when it runs.
-    fn run_subsystem(&mut self, b: usize, run: bool, data_base: usize) -> Result<(), SimError> {
+    fn run_subsystem<O: BlockObserver>(
+        &mut self,
+        b: usize,
+        run: bool,
+        data_base: usize,
+        obs: &mut O,
+    ) -> Result<(), SimError> {
         if !run {
             return Ok(()); // outputs hold their previous signal values
         }
@@ -608,7 +662,7 @@ impl Engine {
             let BlockState::Sub { engine, .. } = &mut self.state[b] else {
                 unreachable!("subsystem state")
             };
-            engine.step(&inner_inputs, 0)?
+            engine.step(&inner_inputs, 0, obs)?
         };
         for (port, v) in outputs.into_iter().enumerate() {
             self.write(b, port, v);

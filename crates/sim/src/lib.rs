@@ -53,9 +53,38 @@ mod engine;
 
 use std::fmt;
 
-use cftcg_model::{Model, ModelError, Value};
+use cftcg_model::{DataType, Model, ModelError, Value};
 
 use engine::Engine;
+
+/// Zero-cost per-block execution observer, the interpreter's counterpart to
+/// `cftcg_coverage::Recorder`: stepping is generic over the observer, so the
+/// default [`NoObserver`] monomorphizes every timing probe away and the plain
+/// [`Simulator::step`] path is byte-for-byte the pre-observer code.
+///
+/// When `ENABLED`, the engine wraps each block execution in a wall-clock
+/// measurement and reports `(block kind tag, nanoseconds)`. Subsystem
+/// containers report *inclusive* time (their inner blocks are also reported
+/// individually).
+pub trait BlockObserver {
+    /// Compile-time switch: `false` removes all timing code from the
+    /// monomorphized stepping loop.
+    const ENABLED: bool;
+
+    /// Called after each block execution with the block kind's tag (see
+    /// `BlockKind::tag`) and the elapsed wall-clock nanoseconds.
+    fn block(&mut self, kind: &'static str, nanos: u64);
+}
+
+/// The disabled observer: stepping with it compiles to the unobserved loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl BlockObserver for NoObserver {
+    const ENABLED: bool = false;
+
+    fn block(&mut self, _kind: &'static str, _nanos: u64) {}
+}
 
 /// Error produced while stepping a [`Simulator`].
 #[derive(Debug, Clone, PartialEq)]
@@ -157,7 +186,50 @@ impl Simulator {
             return Err(SimError::WrongInputCount { expected, found: inputs.len() });
         }
         self.step_count += 1;
-        self.engine.step(inputs, self.overhead_spins)
+        self.engine.step(inputs, self.overhead_spins, &mut NoObserver)
+    }
+
+    /// [`Simulator::step`] with a [`BlockObserver`] attached: every block
+    /// execution (including blocks inside subsystems) is timed and reported
+    /// to `obs`. With [`NoObserver`] this monomorphizes to exactly the plain
+    /// `step` loop.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::step`].
+    pub fn step_observed<O: BlockObserver>(
+        &mut self,
+        inputs: &[Value],
+        obs: &mut O,
+    ) -> Result<Vec<Value>, SimError> {
+        let expected = self.num_inputs();
+        if inputs.len() != expected {
+            return Err(SimError::WrongInputCount { expected, found: inputs.len() });
+        }
+        self.step_count += 1;
+        self.engine.step(inputs, self.overhead_spins, obs)
+    }
+
+    /// The signal table: `(hierarchical name, resolved type)` for every
+    /// block output port, in schedule order with subsystem-inner signals
+    /// preceding their container's own ports. The enumeration order and
+    /// naming (`model/…/block:port`) match
+    /// `cftcg_codegen::CompiledModel::signals` exactly — the contract the
+    /// lockstep divergence auditor relies on.
+    pub fn signals(&self) -> Vec<(String, DataType)> {
+        let mut out = Vec::new();
+        self.engine.collect_signals(self.engine.model().name(), &mut out);
+        out
+    }
+
+    /// Appends the current value of every signal (as `f64`, in
+    /// [`Simulator::signals`] order) to `out`, clearing it first. Signal
+    /// values persist across steps with hold semantics — a port inside a
+    /// subsystem that did not run this tick reports its held value, exactly
+    /// like the compiled VM's register file.
+    pub fn read_signals_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        self.engine.read_signals_into(out);
     }
 
     /// Runs a whole test case: one [`Simulator::step`] per input tuple,

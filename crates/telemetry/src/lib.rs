@@ -57,6 +57,7 @@ mod event;
 mod histogram;
 pub mod json;
 
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -254,6 +255,12 @@ struct StatusSink {
     out: Box<dyn Write + Send>,
 }
 
+struct BlockCostCell {
+    executions: u64,
+    total_ns: u64,
+    ns: Histogram,
+}
+
 struct Inner {
     totals: ShardStats,
     shards: Vec<ShardCell>,
@@ -264,6 +271,25 @@ struct Inner {
     jsonl: Option<Box<dyn Write + Send>>,
     status: Option<StatusSink>,
     operator_labels: Vec<String>,
+    /// Per-block-kind execution cost from profiled replays (`cftcg-trace`).
+    /// A `BTreeMap` keeps reports and the Prometheus dump deterministic.
+    block_costs: BTreeMap<String, BlockCostCell>,
+}
+
+/// One row of the "hottest blocks" report: accumulated cost of a block
+/// kind across profiled replays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCost {
+    /// The block kind's tag (e.g. `Gain`, `Chart`, `Subsystem`).
+    pub kind: String,
+    /// Block executions observed.
+    pub executions: u64,
+    /// Total attributed wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Mean nanoseconds per execution.
+    pub mean_ns: f64,
+    /// Upper bound of the 99th-percentile latency bucket.
+    pub p99_ns: u64,
 }
 
 /// The shared metrics registry and sink multiplexer.
@@ -308,6 +334,7 @@ impl Telemetry {
                 jsonl: None,
                 status: None,
                 operator_labels: Vec::new(),
+                block_costs: BTreeMap::new(),
             }),
         }
     }
@@ -445,6 +472,44 @@ impl Telemetry {
         }
     }
 
+    /// Folds one block kind's profiled cost into the registry (additive and
+    /// commutative, like shard merging).
+    pub fn merge_block_cost(&self, kind: &str, executions: u64, total_ns: u64, ns: &Histogram) {
+        let mut inner = self.lock();
+        let cell = inner.block_costs.entry(kind.to_string()).or_insert_with(|| BlockCostCell {
+            executions: 0,
+            total_ns: 0,
+            ns: Histogram::new(),
+        });
+        cell.executions += executions;
+        cell.total_ns = cell.total_ns.saturating_add(total_ns);
+        cell.ns.merge_from(ns);
+    }
+
+    /// The "hottest blocks" report: per-kind profiled cost, sorted by total
+    /// attributed time descending (ties broken by kind name). Empty unless
+    /// a profiled replay merged its [`Telemetry::merge_block_cost`] data.
+    pub fn block_costs(&self) -> Vec<BlockCost> {
+        let inner = self.lock();
+        let mut rows: Vec<BlockCost> = inner
+            .block_costs
+            .iter()
+            .map(|(kind, cell)| BlockCost {
+                kind: kind.clone(),
+                executions: cell.executions,
+                total_ns: cell.total_ns,
+                mean_ns: if cell.executions > 0 {
+                    cell.total_ns as f64 / cell.executions as f64
+                } else {
+                    0.0
+                },
+                p99_ns: cell.ns.quantile_upper_bound(0.99),
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.kind.cmp(&b.kind)));
+        rows
+    }
+
     /// A point-in-time copy of the merged state.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let elapsed = self.started.elapsed();
@@ -513,10 +578,42 @@ impl Telemetry {
             ));
         }
 
+        let blocks = self.block_costs();
+        if !blocks.is_empty() {
+            out.push_str("# HELP cftcg_block_executions_total Profiled block executions by kind\n");
+            out.push_str("# TYPE cftcg_block_executions_total counter\n");
+            for row in &blocks {
+                out.push_str(&format!(
+                    "cftcg_block_executions_total{{kind=\"{}\"}} {}\n",
+                    row.kind, row.executions
+                ));
+            }
+            out.push_str(
+                "# HELP cftcg_block_exec_ns_total Profiled wall-clock ns attributed by block kind\n",
+            );
+            out.push_str("# TYPE cftcg_block_exec_ns_total counter\n");
+            for row in &blocks {
+                out.push_str(&format!(
+                    "cftcg_block_exec_ns_total{{kind=\"{}\"}} {}\n",
+                    row.kind, row.total_ns
+                ));
+            }
+        }
+
+        // Merge every kind's latency distribution into one histogram for the
+        // exposition (per-kind splits stay available via block_costs()).
+        let mut block_ns = Histogram::new();
+        {
+            let inner = self.lock();
+            for cell in inner.block_costs.values() {
+                block_ns.merge_from(&cell.ns);
+            }
+        }
         for (name, help, histogram) in [
             ("cftcg_exec_latency_ns", "Per-input execution latency (ns)", &t.exec_latency_ns),
             ("cftcg_mutation_depth", "Stacked mutations per candidate", &t.mutation_depth),
             ("cftcg_sync_duration_ns", "Coordinator sync-round cost (ns)", &t.sync_duration_ns),
+            ("cftcg_block_exec_ns", "Profiled per-block execution latency (ns)", &block_ns),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
             for (le, cumulative) in histogram.cumulative_buckets() {

@@ -1,0 +1,174 @@
+//! Waveform export: VCD (IEEE 1364 value-change dump, GTKWave-viewable)
+//! and CSV.
+//!
+//! Mapping of [`Value`](cftcg_model::Value) types onto VCD variables:
+//! `Bool` signals become 1-bit wires (`0`/`1` value changes); every numeric
+//! type becomes a 64-bit `real` (`r<value>` changes) since both engines
+//! carry signals as `f64`. One tick equals one timescale unit.
+
+use std::fmt::Write as _;
+
+use cftcg_model::DataType;
+
+use crate::probe::Trace;
+
+/// Builds the printable-ASCII identifier code for signal `i` (base-94 over
+/// `!`..`~`, per the VCD grammar).
+fn id_code(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push(char::from(b'!' + (i % 94) as u8));
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// VCD identifiers cannot contain whitespace; everything else is legal.
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+}
+
+/// Groups a trace's records by tick, preserving order.
+fn by_tick(trace: &Trace) -> Vec<(u64, Vec<(usize, f64)>)> {
+    let mut ticks: Vec<(u64, Vec<(usize, f64)>)> = Vec::new();
+    for r in trace.records() {
+        if ticks.last().map(|t| t.0) != Some(r.tick) {
+            ticks.push((r.tick, Vec::new()));
+        }
+        ticks.last_mut().expect("pushed above").1.push((r.signal as usize, r.value));
+    }
+    ticks
+}
+
+/// Renders a captured trace as a VCD document.
+///
+/// The first retained tick dumps every probed signal inside `$dumpvars`;
+/// later ticks emit value changes only. Output is deterministic (no
+/// date/version timestamps), which is what lets a golden test pin it.
+pub fn to_vcd(trace: &Trace, scope: &str) -> String {
+    let mut out = String::new();
+    out.push_str("$version cftcg-trace $end\n");
+    out.push_str("$timescale 1 ns $end\n");
+    let _ = writeln!(out, "$scope module {} $end", sanitize(scope));
+    for (i, sig) in trace.signals().iter().enumerate() {
+        let id = id_code(i);
+        let name = sanitize(&sig.name);
+        match sig.dtype {
+            DataType::Bool => {
+                let _ = writeln!(out, "$var wire 1 {id} {name} $end");
+            }
+            _ => {
+                let _ = writeln!(out, "$var real 64 {id} {name} $end");
+            }
+        }
+    }
+    out.push_str("$upscope $end\n");
+    out.push_str("$enddefinitions $end\n");
+
+    let mut last: Vec<Option<u64>> = vec![None; trace.signals().len()];
+    for (t, (tick, values)) in by_tick(trace).iter().enumerate() {
+        let _ = writeln!(out, "#{tick}");
+        if t == 0 {
+            out.push_str("$dumpvars\n");
+        }
+        for &(s, v) in values {
+            let bits = v.to_bits();
+            if t > 0 && last[s] == Some(bits) {
+                continue;
+            }
+            last[s] = Some(bits);
+            let id = id_code(s);
+            match trace.signals()[s].dtype {
+                DataType::Bool => {
+                    let _ = writeln!(out, "{}{id}", u8::from(v != 0.0));
+                }
+                _ => {
+                    let _ = writeln!(out, "r{v:?} {id}");
+                }
+            }
+        }
+        if t == 0 {
+            out.push_str("$end\n");
+        }
+    }
+    out
+}
+
+/// Renders a captured trace as CSV: one row per tick, one column per
+/// probed signal (held values carried forward; empty until first sample).
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("tick");
+    for sig in trace.signals() {
+        let _ = write!(out, ",{}", sig.name.replace(',', ";"));
+    }
+    out.push('\n');
+    let mut last: Vec<Option<f64>> = vec![None; trace.signals().len()];
+    for (tick, values) in by_tick(trace) {
+        for (s, v) in values {
+            last[s] = Some(v);
+        }
+        let _ = write!(out, "{tick}");
+        for v in &last {
+            match v {
+                Some(x) => {
+                    let _ = write!(out, ",{x:?}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::TraceSignal;
+
+    fn two_signal_trace() -> Trace {
+        let signals = vec![
+            TraceSignal { name: "m/b:0".into(), dtype: DataType::F64 },
+            TraceSignal { name: "m/flag:0".into(), dtype: DataType::Bool },
+        ];
+        let mut t = Trace::new(signals, 1024);
+        t.record(0, 0, 1.5);
+        t.record(0, 1, 0.0);
+        t.record(1, 0, 1.5); // unchanged: elided after tick 0
+        t.record(1, 1, 1.0);
+        t
+    }
+
+    #[test]
+    fn vcd_structure_and_change_elision() {
+        let vcd = to_vcd(&two_signal_trace(), "m");
+        assert!(vcd.contains("$scope module m $end"));
+        assert!(vcd.contains("$var real 64 ! m/b:0 $end"));
+        assert!(vcd.contains("$var wire 1 \" m/flag:0 $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("#0\n$dumpvars\nr1.5 !\n0\"\n$end\n"));
+        // Tick 1 re-emits only the changed Bool.
+        assert!(vcd.contains("#1\n1\"\n"));
+        assert_eq!(vcd.matches("r1.5 !").count(), 1);
+    }
+
+    #[test]
+    fn csv_carries_values_forward() {
+        let csv = to_csv(&two_signal_trace());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "tick,m/b:0,m/flag:0");
+        assert_eq!(lines[1], "0,1.5,0.0");
+        assert_eq!(lines[2], "1,1.5,1.0");
+    }
+
+    #[test]
+    fn id_codes_cover_the_printable_range() {
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!\"");
+    }
+}

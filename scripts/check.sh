@@ -10,8 +10,10 @@ cargo test --workspace --offline -q
 cargo fmt --check
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
-# Golden-file gate (also part of the workspace test run, invoked explicitly
-# so a drift in the HTML campaign explorer fails loudly and names the fix):
-# re-bless with `BLESS=1 cargo test --offline --test html_golden` after an
-# intentional rendering change.
+# Golden-file gates (also part of the workspace test run, invoked explicitly
+# so a drift in the HTML campaign explorer or the VCD waveform exporter
+# fails loudly and names the fix): re-bless with
+# `BLESS=1 cargo test --offline --test html_golden` (or --test vcd_golden)
+# after an intentional rendering change.
 cargo test --offline -q --test html_golden
+cargo test --offline -q --test vcd_golden

@@ -5,10 +5,16 @@
 //! cftcg codegen <model.mdlx> [--driver]             emit instrumented C / fuzz driver
 //! cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR] [--workers N]
 //!              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]
+//!              [--trace-dir DIR] [--trace-every N]
 //!                                                   run the fuzzing loop, write CSV cases
 //!                                                   + campaign.json forensics
 //! cftcg explain <model.mdlx> <campaign.json> [CASE] frontier analysis; with CASE (s0:12),
 //!                                                   the case's mutation lineage
+//! cftcg trace  <model.mdlx> <campaign.json> <CASE>  replay one case with signal probes,
+//!              [--probe PAT]... [--all] [--out F]   export a VCD (and --csv F) waveform;
+//!              [--csv F] [--profile]                --profile adds per-block timing
+//! cftcg audit  <model.mdlx> [--campaign FILE]       lockstep interpreter<->VM divergence
+//!              [--cases N] [--ticks N] [--seed N]   audit; non-zero exit on divergence
 //! cftcg report <stats.jsonl>                        summarize a campaign event log
 //! cftcg report --html OUT --model M --campaign C    render the HTML campaign explorer
 //! cftcg score  <model.mdlx> <case.csv>...           replay CSV test cases, print coverage
@@ -30,7 +36,8 @@ use cftcg::coverage::{detailed_report, frontier, CoverageReport, FullTracker};
 use cftcg::fuzz::format_chain;
 use cftcg::model::{load_model, save_model, Model};
 use cftcg::pipeline::{campaign_explorer_html, parse_case_id, CampaignArtifact};
-use cftcg::telemetry::{json::Json, Event, OperatorReport, Telemetry};
+use cftcg::telemetry::{json::Json, BlockCost, Event, OperatorReport, Telemetry};
+use cftcg::trace::{profile_case, to_csv, to_vcd, trace_vm_case, Auditor, BlockProfile, ProbeMask};
 use cftcg::Cftcg;
 
 fn main() -> ExitCode {
@@ -54,6 +61,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "codegen" => codegen(&load(args.get(1))?, args.contains(&"--driver".to_string())),
         "fuzz" => fuzz(&load(args.get(1))?, &args[2..]),
         "explain" => explain(&load(args.get(1))?, &args[2..]),
+        "trace" => trace_cmd(&load(args.get(1))?, &args[2..]),
+        "audit" => audit_cmd(&load(args.get(1))?, &args[2..]),
         "report" => report(&args[1..]),
         "score" => score(&load(args.get(1))?, &args[2..]),
         "export-benchmarks" => {
@@ -75,7 +84,12 @@ fn print_usage() {
          \x20 cftcg codegen <model.mdlx> [--driver]\n\
          \x20 cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR] [--workers N]\n\
          \x20              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]\n\
+         \x20              [--trace-dir DIR] [--trace-every N]\n\
          \x20 cftcg explain <model.mdlx> <campaign.json> [CASE]\n\
+         \x20 cftcg trace  <model.mdlx> <campaign.json> <CASE> [--probe PAT]... [--all]\n\
+         \x20              [--out FILE.vcd] [--csv FILE.csv] [--profile]\n\
+         \x20 cftcg audit  <model.mdlx> [--campaign <campaign.json>] [--cases N] [--ticks N]\n\
+         \x20              [--seed N]\n\
          \x20 cftcg report <stats.jsonl>\n\
          \x20 cftcg report --html OUT.html --model <model.mdlx> --campaign <campaign.json>\n\
          \x20 cftcg score  <model.mdlx> <case.csv>...\n\
@@ -107,6 +121,21 @@ fn replay_tracker(compiled: &CompiledModel, artifact: &CampaignArtifact) -> Full
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Every value of a repeatable flag (`--probe a --probe b` → `["a", "b"]`).
+fn flag_values(args: &[String], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if args[i] == name {
+            out.push(args[i + 1].clone());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
 }
 
 fn stats(model: &Model) -> Result<(), Box<dyn Error>> {
@@ -145,6 +174,9 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     let status_every: Option<f64> =
         flag_value(rest, "--status-every").map(str::parse).transpose()?;
     let prom = flag_value(rest, "--prom");
+    let trace_dir = flag_value(rest, "--trace-dir").map(str::to_string);
+    let trace_every: u64 =
+        flag_value(rest, "--trace-every").map(str::parse).transpose()?.unwrap_or(1).max(1);
 
     // Build the telemetry registry only when a sink was requested; without
     // one the loop skips per-execution timing entirely.
@@ -173,6 +205,32 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
         });
     }
 
+    // Sampled waveform capture of coverage-earning inputs: the hook fires
+    // after each case is emitted (coordinator only), replays it on a private
+    // executor, and writes the output waveform as a VCD file — pure
+    // observation, so fuzzing outcomes stay byte-identical.
+    let fired = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    if let Some(dir) = &trace_dir {
+        fs::create_dir_all(dir)?;
+        let compiled = tool.compiled().clone();
+        let dir = dir.clone();
+        let fired = fired.clone();
+        tool = tool.with_trace_hook(cftcg::fuzz::TraceHook::new(move |bytes, case_id| {
+            let n = fired.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if !n.is_multiple_of(trace_every) {
+                return;
+            }
+            let mask = ProbeMask::outputs(&compiled);
+            let trace = trace_vm_case(&compiled, &TestCase::new(bytes.to_vec()), &mask, 1 << 16);
+            let name =
+                format!("{}.vcd", cftcg::coverage::format_case_id(case_id).replace(':', "_"));
+            if let Err(e) = fs::write(Path::new(&dir).join(&name), to_vcd(&trace, compiled.name()))
+            {
+                eprintln!("warning: failed to write trace {name}: {e}");
+            }
+        }));
+    }
+
     let mut generation = if workers > 1 {
         tool.generate_parallel(Duration::from_millis(budget_ms), seed, workers)
     } else {
@@ -180,6 +238,14 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     };
 
     if let Some(t) = &telemetry {
+        // Per-block cost attribution: replay the emitted suite (a few dozen
+        // cases at most) on the observed interpreter so the "hottest blocks"
+        // table and the Prometheus exposition carry per-kind timings.
+        let mut profile = BlockProfile::new();
+        for case in &generation.suite {
+            profile_case(model, tool.compiled(), &case.bytes, &mut profile)?;
+        }
+        profile.merge_into(t);
         let report = tool.score(&generation);
         t.emit(&Event::CampaignEnd {
             executions: generation.executions,
@@ -240,6 +306,18 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
             .map(|op| (op.name.to_string(), op.executions, op.coverage_earning))
             .collect();
         print!("{}", operator_table(&rows));
+    }
+    if let Some(t) = &telemetry {
+        let rows = t.block_costs();
+        if !rows.is_empty() {
+            println!("hottest blocks (interpreter replay of the emitted suite):");
+            print!("{}", block_table(&rows));
+        }
+    }
+    if let Some(dir) = &trace_dir {
+        let fired = fired.load(std::sync::atomic::Ordering::Relaxed);
+        let written = fired.div_ceil(trace_every);
+        println!("wrote {written} VCD waveforms of coverage-earning cases to {dir}/");
     }
     if !generation.violations.is_empty() {
         println!("assertion violations found:");
@@ -349,6 +427,118 @@ fn explain(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// `cftcg trace <model.mdlx> <campaign.json> <CASE>`: replays one persisted
+/// case on the compiled VM with signal probes attached and exports the
+/// waveform as VCD (GTKWave-viewable) and optionally CSV. The probe mask
+/// defaults to the outport drivers; `--probe PAT` (repeatable, substring
+/// match) or `--all` widens it. `--profile` also replays the case on the
+/// observed interpreter and prints the per-block cost table.
+fn trace_cmd(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
+    let campaign_path =
+        rest.first().filter(|a| !a.starts_with("--")).ok_or("missing <campaign.json>")?;
+    let case_ref = rest
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing <CASE> reference (s<shard>:<n>)")?;
+    let artifact = CampaignArtifact::from_json(&fs::read_to_string(campaign_path)?)?;
+    let id = parse_case_id(case_ref)
+        .ok_or_else(|| format!("bad case reference `{case_ref}` (expected s<shard>:<n>)"))?;
+    let case = artifact.case(id).ok_or_else(|| {
+        format!(
+            "case `{case_ref}` was not emitted by this campaign ({} cases)",
+            artifact.cases.len()
+        )
+    })?;
+    let compiled = compile(model)?;
+
+    let patterns = flag_values(rest, "--probe");
+    let names: Vec<&str> = compiled.signals().iter().map(|m| m.name.as_str()).collect();
+    let mask = if rest.contains(&"--all".to_string()) {
+        ProbeMask::all(names.len())
+    } else if patterns.is_empty() {
+        ProbeMask::outputs(&compiled)
+    } else {
+        ProbeMask::from_patterns(&names, &patterns)?
+    };
+
+    let trace = trace_vm_case(&compiled, &TestCase::new(case.bytes.clone()), &mask, 1 << 20);
+    println!(
+        "case {case_ref}: {} ticks, {} probed signals, {} samples retained{}",
+        trace.ticks(),
+        mask.len(),
+        trace.len(),
+        if trace.dropped() > 0 {
+            format!(" ({} dropped from the ring)", trace.dropped())
+        } else {
+            String::new()
+        }
+    );
+    for signal in trace.signals() {
+        println!("  {} ({})", signal.name, signal.dtype);
+    }
+    let out = flag_value(rest, "--out").unwrap_or("trace.vcd");
+    fs::write(out, to_vcd(&trace, model.name()))?;
+    println!("wrote VCD waveform to {out}");
+    if let Some(csv_path) = flag_value(rest, "--csv") {
+        fs::write(csv_path, to_csv(&trace))?;
+        println!("wrote CSV waveform to {csv_path}");
+    }
+    if rest.contains(&"--profile".to_string()) {
+        let mut profile = BlockProfile::new();
+        let ticks = profile_case(model, &compiled, &case.bytes, &mut profile)?;
+        // A throwaway registry computes the mean/p99 columns for free.
+        let registry = Telemetry::new();
+        profile.merge_into(&registry);
+        println!("per-block cost over {ticks} interpreter ticks:");
+        print!("{}", block_table(&registry.block_costs()));
+    }
+    Ok(())
+}
+
+/// `cftcg audit <model.mdlx>`: runs the interpreter and the compiled VM in
+/// lockstep and compares every signal after every tick — over the persisted
+/// campaign suite when `--campaign` is given, and always over seeded random
+/// fuzz-like inputs. Exits non-zero on the first divergence, printing its
+/// exact tick, block path, and both values.
+fn audit_cmd(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
+    let cases: usize = flag_value(rest, "--cases").map(str::parse).transpose()?.unwrap_or(32);
+    let ticks: usize = flag_value(rest, "--ticks").map(str::parse).transpose()?.unwrap_or(64);
+    let seed: u64 = flag_value(rest, "--seed").map(str::parse).transpose()?.unwrap_or(0);
+    let compiled = compile(model)?;
+    let mut auditor = Auditor::new(model, &compiled)?;
+    println!("auditing {}: {} signals compared per tick", model.name(), auditor.signal_count());
+
+    let mut total_cases = 0usize;
+    let mut total_ticks = 0u64;
+    if let Some(path) = flag_value(rest, "--campaign") {
+        let artifact = CampaignArtifact::from_json(&fs::read_to_string(path)?)?;
+        let corpus: Vec<(String, Vec<u8>)> = artifact
+            .cases
+            .iter()
+            .map(|c| (cftcg::coverage::format_case_id(c.id), c.bytes.clone()))
+            .collect();
+        let report = auditor.audit_corpus(&corpus)?;
+        if let Some(divergence) = report.divergence {
+            return Err(format!("DIVERGENCE: {divergence}").into());
+        }
+        println!("corpus : {} cases, {} ticks — clean", report.cases, report.ticks);
+        total_cases += report.cases;
+        total_ticks += report.ticks;
+    }
+    let report = auditor.audit_random(cases, ticks, seed)?;
+    if let Some(divergence) = report.divergence {
+        return Err(format!("DIVERGENCE: {divergence}").into());
+    }
+    println!("random : {} cases x {ticks} ticks (seed {seed}) — clean", report.cases);
+    total_cases += report.cases;
+    total_ticks += report.ticks;
+    println!(
+        "audit passed: {total_cases} cases, {total_ticks} ticks, {} signals each",
+        auditor.signal_count()
+    );
+    Ok(())
+}
+
 fn score(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     let detailed = rest.contains(&"--detailed".to_string());
     let csv_paths: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
@@ -393,6 +583,23 @@ fn operator_table(rows: &[(String, u64, u64)]) -> String {
     out
 }
 
+/// Renders the per-block-kind "hottest blocks" profile as an aligned table
+/// (already sorted hottest-first by [`Telemetry::block_costs`]).
+fn block_table(rows: &[BlockCost]) -> String {
+    let width = rows.iter().map(|r| r.kind.len()).max().unwrap_or(4).max("kind".len());
+    let mut out = format!(
+        "  {:width$}  {:>12}  {:>14}  {:>10}  {:>10}\n",
+        "kind", "executions", "total ns", "mean ns", "p99 ns"
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "  {:width$}  {:>12}  {:>14}  {:>10.1}  {:>10}\n",
+            row.kind, row.executions, row.total_ns, row.mean_ns, row.p99_ns
+        ));
+    }
+    out
+}
+
 /// `cftcg report <stats.jsonl>`: renders a campaign event log as a summary —
 /// run identity, coverage growth, violations, sync behaviour, and the
 /// per-operator attribution table from the campaign-end event. With
@@ -407,7 +614,7 @@ fn report(rest: &[String]) -> Result<(), Box<dyn Error>> {
         let artifact = CampaignArtifact::from_json(&fs::read_to_string(campaign_path)?)?;
         let compiled = compile(&model)?;
         let tracker = replay_tracker(&compiled, &artifact);
-        let html = campaign_explorer_html(compiled.map(), &artifact, &tracker);
+        let html = campaign_explorer_html(&compiled, &artifact, &tracker);
         fs::write(out, &html)?;
         println!("wrote campaign explorer to {out}");
         return Ok(());

@@ -49,7 +49,7 @@ fn campaign_explorer_matches_golden() {
     for case in &artifact.cases {
         replay_case(tool.compiled(), &TestCase::new(case.bytes.clone()), &mut tracker);
     }
-    let html = campaign_explorer_html(map, &artifact, &tracker);
+    let html = campaign_explorer_html(tool.compiled(), &artifact, &tracker);
 
     let golden = golden_path();
     if std::env::var_os("BLESS").is_some() {
