@@ -1,0 +1,27 @@
+//! Static opcode histograms of the flattened benchmark programs — the
+//! profile that drives fusion decisions in the flattening back-end (which
+//! adjacent op pairs are frequent enough to deserve a fused opcode).
+//!
+//! ```sh
+//! cargo run --release -p cftcg-bench --bin flat_histo [model ...]
+//! ```
+
+fn main() {
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    for model in cftcg_benchmarks::all() {
+        let name = model.name().to_string();
+        if !requested.is_empty() && !requested.iter().any(|m| m == &name) {
+            continue;
+        }
+        let compiled = cftcg_codegen::compile(&model).unwrap();
+        println!("{name} ({} flat ops):", compiled.flat_lens().0);
+        for (op, count) in compiled.flat_histogram() {
+            println!("  {op:<18} {count}");
+        }
+        println!("  top adjacent pairs:");
+        let pairs = compiled.flat_pair_histogram();
+        for (pair, count) in &pairs[..pairs.len().min(12)] {
+            println!("  {pair:<32} {count}");
+        }
+    }
+}

@@ -21,9 +21,11 @@ use cftcg_model::{
     ProductOp, SwitchCriterion,
 };
 
+use crate::flatten::{flatten, FlatProgram};
 use crate::ir::{BinopCode, FuncCode, Instr, Reg, UnopCode};
 use crate::layout::TupleLayout;
 use crate::lower::{lower_decision, lower_stmts, Scope};
+use crate::opt::{optimize, strip_probes, OptStats};
 
 /// Error produced by [`compile`].
 #[derive(Debug, Clone, PartialEq)]
@@ -90,10 +92,31 @@ pub struct SignalMeta {
 }
 
 /// A compiled, instrumented model: the reproduction's "generated fuzz code".
+///
+/// Compilation runs the full back half: lowering produces the *reference*
+/// structured program, the mid-end ([`crate::opt`]) optimizes it, and the
+/// back-end ([`crate::flatten`]) lowers the optimized tree to the flat
+/// jump-threaded form the production VM executes. Both the optimized tree
+/// (for emission/inspection) and the unoptimized reference (for the
+/// differential baseline) are carried.
 #[derive(Debug, Clone)]
 pub struct CompiledModel {
     pub(crate) name: String,
+    /// The optimized structured program, in the compacted register space.
     pub(crate) program: Vec<Instr>,
+    /// The unoptimized program exactly as lowered — the reference walker's
+    /// input and the optimizer's semantic baseline.
+    pub(crate) reference: Vec<Instr>,
+    /// Register-file size of the reference program (pre-compaction).
+    pub(crate) reference_regs: usize,
+    /// Signal table in the reference register space.
+    pub(crate) reference_signals: Vec<SignalMeta>,
+    /// The flat encoding of `program` (probes included).
+    pub(crate) flat: FlatProgram,
+    /// The probe-stripped flat variant for non-observing recorders.
+    pub(crate) flat_noprobe: FlatProgram,
+    /// Per-pass mid-end accounting.
+    pub(crate) opt_stats: OptStats,
     pub(crate) map: InstrumentationMap,
     pub(crate) layout: TupleLayout,
     pub(crate) state_init: Vec<f64>,
@@ -121,9 +144,66 @@ impl CompiledModel {
         &self.layout
     }
 
-    /// The step program (for emission and inspection).
+    /// The optimized step program (for emission and inspection) — the tree
+    /// the flat engine's encoding was lowered from, in the compacted
+    /// register space of [`CompiledModel::signals`].
     pub fn program(&self) -> &[Instr] {
         &self.program
+    }
+
+    /// The unoptimized step program exactly as lowered — what the
+    /// reference tree walker ([`crate::Executor::new_reference`]) runs.
+    pub fn reference_program(&self) -> &[Instr] {
+        &self.reference
+    }
+
+    /// The signal table in the reference (pre-compaction) register space,
+    /// for probing a reference executor. Same names/order/types as
+    /// [`CompiledModel::signals`]; only the register indices differ.
+    pub fn reference_signals(&self) -> &[SignalMeta] {
+        &self.reference_signals
+    }
+
+    /// Mid-end pass accounting: instruction and register counts before and
+    /// after each optimization pass.
+    pub fn opt_stats(&self) -> &OptStats {
+        &self.opt_stats
+    }
+
+    /// Number of flat ops the production dispatch loop executes over
+    /// (jumps included) — with probes, and with probes stripped.
+    pub fn flat_lens(&self) -> (usize, usize) {
+        (self.flat.len(), self.flat_noprobe.len())
+    }
+
+    /// Static opcode histogram of the instrumented flat program, sorted by
+    /// descending count — the tuning diagnostic behind the back-end's
+    /// fusion choices (which op shapes are worth a dedicated opcode).
+    pub fn flat_histogram(&self) -> Vec<(&'static str, usize)> {
+        use std::collections::HashMap;
+        let mut counts: HashMap<&'static str, usize> = HashMap::new();
+        for op in &self.flat.ops {
+            *counts.entry(crate::flatten::op_name(op)).or_default() += 1;
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Static adjacent-pair histogram of the instrumented flat program —
+    /// the companion diagnostic to [`CompiledModel::flat_histogram`] for
+    /// spotting fusion candidates.
+    pub fn flat_pair_histogram(&self) -> Vec<(String, usize)> {
+        use std::collections::HashMap;
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for w in self.flat.ops.windows(2) {
+            let key =
+                format!("{}+{}", crate::flatten::op_name(&w[0]), crate::flatten::op_name(&w[1]));
+            *counts.entry(key).or_default() += 1;
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
     }
 
     /// Declared inport types, in port order.
@@ -304,18 +384,39 @@ pub fn compile(model: &Model) -> Result<CompiledModel, CompileError> {
         output_types.push(types.output_type(driver));
     }
 
+    // The compiler back half: mid-end passes over the lowered tree, then
+    // flat lowering for the production VM. The unoptimized tree is kept as
+    // the reference engine's program and differential baseline.
+    let reference = body;
+    let reference_regs = ctx.next_reg as usize;
+    let reference_signals = ctx.signals;
+    let opt = optimize(&reference, reference_regs, &reference_signals);
+    // Signal registers are observable between ticks (`Executor::reg` is
+    // the tracing layer's probe surface), so conditional constant hoisting
+    // must leave them materialized in the body.
+    let observed: std::collections::HashSet<_> = opt.signals.iter().map(|s| s.reg).collect();
+    let flat = flatten(&opt.program, &observed);
+    let noprobe = strip_probes(&opt.program, &opt.signals);
+    let flat_noprobe = flatten(&noprobe, &observed);
+
     Ok(CompiledModel {
         name: model.name().to_string(),
-        program: body,
+        program: opt.program,
+        reference,
+        reference_regs,
+        reference_signals,
+        flat,
+        flat_noprobe,
+        opt_stats: opt.stats,
         map: ctx.map.finish(),
         layout: TupleLayout::for_model(model),
         state_init: ctx.state_init,
-        num_regs: ctx.next_reg as usize,
+        num_regs: opt.num_regs,
         input_types,
         output_types,
         tables1: ctx.tables1,
         tables2: ctx.tables2,
-        signals: ctx.signals,
+        signals: opt.signals,
     })
 }
 

@@ -14,7 +14,7 @@ use cftcg_model::DataType;
 pub type Reg = u32;
 
 /// Unary operation codes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnopCode {
     /// `-x`
     Neg,
@@ -25,7 +25,7 @@ pub enum UnopCode {
 }
 
 /// Binary operation codes. Comparisons yield `0.0`/`1.0`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinopCode {
     /// `+`
     Add,
@@ -76,6 +76,38 @@ impl BinopCode {
         }
     }
 
+    /// Whether the operation is a relational comparison (`<`, `<=`, `>`,
+    /// `>=`, `==`, `!=`).
+    ///
+    /// Relational binops are *observable*: executing one fires the
+    /// recorder's [`compare`](cftcg_coverage::Recorder::compare) hook (the
+    /// TORC mine), so the optimizer must never fold, share, or drop them,
+    /// and the VM dispatches them through a dedicated opcode instead of
+    /// re-testing the code at run time.
+    #[inline]
+    pub const fn is_relational(self) -> bool {
+        matches!(
+            self,
+            BinopCode::Lt
+                | BinopCode::Le
+                | BinopCode::Gt
+                | BinopCode::Ge
+                | BinopCode::Eq
+                | BinopCode::Ne
+        )
+    }
+
+    /// Whether swapping the operands cannot change the result bit pattern.
+    ///
+    /// Deliberately excludes float `Add`/`Mul`: IEEE addition is commutative
+    /// for numeric results but the NaN *payload* of `NaN + NaN` follows
+    /// operand order on common hardware, and the optimizer promises
+    /// bit-exact equivalence with the reference walker.
+    #[inline]
+    pub(crate) const fn is_commutative_bitexact(self) -> bool {
+        matches!(self, BinopCode::And | BinopCode::Or)
+    }
+
     /// The C operator spelling (for emission).
     pub const fn c_symbol(self) -> &'static str {
         match self {
@@ -109,7 +141,7 @@ fn bool_f64(b: bool) -> f64 {
 /// Math block functions. Application delegates to the *same* definitions the
 /// interpreter uses ([`cftcg_model::expr::apply_builtin`] /
 /// [`cftcg_model::MathFunc::apply`]), so the engines cannot drift.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FuncCode {
     /// One of the expression-language builtins, by table index into
     /// [`cftcg_model::expr::BUILTINS`].
@@ -384,6 +416,19 @@ mod tests {
         assert_eq!(BinopCode::And.apply(2.0, 0.0), 0.0);
         assert_eq!(BinopCode::Or.apply(0.0, 0.0), 0.0);
         assert_eq!(BinopCode::Div.apply(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn relational_predicate_matches_compare_semantics() {
+        use BinopCode::*;
+        for op in [Add, Sub, Mul, Div, Rem, Lt, Le, Gt, Ge, Eq, Ne, And, Or] {
+            let expected = matches!(op, Lt | Le | Gt | Ge | Eq | Ne);
+            assert_eq!(op.is_relational(), expected, "{op:?}");
+        }
+        // And/Or are boolean combiners, not comparisons: they never fire
+        // the TORC hook, so they must not be classified relational.
+        assert!(!And.is_relational());
+        assert!(!Or.is_relational());
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl TupleLayout {
     }
 
     /// Iterates over the whole tuples in `data`.
-    pub fn split<'a>(&self, data: &'a [u8]) -> impl Iterator<Item = &'a [u8]> + 'a {
+    ///
+    /// The iterator is exact-size, so callers that only need the iteration
+    /// count (`run_case`) read it upfront instead of counting chunks.
+    pub fn split<'a>(&self, data: &'a [u8]) -> impl ExactSizeIterator<Item = &'a [u8]> + 'a {
         let size = self.tuple_size.max(1);
         data.chunks_exact(size)
     }

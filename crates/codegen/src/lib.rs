@@ -60,9 +60,11 @@
 
 mod cemit;
 mod compile;
+mod flatten;
 mod ir;
 mod layout;
 mod lower;
+mod opt;
 mod replay;
 mod vm;
 
@@ -72,5 +74,6 @@ pub use ir::{BinopCode, FuncCode, Instr, Reg, UnopCode};
 pub use layout::{
     test_case_from_csv, test_case_to_csv, FieldLayout, ParseCsvError, TestCase, TupleLayout,
 };
+pub use opt::OptStats;
 pub use replay::{replay_case, replay_suite};
 pub use vm::Executor;

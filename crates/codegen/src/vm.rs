@@ -2,14 +2,23 @@
 //!
 //! Where the paper compiles its generated C with Clang `-O2` and runs it
 //! in-process under LibFuzzer, this reproduction executes the step-IR with a
-//! tight register VM — still orders of magnitude faster than the
-//! interpretive simulator, which is the property the evaluation relies on.
+//! register VM. Two execution engines share one `Executor` interface:
+//!
+//! * the **flat engine** (default) runs the optimized, flattened program —
+//!   a non-recursive, jump-threaded dispatch loop over a linear op array
+//!   (see [`crate::flatten`]); recorders that promise
+//!   [`Recorder::OBSERVES_PROBES`]` == false` are routed to a
+//!   probe-stripped program variant, the replay/minimization fast path;
+//! * the **reference engine** ([`Executor::new_reference`]) walks the
+//!   original unoptimized instruction tree — the semantic baseline the
+//!   differential tests and byte-identity suites compare against.
 
-use cftcg_coverage::Recorder;
+use cftcg_coverage::{AssertionId, BranchId, ConditionId, DecisionId, Recorder};
 use cftcg_model::interp::{lookup1d, lookup2d};
 use cftcg_model::Value;
 
 use crate::compile::CompiledModel;
+use crate::flatten::{FlatOp, FlatProgram};
 use crate::ir::Instr;
 use crate::layout::TestCase;
 
@@ -17,7 +26,8 @@ use crate::layout::TestCase;
 ///
 /// See the crate-level example for usage. `step` is generic over the
 /// [`Recorder`] so the fuzz loop's branch bitmap monomorphizes to direct
-/// stores.
+/// stores — and so the probe-observation const folds the fast-path
+/// selection away entirely.
 #[derive(Debug, Clone)]
 pub struct Executor<'c> {
     compiled: &'c CompiledModel,
@@ -25,23 +35,61 @@ pub struct Executor<'c> {
     state: Vec<f64>,
     inputs: Vec<f64>,
     outputs: Vec<f64>,
+    reference: bool,
 }
 
 impl<'c> Executor<'c> {
-    /// Creates an executor with freshly initialized state.
+    /// Creates an executor with freshly initialized state, running the
+    /// optimized flat program (the production engine).
     pub fn new(compiled: &'c CompiledModel) -> Self {
+        Self::with_engine(compiled, false)
+    }
+
+    /// Creates an executor running the *unoptimized* structured program
+    /// with the recursive tree walker — the reference semantics that the
+    /// optimizer and flattener must preserve bit-for-bit.
+    ///
+    /// Note the reference register file is the pre-compaction one:
+    /// [`Executor::reg`] on a reference executor must be indexed with
+    /// [`CompiledModel::reference_signals`], not
+    /// [`CompiledModel::signals`].
+    pub fn new_reference(compiled: &'c CompiledModel) -> Self {
+        Self::with_engine(compiled, true)
+    }
+
+    fn with_engine(compiled: &'c CompiledModel, reference: bool) -> Self {
+        let num_regs = if reference { compiled.reference_regs } else { compiled.num_regs };
+        let mut regs = vec![0.0; num_regs];
+        if !reference {
+            // Hoisted constants: single-writer top-level `Const` registers
+            // are pre-loaded once here instead of re-stored every tick by
+            // the flat programs (both variants share the register space).
+            for &(r, v) in &compiled.flat.reg_init {
+                regs[r as usize] = v;
+            }
+            for &(r, v) in &compiled.flat_noprobe.reg_init {
+                regs[r as usize] = v;
+            }
+        }
         Executor {
-            regs: vec![0.0; compiled.num_regs],
+            regs,
             state: compiled.state_init.clone(),
             inputs: vec![0.0; compiled.input_types.len()],
             outputs: vec![0.0; compiled.output_types.len()],
             compiled,
+            reference,
         }
     }
 
     /// The compiled model this executor runs.
     pub fn compiled(&self) -> &CompiledModel {
         self.compiled
+    }
+
+    /// Whether this executor runs the reference tree walker instead of the
+    /// optimized flat program.
+    pub fn is_reference(&self) -> bool {
+        self.reference
     }
 
     /// Resets all state to initial conditions — the generated driver's
@@ -114,10 +162,10 @@ impl<'c> Executor<'c> {
         // Copy the `&'c` reference out of `self` so iterating the layout
         // doesn't hold a borrow of `self` (and doesn't clone the layout).
         let compiled: &'c CompiledModel = self.compiled;
-        let mut iterations = 0;
-        for tuple in compiled.layout().split(&case.bytes) {
+        let tuples = compiled.layout().split(&case.bytes);
+        let iterations = tuples.len();
+        for tuple in tuples {
             self.step_tuple(tuple, recorder);
-            iterations += 1;
         }
         iterations
     }
@@ -147,6 +195,9 @@ impl<'c> Executor<'c> {
     /// port `meta.name` produced (or held) this tick. Reading costs one
     /// index per probed signal — tracing is O(probed), not O(model).
     ///
+    /// A reference executor's register file predates compaction: index it
+    /// with [`CompiledModel::reference_signals`](crate::CompiledModel::reference_signals).
+    ///
     /// # Panics
     ///
     /// Panics if `reg` is out of range for this model's register file.
@@ -165,10 +216,25 @@ impl<'c> Executor<'c> {
     }
 
     fn run_body_owned<R: Recorder>(&mut self, recorder: &mut R) {
-        // Move the body out via the compiled reference to satisfy borrowck:
-        // the program is immutable and lives as long as `self`.
-        let program: &[Instr] = &self.compiled.program;
-        run_body(
+        if self.reference {
+            run_tree(
+                &self.compiled.reference,
+                &mut self.regs,
+                &mut self.state,
+                &self.inputs,
+                &mut self.outputs,
+                &self.compiled.tables1,
+                &self.compiled.tables2,
+                recorder,
+            );
+            return;
+        }
+        // `OBSERVES_PROBES` is an associated const, so monomorphization
+        // folds this selection away: a `NullRecorder` caller compiles
+        // straight to the probe-stripped program.
+        let program: &FlatProgram =
+            if R::OBSERVES_PROBES { &self.compiled.flat } else { &self.compiled.flat_noprobe };
+        run_flat(
             program,
             &mut self.regs,
             &mut self.state,
@@ -181,8 +247,227 @@ impl<'c> Executor<'c> {
     }
 }
 
+/// The jump-threaded dispatch loop over a flat program: no recursion, no
+/// per-call operand chase, relational dispatch decided at lowering time.
 #[allow(clippy::too_many_arguments)]
-fn run_body<R: Recorder>(
+fn run_flat<R: Recorder>(
+    program: &FlatProgram,
+    regs: &mut [f64],
+    state: &mut [f64],
+    inputs: &[f64],
+    outputs: &mut [f64],
+    tables1: &[(Vec<f64>, Vec<f64>)],
+    tables2: &[crate::compile::Lookup2Table],
+    recorder: &mut R,
+) {
+    let ops: &[FlatOp] = &program.ops;
+    let const_pool: &[f64] = &program.const_pool;
+    let mut pc = 0usize;
+    while let Some(op) = ops.get(pc) {
+        pc += 1;
+        match *op {
+            FlatOp::Const { dst, idx } => regs[dst as usize] = const_pool[idx as usize],
+            FlatOp::Const2 { dst1, idx1, dst2, idx2 } => {
+                regs[dst1 as usize] = const_pool[idx1 as usize];
+                regs[dst2 as usize] = const_pool[idx2 as usize];
+            }
+            FlatOp::Copy { dst, src } => regs[dst as usize] = regs[src as usize],
+            FlatOp::Input { dst, index } => regs[dst as usize] = inputs[index as usize],
+            FlatOp::Output { index, src } => outputs[index as usize] = regs[src as usize],
+            FlatOp::Unop { dst, op, src } => {
+                let x = regs[src as usize];
+                regs[dst as usize] = match op {
+                    crate::ir::UnopCode::Neg => -x,
+                    crate::ir::UnopCode::Not => f64::from(x == 0.0),
+                    crate::ir::UnopCode::Truthy => f64::from(x != 0.0),
+                };
+            }
+            FlatOp::Binop { dst, op, lhs, rhs } => {
+                regs[dst as usize] = op.apply(regs[lhs as usize], regs[rhs as usize]);
+            }
+            FlatOp::BinopCmp { dst, op, lhs, rhs } => {
+                let (l, r) = (regs[lhs as usize], regs[rhs as usize]);
+                recorder.compare(l, r);
+                regs[dst as usize] = op.apply(l, r);
+            }
+            FlatOp::Call { dst, func, argc, args } => {
+                let mut xs = [0.0f64; crate::flatten::MAX_INLINE];
+                for i in 0..argc as usize {
+                    xs[i] = regs[args[i] as usize];
+                }
+                regs[dst as usize] = func.apply(&xs[..argc as usize]);
+            }
+            FlatOp::CastSat { dst, src, ty } => {
+                regs[dst as usize] = Value::from_f64(regs[src as usize], ty).as_f64();
+            }
+            FlatOp::CastSatCopy { dst, src, ty, dst2 } => {
+                let v = Value::from_f64(regs[src as usize], ty).as_f64();
+                regs[dst as usize] = v;
+                regs[dst2 as usize] = v;
+            }
+            FlatOp::CopyCastSat { dst, src, dst2, ty } => {
+                let v = regs[src as usize];
+                regs[dst as usize] = v;
+                regs[dst2 as usize] = Value::from_f64(v, ty).as_f64();
+            }
+            FlatOp::LoadState { dst, slot } => regs[dst as usize] = state[slot as usize],
+            FlatOp::Load2 { dst1, slot1, dst2, slot2 } => {
+                regs[dst1 as usize] = state[slot1 as usize];
+                regs[dst2 as usize] = state[slot2 as usize];
+            }
+            FlatOp::StoreState { slot, src } => state[slot as usize] = regs[src as usize],
+            FlatOp::StoreState2 { slot1, src1, slot2, src2 } => {
+                state[slot1 as usize] = regs[src1 as usize];
+                state[slot2 as usize] = regs[src2 as usize];
+            }
+            FlatOp::ShiftState { base, len, src } => {
+                let (base, len) = (base as usize, len as usize);
+                state.copy_within(base + 1..base + len, base);
+                state[base + len - 1] = regs[src as usize];
+            }
+            FlatOp::Lookup1 { dst, src, table } => {
+                let (breaks, values) = &tables1[table as usize];
+                regs[dst as usize] = lookup1d(breaks, values, regs[src as usize]);
+            }
+            FlatOp::Lookup2 { dst, row, col, table } => {
+                let (rb, cb, values) = &tables2[table as usize];
+                regs[dst as usize] =
+                    lookup2d(rb, cb, values, regs[row as usize], regs[col as usize]);
+            }
+            FlatOp::Probe { branch } => recorder.branch(BranchId(u32::from(branch))),
+            FlatOp::CondProbe { cond, src } => {
+                recorder.condition(ConditionId(u32::from(cond)), regs[src as usize] != 0.0);
+            }
+            FlatOp::CondProbe2 { cond1, src1, cond2, src2 } => {
+                recorder.condition(ConditionId(u32::from(cond1)), regs[src1 as usize] != 0.0);
+                recorder.condition(ConditionId(u32::from(cond2)), regs[src2 as usize] != 0.0);
+            }
+            FlatOp::Decision1 { decision, cond, src } => {
+                // Fused CondProbe + single-condition DecisionEval: the
+                // recorder sees the exact event sequence the unfused pair
+                // produced — condition first, then the one-bit decision.
+                let v = regs[src as usize] != 0.0;
+                recorder.condition(ConditionId(u32::from(cond)), v);
+                recorder.decision_eval(DecisionId(u32::from(decision)), u64::from(v), u32::from(v));
+            }
+            FlatOp::DecisionSel { decision, cond, src, then_branch, else_branch } => {
+                // Fully fused decision preamble: condition, decision_eval,
+                // then exactly the branch event the taken outcome arm
+                // would have fired — same events, one dispatch.
+                let v = regs[src as usize] != 0.0;
+                recorder.condition(ConditionId(u32::from(cond)), v);
+                recorder.decision_eval(DecisionId(u32::from(decision)), u64::from(v), u32::from(v));
+                let taken = if v { then_branch } else { else_branch };
+                recorder.branch(BranchId(u32::from(taken)));
+            }
+            FlatOp::CmpSel { op, dst, lhs, rhs, decision, cond, then_branch, else_branch } => {
+                // Fused relational guard + decision preamble: compare,
+                // condition, decision_eval, then the taken outcome's branch
+                // event — the exact four-event sequence of the unfused
+                // BinopCmp + DecisionSel pair, in one dispatch.
+                let (l, r) = (regs[lhs as usize], regs[rhs as usize]);
+                recorder.compare(l, r);
+                let v = op.apply(l, r);
+                regs[dst as usize] = v;
+                let t = v != 0.0;
+                recorder.condition(ConditionId(u32::from(cond)), t);
+                recorder.decision_eval(DecisionId(u32::from(decision)), u64::from(t), u32::from(t));
+                let taken = if t { then_branch } else { else_branch };
+                recorder.branch(BranchId(u32::from(taken)));
+            }
+            FlatOp::DecisionEvalSmall { decision, outcome, len, conds } => {
+                let mut vector = 0u64;
+                for (bit, c) in conds[..len as usize].iter().enumerate() {
+                    if regs[*c as usize] != 0.0 {
+                        vector |= 1 << bit;
+                    }
+                }
+                let out = u32::from(regs[outcome as usize] != 0.0);
+                recorder.decision_eval(DecisionId(u32::from(decision)), vector, out);
+            }
+            FlatOp::DecisionEvalPool { decision, outcome, start, len } => {
+                let conds = &program.cond_pool[start as usize..start as usize + len as usize];
+                let mut vector = 0u64;
+                for (bit, c) in conds.iter().enumerate() {
+                    if regs[*c as usize] != 0.0 {
+                        vector |= 1 << bit;
+                    }
+                }
+                let out = u32::from(regs[outcome as usize] != 0.0);
+                recorder.decision_eval(DecisionId(u32::from(decision)), vector, out);
+            }
+            FlatOp::Assert { id, cond } => {
+                recorder.assertion(AssertionId(u32::from(id)), regs[cond as usize] != 0.0);
+            }
+            FlatOp::ProbeSelect { cond, then_branch, else_branch } => {
+                // Fused `if { Probe } else { Probe }`: fire exactly the
+                // branch event the taken arm would have, with no jumps.
+                let taken = if regs[cond as usize] != 0.0 { then_branch } else { else_branch };
+                recorder.branch(BranchId(u32::from(taken)));
+            }
+            FlatOp::CmpJump { op, dst, lhs, rhs, skip } => {
+                // Fused relational guard + entry jump of an `if` with a
+                // real body: same compare event, same dst write, then the
+                // conditional skip the unfused JumpIfZero performed.
+                let (l, r) = (regs[lhs as usize], regs[rhs as usize]);
+                recorder.compare(l, r);
+                let v = op.apply(l, r);
+                regs[dst as usize] = v;
+                if v == 0.0 {
+                    pc += skip as usize;
+                }
+            }
+            FlatOp::JumpIfZero { cond, skip } => {
+                if regs[cond as usize] == 0.0 {
+                    pc += skip as usize;
+                }
+            }
+            FlatOp::JzLoad { cond, skip, dst, slot } => {
+                if regs[cond as usize] == 0.0 {
+                    pc += skip as usize;
+                } else {
+                    regs[dst as usize] = state[slot as usize];
+                }
+            }
+            FlatOp::LoadJz { dst, slot, cond, skip } => {
+                regs[dst as usize] = state[slot as usize];
+                if regs[cond as usize] == 0.0 {
+                    pc += skip as usize;
+                }
+            }
+            FlatOp::DecisionSelJz { decision, cond, src, then_branch, else_branch, skip } => {
+                // DecisionSel's exact event sequence, then the entry jump
+                // of the real branch body on the same register.
+                let v = regs[src as usize] != 0.0;
+                recorder.condition(ConditionId(u32::from(cond)), v);
+                recorder.decision_eval(DecisionId(u32::from(decision)), u64::from(v), u32::from(v));
+                let taken = if v { then_branch } else { else_branch };
+                recorder.branch(BranchId(u32::from(taken)));
+                if !v {
+                    pc += skip as usize;
+                }
+            }
+            FlatOp::JzJz { cond1, skip1, cond2, skip2 } => {
+                if regs[cond1 as usize] == 0.0 {
+                    pc += skip1 as usize;
+                } else if regs[cond2 as usize] == 0.0 {
+                    pc += skip2 as usize;
+                }
+            }
+            FlatOp::JumpIfNonZero { cond, skip } => {
+                if regs[cond as usize] != 0.0 {
+                    pc += skip as usize;
+                }
+            }
+            FlatOp::Jump { skip } => pc += skip as usize,
+        }
+    }
+}
+
+/// The reference tree walker over the unoptimized structured program — the
+/// seed VM, kept verbatim as the semantic baseline for differential tests.
+#[allow(clippy::too_many_arguments)]
+fn run_tree<R: Recorder>(
     body: &[Instr],
     regs: &mut [f64],
     state: &mut [f64],
@@ -208,15 +493,7 @@ fn run_body<R: Recorder>(
             }
             Instr::Binop { dst, op, lhs, rhs } => {
                 let (l, r) = (regs[*lhs as usize], regs[*rhs as usize]);
-                if matches!(
-                    op,
-                    crate::ir::BinopCode::Lt
-                        | crate::ir::BinopCode::Le
-                        | crate::ir::BinopCode::Gt
-                        | crate::ir::BinopCode::Ge
-                        | crate::ir::BinopCode::Eq
-                        | crate::ir::BinopCode::Ne
-                ) {
+                if op.is_relational() {
                     recorder.compare(l, r);
                 }
                 regs[*dst as usize] = op.apply(l, r);
@@ -266,7 +543,7 @@ fn run_body<R: Recorder>(
             Instr::If { cond, then_body, else_body } => {
                 let taken = regs[*cond as usize] != 0.0;
                 let branch = if taken { then_body } else { else_body };
-                run_body(branch, regs, state, inputs, outputs, tables1, tables2, recorder);
+                run_tree(branch, regs, state, inputs, outputs, tables1, tables2, recorder);
             }
         }
     }
@@ -297,6 +574,21 @@ mod tests {
         assert_eq!(exec.step(&[Value::F64(0.5)], &mut rec), vec![Value::F64(0.5)]);
         assert_eq!(exec.step(&[Value::F64(9.0)], &mut rec), vec![Value::F64(1.0)]);
         assert_eq!(exec.step(&[Value::F64(-9.0)], &mut rec), vec![Value::F64(-1.0)]);
+    }
+
+    #[test]
+    fn reference_engine_matches_flat_engine() {
+        let compiled = saturation_model();
+        let mut flat = Executor::new(&compiled);
+        let mut tree = Executor::new_reference(&compiled);
+        let mut rec = NullRecorder;
+        for x in [0.5, 9.0, -9.0, f64::NAN, 0.0] {
+            let a = flat.step(&[Value::F64(x)], &mut rec);
+            let b = tree.step(&[Value::F64(x)], &mut rec);
+            let bits =
+                |vs: &[Value]| -> Vec<u64> { vs.iter().map(|v| v.as_f64().to_bits()).collect() };
+            assert_eq!(bits(&a), bits(&b), "input {x}");
+        }
     }
 
     #[test]
@@ -337,5 +629,22 @@ mod tests {
         assert_eq!(report.decision.total, 4);
         assert_eq!(report.condition.percent(), 100.0);
         assert_eq!(report.mcdc.percent(), 100.0);
+    }
+
+    #[test]
+    fn null_recorder_fast_path_still_computes_outputs_and_state() {
+        let mut b = ModelBuilder::new("m");
+        let u = b.inport("u", DataType::F64);
+        let d = b.add("d", BlockKind::UnitDelay { initial: Value::F64(0.0) });
+        let y = b.outport("y");
+        b.wire(u, d);
+        b.wire(d, y);
+        let compiled = compile(&b.finish().unwrap()).unwrap();
+        let mut exec = Executor::new(&compiled);
+        let mut rec = NullRecorder;
+        // Unit delay: output lags input by one tick even with probes
+        // stripped (state stores are effects, not probes).
+        assert_eq!(exec.step(&[Value::F64(3.0)], &mut rec), vec![Value::F64(0.0)]);
+        assert_eq!(exec.step(&[Value::F64(5.0)], &mut rec), vec![Value::F64(3.0)]);
     }
 }

@@ -10,6 +10,16 @@ use crate::map::{AssertionId, BranchId, ConditionId, DecisionId, Instrumentation
 /// what to retain. Methods other than [`Recorder::branch`] default to no-ops
 /// so the fuzz-loop-fast bitmap only pays for what it uses.
 pub trait Recorder {
+    /// Whether this recorder observes probe events at all.
+    ///
+    /// When `false`, every probe method — [`Recorder::branch`],
+    /// [`Recorder::condition`], [`Recorder::decision_eval`],
+    /// [`Recorder::compare`], [`Recorder::assertion`] — is promised to be a
+    /// no-op, and the VM is free to run a program variant with probe
+    /// instructions stripped entirely (the replay/minimization fast path).
+    /// Implementations that retain *any* event must leave this `true`.
+    const OBSERVES_PROBES: bool = true;
+
     /// A branch probe (decision outcome) was executed.
     fn branch(&mut self, id: BranchId);
 
@@ -43,6 +53,9 @@ pub trait Recorder {
 pub struct NullRecorder;
 
 impl Recorder for NullRecorder {
+    /// Discarding everything means the VM may skip probes altogether.
+    const OBSERVES_PROBES: bool = false;
+
     fn branch(&mut self, _id: BranchId) {}
 }
 

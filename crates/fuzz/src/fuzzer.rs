@@ -199,6 +199,12 @@ pub struct FuzzConfig {
     /// capture). Never consulted on worker shards and never fed RNG, so it
     /// cannot change what the fuzzer produces.
     pub trace_hook: Option<TraceHook>,
+    /// Run cases on the reference tree-walking engine instead of the
+    /// optimized flat VM ([`Executor::new_reference`]). Slower; exists so
+    /// campaigns can be cross-checked byte-for-byte against the optimizer
+    /// (`tests/optimizer_byte_identity.rs`) — both settings must produce
+    /// identical outcomes and artifacts.
+    pub reference_vm: bool,
 }
 
 impl Default for FuzzConfig {
@@ -214,6 +220,7 @@ impl Default for FuzzConfig {
             input_ranges: None,
             telemetry: None,
             trace_hook: None,
+            reference_vm: false,
         }
     }
 }
@@ -421,8 +428,13 @@ impl<'c> Fuzzer<'c> {
             t.set_operator_labels(&labels);
         }
         let time_execs = telemetry.is_some();
+        let exec = if config.reference_vm {
+            Executor::new_reference(compiled)
+        } else {
+            Executor::new(compiled)
+        };
         Fuzzer {
-            exec: Executor::new(compiled),
+            exec,
             compiled,
             layout: compiled.layout().clone(),
             mutator,

@@ -259,8 +259,13 @@ impl<'c> GlobalCoverage<'c> {
             FeedbackMode::ModelLevel => vec![true; branch_count],
             FeedbackMode::CodeLevelOnly => compiled.map().code_level_mask(),
         };
+        let exec = if config.reference_vm {
+            Executor::new_reference(compiled)
+        } else {
+            Executor::new(compiled)
+        };
         GlobalCoverage {
-            exec: Executor::new(compiled),
+            exec,
             map: compiled.map(),
             layout: compiled.layout().clone(),
             total: BranchBitmap::new(branch_count),

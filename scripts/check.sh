@@ -17,3 +17,4 @@ cargo clippy --workspace --offline --all-targets -- -D warnings
 # after an intentional rendering change.
 cargo test --offline -q --test html_golden
 cargo test --offline -q --test vcd_golden
+cargo test --offline -q --test cemit_golden

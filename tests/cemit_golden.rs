@@ -1,0 +1,86 @@
+//! Golden-file test of the C emitter: the instrumented step function for a
+//! small Saturation model must serialize byte-identically across runs and
+//! machines.
+//!
+//! Because [`cftcg::codegen::emit_c`] prints the *optimized* step program,
+//! this golden also pins the mid-end's output for the example: constant
+//! folding, CSE, dead-register elimination and register compaction all
+//! leave fingerprints in the emitted text, so an unintentional pass change
+//! fails here with a diffable artifact.
+//!
+//! After an *intentional* change to the optimizer or the C emitter,
+//! re-bless with:
+//!
+//! ```text
+//! BLESS=1 cargo test --offline --test cemit_golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use cftcg::codegen::{compile, emit_c};
+use cftcg::model::{BlockKind, DataType, InputSign, ModelBuilder, Value};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/saturation_step.c")
+}
+
+/// The Saturation example from the crate docs, plus a redundant gain pair
+/// the optimizer visibly cleans up (the two `* 2.0` products CSE into one
+/// register, and the folded `1.0 + 1.0` constant appears pre-computed in
+/// the emitted text).
+fn saturation_model() -> cftcg::model::Model {
+    let mut b = ModelBuilder::new("SatExample");
+    let u = b.inport("u", DataType::F64);
+    let one = b.add("one", BlockKind::Constant { value: Value::F64(1.0) });
+    let two = b.add("two", BlockKind::Sum { signs: vec![InputSign::Plus; 2] });
+    b.wire(one, two);
+    b.connect(one, 0, two, 1);
+    let gain_a = b.add("gain_a", BlockKind::Gain { gain: 2.0 });
+    let gain_b = b.add("gain_b", BlockKind::Gain { gain: 2.0 });
+    b.wire(u, gain_a);
+    b.connect(u, 0, gain_b, 0);
+    let sum = b.add("sum", BlockKind::Sum { signs: vec![InputSign::Plus; 3] });
+    b.wire(gain_a, sum);
+    b.connect(gain_b, 0, sum, 1);
+    b.connect(two, 0, sum, 2);
+    let sat = b.add("sat", BlockKind::Saturation { lower: 0.0, upper: 10.0 });
+    b.wire(sum, sat);
+    let y = b.outport("y");
+    b.wire(sat, y);
+    b.finish().expect("example model validates")
+}
+
+#[test]
+fn emitted_c_matches_golden() {
+    let model = saturation_model();
+    let compiled = compile(&model).expect("example compiles");
+    let c = emit_c(&compiled);
+
+    // Sanity before comparing bytes: the optimizer fingerprints this test
+    // relies on are actually present.
+    let stats = compiled.opt_stats();
+    assert!(stats.consts_folded > 0, "1.0 + 1.0 must fold");
+    assert!(stats.cse_hits > 0, "the duplicate gains must CSE");
+    assert!(stats.regs_after < stats.regs_before, "compaction must shrink the register file");
+
+    let golden = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&golden, &c).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!("missing golden file {} (run with BLESS=1 to create): {e}", golden.display())
+    });
+    if c != expected {
+        let actual = golden.with_extension("actual.c");
+        fs::write(&actual, &c).expect("write actual");
+        panic!(
+            "C emitter drifted from golden ({} bytes rendered vs {} expected); \
+             actual output written to {} — re-bless with BLESS=1 if the change is intentional",
+            c.len(),
+            expected.len(),
+            actual.display()
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Differential battery: the optimized flat VM against the reference tree
+//! walker, over every bundled benchmark model and randomized input cases.
+//!
+//! Three surfaces must agree bit-for-bit — anything less would let the
+//! optimizer silently change fuzz outcomes:
+//!
+//! 1. **Outputs**: every outport value of every tick.
+//! 2. **Signal registers** (post-remap): `signals()` on the flat engine
+//!    reads the same values `reference_signals()` reads on the reference
+//!    engine — the contract `cftcg-trace` probes and the lockstep auditor
+//!    rely on.
+//! 3. **Recorder event sequences**: branch, condition, decision, compare
+//!    and assertion events in identical order with identical payloads —
+//!    the contract byte-identical fuzz campaigns rely on.
+
+use cftcg::codegen::{compile, CompiledModel, Executor, TestCase};
+use cftcg::coverage::{AssertionId, BranchId, ConditionId, DecisionId, Recorder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Every probe event, in execution order, with bit-exact payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    Branch(BranchId),
+    Condition(ConditionId, bool),
+    Decision(DecisionId, u64, u32),
+    Compare(u64, u64),
+    Assertion(AssertionId, bool),
+}
+
+#[derive(Default)]
+struct EventLog {
+    events: Vec<Event>,
+}
+
+impl Recorder for EventLog {
+    fn branch(&mut self, id: BranchId) {
+        self.events.push(Event::Branch(id));
+    }
+    fn condition(&mut self, id: ConditionId, value: bool) {
+        self.events.push(Event::Condition(id, value));
+    }
+    fn decision_eval(&mut self, id: DecisionId, vector: u64, outcome: u32) {
+        self.events.push(Event::Decision(id, vector, outcome));
+    }
+    fn compare(&mut self, lhs: f64, rhs: f64) {
+        self.events.push(Event::Compare(lhs.to_bits(), rhs.to_bits()));
+    }
+    fn assertion(&mut self, id: AssertionId, passed: bool) {
+        self.events.push(Event::Assertion(id, passed));
+    }
+}
+
+/// Random case bytes: `ticks` tuples of mostly-interesting values.
+fn random_case(compiled: &CompiledModel, rng: &mut SmallRng, ticks: usize) -> TestCase {
+    let size = compiled.layout().tuple_size().max(1);
+    let mut bytes = Vec::with_capacity(size * ticks);
+    for _ in 0..size * ticks {
+        // Bias towards small values and boundary bytes so branches and
+        // saturations actually flip.
+        let b = match rng.random_range(0..4u32) {
+            0 => 0u8,
+            1 => 0xFF,
+            2 => rng.random_range(0..4u32) as u8,
+            _ => rng.random::<u8>(),
+        };
+        bytes.push(b);
+    }
+    TestCase::new(bytes)
+}
+
+/// Runs one case on both engines tick-by-tick, asserting the three
+/// equivalence surfaces after every tick.
+fn assert_case_equivalent(compiled: &CompiledModel, case: &TestCase, context: &str) {
+    let mut flat = Executor::new(compiled);
+    let mut tree = Executor::new_reference(compiled);
+    let mut flat_log = EventLog::default();
+    let mut tree_log = EventLog::default();
+    flat.reset();
+    tree.reset();
+
+    let metas = compiled.signals();
+    let ref_metas = compiled.reference_signals();
+    assert_eq!(metas.len(), ref_metas.len(), "{context}: signal table lengths");
+
+    for (tick, tuple) in compiled.layout().split(&case.bytes).enumerate() {
+        flat.step_tuple(tuple, &mut flat_log);
+        tree.step_tuple(tuple, &mut tree_log);
+
+        for (m, rm) in metas.iter().zip(ref_metas) {
+            assert_eq!(m.name, rm.name, "{context}: signal table order");
+            assert_eq!(
+                flat.reg(m.reg).to_bits(),
+                tree.reg(rm.reg).to_bits(),
+                "{context}: signal {} diverges at tick {tick}",
+                m.name
+            );
+        }
+
+        let flat_out: Vec<u64> = flat.outputs().iter().map(|v| v.as_f64().to_bits()).collect();
+        let tree_out: Vec<u64> = tree.outputs().iter().map(|v| v.as_f64().to_bits()).collect();
+        assert_eq!(flat_out, tree_out, "{context}: outputs diverge at tick {tick}");
+
+        // State must match exactly too (same slots, both engines).
+        let fs: Vec<u64> = flat.state().iter().map(|x| x.to_bits()).collect();
+        let ts: Vec<u64> = tree.state().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(fs, ts, "{context}: state diverges at tick {tick}");
+    }
+
+    assert_eq!(
+        flat_log.events.len(),
+        tree_log.events.len(),
+        "{context}: event counts diverge ({} flat vs {} reference)",
+        flat_log.events.len(),
+        tree_log.events.len()
+    );
+    for (i, (f, t)) in flat_log.events.iter().zip(&tree_log.events).enumerate() {
+        assert_eq!(f, t, "{context}: event {i} diverges");
+    }
+}
+
+#[test]
+fn flat_vm_matches_reference_on_all_benchmarks() {
+    for model in cftcg::benchmarks::all() {
+        let compiled = compile(&model).expect("benchmark compiles");
+        let mut rng = SmallRng::seed_from_u64(0xCF7C6 ^ model.name().len() as u64);
+        for round in 0..8 {
+            let ticks = 1 + (round * 7) % 23;
+            let case = random_case(&compiled, &mut rng, ticks);
+            assert_case_equivalent(&compiled, &case, &format!("{} round {round}", model.name()));
+        }
+    }
+}
+
+#[test]
+fn flat_vm_matches_reference_on_zero_and_saturating_inputs() {
+    for model in cftcg::benchmarks::all() {
+        let compiled = compile(&model).expect("benchmark compiles");
+        let size = compiled.layout().tuple_size().max(1);
+        for fill in [0x00u8, 0xFF, 0x7F, 0x80, 0x01] {
+            let case = TestCase::new(vec![fill; size * 11]);
+            let context = format!("{} fill 0x{fill:02X}", model.name());
+            assert_case_equivalent(&compiled, &case, &context);
+        }
+    }
+}
+
+#[test]
+fn optimizer_reduces_benchmark_instruction_counts() {
+    // The mid-end must be a net win somewhere on the benchmark corpus:
+    // every model at least doesn't grow, and the corpus shrinks overall.
+    let mut before = 0usize;
+    let mut after = 0usize;
+    for model in cftcg::benchmarks::all() {
+        let compiled = compile(&model).expect("benchmark compiles");
+        let stats = compiled.opt_stats();
+        assert!(
+            stats.instrs_after_dce <= stats.instrs_before,
+            "{}: optimizer grew the program ({} -> {})",
+            model.name(),
+            stats.instrs_before,
+            stats.instrs_after_dce
+        );
+        assert!(
+            stats.regs_after <= stats.regs_before,
+            "{}: compaction grew the register file",
+            model.name()
+        );
+        before += stats.instrs_before;
+        after += stats.instrs_after_dce;
+    }
+    assert!(after < before, "mid-end removed nothing across the corpus ({before} -> {after})");
+}
