@@ -1,21 +1,25 @@
-//! Benchmarks the optimized flat VM against the reference tree walker on
-//! every bundled benchmark model and writes the machine-readable
+//! Benchmarks the execution tiers — reference tree walker, optimized flat
+//! VM, and (where the build carries it) the native x86-64 JIT — on every
+//! bundled benchmark model and writes the machine-readable
 //! `results/BENCH_vm.json`: `run_case` iterations/s per engine, the
-//! speedup, and the mid-end's per-pass instruction/register reductions.
+//! speedups, and the mid-end's per-pass instruction/register reductions.
 //!
 //! ```sh
 //! cargo run --release -p cftcg-bench --bin vm_throughput
 //! cargo run --release -p cftcg-bench --bin vm_throughput -- --check
 //! ```
 //!
-//! `--check` additionally enforces the optimizer's performance contract and
-//! exits nonzero when it is violated: the flat VM must be at least as fast
-//! as the reference walker on *every* model, and at least 2× on SolarPV
-//! (the paper's throughput showcase model).
+//! `--check` additionally enforces the performance contracts and exits
+//! nonzero when violated: the flat VM must be at least as fast as the
+//! reference walker on *every* model, and at least 2× on SolarPV (the
+//! paper's throughput showcase model); when the JIT tier is live, it must
+//! additionally be at least as fast as the flat VM on every model and at
+//! least 2× on SolarPV. On hosts without the JIT (non-x86-64, or a
+//! `--no-default-features` build) the JIT gates are skipped gracefully.
 
 use std::time::{Duration, Instant};
 
-use cftcg_codegen::{compile, CompiledModel, Executor, TestCase};
+use cftcg_codegen::{compile, CompiledModel, Engine, Executor, TestCase};
 use cftcg_coverage::{BranchBitmap, NullRecorder};
 
 /// Ticks per measured case: long enough that per-case reset cost is noise.
@@ -63,6 +67,8 @@ struct Row {
     model: &'static str,
     reference: f64,
     flat: f64,
+    /// Best JIT slice, or `None` when the tier is unavailable on this build.
+    jit: Option<f64>,
 }
 
 fn main() {
@@ -80,13 +86,23 @@ fn main() {
         let mut reference = Executor::new_reference(&compiled);
         let mut flat = Executor::new(&compiled);
         let mut noprobe = Executor::new(&compiled);
+        let mut jit = Executor::new_jit(&compiled);
+        let mut jit_noprobe = Executor::new_jit(&compiled);
+        // `new_jit` silently falls back to the flat VM when the tier is
+        // unavailable; measure it only when native code actually runs.
+        let jit_live = jit.engine() == Engine::Jit;
         // Warm-up passes so lazily-faulted pages don't bill the first slice.
         reference.run_case(&case, &mut BranchBitmap::new(branches));
         flat.run_case(&case, &mut BranchBitmap::new(branches));
         noprobe.run_case(&case, &mut NullRecorder);
+        if jit_live {
+            jit.run_case(&case, &mut BranchBitmap::new(branches));
+            jit_noprobe.run_case(&case, &mut NullRecorder);
+        }
 
         let slice = budget / ROUNDS;
         let (mut ref_rate, mut flat_rate, mut noprobe_rate) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut jit_rate, mut jit_noprobe_rate) = (0.0f64, 0.0f64);
         for _ in 0..ROUNDS {
             ref_rate = ref_rate.max(slice_rate(
                 &mut reference,
@@ -102,13 +118,32 @@ fn main() {
             ));
             noprobe_rate =
                 noprobe_rate.max(slice_rate(&mut noprobe, &case, &mut NullRecorder, slice));
+            if jit_live {
+                jit_rate = jit_rate.max(slice_rate(
+                    &mut jit,
+                    &case,
+                    &mut BranchBitmap::new(branches),
+                    slice,
+                ));
+                jit_noprobe_rate = jit_noprobe_rate.max(slice_rate(
+                    &mut jit_noprobe,
+                    &case,
+                    &mut NullRecorder,
+                    slice,
+                ));
+            }
         }
 
         let stats = compiled.opt_stats();
         let (flat_ops, noprobe_ops) = compiled.flat_lens();
         let name: &'static str = Box::leak(model.name().to_string().into_boxed_str());
+        let jit_col = if jit_live {
+            format!(" -> jit {jit_rate:>9.0} (x{:.2})", jit_rate / flat_rate)
+        } else {
+            String::new()
+        };
         println!(
-            "  {name:>8}: {ref_rate:>9.0} -> {flat_rate:>9.0} cases/s (x{:.2}), \
+            "  {name:>8}: {ref_rate:>9.0} -> {flat_rate:>9.0} cases/s (x{:.2}){jit_col}, \
              noprobe {noprobe_rate:>9.0}; instrs {} -> {} (lvn {}, dce -{}), regs {} -> {}",
             flat_rate / ref_rate,
             stats.instrs_before,
@@ -118,9 +153,22 @@ fn main() {
             stats.regs_before,
             stats.regs_after,
         );
+        let jit_fields = if jit_live {
+            format!(
+                "\"jit_cases_per_sec\": {jit_rate:.1}, \
+                 \"jit_noprobe_cases_per_sec\": {jit_noprobe_rate:.1}, \
+                 \"jit_speedup\": {:.3}, ",
+                jit_rate / flat_rate
+            )
+        } else {
+            "\"jit_cases_per_sec\": null, \"jit_noprobe_cases_per_sec\": null, \
+             \"jit_speedup\": null, "
+                .to_string()
+        };
         entries.push(format!(
             "    {{\"model\": \"{name}\", \"reference_cases_per_sec\": {ref_rate:.1}, \
              \"flat_cases_per_sec\": {flat_rate:.1}, \"noprobe_cases_per_sec\": {noprobe_rate:.1}, \
+             {jit_fields}\
              \"speedup\": {:.3}, \"case_ticks\": {CASE_TICKS}, \
              \"opt\": {{\"instrs_before\": {}, \"instrs_after_lvn\": {}, \
              \"instrs_after_dce\": {}, \"instrs_removed\": {}, \"consts_folded\": {}, \
@@ -140,14 +188,22 @@ fn main() {
             stats.regs_before,
             stats.regs_after,
         ));
-        rows.push(Row { model: name, reference: ref_rate, flat: flat_rate });
+        rows.push(Row {
+            model: name,
+            reference: ref_rate,
+            flat: flat_rate,
+            jit: jit_live.then_some(jit_rate),
+        });
     }
 
     let host = cftcg_telemetry::host_metadata_json(Some(budget.as_millis() as u64));
     let json = format!(
         "{{\n  \"bench\": \"vm_throughput\",\n  \"budget_ms_per_engine\": {},\n  \
+         \"engine_best\": \"{}\",\n  \"jit_available\": {},\n  \
          \"host\": {host},\n  \"results\": [\n{}\n  ]\n}}\n",
         budget.as_millis(),
+        Engine::best().name(),
+        Engine::jit_supported(),
         entries.join(",\n")
     );
     let dir = std::path::Path::new("results");
@@ -177,6 +233,33 @@ fn main() {
         } else {
             violations.push("SolarPV missing from the benchmark sweep".to_string());
         }
+        let jit_checked = rows.iter().any(|r| r.jit.is_some());
+        if jit_checked {
+            for row in &rows {
+                let Some(jit) = row.jit else { continue };
+                if jit < row.flat {
+                    violations.push(format!(
+                        "{}: JIT slower than flat VM ({:.0} vs {:.0} cases/s)",
+                        row.model, jit, row.flat
+                    ));
+                }
+            }
+            if let Some(solar) = rows.iter().find(|r| r.model == "SolarPV") {
+                if let Some(jit) = solar.jit {
+                    let speedup = jit / solar.flat;
+                    if speedup < 2.0 {
+                        violations.push(format!(
+                            "SolarPV: JIT only x{speedup:.2} over the flat VM (need >= 2.0)"
+                        ));
+                    }
+                }
+            }
+        } else {
+            println!(
+                "vm_throughput --check: JIT tier unavailable on this build/host, \
+                 skipping the jit >= flat gates"
+            );
+        }
         if !violations.is_empty() {
             eprintln!("vm_throughput --check FAILED:");
             for v in &violations {
@@ -184,6 +267,13 @@ fn main() {
             }
             std::process::exit(1);
         }
-        println!("vm_throughput --check passed: flat >= reference everywhere, SolarPV >= 2x");
+        if jit_checked {
+            println!(
+                "vm_throughput --check passed: flat >= reference and jit >= flat everywhere, \
+                 SolarPV >= 2x on both tiers"
+            );
+        } else {
+            println!("vm_throughput --check passed: flat >= reference everywhere, SolarPV >= 2x");
+        }
     }
 }

@@ -1,0 +1,14 @@
+//! Computes the `cftcg_jit` cfg: the native back-end is only viable when
+//! the `jit` feature is on AND the target is x86-64 Linux (the emitter
+//! produces System V x86-64 code and allocates executable pages with raw
+//! Linux syscalls). Everything else falls back to the flat VM.
+
+fn main() {
+    println!("cargo:rustc-check-cfg=cfg(cftcg_jit)");
+    let feature = std::env::var_os("CARGO_FEATURE_JIT").is_some();
+    let arch = std::env::var("CARGO_CFG_TARGET_ARCH").unwrap_or_default();
+    let os = std::env::var("CARGO_CFG_TARGET_OS").unwrap_or_default();
+    if feature && arch == "x86_64" && os == "linux" {
+        println!("cargo:rustc-cfg=cftcg_jit");
+    }
+}

@@ -126,6 +126,10 @@ pub struct CompiledModel {
     pub(crate) tables1: Vec<(Vec<f64>, Vec<f64>)>,
     pub(crate) tables2: Vec<Lookup2Table>,
     pub(crate) signals: Vec<SignalMeta>,
+    /// Lazily JIT-compiled native code for this instance. Clones restart
+    /// empty (the machine code embeds instance-owned addresses).
+    #[cfg(cftcg_jit)]
+    pub(crate) jit: crate::jit::JitCache,
 }
 
 impl CompiledModel {
@@ -180,14 +184,49 @@ impl CompiledModel {
     /// descending count — the tuning diagnostic behind the back-end's
     /// fusion choices (which op shapes are worth a dedicated opcode).
     pub fn flat_histogram(&self) -> Vec<(&'static str, usize)> {
+        self.flat_histogram_at(0).expect("program 0 always exists")
+    }
+
+    /// Like [`CompiledModel::flat_histogram`], but for an explicit program
+    /// index: `0` is the instrumented program, `1` the probe-stripped one
+    /// executed under [`NullRecorder`](cftcg_coverage::NullRecorder). Any
+    /// other index returns `None` — out-of-range selectors are a caller
+    /// mistake worth reporting, not panicking over.
+    pub fn flat_histogram_at(&self, program: usize) -> Option<Vec<(&'static str, usize)>> {
         use std::collections::HashMap;
+        let ops = &self.flat_program_at(program)?.ops;
         let mut counts: HashMap<&'static str, usize> = HashMap::new();
-        for op in &self.flat.ops {
+        for op in ops {
             *counts.entry(crate::flatten::op_name(op)).or_default() += 1;
         }
         let mut v: Vec<_> = counts.into_iter().collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-        v
+        Some(v)
+    }
+
+    /// Like [`CompiledModel::flat_pair_histogram`], but for an explicit
+    /// program index (same selector space as
+    /// [`CompiledModel::flat_histogram_at`]).
+    pub fn flat_pair_histogram_at(&self, program: usize) -> Option<Vec<(String, usize)>> {
+        use std::collections::HashMap;
+        let ops = &self.flat_program_at(program)?.ops;
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for w in ops.windows(2) {
+            let key =
+                format!("{}+{}", crate::flatten::op_name(&w[0]), crate::flatten::op_name(&w[1]));
+            *counts.entry(key).or_default() += 1;
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Some(v)
+    }
+
+    fn flat_program_at(&self, program: usize) -> Option<&crate::flatten::FlatProgram> {
+        match program {
+            0 => Some(&self.flat),
+            1 => Some(&self.flat_noprobe),
+            _ => None,
+        }
     }
 
     /// Static adjacent-pair histogram of the instrumented flat program —
@@ -233,6 +272,29 @@ impl CompiledModel {
     /// divergence auditor compare the two engines index-by-index.
     pub fn signals(&self) -> &[SignalMeta] {
         &self.signals
+    }
+
+    /// The lazily JIT-compiled native code for this model, or `None` when
+    /// compilation is unavailable (non-x86-64, feature off, executable
+    /// pages refused).
+    #[cfg(cftcg_jit)]
+    pub(crate) fn jit_program(&self) -> Option<&crate::jit::JitProgram> {
+        self.jit.get_or_compile(self)
+    }
+
+    /// Native code-size accounting for the JIT tier: bytes emitted and
+    /// straight-line block counts for both program variants. `None` when
+    /// the JIT is unavailable on this build/host. Triggers JIT compilation
+    /// on first call.
+    pub fn jit_stats(&self) -> Option<crate::JitStats> {
+        #[cfg(cftcg_jit)]
+        {
+            self.jit_program().map(|p| p.stats())
+        }
+        #[cfg(not(cftcg_jit))]
+        {
+            None
+        }
     }
 }
 
@@ -417,6 +479,8 @@ pub fn compile(model: &Model) -> Result<CompiledModel, CompileError> {
         tables1: ctx.tables1,
         tables2: ctx.tables2,
         signals: opt.signals,
+        #[cfg(cftcg_jit)]
+        jit: Default::default(),
     })
 }
 

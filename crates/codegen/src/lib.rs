@@ -62,6 +62,8 @@ mod cemit;
 mod compile;
 mod flatten;
 mod ir;
+#[cfg(cftcg_jit)]
+mod jit;
 mod layout;
 mod lower;
 mod opt;
@@ -76,4 +78,4 @@ pub use layout::{
 };
 pub use opt::OptStats;
 pub use replay::{replay_case, replay_suite};
-pub use vm::Executor;
+pub use vm::{Engine, Executor, JitStats};

@@ -2,13 +2,17 @@
 //!
 //! Where the paper compiles its generated C with Clang `-O2` and runs it
 //! in-process under LibFuzzer, this reproduction executes the step-IR with a
-//! register VM. Two execution engines share one `Executor` interface:
+//! register VM. Three execution engines share one `Executor` interface:
 //!
 //! * the **flat engine** (default) runs the optimized, flattened program —
 //!   a non-recursive, jump-threaded dispatch loop over a linear op array
 //!   (see [`crate::flatten`]); recorders that promise
 //!   [`Recorder::OBSERVES_PROBES`]` == false` are routed to a
 //!   probe-stripped program variant, the replay/minimization fast path;
+//! * the **JIT engine** ([`Executor::new_jit`]) lowers the same flat
+//!   programs to native x86-64 machine code (see `crate::jit`) — available
+//!   with the `jit` feature on x86-64 Linux, transparently falling back to
+//!   the flat engine everywhere else;
 //! * the **reference engine** ([`Executor::new_reference`]) walks the
 //!   original unoptimized instruction tree — the semantic baseline the
 //!   differential tests and byte-identity suites compare against.
@@ -21,6 +25,82 @@ use crate::compile::CompiledModel;
 use crate::flatten::{FlatOp, FlatProgram};
 use crate::ir::Instr;
 use crate::layout::TestCase;
+
+/// Which execution engine an [`Executor`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The unoptimized recursive tree walker (semantic baseline).
+    Reference,
+    /// The optimized flat jump-threaded VM (always available).
+    Flat,
+    /// The native x86-64 JIT tier. Requesting it where unavailable (other
+    /// architectures, `--no-default-features`, executable-page mapping
+    /// refused) transparently resolves to [`Engine::Flat`].
+    Jit,
+}
+
+impl Engine {
+    /// Whether the JIT tier can be compiled in this build (the `jit`
+    /// feature on x86-64 Linux). Individual models can still fall back at
+    /// run time if executable pages cannot be mapped.
+    pub const fn jit_supported() -> bool {
+        cfg!(cftcg_jit)
+    }
+
+    /// The best engine this build offers: [`Engine::Jit`] when supported,
+    /// otherwise [`Engine::Flat`].
+    pub const fn best() -> Engine {
+        if Engine::jit_supported() {
+            Engine::Jit
+        } else {
+            Engine::Flat
+        }
+    }
+
+    /// Reads the `CFTCG_ENGINE` environment override: `ref`/`reference`,
+    /// `flat`, or `jit` (case-insensitive). Returns `None` when unset or
+    /// unrecognized.
+    pub fn from_env() -> Option<Engine> {
+        let v = std::env::var("CFTCG_ENGINE").ok()?;
+        match v.to_ascii_lowercase().as_str() {
+            "ref" | "reference" => Some(Engine::Reference),
+            "flat" => Some(Engine::Flat),
+            "jit" => Some(Engine::Jit),
+            _ => None,
+        }
+    }
+
+    /// The engine's short name (`ref`/`flat`/`jit`) as logged into bench
+    /// and campaign metadata.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Engine::Reference => "ref",
+            Engine::Flat => "flat",
+            Engine::Jit => "jit",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Native code-size accounting for one JIT-compiled model (see
+/// [`CompiledModel::jit_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JitStats {
+    /// Machine-code bytes emitted for the probed program.
+    pub probed_code_bytes: usize,
+    /// Machine-code bytes emitted for the probe-stripped program.
+    pub noprobe_code_bytes: usize,
+    /// Straight-line native blocks in the probed program (jump targets
+    /// plus entry).
+    pub probed_blocks: usize,
+    /// Straight-line native blocks in the probe-stripped program.
+    pub noprobe_blocks: usize,
+}
 
 /// An execution session over one compiled model: registers + state.
 ///
@@ -35,14 +115,16 @@ pub struct Executor<'c> {
     state: Vec<f64>,
     inputs: Vec<f64>,
     outputs: Vec<f64>,
-    reference: bool,
+    engine: Engine,
+    #[cfg(cftcg_jit)]
+    jit: Option<&'c crate::jit::JitProgram>,
 }
 
 impl<'c> Executor<'c> {
     /// Creates an executor with freshly initialized state, running the
     /// optimized flat program (the production engine).
     pub fn new(compiled: &'c CompiledModel) -> Self {
-        Self::with_engine(compiled, false)
+        Self::with_engine(compiled, Engine::Flat)
     }
 
     /// Creates an executor running the *unoptimized* structured program
@@ -54,10 +136,35 @@ impl<'c> Executor<'c> {
     /// [`CompiledModel::reference_signals`], not
     /// [`CompiledModel::signals`].
     pub fn new_reference(compiled: &'c CompiledModel) -> Self {
-        Self::with_engine(compiled, true)
+        Self::with_engine(compiled, Engine::Reference)
     }
 
-    fn with_engine(compiled: &'c CompiledModel, reference: bool) -> Self {
+    /// Creates an executor running native JIT-compiled code when the build
+    /// and host support it, silently falling back to the flat VM otherwise
+    /// — callers never need to feature-gate. [`Executor::engine`] reports
+    /// which tier was actually selected.
+    pub fn new_jit(compiled: &'c CompiledModel) -> Self {
+        Self::with_engine(compiled, Engine::Jit)
+    }
+
+    /// Creates an executor with an explicit engine choice.
+    /// [`Engine::Jit`] resolves to [`Engine::Flat`] when unavailable.
+    pub fn with_engine(compiled: &'c CompiledModel, engine: Engine) -> Self {
+        #[cfg(cftcg_jit)]
+        let mut engine = engine;
+        #[cfg(not(cftcg_jit))]
+        let engine = if engine == Engine::Jit { Engine::Flat } else { engine };
+        #[cfg(cftcg_jit)]
+        let jit = if engine == Engine::Jit {
+            let prog = compiled.jit_program();
+            if prog.is_none() {
+                engine = Engine::Flat;
+            }
+            prog
+        } else {
+            None
+        };
+        let reference = engine == Engine::Reference;
         let num_regs = if reference { compiled.reference_regs } else { compiled.num_regs };
         let mut regs = vec![0.0; num_regs];
         if !reference {
@@ -77,7 +184,9 @@ impl<'c> Executor<'c> {
             inputs: vec![0.0; compiled.input_types.len()],
             outputs: vec![0.0; compiled.output_types.len()],
             compiled,
-            reference,
+            engine,
+            #[cfg(cftcg_jit)]
+            jit,
         }
     }
 
@@ -89,7 +198,14 @@ impl<'c> Executor<'c> {
     /// Whether this executor runs the reference tree walker instead of the
     /// optimized flat program.
     pub fn is_reference(&self) -> bool {
-        self.reference
+        self.engine == Engine::Reference
+    }
+
+    /// The engine this executor actually runs (after JIT fallback
+    /// resolution — a [`Executor::new_jit`] executor reports
+    /// [`Engine::Flat`] when native code is unavailable).
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Resets all state to initial conditions — the generated driver's
@@ -216,7 +332,7 @@ impl<'c> Executor<'c> {
     }
 
     fn run_body_owned<R: Recorder>(&mut self, recorder: &mut R) {
-        if self.reference {
+        if self.engine == Engine::Reference {
             run_tree(
                 &self.compiled.reference,
                 &mut self.regs,
@@ -225,6 +341,19 @@ impl<'c> Executor<'c> {
                 &mut self.outputs,
                 &self.compiled.tables1,
                 &self.compiled.tables2,
+                recorder,
+            );
+            return;
+        }
+        #[cfg(cftcg_jit)]
+        if self.engine == Engine::Jit {
+            let jit = self.jit.expect("Jit engine implies compiled native code");
+            crate::jit::run_jit(
+                jit,
+                &mut self.regs,
+                &mut self.state,
+                &self.inputs,
+                &mut self.outputs,
                 recorder,
             );
             return;
@@ -629,6 +758,49 @@ mod tests {
         assert_eq!(report.decision.total, 4);
         assert_eq!(report.condition.percent(), 100.0);
         assert_eq!(report.mcdc.percent(), 100.0);
+    }
+
+    #[test]
+    fn jit_executor_matches_flat_on_saturation() {
+        let compiled = saturation_model();
+        let mut jit = Executor::new_jit(&compiled);
+        let mut flat = Executor::new(&compiled);
+        if Engine::jit_supported() {
+            assert_eq!(jit.engine(), Engine::Jit, "jit requested and supported");
+        } else {
+            assert_eq!(jit.engine(), Engine::Flat, "transparent fallback");
+        }
+        let mut cov_j = BranchBitmap::new(compiled.map().branch_count());
+        let mut cov_f = BranchBitmap::new(compiled.map().branch_count());
+        for x in [0.5, 9.0, -9.0, 0.0, f64::NAN, -0.0] {
+            let a = jit.step(&[Value::F64(x)], &mut cov_j);
+            let b = flat.step(&[Value::F64(x)], &mut cov_f);
+            let bits =
+                |vs: &[Value]| -> Vec<u64> { vs.iter().map(|v| v.as_f64().to_bits()).collect() };
+            assert_eq!(bits(&a), bits(&b), "input {x}");
+            assert_eq!(cov_j, cov_f, "input {x}");
+        }
+    }
+
+    #[test]
+    fn jit_null_recorder_runs_noprobe_program() {
+        let compiled = saturation_model();
+        let mut jit = Executor::new_jit(&compiled);
+        let mut rec = NullRecorder;
+        assert_eq!(jit.step(&[Value::F64(9.0)], &mut rec), vec![Value::F64(1.0)]);
+        assert_eq!(jit.step(&[Value::F64(-9.0)], &mut rec), vec![Value::F64(-1.0)]);
+    }
+
+    #[test]
+    fn engine_env_parsing() {
+        // Uses the parser directly (no env mutation: tests run threaded).
+        assert_eq!(Engine::Flat.name(), "flat");
+        assert_eq!(Engine::Jit.name(), "jit");
+        assert_eq!(Engine::Reference.name(), "ref");
+        assert_eq!(
+            Engine::best(),
+            if Engine::jit_supported() { Engine::Jit } else { Engine::Flat }
+        );
     }
 
     #[test]

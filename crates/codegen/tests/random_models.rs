@@ -268,8 +268,11 @@ proptest! {
         let compiled = compile(&model).expect("validated model compiles");
         let mut sim = Simulator::new(&model).expect("validated model simulates");
         let mut exec = Executor::new(&compiled);
+        let mut jit = Executor::new_jit(&compiled);
+        let jit_live = jit.engine() == cftcg_codegen::Engine::Jit;
         let mut rec = NullRecorder;
         let mut actual = Vec::new();
+        let mut jit_out = Vec::new();
         for (k, row) in steps.iter().enumerate() {
             let inputs: Vec<Value> = input_types
                 .iter()
@@ -283,6 +286,15 @@ proptest! {
                     values_eq(e, a),
                     "step {k} output {port}: sim {e:?} vs compiled {a:?}"
                 );
+            }
+            if jit_live {
+                jit.step_into(&inputs, &mut jit_out, &mut rec);
+                for (port, (f, j)) in actual.iter().zip(&jit_out).enumerate() {
+                    prop_assert!(
+                        f.as_f64().to_bits() == j.as_f64().to_bits(),
+                        "step {k} output {port}: flat {f:?} vs jit {j:?}"
+                    );
+                }
             }
         }
     }

@@ -121,6 +121,13 @@ impl Cftcg {
         emit_c(&self.compiled)
     }
 
+    /// The execution engine the fuzzing loops will run on, after applying
+    /// the `CFTCG_ENGINE` override and unsupported-tier fallback — see
+    /// [`FuzzConfig::resolved_engine`].
+    pub fn engine(&self) -> cftcg_codegen::Engine {
+        self.config.resolved_engine()
+    }
+
     /// Runs the model-oriented fuzzing loop for a wall-clock budget.
     pub fn generate(&self, budget: Duration, seed: u64) -> Generation {
         let mut fuzzer = self.fuzzer(seed);

@@ -20,8 +20,45 @@ pub trait Recorder {
     /// Implementations that retain *any* event must leave this `true`.
     const OBSERVES_PROBES: bool = true;
 
+    /// Promise that [`Recorder::condition`] is a no-op for this type.
+    ///
+    /// These per-event promises are the native back-end's trampoline seam:
+    /// the JIT compiles probe ops as calls through a per-recorder vtable,
+    /// and an event class promised away gets a null vtable slot, letting
+    /// the generated code skip both the callback *and* the argument
+    /// recomputation feeding it. Leave the default `true` whenever the
+    /// method is overridden; promising away a retained event silently
+    /// loses coverage observations.
+    const OBSERVES_CONDITIONS: bool = true;
+
+    /// Promise that [`Recorder::decision_eval`] is a no-op for this type
+    /// (see [`Recorder::OBSERVES_CONDITIONS`]).
+    const OBSERVES_DECISIONS: bool = true;
+
+    /// Promise that [`Recorder::compare`] is a no-op for this type
+    /// (see [`Recorder::OBSERVES_CONDITIONS`]).
+    const OBSERVES_COMPARES: bool = true;
+
+    /// Promise that [`Recorder::assertion`] is a no-op for this type
+    /// (see [`Recorder::OBSERVES_CONDITIONS`]).
+    const OBSERVES_ASSERTIONS: bool = true;
+
     /// A branch probe (decision outcome) was executed.
     fn branch(&mut self, id: BranchId);
+
+    /// Dense branch-flags seam for native back-ends.
+    ///
+    /// A recorder whose [`Recorder::branch`] is observationally identical
+    /// to `flags[id.index()] = true` over a dense `bool` array may expose
+    /// that array here; the JIT then records branch probes as direct byte
+    /// stores into it instead of calling back. The exposed buffer must
+    /// stay valid and un-moved across any interleaving of this recorder's
+    /// other event methods for the duration of a run, and must span every
+    /// branch id of the executing program (callers fall back to
+    /// [`Recorder::branch`] when it is too short). Default: no fast path.
+    fn branch_flags(&mut self) -> Option<&mut [bool]> {
+        None
+    }
 
     /// A condition evaluated to `value`.
     fn condition(&mut self, id: ConditionId, value: bool) {
@@ -55,6 +92,10 @@ pub struct NullRecorder;
 impl Recorder for NullRecorder {
     /// Discarding everything means the VM may skip probes altogether.
     const OBSERVES_PROBES: bool = false;
+    const OBSERVES_CONDITIONS: bool = false;
+    const OBSERVES_DECISIONS: bool = false;
+    const OBSERVES_COMPARES: bool = false;
+    const OBSERVES_ASSERTIONS: bool = false;
 
     fn branch(&mut self, _id: BranchId) {}
 }
@@ -187,8 +228,18 @@ impl BranchBitmap {
 }
 
 impl Recorder for BranchBitmap {
+    /// Branch hits are all a bitmap retains.
+    const OBSERVES_CONDITIONS: bool = false;
+    const OBSERVES_DECISIONS: bool = false;
+    const OBSERVES_COMPARES: bool = false;
+    const OBSERVES_ASSERTIONS: bool = false;
+
     fn branch(&mut self, id: BranchId) {
         self.bits[id.index()] = true;
+    }
+
+    fn branch_flags(&mut self) -> Option<&mut [bool]> {
+        Some(&mut self.bits)
     }
 }
 
@@ -283,8 +334,15 @@ impl FullTracker {
 }
 
 impl Recorder for FullTracker {
+    /// Comparison operands feed the fuzzer's dictionary, not coverage.
+    const OBSERVES_COMPARES: bool = false;
+
     fn branch(&mut self, id: BranchId) {
         self.branch_hits[id.index()] = true;
+    }
+
+    fn branch_flags(&mut self) -> Option<&mut [bool]> {
+        Some(&mut self.branch_hits)
     }
 
     fn condition(&mut self, id: ConditionId, value: bool) {

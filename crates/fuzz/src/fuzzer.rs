@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cftcg_codegen::{CompiledModel, Executor, TestCase};
+use cftcg_codegen::{CompiledModel, Engine, Executor, TestCase};
 use cftcg_coverage::{BranchBitmap, FirstHit, FullTracker, ProvenanceTracker};
 use cftcg_telemetry::{Event, ShardStats, Telemetry};
 use rand::rngs::SmallRng;
@@ -108,9 +108,18 @@ struct LoopRecorder<'a> {
 }
 
 impl cftcg_coverage::Recorder for LoopRecorder<'_> {
+    /// The loop never retains condition or decision-vector events.
+    const OBSERVES_CONDITIONS: bool = false;
+    const OBSERVES_DECISIONS: bool = false;
+
     #[inline]
     fn branch(&mut self, id: cftcg_coverage::BranchId) {
         self.bitmap.branch(id);
+    }
+
+    #[inline]
+    fn branch_flags(&mut self) -> Option<&mut [bool]> {
+        self.bitmap.branch_flags()
     }
 
     #[inline]
@@ -205,6 +214,34 @@ pub struct FuzzConfig {
     /// (`tests/optimizer_byte_identity.rs`) — both settings must produce
     /// identical outcomes and artifacts.
     pub reference_vm: bool,
+    /// Explicit execution engine. `None` (the default) resolves to the
+    /// fastest engine available on this build ([`Engine::best`]), or the
+    /// reference tree walker when [`FuzzConfig::reference_vm`] is set.
+    /// The `CFTCG_ENGINE` environment variable (`ref` | `flat` | `jit`)
+    /// overrides both — see [`FuzzConfig::resolved_engine`].
+    pub engine: Option<Engine>,
+}
+
+impl FuzzConfig {
+    /// The engine a campaign with this config actually runs on. Precedence:
+    /// the `CFTCG_ENGINE` env var, then [`FuzzConfig::engine`], then
+    /// `reference_vm` (reference walker) or the best available tier. A
+    /// resolved `Jit` on a build without the JIT still falls back to the
+    /// flat VM inside [`Executor::with_engine`]; campaign artifacts are
+    /// byte-identical either way.
+    pub fn resolved_engine(&self) -> Engine {
+        if let Some(e) = Engine::from_env() {
+            return e;
+        }
+        if let Some(e) = self.engine {
+            return e;
+        }
+        if self.reference_vm {
+            Engine::Reference
+        } else {
+            Engine::best()
+        }
+    }
 }
 
 impl Default for FuzzConfig {
@@ -221,6 +258,7 @@ impl Default for FuzzConfig {
             telemetry: None,
             trace_hook: None,
             reference_vm: false,
+            engine: None,
         }
     }
 }
@@ -428,11 +466,7 @@ impl<'c> Fuzzer<'c> {
             t.set_operator_labels(&labels);
         }
         let time_execs = telemetry.is_some();
-        let exec = if config.reference_vm {
-            Executor::new_reference(compiled)
-        } else {
-            Executor::new(compiled)
-        };
+        let exec = Executor::with_engine(compiled, config.resolved_engine());
         Fuzzer {
             exec,
             compiled,

@@ -216,6 +216,9 @@ struct ForensicRecorder<'a> {
 }
 
 impl Recorder for ForensicRecorder<'_> {
+    /// Comparison operands are mined by workers, not the coordinator.
+    const OBSERVES_COMPARES: bool = false;
+
     #[inline]
     fn branch(&mut self, id: cftcg_coverage::BranchId) {
         self.bitmap.branch(id);
@@ -259,11 +262,7 @@ impl<'c> GlobalCoverage<'c> {
             FeedbackMode::ModelLevel => vec![true; branch_count],
             FeedbackMode::CodeLevelOnly => compiled.map().code_level_mask(),
         };
-        let exec = if config.reference_vm {
-            Executor::new_reference(compiled)
-        } else {
-            Executor::new(compiled)
-        };
+        let exec = Executor::with_engine(compiled, config.resolved_engine());
         GlobalCoverage {
             exec,
             map: compiled.map(),

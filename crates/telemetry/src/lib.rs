@@ -696,15 +696,21 @@ fn format_ns(ns: u64) -> String {
     }
 }
 
-/// Host metadata as a JSON object string — core count, the `CFTCG_WORKERS`
-/// override (if set), and an optional budget — so benchmark artifacts are
-/// self-describing.
+/// Host metadata as a JSON object string — core count, target architecture,
+/// the `CFTCG_WORKERS` and `CFTCG_ENGINE` overrides (if set), and an
+/// optional budget — so benchmark artifacts are self-describing.
 pub fn host_metadata_json(budget_ms: Option<u64>) -> String {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut out = format!("{{\"cores\": {cores}, \"cftcg_workers\": ");
+    let arch = std::env::consts::ARCH;
+    let mut out = format!("{{\"cores\": {cores}, \"arch\": \"{arch}\", \"cftcg_workers\": ");
     match std::env::var("CFTCG_WORKERS").ok().and_then(|s| s.parse::<usize>().ok()) {
         Some(w) => out.push_str(&w.to_string()),
         None => out.push_str("null"),
+    }
+    out.push_str(", \"cftcg_engine\": ");
+    match std::env::var("CFTCG_ENGINE") {
+        Ok(e) if !e.is_empty() => out.push_str(&format!("\"{}\"", e.escape_default())),
+        _ => out.push_str("null"),
     }
     out.push_str(", \"budget_ms\": ");
     match budget_ms {

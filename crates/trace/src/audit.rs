@@ -208,9 +208,17 @@ impl<'a> Auditor<'a> {
         bytes: &[u8],
     ) -> Result<(u64, Option<Divergence>), AuditError> {
         let mut sim = Simulator::new(self.model).map_err(CompileError::from)?;
-        let mut exec = cftcg_codegen::Executor::new(self.compiled);
+        // `CFTCG_ENGINE` picks the tier under audit (`jit` cross-checks
+        // native code against the interpreter).
+        let mut exec = cftcg_codegen::Executor::with_engine(self.compiled, crate::replay_engine());
+        // The reference walker keeps the pre-compaction register file, so
+        // its signal metas live in a different register space.
+        let metas = if exec.engine() == cftcg_codegen::Engine::Reference {
+            self.compiled.reference_signals()
+        } else {
+            self.compiled.signals()
+        };
         let mut recorder = NullRecorder;
-        let metas = self.compiled.signals();
         let mut ticks = 0u64;
         for tuple in self.compiled.layout().split(bytes) {
             decode_tuple(self.compiled, tuple, &mut self.inputs);

@@ -35,6 +35,14 @@ mod profile;
 mod vcd;
 
 pub use audit::{AuditError, AuditReport, Auditor, Divergence};
+
+/// The VM engine the replay paths (tracing, auditing) execute on: the
+/// `CFTCG_ENGINE` override when set and supported on this build, otherwise
+/// the flat VM. Replay favors the deterministic portable tier by default;
+/// `CFTCG_ENGINE=jit` cross-checks native code, `=ref` the tree walker.
+pub fn replay_engine() -> cftcg_codegen::Engine {
+    cftcg_codegen::Engine::from_env().unwrap_or(cftcg_codegen::Engine::Flat)
+}
 pub use probe::{decode_tuple, trace_vm_case, ProbeMask, Trace, TraceRecord, TraceSignal};
 pub use profile::{profile_case, BlockProfile, KindCost};
 pub use vcd::{to_csv, to_vcd};

@@ -183,14 +183,21 @@ pub fn trace_vm_case(
     mask: &ProbeMask,
     capacity: usize,
 ) -> Trace {
-    let metas = compiled.signals();
+    // `CFTCG_ENGINE` selects the execution tier (the JIT shares the flat
+    // register file, so probing is unchanged; the reference walker needs
+    // its pre-compaction signal table).
+    let mut exec = Executor::with_engine(compiled, crate::replay_engine());
+    let metas = if exec.engine() == cftcg_codegen::Engine::Reference {
+        compiled.reference_signals()
+    } else {
+        compiled.signals()
+    };
     let signals = mask
         .indices()
         .iter()
         .map(|&i| TraceSignal { name: metas[i].name.clone(), dtype: metas[i].dtype })
         .collect();
     let mut trace = Trace::new(signals, capacity);
-    let mut exec = Executor::new(compiled);
     let mut recorder = NullRecorder;
     for (tick, tuple) in compiled.layout().split(&case.bytes).enumerate() {
         exec.step_tuple(tuple, &mut recorder);

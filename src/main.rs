@@ -194,6 +194,7 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     };
 
     let mut tool = Cftcg::new(model)?;
+    println!("engine: {} ({} workers)", tool.engine(), workers);
     if let Some(t) = &telemetry {
         tool = tool.with_telemetry(t.clone());
         t.emit(&Event::CampaignStart {
@@ -463,7 +464,8 @@ fn trace_cmd(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
 
     let trace = trace_vm_case(&compiled, &TestCase::new(case.bytes.clone()), &mask, 1 << 20);
     println!(
-        "case {case_ref}: {} ticks, {} probed signals, {} samples retained{}",
+        "case {case_ref} ({} engine): {} ticks, {} probed signals, {} samples retained{}",
+        cftcg::trace::replay_engine(),
         trace.ticks(),
         mask.len(),
         trace.len(),
@@ -506,7 +508,12 @@ fn audit_cmd(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     let seed: u64 = flag_value(rest, "--seed").map(str::parse).transpose()?.unwrap_or(0);
     let compiled = compile(model)?;
     let mut auditor = Auditor::new(model, &compiled)?;
-    println!("auditing {}: {} signals compared per tick", model.name(), auditor.signal_count());
+    println!(
+        "auditing {} on the {} engine: {} signals compared per tick",
+        model.name(),
+        cftcg::trace::replay_engine(),
+        auditor.signal_count()
+    );
 
     let mut total_cases = 0usize;
     let mut total_ticks = 0u64;

@@ -1,5 +1,6 @@
 //! Differential battery: the optimized flat VM against the reference tree
-//! walker, over every bundled benchmark model and randomized input cases.
+//! walker — and, where supported, the native JIT tier against both — over
+//! every bundled benchmark model and randomized input cases.
 //!
 //! Three surfaces must agree bit-for-bit — anything less would let the
 //! optimizer silently change fuzz outcomes:
@@ -13,7 +14,7 @@
 //!    and assertion events in identical order with identical payloads —
 //!    the contract byte-identical fuzz campaigns rely on.
 
-use cftcg::codegen::{compile, CompiledModel, Executor, TestCase};
+use cftcg::codegen::{compile, CompiledModel, Engine, Executor, TestCase};
 use cftcg::coverage::{AssertionId, BranchId, ConditionId, DecisionId, Recorder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -69,15 +70,21 @@ fn random_case(compiled: &CompiledModel, rng: &mut SmallRng, ticks: usize) -> Te
     TestCase::new(bytes)
 }
 
-/// Runs one case on both engines tick-by-tick, asserting the three
-/// equivalence surfaces after every tick.
+/// Runs one case on all engines tick-by-tick, asserting the three
+/// equivalence surfaces after every tick. The JIT engine (when this build
+/// supports it) is held to the same contract as the flat VM: same signal
+/// registers, same outputs, same state, same recorder event sequence.
 fn assert_case_equivalent(compiled: &CompiledModel, case: &TestCase, context: &str) {
     let mut flat = Executor::new(compiled);
     let mut tree = Executor::new_reference(compiled);
+    let mut jit = Executor::new_jit(compiled);
+    let jit_live = jit.engine() == Engine::Jit;
     let mut flat_log = EventLog::default();
     let mut tree_log = EventLog::default();
+    let mut jit_log = EventLog::default();
     flat.reset();
     tree.reset();
+    jit.reset();
 
     let metas = compiled.signals();
     let ref_metas = compiled.reference_signals();
@@ -86,6 +93,9 @@ fn assert_case_equivalent(compiled: &CompiledModel, case: &TestCase, context: &s
     for (tick, tuple) in compiled.layout().split(&case.bytes).enumerate() {
         flat.step_tuple(tuple, &mut flat_log);
         tree.step_tuple(tuple, &mut tree_log);
+        if jit_live {
+            jit.step_tuple(tuple, &mut jit_log);
+        }
 
         for (m, rm) in metas.iter().zip(ref_metas) {
             assert_eq!(m.name, rm.name, "{context}: signal table order");
@@ -95,16 +105,32 @@ fn assert_case_equivalent(compiled: &CompiledModel, case: &TestCase, context: &s
                 "{context}: signal {} diverges at tick {tick}",
                 m.name
             );
+            if jit_live {
+                assert_eq!(
+                    jit.reg(m.reg).to_bits(),
+                    flat.reg(m.reg).to_bits(),
+                    "{context}: jit signal {} diverges at tick {tick}",
+                    m.name
+                );
+            }
         }
 
         let flat_out: Vec<u64> = flat.outputs().iter().map(|v| v.as_f64().to_bits()).collect();
         let tree_out: Vec<u64> = tree.outputs().iter().map(|v| v.as_f64().to_bits()).collect();
         assert_eq!(flat_out, tree_out, "{context}: outputs diverge at tick {tick}");
+        if jit_live {
+            let jit_out: Vec<u64> = jit.outputs().iter().map(|v| v.as_f64().to_bits()).collect();
+            assert_eq!(jit_out, flat_out, "{context}: jit outputs diverge at tick {tick}");
+        }
 
-        // State must match exactly too (same slots, both engines).
+        // State must match exactly too (same slots, all engines).
         let fs: Vec<u64> = flat.state().iter().map(|x| x.to_bits()).collect();
         let ts: Vec<u64> = tree.state().iter().map(|x| x.to_bits()).collect();
         assert_eq!(fs, ts, "{context}: state diverges at tick {tick}");
+        if jit_live {
+            let js: Vec<u64> = jit.state().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(js, fs, "{context}: jit state diverges at tick {tick}");
+        }
     }
 
     assert_eq!(
@@ -116,6 +142,18 @@ fn assert_case_equivalent(compiled: &CompiledModel, case: &TestCase, context: &s
     );
     for (i, (f, t)) in flat_log.events.iter().zip(&tree_log.events).enumerate() {
         assert_eq!(f, t, "{context}: event {i} diverges");
+    }
+    if jit_live {
+        assert_eq!(
+            jit_log.events.len(),
+            flat_log.events.len(),
+            "{context}: jit event counts diverge ({} jit vs {} flat)",
+            jit_log.events.len(),
+            flat_log.events.len()
+        );
+        for (i, (j, f)) in jit_log.events.iter().zip(&flat_log.events).enumerate() {
+            assert_eq!(j, f, "{context}: jit event {i} diverges");
+        }
     }
 }
 

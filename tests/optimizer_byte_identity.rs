@@ -68,6 +68,45 @@ fn reference_vm_campaign_is_byte_identical() {
     }
 }
 
+/// The JIT tier must be campaign-invisible: a `workers = 1` run with
+/// `engine: Jit` produces byte-for-byte the same `campaign.json` as one on
+/// the flat VM. On hosts without the JIT tier `Engine::Jit` falls back to
+/// the flat VM, so the test degrades to flat-vs-flat and still proves the
+/// engine knob itself does not perturb the campaign.
+#[test]
+fn jit_campaign_json_is_byte_identical_with_one_worker() {
+    use cftcg::codegen::Engine;
+
+    let model = cftcg::benchmarks::by_name("SolarPV").expect("bundled benchmark");
+    let compiled = compile(&model).expect("benchmark compiles");
+
+    let run = |engine: Engine| {
+        let config = ParallelFuzzConfig {
+            workers: 1,
+            sync_interval: 512,
+            fuzz: FuzzConfig { seed: 23, engine: Some(engine), ..FuzzConfig::default() },
+            ..ParallelFuzzConfig::default()
+        };
+        ParallelFuzzer::new(&compiled, config).run_executions(2_500)
+    };
+
+    let jit = run(Engine::Jit);
+    let flat = run(Engine::Flat);
+    assert_outcomes_identical(&jit, &flat, "SolarPV workers=1 jit");
+
+    let json = |outcome: FuzzOutcome| {
+        let generation: Generation = outcome.into();
+        let artifact =
+            CampaignArtifact::from_generation(model.name(), 23, 1, &generation, compiled.map());
+        strip_wallclock(artifact.to_json())
+    };
+    assert_eq!(
+        json(jit),
+        json(flat),
+        "SolarPV: campaign.json must be byte-identical regardless of engine"
+    );
+}
+
 #[test]
 fn reference_vm_is_byte_identical_through_the_parallel_engine() {
     let model = cftcg::benchmarks::by_name("TCP").expect("bundled benchmark");
