@@ -97,6 +97,9 @@ fn main() {
 /// writes `results/BENCH_parallel.json`. Numbers are honest wall-clock
 /// measurements on this host — on a single-core machine the extra workers
 /// time-slice one core and the sweep shows it (see `cores` in the JSON).
+/// Each row carries a span-derived phase attribution (`phases`): the share
+/// of attributed wall-clock spent executing inputs vs synchronizing shards
+/// vs mutating, so scaling losses are diagnosable from the artifact alone.
 fn parallel_sweep(tool: &Cftcg, budget: Duration) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let max_workers = cftcg_bench::workers().max(4);
@@ -111,19 +114,42 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) {
     // telemetry JSONL stream as a `bench-point` event.
     let telemetry = cftcg_bench::telemetry_from_env();
     let total = tool.compiled().map().branch_count();
+    struct Row {
+        workers: usize,
+        rate: f64,
+        execs_per_sec: f64,
+        covered: usize,
+        exec_pct: f64,
+        sync_pct: f64,
+        mutation_pct: f64,
+    }
     let mut rows = Vec::new();
     for &workers in &counts {
+        // Each row runs with its own span-profiled telemetry registry so
+        // the sweep can attribute wall-clock to engine phases (execution
+        // vs sync vs mutation) as the worker count grows. Span sampling
+        // keeps the probe overhead in the noise.
+        let spans = std::sync::Arc::new(cftcg_telemetry::Telemetry::new());
+        let observed = tool.clone().with_telemetry(std::sync::Arc::clone(&spans));
         let started = Instant::now();
         let generation = if workers == 1 {
-            tool.generate(budget, 0)
+            observed.generate(budget, 0)
         } else {
-            tool.generate_parallel(budget, 0, workers)
+            observed.generate_parallel(budget, 0, workers)
         };
         let elapsed = started.elapsed().as_secs_f64();
         let rate = generation.iterations_per_second();
         let execs_per_sec = generation.executions as f64 / elapsed.max(1e-9);
         let covered = tool.score(&generation).decision.covered;
-        println!("  workers {workers:>2}: {rate:>12.0} iterations/s  ({covered} covered)");
+        let phase = spans.snapshot().totals.spans;
+        let sync_pct = phase.phase_pct(cftcg_telemetry::SpanKind::SyncWait)
+            + phase.phase_pct(cftcg_telemetry::SpanKind::SyncRound);
+        let exec_pct = phase.phase_pct(cftcg_telemetry::SpanKind::Execution);
+        let mutation_pct = phase.phase_pct(cftcg_telemetry::SpanKind::Mutation);
+        println!(
+            "  workers {workers:>2}: {rate:>12.0} iterations/s  ({covered} covered)  \
+             [exec {exec_pct:.0}% / sync {sync_pct:.0}% / mutate {mutation_pct:.0}%]"
+        );
         if let Some(t) = &telemetry {
             t.emit(&cftcg_telemetry::Event::BenchPoint {
                 tool: format!("CFTCG x{workers}"),
@@ -133,21 +159,29 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) {
                 total,
             });
         }
-        rows.push((workers, rate, execs_per_sec, covered));
+        rows.push(Row { workers, rate, execs_per_sec, covered, exec_pct, sync_pct, mutation_pct });
     }
     if let Some(t) = &telemetry {
         t.flush();
     }
 
-    let base = rows.first().map_or(1.0, |r| r.1).max(1e-9);
+    let base = rows.first().map_or(1.0, |r| r.rate).max(1e-9);
     let entries: Vec<String> = rows
         .iter()
-        .map(|(workers, rate, execs, covered)| {
+        .map(|r| {
             format!(
-                "    {{\"workers\": {workers}, \"iterations_per_sec\": {rate:.1}, \
-                 \"executions_per_sec\": {execs:.1}, \"covered_branches\": {covered}, \
-                 \"speedup_vs_1\": {:.3}}}",
-                rate / base
+                "    {{\"workers\": {}, \"iterations_per_sec\": {:.1}, \
+                 \"executions_per_sec\": {:.1}, \"covered_branches\": {}, \
+                 \"speedup_vs_1\": {:.3}, \"phases\": {{\"execution_pct\": {:.1}, \
+                 \"sync_pct\": {:.1}, \"mutation_pct\": {:.1}}}}}",
+                r.workers,
+                r.rate,
+                r.execs_per_sec,
+                r.covered,
+                r.rate / base,
+                r.exec_pct,
+                r.sync_pct,
+                r.mutation_pct
             )
         })
         .collect();

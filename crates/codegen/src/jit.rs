@@ -1228,6 +1228,7 @@ pub(crate) struct JitProgram {
     _funcs: Vec<FuncCode>,
     _tables1: Vec<(Vec<f64>, Vec<f64>)>,
     _tables2: Vec<Lookup2Table>,
+    compile_ns: u64,
 }
 
 impl std::fmt::Debug for JitProgram {
@@ -1246,6 +1247,7 @@ impl JitProgram {
             noprobe_code_bytes: self.noprobe.code_len,
             probed_blocks: self.probed.blocks,
             noprobe_blocks: self.noprobe.blocks,
+            compile_ns: self.compile_ns,
         }
     }
 }
@@ -1340,6 +1342,7 @@ fn emit_program(
 /// if executable pages cannot be mapped (the caller falls back to the
 /// flat VM).
 pub(crate) fn compile_jit(compiled: &CompiledModel) -> Option<JitProgram> {
+    let compile_started = std::time::Instant::now();
     // Collect every (func, arity) pair of both programs up front: the
     // emitted code holds absolute addresses of elements of `funcs`, so the
     // vector must be complete (and never touched again) before lowering.
@@ -1360,7 +1363,14 @@ pub(crate) fn compile_jit(compiled: &CompiledModel) -> Option<JitProgram> {
 
     let probed = emit_program(&compiled.flat, &funcs, &func_index, &tables1, &tables2)?;
     let noprobe = emit_program(&compiled.flat_noprobe, &funcs, &func_index, &tables1, &tables2)?;
-    Some(JitProgram { probed, noprobe, _funcs: funcs, _tables1: tables1, _tables2: tables2 })
+    Some(JitProgram {
+        probed,
+        noprobe,
+        _funcs: funcs,
+        _tables1: tables1,
+        _tables2: tables2,
+        compile_ns: compile_started.elapsed().as_nanos() as u64,
+    })
 }
 
 /// Runs one step of a compiled program (the JIT counterpart of

@@ -100,6 +100,8 @@ pub struct JitStats {
     pub probed_blocks: usize,
     /// Straight-line native blocks in the probe-stripped program.
     pub noprobe_blocks: usize,
+    /// Wall-clock cost of compiling both program variants, nanoseconds.
+    pub compile_ns: u64,
 }
 
 /// An execution session over one compiled model: registers + state.

@@ -27,6 +27,7 @@ use cftcg_fuzz::{
     Generation, Lineage, LineageOrigin, LineageRecord, MutationKind, SHARD_ID_STRIDE,
 };
 use cftcg_telemetry::json::{push_json_f64, push_json_str, Json};
+use cftcg_telemetry::SeriesPoint;
 
 /// One emitted test case with its forensic metadata and raw driver bytes.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +91,10 @@ pub struct CampaignArtifact {
     pub lineage: Vec<LineageRecord>,
     /// Per-goal first-hit provenance, in canonical goal order.
     pub hits: Vec<CampaignHit>,
+    /// The telemetry coverage/throughput time series (bounded ring,
+    /// oldest first). Empty when the campaign ran without telemetry or the
+    /// artifact predates the series schema.
+    pub series: Vec<SeriesPoint>,
 }
 
 impl CampaignArtifact {
@@ -151,6 +156,11 @@ impl CampaignArtifact {
             cases,
             lineage: generation.lineage.clone(),
             hits,
+            // The generation itself carries no wall-clock series; the CLI
+            // attaches the registry's ring after the run when telemetry was
+            // on (keeping this constructor deterministic for byte-identity
+            // tests).
+            series: Vec::new(),
         }
     }
 
@@ -226,6 +236,21 @@ impl CampaignArtifact {
             }
             out.push_str("]}");
         }
+        out.push_str("],\n\"series\":[");
+        for (i, point) in self.series.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("{\"t_s\":");
+            push_json_f64(&mut out, point.t_s);
+            let _ = write!(
+                out,
+                ",\"executions\":{},\"covered\":{},\"branch_count\":{},\"corpus\":{},\"frontier_open\":{}",
+                point.executions, point.covered, point.branch_count, point.corpus,
+                point.frontier_open
+            );
+            out.push_str(",\"execs_per_sec\":");
+            push_json_f64(&mut out, point.execs_per_sec);
+            out.push('}');
+        }
         out.push_str("]\n}\n");
         out
     }
@@ -259,6 +284,16 @@ impl CampaignArtifact {
             .iter()
             .map(parse_hit)
             .collect::<Result<Vec<_>, _>>()?;
+        // Pre-series artifacts simply have no samples — not an error.
+        let series = match doc.get("series") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or("campaign artifact: `series` is not an array")?
+                .iter()
+                .map(parse_series_point)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(CampaignArtifact {
             model: doc
                 .get("model")
@@ -275,6 +310,7 @@ impl CampaignArtifact {
             cases,
             lineage,
             hits,
+            series,
         })
     }
 }
@@ -391,6 +427,18 @@ fn parse_lineage_record(value: &Json) -> Result<LineageRecord, String> {
     })
 }
 
+fn parse_series_point(value: &Json) -> Result<SeriesPoint, String> {
+    Ok(SeriesPoint {
+        t_s: field_f64(value, "t_s")?,
+        executions: field_u64(value, "executions")?,
+        covered: field_u64(value, "covered")? as usize,
+        branch_count: field_u64(value, "branch_count")? as usize,
+        corpus: field_u64(value, "corpus")?,
+        frontier_open: field_u64(value, "frontier_open")? as usize,
+        execs_per_sec: field_f64(value, "execs_per_sec")?,
+    })
+}
+
 fn parse_hit(value: &Json) -> Result<CampaignHit, String> {
     let ops = value
         .get("ops")
@@ -504,6 +552,15 @@ mod tests {
                     ops: vec![7, 2],
                 },
             ],
+            series: vec![SeriesPoint {
+                t_s: 0.5,
+                executions: 17,
+                covered: 4,
+                branch_count: 10,
+                corpus: 2,
+                frontier_open: 6,
+                execs_per_sec: 34.0,
+            }],
         }
     }
 
@@ -527,6 +584,23 @@ mod tests {
         assert!(CampaignArtifact::from_json(&doc).unwrap_err().contains("alien"));
         let doc = sample_artifact().to_json().replace("\"bytes\":\"00ff7f\"", "\"bytes\":\"00f\"");
         assert!(CampaignArtifact::from_json(&doc).unwrap_err().contains("hex"));
+        let doc = sample_artifact().to_json().replace("\"series\":[", "\"series\":{},\"x\":[");
+        assert!(CampaignArtifact::from_json(&doc).unwrap_err().contains("series"));
+    }
+
+    #[test]
+    fn pre_series_documents_still_parse() {
+        // Artifacts written before the series schema have no `series` key;
+        // they must load with an empty series, not fail.
+        let mut artifact = sample_artifact();
+        let json = artifact.to_json();
+        let start = json.find(",\n\"series\":[").expect("series key present");
+        let end = json.rfind(']').expect("series array close");
+        let legacy = format!("{}{}", &json[..start], &json[end + 1..]);
+        let parsed = CampaignArtifact::from_json(&legacy).expect("legacy artifact parses");
+        assert!(parsed.series.is_empty());
+        artifact.series.clear();
+        assert_eq!(parsed, artifact);
     }
 
     #[test]

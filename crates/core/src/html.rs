@@ -51,6 +51,7 @@ pub fn campaign_explorer_html(
 
     render_summary(&mut out, artifact, &report);
     render_series(&mut out, artifact);
+    render_telemetry_series(&mut out, artifact);
     render_goals(&mut out, map, tracker, &open_goals, &hit_by_goal);
     render_frontier(&mut out, &open);
     render_waveforms(&mut out, compiled, artifact);
@@ -148,6 +149,62 @@ fn render_series(out: &mut String, artifact: &CampaignArtifact) {
         out,
         "<p>{} of {} branch probes covered.</p>",
         artifact.covered_branches, artifact.branch_count
+    );
+}
+
+/// The telemetry time-series panel: sampled campaign progress (covered
+/// branches plus execution rate) from the bounded registry ring persisted
+/// into the artifact. Skipped entirely when the campaign ran without
+/// telemetry — the per-case curve above is always available.
+fn render_telemetry_series(out: &mut String, artifact: &CampaignArtifact) {
+    if artifact.series.is_empty() {
+        return;
+    }
+    out.push_str("<h2>Sampled campaign progress</h2>\n");
+    const W: f64 = 680.0;
+    const H: f64 = 200.0;
+    const PAD: f64 = 42.0;
+    let series = &artifact.series;
+    let max_t = series.iter().map(|p| p.t_s).fold(artifact.elapsed_s, f64::max).max(1e-9);
+    let max_c = artifact.branch_count.max(1) as f64;
+    let max_rate = series.iter().map(|p| p.execs_per_sec).fold(1e-9, f64::max);
+    let x = |t: f64| PAD + (W - 2.0 * PAD) * (t / max_t);
+    let y = |frac: f64| H - PAD + (2.0 * PAD - H) * frac;
+
+    let mut coverage = String::new();
+    let mut rate = String::new();
+    for (i, p) in series.iter().enumerate() {
+        let sep = if i == 0 { "" } else { " " };
+        let _ = write!(coverage, "{sep}{:.1},{:.1}", x(p.t_s), y(p.covered as f64 / max_c));
+        let _ = write!(rate, "{sep}{:.1},{:.1}", x(p.t_s), y(p.execs_per_sec / max_rate));
+    }
+
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\" \
+         aria-label=\"sampled coverage and execution rate over time\">\n\
+         <line x1=\"{p}\" y1=\"{yb:.1}\" x2=\"{xe:.1}\" y2=\"{yb:.1}\" stroke=\"#99a\"/>\n\
+         <line x1=\"{p}\" y1=\"{yt:.1}\" x2=\"{p}\" y2=\"{yb:.1}\" stroke=\"#99a\"/>\n\
+         <text x=\"{p}\" y=\"{H}\" font-size=\"11\" fill=\"#567\">0s</text>\n\
+         <text x=\"{xe:.1}\" y=\"{H}\" font-size=\"11\" fill=\"#567\" text-anchor=\"end\">{max_t:.2}s</text>\n\
+         <text x=\"4\" y=\"{yt2:.1}\" font-size=\"11\" fill=\"#567\">{branches}</text>\n\
+         <text x=\"4\" y=\"{yb:.1}\" font-size=\"11\" fill=\"#567\">0</text>\n\
+         <polyline fill=\"none\" stroke=\"#2a6fb0\" stroke-width=\"2\" points=\"{coverage}\"/>\n\
+         <polyline fill=\"none\" stroke=\"#b0572a\" stroke-width=\"1.5\" stroke-dasharray=\"4 3\" points=\"{rate}\"/>\n\
+         </svg>\n",
+        p = PAD,
+        yb = y(0.0),
+        yt = y(1.0),
+        yt2 = y(1.0) + 4.0,
+        xe = x(max_t),
+        branches = artifact.branch_count,
+    );
+    let _ = writeln!(
+        out,
+        "<p>{} telemetry samples; <span style=\"color:#2a6fb0\">covered branches</span> and \
+         <span style=\"color:#b0572a\">execution rate</span> (dashed, peak {:.0}/s).</p>",
+        series.len(),
+        max_rate,
     );
 }
 

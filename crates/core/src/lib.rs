@@ -96,6 +96,15 @@ impl Cftcg {
         self
     }
 
+    /// Attaches a span-trace buffer: the fuzzing loop records sampled
+    /// per-phase trace events (mutation, execution, sync, ...) into it for
+    /// Chrome-trace export. Pure observation, like telemetry — the fuzzing
+    /// trajectory is unchanged.
+    pub fn with_span_trace(mut self, trace: cftcg_telemetry::SpanTrace) -> Self {
+        self.config.span_trace = Some(trace);
+        self
+    }
+
     /// Installs a trace hook observing every coverage-earning case the
     /// fuzzing loop emits (`hook(case_bytes, case_id)`). Pure observation —
     /// the hook consumes no fuzzer RNG and fires after emission, so

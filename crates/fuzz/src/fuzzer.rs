@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use cftcg_codegen::{CompiledModel, Engine, Executor, TestCase};
 use cftcg_coverage::{BranchBitmap, FirstHit, FullTracker, ProvenanceTracker};
-use cftcg_telemetry::{Event, ShardStats, Telemetry};
+use cftcg_telemetry::{Event, ShardStats, SpanKind, SpanSampler, SpanTrace, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 
@@ -208,6 +208,11 @@ pub struct FuzzConfig {
     /// capture). Never consulted on worker shards and never fed RNG, so it
     /// cannot change what the fuzzer produces.
     pub trace_hook: Option<TraceHook>,
+    /// Optional shared span-event buffer for Chrome trace-event export
+    /// (`--trace-events`). Attaching one enables span timing even without a
+    /// telemetry registry; like telemetry it only observes, so runs stay
+    /// byte-identical with or without it.
+    pub span_trace: Option<SpanTrace>,
     /// Run cases on the reference tree-walking engine instead of the
     /// optimized flat VM ([`Executor::new_reference`]). Slower; exists so
     /// campaigns can be cross-checked byte-for-byte against the optimizer
@@ -257,6 +262,7 @@ impl Default for FuzzConfig {
             input_ranges: None,
             telemetry: None,
             trace_hook: None,
+            span_trace: None,
             reference_vm: false,
             engine: None,
         }
@@ -439,6 +445,12 @@ pub struct Fuzzer<'c> {
     /// Per-execution latency timing (costs two clock reads per input), on
     /// only when a telemetry registry is attached.
     time_execs: bool,
+    /// Span-phase timing (mutation/execution/coverage/corpus attribution),
+    /// on when a telemetry registry or a span-trace buffer is attached —
+    /// otherwise the hot loop never reads the clock for spans.
+    time_spans: bool,
+    /// Sampling front end for the shared trace-event buffer, when attached.
+    span_sampler: Option<SpanSampler>,
     /// Set on parallel worker shards: record local stats but never emit
     /// events or merge into the registry directly — the coordinator owns
     /// the global view and folds worker deltas at sync rounds.
@@ -466,6 +478,8 @@ impl<'c> Fuzzer<'c> {
             t.set_operator_labels(&labels);
         }
         let time_execs = telemetry.is_some();
+        let span_sampler = config.span_trace.clone().map(|trace| SpanSampler::new(trace, 0));
+        let time_spans = time_execs || span_sampler.is_some();
         let exec = Executor::with_engine(compiled, config.resolved_engine());
         Fuzzer {
             exec,
@@ -498,7 +512,22 @@ impl<'c> Fuzzer<'c> {
             reported_stats: ShardStats::new(MutationKind::ALL.len()),
             telemetry,
             time_execs,
+            time_spans,
+            span_sampler,
             worker_mode: false,
+        }
+    }
+
+    /// Records one completed span: always into the shard-local histogram
+    /// stats, and (sampled) into the shared trace buffer when attached.
+    /// Callers only construct the `start` timestamp when
+    /// [`Fuzzer::time_spans`] is set, so uninstrumented runs skip the clock.
+    #[inline]
+    fn note_span(&mut self, kind: SpanKind, start: Instant) {
+        let end = Instant::now();
+        self.stats.spans.record(kind, end.saturating_duration_since(start).as_nanos() as u64);
+        if let Some(sampler) = &mut self.span_sampler {
+            sampler.record(kind, start, end);
         }
     }
 
@@ -646,6 +675,7 @@ impl<'c> Fuzzer<'c> {
     /// Generates one input (seed selection + mutation), executes it with
     /// Algorithm 1's coverage collection, and files the results.
     fn fuzz_one(&mut self) {
+        let mutation_start = if self.time_spans { Some(Instant::now()) } else { None };
         let (mut data, parent, origin) = match self.corpus.pick(&mut self.rng) {
             Some(entry) => (entry.bytes.clone(), Some(entry.id), LineageOrigin::Mutant),
             None => {
@@ -674,6 +704,9 @@ impl<'c> Fuzzer<'c> {
             ops.push(kind);
         }
         self.stats.mutation_depth.record(u64::from(rounds));
+        if let Some(start) = mutation_start {
+            self.note_span(SpanKind::Mutation, start);
+        }
 
         let (new_branches, metric) = self.execute(&data);
         self.executions += 1;
@@ -715,13 +748,21 @@ impl<'c> Fuzzer<'c> {
         };
         if new_branches > 0 {
             // Algorithm 1 line 16: output the test case.
+            let coverage_start = if self.time_spans { Some(Instant::now()) } else { None };
             self.emit_case(&data, case_id, &ops, parent, crossover);
+            if let Some(start) = coverage_start {
+                self.note_span(SpanKind::CoverageUpdate, start);
+            }
         }
         let mut committed = new_branches > 0;
         if new_branches > 0 || metric > 0 {
+            let insert_start = if self.time_spans { Some(Instant::now()) } else { None };
             let insertion =
                 self.corpus.insert(CorpusEntry { id: case_id, bytes: data, metric, new_branches });
             self.record_insertion(insertion);
+            if let Some(start) = insert_start {
+                self.note_span(SpanKind::CorpusInsert, start);
+            }
             committed = committed || !matches!(insertion, CorpusInsertion::Rejected);
         }
         // The id is only burned when the input survives somewhere (suite or
@@ -840,7 +881,7 @@ impl<'c> Fuzzer<'c> {
     /// Algorithm 1: runs one input, returning `(new branches, iteration
     /// difference metric)`.
     fn execute(&mut self, data: &[u8]) -> (usize, usize) {
-        let timer = if self.time_execs { Some(Instant::now()) } else { None };
+        let timer = if self.time_spans { Some(Instant::now()) } else { None };
         self.exec.reset(); // Model_init()
         let mut new_branches = 0;
         let mut metric = 0;
@@ -866,7 +907,15 @@ impl<'c> Fuzzer<'c> {
             self.stats.iterations += 1;
         }
         if let Some(start) = timer {
-            self.stats.exec_latency_ns.record(start.elapsed().as_nanos() as u64);
+            let end = Instant::now();
+            let ns = end.saturating_duration_since(start).as_nanos() as u64;
+            if self.time_execs {
+                self.stats.exec_latency_ns.record(ns);
+            }
+            self.stats.spans.record(SpanKind::Execution, ns);
+            if let Some(sampler) = &mut self.span_sampler {
+                sampler.record(SpanKind::Execution, start, end);
+            }
         }
         (new_branches, metric)
     }
@@ -894,6 +943,22 @@ impl<'c> Fuzzer<'c> {
     /// contract).
     pub(crate) fn set_worker_shard(&mut self, shard: usize) {
         self.shard = shard;
+        if let Some(sampler) = &mut self.span_sampler {
+            sampler.set_shard(shard as u32);
+        }
+    }
+
+    /// `true` when span-phase timing is enabled (telemetry or trace buffer
+    /// attached) — workers use this to decide whether to time sync waits.
+    pub(crate) fn spans_enabled(&self) -> bool {
+        self.time_spans
+    }
+
+    /// Books the time this worker spent blocked on the coordinator's
+    /// broadcast as a [`SpanKind::SyncWait`] span — the lock-wait signal
+    /// that diagnoses multi-core scaling.
+    pub(crate) fn note_sync_wait(&mut self, start: Instant) {
+        self.note_span(SpanKind::SyncWait, start);
     }
 
     /// The stats accumulated since the previous call (or since creation),

@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 
 use cftcg_codegen::{CompiledModel, Executor, TestCase, TupleLayout};
 use cftcg_coverage::{BranchBitmap, FirstHit, FullTracker, ProvenanceTracker, Recorder};
-use cftcg_telemetry::{Event, ShardStats};
+use cftcg_telemetry::{Event, ShardStats, SpanKind, COORDINATOR_TID};
 
 use crate::fuzzer::{
     CaseMeta, CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer, OperatorAttribution,
@@ -192,9 +192,13 @@ fn worker_loop(
         if reports.send(report).is_err() {
             return; // Coordinator hung up (a peer died); just exit.
         }
+        let wait_started = fuzzer.spans_enabled().then(Instant::now);
         let Ok(broadcast) = broadcasts.recv() else {
             return;
         };
+        if let Some(start) = wait_started {
+            fuzzer.note_sync_wait(start);
+        }
         for (id, bytes) in broadcast.entries {
             fuzzer.absorb_entry(id, bytes);
         }
@@ -331,6 +335,7 @@ impl<'c> ParallelFuzzer<'c> {
 
         let mut global = GlobalCoverage::new(compiled, &self.config.fuzz);
         let telemetry = self.config.fuzz.telemetry.clone();
+        let span_trace = self.config.fuzz.span_trace.clone();
         // The coordinator owns case emission, so it also owns the trace
         // hook (workers run in worker mode, where the hook never fires).
         let trace_hook = self.config.fuzz.trace_hook.clone();
@@ -547,10 +552,25 @@ impl<'c> ParallelFuzzer<'c> {
                     // done-handshake below still terminates the round loop.
                     let _ = tx.send(broadcast);
                 }
+                // Book the merge as a coordinator-side SyncRound span: into
+                // the campaign totals (always) and the trace buffer (when a
+                // trace is attached), under the coordinator's synthetic tid.
+                let merge_ended = Instant::now();
+                let merge_ns =
+                    merge_ended.saturating_duration_since(merge_started).as_nanos() as u64;
+                global_stats.spans.record(SpanKind::SyncRound, merge_ns);
+                if let Some(trace) = &span_trace {
+                    trace.record_span(
+                        SpanKind::SyncRound,
+                        COORDINATOR_TID,
+                        merge_started,
+                        merge_ended,
+                    );
+                }
                 if let Some(t) = &telemetry {
                     t.emit(&Event::SyncRound {
                         round: round_idx,
-                        duration_ms: merge_started.elapsed().as_secs_f64() * 1e3,
+                        duration_ms: merge_ns as f64 / 1e6,
                         accepted: accepted.len(),
                         broadcast: accepted.len(),
                         executions: prev_execs.iter().sum(),

@@ -6,6 +6,7 @@
 //! by `cftcg report`.
 
 use crate::json::{push_json_f64, push_json_str};
+use crate::span::SpanReport;
 
 /// Per-operator attribution snapshot carried by [`Event::CampaignEnd`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +119,15 @@ pub enum Event {
         /// Seconds since campaign start.
         t: f64,
     },
+    /// Periodic span self-profiling summary: aggregate wall-clock
+    /// attribution per engine phase (emitted on status ticks and at
+    /// campaign end when spans were recorded).
+    SpanSummary {
+        /// One row per non-empty span kind, in taxonomy order.
+        spans: Vec<SpanReport>,
+        /// Seconds since campaign start.
+        t: f64,
+    },
     /// One point of a benchmark coverage-growth series (used by the bench
     /// binaries instead of ad-hoc CSV plumbing).
     BenchPoint {
@@ -164,6 +174,7 @@ impl Event {
             Event::CorpusEvict { .. } => "corpus-evict",
             Event::CaseLineage { .. } => "case-lineage",
             Event::SyncRound { .. } => "sync-round",
+            Event::SpanSummary { .. } => "span-summary",
             Event::BenchPoint { .. } => "bench-point",
             Event::CampaignEnd { .. } => "campaign-end",
         }
@@ -241,6 +252,22 @@ impl Event {
                 out.push_str(&format!(
                     ",\"accepted\":{accepted},\"broadcast\":{broadcast},\"executions\":{executions},\"covered\":{covered},\"total\":{total},\"t\":"
                 ));
+                push_json_f64(&mut out, *t);
+            }
+            Event::SpanSummary { spans, t } => {
+                out.push_str(",\"spans\":[");
+                for (i, span) in spans.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"name\":");
+                    push_json_str(&mut out, span.name);
+                    out.push_str(&format!(
+                        ",\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                        span.count, span.total_ns, span.p50_ns, span.p99_ns
+                    ));
+                }
+                out.push_str("],\"t\":");
                 push_json_f64(&mut out, *t);
             }
             Event::BenchPoint { tool, model, t, covered, total } => {
@@ -330,6 +357,16 @@ mod tests {
                 covered: 30,
                 total: 56,
                 t: 2.5,
+            },
+            Event::SpanSummary {
+                spans: vec![SpanReport {
+                    name: "execution",
+                    count: 4_096,
+                    total_ns: 9_000_000,
+                    p50_ns: 2_047,
+                    p99_ns: 16_383,
+                }],
+                t: 2.75,
             },
             Event::BenchPoint {
                 tool: "CFTCG".into(),

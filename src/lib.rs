@@ -20,6 +20,7 @@
 //! | [`baselines`] | `cftcg-baselines` | SLDV-like, SimCoTest-like, and Fuzz-Only generators |
 //! | [`benchmarks`] | `cftcg-benchmarks` | the eight Table 2 models |
 //! | [`telemetry`] | `cftcg-telemetry` | metrics registry, JSONL event log, status line, Prometheus dump |
+//! | [`observe`] | `cftcg-observe` | live campaign HTTP observatory: /metrics, /snapshot, dashboard |
 //! | [`trace`] | `cftcg-trace` | signal probes, VCD/CSV waveforms, per-block profiling, sim↔VM divergence auditor |
 //! | [`pipeline`] | `cftcg-core` | the end-to-end tool ([`Cftcg`]) |
 //! | [`slimxml`] | `cftcg-slimxml` | minimal XML parser (TinyXML substitute) |
@@ -59,6 +60,7 @@ pub use cftcg_core as pipeline;
 pub use cftcg_coverage as coverage;
 pub use cftcg_fuzz as fuzz;
 pub use cftcg_model as model;
+pub use cftcg_observe as observe;
 pub use cftcg_sim as sim;
 pub use cftcg_slimxml as slimxml;
 pub use cftcg_telemetry as telemetry;

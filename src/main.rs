@@ -5,9 +5,12 @@
 //! cftcg codegen <model.mdlx> [--driver]             emit instrumented C / fuzz driver
 //! cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR] [--workers N]
 //!              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]
+//!              [--serve ADDR] [--trace-events FILE]
 //!              [--trace-dir DIR] [--trace-every N]
 //!                                                   run the fuzzing loop, write CSV cases
-//!                                                   + campaign.json forensics
+//!                                                   + campaign.json forensics; --serve
+//!                                                   exposes /metrics, /snapshot and a live
+//!                                                   dashboard while the campaign runs
 //! cftcg explain <model.mdlx> <campaign.json> [CASE] frontier analysis; with CASE (s0:12),
 //!                                                   the case's mutation lineage
 //! cftcg trace  <model.mdlx> <campaign.json> <CASE>  replay one case with signal probes,
@@ -84,6 +87,7 @@ fn print_usage() {
          \x20 cftcg codegen <model.mdlx> [--driver]\n\
          \x20 cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR] [--workers N]\n\
          \x20              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]\n\
+         \x20              [--serve ADDR] [--trace-events FILE]\n\
          \x20              [--trace-dir DIR] [--trace-every N]\n\
          \x20 cftcg explain <model.mdlx> <campaign.json> [CASE]\n\
          \x20 cftcg trace  <model.mdlx> <campaign.json> <CASE> [--probe PAT]... [--all]\n\
@@ -174,24 +178,37 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     let status_every: Option<f64> =
         flag_value(rest, "--status-every").map(str::parse).transpose()?;
     let prom = flag_value(rest, "--prom");
+    let serve = flag_value(rest, "--serve");
+    let trace_events = flag_value(rest, "--trace-events");
     let trace_dir = flag_value(rest, "--trace-dir").map(str::to_string);
     let trace_every: u64 =
         flag_value(rest, "--trace-every").map(str::parse).transpose()?.unwrap_or(1).max(1);
 
     // Build the telemetry registry only when a sink was requested; without
-    // one the loop skips per-execution timing entirely.
-    let telemetry = if stats_jsonl.is_some() || status_every.is_some() || prom.is_some() {
-        let mut t = Telemetry::new();
-        if let Some(path) = stats_jsonl {
-            t = t.with_jsonl(std::io::BufWriter::new(fs::File::create(path)?));
-        }
-        if let Some(secs) = status_every {
-            t = t.with_status(Duration::from_secs_f64(secs.max(0.0)));
-        }
-        Some(Arc::new(t))
-    } else {
-        None
-    };
+    // one the loop skips per-execution timing entirely. The observatory is
+    // a sink too: it reads the registry live.
+    let telemetry =
+        if stats_jsonl.is_some() || status_every.is_some() || prom.is_some() || serve.is_some() {
+            let mut t = Telemetry::new();
+            if let Some(path) = stats_jsonl {
+                t = t.with_jsonl(std::io::BufWriter::new(fs::File::create(path)?));
+            }
+            if let Some(secs) = status_every {
+                t = t.with_status(Duration::from_secs_f64(secs.max(0.0)));
+            }
+            if let Some(path) = prom {
+                // Rewritten on the status cadence while the campaign runs, so
+                // a file-based scrape sees live numbers, not just the final.
+                let every = Duration::from_secs_f64(status_every.unwrap_or(1.0).max(0.0));
+                t = t.with_prom_file(path, every);
+            }
+            Some(Arc::new(t))
+        } else {
+            None
+        };
+    // The span-trace buffer samples individual phase occurrences for
+    // Chrome-trace export (the histograms in the registry are unsampled).
+    let span_trace = trace_events.map(|_| cftcg::telemetry::SpanTrace::new());
 
     let mut tool = Cftcg::new(model)?;
     println!("engine: {} ({} workers)", tool.engine(), workers);
@@ -205,6 +222,19 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
             branch_count: tool.compiled().map().branch_count(),
         });
     }
+    if let Some(trace) = &span_trace {
+        tool = tool.with_span_trace(trace.clone());
+    }
+    let server = match (serve, &telemetry) {
+        (Some(addr), Some(t)) => {
+            let observatory = cftcg::observe::Observatory::new(t.clone(), model.name());
+            let server = cftcg::observe::ObserveServer::bind(addr, observatory)
+                .map_err(|e| format!("--serve {addr}: {e}"))?;
+            println!("observatory: http://{}/ (also /metrics, /snapshot)", server.local_addr());
+            Some(server)
+        }
+        _ => None,
+    };
 
     // Sampled waveform capture of coverage-earning inputs: the hook fires
     // after each case is emitted (coordinator only), replays it on a private
@@ -267,15 +297,36 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
                 .collect(),
         });
         t.status_tick(true);
-        t.flush();
-        if let Some(path) = prom {
-            fs::write(path, t.prometheus_text())?;
+    }
+    // JIT-tier gauges and the compile span: the cache is already warm (the
+    // campaign ran on it), so reading the stats is free. Recorded before
+    // the final flush so the last Prometheus rewrite carries them.
+    if tool.engine() == cftcg::codegen::Engine::Jit && (telemetry.is_some() || span_trace.is_some())
+    {
+        if let Some(stats) = tool.compiled().jit_stats() {
+            let code_bytes = (stats.probed_code_bytes + stats.noprobe_code_bytes) as u64;
+            if let Some(t) = &telemetry {
+                t.set_jit_stats(code_bytes, stats.compile_ns);
+            }
+            if let Some(trace) = &span_trace {
+                // The lazy compile ran inside the engine at first
+                // execution; book it at the trace epoch.
+                trace.record_raw(
+                    cftcg::telemetry::SpanKind::JitCompile,
+                    cftcg::telemetry::COORDINATOR_TID,
+                    0,
+                    stats.compile_ns,
+                );
+            }
         }
+    }
+    if let Some(t) = &telemetry {
+        t.flush();
     }
     // Capture forensics before minimization: the artifact describes the
     // campaign as it ran (lineage ids, first hits, emission metadata), while
     // minimization rewrites the suite for export.
-    let artifact = out.map(|_| {
+    let mut artifact = out.map(|_| {
         CampaignArtifact::from_generation(
             model.name(),
             seed,
@@ -284,6 +335,12 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
             tool.compiled().map(),
         )
     });
+    // Persist the registry's time series into the artifact so the offline
+    // explorer can render sampled campaign progress. Attached only when
+    // telemetry ran: from_generation stays deterministic on its own.
+    if let (Some(artifact), Some(t)) = (&mut artifact, &telemetry) {
+        artifact.series = t.series_points();
+    }
     if minimize {
         let before = generation.suite.len();
         generation.suite = tool.minimize(&generation.suite);
@@ -314,6 +371,16 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
             println!("hottest blocks (interpreter replay of the emitted suite):");
             print!("{}", block_table(&rows));
         }
+        let spans = t.snapshot().totals.spans;
+        if !spans.is_empty() {
+            println!("phase attribution (wall-clock share of profiled spans):");
+            for row in spans.reports() {
+                println!(
+                    "  {:>16}  {:>10} spans  {:>12} ns total  p99 {:>10} ns",
+                    row.name, row.count, row.total_ns, row.p99_ns
+                );
+            }
+        }
     }
     if let Some(dir) = &trace_dir {
         let fired = fired.load(std::sync::atomic::Ordering::Relaxed);
@@ -340,6 +407,18 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
             fs::write(Path::new(dir).join("campaign.json"), artifact.to_json())?;
         }
         println!("wrote {} CSV test cases and campaign.json to {dir}/", generation.suite.len());
+    }
+    if let (Some(path), Some(trace)) = (trace_events, &span_trace) {
+        trace.write_chrome_json(Path::new(path))?;
+        let dropped = trace.dropped();
+        println!(
+            "wrote {} span trace events to {path} (Perfetto/chrome://tracing loadable){}",
+            trace.len(),
+            if dropped > 0 { format!("; {dropped} dropped at capacity") } else { String::new() }
+        );
+    }
+    if let Some(server) = server {
+        server.shutdown();
     }
     Ok(())
 }
