@@ -141,14 +141,21 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) {
         let rate = generation.iterations_per_second();
         let execs_per_sec = generation.executions as f64 / elapsed.max(1e-9);
         let covered = tool.score(&generation).decision.covered;
-        let phase = spans.snapshot().totals.spans;
+        let snap = spans.snapshot();
+        let phase = &snap.totals.spans;
         let sync_pct = phase.phase_pct(cftcg_telemetry::SpanKind::SyncWait)
             + phase.phase_pct(cftcg_telemetry::SpanKind::SyncRound);
         let exec_pct = phase.phase_pct(cftcg_telemetry::SpanKind::Execution);
         let mutation_pct = phase.phase_pct(cftcg_telemetry::SpanKind::Mutation);
+        // Mutation-yield join: branch goals earned per ms spent mutating,
+        // from the same span profile the phase shares come from.
+        let yield_note = match snap.goals_per_mutation_ns() {
+            Some(per_ns) => format!("  ({:.3} goals/ms-mutation)", per_ns * 1e6),
+            None => String::new(),
+        };
         println!(
             "  workers {workers:>2}: {rate:>12.0} iterations/s  ({covered} covered)  \
-             [exec {exec_pct:.0}% / sync {sync_pct:.0}% / mutate {mutation_pct:.0}%]"
+             [exec {exec_pct:.0}% / sync {sync_pct:.0}% / mutate {mutation_pct:.0}%]{yield_note}"
         );
         if let Some(t) = &telemetry {
             t.emit(&cftcg_telemetry::Event::BenchPoint {

@@ -54,6 +54,7 @@ pub fn campaign_explorer_html(
     render_telemetry_series(&mut out, artifact);
     render_goals(&mut out, map, tracker, &open_goals, &hit_by_goal);
     render_frontier(&mut out, &open);
+    render_forensics(&mut out, artifact, &lineage);
     render_waveforms(&mut out, compiled, artifact);
     render_cases(&mut out, artifact, &lineage);
 
@@ -320,6 +321,61 @@ fn render_frontier(out: &mut String, open: &[cftcg_coverage::FrontierEntry]) {
     out.push_str("</table>\n");
 }
 
+/// Search forensics: which mutation operators actually earned the covered
+/// goals (from first-hit provenance chains) and which emitted cases were
+/// productive ancestors (from the lineage DAG). The post-mortem counterpart
+/// of the live dashboard's yield table.
+fn render_forensics(out: &mut String, artifact: &CampaignArtifact, lineage: &cftcg_fuzz::Lineage) {
+    out.push_str("<h2>Search forensics</h2>\n");
+
+    out.push_str("<h3>Operator yield at first hit</h3>\n");
+    if artifact.hits.is_empty() {
+        out.push_str("<p>No first-hit provenance recorded.</p>\n");
+    } else {
+        let bootstrap = artifact.hits.iter().filter(|h| h.ops.is_empty()).count();
+        out.push_str("<table>\n<tr><th>operator</th><th>goals whose first hit used it</th></tr>\n");
+        for (i, kind) in MutationKind::ALL.iter().enumerate() {
+            let count = artifact.hits.iter().filter(|h| h.ops.contains(&(i as u8))).count();
+            if count == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "<tr><td>{}</td><td>{count}</td></tr>", kind.name());
+        }
+        if bootstrap > 0 {
+            let _ = writeln!(out, "<tr><td>seed/bootstrap</td><td>{bootstrap}</td></tr>");
+        }
+        out.push_str("</table>\n");
+    }
+
+    out.push_str("<h3>Productive ancestors</h3>\n");
+    let mut rows = Vec::new();
+    for case in &artifact.cases {
+        let children = lineage.records().iter().filter(|r| r.parent == Some(case.id)).count();
+        let goals = artifact.hits.iter().filter(|h| h.case == case.id).count();
+        if children == 0 && goals == 0 {
+            continue;
+        }
+        let depth = lineage.chain(case.id).len().saturating_sub(1);
+        rows.push((case.id, depth, children, goals));
+    }
+    if rows.is_empty() {
+        out.push_str("<p>No emitted case has recorded descendants or first hits.</p>\n");
+        return;
+    }
+    out.push_str(
+        "<table>\n<tr><th>case</th><th>mutation depth</th><th>children minted</th>\
+         <th>goals first hit</th></tr>\n",
+    );
+    for (id, depth, children, goals) in rows {
+        let _ = writeln!(
+            out,
+            "<tr><td><code>{}</code></td><td>{depth}</td><td>{children}</td><td>{goals}</td></tr>",
+            format_case_id(id),
+        );
+    }
+    out.push_str("</table>\n");
+}
+
 /// Violation witnesses to plot at most; the remainder is summarized.
 const MAX_WAVEFORM_CASES: usize = 4;
 
@@ -559,10 +615,18 @@ mod tests {
         // The model name needed escaping and got it.
         assert!(html.contains("explorer&lt;&amp;&gt;test"));
         assert!(!html.contains("explorer<&>test"));
-        // All four sections render.
-        for section in ["Coverage over time", "Goals by decision", "Frontier", "Test cases"] {
+        // All sections render.
+        for section in [
+            "Coverage over time",
+            "Goals by decision",
+            "Frontier",
+            "Search forensics",
+            "Test cases",
+        ] {
             assert!(html.contains(section), "missing section {section}");
         }
+        assert!(html.contains("Operator yield at first hit"));
+        assert!(html.contains("Productive ancestors"));
         // No assertions in the model: the waveform section stays absent.
         assert!(!html.contains("Violation waveforms"));
     }

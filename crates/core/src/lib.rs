@@ -105,6 +105,15 @@ impl Cftcg {
         self
     }
 
+    /// Arms the plateau watcher: with a telemetry registry attached, a
+    /// `plateau` JSONL event fires — with a frontier diff naming the
+    /// still-open goals — every time `window` executions pass without a
+    /// coverage gain. Pure observation; the fuzzing trajectory is unchanged.
+    pub fn with_plateau_window(mut self, window: u64) -> Self {
+        self.config.plateau_window = Some(window);
+        self
+    }
+
     /// Installs a trace hook observing every coverage-earning case the
     /// fuzzing loop emits (`hook(case_bytes, case_id)`). Pure observation —
     /// the hook consumes no fuzzer RNG and fires after emission, so

@@ -6,7 +6,18 @@
 //! higher Iteration Difference Coverage". Entries therefore carry the
 //! metric, and seed selection is energy-weighted by it (switchable for the
 //! ablation study).
+//!
+//! Besides the entries themselves the corpus keeps per-entry *scheduling
+//! forensics* — how often a seed was selected as a mutation base, how many
+//! of its mutants were committed, the goal yield of its descendant
+//! subtree, and its age — published to telemetry as
+//! [`CorpusSeedReport`] rows. The accounting is plain integer bookkeeping
+//! (no RNG, no clock), so it runs unconditionally without perturbing the
+//! byte-identity contract.
 
+use std::collections::HashMap;
+
+use cftcg_telemetry::CorpusSeedReport;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -37,6 +48,23 @@ pub enum CorpusInsertion {
     Rejected,
 }
 
+/// Per-entry scheduling forensics, keyed by entry id. Lives and dies with
+/// the entry: eviction drops the account.
+#[derive(Debug, Clone, Default)]
+struct SeedAccount {
+    /// Parent entry the input was mutated from, for descendant crediting.
+    parent: Option<u64>,
+    /// Shard executions completed when the entry was committed.
+    born_executions: u64,
+    /// Times picked as a mutation base.
+    selections: u64,
+    /// Direct children committed (to the corpus or the suite).
+    children: u64,
+    /// New branches earned by the entry's descendants (transitive, while
+    /// the ancestry chain remains resident).
+    descendant_goals: u64,
+}
+
 /// A bounded corpus with metric-weighted seed selection.
 #[derive(Debug, Clone)]
 pub struct Corpus {
@@ -45,12 +73,29 @@ pub struct Corpus {
     /// When `false`, selection is uniform and replacement FIFO — the
     /// "no iteration-difference priority" ablation (A1).
     pub metric_weighted: bool,
+    /// Scheduling forensics per resident entry id.
+    accounts: HashMap<u64, SeedAccount>,
+}
+
+/// The selection energy of an entry: the iteration-difference metric with a
+/// strong bonus for inputs that discovered new branches (they sit at the
+/// coverage frontier). Saturating throughout — a pathological
+/// `metric`/`new_branches` pair must skew the lottery, not overflow it.
+fn energy(entry: &CorpusEntry) -> u64 {
+    (entry.metric as u64)
+        .saturating_add(1)
+        .saturating_mul(1u64.saturating_add((entry.new_branches as u64).saturating_mul(8)))
 }
 
 impl Corpus {
     /// Creates an empty corpus holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Corpus { entries: Vec::new(), capacity: capacity.max(1), metric_weighted: true }
+        Corpus {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            metric_weighted: true,
+            accounts: HashMap::new(),
+        }
     }
 
     /// Number of retained entries.
@@ -73,6 +118,7 @@ impl Corpus {
     /// the newcomer beats it. Returns what happened, for churn accounting.
     pub fn insert(&mut self, entry: CorpusEntry) -> CorpusInsertion {
         if self.entries.len() < self.capacity {
+            self.accounts.entry(entry.id).or_default();
             self.entries.push(entry);
             return CorpusInsertion::Appended;
         }
@@ -89,46 +135,119 @@ impl Corpus {
             let beats_worst =
                 (entry.new_branches, entry.metric) > (worst_entry.new_branches, worst_entry.metric);
             if beats_worst {
+                self.accounts.remove(&self.entries[worst].id);
+                self.accounts.entry(entry.id).or_default();
                 self.entries[worst] = entry;
                 CorpusInsertion::Replaced
             } else {
                 CorpusInsertion::Rejected
             }
         } else {
-            self.entries.remove(0);
+            let evicted = self.entries.remove(0);
+            self.accounts.remove(&evicted.id);
+            self.accounts.entry(entry.id).or_default();
             self.entries.push(entry);
             CorpusInsertion::Replaced
         }
     }
 
-    /// Picks a seed for the next mutation round. In weighted mode the
-    /// energy combines the iteration-difference metric with a strong bonus
-    /// for inputs that discovered new branches (they sit at the coverage
-    /// frontier); uniform otherwise. Returns `None` on an empty corpus.
-    pub fn pick<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a CorpusEntry> {
+    /// Picks a seed for the next mutation round, bumping its selection
+    /// count. In weighted mode the energy combines the iteration-difference
+    /// metric with a strong bonus for inputs that discovered new branches;
+    /// uniform otherwise. Returns `None` on an empty corpus.
+    pub fn pick(&mut self, rng: &mut SmallRng) -> Option<&CorpusEntry> {
+        let index = self.pick_index(rng)?;
+        let id = self.entries[index].id;
+        if let Some(account) = self.accounts.get_mut(&id) {
+            account.selections += 1;
+        }
+        Some(&self.entries[index])
+    }
+
+    /// The selection lottery itself (no accounting side effects). Exactly
+    /// one `rng.random_range` draw per call on a non-empty corpus, so the
+    /// RNG stream is independent of the accounting layer.
+    fn pick_index(&self, rng: &mut SmallRng) -> Option<usize> {
         if self.entries.is_empty() {
             return None;
         }
         if !self.metric_weighted {
-            let i = rng.random_range(0..self.entries.len());
-            return Some(&self.entries[i]);
+            return Some(rng.random_range(0..self.entries.len()));
         }
-        let energy = |e: &CorpusEntry| (e.metric as u64 + 1) * (1 + 8 * e.new_branches as u64);
-        let total: u64 = self.entries.iter().map(&energy).sum();
+        let total = self.entries.iter().map(energy).fold(0u64, u64::saturating_add);
         let mut ticket = rng.random_range(0..total);
-        for entry in &self.entries {
+        for (i, entry) in self.entries.iter().enumerate() {
             let e = energy(entry);
             if ticket < e {
-                return Some(entry);
+                return Some(i);
             }
             ticket -= e;
         }
-        unreachable!("ticket always lands within total energy")
+        // Reachable only when the total saturated (per-entry energies sum
+        // past u64::MAX): fall back to the last entry deterministically.
+        Some(self.entries.len() - 1)
     }
 
     /// Picks a second, independent entry for crossover.
-    pub fn pick_other<'a>(&'a self, rng: &mut SmallRng) -> Option<&'a CorpusEntry> {
+    pub fn pick_other(&mut self, rng: &mut SmallRng) -> Option<&CorpusEntry> {
         self.pick(rng)
+    }
+
+    /// Books a freshly committed entry's provenance: the parent it was
+    /// mutated from and the shard executions at commit time (its birthday,
+    /// for age accounting). No-op if the id is not resident.
+    pub fn note_committed(&mut self, id: u64, parent: Option<u64>, executions: u64) {
+        if let Some(account) = self.accounts.get_mut(&id) {
+            account.parent = parent;
+            account.born_executions = executions;
+        }
+    }
+
+    /// Credits `parent` with one committed child (suite or corpus).
+    pub fn credit_child(&mut self, parent: Option<u64>) {
+        if let Some(account) = parent.and_then(|id| self.accounts.get_mut(&id)) {
+            account.children += 1;
+        }
+    }
+
+    /// Credits `goals` newly attained branch goals to every resident
+    /// ancestor of the discovering input, walking parent links. The walk
+    /// stops at the first evicted ancestor and is bounded, so corrupted
+    /// links cannot hang it.
+    pub fn credit_goals(&mut self, parent: Option<u64>, goals: u64) {
+        let mut cursor = parent;
+        let mut hops = 0usize;
+        while let Some(id) = cursor {
+            let Some(account) = self.accounts.get_mut(&id) else { break };
+            account.descendant_goals = account.descendant_goals.saturating_add(goals);
+            cursor = account.parent;
+            hops += 1;
+            if hops > self.accounts.len() {
+                break;
+            }
+        }
+    }
+
+    /// The per-entry scheduling forensics, in entry order. `executions` is
+    /// the shard's current execution count (for age computation).
+    pub fn seed_reports(&self, executions: u64) -> Vec<CorpusSeedReport> {
+        self.entries
+            .iter()
+            .map(|entry| {
+                let account = self.accounts.get(&entry.id).cloned().unwrap_or_default();
+                CorpusSeedReport {
+                    id: entry.id,
+                    size_bytes: entry.bytes.len() as u64,
+                    metric: entry.metric as u64,
+                    new_branches: entry.new_branches as u64,
+                    energy: energy(entry),
+                    selections: account.selections,
+                    children: account.children,
+                    descendant_goals: account.descendant_goals,
+                    age_executions: executions.saturating_sub(account.born_executions),
+                }
+            })
+            .collect()
     }
 }
 
@@ -217,8 +336,68 @@ mod tests {
 
     #[test]
     fn empty_pick_is_none() {
-        let c = Corpus::new(4);
+        let mut c = Corpus::new(4);
         let mut rng = SmallRng::seed_from_u64(1);
         assert!(c.pick(&mut rng).is_none());
+    }
+
+    #[test]
+    fn huge_metrics_saturate_instead_of_overflowing() {
+        // Entries whose individual energies and whose sum exceed u64::MAX:
+        // the lottery must stay total-ordered, never panic, and still
+        // return something.
+        let mut c = Corpus::new(4);
+        for tag in 0..3u8 {
+            c.insert(CorpusEntry {
+                id: u64::from(tag),
+                bytes: vec![tag],
+                metric: usize::MAX,
+                new_branches: usize::MAX,
+            });
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(c.pick(&mut rng).is_some());
+        }
+        let reports = c.seed_reports(0);
+        assert!(reports.iter().all(|r| r.energy == u64::MAX));
+    }
+
+    #[test]
+    fn accounting_tracks_selections_children_and_goals() {
+        let mut c = Corpus::new(8);
+        c.insert(entry(3, 1));
+        c.note_committed(1, None, 10);
+        c.insert(entry(5, 2));
+        c.note_committed(2, Some(1), 50);
+
+        let mut rng = SmallRng::seed_from_u64(5);
+        let picked = c.pick(&mut rng).unwrap().id;
+        c.credit_child(Some(1));
+        c.credit_goals(Some(2), 3); // credits 2 and, transitively, 1
+
+        let reports = c.seed_reports(100);
+        let by_id = |id: u64| reports.iter().find(|r| r.id == id).unwrap().clone();
+        assert_eq!(by_id(picked).selections, 1);
+        assert_eq!(by_id(1).children, 1);
+        assert_eq!(by_id(2).descendant_goals, 3);
+        assert_eq!(by_id(1).descendant_goals, 3, "goals propagate up the chain");
+        assert_eq!(by_id(1).age_executions, 90);
+        assert_eq!(by_id(2).age_executions, 50);
+    }
+
+    #[test]
+    fn eviction_drops_the_account() {
+        let mut c = Corpus::new(1);
+        c.insert(entry(1, 1));
+        c.note_committed(1, None, 0);
+        c.credit_child(Some(1));
+        c.insert(CorpusEntry { id: 2, bytes: vec![2], metric: 0, new_branches: 1 });
+        // Entry 1 is gone; crediting it is a no-op and its forensics reset.
+        c.credit_child(Some(1));
+        let reports = c.seed_reports(0);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].id, 2);
+        assert_eq!(reports[0].children, 0);
     }
 }

@@ -6,13 +6,17 @@ use std::time::{Duration, Instant};
 
 use cftcg_codegen::{CompiledModel, Engine, Executor, TestCase};
 use cftcg_coverage::{BranchBitmap, FirstHit, FullTracker, ProvenanceTracker};
-use cftcg_telemetry::{Event, ShardStats, SpanKind, SpanSampler, SpanTrace, Telemetry};
+use cftcg_telemetry::{
+    Event, PlateauGoal, ShardStats, SpanKind, SpanSampler, SpanTrace, Telemetry, YieldOutcome,
+    PLATEAU_FRONTIER_CAP,
+};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 
 use crate::corpus::{Corpus, CorpusEntry, CorpusInsertion};
 use crate::lineage::{Lineage, LineageOrigin, LineageRecord, SHARD_ID_STRIDE};
 use crate::mutate::{MutationKind, Mutator};
+use crate::plateau::PlateauDetector;
 
 /// LibFuzzer's table of recent compares, adapted to model fuzzing: a
 /// bounded *deduplicated* dictionary of comparison operand values mined
@@ -225,6 +229,13 @@ pub struct FuzzConfig {
     /// The `CFTCG_ENGINE` environment variable (`ref` | `flat` | `jit`)
     /// overrides both — see [`FuzzConfig::resolved_engine`].
     pub engine: Option<Engine>,
+    /// Plateau-watch window, in executions. When set (and a telemetry
+    /// registry is attached), a [`PlateauDetector`] watches the covered-goal
+    /// count and emits a `plateau` JSONL event — with a frontier diff naming
+    /// the still-open goals — every time a full window passes without a
+    /// coverage gain. Pure integer bookkeeping on observation points the
+    /// loop already visits; the fuzzing trajectory is untouched.
+    pub plateau_window: Option<u64>,
 }
 
 impl FuzzConfig {
@@ -265,6 +276,7 @@ impl Default for FuzzConfig {
             span_trace: None,
             reference_vm: false,
             engine: None,
+            plateau_window: None,
         }
     }
 }
@@ -357,6 +369,10 @@ pub struct FuzzOutcome {
     /// Per-mutation-operator attribution (Table 1 order): executions each
     /// operator contributed to and how many earned new coverage.
     pub operators: Vec<OperatorAttribution>,
+    /// Per-operator × outcome yield matrix (Table 1 order × executed /
+    /// new-coverage / corpus-insert / violation) — the search-forensics
+    /// view of the same run.
+    pub yields: cftcg_telemetry::YieldMatrix,
 }
 
 impl FuzzOutcome {
@@ -386,6 +402,21 @@ impl FuzzOutcome {
                 name: op.name.to_string(),
                 executions: op.executions,
                 coverage_earning: op.coverage_earning,
+            })
+            .collect()
+    }
+
+    /// The yield matrix as telemetry report rows (Table 1 order; for the
+    /// campaign-end event and CLI report).
+    pub fn yield_reports(&self) -> Vec<cftcg_telemetry::YieldReport> {
+        MutationKind::ALL
+            .iter()
+            .map(|k| cftcg_telemetry::YieldReport {
+                name: k.name().to_string(),
+                executed: self.yields.get(k.index(), YieldOutcome::Executed),
+                new_coverage: self.yields.get(k.index(), YieldOutcome::NewCoverage),
+                corpus_insert: self.yields.get(k.index(), YieldOutcome::CorpusInsert),
+                violation: self.yields.get(k.index(), YieldOutcome::Violation),
             })
             .collect()
     }
@@ -451,6 +482,9 @@ pub struct Fuzzer<'c> {
     time_spans: bool,
     /// Sampling front end for the shared trace-event buffer, when attached.
     span_sampler: Option<SpanSampler>,
+    /// Plateau watcher (sequential runs with a telemetry registry and a
+    /// configured window only; on parallel shards the coordinator owns it).
+    plateau: Option<PlateauDetector>,
     /// Set on parallel worker shards: record local stats but never emit
     /// events or merge into the registry directly — the coordinator owns
     /// the global view and folds worker deltas at sync rounds.
@@ -480,6 +514,10 @@ impl<'c> Fuzzer<'c> {
         let time_execs = telemetry.is_some();
         let span_sampler = config.span_trace.clone().map(|trace| SpanSampler::new(trace, 0));
         let time_spans = time_execs || span_sampler.is_some();
+        let plateau = match (&telemetry, config.plateau_window) {
+            (Some(_), Some(window)) => Some(PlateauDetector::new(window)),
+            _ => None,
+        };
         let exec = Executor::with_engine(compiled, config.resolved_engine());
         Fuzzer {
             exec,
@@ -514,6 +552,7 @@ impl<'c> Fuzzer<'c> {
             time_execs,
             time_spans,
             span_sampler,
+            plateau,
             worker_mode: false,
         }
     }
@@ -555,6 +594,9 @@ impl<'c> Fuzzer<'c> {
         let insertion =
             self.corpus.insert(CorpusEntry { id: case_id, bytes, metric, new_branches });
         self.record_insertion(insertion);
+        if !matches!(insertion, CorpusInsertion::Rejected) {
+            self.corpus.note_committed(case_id, None, self.executions);
+        }
         if emitted || !matches!(insertion, CorpusInsertion::Rejected) {
             self.lineage.push(LineageRecord {
                 id: case_id,
@@ -644,8 +686,43 @@ impl<'c> Fuzzer<'c> {
         if let Some(t) = self.telemetry.clone() {
             let delta = self.take_stats_delta();
             t.merge_shard(0, &delta, self.corpus.len());
+            t.set_corpus_seeds(0, self.corpus.seed_reports(self.executions));
             t.status_tick(false);
         }
+    }
+
+    /// Feeds the plateau watcher one execution's outcome and emits a
+    /// `plateau` event when a quiet window just completed, carrying a
+    /// frontier diff of the still-open goals and their classifications.
+    /// Costs one compare per execution when a watcher is armed (nothing
+    /// otherwise); the frontier walk only runs on a fire.
+    fn plateau_tick(&mut self, earned: bool) {
+        let Some(detector) = &mut self.plateau else {
+            return;
+        };
+        if !detector.tick(self.executions, earned) {
+            return;
+        }
+        let window = detector.window();
+        let Some(t) = &self.telemetry else {
+            return;
+        };
+        let entries = cftcg_coverage::frontier(self.compiled.map(), self.provenance.tracker());
+        let frontier: Vec<PlateauGoal> = entries
+            .iter()
+            .take(PLATEAU_FRONTIER_CAP)
+            .map(|e| PlateauGoal { label: e.label.clone(), cause: e.cause.tag().to_string() })
+            .collect();
+        t.emit(&Event::Plateau {
+            shard: self.shard,
+            executions: self.executions,
+            window,
+            covered: self.total.count(),
+            total: self.total.len(),
+            open: entries.len() as u64,
+            frontier,
+            t: t.elapsed_s(),
+        });
     }
 
     /// Assertion violations found so far: `(assertion index, first
@@ -669,6 +746,7 @@ impl<'c> Fuzzer<'c> {
             covered_branches: self.total.count(),
             elapsed: self.elapsed,
             operators: OperatorAttribution::from_counters(&self.stats.operators),
+            yields: self.stats.yields.clone(),
         }
     }
 
@@ -722,10 +800,12 @@ impl<'c> Fuzzer<'c> {
         }
 
         // Report first-time assertion violations with their witness input.
+        let mut witnessed_violation = false;
         for i in 0..self.failed_assertions.len() {
             if self.failed_assertions[i] && !self.violations.iter().any(|&(a, _)| a == i) {
                 self.violations.push((i, TestCase::new(data.clone())));
                 self.stats.violations += 1;
+                witnessed_violation = true;
                 if !self.worker_mode {
                     if let Some(t) = &self.telemetry {
                         t.emit(&Event::Violation {
@@ -755,6 +835,7 @@ impl<'c> Fuzzer<'c> {
             }
         }
         let mut committed = new_branches > 0;
+        let mut inserted = false;
         if new_branches > 0 || metric > 0 {
             let insert_start = if self.time_spans { Some(Instant::now()) } else { None };
             let insertion =
@@ -763,7 +844,36 @@ impl<'c> Fuzzer<'c> {
             if let Some(start) = insert_start {
                 self.note_span(SpanKind::CorpusInsert, start);
             }
-            committed = committed || !matches!(insertion, CorpusInsertion::Rejected);
+            inserted = !matches!(insertion, CorpusInsertion::Rejected);
+            if inserted {
+                self.corpus.note_committed(case_id, parent, self.executions);
+            }
+            committed = committed || inserted;
+        }
+        // Seed-schedule forensics: the parent chain is credited with the
+        // committed child and any newly covered goals (plain integer
+        // bookkeeping — no RNG, no clock).
+        if committed {
+            self.corpus.credit_child(parent);
+        }
+        if earned {
+            self.corpus.credit_goals(parent, new_branches as u64);
+        }
+        // Mutation-yield attribution: each operator in this input's chain is
+        // charged with the execution and credited with whatever it earned.
+        for kind in MutationKind::ALL {
+            if operator_mask & (1 << kind.index()) != 0 {
+                self.stats.yields.record(kind.index(), YieldOutcome::Executed);
+                if earned {
+                    self.stats.yields.record(kind.index(), YieldOutcome::NewCoverage);
+                }
+                if inserted {
+                    self.stats.yields.record(kind.index(), YieldOutcome::CorpusInsert);
+                }
+                if witnessed_violation {
+                    self.stats.yields.record(kind.index(), YieldOutcome::Violation);
+                }
+            }
         }
         // The id is only burned when the input survives somewhere (suite or
         // corpus); rejected mutants leave no lineage record, keeping the DAG
@@ -780,6 +890,7 @@ impl<'c> Fuzzer<'c> {
             });
             self.next_case += 1;
         }
+        self.plateau_tick(earned);
     }
 
     /// Emits `data` as a test case: suite entry, coverage event, forensic
@@ -935,6 +1046,10 @@ impl<'c> Fuzzer<'c> {
     /// coordinator (which owns the global view).
     pub(crate) fn set_worker_mode(&mut self) {
         self.worker_mode = true;
+        // Worker shards never emit events; the coordinator owns the global
+        // plateau watcher (a shard-local one would mistake cross-shard
+        // discoveries for stalls).
+        self.plateau = None;
     }
 
     /// Sets the shard id lineage ids are minted under (worker id on
@@ -975,6 +1090,12 @@ impl<'c> Fuzzer<'c> {
         self.corpus.len()
     }
 
+    /// Per-corpus-entry scheduling forensics (parallel workers ship these
+    /// to the coordinator at sync rounds for registry publication).
+    pub(crate) fn corpus_seed_reports(&self) -> Vec<cftcg_telemetry::CorpusSeedReport> {
+        self.corpus.seed_reports(self.executions)
+    }
+
     /// Inputs executed so far.
     pub fn executions(&self) -> u64 {
         self.executions
@@ -1013,7 +1134,12 @@ impl<'c> Fuzzer<'c> {
         // lineage id its originating shard minted, so mutants of it trace
         // across the shard boundary.
         if new_branches > 0 || metric > 0 {
-            self.corpus.insert(CorpusEntry { id, bytes, metric, new_branches });
+            let insertion = self.corpus.insert(CorpusEntry { id, bytes, metric, new_branches });
+            if !matches!(insertion, CorpusInsertion::Rejected) {
+                // Broadcast entries have no resident parent on this shard;
+                // their age starts at absorption.
+                self.corpus.note_committed(id, None, self.executions);
+            }
         }
     }
 

@@ -40,6 +40,9 @@ pub struct Generation {
     /// Per-mutation-operator attribution (empty for non-fuzzing
     /// generators, which apply no mutation operators).
     pub operators: Vec<crate::OperatorAttribution>,
+    /// Per-operator × outcome yield matrix (empty for non-fuzzing
+    /// generators; Table 1 order for fuzzing runs).
+    pub yields: cftcg_telemetry::YieldMatrix,
 }
 
 impl Generation {
@@ -53,6 +56,25 @@ impl Generation {
         } else {
             self.iterations as f64 / secs
         }
+    }
+
+    /// The yield matrix as telemetry report rows (Table 1 order; empty for
+    /// generators that recorded no yields).
+    pub fn yield_reports(&self) -> Vec<cftcg_telemetry::YieldReport> {
+        if self.yields.is_empty() {
+            return Vec::new();
+        }
+        use cftcg_telemetry::YieldOutcome;
+        crate::MutationKind::ALL
+            .iter()
+            .map(|k| cftcg_telemetry::YieldReport {
+                name: k.name().to_string(),
+                executed: self.yields.get(k.index(), YieldOutcome::Executed),
+                new_coverage: self.yields.get(k.index(), YieldOutcome::NewCoverage),
+                corpus_insert: self.yields.get(k.index(), YieldOutcome::CorpusInsert),
+                violation: self.yields.get(k.index(), YieldOutcome::Violation),
+            })
+            .collect()
     }
 }
 
@@ -70,6 +92,7 @@ impl From<crate::FuzzOutcome> for Generation {
             notes: String::new(),
             violations: outcome.violations,
             operators: outcome.operators,
+            yields: outcome.yields,
         }
     }
 }

@@ -54,6 +54,7 @@ mod lineage;
 mod minimize;
 mod mutate;
 mod parallel;
+mod plateau;
 
 pub use corpus::{Corpus, CorpusEntry, CorpusInsertion};
 pub use fuzzer::{
@@ -65,3 +66,4 @@ pub use lineage::{format_chain, Lineage, LineageOrigin, LineageRecord, SHARD_ID_
 pub use minimize::{minimize_case, minimize_suite};
 pub use mutate::{FieldRange, MutationKind, Mutator};
 pub use parallel::{ParallelFuzzConfig, ParallelFuzzer};
+pub use plateau::PlateauDetector;

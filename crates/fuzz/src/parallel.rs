@@ -27,13 +27,17 @@ use std::time::{Duration, Instant};
 
 use cftcg_codegen::{CompiledModel, Executor, TestCase, TupleLayout};
 use cftcg_coverage::{BranchBitmap, FirstHit, FullTracker, ProvenanceTracker, Recorder};
-use cftcg_telemetry::{Event, ShardStats, SpanKind, COORDINATOR_TID};
+use cftcg_telemetry::{
+    CorpusSeedReport, Event, PlateauGoal, ShardStats, SpanKind, COORDINATOR_TID,
+    PLATEAU_FRONTIER_CAP,
+};
 
 use crate::fuzzer::{
     CaseMeta, CoverageEvent, FeedbackMode, FuzzConfig, FuzzOutcome, Fuzzer, OperatorAttribution,
 };
 use crate::lineage::{Lineage, LineageRecord};
 use crate::mutate::MutationKind;
+use crate::plateau::PlateauDetector;
 
 /// Configuration of the parallel engine.
 #[derive(Debug, Clone)]
@@ -92,6 +96,9 @@ struct WorkerReport {
     stats: ShardStats,
     /// Corpus entries currently retained by the shard.
     corpus_len: usize,
+    /// Per-corpus-entry scheduling forensics (empty unless a telemetry
+    /// registry is attached — nobody would read them).
+    corpus_seeds: Vec<CorpusSeedReport>,
     /// The worker has exhausted its budget.
     done: bool,
 }
@@ -126,6 +133,7 @@ fn worker_loop(
     reports: Sender<WorkerReport>,
     broadcasts: Receiver<Broadcast>,
 ) {
+    let publish_seeds = config.telemetry.is_some();
     let mut fuzzer = Fuzzer::new(compiled, config);
     fuzzer.enable_torc_tracking();
     // Workers record stats locally but never touch the shared registry;
@@ -187,6 +195,7 @@ fn worker_loop(
             iterations: fuzzer.iterations(),
             stats: fuzzer.take_stats_delta(),
             corpus_len: fuzzer.corpus_len(),
+            corpus_seeds: if publish_seeds { fuzzer.corpus_seed_reports() } else { Vec::new() },
             done,
         };
         if reports.send(report).is_err() {
@@ -342,6 +351,13 @@ impl<'c> ParallelFuzzer<'c> {
         // Campaign-wide stats, merged from worker deltas each round, so the
         // final outcome carries attribution even without a registry.
         let mut global_stats = ShardStats::new(MutationKind::ALL.len());
+        // Coordinator-side plateau watcher over the *global* covered count
+        // (worker-local watchers would mistake cross-shard discoveries for
+        // stalls; workers run in worker mode, so theirs never instantiate).
+        let mut plateau = match (&telemetry, self.config.fuzz.plateau_window) {
+            (Some(_), Some(window)) => Some(PlateauDetector::new(window)),
+            _ => None,
+        };
         let mut round_idx = 0u64;
         let mut torc_seen = std::collections::HashSet::new();
         let mut suite: Vec<TestCase> = Vec::new();
@@ -515,6 +531,9 @@ impl<'c> ParallelFuzzer<'c> {
                     global_stats.merge_from(&report.stats);
                     if let Some(t) = &telemetry {
                         t.merge_shard(report.worker, &report.stats, report.corpus_len);
+                        if !report.corpus_seeds.is_empty() {
+                            t.set_corpus_seeds(report.worker, report.corpus_seeds.clone());
+                        }
                     }
                 }
 
@@ -532,6 +551,35 @@ impl<'c> ParallelFuzzer<'c> {
                 for report in &reports {
                     prev_execs[report.worker] = report.executions;
                     iterations[report.worker] = report.iterations;
+                }
+
+                // Plateau watch over the merged frontier: one event per
+                // quiet window of global executions without a goal gained.
+                if let (Some(detector), Some(t)) = (&mut plateau, &telemetry) {
+                    let executions: u64 = prev_execs.iter().sum();
+                    let covered = global.total.count();
+                    while detector.observe(executions, covered) {
+                        let entries =
+                            cftcg_coverage::frontier(compiled.map(), provenance.tracker());
+                        let frontier: Vec<PlateauGoal> = entries
+                            .iter()
+                            .take(PLATEAU_FRONTIER_CAP)
+                            .map(|e| PlateauGoal {
+                                label: e.label.clone(),
+                                cause: e.cause.tag().to_string(),
+                            })
+                            .collect();
+                        t.emit(&Event::Plateau {
+                            shard: 0,
+                            executions,
+                            window: detector.window(),
+                            covered,
+                            total: global.total.len(),
+                            open: entries.len() as u64,
+                            frontier,
+                            t: t.elapsed_s(),
+                        });
+                    }
                 }
 
                 for (worker, tx) in broadcast_txs.iter().enumerate() {
@@ -602,6 +650,7 @@ impl<'c> ParallelFuzzer<'c> {
             covered_branches: global.total.count(),
             elapsed: started.elapsed(),
             operators: OperatorAttribution::from_counters(&global_stats.operators),
+            yields: global_stats.yields.clone(),
         }
     }
 }

@@ -1,0 +1,119 @@
+//! Windowed plateau detection for a fuzzing campaign.
+//!
+//! A campaign *plateaus* when a full execution window passes without the
+//! covered-goal count moving. The detector is pure integer bookkeeping over
+//! `(executions, covered)` observations — no clock, no RNG — so the same
+//! campaign always fires the same plateau events regardless of wall-clock
+//! speed, and the watcher can run attached to a byte-identity-checked
+//! campaign without perturbing it.
+//!
+//! The windowing contract is "exactly one event per quiet window": a stall
+//! of `3 × window` executions fires three times, at the first observation
+//! on or past each window boundary. Any coverage gain re-anchors the window
+//! at the observation that gained.
+
+/// Watches `(executions, covered)` pairs and reports when a full execution
+/// window elapses with no coverage gain.
+#[derive(Debug, Clone)]
+pub struct PlateauDetector {
+    window: u64,
+    window_start: u64,
+    last_covered: usize,
+    fired: u64,
+}
+
+impl PlateauDetector {
+    /// Creates a detector firing after every `window` executions without a
+    /// coverage gain. A zero window is clamped to 1.
+    pub fn new(window: u64) -> Self {
+        PlateauDetector { window: window.max(1), window_start: 0, last_covered: 0, fired: 0 }
+    }
+
+    /// The configured window, in executions.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// How many plateau events have fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Feeds one observation. Returns `true` when a quiet window just
+    /// completed — the caller should emit a `plateau` event. Call in a loop
+    /// when observations are sparse: each `true` consumes one window, so a
+    /// long stall reported in a single observation fires once per elapsed
+    /// window across successive calls.
+    pub fn observe(&mut self, executions: u64, covered: usize) -> bool {
+        let gained = covered > self.last_covered;
+        if gained {
+            self.last_covered = covered;
+        }
+        self.tick(executions, gained)
+    }
+
+    /// Like [`observe`](Self::observe), but the caller reports the gain
+    /// directly instead of a covered count — the per-execution fast path
+    /// for a loop that already knows whether this input earned coverage
+    /// (no bitmap popcount needed).
+    pub fn tick(&mut self, executions: u64, gained: bool) -> bool {
+        if gained {
+            self.window_start = executions;
+            return false;
+        }
+        if executions.saturating_sub(self.window_start) >= self.window {
+            self.window_start += self.window;
+            self.fired += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_window_fires_exactly_once() {
+        let mut d = PlateauDetector::new(100);
+        for n in 1..100 {
+            assert!(!d.observe(n, 0), "fired early at {n}");
+        }
+        assert!(d.observe(100, 0));
+        assert!(!d.observe(101, 0), "double-fired within the same window");
+        assert_eq!(d.fired(), 1);
+    }
+
+    #[test]
+    fn gain_resets_the_window() {
+        let mut d = PlateauDetector::new(100);
+        assert!(!d.observe(90, 0));
+        assert!(!d.observe(95, 3)); // gain at 95 re-anchors
+        assert!(!d.observe(194, 3));
+        assert!(d.observe(195, 3));
+        assert_eq!(d.fired(), 1);
+    }
+
+    #[test]
+    fn sparse_observations_fire_once_per_elapsed_window() {
+        // One observation after a 350-exec stall: looping until false must
+        // fire exactly 3 times (three full quiet windows of 100).
+        let mut d = PlateauDetector::new(100);
+        let mut fires = 0;
+        while d.observe(350, 0) {
+            fires += 1;
+        }
+        assert_eq!(fires, 3);
+        // The partial fourth window completes at 400.
+        assert!(!d.observe(399, 0));
+        assert!(d.observe(400, 0));
+    }
+
+    #[test]
+    fn zero_window_is_clamped() {
+        let mut d = PlateauDetector::new(0);
+        assert_eq!(d.window(), 1);
+        assert!(d.observe(1, 0));
+    }
+}

@@ -10,6 +10,11 @@
 //! | `/metrics` | Prometheus text exposition | scrapeable by any Prometheus-compatible collector |
 //! | `/snapshot` | JSON | one consistent point-in-time view: totals, coverage, spans, time series |
 //! | `/` | HTML | self-refreshing dashboard with an inline-SVG coverage-vs-time curve |
+//! | `/healthz` | `ok` | liveness probe for supervisors and CI smoke jobs |
+//!
+//! The observatory is read-only: any method other than `GET` gets a
+//! `405 Method Not Allowed` (with an `Allow: GET` header), and a request
+//! line that is not even `METHOD TARGET ...` gets a `400 Bad Request`.
 //!
 //! The server is deliberately primitive — std-only TCP, blocking I/O, one
 //! thread per connection — because its job is a handful of requests per
@@ -170,24 +175,34 @@ fn handle_connection(mut stream: TcpStream, observatory: &Observatory) {
     let Some(request_line) = read_request_line(&mut stream) else {
         return;
     };
-    let (status, content_type, body) = match parse_target(&request_line) {
-        Some("/") | Some("/index.html") => {
+    let parsed = parse_target(&request_line);
+    let (status, content_type, body) = match parsed {
+        Target::Get("/") | Target::Get("/index.html") => {
             ("200 OK", "text/html; charset=utf-8", observatory.dashboard_html())
         }
-        Some("/metrics") => {
+        Target::Get("/metrics") => {
             ("200 OK", "text/plain; version=0.0.4; charset=utf-8", observatory.metrics_text())
         }
-        Some("/snapshot") => ("200 OK", "application/json", observatory.snapshot_json()),
-        Some(_) => (
+        Target::Get("/snapshot") => ("200 OK", "application/json", observatory.snapshot_json()),
+        Target::Get("/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
+        Target::Get(_) => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /, /metrics, /snapshot\n".into(),
+            "not found; try /, /metrics, /snapshot, /healthz\n".into(),
         ),
-        None => ("400 Bad Request", "text/plain; charset=utf-8", "bad request\n".into()),
+        Target::MethodNotAllowed => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed; the observatory is read-only (GET)\n".into(),
+        ),
+        Target::Malformed => {
+            ("400 Bad Request", "text/plain; charset=utf-8", "bad request\n".into())
+        }
     };
+    let allow = if matches!(parsed, Target::MethodNotAllowed) { "Allow: GET\r\n" } else { "" };
     let _ = write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status}\r\n{allow}Content-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     let _ = stream.write_all(body.as_bytes());
@@ -214,15 +229,29 @@ fn read_request_line(stream: &mut TcpStream) -> Option<String> {
     head.lines().next().map(str::to_string)
 }
 
+/// The routing view of a request line.
+#[derive(Clone, Copy)]
+enum Target<'a> {
+    /// `GET <target>`: the query-stripped target to route.
+    Get(&'a str),
+    /// Syntactically a request, but the method is not `GET` → 405.
+    MethodNotAllowed,
+    /// Not even `METHOD TARGET ...` → 400.
+    Malformed,
+}
+
 /// Extracts the request target from `GET <target> HTTP/1.x` (query strings
 /// are ignored; only `GET` is served).
-fn parse_target(request_line: &str) -> Option<&str> {
+fn parse_target(request_line: &str) -> Target<'_> {
     let mut parts = request_line.split_ascii_whitespace();
-    if parts.next() != Some("GET") {
-        return None;
+    let method = parts.next();
+    let Some(target) = parts.next() else {
+        return Target::Malformed;
+    };
+    if method != Some("GET") {
+        return Target::MethodNotAllowed;
     }
-    let target = parts.next()?;
-    Some(target.split('?').next().unwrap_or(target))
+    Target::Get(target.split('?').next().unwrap_or(target))
 }
 
 #[cfg(test)]
@@ -285,17 +314,35 @@ mod tests {
     }
 
     #[test]
-    fn unknown_paths_get_404_and_non_get_gets_400() {
+    fn unknown_paths_get_404_and_non_get_gets_405() {
         let server = ObserveServer::bind("127.0.0.1:0", test_observatory()).expect("bind");
         let addr = server.local_addr();
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "404 head: {head}");
 
+        // A well-formed non-GET request is a method problem, not a routing
+        // problem: 405 plus the Allow header naming the one served method.
         let mut stream = TcpStream::connect(addr).unwrap();
         write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n").unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
-        assert!(response.starts_with("HTTP/1.1 400"), "POST head: {response}");
+        assert!(response.starts_with("HTTP/1.1 405"), "POST head: {response}");
+        assert!(response.contains("\r\nAllow: GET\r\n"), "Allow header present: {response}");
+
+        // A request line without a target is simply malformed.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GARBAGE\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "malformed head: {response}");
+    }
+
+    #[test]
+    fn healthz_answers_ok_for_liveness_probes() {
+        let server = ObserveServer::bind("127.0.0.1:0", test_observatory()).expect("bind");
+        let (head, body) = get(server.local_addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "healthz head: {head}");
+        assert_eq!(body, "ok\n");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use std::fmt::Write;
 
 use cftcg_telemetry::json::{push_json_f64, push_json_str};
-use cftcg_telemetry::{SeriesPoint, SpanKind, TelemetrySnapshot};
+use cftcg_telemetry::{CorpusSeedReport, SeriesPoint, SpanKind, TelemetrySnapshot};
 
 /// The `/snapshot` body: campaign totals, coverage, span attribution,
 /// operator attribution, and the retained time series, as one JSON object.
@@ -113,6 +113,64 @@ pub(crate) fn snapshot_json(model: &str, snap: &TelemetrySnapshot) -> String {
     }
     out.push(']');
 
+    out.push_str(",\"yields\":[");
+    for (i, row) in snap.yield_reports().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, &row.name);
+        let _ = write!(
+            out,
+            ",\"executed\":{},\"new_coverage\":{},\"corpus_insert\":{},\"violation\":{}}}",
+            row.executed, row.new_coverage, row.corpus_insert, row.violation
+        );
+    }
+    out.push(']');
+
+    out.push_str(",\"goals_per_second\":");
+    push_json_f64(&mut out, snap.goals_per_second());
+    match snap.goals_per_mutation_ns() {
+        Some(rate) => {
+            out.push_str(",\"goals_per_mutation_ns\":");
+            push_json_f64(&mut out, rate);
+        }
+        None => out.push_str(",\"goals_per_mutation_ns\":null"),
+    }
+
+    out.push_str(",\"corpus_seeds\":[");
+    for (i, seed) in snap.corpus_seeds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"size_bytes\":{},\"metric\":{},\"new_branches\":{},\"energy\":{},\
+             \"selections\":{},\"children\":{},\"descendant_goals\":{},\"age_executions\":{}}}",
+            seed.id,
+            seed.size_bytes,
+            seed.metric,
+            seed.new_branches,
+            seed.energy,
+            seed.selections,
+            seed.children,
+            seed.descendant_goals,
+            seed.age_executions,
+        );
+    }
+    out.push(']');
+
+    let _ = write!(out, ",\"plateaus\":{}", snap.plateaus);
+    match &snap.last_plateau {
+        Some(plateau) => {
+            out.push_str(",\"plateau\":{\"t_s\":");
+            push_json_f64(&mut out, plateau.t);
+            let _ =
+                write!(out, ",\"executions\":{},\"open\":{}}}", plateau.executions, plateau.open);
+        }
+        None => out.push_str(",\"plateau\":null"),
+    }
+
     out.push_str(",\"series\":[");
     for (i, point) in snap.series.iter().enumerate() {
         if i > 0 {
@@ -148,6 +206,8 @@ table{border-collapse:collapse;width:100%;margin:.6rem 0}\n\
 th,td{border:1px solid #dde;padding:.25rem .5rem;text-align:left}\n\
 th{background:#eef0f6}\n\
 svg{background:#fbfcff;border:1px solid #ccd;border-radius:6px}\n\
+.banner{border:1px solid #c98;border-radius:6px;background:#fdf3ec;color:#742;padding:.5rem .8rem;margin:1rem 0}\n\
+.bar{color:#2a6fb0;letter-spacing:-1px}\n\
 footer{color:#567;font-size:.8rem;margin-top:2rem}\n\
 </style>\n";
 
@@ -185,13 +245,25 @@ pub(crate) fn dashboard_html(model: &str, snap: &TelemetrySnapshot) -> String {
     tile(branch_count.saturating_sub(covered).to_string(), "open frontier");
     tile(snap.corpus_size.to_string(), "corpus entries");
     tile(snap.totals.violations.to_string(), "violations");
+    tile(format!("{:.2}/s", snap.goals_per_second()), "goal rate");
     if let Some(bytes) = snap.jit_code_bytes {
         tile(format!("{:.1} KiB", bytes as f64 / 1024.0), "JIT code");
     }
     out.push_str("</div>\n");
 
+    if let Some(plateau) = &snap.last_plateau {
+        let _ = writeln!(
+            out,
+            "<div class=\"banner\"><b>search plateau</b> — {} quiet window(s) so far; \
+             last fired at {} executions (t={:.1}s) with {} goal(s) still open. \
+             See <a href=\"/snapshot\">/snapshot</a> and the JSONL event log for the frontier diff.</div>",
+            snap.plateaus, plateau.executions, plateau.t, plateau.open
+        );
+    }
+
     render_series_svg(&mut out, &snap.series, branch_count);
     render_span_table(&mut out, snap);
+    render_search_health(&mut out, snap);
 
     out.push_str(
         "<footer>live: <a href=\"/metrics\">/metrics</a> (Prometheus) · \
@@ -283,6 +355,89 @@ fn render_span_table(out: &mut String, snap: &TelemetrySnapshot) {
     out.push_str("</table>\n");
 }
 
+/// The "Search health" panel: per-operator yield table, the corpus age
+/// histogram, and the mutation-time goal rate — the live view of where the
+/// search's effort goes and whether it is still paying off.
+fn render_search_health(out: &mut String, snap: &TelemetrySnapshot) {
+    out.push_str("<h2>Search health</h2>\n");
+
+    let yields = snap.yield_reports();
+    if yields.iter().all(|row| row.executed == 0) {
+        out.push_str("<p>No mutation yields recorded yet.</p>\n");
+    } else {
+        out.push_str(
+            "<table><tr><th>operator</th><th>executed</th><th>new coverage</th>\
+             <th>corpus insert</th><th>violation</th><th>hit rate</th></tr>\n",
+        );
+        for row in &yields {
+            let hit_rate = if row.executed == 0 {
+                0.0
+            } else {
+                100.0 * row.new_coverage as f64 / row.executed as f64
+            };
+            let _ = writeln!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{hit_rate:.2}%</td></tr>",
+                escape_html(&row.name),
+                row.executed,
+                row.new_coverage,
+                row.corpus_insert,
+                row.violation,
+            );
+        }
+        out.push_str("</table>\n");
+        if let Some(rate) = snap.goals_per_mutation_ns() {
+            let _ = writeln!(
+                out,
+                "<p>goal rate: {:.2} goals/s wall-clock; {:.3} goals per ms spent mutating.</p>",
+                snap.goals_per_second(),
+                rate * 1e6
+            );
+        }
+    }
+
+    render_corpus_age_histogram(out, &snap.corpus_seeds);
+}
+
+/// Corpus age distribution: equal-width buckets over the age range with
+/// text bars. A corpus whose mass sits in the oldest buckets has stopped
+/// committing children — the visual signature of a plateau.
+fn render_corpus_age_histogram(out: &mut String, seeds: &[CorpusSeedReport]) {
+    out.push_str("<h3>Corpus age</h3>\n");
+    if seeds.is_empty() {
+        out.push_str("<p>No corpus forensics published yet.</p>\n");
+        return;
+    }
+    const BUCKETS: usize = 8;
+    const BAR_CELLS: usize = 24;
+    let max_age = seeds.iter().map(|s| s.age_executions).max().unwrap_or(0);
+    let width = (max_age / BUCKETS as u64 + 1).max(1);
+    let mut counts = [0usize; BUCKETS];
+    for seed in seeds {
+        counts[((seed.age_executions / width) as usize).min(BUCKETS - 1)] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    out.push_str("<table><tr><th>age (executions)</th><th>seeds</th><th></th></tr>\n");
+    for (i, count) in counts.iter().enumerate() {
+        let lo = i as u64 * width;
+        let hi = lo + width;
+        let cells = (count * BAR_CELLS).div_ceil(peak).min(BAR_CELLS);
+        let _ = writeln!(
+            out,
+            "<tr><td>{lo}–{hi}</td><td>{count}</td><td><span class=\"bar\">{}</span></td></tr>",
+            "▮".repeat(if *count == 0 { 0 } else { cells }),
+        );
+    }
+    out.push_str("</table>\n");
+    let selections: u64 = seeds.iter().map(|s| s.selections).sum();
+    let goals: u64 = seeds.iter().map(|s| s.descendant_goals).sum();
+    let _ = writeln!(
+        out,
+        "<p>{} seed(s) under schedule; {selections} selections; {goals} descendant goal(s) credited.</p>",
+        seeds.len()
+    );
+}
+
 /// Human-scale duration: picks ns/µs/ms/s by magnitude.
 fn format_ns(ns: u64) -> String {
     match ns {
@@ -315,6 +470,7 @@ mod tests {
 
     fn populated_snapshot() -> TelemetrySnapshot {
         let t = Telemetry::new();
+        t.set_operator_labels(&["FlipBits", "InsertTuple"]);
         t.emit(&Event::CampaignStart {
             model: "M".into(),
             seed: 1,
@@ -322,12 +478,42 @@ mod tests {
             budget_ms: Some(1_000),
             branch_count: 20,
         });
-        let mut stats = ShardStats::new(4);
+        let mut stats = ShardStats::new(2);
         stats.executions = 500;
         stats.spans.record(SpanKind::Execution, 1_500);
         stats.spans.record(SpanKind::Mutation, 500);
+        stats.yields.record(0, cftcg_telemetry::YieldOutcome::Executed);
+        stats.yields.record(0, cftcg_telemetry::YieldOutcome::NewCoverage);
+        stats.yields.record(1, cftcg_telemetry::YieldOutcome::Executed);
         t.merge_shard(0, &stats, 5);
         t.emit(&Event::NewCoverage { shard: 0, executions: 500, covered: 8, total: 20, t: 0.2 });
+        t.set_corpus_seeds(
+            0,
+            vec![
+                CorpusSeedReport {
+                    id: 1,
+                    size_bytes: 16,
+                    metric: 3,
+                    new_branches: 1,
+                    energy: 36,
+                    selections: 9,
+                    children: 2,
+                    descendant_goals: 4,
+                    age_executions: 480,
+                },
+                CorpusSeedReport {
+                    id: 2,
+                    size_bytes: 8,
+                    metric: 1,
+                    new_branches: 0,
+                    energy: 2,
+                    selections: 1,
+                    children: 0,
+                    descendant_goals: 0,
+                    age_executions: 40,
+                },
+            ],
+        );
         t.snapshot()
     }
 
@@ -351,6 +537,57 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_json_carries_search_forensics() {
+        let snap = populated_snapshot();
+        let body = snapshot_json("M", &snap);
+        let parsed = Json::parse(&body).expect("snapshot JSON parses");
+
+        let yields = parsed.get("yields").unwrap().as_array().unwrap();
+        assert_eq!(yields.len(), 2, "one row per labeled operator");
+        assert_eq!(yields[0].get("name").unwrap().as_str(), Some("FlipBits"));
+        assert_eq!(yields[0].get("executed").unwrap().as_u64(), Some(1));
+        assert_eq!(yields[0].get("new_coverage").unwrap().as_u64(), Some(1));
+        assert_eq!(yields[1].get("executed").unwrap().as_u64(), Some(1));
+        assert_eq!(yields[1].get("new_coverage").unwrap().as_u64(), Some(0));
+
+        assert!(parsed.get("goals_per_second").unwrap().as_f64().unwrap() >= 0.0);
+        // covered=8 over 500ns of mutation spans.
+        let per_ns = parsed.get("goals_per_mutation_ns").unwrap().as_f64().unwrap();
+        assert!((per_ns - 8.0 / 500.0).abs() < 1e-12, "joins the span profile: {per_ns}");
+
+        let seeds = parsed.get("corpus_seeds").unwrap().as_array().unwrap();
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[0].get("id").unwrap().as_u64(), Some(1));
+        assert_eq!(seeds[0].get("selections").unwrap().as_u64(), Some(9));
+        assert_eq!(seeds[0].get("descendant_goals").unwrap().as_u64(), Some(4));
+        assert_eq!(seeds[0].get("age_executions").unwrap().as_u64(), Some(480));
+
+        assert_eq!(parsed.get("plateaus").unwrap().as_u64(), Some(0));
+        assert!(parsed.get("plateau").is_some(), "plateau key present (null)");
+    }
+
+    #[test]
+    fn snapshot_json_folds_plateau_events() {
+        let t = Telemetry::new();
+        t.emit(&Event::Plateau {
+            shard: 0,
+            executions: 2_000,
+            window: 500,
+            covered: 7,
+            total: 12,
+            open: 5,
+            frontier: Vec::new(),
+            t: 1.25,
+        });
+        let body = snapshot_json("M", &t.snapshot());
+        let parsed = Json::parse(&body).expect("snapshot JSON parses");
+        assert_eq!(parsed.get("plateaus").unwrap().as_u64(), Some(1));
+        let plateau = parsed.get("plateau").unwrap();
+        assert_eq!(plateau.get("executions").unwrap().as_u64(), Some(2_000));
+        assert_eq!(plateau.get("open").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
     fn dashboard_renders_curve_and_span_table() {
         let snap = populated_snapshot();
         let html = dashboard_html("Tiny<PV>", &snap);
@@ -362,11 +599,44 @@ mod tests {
     }
 
     #[test]
+    fn dashboard_renders_the_search_health_panel() {
+        let snap = populated_snapshot();
+        let html = dashboard_html("PV", &snap);
+        assert!(html.contains("Search health"));
+        assert!(html.contains("<td>FlipBits</td>"), "yield table row: {html}");
+        assert!(html.contains("100.00%"), "FlipBits hit rate");
+        assert!(html.contains("Corpus age"), "age histogram present");
+        assert!(html.contains("2 seed(s) under schedule"));
+        assert!(!html.contains("search plateau"), "no banner before a plateau fires");
+    }
+
+    #[test]
+    fn dashboard_shows_a_plateau_banner() {
+        let t = Telemetry::new();
+        t.emit(&Event::Plateau {
+            shard: 0,
+            executions: 4_000,
+            window: 1_000,
+            covered: 9,
+            total: 12,
+            open: 3,
+            frontier: Vec::new(),
+            t: 2.0,
+        });
+        let html = dashboard_html("PV", &t.snapshot());
+        assert!(html.contains("search plateau"), "banner rendered: {html}");
+        assert!(html.contains("4000 executions"));
+        assert!(html.contains("3 goal(s) still open"));
+    }
+
+    #[test]
     fn dashboard_degrades_gracefully_when_empty() {
         let t = Telemetry::new();
         let html = dashboard_html("Empty", &t.snapshot());
         assert!(html.contains("No samples yet"));
         assert!(html.contains("No spans recorded yet"));
+        assert!(html.contains("No mutation yields recorded yet"));
+        assert!(html.contains("No corpus forensics published yet"));
     }
 
     #[test]

@@ -19,6 +19,33 @@ pub struct OperatorReport {
     pub coverage_earning: u64,
 }
 
+/// One mutation operator's yield-matrix row, carried by
+/// [`Event::CampaignEnd`] (and the snapshot/report surfaces).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct YieldReport {
+    /// Mutation-operator name (Table 1 spelling).
+    pub name: String,
+    /// Candidate executions whose mutation chain included this operator.
+    pub executed: u64,
+    /// Of those, how many covered at least one new branch.
+    pub new_coverage: u64,
+    /// Of those, how many were committed to the corpus.
+    pub corpus_insert: u64,
+    /// Of those, how many first witnessed an assertion violation.
+    pub violation: u64,
+}
+
+/// One still-open goal named by a [`Event::Plateau`] frontier diff: the
+/// goal's human-readable label and its frontier cause classification tag
+/// (pre-rendered by the fuzz layer — telemetry stays coverage-agnostic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlateauGoal {
+    /// The goal label (e.g. `charge_ok outcome=true`).
+    pub label: String,
+    /// The frontier cause tag (e.g. `unreached-decision`, `mcdc-pair`).
+    pub cause: String,
+}
+
 /// A campaign event. Field names below match the JSON keys exactly.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -142,6 +169,31 @@ pub enum Event {
         /// Total branch probes.
         total: usize,
     },
+    /// The coverage frontier stalled: a full detection window of executions
+    /// elapsed without a single new goal. Carries a frontier diff naming
+    /// the still-open goals and their cause classifications, so a stalled
+    /// campaign explains *what* it is stuck on. Fires once per quiet
+    /// window; a campaign that stays stalled emits one event per window.
+    Plateau {
+        /// Shard that detected the stall (coordinator = 0).
+        shard: usize,
+        /// Executions completed when the window closed.
+        executions: u64,
+        /// Detection window width, in executions.
+        window: u64,
+        /// Branches covered (unchanged across the whole window).
+        covered: usize,
+        /// Total branch probes.
+        total: usize,
+        /// Open goals at detection time (full frontier size; `frontier`
+        /// below may be capped).
+        open: u64,
+        /// The frontier diff: still-open goals with cause classifications
+        /// (capped to the first [`PLATEAU_FRONTIER_CAP`] entries).
+        frontier: Vec<PlateauGoal>,
+        /// Seconds since campaign start.
+        t: f64,
+    },
     /// The campaign finished: final aggregates and operator attribution.
     CampaignEnd {
         /// Inputs executed.
@@ -160,8 +212,15 @@ pub enum Event {
         iterations_per_second: f64,
         /// Per-operator attribution.
         operators: Vec<OperatorReport>,
+        /// Per-operator × per-outcome mutation yield (empty when the
+        /// campaign ran without yield accounting).
+        yields: Vec<YieldReport>,
     },
 }
+
+/// Upper bound on frontier rows carried by one [`Event::Plateau`] — keeps
+/// the JSONL line bounded on models with huge open frontiers.
+pub const PLATEAU_FRONTIER_CAP: usize = 32;
 
 impl Event {
     /// The `"type"` discriminator string.
@@ -176,6 +235,7 @@ impl Event {
             Event::SyncRound { .. } => "sync-round",
             Event::SpanSummary { .. } => "span-summary",
             Event::BenchPoint { .. } => "bench-point",
+            Event::Plateau { .. } => "plateau",
             Event::CampaignEnd { .. } => "campaign-end",
         }
     }
@@ -279,6 +339,23 @@ impl Event {
                 push_json_f64(&mut out, *t);
                 out.push_str(&format!(",\"covered\":{covered},\"total\":{total}"));
             }
+            Event::Plateau { shard, executions, window, covered, total, open, frontier, t } => {
+                out.push_str(&format!(
+                    ",\"shard\":{shard},\"executions\":{executions},\"window\":{window},\"covered\":{covered},\"total\":{total},\"open\":{open},\"frontier\":["
+                ));
+                for (i, goal) in frontier.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"label\":");
+                    push_json_str(&mut out, &goal.label);
+                    out.push_str(",\"cause\":");
+                    push_json_str(&mut out, &goal.cause);
+                    out.push('}');
+                }
+                out.push_str("],\"t\":");
+                push_json_f64(&mut out, *t);
+            }
             Event::CampaignEnd {
                 executions,
                 iterations,
@@ -288,6 +365,7 @@ impl Event {
                 elapsed_s,
                 iterations_per_second,
                 operators,
+                yields,
             } => {
                 out.push_str(&format!(
                     ",\"executions\":{executions},\"iterations\":{iterations},\"covered\":{covered},\"total\":{total},\"violations\":{violations},\"elapsed_s\":"
@@ -305,6 +383,18 @@ impl Event {
                     out.push_str(&format!(
                         ",\"executions\":{},\"coverage_earning\":{}}}",
                         op.executions, op.coverage_earning
+                    ));
+                }
+                out.push_str("],\"yields\":[");
+                for (i, row) in yields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"name\":");
+                    push_json_str(&mut out, &row.name);
+                    out.push_str(&format!(
+                        ",\"executed\":{},\"new_coverage\":{},\"corpus_insert\":{},\"violation\":{}}}",
+                        row.executed, row.new_coverage, row.corpus_insert, row.violation
                     ));
                 }
                 out.push(']');
@@ -375,6 +465,19 @@ mod tests {
                 covered: 9,
                 total: 40,
             },
+            Event::Plateau {
+                shard: 0,
+                executions: 9_000,
+                window: 4_096,
+                covered: 48,
+                total: 56,
+                open: 8,
+                frontier: vec![PlateauGoal {
+                    label: "charge_ok \"outcome\"=true".into(),
+                    cause: "mcdc-pair".into(),
+                }],
+                t: 2.9,
+            },
             Event::CampaignEnd {
                 executions: 10_000,
                 iterations: 1_000_000,
@@ -387,6 +490,13 @@ mod tests {
                     name: "EraseTuples".into(),
                     executions: 900,
                     coverage_earning: 12,
+                }],
+                yields: vec![YieldReport {
+                    name: "EraseTuples".into(),
+                    executed: 900,
+                    new_coverage: 12,
+                    corpus_insert: 40,
+                    violation: 1,
                 }],
             },
         ];
@@ -430,11 +540,46 @@ mod tests {
                 OperatorReport { name: "A".into(), executions: 10, coverage_earning: 2 },
                 OperatorReport { name: "B".into(), executions: 20, coverage_earning: 0 },
             ],
+            yields: vec![YieldReport {
+                name: "A".into(),
+                executed: 10,
+                new_coverage: 2,
+                corpus_insert: 5,
+                violation: 0,
+            }],
         };
         let parsed = Json::parse(&event.to_json()).unwrap();
         let ops = parsed.get("operators").unwrap().as_array().unwrap();
         assert_eq!(ops.len(), 2);
         assert_eq!(ops[0].get("name").unwrap().as_str(), Some("A"));
         assert_eq!(ops[1].get("executions").unwrap().as_u64(), Some(20));
+        let yields = parsed.get("yields").unwrap().as_array().unwrap();
+        assert_eq!(yields.len(), 1);
+        assert_eq!(yields[0].get("corpus_insert").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn plateau_frontier_round_trips() {
+        let event = Event::Plateau {
+            shard: 0,
+            executions: 4_096,
+            window: 2_048,
+            covered: 10,
+            total: 56,
+            open: 46,
+            frontier: vec![
+                PlateauGoal { label: "a".into(), cause: "unreached-decision".into() },
+                PlateauGoal { label: "b \"quoted\"".into(), cause: "mcdc-pair".into() },
+            ],
+            t: 1.0,
+        };
+        let parsed = Json::parse(&event.to_json()).unwrap();
+        assert_eq!(parsed.get("type").unwrap().as_str(), Some("plateau"));
+        assert_eq!(parsed.get("open").unwrap().as_u64(), Some(46));
+        assert_eq!(parsed.get("window").unwrap().as_u64(), Some(2_048));
+        let frontier = parsed.get("frontier").unwrap().as_array().unwrap();
+        assert_eq!(frontier.len(), 2);
+        assert_eq!(frontier[1].get("label").unwrap().as_str(), Some("b \"quoted\""));
+        assert_eq!(frontier[1].get("cause").unwrap().as_str(), Some("mcdc-pair"));
     }
 }

@@ -66,7 +66,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-pub use event::{Event, OperatorReport};
+pub use event::{Event, OperatorReport, PlateauGoal, YieldReport, PLATEAU_FRONTIER_CAP};
 pub use histogram::{Histogram, BUCKETS};
 pub use series::{SeriesPoint, SeriesRing};
 pub use span::{
@@ -141,6 +141,156 @@ impl OperatorCounters {
     }
 }
 
+/// What a candidate execution attributed to a mutation operator achieved —
+/// the outcome axis of the [`YieldMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YieldOutcome {
+    /// The candidate ran (every attributed execution lands here).
+    Executed,
+    /// The candidate covered at least one new (shard-local) branch.
+    NewCoverage,
+    /// The candidate was committed to the corpus (append or replace).
+    CorpusInsert,
+    /// The candidate first witnessed an assertion violation.
+    Violation,
+}
+
+impl YieldOutcome {
+    /// Number of outcome classes.
+    pub const COUNT: usize = 4;
+
+    /// All outcomes, in matrix-column order.
+    pub const ALL: [YieldOutcome; YieldOutcome::COUNT] = [
+        YieldOutcome::Executed,
+        YieldOutcome::NewCoverage,
+        YieldOutcome::CorpusInsert,
+        YieldOutcome::Violation,
+    ];
+
+    /// Stable snake_case label (Prometheus `outcome` label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            YieldOutcome::Executed => "executed",
+            YieldOutcome::NewCoverage => "new_coverage",
+            YieldOutcome::CorpusInsert => "corpus_insert",
+            YieldOutcome::Violation => "violation",
+        }
+    }
+
+    /// The outcome's column index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The per-operator × per-outcome yield matrix: for every mutation
+/// operator, how many attributed candidate executions reached each
+/// [`YieldOutcome`]. Same merge algebra as [`OperatorCounters`] —
+/// element-wise addition, commutative and associative — so it rides the
+/// shard delta/merge machinery unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct YieldMatrix {
+    rows: Vec<[u64; YieldOutcome::COUNT]>,
+}
+
+impl YieldMatrix {
+    /// A zeroed matrix with `n` operator rows.
+    pub fn new(n: usize) -> Self {
+        YieldMatrix { rows: vec![[0; YieldOutcome::COUNT]; n] }
+    }
+
+    /// Number of operator rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no operator rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Records one outcome for operator `operator`.
+    #[inline]
+    pub fn record(&mut self, operator: usize, outcome: YieldOutcome) {
+        self.rows[operator][outcome.index()] += 1;
+    }
+
+    /// One cell of the matrix (0 for out-of-range rows).
+    pub fn get(&self, operator: usize, outcome: YieldOutcome) -> u64 {
+        self.rows.get(operator).map_or(0, |row| row[outcome.index()])
+    }
+
+    /// Column total across every operator.
+    pub fn total(&self, outcome: YieldOutcome) -> u64 {
+        self.rows.iter().map(|row| row[outcome.index()]).sum()
+    }
+
+    /// Folds another matrix into this one, growing if needed.
+    pub fn merge_from(&mut self, other: &YieldMatrix) {
+        if other.len() > self.len() {
+            self.rows.resize(other.len(), [0; YieldOutcome::COUNT]);
+        }
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+    }
+
+    /// The difference `self − baseline` (both from the same monotone
+    /// counter stream).
+    pub fn delta_since(&self, baseline: &YieldMatrix) -> YieldMatrix {
+        let rows = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let base = baseline.rows.get(i).copied().unwrap_or_default();
+                std::array::from_fn(|j| row[j].saturating_sub(base[j]))
+            })
+            .collect();
+        YieldMatrix { rows }
+    }
+}
+
+/// One corpus entry's scheduling forensics, published wholesale by the
+/// owning shard at sync points (a gauge set, not a counter stream): how
+/// often the seed was selected as a mutation base, how many of its mutants
+/// were committed, the goal yield of its whole descendant subtree, and its
+/// current energy/age in the schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorpusSeedReport {
+    /// Stable lineage id of the retained input.
+    pub id: u64,
+    /// Input size in bytes.
+    pub size_bytes: u64,
+    /// Its iteration-difference metric.
+    pub metric: u64,
+    /// Branches newly covered when it was committed.
+    pub new_branches: u64,
+    /// Current energy (selection ticket weight).
+    pub energy: u64,
+    /// Times selected as a mutation base.
+    pub selections: u64,
+    /// Direct children committed to the corpus or emitted as cases.
+    pub children: u64,
+    /// New branches earned by the seed's descendants (transitive).
+    pub descendant_goals: u64,
+    /// Shard executions elapsed since the entry was committed.
+    pub age_executions: u64,
+}
+
+/// The most recent plateau the registry saw (from a [`Event::Plateau`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlateauSummary {
+    /// Seconds since campaign start when the plateau fired.
+    pub t: f64,
+    /// Executions completed when the plateau fired.
+    pub executions: u64,
+    /// Open goals at the time of the plateau.
+    pub open: u64,
+}
+
 /// One shard's locally owned metrics. Plain data, no locks: the owning
 /// worker increments fields directly; deltas are merged into [`Telemetry`]
 /// at sync points.
@@ -168,6 +318,8 @@ pub struct ShardStats {
     pub sync_duration_ns: Histogram,
     /// Mutation-operator attribution.
     pub operators: OperatorCounters,
+    /// Per-operator × per-outcome mutation yield.
+    pub yields: YieldMatrix,
     /// Span-based self-profiling: per-phase wall-clock attribution
     /// (recorded only when a telemetry handle or trace buffer is attached).
     pub spans: SpanStats,
@@ -176,7 +328,11 @@ pub struct ShardStats {
 impl ShardStats {
     /// Fresh stats with `operator_count` attribution slots.
     pub fn new(operator_count: usize) -> Self {
-        ShardStats { operators: OperatorCounters::new(operator_count), ..Default::default() }
+        ShardStats {
+            operators: OperatorCounters::new(operator_count),
+            yields: YieldMatrix::new(operator_count),
+            ..Default::default()
+        }
     }
 
     /// Folds another stats block into this one.
@@ -191,6 +347,7 @@ impl ShardStats {
         self.mutation_depth.merge_from(&other.mutation_depth);
         self.sync_duration_ns.merge_from(&other.sync_duration_ns);
         self.operators.merge_from(&other.operators);
+        self.yields.merge_from(&other.yields);
         self.spans.merge_from(&other.spans);
     }
 
@@ -208,6 +365,7 @@ impl ShardStats {
             mutation_depth: self.mutation_depth.delta_since(&baseline.mutation_depth),
             sync_duration_ns: self.sync_duration_ns.delta_since(&baseline.sync_duration_ns),
             operators: self.operators.delta_since(&baseline.operators),
+            yields: self.yields.delta_since(&baseline.yields),
             spans: self.spans.delta_since(&baseline.spans),
         }
     }
@@ -240,6 +398,13 @@ pub struct TelemetrySnapshot {
     pub jit_compile_ns: Option<u64>,
     /// The retained coverage/throughput time series, oldest first.
     pub series: Vec<SeriesPoint>,
+    /// Per-corpus-entry scheduling forensics, flattened across shards in
+    /// shard order (empty until a shard publishes).
+    pub corpus_seeds: Vec<CorpusSeedReport>,
+    /// Plateau events witnessed so far.
+    pub plateaus: u64,
+    /// The most recent plateau, when one fired.
+    pub last_plateau: Option<PlateauSummary>,
 }
 
 impl TelemetrySnapshot {
@@ -260,6 +425,37 @@ impl TelemetrySnapshot {
                     .unwrap_or(0),
             })
             .collect()
+    }
+
+    /// The mutation-yield matrix as reportable rows (one per operator).
+    pub fn yield_reports(&self) -> Vec<YieldReport> {
+        self.operator_labels
+            .iter()
+            .enumerate()
+            .map(|(i, name)| YieldReport {
+                name: name.clone(),
+                executed: self.totals.yields.get(i, YieldOutcome::Executed),
+                new_coverage: self.totals.yields.get(i, YieldOutcome::NewCoverage),
+                corpus_insert: self.totals.yields.get(i, YieldOutcome::CorpusInsert),
+                violation: self.totals.yields.get(i, YieldOutcome::Violation),
+            })
+            .collect()
+    }
+
+    /// Branch goals attained per wall-clock second.
+    pub fn goals_per_second(&self) -> f64 {
+        self.covered as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Branch goals attained per nanosecond spent mutating (joins the span
+    /// profile: the mutation-phase histogram sum is the denominator).
+    /// `None` until mutation spans were recorded.
+    pub fn goals_per_mutation_ns(&self) -> Option<f64> {
+        let mutation_ns = self.totals.spans.histogram(SpanKind::Mutation).sum();
+        if mutation_ns == 0 {
+            return None;
+        }
+        Some(self.covered as f64 / mutation_ns as f64)
     }
 }
 
@@ -312,6 +508,10 @@ struct Inner {
     series_last: Option<(f64, u64)>,
     jit_code_bytes: Option<u64>,
     jit_compile_ns: Option<u64>,
+    /// Per-shard corpus scheduling forensics, replaced wholesale on publish.
+    corpus_seeds: Vec<Vec<CorpusSeedReport>>,
+    plateaus: u64,
+    last_plateau: Option<PlateauSummary>,
 }
 
 /// One row of the "hottest blocks" report: accumulated cost of a block
@@ -380,6 +580,9 @@ impl Telemetry {
                 series_last: None,
                 jit_code_bytes: None,
                 jit_compile_ns: None,
+                corpus_seeds: Vec::new(),
+                plateaus: 0,
+                last_plateau: None,
             }),
         }
     }
@@ -455,6 +658,11 @@ impl Telemetry {
                 inner.branch_count = *total;
             }
             Event::Violation { .. } => inner.violations += 1,
+            Event::Plateau { executions, open, t, .. } => {
+                inner.plateaus += 1;
+                inner.last_plateau =
+                    Some(PlateauSummary { t: *t, executions: *executions, open: *open });
+            }
             Event::SyncRound { duration_ms, covered, total, .. } => {
                 inner.last_sync_ms = *duration_ms;
                 inner.covered = inner.covered.max(*covered);
@@ -590,6 +798,16 @@ impl Telemetry {
         self.lock().series.points().to_vec()
     }
 
+    /// Publishes one shard's per-corpus-entry scheduling forensics,
+    /// replacing that shard's previous publication (gauges, not counters).
+    pub fn set_corpus_seeds(&self, shard: usize, seeds: Vec<CorpusSeedReport>) {
+        let mut inner = self.lock();
+        if inner.corpus_seeds.len() <= shard {
+            inner.corpus_seeds.resize_with(shard + 1, Vec::new);
+        }
+        inner.corpus_seeds[shard] = seeds;
+    }
+
     /// Flushes every sink, emits a final span summary, and rewrites the
     /// Prometheus file if attached (call at campaign end).
     pub fn flush(&self) {
@@ -663,6 +881,9 @@ impl Telemetry {
             jit_code_bytes: inner.jit_code_bytes,
             jit_compile_ns: inner.jit_compile_ns,
             series: inner.series.points().to_vec(),
+            corpus_seeds: inner.corpus_seeds.iter().flatten().cloned().collect(),
+            plateaus: inner.plateaus,
+            last_plateau: inner.last_plateau.clone(),
         }
     }
 
@@ -743,6 +964,35 @@ impl Telemetry {
                 op.name, op.coverage_earning
             ));
         }
+
+        // The mutation-yield matrix: one labeled counter series per
+        // operator × outcome cell, in stable (operator, outcome) order.
+        out.push_str(
+            "# HELP cftcg_mutation_yield Candidate executions per mutation operator and outcome\n",
+        );
+        out.push_str("# TYPE cftcg_mutation_yield counter\n");
+        for (i, name) in snapshot.operator_labels.iter().enumerate() {
+            for outcome in YieldOutcome::ALL {
+                out.push_str(&format!(
+                    "cftcg_mutation_yield{{kind=\"{name}\",outcome=\"{}\"}} {}\n",
+                    outcome.name(),
+                    snapshot.totals.yields.get(i, outcome)
+                ));
+            }
+        }
+        out.push_str("# HELP cftcg_goals_per_second Branch goals attained per wall-clock second\n");
+        out.push_str("# TYPE cftcg_goals_per_second gauge\n");
+        out.push_str(&format!("cftcg_goals_per_second {:.4}\n", snapshot.goals_per_second()));
+        if let Some(rate) = snapshot.goals_per_mutation_ns() {
+            out.push_str(
+                "# HELP cftcg_goals_per_mutation_ns Branch goals attained per ns spent mutating\n",
+            );
+            out.push_str("# TYPE cftcg_goals_per_mutation_ns gauge\n");
+            out.push_str(&format!("cftcg_goals_per_mutation_ns {rate:.6e}\n"));
+        }
+        out.push_str("# HELP cftcg_plateaus_total Plateau events witnessed\n");
+        out.push_str("# TYPE cftcg_plateaus_total counter\n");
+        out.push_str(&format!("cftcg_plateaus_total {}\n", snapshot.plateaus));
 
         let blocks = self.block_costs();
         if !blocks.is_empty() {
@@ -1180,6 +1430,114 @@ mod tests {
         let parsed = json::Json::parse(&meta).unwrap();
         assert!(parsed.get("cores").unwrap().as_u64().unwrap() >= 1);
         assert_eq!(parsed.get("budget_ms").unwrap().as_u64(), Some(3_000));
+    }
+
+    #[test]
+    fn yield_matrix_merges_commutatively_and_deltas() {
+        let mut a = YieldMatrix::new(2);
+        a.record(0, YieldOutcome::Executed);
+        a.record(0, YieldOutcome::NewCoverage);
+        a.record(1, YieldOutcome::Executed);
+        let mut b = YieldMatrix::new(3);
+        b.record(2, YieldOutcome::Violation);
+        b.record(0, YieldOutcome::Executed);
+
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.get(0, YieldOutcome::Executed), 2);
+        assert_eq!(ab.get(2, YieldOutcome::Violation), 1);
+        assert_eq!(ab.total(YieldOutcome::Executed), 3);
+
+        let delta = ab.delta_since(&a);
+        assert_eq!(delta.get(0, YieldOutcome::Executed), 1);
+        assert_eq!(delta.get(0, YieldOutcome::NewCoverage), 0);
+        assert_eq!(delta.get(2, YieldOutcome::Violation), 1);
+    }
+
+    #[test]
+    fn mutation_yield_family_rides_the_exposition() {
+        let t = Telemetry::new();
+        t.set_operator_labels(&["EraseTuples", "InsertTuple"]);
+        let mut stats = ShardStats::new(2);
+        stats.executions = 10;
+        stats.yields.record(0, YieldOutcome::Executed);
+        stats.yields.record(0, YieldOutcome::CorpusInsert);
+        stats.yields.record(1, YieldOutcome::Executed);
+        stats.spans.record(SpanKind::Mutation, 5_000);
+        t.merge_shard(0, &stats, 2);
+        t.emit(&Event::NewCoverage { shard: 0, executions: 10, covered: 4, total: 8, t: 0.1 });
+        let text = t.prometheus_text();
+        assert!(text.contains("# TYPE cftcg_mutation_yield counter"), "{text}");
+        assert!(
+            text.contains("cftcg_mutation_yield{kind=\"EraseTuples\",outcome=\"executed\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cftcg_mutation_yield{kind=\"EraseTuples\",outcome=\"corpus_insert\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cftcg_mutation_yield{kind=\"InsertTuple\",outcome=\"violation\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE cftcg_goals_per_second gauge"), "{text}");
+        assert!(text.contains("# TYPE cftcg_goals_per_mutation_ns gauge"), "{text}");
+        assert!(text.contains("cftcg_plateaus_total 0"), "{text}");
+        // Every non-comment line still parses as `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad exposition line: {line}");
+        }
+        // The derived rate joins span data: covered=4 over 5000 mutation ns.
+        let snap = t.snapshot();
+        assert_eq!(snap.goals_per_mutation_ns(), Some(4.0 / 5_000.0));
+        let rows = snap.yield_reports();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "EraseTuples");
+        assert_eq!(rows[0].corpus_insert, 1);
+    }
+
+    #[test]
+    fn corpus_seeds_and_plateau_fold_into_the_snapshot() {
+        let t = Telemetry::new();
+        t.set_corpus_seeds(
+            1,
+            vec![CorpusSeedReport {
+                id: 7,
+                size_bytes: 24,
+                metric: 3,
+                new_branches: 1,
+                energy: 36,
+                selections: 5,
+                children: 2,
+                descendant_goals: 4,
+                age_executions: 100,
+            }],
+        );
+        t.emit(&Event::Plateau {
+            shard: 0,
+            executions: 2_000,
+            window: 1_000,
+            covered: 5,
+            total: 10,
+            open: 5,
+            frontier: vec![PlateauGoal { label: "g".into(), cause: "mcdc-pair".into() }],
+            t: 1.5,
+        });
+        let snap = t.snapshot();
+        assert_eq!(snap.corpus_seeds.len(), 1);
+        assert_eq!(snap.corpus_seeds[0].id, 7);
+        assert_eq!(snap.corpus_seeds[0].descendant_goals, 4);
+        assert_eq!(snap.plateaus, 1);
+        let plateau = snap.last_plateau.expect("plateau folded");
+        assert_eq!(plateau.executions, 2_000);
+        assert_eq!(plateau.open, 5);
+        // Re-publishing shard 1 replaces, never accumulates.
+        t.set_corpus_seeds(1, Vec::new());
+        assert!(t.snapshot().corpus_seeds.is_empty());
     }
 
     #[test]

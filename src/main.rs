@@ -6,7 +6,7 @@
 //! cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR] [--workers N]
 //!              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]
 //!              [--serve ADDR] [--trace-events FILE]
-//!              [--trace-dir DIR] [--trace-every N]
+//!              [--trace-dir DIR] [--trace-every N] [--plateau-window N]
 //!                                                   run the fuzzing loop, write CSV cases
 //!                                                   + campaign.json forensics; --serve
 //!                                                   exposes /metrics, /snapshot and a live
@@ -88,7 +88,7 @@ fn print_usage() {
          \x20 cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR] [--workers N]\n\
          \x20              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]\n\
          \x20              [--serve ADDR] [--trace-events FILE]\n\
-         \x20              [--trace-dir DIR] [--trace-every N]\n\
+         \x20              [--trace-dir DIR] [--trace-every N] [--plateau-window N]\n\
          \x20 cftcg explain <model.mdlx> <campaign.json> [CASE]\n\
          \x20 cftcg trace  <model.mdlx> <campaign.json> <CASE> [--probe PAT]... [--all]\n\
          \x20              [--out FILE.vcd] [--csv FILE.csv] [--profile]\n\
@@ -183,6 +183,8 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     let trace_dir = flag_value(rest, "--trace-dir").map(str::to_string);
     let trace_every: u64 =
         flag_value(rest, "--trace-every").map(str::parse).transpose()?.unwrap_or(1).max(1);
+    let plateau_window: Option<u64> =
+        flag_value(rest, "--plateau-window").map(str::parse).transpose()?;
 
     // Build the telemetry registry only when a sink was requested; without
     // one the loop skips per-execution timing entirely. The observatory is
@@ -224,6 +226,11 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     }
     if let Some(trace) = &span_trace {
         tool = tool.with_span_trace(trace.clone());
+    }
+    if let Some(window) = plateau_window {
+        // Only observable through a telemetry sink; the fuzzing loop arms
+        // the watcher only when a registry is attached.
+        tool = tool.with_plateau_window(window);
     }
     let server = match (serve, &telemetry) {
         (Some(addr), Some(t)) => {
@@ -295,6 +302,7 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
                     coverage_earning: op.coverage_earning,
                 })
                 .collect(),
+            yields: generation.yield_reports(),
         });
         t.status_tick(true);
     }
@@ -364,6 +372,11 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
             .map(|op| (op.name.to_string(), op.executions, op.coverage_earning))
             .collect();
         print!("{}", operator_table(&rows));
+    }
+    let yields = generation.yield_reports();
+    if yields.iter().any(|y| y.executed > 0) {
+        println!("mutation-yield matrix (per-operator outcomes):");
+        print!("{}", yield_table(&yields));
     }
     if let Some(t) = &telemetry {
         let rows = t.block_costs();
@@ -669,6 +682,25 @@ fn operator_table(rows: &[(String, u64, u64)]) -> String {
     out
 }
 
+/// Renders the mutation-yield matrix (per-operator × outcome counters) as
+/// an aligned table, sorted by executed inputs.
+fn yield_table(rows: &[cftcg::telemetry::YieldReport]) -> String {
+    let mut rows: Vec<&cftcg::telemetry::YieldReport> = rows.iter().collect();
+    rows.sort_by_key(|r| (std::cmp::Reverse(r.executed), std::cmp::Reverse(r.new_coverage)));
+    let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(8).max("operator".len());
+    let mut out = format!(
+        "  {:width$}  {:>12}  {:>12}  {:>13}  {:>10}\n",
+        "operator", "executed", "new-coverage", "corpus-insert", "violation"
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "  {:width$}  {:>12}  {:>12}  {:>13}  {:>10}\n",
+            row.name, row.executed, row.new_coverage, row.corpus_insert, row.violation
+        ));
+    }
+    out
+}
+
 /// Renders the per-block-kind "hottest blocks" profile as an aligned table
 /// (already sorted hottest-first by [`Telemetry::block_costs`]).
 fn block_table(rows: &[BlockCost]) -> String {
@@ -720,6 +752,8 @@ fn report(rest: &[String]) -> Result<(), Box<dyn Error>> {
     let mut sync_ms_total = 0.0f64;
     let mut seeds = 0u64;
     let mut evictions = 0u64;
+    let mut plateaus = 0u64;
+    let mut last_plateau: Option<Json> = None;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -746,6 +780,10 @@ fn report(rest: &[String]) -> Result<(), Box<dyn Error>> {
             }
             "seed-added" => seeds += 1,
             "corpus-evict" => evictions += 1,
+            "plateau" => {
+                plateaus += 1;
+                last_plateau = Some(event);
+            }
             _ => {}
         }
     }
@@ -794,6 +832,25 @@ fn report(rest: &[String]) -> Result<(), Box<dyn Error>> {
             println!("  {label}");
         }
     }
+    if let Some(last) = &last_plateau {
+        println!(
+            "plateaus : {plateaus} quiet window(s); last at {} executions with {} goal(s) open",
+            last.get("executions").and_then(Json::as_u64).unwrap_or(0),
+            last.get("open").and_then(Json::as_u64).unwrap_or(0),
+        );
+        if let Some(diff) = last.get("frontier").and_then(Json::as_array) {
+            for row in diff.iter().take(8) {
+                println!(
+                    "  open: {} ({})",
+                    row.get("label").and_then(Json::as_str).unwrap_or("?"),
+                    row.get("cause").and_then(Json::as_str).unwrap_or("?"),
+                );
+            }
+            if diff.len() > 8 {
+                println!("  ... and {} more (see the event log)", diff.len() - 8);
+            }
+        }
+    }
     if let Some(ops) = end.as_ref().and_then(|e| e.get("operators")).and_then(Json::as_array) {
         let rows: Vec<(String, u64, u64)> = ops
             .iter()
@@ -808,6 +865,22 @@ fn report(rest: &[String]) -> Result<(), Box<dyn Error>> {
         if !rows.is_empty() {
             println!("mutation-operator attribution:");
             print!("{}", operator_table(&rows));
+        }
+    }
+    if let Some(yields) = end.as_ref().and_then(|e| e.get("yields")).and_then(Json::as_array) {
+        let rows: Vec<cftcg::telemetry::YieldReport> = yields
+            .iter()
+            .map(|y| cftcg::telemetry::YieldReport {
+                name: y.get("name").and_then(Json::as_str).unwrap_or("?").to_string(),
+                executed: y.get("executed").and_then(Json::as_u64).unwrap_or(0),
+                new_coverage: y.get("new_coverage").and_then(Json::as_u64).unwrap_or(0),
+                corpus_insert: y.get("corpus_insert").and_then(Json::as_u64).unwrap_or(0),
+                violation: y.get("violation").and_then(Json::as_u64).unwrap_or(0),
+            })
+            .collect();
+        if rows.iter().any(|r| r.executed > 0) {
+            println!("mutation-yield matrix (per-operator outcomes):");
+            print!("{}", yield_table(&rows));
         }
     }
     Ok(())

@@ -66,7 +66,7 @@ fn observatory_leaves_workers1_campaign_byte_identical() {
         let scrapes = Arc::clone(&scrapes);
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                for path in ["/metrics", "/snapshot", "/"] {
+                for path in ["/metrics", "/snapshot", "/", "/healthz"] {
                     if let Some(response) = http_get(addr, path) {
                         assert!(response.starts_with("HTTP/1.1 200"), "{path}: {response}");
                         scrapes.fetch_add(1, Ordering::Relaxed);
@@ -77,10 +77,14 @@ fn observatory_leaves_workers1_campaign_byte_identical() {
     };
 
     let observed = {
+        // Every introspection layer armed: registry, span trace, and the
+        // plateau detector (yield stats and corpus accounting are always
+        // on once a registry is attached).
         let tool = Cftcg::new(&model)
             .expect("benchmark compiles")
             .with_telemetry(Arc::clone(&telemetry))
-            .with_span_trace(trace.clone());
+            .with_span_trace(trace.clone())
+            .with_plateau_window(500);
         let generation = tool.generate_parallel_executions(EXECUTIONS, SEED, 1);
         CampaignArtifact::from_generation(model.name(), SEED, 1, &generation, tool.compiled().map())
             .to_json()

@@ -52,7 +52,8 @@ fn live_solar_pv_campaign_serves_all_endpoints() {
             let tool = Cftcg::new(&model)
                 .expect("benchmark compiles")
                 .with_telemetry(telemetry)
-                .with_span_trace(trace);
+                .with_span_trace(trace)
+                .with_plateau_window(2_000);
             tool.generate(Duration::from_millis(1_200), 0)
         })
     };
@@ -92,9 +93,12 @@ fn live_solar_pv_campaign_serves_all_endpoints() {
     assert!(body.contains("SolarPV"), "dashboard names the model");
     assert!(body.contains("http-equiv=\"refresh\""), "dashboard self-refreshes");
 
-    // Unknown paths 404, non-GET methods 400 — without killing the server.
+    // Unknown paths 404, /healthz answers — without killing the server.
     let (head, _) = http_get(addr, "/nope");
     assert!(head.starts_with("HTTP/1.1 404"), "unknown path: {head}");
+    let (head, body) = http_get(addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "healthz: {head}");
+    assert_eq!(body, "ok\n");
 
     let generation = campaign.join().expect("campaign thread");
     assert!(generation.executions > 0);
@@ -103,6 +107,24 @@ fn live_solar_pv_campaign_serves_all_endpoints() {
     // the span trace exports Perfetto-loadable Chrome trace JSON.
     let (_, body) = http_get(addr, "/metrics");
     assert!(executions_total(&body) >= generation.executions);
+    // The mutation-yield family is present and labeled per kind × outcome.
+    assert!(body.contains("cftcg_mutation_yield{kind="), "yield family exported:\n{body}");
+    assert!(body.contains("outcome=\"executed\"}"), "outcome labels exported");
+    assert!(body.contains("cftcg_goals_per_second "), "goal rate exported");
+    assert!(body.contains("cftcg_plateaus_total "), "plateau counter exported");
+
+    // The snapshot carries the new search-forensics sections.
+    let (_, body) = http_get(addr, "/snapshot");
+    let snapshot = Json::parse(&body).expect("final snapshot is valid JSON");
+    let yields = snapshot.get("yields").and_then(Json::as_array).expect("yields section");
+    assert!(!yields.is_empty(), "yield rows present after a fuzzing run");
+    assert!(
+        yields.iter().any(|y| y.get("executed").and_then(Json::as_u64).unwrap_or(0) > 0),
+        "some operator executed"
+    );
+    let seeds = snapshot.get("corpus_seeds").and_then(Json::as_array).expect("corpus_seeds");
+    assert!(!seeds.is_empty(), "corpus forensics published at flush");
+    assert!(snapshot.get("plateaus").is_some(), "plateau counter in snapshot");
     let chrome = trace.to_chrome_json();
     let parsed = Json::parse(&chrome).expect("trace is valid JSON");
     let events = parsed.get("traceEvents").and_then(Json::as_array).expect("traceEvents array");
