@@ -13,7 +13,14 @@
 //!
 //! ```sh
 //! cargo run --release -p cftcg-bench --bin speed
+//! cargo run --release -p cftcg-bench --bin speed -- --check-regress
 //! ```
+//!
+//! Besides the flat `results/BENCH_parallel.json` snapshot (clobbered per
+//! run), every run appends a timestamped record to
+//! `results/history/parallel.jsonl`; `--check-regress` gates the new point
+//! against the trailing median of that history (>15% throughput drop or
+//! any covered-branches drop fails) and exits non-zero on regression.
 
 use std::time::{Duration, Instant};
 
@@ -90,7 +97,10 @@ fn main() {
          explicit frontier grows the same way until its budget trips)"
     );
 
-    parallel_sweep(&tool, budget);
+    if !parallel_sweep(&tool, budget) {
+        eprintln!("speed --check-regress FAILED (see violations above)");
+        std::process::exit(1);
+    }
 }
 
 /// Sweeps the sharded parallel engine over worker counts on SolarPV and
@@ -100,7 +110,7 @@ fn main() {
 /// Each row carries a span-derived phase attribution (`phases`): the share
 /// of attributed wall-clock spent executing inputs vs synchronizing shards
 /// vs mutating, so scaling losses are diagnosable from the artifact alone.
-fn parallel_sweep(tool: &Cftcg, budget: Duration) {
+fn parallel_sweep(tool: &Cftcg, budget: Duration) -> bool {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let max_workers = cftcg_bench::workers().max(4);
     let mut counts = vec![1usize, 2, 4];
@@ -208,4 +218,17 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) {
         Ok(()) => println!("  wrote results/BENCH_parallel.json"),
         Err(e) => eprintln!("  could not write results/BENCH_parallel.json: {e}"),
     }
+
+    // Append-only history + the optional regression gate: per-worker-count
+    // throughput ratio-compared, covered branches absolutely.
+    let record = cftcg_compare::HistoryRecord {
+        t_unix: cftcg_bench::unix_now(),
+        bench: "parallel".to_string(),
+        throughput: rows.iter().map(|r| (format!("SolarPV/x{}", r.workers), r.rate)).collect(),
+        coverage: rows
+            .iter()
+            .map(|r| (format!("SolarPV/x{}", r.workers), r.covered as f64))
+            .collect(),
+    };
+    cftcg_bench::record_history(&record)
 }

@@ -16,6 +16,12 @@
 //! additionally be at least as fast as the flat VM on every model and at
 //! least 2× on SolarPV. On hosts without the JIT (non-x86-64, or a
 //! `--no-default-features` build) the JIT gates are skipped gracefully.
+//!
+//! Besides the flat `results/BENCH_vm.json` snapshot (clobbered per run),
+//! every run appends a timestamped record to `results/history/vm.jsonl`;
+//! `--check-regress` gates the new point against the trailing median of
+//! that history (>15% throughput drop fails) and exits non-zero on
+//! regression.
 
 use std::time::{Duration, Instant};
 
@@ -211,6 +217,28 @@ fn main() {
     match std::fs::write(dir.join("BENCH_vm.json"), &json) {
         Ok(()) => println!("  wrote results/BENCH_vm.json"),
         Err(e) => eprintln!("  could not write results/BENCH_vm.json: {e}"),
+    }
+
+    // Append-only history + the optional `--check-regress` gate: per-model
+    // per-engine throughput. No coverage axis here — this bench measures
+    // raw executor speed only.
+    let mut throughput = Vec::new();
+    for row in &rows {
+        throughput.push((format!("{}/ref", row.model), row.reference));
+        throughput.push((format!("{}/flat", row.model), row.flat));
+        if let Some(jit) = row.jit {
+            throughput.push((format!("{}/jit", row.model), jit));
+        }
+    }
+    let record = cftcg_compare::HistoryRecord {
+        t_unix: cftcg_bench::unix_now(),
+        bench: "vm".to_string(),
+        throughput,
+        coverage: Vec::new(),
+    };
+    if !cftcg_bench::record_history(&record) {
+        eprintln!("vm_throughput --check-regress FAILED (see violations above)");
+        std::process::exit(1);
     }
 
     if check {

@@ -64,6 +64,54 @@ pub fn workers() -> usize {
         .max(1)
 }
 
+/// Records one benchmark observation into the append-only history
+/// (`results/history/<bench>.jsonl` — the flat `results/BENCH_*.json`
+/// snapshot still gets clobbered per run, but the history accumulates),
+/// and, when the binary was invoked with `--check-regress`, gates the new
+/// point against the trailing median of the *existing* history first.
+///
+/// Returns `false` when the gate tripped — the caller should exit
+/// non-zero. A missing or incomparable history never fails the gate (first
+/// run seeds it), and a broken history file only warns: recording
+/// benchmarks must not make a bench run fail for bookkeeping reasons.
+pub fn record_history(record: &cftcg_compare::HistoryRecord) -> bool {
+    let check = std::env::args().any(|a| a == "--check-regress");
+    let dir = std::path::Path::new("results");
+    let mut ok = true;
+    if check {
+        match cftcg_compare::load_history(dir, &record.bench) {
+            Ok(history) => {
+                let violations =
+                    cftcg_compare::check_regress(&history, record, cftcg_compare::DEFAULT_WINDOW);
+                for v in &violations {
+                    eprintln!("check-regress: {v}");
+                }
+                if violations.is_empty() {
+                    println!(
+                        "  check-regress: no regression against {} trailing record(s)",
+                        history.len().min(cftcg_compare::DEFAULT_WINDOW)
+                    );
+                } else {
+                    ok = false;
+                }
+            }
+            Err(e) => eprintln!("check-regress: skipping gate, history unreadable: {e}"),
+        }
+    }
+    match cftcg_compare::append_history(dir, record) {
+        Ok(path) => println!("  appended history record to {}", path.display()),
+        Err(e) => eprintln!("  could not append bench history: {e}"),
+    }
+    ok
+}
+
+/// Unix timestamp (seconds) for history records.
+pub fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
 /// An optional shared telemetry registry for bench binaries, from the
 /// `CFTCG_STATS_JSONL` environment variable: when set, a registry with a
 /// JSONL sink writing to that path is returned and benchmark runs log

@@ -1,0 +1,109 @@
+//! Frontier-cause migration between two campaigns: which blocked goals one
+//! side unblocked, and how the cause classification of the goals still open
+//! on both sides shifted. Replay-based — the artifact stores suite bytes,
+//! not observations, so both suites are run through the compiled model to
+//! rebuild the evidence the frontier analysis needs.
+
+use cftcg_codegen::{replay_case, CompiledModel, TestCase};
+use cftcg_core::CampaignArtifact;
+use cftcg_coverage::{frontier, FrontierEntry, FullTracker, Goal, InstrumentationMap};
+
+/// One goal open on one side and closed (or differently blocked) on the
+/// other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigratedGoal {
+    /// The goal.
+    pub goal: Goal,
+    /// Goal label resolved to the model block path.
+    pub label: String,
+    /// Cause tag on the side where the goal is (or was) open.
+    pub cause: String,
+    /// The open side's cause elaboration (blocked MCDC pair, observed
+    /// polarity, …).
+    pub detail: String,
+}
+
+/// A goal open on both sides, with both cause classifications — a cause
+/// change without coverage (e.g. `mcdc-decision-never-reached` →
+/// `mcdc-blocked-pair`) still shows search progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenBoth {
+    /// The goal.
+    pub goal: Goal,
+    /// Goal label resolved to the model block path.
+    pub label: String,
+    /// Cause tag in campaign A.
+    pub cause_a: String,
+    /// Cause tag in campaign B.
+    pub cause_b: String,
+}
+
+/// The frontier migration between two campaigns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierMigration {
+    /// Goals open in A that B closed, with A's blocking cause.
+    pub unblocked_by_b: Vec<MigratedGoal>,
+    /// Goals open in B that A closed, with B's blocking cause.
+    pub unblocked_by_a: Vec<MigratedGoal>,
+    /// Goals open on both sides, with both cause tags.
+    pub open_both: Vec<OpenBoth>,
+}
+
+impl FrontierMigration {
+    /// Computes the migration from two replayed trackers.
+    pub fn compute(
+        map: &InstrumentationMap,
+        tracker_a: &FullTracker,
+        tracker_b: &FullTracker,
+    ) -> Self {
+        let open_a = frontier(map, tracker_a);
+        let open_b = frontier(map, tracker_b);
+        let migrated = |entry: &FrontierEntry| MigratedGoal {
+            goal: entry.goal,
+            label: entry.label.clone(),
+            cause: entry.cause.tag().to_string(),
+            detail: entry.detail.clone(),
+        };
+        let in_side = |side: &[FrontierEntry], goal: Goal| side.iter().any(|e| e.goal == goal);
+        FrontierMigration {
+            unblocked_by_b: open_a
+                .iter()
+                .filter(|e| !in_side(&open_b, e.goal))
+                .map(migrated)
+                .collect(),
+            unblocked_by_a: open_b
+                .iter()
+                .filter(|e| !in_side(&open_a, e.goal))
+                .map(migrated)
+                .collect(),
+            open_both: open_a
+                .iter()
+                .filter_map(|ea| {
+                    open_b.iter().find(|eb| eb.goal == ea.goal).map(|eb| OpenBoth {
+                        goal: ea.goal,
+                        label: ea.label.clone(),
+                        cause_a: ea.cause.tag().to_string(),
+                        cause_b: eb.cause.tag().to_string(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether both frontiers are identical in membership (causes may still
+    /// differ — check [`OpenBoth`] rows).
+    pub fn is_symmetric(&self) -> bool {
+        self.unblocked_by_a.is_empty() && self.unblocked_by_b.is_empty()
+    }
+}
+
+/// Rebuilds the replay-time observations of a persisted campaign by running
+/// its embedded suite bytes through the compiled model — the same evidence
+/// the frontier analysis and the HTML explorer derive from.
+pub fn replay_tracker(compiled: &CompiledModel, artifact: &CampaignArtifact) -> FullTracker {
+    let mut tracker = FullTracker::new(compiled.map());
+    for case in &artifact.cases {
+        replay_case(compiled, &TestCase::new(case.bytes.clone()), &mut tracker);
+    }
+    tracker
+}

@@ -1,0 +1,304 @@
+//! The bench-history subsystem: append-only JSONL records per benchmark
+//! under `results/history/<bench>.jsonl`, so repeated runs accumulate a
+//! time series instead of clobbering one flat snapshot — plus the
+//! `--check-regress` gate that compares the newest point against the
+//! trailing median and fails CI on a throughput or coverage regression.
+//!
+//! Records are deliberately schema-light: a benchmark is a bag of named
+//! throughput metrics (bigger is better, ratio-compared) and named
+//! coverage metrics (bigger is better, absolute-compared). New metrics can
+//! appear and old ones disappear across commits without invalidating the
+//! file; the gate only compares metrics present on both sides.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use cftcg_telemetry::json::{push_json_f64, push_json_str, Json};
+
+/// Throughput drop tolerated before the gate fails: the new point must be
+/// at least `1 − REGRESS_TOLERANCE` of the trailing median.
+pub const REGRESS_TOLERANCE: f64 = 0.15;
+
+/// Trailing window (number of most-recent history records) the gate
+/// medians over.
+pub const DEFAULT_WINDOW: usize = 5;
+
+/// One appended benchmark observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// Unix timestamp (seconds) of the run.
+    pub t_unix: u64,
+    /// Benchmark name (also the JSONL file stem).
+    pub bench: String,
+    /// Named throughput metrics, bigger is better (iterations/s, cases/s).
+    /// Compared as ratios: a >15% drop against the trailing median fails.
+    pub throughput: Vec<(String, f64)>,
+    /// Named coverage metrics, bigger is better (covered branches at a
+    /// fixed budget). Compared absolutely: any drop below the trailing
+    /// median fails.
+    pub coverage: Vec<(String, f64)>,
+}
+
+impl HistoryRecord {
+    /// Serializes the record as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"t_unix\":{},\"bench\":", self.t_unix);
+        push_json_str(&mut out, &self.bench);
+        for (key, metrics) in [("throughput", &self.throughput), ("coverage", &self.coverage)] {
+            let _ = write!(out, ",\"{key}\":{{");
+            for (i, (name, value)) in metrics.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, name);
+                out.push(':');
+                push_json_f64(&mut out, *value);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn from_jsonl(line: &str) -> Result<HistoryRecord, String> {
+        let doc = Json::parse(line).map_err(|e| format!("history line: {e}"))?;
+        let metrics = |key: &str| -> Result<Vec<(String, f64)>, String> {
+            match doc.get(key) {
+                None | Some(Json::Null) => Ok(Vec::new()),
+                Some(Json::Obj(entries)) => entries
+                    .iter()
+                    .map(|(name, value)| {
+                        value
+                            .as_f64()
+                            .map(|v| (name.clone(), v))
+                            .ok_or_else(|| format!("history {key}.{name} is not a number"))
+                    })
+                    .collect(),
+                Some(_) => Err(format!("history `{key}` is not an object")),
+            }
+        };
+        Ok(HistoryRecord {
+            t_unix: doc
+                .get("t_unix")
+                .and_then(Json::as_u64)
+                .ok_or("history line missing `t_unix`")?,
+            bench: doc
+                .get("bench")
+                .and_then(Json::as_str)
+                .ok_or("history line missing `bench`")?
+                .to_string(),
+            throughput: metrics("throughput")?,
+            coverage: metrics("coverage")?,
+        })
+    }
+
+    fn metric(metrics: &[(String, f64)], name: &str) -> Option<f64> {
+        metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// The JSONL path of one benchmark's history under `dir`
+/// (`<dir>/history/<bench>.jsonl`).
+pub fn history_path(dir: &Path, bench: &str) -> PathBuf {
+    dir.join("history").join(format!("{bench}.jsonl"))
+}
+
+/// Appends one record to `<dir>/history/<bench>.jsonl`, creating the
+/// directory chain on first use.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_history(dir: &Path, record: &HistoryRecord) -> std::io::Result<PathBuf> {
+    let path = history_path(dir, &record.bench);
+    fs::create_dir_all(path.parent().expect("history path has a parent"))?;
+    let mut file = fs::OpenOptions::new().create(true).append(true).open(&path)?;
+    writeln!(file, "{}", record.to_jsonl())?;
+    Ok(path)
+}
+
+/// Loads a benchmark's history, oldest first. A missing file is an empty
+/// history (the first run seeds it); a malformed line is an error naming
+/// the line number.
+///
+/// # Errors
+///
+/// Returns filesystem or parse errors.
+pub fn load_history(dir: &Path, bench: &str) -> Result<Vec<HistoryRecord>, String> {
+    let path = history_path(dir, bench);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            HistoryRecord::from_jsonl(line)
+                .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))
+        })
+        .collect()
+}
+
+/// One gate violation: a metric of the new point regressed against the
+/// trailing median.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// `throughput` or `coverage`.
+    pub kind: &'static str,
+    /// Metric name.
+    pub metric: String,
+    /// The new point's value.
+    pub current: f64,
+    /// Trailing median over the comparison window.
+    pub baseline: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} `{}` regressed: {:.1} vs trailing median {:.1} ({:+.1}%)",
+            self.kind,
+            self.metric,
+            self.current,
+            self.baseline,
+            (self.current / self.baseline.max(1e-9) - 1.0) * 100.0
+        )
+    }
+}
+
+/// Gates `current` against the trailing `window` records of `history`
+/// (the history must NOT already contain `current`). Returns the list of
+/// violations — empty means the gate passes. Metrics without a baseline
+/// (first run, renamed metric) are skipped: the gate never fails on an
+/// empty or incomparable history.
+pub fn check_regress(
+    history: &[HistoryRecord],
+    current: &HistoryRecord,
+    window: usize,
+) -> Vec<Regression> {
+    let tail: Vec<&HistoryRecord> = history.iter().rev().take(window.max(1)).collect();
+    let median_of = |pick: fn(&HistoryRecord) -> &Vec<(String, f64)>, name: &str| {
+        let mut values: Vec<f64> =
+            tail.iter().filter_map(|r| HistoryRecord::metric(pick(r), name)).collect();
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("metrics are never NaN"));
+        Some(values[values.len() / 2])
+    };
+    let mut out = Vec::new();
+    for (name, value) in &current.throughput {
+        if let Some(baseline) = median_of(|r| &r.throughput, name) {
+            if *value < baseline * (1.0 - REGRESS_TOLERANCE) {
+                out.push(Regression {
+                    kind: "throughput",
+                    metric: name.clone(),
+                    current: *value,
+                    baseline,
+                });
+            }
+        }
+    }
+    for (name, value) in &current.coverage {
+        if let Some(baseline) = median_of(|r| &r.coverage, name) {
+            if *value < baseline {
+                out.push(Regression {
+                    kind: "coverage",
+                    metric: name.clone(),
+                    current: *value,
+                    baseline,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t: u64, rate: f64, covered: f64) -> HistoryRecord {
+        HistoryRecord {
+            t_unix: t,
+            bench: "vm".into(),
+            throughput: vec![("SolarPV/flat".into(), rate)],
+            coverage: vec![("SolarPV".into(), covered)],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let r = record(1_700_000_000, 26_000.5, 34.0);
+        let line = r.to_jsonl();
+        assert!(line.starts_with("{\"t_unix\":1700000000,\"bench\":\"vm\""));
+        assert_eq!(HistoryRecord::from_jsonl(&line).unwrap(), r);
+        assert!(HistoryRecord::from_jsonl("{}").is_err());
+        // Empty metric bags survive.
+        let bare = HistoryRecord {
+            t_unix: 5,
+            bench: "b".into(),
+            throughput: Vec::new(),
+            coverage: Vec::new(),
+        };
+        assert_eq!(HistoryRecord::from_jsonl(&bare.to_jsonl()).unwrap(), bare);
+    }
+
+    #[test]
+    fn append_and_load_accumulate() {
+        let dir = std::env::temp_dir().join(format!("cftcg-history-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = append_history(&dir, &record(1, 100.0, 30.0)).unwrap();
+        append_history(&dir, &record(2, 110.0, 31.0)).unwrap();
+        assert!(path.ends_with("history/vm.jsonl"));
+        let history = load_history(&dir, "vm").unwrap();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].t_unix, 1);
+        assert_eq!(history[1].throughput[0].1, 110.0);
+        assert!(load_history(&dir, "missing").unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gate_fails_on_large_throughput_drop_only() {
+        let history: Vec<_> = (0..5).map(|i| record(i, 100.0 + i as f64, 30.0)).collect();
+        // Median of the window is 102; -10% passes, -20% fails.
+        assert!(check_regress(&history, &record(9, 92.0, 30.0), DEFAULT_WINDOW).is_empty());
+        let violations = check_regress(&history, &record(9, 80.0, 30.0), DEFAULT_WINDOW);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, "throughput");
+        assert_eq!(violations[0].baseline, 102.0);
+        assert!(violations[0].to_string().contains("regressed"));
+    }
+
+    #[test]
+    fn gate_fails_on_any_coverage_drop() {
+        let history: Vec<_> = (0..3).map(|i| record(i, 100.0, 30.0)).collect();
+        let violations = check_regress(&history, &record(9, 100.0, 29.0), DEFAULT_WINDOW);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, "coverage");
+        assert!(check_regress(&history, &record(9, 100.0, 30.0), DEFAULT_WINDOW).is_empty());
+    }
+
+    #[test]
+    fn gate_skips_unseeded_metrics() {
+        // Empty history, renamed metric: never fail.
+        assert!(check_regress(&[], &record(9, 1.0, 1.0), DEFAULT_WINDOW).is_empty());
+        let history = vec![record(1, 100.0, 30.0)];
+        let mut renamed = record(9, 1.0, 1.0);
+        renamed.throughput[0].0 = "Other/flat".into();
+        renamed.coverage[0].0 = "Other".into();
+        assert!(check_regress(&history, &renamed, DEFAULT_WINDOW).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests on the artifact diff: the algebraic laws any
+//! differential view must satisfy, checked against randomly fuzzed
+//! campaign artifacts.
+//!
+//! * **Identity**: `diff(a, a)` reports no gained or lost goals, zero
+//!   first-hit shifts, zero yield deltas, and no identity mismatches.
+//! * **Anti-symmetry**: swapping the arguments swaps the partition
+//!   (`only_a` ↔ `only_b`), negates every first-hit shift and the goal
+//!   balance, and transposes the yield rows.
+
+use cftcg_compare::ArtifactDiff;
+use cftcg_core::{CampaignArtifact, CampaignHit, HostMeta};
+use cftcg_coverage::Goal;
+use cftcg_telemetry::YieldReport;
+use proptest::prelude::*;
+
+/// Strategy for one goal: the index space is kept tiny so two artifacts
+/// routinely share goals (exercising `both`) and routinely don't
+/// (exercising `only_a` / `only_b`).
+fn goal() -> impl Strategy<Value = Goal> {
+    prop_oneof![
+        (0u32..6).prop_map(|i| Goal::Outcome(i as usize)),
+        ((0u32..4), any::<bool>()).prop_map(|(i, v)| Goal::Condition(i as usize, v)),
+        (0u32..4).prop_map(|i| Goal::Mcdc(i as usize)),
+    ]
+}
+
+fn yields() -> impl Strategy<Value = Vec<YieldReport>> {
+    prop::collection::vec(
+        ((0u32..3), (0u64..500), (0u64..20), (0u64..20), (0u64..3)).prop_map(
+            |(name, executed, new_coverage, corpus_insert, violation)| YieldReport {
+                name: ["EraseTuples", "InsertTuples", "ChangeBytes"][name as usize].to_string(),
+                executed,
+                new_coverage,
+                corpus_insert,
+                violation,
+            },
+        ),
+        0..4,
+    )
+    .prop_map(|mut rows| {
+        // One row per operator, like the real yield matrix.
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows.dedup_by(|a, b| a.name == b.name);
+        rows
+    })
+}
+
+/// Strategy for a fuzzed artifact: random goal set with random first-hit
+/// indices, random identity fields, random yield rows. Cases/lineage/series
+/// stay empty — the diff never reads them.
+fn artifact() -> impl Strategy<Value = CampaignArtifact> {
+    (
+        prop::collection::vec((goal(), 1u64..10_000), 0..12),
+        (1u64..1000, 1usize..4, 0u64..200_000),
+        prop::option::of((0u32..3).prop_map(|i| ["ref", "flat", "jit"][i as usize].to_string())),
+        prop::option::of((1u64..64).prop_map(|cores| HostMeta { cores, arch: "x86_64".into() })),
+        yields(),
+    )
+        .prop_map(|(mut hits, (seed, workers, executions), engine, host, yields)| {
+            hits.sort_by_key(|&(goal, _)| goal);
+            hits.dedup_by_key(|&mut (goal, _)| goal);
+            CampaignArtifact {
+                model: "prop".into(),
+                seed,
+                workers,
+                executions,
+                iterations: executions * 4,
+                elapsed_s: 0.25,
+                branch_count: 16,
+                covered_branches: hits.len().min(16),
+                cases: Vec::new(),
+                lineage: Vec::new(),
+                hits: hits
+                    .into_iter()
+                    .map(|(goal, executions)| CampaignHit {
+                        goal,
+                        executions,
+                        elapsed_s: 0.0,
+                        shard: 0,
+                        case: 0,
+                        ops: Vec::new(),
+                    })
+                    .collect(),
+                series: Vec::new(),
+                engine,
+                host,
+                yields,
+                spans: Vec::new(),
+            }
+        })
+}
+
+proptest! {
+    /// `diff(a, a)` is the identity diff: nothing gained, nothing lost,
+    /// nothing shifted, no mismatch annotations.
+    #[test]
+    fn self_diff_is_identity(a in artifact()) {
+        let diff = ArtifactDiff::compute(&a, &a);
+        prop_assert!(diff.is_identity());
+        prop_assert!(diff.only_a.is_empty());
+        prop_assert!(diff.only_b.is_empty());
+        prop_assert_eq!(diff.both.len(), a.hits.len());
+        prop_assert!(diff.both.iter().all(|s| s.delta() == 0));
+        prop_assert!(diff.yields.iter().all(|y| y.is_zero()));
+        prop_assert!(diff.mismatches.is_empty());
+        prop_assert_eq!(diff.goal_balance(), 0);
+    }
+
+    /// Swapping the arguments transposes the diff: `only_a` ↔ `only_b`,
+    /// every shift and the goal balance negate, yield rows swap sides.
+    #[test]
+    fn diff_is_anti_symmetric(a in artifact(), b in artifact()) {
+        let ab = ArtifactDiff::compute(&a, &b);
+        let ba = ArtifactDiff::compute(&b, &a);
+
+        prop_assert_eq!(&ab.only_a, &ba.only_b);
+        prop_assert_eq!(&ab.only_b, &ba.only_a);
+        prop_assert_eq!(ab.goal_balance(), -ba.goal_balance());
+        prop_assert_eq!(ab.is_identity(), ba.is_identity());
+
+        prop_assert_eq!(ab.both.len(), ba.both.len());
+        for (fwd, rev) in ab.both.iter().zip(&ba.both) {
+            prop_assert_eq!(fwd.goal, rev.goal);
+            prop_assert_eq!(fwd.delta(), -rev.delta());
+            prop_assert_eq!(fwd.executions_a, rev.executions_b);
+        }
+
+        // Yield rows transpose (membership, not order: the union order is
+        // first-seen and thus side-dependent).
+        prop_assert_eq!(ab.yields.len(), ba.yields.len());
+        for fwd in &ab.yields {
+            let rev = ba.yields.iter().find(|y| y.name == fwd.name);
+            prop_assert!(rev.is_some(), "operator {} lost in swap", fwd.name);
+            let rev = rev.unwrap();
+            prop_assert_eq!(fwd.a, rev.b);
+            prop_assert_eq!(fwd.b, rev.a);
+        }
+
+        // Mismatch annotations are membership-symmetric: the same
+        // dimensions are flagged regardless of argument order.
+        prop_assert_eq!(ab.mismatches.len(), ba.mismatches.len());
+    }
+
+    /// The goal partition is exhaustive and disjoint: every goal of either
+    /// side lands in exactly one of `only_a` / `only_b` / `both`.
+    #[test]
+    fn partition_is_exhaustive_and_disjoint(a in artifact(), b in artifact()) {
+        let diff = ArtifactDiff::compute(&a, &b);
+        prop_assert_eq!(diff.only_a.len() + diff.both.len(), a.hits.len());
+        prop_assert_eq!(diff.only_b.len() + diff.both.len(), b.hits.len());
+        for side in &diff.only_a {
+            prop_assert!(!diff.both.iter().any(|s| s.goal == side.goal));
+            prop_assert!(!diff.only_b.iter().any(|s| s.goal == side.goal));
+        }
+    }
+}

@@ -27,7 +27,7 @@ use cftcg_fuzz::{
     Generation, Lineage, LineageOrigin, LineageRecord, MutationKind, SHARD_ID_STRIDE,
 };
 use cftcg_telemetry::json::{push_json_f64, push_json_str, Json};
-use cftcg_telemetry::SeriesPoint;
+use cftcg_telemetry::{SeriesPoint, YieldReport};
 
 /// One emitted test case with its forensic metadata and raw driver bytes.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +65,33 @@ pub struct CampaignHit {
     pub ops: Vec<u8>,
 }
 
+/// Host identity of the machine a campaign ran on, recorded so `cftcg diff`
+/// can flag apples-to-oranges comparisons (different core counts or
+/// architectures make throughput-derived numbers incomparable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostMeta {
+    /// Available hardware parallelism at campaign start.
+    pub cores: u64,
+    /// Target architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+}
+
+/// Aggregate cost of one profiled span kind — the serializable projection
+/// of [`cftcg_telemetry::SpanReport`] (which borrows its name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Span kind name (taxonomy spelling, e.g. `execution`).
+    pub name: String,
+    /// Spans recorded.
+    pub count: u64,
+    /// Total attributed wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Upper bound of the median latency bucket.
+    pub p50_ns: u64,
+    /// Upper bound of the 99th-percentile latency bucket.
+    pub p99_ns: u64,
+}
+
 /// A complete persisted campaign: run identity, the suite with forensics,
 /// the lineage DAG, and per-goal provenance.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +122,22 @@ pub struct CampaignArtifact {
     /// oldest first). Empty when the campaign ran without telemetry or the
     /// artifact predates the series schema.
     pub series: Vec<SeriesPoint>,
+    /// Resolved execution engine (`ref` / `flat` / `jit`). Attached by the
+    /// CLI after the run — never by [`from_generation`](Self::from_generation),
+    /// whose output must stay byte-identical across engines. `None` for
+    /// artifacts that predate the comparison schema.
+    pub engine: Option<String>,
+    /// Host identity. CLI-attached like [`engine`](Self::engine); `None`
+    /// for pre-comparison artifacts.
+    pub host: Option<HostMeta>,
+    /// The mutation-yield matrix (per-operator outcome counters, Table-1
+    /// order). Part of the deterministic search trajectory, so populated by
+    /// [`from_generation`](Self::from_generation) directly. Empty for
+    /// generators that record no yields and for pre-comparison artifacts.
+    pub yields: Vec<YieldReport>,
+    /// Span-profile summary (per-phase wall-clock attribution). Wall-clock
+    /// derived, so CLI-attached only when telemetry ran; empty otherwise.
+    pub spans: Vec<SpanSummary>,
 }
 
 impl CampaignArtifact {
@@ -161,6 +204,16 @@ impl CampaignArtifact {
             // on (keeping this constructor deterministic for byte-identity
             // tests).
             series: Vec::new(),
+            // Engine, host, and span profile are likewise CLI-attached:
+            // the same generation must serialize identically whichever
+            // engine executed it and whether telemetry observed it.
+            engine: None,
+            host: None,
+            // The yield matrix is part of the search trajectory itself —
+            // identical across engines and observation setups — so it is
+            // safe to persist here.
+            yields: generation.yield_reports(),
+            spans: Vec::new(),
         }
     }
 
@@ -251,6 +304,42 @@ impl CampaignArtifact {
             push_json_f64(&mut out, point.execs_per_sec);
             out.push('}');
         }
+        out.push_str("],\n\"engine\":");
+        match &self.engine {
+            Some(engine) => push_json_str(&mut out, engine),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n\"host\":");
+        match &self.host {
+            Some(host) => {
+                let _ = write!(out, "{{\"cores\":{},\"arch\":", host.cores);
+                push_json_str(&mut out, &host.arch);
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n\"yields\":[");
+        for (i, row) in self.yields.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, &row.name);
+            let _ = write!(
+                out,
+                ",\"executed\":{},\"new_coverage\":{},\"corpus_insert\":{},\"violation\":{}}}",
+                row.executed, row.new_coverage, row.corpus_insert, row.violation
+            );
+        }
+        out.push_str("],\n\"spans\":[");
+        for (i, span) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, &span.name);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                span.count, span.total_ns, span.p50_ns, span.p99_ns
+            );
+        }
         out.push_str("]\n}\n");
         out
     }
@@ -294,6 +383,43 @@ impl CampaignArtifact {
                 .map(parse_series_point)
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        // Comparison-schema fields: artifacts written before `cftcg diff`
+        // existed carry none of these and must keep loading.
+        let engine = match doc.get("engine") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                Some(v.as_str().ok_or("campaign artifact: `engine` is not a string")?.to_string())
+            }
+        };
+        let host = match doc.get("host") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(HostMeta {
+                cores: field_u64(v, "cores")?,
+                arch: v
+                    .get("arch")
+                    .and_then(Json::as_str)
+                    .ok_or("campaign artifact: host missing `arch`")?
+                    .to_string(),
+            }),
+        };
+        let yields = match doc.get("yields") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or("campaign artifact: `yields` is not an array")?
+                .iter()
+                .map(parse_yield_row)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let spans = match doc.get("spans") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or("campaign artifact: `spans` is not an array")?
+                .iter()
+                .map(parse_span_summary)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         Ok(CampaignArtifact {
             model: doc
                 .get("model")
@@ -311,6 +437,10 @@ impl CampaignArtifact {
             lineage,
             hits,
             series,
+            engine,
+            host,
+            yields,
+            spans,
         })
     }
 }
@@ -439,6 +569,34 @@ fn parse_series_point(value: &Json) -> Result<SeriesPoint, String> {
     })
 }
 
+fn parse_yield_row(value: &Json) -> Result<YieldReport, String> {
+    Ok(YieldReport {
+        name: value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("yield row: missing `name`")?
+            .to_string(),
+        executed: field_u64(value, "executed")?,
+        new_coverage: field_u64(value, "new_coverage")?,
+        corpus_insert: field_u64(value, "corpus_insert")?,
+        violation: field_u64(value, "violation")?,
+    })
+}
+
+fn parse_span_summary(value: &Json) -> Result<SpanSummary, String> {
+    Ok(SpanSummary {
+        name: value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("span summary: missing `name`")?
+            .to_string(),
+        count: field_u64(value, "count")?,
+        total_ns: field_u64(value, "total_ns")?,
+        p50_ns: field_u64(value, "p50_ns")?,
+        p99_ns: field_u64(value, "p99_ns")?,
+    })
+}
+
 fn parse_hit(value: &Json) -> Result<CampaignHit, String> {
     let ops = value
         .get("ops")
@@ -561,6 +719,22 @@ mod tests {
                 frontier_open: 6,
                 execs_per_sec: 34.0,
             }],
+            engine: Some("flat".to_string()),
+            host: Some(HostMeta { cores: 8, arch: "x86_64".to_string() }),
+            yields: vec![YieldReport {
+                name: "EraseTuples".to_string(),
+                executed: 40,
+                new_coverage: 3,
+                corpus_insert: 2,
+                violation: 0,
+            }],
+            spans: vec![SpanSummary {
+                name: "execution".to_string(),
+                count: 17,
+                total_ns: 120_000,
+                p50_ns: 6_000,
+                p99_ns: 20_000,
+            }],
         }
     }
 
@@ -590,17 +764,41 @@ mod tests {
 
     #[test]
     fn pre_series_documents_still_parse() {
-        // Artifacts written before the series schema have no `series` key;
-        // they must load with an empty series, not fail.
+        // Artifacts written before the series schema have no `series` key
+        // (and a fortiori none of the comparison-schema keys either); they
+        // must load with empty defaults, not fail.
         let mut artifact = sample_artifact();
         let json = artifact.to_json();
         let start = json.find(",\n\"series\":[").expect("series key present");
-        let end = json.rfind(']').expect("series array close");
+        let end = json.rfind(']').expect("last array close");
         let legacy = format!("{}{}", &json[..start], &json[end + 1..]);
         let parsed = CampaignArtifact::from_json(&legacy).expect("legacy artifact parses");
         assert!(parsed.series.is_empty());
+        assert_eq!(parsed.engine, None);
+        assert_eq!(parsed.host, None);
+        assert!(parsed.yields.is_empty() && parsed.spans.is_empty());
         artifact.series.clear();
+        artifact.engine = None;
+        artifact.host = None;
+        artifact.yields.clear();
+        artifact.spans.clear();
         assert_eq!(parsed, artifact);
+    }
+
+    #[test]
+    fn null_engine_and_host_round_trip() {
+        // A run without telemetry writes `engine`/`host` as null and empty
+        // spans; the round trip must preserve that exactly.
+        let mut artifact = sample_artifact();
+        artifact.engine = None;
+        artifact.host = None;
+        artifact.spans.clear();
+        let json = artifact.to_json();
+        assert!(json.contains("\"engine\":null"));
+        assert!(json.contains("\"host\":null"));
+        let parsed = CampaignArtifact::from_json(&json).expect("round trip parses");
+        assert_eq!(parsed, artifact);
+        assert_eq!(parsed.to_json(), json);
     }
 
     #[test]
@@ -633,6 +831,11 @@ mod tests {
         assert_eq!(artifact.branch_count, map.branch_count());
         assert!(artifact.covered_branches > 0);
         assert!(!artifact.hits.is_empty(), "a real run covers goals");
+        assert!(
+            artifact.yields.iter().any(|y| y.executed > 0),
+            "a real run records mutation yields"
+        );
+        assert!(artifact.engine.is_none() && artifact.spans.is_empty(), "CLI-attached only");
         // Every hit's case resolves through the lineage DAG to a root.
         let dag = artifact.lineage_dag();
         for hit in &artifact.hits {

@@ -43,7 +43,9 @@
 mod campaign;
 mod html;
 
-pub use campaign::{parse_case_id, CampaignArtifact, CampaignCase, CampaignHit};
+pub use campaign::{
+    parse_case_id, CampaignArtifact, CampaignCase, CampaignHit, HostMeta, SpanSummary,
+};
 pub use html::campaign_explorer_html;
 
 use std::time::Duration;

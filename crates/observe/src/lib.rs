@@ -10,6 +10,7 @@
 //! | `/metrics` | Prometheus text exposition | scrapeable by any Prometheus-compatible collector |
 //! | `/snapshot` | JSON | one consistent point-in-time view: totals, coverage, spans, time series |
 //! | `/` | HTML | self-refreshing dashboard with an inline-SVG coverage-vs-time curve |
+//! | `/diff` | HTML | the latest `cftcg diff` / `cftcg ab` report (`results/diff_latest.html`) |
 //! | `/healthz` | `ok` | liveness probe for supervisors and CI smoke jobs |
 //!
 //! The observatory is read-only: any method other than `GET` gets a
@@ -185,10 +186,23 @@ fn handle_connection(mut stream: TcpStream, observatory: &Observatory) {
         }
         Target::Get("/snapshot") => ("200 OK", "application/json", observatory.snapshot_json()),
         Target::Get("/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
+        // The latest `cftcg diff`/`cftcg ab` HTML report, mirrored to disk
+        // by the CLI. Read per request: a diff run while the observatory is
+        // up is served without restarting anything.
+        Target::Get("/diff") => match std::fs::read_to_string("results/diff_latest.html") {
+            Ok(html) => ("200 OK", "text/html; charset=utf-8", html),
+            Err(_) => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no diff report yet; run `cftcg diff <model> <a/campaign.json> \
+                 <b/campaign.json>` to generate results/diff_latest.html\n"
+                    .into(),
+            ),
+        },
         Target::Get(_) => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /, /metrics, /snapshot, /healthz\n".into(),
+            "not found; try /, /metrics, /snapshot, /diff, /healthz\n".into(),
         ),
         Target::MethodNotAllowed => (
             "405 Method Not Allowed",
@@ -335,6 +349,28 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 400"), "malformed head: {response}");
+    }
+
+    #[test]
+    fn diff_route_serves_the_mirrored_report_or_a_hint() {
+        let server = ObserveServer::bind("127.0.0.1:0", test_observatory()).expect("bind");
+        let addr = server.local_addr();
+        // The CLI mirrors reports to results/diff_latest.html relative to
+        // the working directory; absent file → 404 with the recipe.
+        let mirror = std::path::Path::new("results/diff_latest.html");
+        if !mirror.exists() {
+            let (head, body) = get(addr, "/diff");
+            assert!(head.starts_with("HTTP/1.1 404"), "no-report head: {head}");
+            assert!(body.contains("cftcg diff"), "hint names the command: {body}");
+        }
+        std::fs::create_dir_all("results").unwrap();
+        std::fs::write(mirror, "<!DOCTYPE html><html><body>diff-report</body></html>").unwrap();
+        let (head, body) = get(addr, "/diff");
+        assert!(head.starts_with("HTTP/1.1 200"), "report head: {head}");
+        assert!(head.contains("text/html"));
+        assert!(body.contains("diff-report"));
+        let _ = std::fs::remove_file(mirror);
+        let _ = std::fs::remove_dir("results");
     }
 
     #[test]

@@ -267,7 +267,8 @@ pub(crate) fn dashboard_html(model: &str, snap: &TelemetrySnapshot) -> String {
 
     out.push_str(
         "<footer>live: <a href=\"/metrics\">/metrics</a> (Prometheus) · \
-         <a href=\"/snapshot\">/snapshot</a> (JSON) · page refreshes every 2s</footer>\n",
+         <a href=\"/snapshot\">/snapshot</a> (JSON) · \
+         <a href=\"/diff\">/diff</a> (latest campaign diff) · page refreshes every 2s</footer>\n",
     );
     out.push_str("</body></html>\n");
     out

@@ -11,10 +11,11 @@ cargo fmt --check
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
 # Golden-file gates (also part of the workspace test run, invoked explicitly
-# so a drift in the HTML campaign explorer or the VCD waveform exporter
-# fails loudly and names the fix): re-bless with
-# `BLESS=1 cargo test --offline --test html_golden` (or --test vcd_golden)
-# after an intentional rendering change.
+# so a drift in the HTML campaign explorer, the campaign diff report, or the
+# VCD waveform exporter fails loudly and names the fix): re-bless with
+# `BLESS=1 cargo test --offline --test html_golden` (or --test vcd_golden,
+# --test diff_html_golden) after an intentional rendering change.
 cargo test --offline -q --test html_golden
+cargo test --offline -q --test diff_html_golden
 cargo test --offline -q --test vcd_golden
 cargo test --offline -q --test cemit_golden

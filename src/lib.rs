@@ -23,6 +23,7 @@
 //! | [`observe`] | `cftcg-observe` | live campaign HTTP observatory: /metrics, /snapshot, dashboard |
 //! | [`trace`] | `cftcg-trace` | signal probes, VCD/CSV waveforms, per-block profiling, sim↔VM divergence auditor |
 //! | [`pipeline`] | `cftcg-core` | the end-to-end tool ([`Cftcg`]) |
+//! | [`compare`] | `cftcg-compare` | campaign diffing, paired A/B harness, bench-history regression gate |
 //! | [`slimxml`] | `cftcg-slimxml` | minimal XML parser (TinyXML substitute) |
 //!
 //! # Quickstart
@@ -56,6 +57,7 @@
 pub use cftcg_baselines as baselines;
 pub use cftcg_benchmarks as benchmarks;
 pub use cftcg_codegen as codegen;
+pub use cftcg_compare as compare;
 pub use cftcg_core as pipeline;
 pub use cftcg_coverage as coverage;
 pub use cftcg_fuzz as fuzz;

@@ -11,6 +11,12 @@
 //!                                                   + campaign.json forensics; --serve
 //!                                                   exposes /metrics, /snapshot and a live
 //!                                                   dashboard while the campaign runs
+//! cftcg diff   <model.mdlx> <a.json> <b.json>       differential campaign comparison:
+//!              [--json F] [--html F]                goals gained/lost, first-hit shifts,
+//!              [--allow-mismatch] [--no-frontier]   yield/span deltas, frontier migration
+//! cftcg ab     <model.mdlx> --a SPEC --b SPEC       paired A/B harness: interleaved
+//!              [--trials N] [--executions N]        seeded trials, median/IQR summary,
+//!              [--budget-ms N] [--json F] [--html F] representative-pair diff
 //! cftcg explain <model.mdlx> <campaign.json> [CASE] frontier analysis; with CASE (s0:12),
 //!                                                   the case's mutation lineage
 //! cftcg trace  <model.mdlx> <campaign.json> <CASE>  replay one case with signal probes,
@@ -35,10 +41,16 @@ use cftcg::codegen::{
     compile, emit_c, emit_driver_c, replay_case, replay_suite, test_case_from_csv,
     test_case_to_csv, CompiledModel, TestCase,
 };
+use cftcg::compare::{
+    ab_report, diff_html, diff_json, run_ab, terminal_report, AbBudget, ArtifactDiff,
+    FrontierMigration, VariantSpec,
+};
 use cftcg::coverage::{detailed_report, frontier, CoverageReport, FullTracker};
 use cftcg::fuzz::format_chain;
 use cftcg::model::{load_model, save_model, Model};
-use cftcg::pipeline::{campaign_explorer_html, parse_case_id, CampaignArtifact};
+use cftcg::pipeline::{
+    campaign_explorer_html, parse_case_id, CampaignArtifact, HostMeta, SpanSummary,
+};
 use cftcg::telemetry::{json::Json, BlockCost, Event, OperatorReport, Telemetry};
 use cftcg::trace::{profile_case, to_csv, to_vcd, trace_vm_case, Auditor, BlockProfile, ProbeMask};
 use cftcg::Cftcg;
@@ -63,6 +75,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "stats" => stats(&load(args.get(1))?),
         "codegen" => codegen(&load(args.get(1))?, args.contains(&"--driver".to_string())),
         "fuzz" => fuzz(&load(args.get(1))?, &args[2..]),
+        "diff" => diff_cmd(&load(args.get(1))?, &args[2..]),
+        "ab" => ab_cmd(&load(args.get(1))?, &args[2..]),
         "explain" => explain(&load(args.get(1))?, &args[2..]),
         "trace" => trace_cmd(&load(args.get(1))?, &args[2..]),
         "audit" => audit_cmd(&load(args.get(1))?, &args[2..]),
@@ -89,6 +103,13 @@ fn print_usage() {
          \x20              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]\n\
          \x20              [--serve ADDR] [--trace-events FILE]\n\
          \x20              [--trace-dir DIR] [--trace-every N] [--plateau-window N]\n\
+         \x20 cftcg diff   <model.mdlx> <a/campaign.json> <b/campaign.json>\n\
+         \x20              [--json OUT.json] [--html OUT.html] [--allow-mismatch]\n\
+         \x20              [--no-frontier]\n\
+         \x20 cftcg ab     <model.mdlx> [--a SPEC] [--b SPEC] [--trials N] [--seed N]\n\
+         \x20              [--executions N | --budget-ms N] [--json OUT.json]\n\
+         \x20              [--html OUT.html]   (SPEC: engine=flat,workers=2,\n\
+         \x20              field-aware=off,metric-corpus=off)\n\
          \x20 cftcg explain <model.mdlx> <campaign.json> [CASE]\n\
          \x20 cftcg trace  <model.mdlx> <campaign.json> <CASE> [--probe PAT]... [--all]\n\
          \x20              [--out FILE.vcd] [--csv FILE.csv] [--profile]\n\
@@ -348,6 +369,32 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     // telemetry ran: from_generation stays deterministic on its own.
     if let (Some(artifact), Some(t)) = (&mut artifact, &telemetry) {
         artifact.series = t.series_points();
+        // Span-profile summary: wall-clock attribution per engine phase,
+        // available only when telemetry profiled the run.
+        artifact.spans = t
+            .snapshot()
+            .totals
+            .spans
+            .reports()
+            .iter()
+            .map(|r| SpanSummary {
+                name: r.name.to_string(),
+                count: r.count,
+                total_ns: r.total_ns,
+                p50_ns: r.p50_ns,
+                p99_ns: r.p99_ns,
+            })
+            .collect();
+    }
+    // Run-identity metadata for `cftcg diff`: which engine actually executed
+    // the campaign and on what host. CLI-attached, like the series — the
+    // constructor's output must stay byte-identical across engines.
+    if let Some(artifact) = &mut artifact {
+        artifact.engine = Some(tool.engine().name().to_string());
+        artifact.host = Some(HostMeta {
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+            arch: std::env::consts::ARCH.to_string(),
+        });
     }
     if minimize {
         let before = generation.suite.len();
@@ -433,6 +480,96 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     if let Some(server) = server {
         server.shutdown();
     }
+    Ok(())
+}
+
+/// `cftcg diff <model.mdlx> <a/campaign.json> <b/campaign.json>`: the
+/// differential view of two persisted campaigns — goals gained/lost/shared
+/// (with first-hit execution shifts), mutation-yield and span-profile
+/// deltas, and the replay-based frontier-cause migration. Refuses
+/// apples-to-oranges comparisons (different model/engine/workers/host)
+/// unless `--allow-mismatch` downgrades the refusal to a loud annotation.
+fn diff_cmd(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
+    let a_path =
+        rest.first().filter(|a| !a.starts_with("--")).ok_or("missing <a/campaign.json>")?;
+    let b_path = rest.get(1).filter(|a| !a.starts_with("--")).ok_or("missing <b/campaign.json>")?;
+    let a = CampaignArtifact::from_json(&fs::read_to_string(a_path)?)?;
+    let b = CampaignArtifact::from_json(&fs::read_to_string(b_path)?)?;
+    let compiled = compile(model)?;
+    let diff = ArtifactDiff::compute(&a, &b);
+    if !diff.mismatches.is_empty() && !rest.contains(&"--allow-mismatch".to_string()) {
+        return Err(format!(
+            "refusing apples-to-oranges comparison — {}; rerun with --allow-mismatch to \
+             annotate instead of refusing",
+            diff.mismatches.join("; ")
+        )
+        .into());
+    }
+    // The frontier migration replays both suites through the compiled
+    // model; --no-frontier skips it for huge campaigns.
+    let migration = if rest.contains(&"--no-frontier".to_string()) {
+        None
+    } else {
+        let tracker_a = cftcg::compare::replay_tracker(&compiled, &a);
+        let tracker_b = cftcg::compare::replay_tracker(&compiled, &b);
+        Some(FrontierMigration::compute(compiled.map(), &tracker_a, &tracker_b))
+    };
+    print!("{}", terminal_report(&diff, migration.as_ref(), compiled.map()));
+    write_diff_outputs(rest, &diff, &a, &b, migration.as_ref(), &compiled)
+}
+
+/// `cftcg ab <model.mdlx> --a SPEC --b SPEC`: the paired A/B harness.
+/// Runs interleaved trials (A₁ B₁ A₂ B₂ …) with shared per-trial seeds,
+/// prints median/IQR of goals-at-budget and time-to-goal, then feeds each
+/// variant's representative (median-by-goals) artifact through the same
+/// diff pipeline as `cftcg diff`.
+fn ab_cmd(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
+    let spec_a = VariantSpec::parse("A", flag_value(rest, "--a").unwrap_or(""))?;
+    let spec_b = VariantSpec::parse("B", flag_value(rest, "--b").unwrap_or(""))?;
+    let trials: usize =
+        flag_value(rest, "--trials").map(str::parse).transpose()?.unwrap_or(3).max(1);
+    let seed: u64 = flag_value(rest, "--seed").map(str::parse).transpose()?.unwrap_or(0);
+    let budget = match flag_value(rest, "--executions") {
+        Some(n) => AbBudget::Executions(n.parse()?),
+        None => AbBudget::Millis(
+            flag_value(rest, "--budget-ms").map(str::parse).transpose()?.unwrap_or(2_000),
+        ),
+    };
+    let outcome = run_ab(model, &spec_a, &spec_b, trials, seed, budget)?;
+    print!("{}", ab_report(&outcome, trials));
+    let compiled = compile(model)?;
+    let (a, b) = (&outcome.a.representative, &outcome.b.representative);
+    let diff = ArtifactDiff::compute(a, b);
+    let tracker_a = cftcg::compare::replay_tracker(&compiled, a);
+    let tracker_b = cftcg::compare::replay_tracker(&compiled, b);
+    let migration = FrontierMigration::compute(compiled.map(), &tracker_a, &tracker_b);
+    print!("{}", terminal_report(&diff, Some(&migration), compiled.map()));
+    write_diff_outputs(rest, &diff, a, b, Some(&migration), &compiled)
+}
+
+/// Shared tail of `diff` and `ab`: optional machine-JSON and HTML outputs,
+/// plus the `results/diff_latest.html` mirror the live observatory's
+/// `/diff` route serves.
+fn write_diff_outputs(
+    rest: &[String],
+    diff: &ArtifactDiff,
+    a: &CampaignArtifact,
+    b: &CampaignArtifact,
+    migration: Option<&FrontierMigration>,
+    compiled: &CompiledModel,
+) -> Result<(), Box<dyn Error>> {
+    if let Some(path) = flag_value(rest, "--json") {
+        fs::write(path, diff_json(diff, migration, compiled.map()))?;
+        println!("wrote machine diff to {path}");
+    }
+    let html = diff_html(diff, a, b, migration, compiled.map());
+    if let Some(path) = flag_value(rest, "--html") {
+        fs::write(path, &html)?;
+        println!("wrote HTML diff report to {path}");
+    }
+    fs::create_dir_all("results")?;
+    fs::write("results/diff_latest.html", &html)?;
+    println!("mirrored HTML diff report to results/diff_latest.html (served at /diff)");
     Ok(())
 }
 

@@ -1,0 +1,56 @@
+//! Backward compatibility of the campaign artifact schema: a checked-in
+//! `campaign.json` written *before* the diff observatory existed (no
+//! `engine`, `host`, `yields`, or `spans` keys) must still parse, with the
+//! new optional fields defaulting to "not recorded", and must be diffable.
+
+use cftcg::compare::ArtifactDiff;
+use cftcg::pipeline::CampaignArtifact;
+
+fn fixture() -> String {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/campaign_pre_pr9.json");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+#[test]
+fn pre_pr9_artifact_parses_with_defaulted_fields() {
+    let artifact = CampaignArtifact::from_json(&fixture()).expect("pre-PR-9 artifact parses");
+    assert_eq!(artifact.model, "SolarPV");
+    assert_eq!(artifact.seed, 7);
+    assert_eq!(artifact.workers, 1);
+    assert_eq!(artifact.executions, 1234);
+    assert_eq!(artifact.cases.len(), 1);
+    assert_eq!(artifact.lineage.len(), 2);
+    assert_eq!(artifact.hits.len(), 3);
+    assert_eq!(artifact.series.len(), 1);
+    // The fields this PR introduced are absent from the document and must
+    // default to "not recorded" rather than failing the parse.
+    assert_eq!(artifact.engine, None);
+    assert_eq!(artifact.host, None);
+    assert!(artifact.yields.is_empty());
+    assert!(artifact.spans.is_empty());
+}
+
+#[test]
+fn pre_pr9_artifact_round_trips_through_the_new_serializer() {
+    let artifact = CampaignArtifact::from_json(&fixture()).expect("pre-PR-9 artifact parses");
+    let json = artifact.to_json();
+    // The re-serialized document spells the new fields out explicitly…
+    assert!(json.contains("\"engine\":null"));
+    assert!(json.contains("\"host\":null"));
+    // …and parses back to the identical artifact.
+    assert_eq!(CampaignArtifact::from_json(&json).expect("round trip"), artifact);
+}
+
+#[test]
+fn pre_pr9_artifact_self_diff_is_identity() {
+    let artifact = CampaignArtifact::from_json(&fixture()).expect("pre-PR-9 artifact parses");
+    let diff = ArtifactDiff::compute(&artifact, &artifact);
+    assert!(diff.is_identity());
+    assert!(diff.only_a.is_empty() && diff.only_b.is_empty());
+    assert_eq!(diff.both.len(), 3);
+    // Unrecorded engine/host must not be reported as a mismatch — a diff of
+    // two old artifacts should not demand `--allow-mismatch`.
+    assert!(diff.mismatches.is_empty());
+}

@@ -1,0 +1,82 @@
+//! Golden-file test of the HTML campaign diff report: two fixed-seed
+//! SolarPV campaigns must diff and render byte-identically across runs and
+//! machines.
+//!
+//! Wall-clock timestamps are the only nondeterministic renderer inputs, so
+//! the test zeroes them, and the engine/host annotations (which the CLI
+//! attaches from the live environment) are pinned to fixed literals;
+//! everything else — the partition, first-hit shifts, yield deltas, the
+//! frontier migration — is fully determined by the two seeds.
+//!
+//! After an *intentional* change to the diff report's output, re-bless with:
+//!
+//! ```text
+//! BLESS=1 cargo test --offline --test diff_html_golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use cftcg::compare::{diff_html, replay_tracker, ArtifactDiff, FrontierMigration};
+use cftcg::pipeline::{CampaignArtifact, HostMeta};
+use cftcg::Cftcg;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/campaign_diff.html")
+}
+
+fn campaign(tool: &Cftcg, seed: u64) -> CampaignArtifact {
+    let model = "SolarPV";
+    let generation = tool.generate_executions(3_000, seed);
+    let mut artifact =
+        CampaignArtifact::from_generation(model, seed, 1, &generation, tool.compiled().map());
+    artifact.elapsed_s = 0.0;
+    for case in &mut artifact.cases {
+        case.t_s = 0.0;
+    }
+    for hit in &mut artifact.hits {
+        hit.elapsed_s = 0.0;
+    }
+    // Pin the environment annotations the CLI would attach, so the report
+    // is identical on every host.
+    artifact.engine = Some("flat".to_string());
+    artifact.host = Some(HostMeta { cores: 8, arch: "x86_64".to_string() });
+    artifact
+}
+
+#[test]
+fn campaign_diff_matches_golden() {
+    let model = cftcg::benchmarks::solar_pv::model();
+    let tool = Cftcg::new(&model).expect("benchmark compiles");
+
+    // Round-trip both artifacts through JSON exactly like `cftcg diff`
+    // does (it always starts from two campaign.json files on disk).
+    let a = CampaignArtifact::from_json(&campaign(&tool, 41).to_json()).expect("A round-trips");
+    let b = CampaignArtifact::from_json(&campaign(&tool, 42).to_json()).expect("B round-trips");
+
+    let diff = ArtifactDiff::compute(&a, &b);
+    let tracker_a = replay_tracker(tool.compiled(), &a);
+    let tracker_b = replay_tracker(tool.compiled(), &b);
+    let migration = FrontierMigration::compute(tool.compiled().map(), &tracker_a, &tracker_b);
+    let html = diff_html(&diff, &a, &b, Some(&migration), tool.compiled().map());
+
+    let golden = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&golden, &html).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!("missing golden file {} (run with BLESS=1 to create): {e}", golden.display())
+    });
+    if html != expected {
+        let actual = golden.with_extension("actual.html");
+        fs::write(&actual, &html).expect("write actual");
+        panic!(
+            "HTML diff report drifted from golden ({} bytes rendered vs {} expected); \
+             actual output written to {} — re-bless with BLESS=1 if the change is intentional",
+            html.len(),
+            expected.len(),
+            actual.display()
+        );
+    }
+}
