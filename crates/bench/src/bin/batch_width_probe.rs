@@ -1,0 +1,120 @@
+//! Width sweep for the batched SoA tier: cases/s at each candidate batch
+//! width next to the jit baseline, per bundled benchmark. A tuning tool —
+//! the default width in `cftcg_codegen::DEFAULT_BATCH_WIDTH` is justified
+//! by this sweep.
+
+use std::time::{Duration, Instant};
+
+use cftcg_codegen::{compile, BatchExecutor, CompiledModel, Executor, TestCase};
+use cftcg_coverage::{LaneBitmap, NullRecorder};
+
+const CASE_TICKS: usize = 64;
+
+fn case_for(compiled: &CompiledModel, seed: u64) -> TestCase {
+    let size = compiled.layout().tuple_size().max(1);
+    let mut x = seed | 1;
+    let bytes = (0..size * CASE_TICKS)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x as u8
+        })
+        .collect();
+    TestCase::new(bytes)
+}
+
+fn main() {
+    let widths = [4usize, 8, 16, 32, 64];
+    let slice = Duration::from_millis(300);
+    println!("{:>10} {:>10} | widths {widths:?}", "model", "jit");
+    for model in cftcg_benchmarks::all() {
+        let compiled = compile(&model).expect("benchmark compiles");
+        let mut jit = Executor::new_jit(&compiled);
+        let case = case_for(&compiled, 0x5EED_CF7C);
+        let mut best_jit = 0.0f64;
+        for _ in 0..3 {
+            let started = Instant::now();
+            let mut n = 0u64;
+            while started.elapsed() < slice {
+                jit.run_case(&case, &mut NullRecorder);
+                n += 1;
+            }
+            best_jit = best_jit.max(n as f64 / started.elapsed().as_secs_f64());
+        }
+        print!("{:>10} {:>10.0} |", model.name(), best_jit);
+        for &w in &widths {
+            let cases: Vec<TestCase> =
+                (0..w).map(|i| case_for(&compiled, 0x5EED_CF7C ^ ((i as u64) << 32))).collect();
+            let refs: Vec<&[u8]> = cases.iter().map(|c| c.bytes.as_slice()).collect();
+            let mut batch = BatchExecutor::new(&compiled, w);
+            let mut lanes = LaneBitmap::new(compiled.map().branch_count(), w);
+            let mut best = 0.0f64;
+            for _ in 0..3 {
+                let started = Instant::now();
+                let mut n = 0u64;
+                while started.elapsed() < slice {
+                    lanes.clear();
+                    batch.run_cases(&refs, usize::MAX, &mut lanes);
+                    n += refs.len() as u64;
+                }
+                best = best.max(n as f64 / started.elapsed().as_secs_f64());
+            }
+            let st = batch.stats();
+            let per_tick = |n: u64| n as f64 / st.ticks.max(1) as f64;
+            print!(
+                " w{w}: {:>8.0} (x{:.2}, {:.1}%sc, c/t {:.0}, m/t {:.0}, s/t {:.0}, dv/t {:.1})",
+                best,
+                best / best_jit,
+                100.0 * st.scalar_lane_fraction(w),
+                per_tick(st.converged_ops),
+                per_tick(st.masked_dispatches),
+                per_tick(st.skipped_dispatches),
+                per_tick(st.divergences),
+            );
+        }
+        // Identical-case batch at width 8: zero divergence by construction,
+        // isolating the converged path's cost from the mask machinery.
+        {
+            let case = case_for(&compiled, 0x5EED_CF7C);
+            let refs: Vec<&[u8]> = (0..8).map(|_| case.bytes.as_slice()).collect();
+            let mut batch = BatchExecutor::new(&compiled, 8);
+            let mut lanes = LaneBitmap::new(compiled.map().branch_count(), 8);
+            let mut best = 0.0f64;
+            for _ in 0..3 {
+                let started = Instant::now();
+                let mut n = 0u64;
+                while started.elapsed() < slice {
+                    lanes.clear();
+                    batch.run_cases(&refs, usize::MAX, &mut lanes);
+                    n += refs.len() as u64;
+                }
+                best = best.max(n as f64 / started.elapsed().as_secs_f64());
+            }
+            print!(" | same8: {:>8.0} (x{:.2})", best, best / best_jit);
+        }
+        // Load-only pass at width 8: begin + per-tick tuple decode with no
+        // execution, costing out the SoA transpose overhead alone.
+        {
+            let case = case_for(&compiled, 0x5EED_CF7C);
+            let layout = compiled.layout();
+            let tuple = layout.tuple_size();
+            let ticks = layout.tuple_count(&case.bytes);
+            let mut batch = BatchExecutor::new(&compiled, 8);
+            let started = Instant::now();
+            let mut n = 0u64;
+            while started.elapsed() < slice {
+                batch.begin();
+                for t in 0..ticks {
+                    for lane in 0..8 {
+                        batch.load_tuple(lane, &case.bytes[t * tuple..(t + 1) * tuple]);
+                    }
+                }
+                n += 8;
+            }
+            let rate = n as f64 / started.elapsed().as_secs_f64();
+            print!(" load-only: {rate:>8.0}");
+        }
+        println!();
+    }
+}

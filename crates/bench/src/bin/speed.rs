@@ -119,6 +119,16 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) -> bool {
     }
     counts.dedup();
 
+    if cores == 1 {
+        eprintln!(
+            "\n*** WARNING: this host exposes only 1 core — the parallel sweep below \
+             time-slices a single CPU, so worker counts cannot scale and the \
+             throughput ratios are meaningless as a scaling signal. The sweep still \
+             runs (phase shares and sync-wait attribution stay valid), but the \
+             scaling regression gate is SKIPPED; re-measure on a multi-core host \
+             before trusting speedup_vs_1. ***"
+        );
+    }
     println!("\nSharded parallel fuzzing on SolarPV ({cores} core(s) available):");
     // With CFTCG_STATS_JSONL set, each sweep row also lands in the shared
     // telemetry JSONL stream as a `bench-point` event.
@@ -132,6 +142,10 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) -> bool {
         exec_pct: f64,
         sync_pct: f64,
         mutation_pct: f64,
+        /// Per-worker sync-wait share of span-attributed wall-clock, so
+        /// contention (one slow shard stalling every sync round) is visible
+        /// from the artifact alone.
+        worker_sync_pct: Vec<f64>,
     }
     let mut rows = Vec::new();
     for &workers in &counts {
@@ -176,7 +190,16 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) -> bool {
                 total,
             });
         }
-        rows.push(Row { workers, rate, execs_per_sec, covered, exec_pct, sync_pct, mutation_pct });
+        rows.push(Row {
+            workers,
+            rate,
+            execs_per_sec,
+            covered,
+            exec_pct,
+            sync_pct,
+            mutation_pct,
+            worker_sync_pct: snap.shard_sync_pct.clone(),
+        });
     }
     if let Some(t) = &telemetry {
         t.flush();
@@ -186,11 +209,14 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) -> bool {
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
+            let worker_sync =
+                r.worker_sync_pct.iter().map(|p| format!("{p:.1}")).collect::<Vec<_>>().join(", ");
             format!(
                 "    {{\"workers\": {}, \"iterations_per_sec\": {:.1}, \
                  \"executions_per_sec\": {:.1}, \"covered_branches\": {}, \
                  \"speedup_vs_1\": {:.3}, \"phases\": {{\"execution_pct\": {:.1}, \
-                 \"sync_pct\": {:.1}, \"mutation_pct\": {:.1}}}}}",
+                 \"sync_pct\": {:.1}, \"mutation_pct\": {:.1}, \
+                 \"worker_sync_wait_pct\": [{worker_sync}]}}}}",
                 r.workers,
                 r.rate,
                 r.execs_per_sec,
@@ -220,7 +246,11 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) -> bool {
     }
 
     // Append-only history + the optional regression gate: per-worker-count
-    // throughput ratio-compared, covered branches absolutely.
+    // throughput ratio-compared, covered branches absolutely. On a
+    // single-core host the scaling gate is skipped (loudly, above): worker
+    // counts time-slicing one CPU make the per-count throughput ratios
+    // noise, and a gate on noise would flake. The history still records
+    // the point, flagged by the host's core count in the artifact.
     let record = cftcg_compare::HistoryRecord {
         t_unix: cftcg_bench::unix_now(),
         bench: "parallel".to_string(),
@@ -230,5 +260,15 @@ fn parallel_sweep(tool: &Cftcg, budget: Duration) -> bool {
             .map(|r| (format!("SolarPV/x{}", r.workers), r.covered as f64))
             .collect(),
     };
+    if cores == 1 {
+        match cftcg_compare::append_history(std::path::Path::new("results"), &record) {
+            Ok(path) => println!("  appended history record to {}", path.display()),
+            Err(e) => eprintln!("  could not append bench history: {e}"),
+        }
+        if std::env::args().any(|a| a == "--check-regress") {
+            eprintln!("  check-regress: SKIPPED scaling assertion (single-core host)");
+        }
+        return true;
+    }
     cftcg_bench::record_history(&record)
 }

@@ -1,0 +1,1069 @@
+//! The batched structure-of-arrays execution tier: N test cases per pass
+//! through the flat program.
+//!
+//! The single-case engines pay the full dispatch/jump cost of every flat op
+//! for every case. This tier transposes a batch of cases into
+//! structure-of-arrays buffers — `regs[reg * width + lane]` instead of
+//! `regs[reg]` per case — and walks the **batch program variant**
+//! ([`crate::CompiledModel`]'s third flat program: condition/decision probes
+//! stripped, branch probes, asserts, and relational compares kept) once per
+//! tick for the whole batch. Straight-line spans become tight per-row loops
+//! the compiler autovectorizes; one op dispatch is amortized over `width`
+//! cases.
+//!
+//! # Divergence
+//!
+//! Lanes agree on control flow far more often than not (the models are
+//! mode-switchy, not data-parallel-hostile; `flat_histo --divergence`
+//! measures this). The interpreter therefore runs in two modes:
+//!
+//! * **converged** — one shared `pc`; pure ops execute every lane
+//!   (including retired lanes: execute-and-discard is safe because every
+//!   op is total over `f64`), probe events fire for live lanes only, and
+//!   conditional jumps poll the live lanes — unanimous verdicts keep the
+//!   batch converged;
+//! * **diverged** — on a mixed verdict each live lane gets a private
+//!   resume `pc` and a `#[cold]` masked-span scan (`masked_span`) walks
+//!   forward, dispatching each op position once: the value is computed for
+//!   every lane (execute-and-discard again) and committed through
+//!   branchless masked row writes, a select keeping inactive lanes' old
+//!   values. All jumps are forward, so the scan reconverges by
+//!   construction (at latest at the end of the program), and the batch
+//!   drops back to converged mode there.
+//!
+//! # Event contract
+//!
+//! Per lane, the [`LaneRecorder`] sees exactly the branch / compare /
+//! assertion event sequence the single-case flat program would produce for
+//! that case. Cross-lane interleaving is unspecified (converged ops fire
+//! lane 0 before lane 1; diverged spans fire in scan order) — batched
+//! consumers keep per-lane accounting, so only the per-lane order matters.
+//! Condition and MCDC decision events never fire: cases that earn coverage
+//! are replayed on the single-case engines with a full recorder, which is
+//! the batch tier's winner-replay contract.
+
+use cftcg_coverage::{AssertionId, BranchId, LaneRecorder};
+use cftcg_model::interp::{lookup1d, lookup2d};
+use cftcg_model::Value;
+
+use crate::compile::{CompiledModel, Lookup2Table};
+use crate::flatten::{FlatOp, MAX_INLINE};
+use crate::ir::{BinopCode, UnopCode};
+
+/// Default batch width: eight lanes fill an AVX-512 register of `f64`s and
+/// keep two AVX2 rows in flight, and measured throughput on the bundled
+/// benchmarks plateaus here.
+pub const DEFAULT_BATCH_WIDTH: usize = 8;
+
+/// Maximum supported batch width (per-op jump-target scratch is a fixed
+/// stack array of this size).
+pub const MAX_BATCH_WIDTH: usize = 64;
+
+/// Execution counters for one [`BatchExecutor`] session — the data behind
+/// the mask-vs-scalar-fallback decision and the `flat_histo --divergence`
+/// report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batch ticks executed (one per [`BatchExecutor::step_tick`] with any
+    /// live lane).
+    pub ticks: u64,
+    /// Ops dispatched in converged mode — each amortized over the whole
+    /// batch.
+    pub converged_ops: u64,
+    /// Per-lane scalar op executions spent in diverged mode.
+    pub diverged_ops: u64,
+    /// Converged→diverged transitions (mixed jump verdicts).
+    pub divergences: u64,
+    /// Diverged-mode op positions dispatched with at least one active lane.
+    pub masked_dispatches: u64,
+    /// Diverged-mode op positions scanned with no lane parked on them.
+    pub skipped_dispatches: u64,
+}
+
+impl BatchStats {
+    /// Fraction of per-lane op executions that ran on the scalar diverged
+    /// path rather than a converged row op, for a batch of `width` lanes.
+    /// The number that justifies (or indicts) the divergence strategy.
+    pub fn scalar_lane_fraction(&self, width: usize) -> f64 {
+        let converged_lanes = self.converged_ops.saturating_mul(width as u64);
+        let total = converged_lanes + self.diverged_ops;
+        if total == 0 {
+            0.0
+        } else {
+            self.diverged_ops as f64 / total as f64
+        }
+    }
+}
+
+/// A batched execution session over one compiled model: `width` lanes of
+/// registers, state, and ports in structure-of-arrays layout, stepping the
+/// batch program variant one tick at a time.
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use cftcg_codegen::{compile, BatchExecutor};
+/// use cftcg_coverage::LaneBitmap;
+/// use cftcg_model::{BlockKind, DataType, ModelBuilder};
+///
+/// let mut b = ModelBuilder::new("clip");
+/// let u = b.inport("u", DataType::F64);
+/// let sat = b.add("sat", BlockKind::Saturation { lower: 0.0, upper: 1.0 });
+/// let y = b.outport("y");
+/// b.wire(u, sat);
+/// b.wire(sat, y);
+/// let model = b.finish()?;
+///
+/// let compiled = compile(&model)?;
+/// let mut batch = BatchExecutor::new(&compiled, 4);
+/// let mut lanes = LaneBitmap::new(compiled.map().branch_count(), 4);
+/// let cases: Vec<Vec<u8>> = (0..4u8)
+///     .map(|i| vec![i; compiled.layout().tuple_size() * 3])
+///     .collect();
+/// let refs: Vec<&[u8]> = cases.iter().map(|c| c.as_slice()).collect();
+/// let iterations = batch.run_cases(&refs, usize::MAX, &mut lanes);
+/// assert_eq!(iterations, vec![3, 3, 3, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchExecutor<'c> {
+    compiled: &'c CompiledModel,
+    width: usize,
+    /// Canonical per-lane register file (zeros plus the batch program's
+    /// hoisted constants): every case starts from this exact file, so lane
+    /// results are a pure function of the case bytes — no cross-case
+    /// register residue, matching the single-case engines' per-case reset.
+    reg_canon: Vec<f64>,
+    regs: AlignedBuf,
+    state: AlignedBuf,
+    inputs: AlignedBuf,
+    outputs: AlignedBuf,
+    live: Vec<bool>,
+    resume: Vec<usize>,
+    stats: BatchStats,
+}
+
+/// One cache line of lanes — the allocation granule of [`AlignedBuf`].
+#[repr(align(64))]
+#[derive(Debug, Clone, Copy)]
+struct LaneChunk(#[allow(dead_code)] [f64; 8]);
+
+/// A 64-byte-aligned `f64` buffer for the lane-strided register, state,
+/// input, and output files. `Vec<f64>` only guarantees 8-byte alignment,
+/// which leaves vector-width row accesses straddling cache lines and
+/// defeats store→load forwarding between an op that writes a row and the
+/// next op that reads it — a per-dispatch latency tax on the whole batch
+/// loop. Chunked allocation pins every power-of-two row base to (at
+/// least) its row's natural alignment.
+#[derive(Debug, Clone)]
+struct AlignedBuf {
+    chunks: Vec<LaneChunk>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    fn zeroed(len: usize) -> Self {
+        AlignedBuf { chunks: vec![LaneChunk([0.0; 8]); len.div_ceil(8)], len }
+    }
+}
+
+impl std::ops::Deref for AlignedBuf {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        // SAFETY: `chunks` is a contiguous array of `[f64; 8]` with no
+        // padding (align 64 == size 64), so its allocation is a valid
+        // `[f64]` of `chunks.len() * 8 >= len` elements.
+        unsafe { std::slice::from_raw_parts(self.chunks.as_ptr().cast::<f64>(), self.len) }
+    }
+}
+
+impl std::ops::DerefMut for AlignedBuf {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        // SAFETY: as in `deref`.
+        unsafe { std::slice::from_raw_parts_mut(self.chunks.as_mut_ptr().cast::<f64>(), self.len) }
+    }
+}
+
+impl<'c> BatchExecutor<'c> {
+    /// Creates a batch session of `width` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is zero or exceeds [`MAX_BATCH_WIDTH`].
+    pub fn new(compiled: &'c CompiledModel, width: usize) -> Self {
+        assert!(
+            (1..=MAX_BATCH_WIDTH).contains(&width),
+            "batch width must be in 1..={MAX_BATCH_WIDTH}, got {width}"
+        );
+        let mut reg_canon = vec![0.0; compiled.num_regs];
+        for &(r, v) in &compiled.flat_batch.reg_init {
+            reg_canon[r as usize] = v;
+        }
+        BatchExecutor {
+            width,
+            regs: AlignedBuf::zeroed(compiled.num_regs * width),
+            state: AlignedBuf::zeroed(compiled.state_init.len() * width),
+            inputs: AlignedBuf::zeroed(compiled.input_types.len() * width),
+            outputs: AlignedBuf::zeroed(compiled.output_types.len() * width),
+            live: vec![false; width],
+            resume: vec![0; width],
+            reg_canon,
+            compiled,
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// The compiled model this session runs.
+    pub fn compiled(&self) -> &CompiledModel {
+        self.compiled
+    }
+
+    /// Number of lanes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Execution counters accumulated since construction (or the last
+    /// [`BatchExecutor::reset_stats`]).
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+
+    /// Clears the execution counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = BatchStats::default();
+    }
+
+    /// Resets every lane to initial conditions — `Model_init()` across the
+    /// batch — and marks all lanes retired until [`BatchExecutor::load_tuple`]
+    /// revives them.
+    pub fn begin(&mut self) {
+        let w = self.width;
+        for (r, &v) in self.reg_canon.iter().enumerate() {
+            self.regs[r * w..(r + 1) * w].fill(v);
+        }
+        for (s, &v) in self.compiled.state_init.iter().enumerate() {
+            self.state[s * w..(s + 1) * w].fill(v);
+        }
+        self.inputs.fill(0.0);
+        self.outputs.fill(0.0);
+        self.live.fill(false);
+    }
+
+    /// Loads one input tuple into `lane` and marks it live for the next
+    /// tick. Call once per live lane before each [`BatchExecutor::step_tick`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tuple` is shorter than the layout's tuple size or
+    /// `lane` is out of range.
+    pub fn load_tuple(&mut self, lane: usize, tuple: &[u8]) {
+        assert!(lane < self.width, "lane {lane} out of range for width {}", self.width);
+        let compiled: &'c CompiledModel = self.compiled;
+        let w = self.width;
+        for (i, field) in compiled.layout().fields().iter().enumerate() {
+            let v = Value::from_le_bytes(&tuple[field.offset..], field.dtype);
+            self.inputs[i * w + lane] = v.as_f64();
+        }
+        self.live[lane] = true;
+    }
+
+    /// Marks `lane` retired: its case ran out of tuples. Retired lanes stop
+    /// firing events and voting on control flow; their rows still compute
+    /// (execute-and-discard) until the batch finishes.
+    pub fn retire_lane(&mut self, lane: usize) {
+        self.live[lane] = false;
+    }
+
+    /// Number of live lanes.
+    pub fn live_lanes(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// One output value of `lane` (after a tick), typed like the
+    /// single-case [`crate::Executor::outputs`].
+    pub fn lane_output(&self, lane: usize, index: usize) -> Value {
+        let ty = self.compiled.output_types[index];
+        Value::from_f64(self.outputs[index * self.width + lane], ty)
+    }
+
+    /// All output values of `lane` (after a tick).
+    pub fn lane_outputs(&self, lane: usize) -> Vec<Value> {
+        (0..self.compiled.output_types.len()).map(|i| self.lane_output(lane, i)).collect()
+    }
+
+    /// Reads one register of `lane`'s register file (the signal-probe seam,
+    /// mirroring [`crate::Executor::reg`]).
+    pub fn lane_reg(&self, lane: usize, reg: crate::ir::Reg) -> f64 {
+        self.regs[reg as usize * self.width + lane]
+    }
+
+    /// `lane`'s state vector (delay lines, chart variables, ...).
+    pub fn lane_state(&self, lane: usize) -> Vec<f64> {
+        let slots = self.compiled.state_init.len();
+        (0..slots).map(|s| self.state[s * self.width + lane]).collect()
+    }
+
+    /// Executes one model iteration for every live lane. A tick with no
+    /// live lanes is a no-op.
+    pub fn step_tick<R: LaneRecorder>(&mut self, recorder: &mut R) {
+        if !self.live.iter().any(|&l| l) {
+            return;
+        }
+        self.stats.ticks += 1;
+        // Monomorphize the common widths so `w` is a compile-time constant
+        // in the row loops (fixed trip counts vectorize cleanly); other
+        // widths share one dynamic instantiation.
+        match self.width {
+            2 => self.tick_impl::<2, R>(recorder),
+            4 => self.tick_impl::<4, R>(recorder),
+            8 => self.tick_impl::<8, R>(recorder),
+            16 => self.tick_impl::<16, R>(recorder),
+            _ => self.tick_impl::<0, R>(recorder),
+        }
+    }
+
+    /// Runs up to `width` whole cases (raw layout-shaped bytes) through the
+    /// batch: `begin()`, then one tick per tuple with lanes retiring as
+    /// their cases run out, each capped at `max_ticks` iterations. Returns
+    /// the iteration count per case.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than `width` cases are supplied.
+    pub fn run_cases<R: LaneRecorder>(
+        &mut self,
+        cases: &[&[u8]],
+        max_ticks: usize,
+        recorder: &mut R,
+    ) -> Vec<usize> {
+        assert!(cases.len() <= self.width, "more cases than lanes");
+        let compiled: &'c CompiledModel = self.compiled;
+        let layout = compiled.layout();
+        let tuple = layout.tuple_size();
+        self.begin();
+        let counts: Vec<usize> =
+            cases.iter().map(|c| layout.tuple_count(c).min(max_ticks)).collect();
+        let ticks = counts.iter().copied().max().unwrap_or(0);
+        for t in 0..ticks {
+            for (lane, case) in cases.iter().enumerate() {
+                if t < counts[lane] {
+                    self.load_tuple(lane, &case[t * tuple..(t + 1) * tuple]);
+                } else {
+                    self.retire_lane(lane);
+                }
+            }
+            self.step_tick(recorder);
+        }
+        for lane in 0..cases.len() {
+            self.retire_lane(lane);
+        }
+        counts
+    }
+
+    /// The two-mode batch dispatch loop. `L == 0` selects the dynamic-width
+    /// instantiation; otherwise `L` must equal the session width.
+    #[allow(clippy::needless_range_loop)]
+    fn tick_impl<const L: usize, R: LaneRecorder>(&mut self, rec: &mut R) {
+        let w = if L == 0 { self.width } else { L };
+        debug_assert_eq!(w, self.width);
+        let program = &self.compiled.flat_batch;
+        let ops: &[FlatOp] = &program.ops;
+        let consts: &[f64] = &program.const_pool;
+        let tables1 = &self.compiled.tables1;
+        let tables2 = &self.compiled.tables2;
+        let regs = &mut self.regs[..];
+        let state = &mut self.state[..];
+        let inputs = &self.inputs[..];
+        let outputs = &mut self.outputs[..];
+        // `[..w]` slices tie the lane-array lengths to `w`, eliding the
+        // bounds checks in every `0..w` loop below.
+        let live = &self.live[..w];
+        let resume = &mut self.resume[..w];
+        let nops = ops.len();
+        let n_live = live.iter().map(|&b| usize::from(b)).sum::<usize>();
+        let mut pc = 0usize;
+        let mut diverged = false;
+        let (mut c_ops, mut divs) = (0u64, 0u64);
+
+        // First lane-slot of register `r`'s row.
+        macro_rules! row {
+            ($r:expr) => {
+                ($r as usize) * w
+            };
+        }
+        // Two-way jump vote on the condition row at `$base` (taken when the
+        // slot's truthiness equals `$nz`): a branchless count of the live
+        // lanes taking the jump decides unanimously-taken / unanimously-
+        // fallthrough / mixed; only the mixed case pays a second (parking)
+        // pass. The staged row sub-slice keeps the count loop check-free.
+        macro_rules! fanout2 {
+            ($base:expr, $nz:expr, $tgt:expr) => {{
+                let base = $base;
+                let tgt = $tgt;
+                let crow = &regs[base..base + w];
+                let mut n_taken = 0usize;
+                for l in 0..w {
+                    n_taken += usize::from(live[l] && ((crow[l] != 0.0) == $nz));
+                }
+                if n_taken == n_live {
+                    pc = tgt;
+                } else if n_taken != 0 {
+                    // Unconditional select: dead lanes pick up garbage
+                    // resume pcs, but the active-set test is gated on
+                    // liveness so they are never consulted.
+                    for l in 0..w {
+                        resume[l] = if (crow[l] != 0.0) == $nz { tgt } else { pc };
+                    }
+                    divs += 1;
+                    diverged = true;
+                }
+            }};
+        }
+        // General jump vote for multi-target ops (`$target(l)` yields each
+        // lane's destination): unanimity poll with early exit, parking pass
+        // only when mixed.
+        macro_rules! fanout {
+            ($target:expr) => {{
+                let mut uni = usize::MAX;
+                let mut mixed = false;
+                for l in 0..w {
+                    if !live[l] {
+                        continue;
+                    }
+                    let t: usize = $target(l);
+                    if uni == usize::MAX {
+                        uni = t;
+                    } else if uni != t {
+                        mixed = true;
+                        break;
+                    }
+                }
+                if mixed {
+                    for l in 0..w {
+                        if live[l] {
+                            resume[l] = $target(l);
+                        }
+                    }
+                    divs += 1;
+                    diverged = true;
+                } else if uni != usize::MAX {
+                    pc = uni;
+                }
+            }};
+        }
+
+        while pc < nops {
+            if diverged {
+                pc = masked_span::<L, R>(
+                    ops,
+                    consts,
+                    tables1,
+                    tables2,
+                    regs,
+                    state,
+                    inputs,
+                    outputs,
+                    live,
+                    resume,
+                    rec,
+                    pc,
+                    n_live,
+                    &mut self.stats,
+                );
+                diverged = false;
+                continue;
+            }
+            let op = ops[pc];
+            pc += 1;
+            c_ops += 1;
+            match op {
+                FlatOp::Const { dst, idx } => {
+                    regs[row!(dst)..row!(dst) + w].fill(consts[idx as usize]);
+                }
+                FlatOp::Const2 { dst1, idx1, dst2, idx2 } => {
+                    regs[row!(dst1)..row!(dst1) + w].fill(consts[idx1 as usize]);
+                    regs[row!(dst2)..row!(dst2) + w].fill(consts[idx2 as usize]);
+                }
+                FlatOp::Copy { dst, src } => {
+                    regs.copy_within(row!(src)..row!(src) + w, row!(dst));
+                }
+                FlatOp::Input { dst, index } => {
+                    let s = (index as usize) * w;
+                    regs[row!(dst)..row!(dst) + w].copy_from_slice(&inputs[s..s + w]);
+                }
+                FlatOp::Output { index, src } => {
+                    let d = (index as usize) * w;
+                    outputs[d..d + w].copy_from_slice(&regs[row!(src)..row!(src) + w]);
+                }
+                FlatOp::Unop { dst, op, src } => {
+                    let (d, s) = (row!(dst), row!(src));
+                    match op {
+                        UnopCode::Neg => map_row::<L>(regs, d, s, w, |x| -x),
+                        UnopCode::Not => map_row::<L>(regs, d, s, w, |x| f64::from(x == 0.0)),
+                        UnopCode::Truthy => map_row::<L>(regs, d, s, w, |x| f64::from(x != 0.0)),
+                    }
+                }
+                FlatOp::Binop { dst, op, lhs, rhs } => {
+                    binop_rows::<L>(op, regs, row!(dst), row!(lhs), row!(rhs), w);
+                }
+                FlatOp::BinopCmp { dst, op, lhs, rhs } => {
+                    let (d, a, b) = (row!(dst), row!(lhs), row!(rhs));
+                    if R::OBSERVES_COMPARES {
+                        for l in 0..w {
+                            if live[l] {
+                                rec.compare(l, regs[a + l], regs[b + l]);
+                            }
+                        }
+                    }
+                    binop_rows::<L>(op, regs, d, a, b, w);
+                }
+                FlatOp::Call { dst, func, argc, args } => {
+                    let d = row!(dst);
+                    let argc = argc as usize;
+                    for l in 0..w {
+                        let mut xs = [0.0f64; MAX_INLINE];
+                        for (x, &a) in xs.iter_mut().zip(&args[..argc]) {
+                            *x = regs[row!(a) + l];
+                        }
+                        regs[d + l] = func.apply(&xs[..argc]);
+                    }
+                }
+                FlatOp::CastSat { dst, src, ty } => {
+                    let (d, s) = (row!(dst), row!(src));
+                    map_row::<L>(regs, d, s, w, |x| Value::from_f64(x, ty).as_f64());
+                }
+                FlatOp::CastSatCopy { dst, src, ty, dst2 } => {
+                    let (d, s, d2) = (row!(dst), row!(src), row!(dst2));
+                    map_row::<L>(regs, d, s, w, |x| Value::from_f64(x, ty).as_f64());
+                    regs.copy_within(d..d + w, d2);
+                }
+                FlatOp::CopyCastSat { dst, src, dst2, ty } => {
+                    let (d, s, d2) = (row!(dst), row!(src), row!(dst2));
+                    regs.copy_within(s..s + w, d);
+                    map_row::<L>(regs, d2, d, w, |x| Value::from_f64(x, ty).as_f64());
+                }
+                FlatOp::LoadState { dst, slot } => {
+                    let s = (slot as usize) * w;
+                    regs[row!(dst)..row!(dst) + w].copy_from_slice(&state[s..s + w]);
+                }
+                FlatOp::Load2 { dst1, slot1, dst2, slot2 } => {
+                    let s1 = (slot1 as usize) * w;
+                    regs[row!(dst1)..row!(dst1) + w].copy_from_slice(&state[s1..s1 + w]);
+                    let s2 = (slot2 as usize) * w;
+                    regs[row!(dst2)..row!(dst2) + w].copy_from_slice(&state[s2..s2 + w]);
+                }
+                FlatOp::StoreState { slot, src } => {
+                    let d = (slot as usize) * w;
+                    state[d..d + w].copy_from_slice(&regs[row!(src)..row!(src) + w]);
+                }
+                FlatOp::StoreState2 { slot1, src1, slot2, src2 } => {
+                    let d1 = (slot1 as usize) * w;
+                    state[d1..d1 + w].copy_from_slice(&regs[row!(src1)..row!(src1) + w]);
+                    let d2 = (slot2 as usize) * w;
+                    state[d2..d2 + w].copy_from_slice(&regs[row!(src2)..row!(src2) + w]);
+                }
+                FlatOp::ShiftState { base, len, src } => {
+                    // Slot rows are contiguous, so the whole delay-line
+                    // shift is one block move across all lanes.
+                    let (base, len) = (base as usize, len as usize);
+                    state.copy_within((base + 1) * w..(base + len) * w, base * w);
+                    let d = (base + len - 1) * w;
+                    state[d..d + w].copy_from_slice(&regs[row!(src)..row!(src) + w]);
+                }
+                FlatOp::Lookup1 { dst, src, table } => {
+                    let (breaks, values) = &tables1[table as usize];
+                    let (d, s) = (row!(dst), row!(src));
+                    map_row::<L>(regs, d, s, w, |x| lookup1d(breaks, values, x));
+                }
+                FlatOp::Lookup2 { dst, row, col, table } => {
+                    let (rb, cb, values) = &tables2[table as usize];
+                    let (d, r, c) = (row!(dst), row!(row), row!(col));
+                    map2_row::<L>(regs, d, r, c, w, |x, y| lookup2d(rb, cb, values, x, y));
+                }
+                FlatOp::Probe { branch } => {
+                    if R::OBSERVES_PROBES {
+                        rec.branch_row(BranchId(u32::from(branch)), &live[..w]);
+                    }
+                }
+                FlatOp::Assert { id, cond } => {
+                    if R::OBSERVES_ASSERTIONS {
+                        let c = row!(cond);
+                        let aid = AssertionId(u32::from(id));
+                        for l in 0..w {
+                            if live[l] {
+                                rec.assertion(l, aid, regs[c + l] != 0.0);
+                            }
+                        }
+                    }
+                }
+                FlatOp::ProbeSelect { cond, then_branch, else_branch } => {
+                    if R::OBSERVES_PROBES {
+                        let c = row!(cond);
+                        rec.branch_select_row(
+                            BranchId(u32::from(then_branch)),
+                            BranchId(u32::from(else_branch)),
+                            &regs[c..c + w],
+                            live,
+                        );
+                    }
+                }
+                FlatOp::CmpJump { op, dst, lhs, rhs, skip } => {
+                    let (d, a, b) = (row!(dst), row!(lhs), row!(rhs));
+                    if R::OBSERVES_COMPARES {
+                        for l in 0..w {
+                            if live[l] {
+                                rec.compare(l, regs[a + l], regs[b + l]);
+                            }
+                        }
+                    }
+                    binop_rows::<L>(op, regs, d, a, b, w);
+                    fanout2!(d, false, pc + skip as usize);
+                }
+                FlatOp::JumpIfZero { cond, skip } => {
+                    fanout2!(row!(cond), false, pc + skip as usize);
+                }
+                FlatOp::JzLoad { cond, skip, dst, slot } => {
+                    // The load is this op's side effect on fall-through
+                    // lanes, so it must happen *before* any divergence.
+                    let c = row!(cond);
+                    let (next, tgt) = (pc, pc + skip as usize);
+                    let mut n_taken = 0usize;
+                    {
+                        let crow = &regs[c..c + w];
+                        for l in 0..w {
+                            n_taken += usize::from(live[l] && crow[l] == 0.0);
+                        }
+                    }
+                    let (d, s) = (row!(dst), (slot as usize) * w);
+                    if n_taken == n_live {
+                        pc = tgt;
+                    } else if n_taken == 0 {
+                        regs[d..d + w].copy_from_slice(&state[s..s + w]);
+                    } else {
+                        // Branchless mixed case: fall-through lanes load,
+                        // taken lanes keep dst; dead lanes load-and-discard
+                        // and park on garbage (never consulted).
+                        for l in 0..w {
+                            let fall = regs[c + l] != 0.0;
+                            let old = regs[d + l];
+                            regs[d + l] = if fall { state[s + l] } else { old };
+                            resume[l] = if fall { next } else { tgt };
+                        }
+                        divs += 1;
+                        diverged = true;
+                    }
+                }
+                FlatOp::LoadJz { dst, slot, cond, skip } => {
+                    let (d, s) = (row!(dst), (slot as usize) * w);
+                    regs[d..d + w].copy_from_slice(&state[s..s + w]);
+                    fanout2!(row!(cond), false, pc + skip as usize);
+                }
+                FlatOp::JzJz { cond1, skip1, cond2, skip2 } => {
+                    let (c1, c2) = (row!(cond1), row!(cond2));
+                    let next = pc;
+                    let (t1, t2) = (pc + skip1 as usize, pc + skip2 as usize);
+                    fanout!(|l: usize| if regs[c1 + l] == 0.0 {
+                        t1
+                    } else if regs[c2 + l] == 0.0 {
+                        t2
+                    } else {
+                        next
+                    });
+                }
+                FlatOp::JumpIfNonZero { cond, skip } => {
+                    fanout2!(row!(cond), true, pc + skip as usize);
+                }
+                FlatOp::Jump { skip } => pc += skip as usize,
+                FlatOp::CondProbe { .. }
+                | FlatOp::CondProbe2 { .. }
+                | FlatOp::Decision1 { .. }
+                | FlatOp::DecisionSel { .. }
+                | FlatOp::CmpSel { .. }
+                | FlatOp::DecisionEvalSmall { .. }
+                | FlatOp::DecisionEvalPool { .. }
+                | FlatOp::DecisionSelJz { .. } => {
+                    unreachable!("condition/decision ops are stripped from the batch program")
+                }
+            }
+        }
+        self.stats.converged_ops += c_ops;
+        self.stats.divergences += divs;
+    }
+}
+
+/// The diverged-span scan, kept out of the converged hot loop (`#[cold]`,
+/// never inlined) so its masked machinery does not bloat the loop's
+/// register allocation. Each op position is matched ONCE and committed
+/// through branchless masked row writes to the *active* lanes — the live
+/// lanes parked exactly on that pc; `$val` is computed for every lane
+/// (all ops are total over `f64`, the converged mode's execute-and-discard
+/// argument) and a select keeps inactive lanes' old values. Returns the pc
+/// where every live lane reconverged (or the program end).
+#[cold]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn masked_span<const L: usize, R: LaneRecorder>(
+    ops: &[FlatOp],
+    consts: &[f64],
+    tables1: &[(Vec<f64>, Vec<f64>)],
+    tables2: &[Lookup2Table],
+    regs: &mut [f64],
+    state: &mut [f64],
+    inputs: &[f64],
+    outputs: &mut [f64],
+    live: &[bool],
+    resume: &mut [usize],
+    rec: &mut R,
+    mut pc: usize,
+    n_live: usize,
+    stats: &mut BatchStats,
+) -> usize {
+    let w = if L == 0 { live.len() } else { L };
+    debug_assert_eq!(w, live.len());
+    let nops = ops.len();
+    let mut act = [false; MAX_BATCH_WIDTH];
+
+    macro_rules! row {
+        ($r:expr) => {
+            ($r as usize) * w
+        };
+    }
+    // Masked row write: commits `$val` to the active lanes of `$arr`'s row
+    // at `$base`, branchless select for the rest.
+    macro_rules! mrow {
+        ($arr:ident, $base:expr, $l:ident, $val:expr) => {{
+            let base = $base;
+            for $l in 0..w {
+                let v = $val;
+                let old = $arr[base + $l];
+                $arr[base + $l] = if act[$l] { v } else { old };
+            }
+        }};
+    }
+    // Parks every active lane on `$val` (its next pc), branchless.
+    macro_rules! mpark {
+        ($l:ident, $val:expr) => {{
+            for $l in 0..w {
+                let v = $val;
+                let old = resume[$l];
+                resume[$l] = if act[$l] { v } else { old };
+            }
+        }};
+    }
+
+    while pc < nops {
+        let mut n_act = 0usize;
+        for l in 0..w {
+            let a = live[l] && resume[l] == pc;
+            act[l] = a;
+            n_act += usize::from(a);
+        }
+        if n_act == n_live {
+            return pc;
+        }
+        let op = ops[pc];
+        let next = pc + 1;
+        pc = next;
+        if n_act == 0 {
+            stats.skipped_dispatches += 1;
+            continue;
+        }
+        stats.diverged_ops += n_act as u64;
+        stats.masked_dispatches += 1;
+        let mut parked = false;
+        match op {
+            FlatOp::Const { dst, idx } => {
+                mrow!(regs, row!(dst), l, consts[idx as usize]);
+            }
+            FlatOp::Const2 { dst1, idx1, dst2, idx2 } => {
+                mrow!(regs, row!(dst1), l, consts[idx1 as usize]);
+                mrow!(regs, row!(dst2), l, consts[idx2 as usize]);
+            }
+            FlatOp::Copy { dst, src } => {
+                let s = row!(src);
+                mrow!(regs, row!(dst), l, regs[s + l]);
+            }
+            FlatOp::Input { dst, index } => {
+                let s = row!(index);
+                mrow!(regs, row!(dst), l, inputs[s + l]);
+            }
+            FlatOp::Output { index, src } => {
+                let s = row!(src);
+                mrow!(outputs, row!(index), l, regs[s + l]);
+            }
+            FlatOp::Unop { dst, op, src } => {
+                let s = row!(src);
+                match op {
+                    UnopCode::Neg => mrow!(regs, row!(dst), l, -regs[s + l]),
+                    UnopCode::Not => {
+                        mrow!(regs, row!(dst), l, f64::from(regs[s + l] == 0.0));
+                    }
+                    UnopCode::Truthy => {
+                        mrow!(regs, row!(dst), l, f64::from(regs[s + l] != 0.0));
+                    }
+                }
+            }
+            FlatOp::Binop { dst, op, lhs, rhs } => {
+                let (a, b) = (row!(lhs), row!(rhs));
+                mrow!(regs, row!(dst), l, op.apply(regs[a + l], regs[b + l]));
+            }
+            FlatOp::BinopCmp { dst, op, lhs, rhs } => {
+                let (a, b) = (row!(lhs), row!(rhs));
+                if R::OBSERVES_COMPARES {
+                    for l in 0..w {
+                        if act[l] {
+                            rec.compare(l, regs[a + l], regs[b + l]);
+                        }
+                    }
+                }
+                mrow!(regs, row!(dst), l, op.apply(regs[a + l], regs[b + l]));
+            }
+            FlatOp::Call { dst, func, argc, args } => {
+                let d = row!(dst);
+                let argc = argc as usize;
+                for l in 0..w {
+                    if act[l] {
+                        let mut xs = [0.0f64; MAX_INLINE];
+                        for (x, &a) in xs.iter_mut().zip(&args[..argc]) {
+                            *x = regs[row!(a) + l];
+                        }
+                        regs[d + l] = func.apply(&xs[..argc]);
+                    }
+                }
+            }
+            FlatOp::CastSat { dst, src, ty } => {
+                let s = row!(src);
+                mrow!(regs, row!(dst), l, Value::from_f64(regs[s + l], ty).as_f64());
+            }
+            FlatOp::CastSatCopy { dst, src, ty, dst2 } => {
+                let (d, s) = (row!(dst), row!(src));
+                mrow!(regs, d, l, Value::from_f64(regs[s + l], ty).as_f64());
+                mrow!(regs, row!(dst2), l, regs[d + l]);
+            }
+            FlatOp::CopyCastSat { dst, src, dst2, ty } => {
+                let (d, s) = (row!(dst), row!(src));
+                mrow!(regs, d, l, regs[s + l]);
+                mrow!(regs, row!(dst2), l, Value::from_f64(regs[d + l], ty).as_f64());
+            }
+            FlatOp::LoadState { dst, slot } => {
+                let s = row!(slot);
+                mrow!(regs, row!(dst), l, state[s + l]);
+            }
+            FlatOp::Load2 { dst1, slot1, dst2, slot2 } => {
+                let (s1, s2) = (row!(slot1), row!(slot2));
+                mrow!(regs, row!(dst1), l, state[s1 + l]);
+                mrow!(regs, row!(dst2), l, state[s2 + l]);
+            }
+            FlatOp::StoreState { slot, src } => {
+                let s = row!(src);
+                mrow!(state, row!(slot), l, regs[s + l]);
+            }
+            FlatOp::StoreState2 { slot1, src1, slot2, src2 } => {
+                let (s1, s2) = (row!(src1), row!(src2));
+                mrow!(state, row!(slot1), l, regs[s1 + l]);
+                mrow!(state, row!(slot2), l, regs[s2 + l]);
+            }
+            FlatOp::ShiftState { base, len, src } => {
+                let (base, len) = (base as usize, len as usize);
+                for k in base..base + len - 1 {
+                    let s = (k + 1) * w;
+                    mrow!(state, k * w, l, state[s + l]);
+                }
+                let s = row!(src);
+                mrow!(state, (base + len - 1) * w, l, regs[s + l]);
+            }
+            FlatOp::Lookup1 { dst, src, table } => {
+                let (breaks, values) = &tables1[table as usize];
+                let s = row!(src);
+                mrow!(regs, row!(dst), l, lookup1d(breaks, values, regs[s + l]));
+            }
+            FlatOp::Lookup2 { dst, row, col, table } => {
+                let (rb, cb, values) = &tables2[table as usize];
+                let (r, c) = (row!(row), row!(col));
+                mrow!(regs, row!(dst), l, lookup2d(rb, cb, values, regs[r + l], regs[c + l]));
+            }
+            FlatOp::Probe { branch } => {
+                if R::OBSERVES_PROBES {
+                    rec.branch_row(BranchId(u32::from(branch)), &act[..w]);
+                }
+            }
+            FlatOp::Assert { id, cond } => {
+                if R::OBSERVES_ASSERTIONS {
+                    let c = row!(cond);
+                    let aid = AssertionId(u32::from(id));
+                    for l in 0..w {
+                        if act[l] {
+                            rec.assertion(l, aid, regs[c + l] != 0.0);
+                        }
+                    }
+                }
+            }
+            FlatOp::ProbeSelect { cond, then_branch, else_branch } => {
+                if R::OBSERVES_PROBES {
+                    let c = row!(cond);
+                    rec.branch_select_row(
+                        BranchId(u32::from(then_branch)),
+                        BranchId(u32::from(else_branch)),
+                        &regs[c..c + w],
+                        &act[..w],
+                    );
+                }
+            }
+            FlatOp::CmpJump { op, dst, lhs, rhs, skip } => {
+                let (a, b) = (row!(lhs), row!(rhs));
+                if R::OBSERVES_COMPARES {
+                    for l in 0..w {
+                        if act[l] {
+                            rec.compare(l, regs[a + l], regs[b + l]);
+                        }
+                    }
+                }
+                let d = row!(dst);
+                mrow!(regs, d, l, op.apply(regs[a + l], regs[b + l]));
+                let tgt = next + skip as usize;
+                mpark!(l, if regs[d + l] == 0.0 { tgt } else { next });
+                parked = true;
+            }
+            FlatOp::JumpIfZero { cond, skip } => {
+                let c = row!(cond);
+                let tgt = next + skip as usize;
+                mpark!(l, if regs[c + l] == 0.0 { tgt } else { next });
+                parked = true;
+            }
+            FlatOp::JzLoad { cond, skip, dst, slot } => {
+                // Fall-through lanes take the load before parking.
+                let c = row!(cond);
+                let (d, s) = (row!(dst), row!(slot));
+                mrow!(regs, d, l, if regs[c + l] != 0.0 { state[s + l] } else { regs[d + l] });
+                let tgt = next + skip as usize;
+                mpark!(l, if regs[c + l] == 0.0 { tgt } else { next });
+                parked = true;
+            }
+            FlatOp::LoadJz { dst, slot, cond, skip } => {
+                let s = row!(slot);
+                mrow!(regs, row!(dst), l, state[s + l]);
+                let c = row!(cond);
+                let tgt = next + skip as usize;
+                mpark!(l, if regs[c + l] == 0.0 { tgt } else { next });
+                parked = true;
+            }
+            FlatOp::JzJz { cond1, skip1, cond2, skip2 } => {
+                let (c1, c2) = (row!(cond1), row!(cond2));
+                let (t1, t2) = (next + skip1 as usize, next + skip2 as usize);
+                mpark!(
+                    l,
+                    if regs[c1 + l] == 0.0 {
+                        t1
+                    } else if regs[c2 + l] == 0.0 {
+                        t2
+                    } else {
+                        next
+                    }
+                );
+                parked = true;
+            }
+            FlatOp::JumpIfNonZero { cond, skip } => {
+                let c = row!(cond);
+                let tgt = next + skip as usize;
+                mpark!(l, if regs[c + l] != 0.0 { tgt } else { next });
+                parked = true;
+            }
+            FlatOp::Jump { skip } => {
+                mpark!(l, next + skip as usize);
+                parked = true;
+            }
+            FlatOp::CondProbe { .. }
+            | FlatOp::CondProbe2 { .. }
+            | FlatOp::Decision1 { .. }
+            | FlatOp::DecisionSel { .. }
+            | FlatOp::CmpSel { .. }
+            | FlatOp::DecisionEvalSmall { .. }
+            | FlatOp::DecisionEvalPool { .. }
+            | FlatOp::DecisionSelJz { .. } => {
+                unreachable!("condition/decision ops are stripped from the batch program")
+            }
+        }
+        if !parked {
+            mpark!(l, next);
+        }
+    }
+    pc
+}
+
+/// One register row mapped through `f`. The const-width instantiations
+/// (`L > 0`) stage through fixed-size arrays: one bounds check per row,
+/// then check-free lane loops the compiler vectorizes; `L == 0` is the
+/// dynamic-width fallback.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+fn map_row<const L: usize>(regs: &mut [f64], d: usize, s: usize, w: usize, f: impl Fn(f64) -> f64) {
+    if L == 0 {
+        for l in 0..w {
+            regs[d + l] = f(regs[s + l]);
+        }
+    } else {
+        let x: [f64; L] = regs[s..s + L].try_into().unwrap();
+        let mut o = [0.0; L];
+        for l in 0..L {
+            o[l] = f(x[l]);
+        }
+        regs[d..d + L].copy_from_slice(&o);
+    }
+}
+
+/// Two register rows combined through `f` into a third (rows may alias —
+/// the operands are staged out first).
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+fn map2_row<const L: usize>(
+    regs: &mut [f64],
+    d: usize,
+    a: usize,
+    b: usize,
+    w: usize,
+    f: impl Fn(f64, f64) -> f64,
+) {
+    if L == 0 {
+        for l in 0..w {
+            regs[d + l] = f(regs[a + l], regs[b + l]);
+        }
+    } else {
+        let x: [f64; L] = regs[a..a + L].try_into().unwrap();
+        let y: [f64; L] = regs[b..b + L].try_into().unwrap();
+        let mut o = [0.0; L];
+        for l in 0..L {
+            o[l] = f(x[l], y[l]);
+        }
+        regs[d..d + L].copy_from_slice(&o);
+    }
+}
+
+/// One binop across a register row, opcode matched once outside the lane
+/// loop so each arm is a tight autovectorizable loop.
+#[inline(always)]
+fn binop_rows<const L: usize>(
+    op: BinopCode,
+    regs: &mut [f64],
+    d: usize,
+    a: usize,
+    b: usize,
+    w: usize,
+) {
+    match op {
+        BinopCode::Add => map2_row::<L>(regs, d, a, b, w, |x, y| x + y),
+        BinopCode::Sub => map2_row::<L>(regs, d, a, b, w, |x, y| x - y),
+        BinopCode::Mul => map2_row::<L>(regs, d, a, b, w, |x, y| x * y),
+        BinopCode::Div => map2_row::<L>(regs, d, a, b, w, |x, y| x / y),
+        BinopCode::Rem => map2_row::<L>(regs, d, a, b, w, |x, y| x % y),
+        BinopCode::Lt => map2_row::<L>(regs, d, a, b, w, |x, y| f64::from(x < y)),
+        BinopCode::Le => map2_row::<L>(regs, d, a, b, w, |x, y| f64::from(x <= y)),
+        BinopCode::Gt => map2_row::<L>(regs, d, a, b, w, |x, y| f64::from(x > y)),
+        BinopCode::Ge => map2_row::<L>(regs, d, a, b, w, |x, y| f64::from(x >= y)),
+        BinopCode::Eq => map2_row::<L>(regs, d, a, b, w, |x, y| f64::from(x == y)),
+        BinopCode::Ne => map2_row::<L>(regs, d, a, b, w, |x, y| f64::from(x != y)),
+        BinopCode::And => map2_row::<L>(regs, d, a, b, w, |x, y| f64::from(x != 0.0 && y != 0.0)),
+        BinopCode::Or => map2_row::<L>(regs, d, a, b, w, |x, y| f64::from(x != 0.0 || y != 0.0)),
+    }
+}

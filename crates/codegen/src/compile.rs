@@ -115,6 +115,11 @@ pub struct CompiledModel {
     pub(crate) flat: FlatProgram,
     /// The probe-stripped flat variant for non-observing recorders.
     pub(crate) flat_noprobe: FlatProgram,
+    /// The batch tier's flat variant: condition/decision probes stripped,
+    /// branch/assert probes and relational compares kept (see
+    /// [`crate::opt::strip_decision_probes`]). Same compacted register
+    /// space as `flat`.
+    pub(crate) flat_batch: FlatProgram,
     /// Per-pass mid-end accounting.
     pub(crate) opt_stats: OptStats,
     pub(crate) map: InstrumentationMap,
@@ -189,9 +194,11 @@ impl CompiledModel {
 
     /// Like [`CompiledModel::flat_histogram`], but for an explicit program
     /// index: `0` is the instrumented program, `1` the probe-stripped one
-    /// executed under [`NullRecorder`](cftcg_coverage::NullRecorder). Any
-    /// other index returns `None` — out-of-range selectors are a caller
-    /// mistake worth reporting, not panicking over.
+    /// executed under [`NullRecorder`](cftcg_coverage::NullRecorder), `2`
+    /// the batch tier's variant (branch/assert probes kept,
+    /// condition/decision probes stripped). Any other index returns `None`
+    /// — out-of-range selectors are a caller mistake worth reporting, not
+    /// panicking over.
     pub fn flat_histogram_at(&self, program: usize) -> Option<Vec<(&'static str, usize)>> {
         use std::collections::HashMap;
         let ops = &self.flat_program_at(program)?.ops;
@@ -221,10 +228,39 @@ impl CompiledModel {
         Some(v)
     }
 
+    /// Static divergence profile of a flat program: the guarded-region
+    /// size (flat ops skipped when the guard takes) of every *conditional*
+    /// jump, in program order. Unconditional `Jump`s are excluded — every
+    /// lane of a batch takes them together, so they cannot diverge. The
+    /// `program` selector matches [`CompiledModel::flat_histogram_at`];
+    /// out-of-range returns `None`.
+    pub fn flat_guard_regions(&self, program: usize) -> Option<Vec<usize>> {
+        use crate::flatten::FlatOp;
+        let ops = &self.flat_program_at(program)?.ops;
+        let mut regions = Vec::new();
+        for op in ops {
+            match op {
+                FlatOp::CmpJump { skip, .. }
+                | FlatOp::JumpIfZero { skip, .. }
+                | FlatOp::JzLoad { skip, .. }
+                | FlatOp::LoadJz { skip, .. }
+                | FlatOp::DecisionSelJz { skip, .. }
+                | FlatOp::JumpIfNonZero { skip, .. } => regions.push(usize::from(*skip)),
+                FlatOp::JzJz { skip1, skip2, .. } => {
+                    regions.push(usize::from(*skip1));
+                    regions.push(usize::from(*skip2));
+                }
+                _ => {}
+            }
+        }
+        Some(regions)
+    }
+
     fn flat_program_at(&self, program: usize) -> Option<&crate::flatten::FlatProgram> {
         match program {
             0 => Some(&self.flat),
             1 => Some(&self.flat_noprobe),
+            2 => Some(&self.flat_batch),
             _ => None,
         }
     }
@@ -460,6 +496,8 @@ pub fn compile(model: &Model) -> Result<CompiledModel, CompileError> {
     let flat = flatten(&opt.program, &observed);
     let noprobe = strip_probes(&opt.program, &opt.signals);
     let flat_noprobe = flatten(&noprobe, &observed);
+    let batch = crate::opt::strip_decision_probes(&opt.program);
+    let flat_batch = flatten(&batch, &observed);
 
     Ok(CompiledModel {
         name: model.name().to_string(),
@@ -469,6 +507,7 @@ pub fn compile(model: &Model) -> Result<CompiledModel, CompileError> {
         reference_signals,
         flat,
         flat_noprobe,
+        flat_batch,
         opt_stats: opt.stats,
         map: ctx.map.finish(),
         layout: TupleLayout::for_model(model),

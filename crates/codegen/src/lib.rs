@@ -58,6 +58,7 @@
 //! # }
 //! ```
 
+mod batch;
 mod cemit;
 mod compile;
 mod flatten;
@@ -70,6 +71,7 @@ mod opt;
 mod replay;
 mod vm;
 
+pub use batch::{BatchExecutor, BatchStats, DEFAULT_BATCH_WIDTH, MAX_BATCH_WIDTH};
 pub use cemit::{emit_c, emit_driver_c};
 pub use compile::{compile, CompileError, CompiledModel, SignalMeta};
 pub use ir::{BinopCode, FuncCode, Instr, Reg, UnopCode};
@@ -78,4 +80,4 @@ pub use layout::{
 };
 pub use opt::OptStats;
 pub use replay::{replay_case, replay_suite};
-pub use vm::{Engine, Executor, JitStats};
+pub use vm::{resolve_engine, Engine, Executor, JitStats};

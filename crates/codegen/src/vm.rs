@@ -37,6 +37,16 @@ pub enum Engine {
     /// architectures, `--no-default-features`, executable-page mapping
     /// refused) transparently resolves to [`Engine::Flat`].
     Jit,
+    /// The batched structure-of-arrays tier: the fuzz loop executes `width`
+    /// cases per pass through the flat program (see
+    /// [`BatchExecutor`](crate::BatchExecutor)), replaying coverage-earning
+    /// cases on the best single-case engine. `width == 0` means the
+    /// default ([`crate::DEFAULT_BATCH_WIDTH`]). A single-case [`Executor`]
+    /// asked for this tier runs that replay engine.
+    Batch {
+        /// Lanes per batch (0 = default width).
+        width: usize,
+    },
 }
 
 impl Engine {
@@ -58,27 +68,41 @@ impl Engine {
     }
 
     /// Reads the `CFTCG_ENGINE` environment override: `ref`/`reference`,
-    /// `flat`, or `jit` (case-insensitive). Returns `None` when unset or
-    /// unrecognized.
+    /// `flat`, `jit`, or `batch`/`batch:N` (case-insensitive; `N` an
+    /// explicit lane width). Returns `None` when unset or unrecognized.
     pub fn from_env() -> Option<Engine> {
         let v = std::env::var("CFTCG_ENGINE").ok()?;
         match v.to_ascii_lowercase().as_str() {
             "ref" | "reference" => Some(Engine::Reference),
             "flat" => Some(Engine::Flat),
             "jit" => Some(Engine::Jit),
-            _ => None,
+            "batch" => Some(Engine::Batch { width: 0 }),
+            s => {
+                let width: usize = s.strip_prefix("batch:")?.parse().ok()?;
+                (1..=crate::batch::MAX_BATCH_WIDTH)
+                    .contains(&width)
+                    .then_some(Engine::Batch { width })
+            }
         }
     }
 
-    /// The engine's short name (`ref`/`flat`/`jit`) as logged into bench
-    /// and campaign metadata.
+    /// The engine's short name (`ref`/`flat`/`jit`/`batch`) as logged into
+    /// bench and campaign metadata.
     pub const fn name(self) -> &'static str {
         match self {
             Engine::Reference => "ref",
             Engine::Flat => "flat",
             Engine::Jit => "jit",
+            Engine::Batch { .. } => "batch",
         }
     }
+}
+
+/// Resolves the effective engine from the three-level preference chain
+/// every CLI entry point shares: the `CFTCG_ENGINE` environment override
+/// wins, then the caller's configured preference, then `default`.
+pub fn resolve_engine(preference: Option<Engine>, default: Engine) -> Engine {
+    Engine::from_env().or(preference).unwrap_or(default)
 }
 
 impl std::fmt::Display for Engine {
@@ -114,6 +138,13 @@ pub struct JitStats {
 pub struct Executor<'c> {
     compiled: &'c CompiledModel,
     regs: Vec<f64>,
+    /// The canonical start-of-case register file (zeros plus hoisted
+    /// constants): [`Executor::reset`] restores it so every case's
+    /// execution is a pure function of its bytes, with no register residue
+    /// from the previous case — the invariant the batch tier's lane
+    /// classification relies on, and what replay/minimization (which
+    /// always run cases on fresh executors) already assumed.
+    reg_canon: Vec<f64>,
     state: Vec<f64>,
     inputs: Vec<f64>,
     outputs: Vec<f64>,
@@ -150,8 +181,11 @@ impl<'c> Executor<'c> {
     }
 
     /// Creates an executor with an explicit engine choice.
-    /// [`Engine::Jit`] resolves to [`Engine::Flat`] when unavailable.
+    /// [`Engine::Jit`] resolves to [`Engine::Flat`] when unavailable;
+    /// [`Engine::Batch`] — a fuzz-loop strategy, not a single-case engine —
+    /// resolves to the best scalar engine (the tier's winner-replay path).
     pub fn with_engine(compiled: &'c CompiledModel, engine: Engine) -> Self {
+        let engine = if matches!(engine, Engine::Batch { .. }) { Engine::best() } else { engine };
         #[cfg(cftcg_jit)]
         let mut engine = engine;
         #[cfg(not(cftcg_jit))]
@@ -180,8 +214,10 @@ impl<'c> Executor<'c> {
                 regs[r as usize] = v;
             }
         }
+        let reg_canon = regs.clone();
         Executor {
             regs,
+            reg_canon,
             state: compiled.state_init.clone(),
             inputs: vec![0.0; compiled.input_types.len()],
             outputs: vec![0.0; compiled.output_types.len()],
@@ -211,9 +247,12 @@ impl<'c> Executor<'c> {
     }
 
     /// Resets all state to initial conditions — the generated driver's
-    /// `Model_init()` call, executed once per test case.
+    /// `Model_init()` call, executed once per test case. Also restores the
+    /// canonical register file, so consecutive cases on one executor see
+    /// exactly what a fresh executor would.
     pub fn reset(&mut self) {
         self.state.copy_from_slice(&self.compiled.state_init);
+        self.regs.copy_from_slice(&self.reg_canon);
     }
 
     /// Executes one model iteration, collecting the outputs into a fresh

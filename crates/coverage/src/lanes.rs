@@ -1,0 +1,206 @@
+//! Lane-strided probe recorders for the batched execution tier.
+//!
+//! The batch VM executes N test cases per pass through the flat program,
+//! so every probe event carries a *lane* index alongside the probe id.
+//! [`LaneRecorder`] is the batched counterpart of [`crate::Recorder`]: the event
+//! set matches what the fuzz loop's per-case recorder observes — branch
+//! hits, comparison operands (TORC), and assertion verdicts. Condition and
+//! decision events have no lane-strided form because the batch tier runs a
+//! program variant with those probes stripped; cases that need full MCDC
+//! observation are replayed on the single-case engines.
+
+use crate::map::{AssertionId, BranchId};
+
+/// Receives probe events from the batched VM, one lane per executing case.
+///
+/// The observation promises mirror [`crate::Recorder`]'s: a promise of `false`
+/// lets the VM skip both the callback and the argument plumbing feeding
+/// it. Implementations that retain an event class must leave its promise
+/// `true`.
+pub trait LaneRecorder {
+    /// Whether [`LaneRecorder::branch`] retains anything.
+    const OBSERVES_PROBES: bool = true;
+    /// Whether [`LaneRecorder::compare`] retains anything.
+    const OBSERVES_COMPARES: bool = true;
+    /// Whether [`LaneRecorder::assertion`] retains anything.
+    const OBSERVES_ASSERTIONS: bool = true;
+
+    /// Lane `lane` executed branch probe `id`.
+    fn branch(&mut self, lane: usize, id: BranchId);
+
+    /// A converged probe: every lane flagged in `live` executed branch
+    /// probe `id` this dispatch. Implementations with row-shaped storage
+    /// (see [`LaneBitmap`]) override this with a branchless row write.
+    fn branch_row(&mut self, id: BranchId, live: &[bool]) {
+        for (lane, &lv) in live.iter().enumerate() {
+            if lv {
+                self.branch(lane, id);
+            }
+        }
+    }
+
+    /// A converged two-way probe: each lane in `live` executed `then_id`
+    /// when its `cond` slot is non-zero, `else_id` otherwise. Row-shaped
+    /// implementations override this with two branchless masked writes.
+    fn branch_select_row(
+        &mut self,
+        then_id: BranchId,
+        else_id: BranchId,
+        cond: &[f64],
+        live: &[bool],
+    ) {
+        for (lane, (&c, &lv)) in cond.iter().zip(live).enumerate() {
+            if lv {
+                self.branch(lane, if c != 0.0 { then_id } else { else_id });
+            }
+        }
+    }
+
+    /// Lane `lane` executed a comparison with the given operands.
+    fn compare(&mut self, lane: usize, lhs: f64, rhs: f64) {
+        let _ = (lane, lhs, rhs);
+    }
+
+    /// Lane `lane` evaluated assertion `id` with the given result.
+    fn assertion(&mut self, lane: usize, id: AssertionId, passed: bool) {
+        let _ = (lane, id, passed);
+    }
+}
+
+/// Discards every lane event — the pure-throughput benchmark recorder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullLaneRecorder;
+
+impl LaneRecorder for NullLaneRecorder {
+    const OBSERVES_PROBES: bool = false;
+    const OBSERVES_COMPARES: bool = false;
+    const OBSERVES_ASSERTIONS: bool = false;
+
+    fn branch(&mut self, _lane: usize, _id: BranchId) {}
+}
+
+/// The batched fuzz loop's branch bitmap: one flag per (branch, lane)
+/// pair, laid out lane-minor (`flags[branch * width + lane]`) so a probe
+/// that fires across every lane of a converged batch writes `width`
+/// adjacent bytes — the lane-strided generalization of
+/// [`crate::Recorder::branch_flags`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneBitmap {
+    width: usize,
+    branches: usize,
+    bits: Vec<bool>,
+}
+
+impl LaneBitmap {
+    /// A cleared bitmap for `branches` probes across `width` lanes.
+    pub fn new(branches: usize, width: usize) -> Self {
+        LaneBitmap { width, branches, bits: vec![false; branches * width] }
+    }
+
+    /// Number of lanes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of branch slots per lane.
+    pub fn branches(&self) -> usize {
+        self.branches
+    }
+
+    /// Clears every lane's flags.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Whether `lane` hit branch `branch`.
+    pub fn get(&self, lane: usize, branch: usize) -> bool {
+        self.bits[branch * self.width + lane]
+    }
+
+    /// Number of branches `lane` hit.
+    pub fn lane_count(&self, lane: usize) -> usize {
+        (0..self.branches).filter(|&b| self.bits[b * self.width + lane]).count()
+    }
+
+    /// Copies `lane`'s column into a dense per-case bitmap (sized
+    /// `branches`), the shape the single-case fuzz accounting consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` does not have exactly `branches` slots.
+    pub fn extract_lane(&self, lane: usize, out: &mut crate::BranchBitmap) {
+        use crate::recorder::Recorder as _;
+        assert_eq!(out.len(), self.branches, "bitmap length mismatch");
+        for b in 0..self.branches {
+            if self.bits[b * self.width + lane] {
+                out.branch(BranchId(b as u32));
+            }
+        }
+    }
+}
+
+impl LaneRecorder for LaneBitmap {
+    const OBSERVES_COMPARES: bool = false;
+    const OBSERVES_ASSERTIONS: bool = false;
+
+    fn branch(&mut self, lane: usize, id: BranchId) {
+        self.bits[id.index() * self.width + lane] = true;
+    }
+
+    fn branch_row(&mut self, id: BranchId, live: &[bool]) {
+        let base = id.index() * self.width;
+        for (slot, &lv) in self.bits[base..base + live.len()].iter_mut().zip(live) {
+            *slot |= lv;
+        }
+    }
+
+    fn branch_select_row(
+        &mut self,
+        then_id: BranchId,
+        else_id: BranchId,
+        cond: &[f64],
+        live: &[bool],
+    ) {
+        let tb = then_id.index() * self.width;
+        let eb = else_id.index() * self.width;
+        for (l, (&c, &lv)) in cond.iter().zip(live).enumerate() {
+            let taken = c != 0.0;
+            self.bits[tb + l] |= lv && taken;
+            self.bits[eb + l] |= lv && !taken;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_bitmap_isolates_lanes() {
+        let mut bm = LaneBitmap::new(3, 4);
+        bm.branch(0, BranchId(1));
+        bm.branch(2, BranchId(1));
+        bm.branch(2, BranchId(2));
+        assert!(bm.get(0, 1));
+        assert!(!bm.get(1, 1));
+        assert_eq!(bm.lane_count(0), 1);
+        assert_eq!(bm.lane_count(1), 0);
+        assert_eq!(bm.lane_count(2), 2);
+        bm.clear();
+        assert_eq!(bm.lane_count(2), 0);
+    }
+
+    #[test]
+    fn extract_lane_matches_single_case_bitmap() {
+        let mut bm = LaneBitmap::new(4, 2);
+        bm.branch(1, BranchId(0));
+        bm.branch(1, BranchId(3));
+        bm.branch(0, BranchId(2));
+        let mut dense = crate::BranchBitmap::new(4);
+        bm.extract_lane(1, &mut dense);
+        assert_eq!(dense.set_indices().collect::<Vec<_>>(), vec![0, 3]);
+        let mut dense0 = crate::BranchBitmap::new(4);
+        bm.extract_lane(0, &mut dense0);
+        assert_eq!(dense0.set_indices().collect::<Vec<_>>(), vec![2]);
+    }
+}

@@ -4,8 +4,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cftcg_codegen::{CompiledModel, Engine, Executor, TestCase};
-use cftcg_coverage::{BranchBitmap, FirstHit, FullTracker, ProvenanceTracker};
+use cftcg_codegen::{BatchExecutor, CompiledModel, Engine, Executor, TestCase};
+use cftcg_coverage::{
+    BranchBitmap, FirstHit, FullTracker, LaneBitmap, LaneRecorder, ProvenanceTracker,
+};
 use cftcg_telemetry::{
     Event, PlateauGoal, ShardStats, SpanKind, SpanSampler, SpanTrace, Telemetry, YieldOutcome,
     PLATEAU_FRONTIER_CAP,
@@ -38,6 +40,11 @@ pub(crate) struct Torc {
     /// parallel coordinator to merge (drained by [`Torc::take_fresh`]).
     track_fresh: bool,
     fresh: Vec<(f64, f64)>,
+    /// Bumped every time a pair is actually admitted. The batched fuzz
+    /// loop pre-mutates a batch of children against the current dictionary
+    /// and must abandon the tail of the batch the moment a committed
+    /// lane's compares change it (see [`Fuzzer::fuzz_batch_step`]).
+    pub(crate) generation: u64,
 }
 
 impl Torc {
@@ -50,6 +57,7 @@ impl Torc {
             next_evict: 0,
             track_fresh: false,
             fresh: Vec::new(),
+            generation: 0,
         }
     }
 
@@ -78,6 +86,7 @@ impl Torc {
         if self.track_fresh {
             self.fresh.push((lhs, rhs));
         }
+        self.generation += 1;
     }
 
     /// Turns on fresh-pair tracking (parallel workers only; sequential use
@@ -226,9 +235,18 @@ pub struct FuzzConfig {
     /// Explicit execution engine. `None` (the default) resolves to the
     /// fastest engine available on this build ([`Engine::best`]), or the
     /// reference tree walker when [`FuzzConfig::reference_vm`] is set.
-    /// The `CFTCG_ENGINE` environment variable (`ref` | `flat` | `jit`)
-    /// overrides both — see [`FuzzConfig::resolved_engine`].
+    /// The `CFTCG_ENGINE` environment variable (`ref` | `flat` | `jit` |
+    /// `batch` | `batch:N`) overrides both — see
+    /// [`FuzzConfig::resolved_engine`].
     pub engine: Option<Engine>,
+    /// Lane count for the batched execution tier (`--batch N` /
+    /// [`Engine::Batch`]): how many mutated children one pass through the
+    /// flat program executes. Only consulted when the resolved engine is
+    /// `Engine::Batch`; an explicit `Engine::Batch { width: n > 0 }` (e.g.
+    /// `CFTCG_ENGINE=batch:4`) takes precedence. Batching never changes
+    /// campaign artifacts — outcomes stay byte-identical with the scalar
+    /// engines for every width (enforced by test).
+    pub batch_width: usize,
     /// Plateau-watch window, in executions. When set (and a telemetry
     /// registry is attached), a [`PlateauDetector`] watches the covered-goal
     /// count and emits a `plateau` JSONL event — with a frontier diff naming
@@ -246,17 +264,21 @@ impl FuzzConfig {
     /// flat VM inside [`Executor::with_engine`]; campaign artifacts are
     /// byte-identical either way.
     pub fn resolved_engine(&self) -> Engine {
-        if let Some(e) = Engine::from_env() {
-            return e;
-        }
-        if let Some(e) = self.engine {
-            return e;
-        }
-        if self.reference_vm {
-            Engine::Reference
-        } else {
-            Engine::best()
-        }
+        cftcg_codegen::resolve_engine(
+            self.engine,
+            if self.reference_vm { Engine::Reference } else { Engine::best() },
+        )
+    }
+
+    /// The lane count a batched campaign runs with: an explicit width on
+    /// the resolved `Engine::Batch` wins, then [`FuzzConfig::batch_width`],
+    /// clamped into the executor's supported range.
+    pub fn resolved_batch_width(&self) -> usize {
+        let width = match self.resolved_engine() {
+            Engine::Batch { width } if width > 0 => width,
+            _ => self.batch_width,
+        };
+        width.clamp(1, cftcg_codegen::MAX_BATCH_WIDTH)
     }
 }
 
@@ -276,6 +298,7 @@ impl Default for FuzzConfig {
             span_trace: None,
             reference_vm: false,
             engine: None,
+            batch_width: cftcg_codegen::DEFAULT_BATCH_WIDTH,
             plateau_window: None,
         }
     }
@@ -489,6 +512,134 @@ pub struct Fuzzer<'c> {
     /// events or merge into the registry directly — the coordinator owns
     /// the global view and folds worker deltas at sync rounds.
     worker_mode: bool,
+    /// The engine the config resolved to at construction (cached so the
+    /// hot loop never re-reads the environment).
+    engine: Engine,
+    /// Lane-strided executor for the batched tier, created on the first
+    /// batched round (scalar engines never pay for it).
+    batch: Option<BatchExecutor<'c>>,
+    /// Reused per-batch scratch (lane bitmaps, per-lane coverage state) so
+    /// the batched hot loop allocates only on width changes.
+    batch_scratch: Option<BatchScratch>,
+    /// Batched-tier accounting: rounds executed, lanes committed, lanes
+    /// abandoned to a mid-batch corpus/dictionary change.
+    batch_rounds: u64,
+    batch_commits: u64,
+    batch_abandons: u64,
+}
+
+/// Reusable buffers for one batched fuzz round (see
+/// [`Fuzzer::fuzz_batch_step`]).
+struct BatchScratch {
+    /// Per-(branch, lane) hits for the current tick, cleared per tick —
+    /// the lane-strided `curr` of Algorithm 1 line 11.
+    bits: LaneBitmap,
+    /// One lane's extracted per-tick coverage (dense, scalar-shaped).
+    curr: BranchBitmap,
+    /// Per-lane union of per-tick coverage over the whole case.
+    acc: Vec<BranchBitmap>,
+    /// Per-lane previous-tick coverage (for the iteration-difference
+    /// metric, Algorithm 1 lines 17–19).
+    last: Vec<BranchBitmap>,
+    /// Per-lane iteration-difference metric.
+    metrics: Vec<usize>,
+    /// Per-lane comparison-operand streams, in execution order (replayed
+    /// into the TORC at commit).
+    torc: Vec<Vec<(f64, f64)>>,
+    /// Per-lane assertion-violation flags, lane-major.
+    failed: Vec<bool>,
+}
+
+impl BatchScratch {
+    fn new(branches: usize, width: usize, assertions: usize) -> Self {
+        BatchScratch {
+            bits: LaneBitmap::new(branches, width),
+            curr: BranchBitmap::new(branches),
+            acc: (0..width).map(|_| BranchBitmap::new(branches)).collect(),
+            last: (0..width).map(|_| BranchBitmap::new(branches)).collect(),
+            metrics: vec![0; width],
+            torc: (0..width).map(|_| Vec::new()).collect(),
+            failed: vec![false; width * assertions.max(1)],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.bits.clear();
+        for b in &mut self.acc {
+            b.clear();
+        }
+        for b in &mut self.last {
+            b.clear();
+        }
+        self.metrics.iter_mut().for_each(|m| *m = 0);
+        self.torc.iter_mut().for_each(Vec::clear);
+        self.failed.iter_mut().for_each(|f| *f = false);
+    }
+}
+
+/// One pre-mutated batch lane: everything [`Fuzzer::fuzz_one`]'s front
+/// half (seed selection + mutation) produces, plus the RNG checkpoint
+/// taken *before* that front half ran — the rewind point if this lane has
+/// to be abandoned because an earlier lane changed the corpus or TORC.
+struct PreparedChild {
+    rng_before: SmallRng,
+    data: Vec<u8>,
+    parent: Option<u64>,
+    origin: LineageOrigin,
+    other_id: Option<u64>,
+    ops: Vec<MutationKind>,
+    operator_mask: u8,
+    rounds: u32,
+}
+
+/// The batched counterpart of `LoopRecorder`: the same three event
+/// classes, lane-strided. Branch hits land in a [`LaneBitmap`] row-wise;
+/// comparison operands are buffered per lane (applied to the TORC in lane
+/// order at commit); assertion verdicts set lane-major violation flags.
+struct BatchLoopRecorder<'a> {
+    bits: &'a mut LaneBitmap,
+    torc: &'a mut [Vec<(f64, f64)>],
+    failed: &'a mut [bool],
+    assertions: usize,
+}
+
+impl LaneRecorder for BatchLoopRecorder<'_> {
+    fn branch(&mut self, lane: usize, id: cftcg_coverage::BranchId) {
+        self.bits.branch(lane, id);
+    }
+
+    fn branch_row(&mut self, id: cftcg_coverage::BranchId, live: &[bool]) {
+        self.bits.branch_row(id, live);
+    }
+
+    fn branch_select_row(
+        &mut self,
+        then_id: cftcg_coverage::BranchId,
+        else_id: cftcg_coverage::BranchId,
+        cond: &[f64],
+        live: &[bool],
+    ) {
+        self.bits.branch_select_row(then_id, else_id, cond, live);
+    }
+
+    fn compare(&mut self, lane: usize, lhs: f64, rhs: f64) {
+        // Pre-filter with `Torc::push`'s own rejection rules: pairs that
+        // cannot change the dictionary need not be buffered or replayed.
+        if !lhs.is_finite()
+            || !rhs.is_finite()
+            || lhs == rhs
+            || (lhs.abs() <= 1.0 && rhs.abs() <= 1.0)
+        {
+            return;
+        }
+        self.torc[lane].push((lhs, rhs));
+    }
+
+    fn assertion(&mut self, lane: usize, id: cftcg_coverage::AssertionId, passed: bool) {
+        if !passed {
+            self.failed[lane * self.assertions + id.index()] = true;
+        }
+    }
 }
 
 impl<'c> Fuzzer<'c> {
@@ -518,7 +669,11 @@ impl<'c> Fuzzer<'c> {
             (Some(_), Some(window)) => Some(PlateauDetector::new(window)),
             _ => None,
         };
-        let exec = Executor::with_engine(compiled, config.resolved_engine());
+        let engine = config.resolved_engine();
+        // The single-case executor doubles as the batch tier's replay
+        // engine for coverage-earning winners (full MCDC observation runs
+        // on the scalar engines only).
+        let exec = Executor::with_engine(compiled, engine);
         Fuzzer {
             exec,
             compiled,
@@ -554,6 +709,12 @@ impl<'c> Fuzzer<'c> {
             span_sampler,
             plateau,
             worker_mode: false,
+            engine,
+            batch: None,
+            batch_scratch: None,
+            batch_rounds: 0,
+            batch_commits: 0,
+            batch_abandons: 0,
         }
     }
 
@@ -668,9 +829,7 @@ impl<'c> Fuzzer<'c> {
     /// budget-matched experiments).
     pub fn run_executions(&mut self, n: u64) -> FuzzOutcome {
         self.started = Instant::now() - self.elapsed;
-        for _ in 0..n {
-            self.fuzz_one();
-        }
+        self.fuzz_batch(n);
         self.elapsed = self.started.elapsed();
         self.flush_telemetry();
         self.outcome()
@@ -687,6 +846,17 @@ impl<'c> Fuzzer<'c> {
             let delta = self.take_stats_delta();
             t.merge_shard(0, &delta, self.corpus.len());
             t.set_corpus_seeds(0, self.corpus.seed_reports(self.executions));
+            if self.batch_rounds > 0 {
+                let width = self.config.resolved_batch_width();
+                let vm_stats = self.batch.as_ref().map(BatchExecutor::stats).unwrap_or_default();
+                t.set_batch_stats(cftcg_telemetry::BatchTierStats {
+                    width: width as u64,
+                    rounds: self.batch_rounds,
+                    commits: self.batch_commits,
+                    abandons: self.batch_abandons,
+                    scalar_lane_fraction: vm_stats.scalar_lane_fraction(width),
+                });
+            }
             t.status_tick(false);
         }
     }
@@ -753,6 +923,18 @@ impl<'c> Fuzzer<'c> {
     /// Generates one input (seed selection + mutation), executes it with
     /// Algorithm 1's coverage collection, and files the results.
     fn fuzz_one(&mut self) {
+        let child = self.prepare_child();
+        let (new_branches, metric) = self.execute(&child.data);
+        self.commit_executed(child, new_branches, metric);
+    }
+
+    /// The generation half of [`Fuzzer::fuzz_one`]: seed selection plus the
+    /// stacked-mutation chain. The RNG is checkpointed *before* the first
+    /// draw so a batched round can rewind an abandoned lane to exactly the
+    /// state a sequential run would have reached (see
+    /// [`Fuzzer::fuzz_batch_step`]).
+    fn prepare_child(&mut self) -> PreparedChild {
+        let rng_before = self.rng.clone();
         let mutation_start = if self.time_spans { Some(Instant::now()) } else { None };
         let (mut data, parent, origin) = match self.corpus.pick(&mut self.rng) {
             Some(entry) => (entry.bytes.clone(), Some(entry.id), LineageOrigin::Mutant),
@@ -781,12 +963,35 @@ impl<'c> Fuzzer<'c> {
             operator_mask |= 1 << kind.index();
             ops.push(kind);
         }
-        self.stats.mutation_depth.record(u64::from(rounds));
         if let Some(start) = mutation_start {
             self.note_span(SpanKind::Mutation, start);
         }
+        PreparedChild {
+            rng_before,
+            data,
+            parent,
+            origin,
+            other_id: other.map(|(id, _)| id),
+            ops,
+            operator_mask,
+            rounds,
+        }
+    }
 
-        let (new_branches, metric) = self.execute(&data);
+    /// The accounting half of [`Fuzzer::fuzz_one`], after `child` has been
+    /// executed with `new_branches` / `metric` as its Algorithm 1 outcome
+    /// and `self.failed_assertions` holding its assertion verdicts. Returns
+    /// whether the child entered the corpus (the batched loop abandons the
+    /// rest of its round on that — the seed-selection weights changed).
+    fn commit_executed(
+        &mut self,
+        child: PreparedChild,
+        new_branches: usize,
+        metric: usize,
+    ) -> bool {
+        let PreparedChild { data, parent, origin, other_id, ops, operator_mask, rounds, .. } =
+            child;
+        self.stats.mutation_depth.record(u64::from(rounds));
         self.executions += 1;
         self.stats.executions += 1;
         let earned = new_branches > 0;
@@ -821,11 +1026,7 @@ impl<'c> Fuzzer<'c> {
         let case_id = self.shard as u64 * SHARD_ID_STRIDE + self.next_case;
         // The crossover partner only enters the lineage when the operator
         // chain actually consulted it.
-        let crossover = if ops.contains(&MutationKind::TuplesCrossOver) {
-            other.as_ref().map(|&(id, _)| id)
-        } else {
-            None
-        };
+        let crossover = if ops.contains(&MutationKind::TuplesCrossOver) { other_id } else { None };
         if new_branches > 0 {
             // Algorithm 1 line 16: output the test case.
             let coverage_start = if self.time_spans { Some(Instant::now()) } else { None };
@@ -891,6 +1092,7 @@ impl<'c> Fuzzer<'c> {
             self.next_case += 1;
         }
         self.plateau_tick(earned);
+        inserted
     }
 
     /// Emits `data` as a test case: suite entry, coverage event, forensic
@@ -1035,10 +1237,161 @@ impl<'c> Fuzzer<'c> {
 
     /// Runs `n` inputs without touching the wall-clock bookkeeping — the
     /// unit of work a parallel worker performs between synchronizations.
+    /// Under [`Engine::Batch`] the inputs are executed `width` lanes at a
+    /// time through the SoA tier; every other engine runs them one by one.
+    /// Exactly `n` inputs are committed either way.
     pub(crate) fn fuzz_batch(&mut self, n: u64) {
-        for _ in 0..n {
-            self.fuzz_one();
+        if matches!(self.engine, Engine::Batch { .. }) {
+            let mut done = 0;
+            while done < n {
+                done += self.fuzz_batch_step((n - done) as usize);
+            }
+        } else {
+            for _ in 0..n {
+                self.fuzz_one();
+            }
         }
+    }
+
+    /// One batched fuzz round: pre-mutate up to `limit` (capped at the
+    /// batch width) children against the current corpus and TORC
+    /// dictionary, execute them together through the SoA tier, then commit
+    /// the lanes *in lane order* — each lane's coverage merge, corpus
+    /// insert, and TORC replay happen exactly as a sequential run would
+    /// have performed them. The moment a committed lane changes the corpus
+    /// or the dictionary, the remaining lanes are abandoned (their
+    /// sequential counterparts would have been generated from the changed
+    /// state): the RNG rewinds to the first abandoned lane's checkpoint and
+    /// the abandoned picks' selection bumps are reversed. This makes the
+    /// committed input sequence byte-identical to a sequential run's at any
+    /// batch width. Returns the number of inputs committed (≥ 1).
+    fn fuzz_batch_step(&mut self, limit: usize) -> u64 {
+        let b = self.config.resolved_batch_width().min(limit);
+        if b < 2 || self.corpus.is_empty() {
+            // Bootstrap (no seeds yet) and degenerate widths take the
+            // scalar path — batching only pays once there is a corpus.
+            self.fuzz_one();
+            return 1;
+        }
+        self.batch_rounds += 1;
+        let width = self.config.resolved_batch_width();
+        let assertions = self.failed_assertions.len();
+        if self.batch.is_none() {
+            self.batch = Some(BatchExecutor::new(self.compiled, width));
+            self.batch_scratch = Some(BatchScratch::new(self.total.len(), width, assertions));
+        }
+        let mut children: Vec<Option<PreparedChild>> =
+            (0..b).map(|_| Some(self.prepare_child())).collect();
+
+        let mut vm = self.batch.take().expect("executor built above");
+        let mut scratch = self.batch_scratch.take().expect("scratch built above");
+        scratch.reset();
+        let exec_start = if self.time_spans { Some(Instant::now()) } else { None };
+        let masked = !matches!(self.config.feedback, FeedbackMode::ModelLevel);
+        let tuple = self.layout.tuple_size().max(1);
+        // Per-lane tick budget: same truncation as the scalar loop's
+        // `layout.split(data).take(max_iterations_per_input)`.
+        let totals: Vec<usize> = children
+            .iter()
+            .map(|c| {
+                let data = &c.as_ref().expect("just prepared").data;
+                self.layout.split(data).len().min(self.config.max_iterations_per_input)
+            })
+            .collect();
+        let max_ticks = totals.iter().copied().max().unwrap_or(0);
+
+        vm.begin();
+        for t in 0..max_ticks {
+            scratch.bits.clear();
+            for (l, total) in totals.iter().enumerate() {
+                if t < *total {
+                    let data = &children[l].as_ref().expect("untaken").data;
+                    vm.load_tuple(l, &data[t * tuple..(t + 1) * tuple]);
+                } else {
+                    vm.retire_lane(l);
+                }
+            }
+            let mut rec = BatchLoopRecorder {
+                bits: &mut scratch.bits,
+                torc: &mut scratch.torc,
+                failed: &mut scratch.failed,
+                assertions: assertions.max(1),
+            };
+            vm.step_tick(&mut rec);
+            // Per-lane Algorithm 1 accounting for this tick: extract the
+            // lane's column, apply the feedback mask, fold it into the
+            // lane's case union and iteration-difference metric.
+            for (l, total) in totals.iter().enumerate() {
+                if t >= *total {
+                    continue;
+                }
+                scratch.curr.clear();
+                scratch.bits.extract_lane(l, &mut scratch.curr);
+                if masked {
+                    scratch.curr.retain_mask(&self.mask);
+                }
+                scratch.curr.merge_into(&mut scratch.acc[l]);
+                scratch.metrics[l] += scratch.curr.diff_count(&scratch.last[l]);
+                scratch.last[l].copy_from(&scratch.curr);
+            }
+        }
+        let exec_span = exec_start.map(|start| (start, Instant::now()));
+
+        // Commit lanes in order; abandon the tail on a corpus or
+        // dictionary change.
+        let mut committed = 0u64;
+        let mut abandon_from = None;
+        for l in 0..b {
+            let child = children[l].take().expect("committed once");
+            for i in 0..assertions {
+                self.failed_assertions[i] = scratch.failed[l * assertions + i];
+            }
+            let generation = self.torc.generation;
+            for &(lhs, rhs) in &scratch.torc[l] {
+                self.torc.push(lhs, rhs);
+            }
+            self.iterations += totals[l] as u64;
+            self.stats.iterations += totals[l] as u64;
+            // `total` only grows during a round, so the per-case union
+            // merged once yields the same count as the scalar loop's
+            // per-tick merges (lines 13–16 of Algorithm 1).
+            let new_branches = scratch.acc[l].merge_into(&mut self.total);
+            let inserted = self.commit_executed(child, new_branches, scratch.metrics[l]);
+            committed += 1;
+            self.batch_commits += 1;
+            if l + 1 < b && (inserted || self.torc.generation != generation) {
+                abandon_from = Some(l + 1);
+                break;
+            }
+        }
+        if let Some(from) = abandon_from {
+            self.rng = children[from].as_ref().expect("untaken").rng_before.clone();
+            for child in children[from..].iter().flatten() {
+                self.batch_abandons += 1;
+                if let Some(parent) = child.parent {
+                    self.corpus.unnote_selection(parent);
+                }
+                if let Some(other) = child.other_id {
+                    self.corpus.unnote_selection(other);
+                }
+            }
+        }
+        if let Some((start, end)) = exec_span {
+            let ns = end.saturating_duration_since(start).as_nanos() as u64;
+            self.stats.spans.record(SpanKind::Execution, ns);
+            if let Some(sampler) = &mut self.span_sampler {
+                sampler.record(SpanKind::Execution, start, end);
+            }
+            if self.time_execs {
+                let per_lane = ns / b as u64;
+                for _ in 0..committed {
+                    self.stats.exec_latency_ns.record(per_lane);
+                }
+            }
+        }
+        self.batch = Some(vm);
+        self.batch_scratch = Some(scratch);
+        committed
     }
 
     /// Marks this fuzzer as a parallel worker shard: local stats keep

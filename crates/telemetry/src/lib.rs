@@ -386,6 +386,9 @@ pub struct TelemetrySnapshot {
     pub elapsed: Duration,
     /// Most recent per-shard execution rates (executions per second).
     pub shard_rates: Vec<f64>,
+    /// Per-shard share of span-attributed wall-clock spent blocked on sync
+    /// rounds, percent (0 for shards that never synced).
+    pub shard_sync_pct: Vec<f64>,
     /// Operator labels (parallel to `totals.operators`).
     pub operator_labels: Vec<String>,
     /// Event-side violation count (distinct `Violation` events witnessed).
@@ -396,6 +399,8 @@ pub struct TelemetrySnapshot {
     pub jit_code_bytes: Option<u64>,
     /// JIT compilation wall-clock cost in nanoseconds, when the tier ran.
     pub jit_compile_ns: Option<u64>,
+    /// Batched-tier gauges, when the fuzz loop ran `Engine::Batch`.
+    pub batch: Option<BatchTierStats>,
     /// The retained coverage/throughput time series, oldest first.
     pub series: Vec<SeriesPoint>,
     /// Per-corpus-entry scheduling forensics, flattened across shards in
@@ -405,6 +410,24 @@ pub struct TelemetrySnapshot {
     pub plateaus: u64,
     /// The most recent plateau, when one fired.
     pub last_plateau: Option<PlateauSummary>,
+}
+
+/// Batched-tier gauges, published wholesale on each fuzz-loop flush (like
+/// the JIT gauges): what the SoA tier has done and how much of its lane
+/// capacity divergence is wasting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchTierStats {
+    /// Lanes per batch round.
+    pub width: u64,
+    /// Batched rounds executed.
+    pub rounds: u64,
+    /// Lanes committed (inputs the batch tier contributed to the campaign).
+    pub commits: u64,
+    /// Lanes abandoned to a mid-round corpus/dictionary change.
+    pub abandons: u64,
+    /// Fraction of lane executions spent in divergence masks rather than
+    /// the converged row path (`BatchStats::scalar_lane_fraction`).
+    pub scalar_lane_fraction: f64,
 }
 
 impl TelemetrySnapshot {
@@ -464,6 +487,11 @@ struct ShardCell {
     corpus_len: usize,
     last_merge: Option<Duration>,
     rate: f64,
+    /// Cumulative nanoseconds this shard spent blocked on sync rounds, and
+    /// its total span-attributed nanoseconds — together the per-worker
+    /// sync-wait share the parallel-scaling benchmarks report.
+    sync_wait_ns: u64,
+    span_ns: u64,
 }
 
 struct StatusSink {
@@ -508,6 +536,7 @@ struct Inner {
     series_last: Option<(f64, u64)>,
     jit_code_bytes: Option<u64>,
     jit_compile_ns: Option<u64>,
+    batch: Option<BatchTierStats>,
     /// Per-shard corpus scheduling forensics, replaced wholesale on publish.
     corpus_seeds: Vec<Vec<CorpusSeedReport>>,
     plateaus: u64,
@@ -580,6 +609,7 @@ impl Telemetry {
                 series_last: None,
                 jit_code_bytes: None,
                 jit_compile_ns: None,
+                batch: None,
                 corpus_seeds: Vec::new(),
                 plateaus: 0,
                 last_plateau: None,
@@ -698,11 +728,15 @@ impl Telemetry {
                 corpus_len: 0,
                 last_merge: None,
                 rate: 0.0,
+                sync_wait_ns: 0,
+                span_ns: 0,
             });
         }
         let cell = &mut inner.shards[shard];
         cell.executions += delta.executions;
         cell.corpus_len = corpus_len;
+        cell.sync_wait_ns += delta.spans.total_ns(SpanKind::SyncWait);
+        cell.span_ns += SpanKind::ALL.iter().map(|&k| delta.spans.total_ns(k)).sum::<u64>();
         if let Some(last) = cell.last_merge {
             let window = (now - last).as_secs_f64();
             if window > 1e-6 {
@@ -793,6 +827,12 @@ impl Telemetry {
         inner.totals.spans.record(SpanKind::JitCompile, compile_ns);
     }
 
+    /// Publishes the batched tier's gauges (replaced wholesale; the fuzz
+    /// loop calls this on its flush cadence while running `Engine::Batch`).
+    pub fn set_batch_stats(&self, stats: BatchTierStats) {
+        self.lock().batch = Some(stats);
+    }
+
     /// The retained coverage/throughput time series, oldest first.
     pub fn series_points(&self) -> Vec<SeriesPoint> {
         self.lock().series.points().to_vec()
@@ -875,11 +915,23 @@ impl Telemetry {
             corpus_size: inner.shards.iter().map(|s| s.corpus_len as u64).sum(),
             elapsed,
             shard_rates: inner.shards.iter().map(|s| s.rate).collect(),
+            shard_sync_pct: inner
+                .shards
+                .iter()
+                .map(|s| {
+                    if s.span_ns == 0 {
+                        0.0
+                    } else {
+                        100.0 * s.sync_wait_ns as f64 / s.span_ns as f64
+                    }
+                })
+                .collect(),
             operator_labels: inner.operator_labels.clone(),
             violations_seen: inner.violations,
             last_sync_ms: inner.last_sync_ms,
             jit_code_bytes: inner.jit_code_bytes,
             jit_compile_ns: inner.jit_compile_ns,
+            batch: inner.batch,
             series: inner.series.points().to_vec(),
             corpus_seeds: inner.corpus_seeds.iter().flatten().cloned().collect(),
             plateaus: inner.plateaus,
@@ -942,6 +994,31 @@ impl Telemetry {
             out.push_str("# HELP cftcg_jit_compile_ns JIT compilation wall-clock cost (ns)\n");
             out.push_str("# TYPE cftcg_jit_compile_ns gauge\n");
             out.push_str(&format!("cftcg_jit_compile_ns {ns}\n"));
+        }
+        if let Some(batch) = &snapshot.batch {
+            out.push_str("# HELP cftcg_batch_width Lanes per batched fuzz round\n");
+            out.push_str("# TYPE cftcg_batch_width gauge\n");
+            out.push_str(&format!("cftcg_batch_width {}\n", batch.width));
+            out.push_str("# HELP cftcg_batch_rounds Batched fuzz rounds executed\n");
+            out.push_str("# TYPE cftcg_batch_rounds gauge\n");
+            out.push_str(&format!("cftcg_batch_rounds {}\n", batch.rounds));
+            out.push_str("# HELP cftcg_batch_commits Lanes committed by the batch tier\n");
+            out.push_str("# TYPE cftcg_batch_commits gauge\n");
+            out.push_str(&format!("cftcg_batch_commits {}\n", batch.commits));
+            out.push_str(
+                "# HELP cftcg_batch_abandons Lanes abandoned to mid-round state changes\n",
+            );
+            out.push_str("# TYPE cftcg_batch_abandons gauge\n");
+            out.push_str(&format!("cftcg_batch_abandons {}\n", batch.abandons));
+            out.push_str(
+                "# HELP cftcg_batch_scalar_lane_fraction Lane executions spent under \
+                 divergence masks\n",
+            );
+            out.push_str("# TYPE cftcg_batch_scalar_lane_fraction gauge\n");
+            out.push_str(&format!(
+                "cftcg_batch_scalar_lane_fraction {:.4}\n",
+                batch.scalar_lane_fraction
+            ));
         }
 
         out.push_str(

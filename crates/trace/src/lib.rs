@@ -41,7 +41,7 @@ pub use audit::{AuditError, AuditReport, Auditor, Divergence};
 /// the flat VM. Replay favors the deterministic portable tier by default;
 /// `CFTCG_ENGINE=jit` cross-checks native code, `=ref` the tree walker.
 pub fn replay_engine() -> cftcg_codegen::Engine {
-    cftcg_codegen::Engine::from_env().unwrap_or(cftcg_codegen::Engine::Flat)
+    cftcg_codegen::resolve_engine(None, cftcg_codegen::Engine::Flat)
 }
 pub use probe::{decode_tuple, trace_vm_case, ProbeMask, Trace, TraceRecord, TraceSignal};
 pub use profile::{profile_case, BlockProfile, KindCost};

@@ -100,7 +100,7 @@ fn print_usage() {
          \x20 cftcg stats  <model.mdlx>\n\
          \x20 cftcg codegen <model.mdlx> [--driver]\n\
          \x20 cftcg fuzz   <model.mdlx> [--budget-ms N] [--seed N] [--out DIR] [--workers N]\n\
-         \x20              [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]\n\
+         \x20              [--batch N] [--stats-jsonl FILE] [--status-every SECS] [--prom FILE]\n\
          \x20              [--serve ADDR] [--trace-events FILE]\n\
          \x20              [--trace-dir DIR] [--trace-every N] [--plateau-window N]\n\
          \x20 cftcg diff   <model.mdlx> <a/campaign.json> <b/campaign.json>\n\
@@ -206,6 +206,9 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
         flag_value(rest, "--trace-every").map(str::parse).transpose()?.unwrap_or(1).max(1);
     let plateau_window: Option<u64> =
         flag_value(rest, "--plateau-window").map(str::parse).transpose()?;
+    // `--batch N` selects the batched SoA tier at N lanes (0 = default
+    // width); `CFTCG_ENGINE` still wins, like every engine preference.
+    let batch: Option<usize> = flag_value(rest, "--batch").map(str::parse).transpose()?;
 
     // Build the telemetry registry only when a sink was requested; without
     // one the loop skips per-execution timing entirely. The observatory is
@@ -234,6 +237,9 @@ fn fuzz(model: &Model, rest: &[String]) -> Result<(), Box<dyn Error>> {
     let span_trace = trace_events.map(|_| cftcg::telemetry::SpanTrace::new());
 
     let mut tool = Cftcg::new(model)?;
+    if let Some(width) = batch {
+        tool = tool.with_batch(width);
+    }
     println!("engine: {} ({} workers)", tool.engine(), workers);
     if let Some(t) = &telemetry {
         tool = tool.with_telemetry(t.clone());

@@ -1,0 +1,100 @@
+//! Campaign-level byte-identity of the batched SoA tier: a fuzz run that
+//! executes `width` cases per pass through the flat program must commit the
+//! *same campaign* as a sequential run on the flat VM — same suite bytes,
+//! lineage, violations, operator attribution, and `campaign.json` (modulo
+//! wall-clock fields). The batched loop earns this by pre-mutating a batch
+//! against a frozen corpus/TORC snapshot, committing lanes in order, and
+//! abandoning (rewinding the RNG and selection accounting) the moment a
+//! committed lane invalidates the snapshot.
+
+use cftcg::codegen::{compile, Engine};
+use cftcg::fuzz::{
+    FuzzConfig, FuzzOutcome, Fuzzer, Generation, ParallelFuzzConfig, ParallelFuzzer,
+};
+use cftcg::pipeline::CampaignArtifact;
+
+/// Zeroes every `"t_s"` / `"elapsed_s"` value in a campaign JSON document.
+fn strip_wallclock(mut s: String) -> String {
+    for key in ["\"t_s\":", "\"elapsed_s\":"] {
+        let mut from = 0;
+        while let Some(rel) = s[from..].find(key) {
+            let start = from + rel + key.len();
+            let end = s[start..].find([',', '}', '\n']).map_or(s.len(), |e| start + e);
+            s.replace_range(start..end, "0");
+            from = start + 1;
+        }
+    }
+    s
+}
+
+/// Asserts every wall-clock-free surface of two outcomes is identical.
+fn assert_outcomes_identical(batch: &FuzzOutcome, scalar: &FuzzOutcome, context: &str) {
+    let bytes = |o: &FuzzOutcome| o.suite.iter().map(|c| c.bytes.clone()).collect::<Vec<_>>();
+    assert_eq!(bytes(batch), bytes(scalar), "{context}: suite bytes");
+    assert_eq!(batch.lineage, scalar.lineage, "{context}: lineage records");
+    assert_eq!(batch.executions, scalar.executions, "{context}: executions");
+    assert_eq!(batch.iterations, scalar.iterations, "{context}: iterations");
+    assert_eq!(batch.covered_branches, scalar.covered_branches, "{context}: covered branches");
+    let viol = |o: &FuzzOutcome| {
+        o.violations.iter().map(|(i, c)| (*i, c.bytes.clone())).collect::<Vec<_>>()
+    };
+    assert_eq!(viol(batch), viol(scalar), "{context}: assertion violations");
+    assert_eq!(batch.operators, scalar.operators, "{context}: operator attribution");
+}
+
+/// The acceptance gate: a `workers = 1` campaign under `Engine::Batch` is
+/// byte-for-byte the campaign the flat VM produces. Covers a
+/// divergence-free model (SolarPV) and a divergent one (CPUTask) so both
+/// the converged fast path and the masked-span path are on trial.
+#[test]
+fn batch_campaign_json_is_byte_identical_with_one_worker() {
+    for name in ["SolarPV", "CPUTask"] {
+        let model = cftcg::benchmarks::by_name(name).expect("bundled benchmark");
+        let compiled = compile(&model).expect("benchmark compiles");
+
+        let run = |engine: Engine| {
+            let config = ParallelFuzzConfig {
+                workers: 1,
+                sync_interval: 512,
+                fuzz: FuzzConfig { seed: 23, engine: Some(engine), ..FuzzConfig::default() },
+                ..ParallelFuzzConfig::default()
+            };
+            ParallelFuzzer::new(&compiled, config).run_executions(2_500)
+        };
+
+        let batch = run(Engine::Batch { width: 0 });
+        let flat = run(Engine::Flat);
+        assert_outcomes_identical(&batch, &flat, name);
+
+        let json = |outcome: FuzzOutcome| {
+            let generation: Generation = outcome.into();
+            let artifact =
+                CampaignArtifact::from_generation(model.name(), 23, 1, &generation, compiled.map());
+            strip_wallclock(artifact.to_json())
+        };
+        assert_eq!(
+            json(batch),
+            json(flat),
+            "{name}: campaign.json must be byte-identical under the batch tier"
+        );
+    }
+}
+
+/// The committed input sequence is invariant across batch widths — any
+/// width, including degenerate width 1, replays the sequential trajectory.
+#[test]
+fn batch_width_does_not_change_the_campaign() {
+    let model = cftcg::benchmarks::by_name("TCP").expect("bundled benchmark");
+    let compiled = compile(&model).expect("benchmark compiles");
+
+    let run = |engine: Option<Engine>| {
+        let config = FuzzConfig { seed: 11, engine, ..FuzzConfig::default() };
+        Fuzzer::new(&compiled, config).run_executions(3_000)
+    };
+
+    let scalar = run(Some(Engine::Flat));
+    for width in [1usize, 2, 4, 8] {
+        let batch = run(Some(Engine::Batch { width }));
+        assert_outcomes_identical(&batch, &scalar, &format!("TCP width {width}"));
+    }
+}

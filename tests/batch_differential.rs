@@ -1,0 +1,217 @@
+//! Differential battery for the batched SoA tier: every lane of a
+//! `BatchExecutor` must reproduce, bit for bit, what the single-case flat
+//! VM (and the JIT, where live) produces for the same case.
+//!
+//! Three surfaces are compared per lane, per tick:
+//!
+//! 1. **Outputs**: every outport value.
+//! 2. **State**: every state slot.
+//! 3. **Events**: the branch / compare / assertion sequence — the batch
+//!    program variant keeps branch probes, relational compares, and
+//!    asserts, so per lane those must match the full flat program's
+//!    sequence exactly (condition/decision events, which the batch tier
+//!    never observes, are filtered out of the scalar log).
+//!
+//! Widths 1, 2, 4, 8 are exercised (1 = degenerate single-lane batch, 8 =
+//! the fuzz loop's default), with lanes running *different* cases so
+//! divergence and the scalar fallback path actually trigger.
+
+use cftcg::codegen::{compile, BatchExecutor, CompiledModel, Engine, Executor, TestCase};
+use cftcg::coverage::{AssertionId, BranchId, LaneBitmap, LaneRecorder, Recorder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The event classes the batch tier observes, bit-exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    Branch(BranchId),
+    Compare(u64, u64),
+    Assertion(AssertionId, bool),
+}
+
+/// Scalar recorder keeping only the batch-observable event classes.
+#[derive(Default)]
+struct ScalarLog {
+    events: Vec<Event>,
+}
+
+impl Recorder for ScalarLog {
+    fn branch(&mut self, id: BranchId) {
+        self.events.push(Event::Branch(id));
+    }
+    fn compare(&mut self, lhs: f64, rhs: f64) {
+        self.events.push(Event::Compare(lhs.to_bits(), rhs.to_bits()));
+    }
+    fn assertion(&mut self, id: AssertionId, passed: bool) {
+        self.events.push(Event::Assertion(id, passed));
+    }
+}
+
+/// Per-lane event log for the batch side.
+struct LaneLog {
+    lanes: Vec<Vec<Event>>,
+}
+
+impl LaneLog {
+    fn new(width: usize) -> Self {
+        LaneLog { lanes: (0..width).map(|_| Vec::new()).collect() }
+    }
+}
+
+impl LaneRecorder for LaneLog {
+    fn branch(&mut self, lane: usize, id: BranchId) {
+        self.lanes[lane].push(Event::Branch(id));
+    }
+    fn compare(&mut self, lane: usize, lhs: f64, rhs: f64) {
+        self.lanes[lane].push(Event::Compare(lhs.to_bits(), rhs.to_bits()));
+    }
+    fn assertion(&mut self, lane: usize, id: AssertionId, passed: bool) {
+        self.lanes[lane].push(Event::Assertion(id, passed));
+    }
+}
+
+/// Random case bytes biased towards branch-flipping values.
+fn random_case(compiled: &CompiledModel, rng: &mut SmallRng, ticks: usize) -> TestCase {
+    let size = compiled.layout().tuple_size().max(1);
+    let bytes = (0..size * ticks)
+        .map(|_| match rng.random_range(0..4u32) {
+            0 => 0u8,
+            1 => 0xFF,
+            2 => rng.random_range(0..4u32) as u8,
+            _ => rng.random::<u8>(),
+        })
+        .collect();
+    TestCase::new(bytes)
+}
+
+/// Runs `cases` (one per lane, possibly different tick counts) through a
+/// batch of `width` lanes and through the scalar engines case by case,
+/// asserting the per-lane surfaces match.
+fn assert_batch_equivalent(
+    compiled: &CompiledModel,
+    cases: &[TestCase],
+    width: usize,
+    context: &str,
+) {
+    assert!(cases.len() <= width);
+    let layout = compiled.layout();
+    let tuple = layout.tuple_size();
+
+    // Batch side: tick all lanes together, snapshotting per-lane outputs
+    // and state after each tick while the lane is live.
+    let mut batch = BatchExecutor::new(compiled, width);
+    let mut lane_log = LaneLog::new(width);
+    let counts: Vec<usize> = cases.iter().map(|c| layout.tuple_count(&c.bytes)).collect();
+    let ticks = counts.iter().copied().max().unwrap_or(0);
+    let mut lane_outputs: Vec<Vec<Vec<u64>>> = vec![Vec::new(); cases.len()];
+    let mut lane_states: Vec<Vec<Vec<u64>>> = vec![Vec::new(); cases.len()];
+    batch.begin();
+    for t in 0..ticks {
+        for (lane, case) in cases.iter().enumerate() {
+            if t < counts[lane] {
+                batch.load_tuple(lane, &case.bytes[t * tuple..(t + 1) * tuple]);
+            } else {
+                batch.retire_lane(lane);
+            }
+        }
+        batch.step_tick(&mut lane_log);
+        for lane in 0..cases.len() {
+            if t < counts[lane] {
+                lane_outputs[lane]
+                    .push(batch.lane_outputs(lane).iter().map(|v| v.as_f64().to_bits()).collect());
+                lane_states[lane]
+                    .push(batch.lane_state(lane).iter().map(|x| x.to_bits()).collect());
+            }
+        }
+    }
+
+    // Also collect covered-branch sets through the production LaneBitmap.
+    let mut bitmap = LaneBitmap::new(compiled.map().branch_count(), width);
+    let refs: Vec<&[u8]> = cases.iter().map(|c| c.bytes.as_slice()).collect();
+    batch.run_cases(&refs, usize::MAX, &mut bitmap);
+
+    // Scalar side: each engine runs every case on ONE executor back to
+    // back — `reset()` must isolate the cases exactly like fresh lanes do.
+    let mut flat = Executor::new(compiled);
+    let mut jit = Executor::new_jit(compiled);
+    let jit_live = jit.engine() == Engine::Jit;
+    for (lane, case) in cases.iter().enumerate() {
+        let mut log = ScalarLog::default();
+        flat.reset();
+        let mut scalar_branches = cftcg::coverage::BranchBitmap::new(compiled.map().branch_count());
+        for (t, tup) in layout.split(&case.bytes).enumerate() {
+            flat.step_tuple(tup, &mut log);
+            let out: Vec<u64> = flat.outputs().iter().map(|v| v.as_f64().to_bits()).collect();
+            assert_eq!(
+                lane_outputs[lane][t], out,
+                "{context}: lane {lane} outputs diverge from flat at tick {t}"
+            );
+            let st: Vec<u64> = flat.state().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(
+                lane_states[lane][t], st,
+                "{context}: lane {lane} state diverges from flat at tick {t}"
+            );
+        }
+        assert_eq!(
+            lane_log.lanes[lane], log.events,
+            "{context}: lane {lane} event sequence diverges from flat"
+        );
+        // Covered-branch set via the production bitmaps.
+        flat.run_case(case, &mut scalar_branches);
+        let mut lane_dense = cftcg::coverage::BranchBitmap::new(compiled.map().branch_count());
+        bitmap.extract_lane(lane, &mut lane_dense);
+        assert_eq!(
+            lane_dense.set_indices().collect::<Vec<_>>(),
+            scalar_branches.set_indices().collect::<Vec<_>>(),
+            "{context}: lane {lane} covered-branch set diverges from flat"
+        );
+        if jit_live {
+            let mut jlog = ScalarLog::default();
+            jit.run_case(case, &mut jlog);
+            assert_eq!(
+                lane_log.lanes[lane], jlog.events,
+                "{context}: lane {lane} event sequence diverges from jit"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_matches_flat_and_jit_on_all_benchmarks() {
+    for model in cftcg::benchmarks::all() {
+        let compiled = compile(&model).expect("benchmark compiles");
+        let mut rng = SmallRng::seed_from_u64(0xBA7C4 ^ model.name().len() as u64);
+        for width in [1usize, 2, 4, 8] {
+            for round in 0..3 {
+                // Different tick counts per lane exercise lane retirement.
+                let cases: Vec<TestCase> = (0..width)
+                    .map(|lane| random_case(&compiled, &mut rng, 1 + (lane + 3 * round) % 13))
+                    .collect();
+                let context = format!("{} width {width} round {round}", model.name());
+                assert_batch_equivalent(&compiled, &cases, width, &context);
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_matches_flat_on_saturating_fills() {
+    for model in cftcg::benchmarks::all() {
+        let compiled = compile(&model).expect("benchmark compiles");
+        let size = compiled.layout().tuple_size().max(1);
+        // All four lanes saturate differently — heavy divergence.
+        let cases: Vec<TestCase> =
+            [0x00u8, 0xFF, 0x7F, 0x80].iter().map(|&f| TestCase::new(vec![f; size * 9])).collect();
+        assert_batch_equivalent(&compiled, &cases, 4, &format!("{} fills", model.name()));
+    }
+}
+
+#[test]
+fn batch_with_fewer_cases_than_lanes() {
+    for model in cftcg::benchmarks::all().into_iter().take(2) {
+        let compiled = compile(&model).expect("benchmark compiles");
+        let mut rng = SmallRng::seed_from_u64(0x51AC);
+        let cases: Vec<TestCase> = (0..3).map(|_| random_case(&compiled, &mut rng, 7)).collect();
+        assert_batch_equivalent(&compiled, &cases, 8, "3 cases in 8 lanes");
+    }
+}
